@@ -1,0 +1,585 @@
+// Command susc is the command-line front end of the secure-and-unfailing
+// services toolkit. It operates on source files in the surface syntax of
+// internal/parser (policies, instances, services, clients) and exposes the
+// paper's analyses:
+//
+//	susc parse      FILE                 parse and list the declarations
+//	susc project    FILE                 print the contract H! of every service
+//	susc compliance FILE                 compliance matrix: request bodies vs services
+//	susc validity   FILE                 validity of every service under every policy
+//	susc plans      FILE -client NAME    enumerate and classify every plan
+//	susc check      FILE -client NAME    validate the client's declared plan
+//	susc run        FILE -client NAME    simulate the network under the declared plan
+//	susc fmt        FILE                 reformat to canonical surface syntax
+//	susc dot        FILE -policy P | -lts NAME | -product OWNER.REQ -vs LOC
+//	                                     render an artifact as Graphviz dot
+//	susc effect     FILE.lam [-decls FILE.susc]
+//	                                     infer the type and effect of a λ-program;
+//	                                     with declarations, also classify its plans
+//	susc substitutable FILE -old LOC -new LOC
+//	                                     can -new replace -old without breaking clients?
+//	susc dual       FILE -of NAME[.REQ]  print the canonical dual contract
+//	susc checkall   FILE [-cap loc=n,..] validate all declared clients at once,
+//	                                     optionally under bounded availability
+//
+// check, checkall and plans accept -json for machine-readable reports.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"sort"
+	"strings"
+
+	"susc/internal/compliance"
+	"susc/internal/contract"
+	"susc/internal/hexpr"
+	"susc/internal/lambda"
+	"susc/internal/lts"
+	"susc/internal/network"
+	"susc/internal/parser"
+	"susc/internal/plans"
+	"susc/internal/valid"
+	"susc/internal/verify"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "susc:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	if len(args) < 1 {
+		return fmt.Errorf("usage: susc <parse|fmt|project|compliance|validity|plans|check|run|dot> FILE [flags]")
+	}
+	cmd := args[0]
+	switch cmd {
+	case "parse", "fmt", "project", "compliance", "validity", "plans", "check", "run",
+		"dot", "effect", "substitutable", "dual", "checkall":
+	default:
+		return fmt.Errorf("unknown command %q", cmd)
+	}
+	fs := flag.NewFlagSet(cmd, flag.ContinueOnError)
+	clientName := fs.String("client", "", "client declaration to operate on")
+	seed := fs.Int64("seed", 0, "scheduler seed for run (0 = deterministic)")
+	steps := fs.Int("steps", network.DefaultMaxSteps, "step budget for run")
+	monitored := fs.Bool("monitor", false, "run with the run-time validity monitor")
+	prune := fs.Bool("prune", true, "prune non-compliant bindings during plan synthesis")
+	dotPolicy := fs.String("policy", "", "dot: render this policy template")
+	dotLTS := fs.String("lts", "", "dot: render the LTS of this service or client")
+	dotProduct := fs.String("product", "", "dot: render the product of this request (client.request or service.request)")
+	dotVs := fs.String("vs", "", "dot: the service the product is built against")
+	decls := fs.String("decls", "", "effect: declarations file resolving policy aliases and services")
+	oldLoc := fs.String("old", "", "substitutable: the service being replaced")
+	newLoc := fs.String("new", "", "substitutable: the candidate replacement")
+	dualOf := fs.String("of", "", "dual: service, client, or OWNER.REQUEST to dualise")
+	capSpec := fs.String("cap", "", "checkall: bounded availability, e.g. \"br=2,s3=1\"")
+	jsonOut := fs.Bool("json", false, "check/checkall/plans: JSON output")
+	runAll := fs.Bool("all", false, "run: simulate all declared clients concurrently")
+	workers := fs.Int("workers", 1, "plans: validate candidate plans with this many goroutines")
+	if len(args) < 2 {
+		return fmt.Errorf("usage: susc %s FILE [flags]", cmd)
+	}
+	path := args[1]
+	if err := fs.Parse(args[2:]); err != nil {
+		return err
+	}
+	src, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	if cmd == "effect" {
+		return cmdEffect(string(src), *decls)
+	}
+	f, err := parser.ParseFile(string(src))
+	if err != nil {
+		return err
+	}
+	switch cmd {
+	case "parse":
+		return cmdParse(f)
+	case "fmt":
+		fmt.Print(parser.Format(f))
+		return nil
+	case "dot":
+		return cmdDot(f, *dotPolicy, *dotLTS, *dotProduct, *dotVs)
+	case "project":
+		return cmdProject(f)
+	case "compliance":
+		return cmdCompliance(f)
+	case "validity":
+		return cmdValidity(f)
+	case "plans":
+		return cmdPlans(f, *clientName, *prune, *jsonOut, *workers)
+	case "check":
+		return cmdCheck(f, *clientName, *jsonOut)
+	case "checkall":
+		return cmdCheckAll(f, *capSpec, *jsonOut)
+	case "run":
+		return cmdRun(f, *clientName, *seed, *steps, *monitored, *runAll, *capSpec)
+	case "substitutable":
+		return cmdSubstitutable(f, *oldLoc, *newLoc)
+	case "dual":
+		return cmdDual(f, *dualOf)
+	}
+	return nil
+}
+
+// cmdSubstitutable decides whether -new can replace -old in the repository
+// without breaking any compliant client.
+func cmdSubstitutable(f *parser.File, oldName, newName string) error {
+	if oldName == "" || newName == "" {
+		return fmt.Errorf("substitutable wants -old and -new services")
+	}
+	oldSvc, ok := f.Repo[hexpr.Location(oldName)]
+	if !ok {
+		return fmt.Errorf("no service %q", oldName)
+	}
+	newSvc, ok := f.Repo[hexpr.Location(newName)]
+	if !ok {
+		return fmt.Errorf("no service %q", newName)
+	}
+	sub, err := compliance.Substitutable(oldSvc, newSvc)
+	if err != nil {
+		return err
+	}
+	eq, err := contract.Equivalent(oldSvc, newSvc)
+	if err != nil {
+		return err
+	}
+	switch {
+	case eq:
+		fmt.Printf("%s and %s are EQUIVALENT: interchangeable both ways\n", oldName, newName)
+	case sub:
+		fmt.Printf("%s can replace %s: every compliant client stays compliant\n", newName, oldName)
+	default:
+		fmt.Printf("%s can NOT safely replace %s\n", newName, oldName)
+		return fmt.Errorf("not substitutable")
+	}
+	return nil
+}
+
+// cmdDual prints the canonical dual of a service, a client, or a request
+// body (OWNER.REQUEST).
+func cmdDual(f *parser.File, of string) error {
+	if of == "" {
+		return fmt.Errorf("dual wants -of NAME or -of OWNER.REQUEST")
+	}
+	var e hexpr.Expr
+	if owner, req, ok := strings.Cut(of, "."); ok {
+		ownerExpr, err := exprByName(f, owner)
+		if err != nil {
+			return err
+		}
+		body, _, err := contract.RequestBody(ownerExpr, hexpr.RequestID(req))
+		if err != nil {
+			return err
+		}
+		e = body
+	} else {
+		var err error
+		e, err = exprByName(f, of)
+		if err != nil {
+			return err
+		}
+	}
+	d, err := contract.Dual(e)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("contract : %s\n", hexpr.Pretty(contract.Project(e)))
+	fmt.Printf("dual     : %s\n", hexpr.Pretty(d))
+	return nil
+}
+
+// cmdEffect infers the type and effect of a λ-program; with a declarations
+// file, policy aliases resolve and the program's plans are classified
+// against the declared repository.
+func cmdEffect(src, declsPath string) error {
+	var aliases map[string]hexpr.PolicyID
+	var f *parser.File
+	if declsPath != "" {
+		declSrc, err := os.ReadFile(declsPath)
+		if err != nil {
+			return err
+		}
+		f, err = parser.ParseFile(string(declSrc))
+		if err != nil {
+			return err
+		}
+		aliases = f.Instances
+	}
+	term, err := parser.ParseLambdaWith(src, aliases)
+	if err != nil {
+		return err
+	}
+	ty, eff, err := lambda.InferClosed(term)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("type   : %s\n", ty)
+	fmt.Printf("effect : %s\n", hexpr.Pretty(eff))
+	if f == nil {
+		return nil
+	}
+	reqs := hexpr.Requests(eff)
+	if len(reqs) == 0 {
+		return nil
+	}
+	fmt.Println("plans  :")
+	as, err := plans.AssessAll(f.Repo, f.Table, "program", eff, plans.Options{})
+	if err != nil {
+		return err
+	}
+	for _, a := range as {
+		fmt.Printf("  %-30s %s\n", a.Plan, a.Report)
+	}
+	return nil
+}
+
+// cmdDot renders one artifact as Graphviz dot: a policy template, the LTS
+// of a declared service or client, or the product automaton of a request
+// against a service.
+func cmdDot(f *parser.File, policyName, ltsName, productSpec, vs string) error {
+	switch {
+	case policyName != "":
+		a, ok := f.Automata[policyName]
+		if !ok {
+			return fmt.Errorf("no policy %q", policyName)
+		}
+		fmt.Print(a.DOT())
+		return nil
+	case ltsName != "":
+		e, err := exprByName(f, ltsName)
+		if err != nil {
+			return err
+		}
+		l, err := lts.Build(e)
+		if err != nil {
+			return err
+		}
+		fmt.Print(l.DOT(ltsName))
+		return nil
+	case productSpec != "":
+		owner, req, ok := strings.Cut(productSpec, ".")
+		if !ok {
+			return fmt.Errorf("-product wants OWNER.REQUEST, got %q", productSpec)
+		}
+		ownerExpr, err := exprByName(f, owner)
+		if err != nil {
+			return err
+		}
+		body, _, err := contract.RequestBody(ownerExpr, hexpr.RequestID(req))
+		if err != nil {
+			return err
+		}
+		service, ok := f.Repo[hexpr.Location(vs)]
+		if !ok {
+			return fmt.Errorf("-vs: no service %q", vs)
+		}
+		p, err := compliance.NewProduct(body, service)
+		if err != nil {
+			return err
+		}
+		fmt.Print(p.DOT(productSpec + "_vs_" + vs))
+		return nil
+	}
+	return fmt.Errorf("dot wants one of -policy, -lts or -product (with -vs)")
+}
+
+// exprByName resolves a service location or client name to its expression.
+func exprByName(f *parser.File, name string) (hexpr.Expr, error) {
+	if e, ok := f.Repo[hexpr.Location(name)]; ok {
+		return e, nil
+	}
+	if c, err := f.Client(name); err == nil {
+		return c.Expr, nil
+	}
+	return nil, fmt.Errorf("no service or client named %q", name)
+}
+
+func client(f *parser.File, name string) (parser.ClientDecl, error) {
+	if name == "" {
+		if len(f.Clients) == 1 {
+			return f.Clients[0], nil
+		}
+		return parser.ClientDecl{}, fmt.Errorf("the file declares %d clients; pick one with -client", len(f.Clients))
+	}
+	return f.Client(name)
+}
+
+func sortedLocs(repo network.Repository) []hexpr.Location { return repo.Locations() }
+
+func cmdParse(f *parser.File) error {
+	var aliases []string
+	for a := range f.Instances {
+		aliases = append(aliases, a)
+	}
+	sort.Strings(aliases)
+	for _, a := range aliases {
+		fmt.Printf("instance %-10s = %s\n", a, f.Instances[a])
+	}
+	for _, loc := range sortedLocs(f.Repo) {
+		fmt.Printf("service  %-10s = %s\n", loc, hexpr.Pretty(f.Repo[loc]))
+	}
+	for _, c := range f.Clients {
+		fmt.Printf("client   %-10s @ %s plan %s = %s\n", c.Name, c.Loc, c.Plan, hexpr.Pretty(c.Expr))
+	}
+	return nil
+}
+
+func cmdProject(f *parser.File) error {
+	for _, loc := range sortedLocs(f.Repo) {
+		fmt.Printf("%-10s ! = %s\n", loc, hexpr.Pretty(contract.Project(f.Repo[loc])))
+	}
+	for _, c := range f.Clients {
+		fmt.Printf("%-10s ! = %s\n", c.Name, hexpr.Pretty(contract.Project(c.Expr)))
+	}
+	return nil
+}
+
+// cmdCompliance prints, for every request body found in clients and
+// services, its compliance against every service of the repository.
+func cmdCompliance(f *parser.File) error {
+	type req struct {
+		owner string
+		id    hexpr.RequestID
+		body  hexpr.Expr
+	}
+	var reqs []req
+	collect := func(owner string, e hexpr.Expr) {
+		hexpr.Walk(e, func(x hexpr.Expr) {
+			if s, ok := x.(hexpr.Session); ok {
+				reqs = append(reqs, req{owner: owner, id: s.Req, body: s.Body})
+			}
+		})
+	}
+	for _, c := range f.Clients {
+		collect(c.Name, c.Expr)
+	}
+	for _, loc := range sortedLocs(f.Repo) {
+		collect(string(loc), f.Repo[loc])
+	}
+	locs := sortedLocs(f.Repo)
+	fmt.Printf("%-16s", "request")
+	for _, l := range locs {
+		fmt.Printf(" %-8s", l)
+	}
+	fmt.Println()
+	for _, r := range reqs {
+		fmt.Printf("%-16s", fmt.Sprintf("%s.%s", r.owner, r.id))
+		for _, l := range locs {
+			ok, err := compliance.Compliant(r.body, f.Repo[l])
+			if err != nil {
+				return err
+			}
+			mark := "no"
+			if ok {
+				mark = "YES"
+			}
+			fmt.Printf(" %-8s", mark)
+		}
+		fmt.Println()
+	}
+	return nil
+}
+
+// cmdValidity prints, for every service and every policy instance, whether
+// the service framed by the policy is valid.
+func cmdValidity(f *parser.File) error {
+	var aliases []string
+	for a := range f.Instances {
+		aliases = append(aliases, a)
+	}
+	sort.Strings(aliases)
+	fmt.Printf("%-10s", "service")
+	for _, a := range aliases {
+		fmt.Printf(" %-8s", a)
+	}
+	fmt.Println()
+	for _, loc := range sortedLocs(f.Repo) {
+		fmt.Printf("%-10s", loc)
+		for _, a := range aliases {
+			framed := hexpr.Frame(f.Instances[a], f.Repo[loc])
+			ok, err := valid.Valid(framed, f.Table)
+			if err != nil {
+				return err
+			}
+			mark := "VIOL"
+			if ok {
+				mark = "ok"
+			}
+			fmt.Printf(" %-8s", mark)
+		}
+		fmt.Println()
+	}
+	return nil
+}
+
+func cmdPlans(f *parser.File, name string, prune, jsonOut bool, workers int) error {
+	c, err := client(f, name)
+	if err != nil {
+		return err
+	}
+	as, err := plans.AssessAll(f.Repo, f.Table, c.Loc, c.Expr,
+		plans.Options{PruneNonCompliant: prune, Workers: workers})
+	if err != nil {
+		return err
+	}
+	if jsonOut {
+		type entry struct {
+			Plan   map[string]string `json:"plan"`
+			Report *verify.Report    `json:"report"`
+		}
+		out := make([]entry, len(as))
+		for i, a := range as {
+			m := map[string]string{}
+			for r, l := range a.Plan {
+				m[string(r)] = string(l)
+			}
+			out[i] = entry{Plan: m, Report: a.Report}
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(out)
+	}
+	validCount := 0
+	for _, a := range as {
+		fmt.Printf("%-30s %s\n", a.Plan, a.Report)
+		if a.Report.Verdict == verify.Valid {
+			validCount++
+		}
+	}
+	fmt.Printf("%d plan(s), %d valid\n", len(as), validCount)
+	return nil
+}
+
+func cmdCheck(f *parser.File, name string, jsonOut bool) error {
+	c, err := client(f, name)
+	if err != nil {
+		return err
+	}
+	if c.Plan == nil {
+		return fmt.Errorf("client %s declares no plan", c.Name)
+	}
+	r, err := verify.CheckPlan(f.Repo, f.Table, c.Loc, c.Expr, c.Plan)
+	if err != nil {
+		return err
+	}
+	if jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(r); err != nil {
+			return err
+		}
+	} else {
+		fmt.Printf("client %s under %s: %s\n", c.Name, c.Plan, r)
+	}
+	if r.Verdict != verify.Valid {
+		return fmt.Errorf("plan is not valid")
+	}
+	return nil
+}
+
+// cmdCheckAll validates every declared client in one product exploration,
+// optionally under bounded availability ("loc=n,loc=n").
+func cmdCheckAll(f *parser.File, capSpec string, jsonOut bool) error {
+	if len(f.Clients) == 0 {
+		return fmt.Errorf("the file declares no clients")
+	}
+	var specs []verify.ClientSpec
+	for _, c := range f.Clients {
+		if c.Plan == nil {
+			return fmt.Errorf("client %s declares no plan", c.Name)
+		}
+		specs = append(specs, verify.ClientSpec{Loc: c.Loc, Client: c.Expr, Plan: c.Plan})
+	}
+	opts := verify.Options{}
+	if capSpec != "" {
+		caps, err := parseCaps(capSpec)
+		if err != nil {
+			return err
+		}
+		opts.Capacities = caps
+	}
+	r, err := verify.CheckNetwork(f.Repo, f.Table, specs, opts)
+	if err != nil {
+		return err
+	}
+	if jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(r); err != nil {
+			return err
+		}
+	} else {
+		fmt.Printf("network of %d client(s): %s\n", len(specs), r)
+	}
+	if r.Verdict != verify.Valid {
+		return fmt.Errorf("network is not valid")
+	}
+	return nil
+}
+
+func cmdRun(f *parser.File, name string, seed int64, steps int, monitored, all bool, capSpec string) error {
+	var selected []parser.ClientDecl
+	if all {
+		selected = f.Clients
+	} else {
+		c, err := client(f, name)
+		if err != nil {
+			return err
+		}
+		selected = []parser.ClientDecl{c}
+	}
+	var clients []network.Client
+	for _, c := range selected {
+		if c.Plan == nil {
+			return fmt.Errorf("client %s declares no plan", c.Name)
+		}
+		clients = append(clients, network.Client{Loc: c.Loc, Expr: c.Expr, Plan: c.Plan})
+	}
+	cfg := network.NewConfig(f.Repo, f.Table, clients...)
+	if capSpec != "" {
+		caps, err := parseCaps(capSpec)
+		if err != nil {
+			return err
+		}
+		cfg.WithAvailability(caps)
+	}
+	opts := network.RunOptions{MaxSteps: steps, Monitored: monitored}
+	if seed != 0 {
+		opts.Rand = rand.New(rand.NewSource(seed))
+	}
+	res := cfg.Run(opts)
+	fmt.Printf("status: %s after %d steps\n", res.Status, res.Steps)
+	for _, e := range res.Trace {
+		fmt.Printf("  [%s] %s\n", selected[e.Comp].Name, e.Label)
+	}
+	for i, comp := range cfg.Comps {
+		fmt.Printf("history of %s: %s\n", selected[i].Name, comp.Hist)
+	}
+	return nil
+}
+
+// parseCaps parses "loc=n,loc=n" availability specs.
+func parseCaps(spec string) (map[hexpr.Location]int, error) {
+	out := map[hexpr.Location]int{}
+	for _, part := range strings.Split(spec, ",") {
+		name, val, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok {
+			return nil, fmt.Errorf("-cap wants loc=n pairs, got %q", part)
+		}
+		n := 0
+		if _, err := fmt.Sscanf(val, "%d", &n); err != nil {
+			return nil, fmt.Errorf("-cap %q: %v", part, err)
+		}
+		out[hexpr.Location(name)] = n
+	}
+	return out, nil
+}

@@ -1,0 +1,442 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"strings"
+	"testing"
+)
+
+// capture runs fn with os.Stdout redirected and returns what it printed.
+func capture(t *testing.T, fn func() error) (string, error) {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	defer func() { os.Stdout = old }()
+	errc := make(chan error, 1)
+	var buf bytes.Buffer
+	done := make(chan struct{})
+	go func() {
+		buf.ReadFrom(r)
+		close(done)
+	}()
+	errc <- fn()
+	w.Close()
+	<-done
+	os.Stdout = old
+	return buf.String(), <-errc
+}
+
+const hotelFile = "../../testdata/hotel.susc"
+
+func TestCmdParse(t *testing.T) {
+	out, err := capture(t, func() error { return run([]string{"parse", hotelFile}) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"instance phi1", "service  br", "client   c1"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("parse output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCmdProject(t *testing.T) {
+	out, err := capture(t, func() error { return run([]string{"project", hotelFile}) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "Req?") || strings.Contains(out, "sgn") {
+		t.Errorf("projection should keep communications and drop events:\n%s", out)
+	}
+}
+
+func TestCmdCompliance(t *testing.T) {
+	out, err := capture(t, func() error { return run([]string{"compliance", hotelFile}) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	// the broker's request r3 row: s2 must be "no"
+	found := false
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "br.r3") {
+			found = true
+			fields := strings.Fields(line)
+			// header order: br s1 s2 s3 s4
+			if fields[1] != "no" || fields[2] != "YES" || fields[3] != "no" ||
+				fields[4] != "YES" || fields[5] != "YES" {
+				t.Errorf("br.r3 row wrong: %q", line)
+			}
+		}
+	}
+	if !found {
+		t.Errorf("no br.r3 row:\n%s", out)
+	}
+}
+
+func TestCmdValidity(t *testing.T) {
+	out, err := capture(t, func() error { return run([]string{"validity", hotelFile}) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	var s1Line, s3Line string
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "s1") {
+			s1Line = line
+		}
+		if strings.HasPrefix(line, "s3") {
+			s3Line = line
+		}
+	}
+	// s1 violates both, s3 violates only phi2
+	if !strings.Contains(s1Line, "VIOL") {
+		t.Errorf("s1 line = %q", s1Line)
+	}
+	f := strings.Fields(s3Line)
+	if len(f) != 3 || f[1] != "ok" || f[2] != "VIOL" {
+		t.Errorf("s3 line = %q", s3Line)
+	}
+}
+
+func TestCmdPlans(t *testing.T) {
+	out, err := capture(t, func() error {
+		return run([]string{"plans", hotelFile, "-client", "c2"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "{r2>br,r3>s4}") || !strings.Contains(out, "1 valid") {
+		t.Errorf("plans output:\n%s", out)
+	}
+}
+
+func TestCmdCheck(t *testing.T) {
+	out, err := capture(t, func() error {
+		return run([]string{"check", hotelFile, "-client", "c1"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "valid") {
+		t.Errorf("check output:\n%s", out)
+	}
+}
+
+func TestCmdRun(t *testing.T) {
+	out, err := capture(t, func() error {
+		return run([]string{"run", hotelFile, "-client", "c1", "-seed", "3", "-monitor"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "status: completed") {
+		t.Errorf("run output:\n%s", out)
+	}
+	if !strings.Contains(out, "history of c1:") {
+		t.Errorf("run output missing history:\n%s", out)
+	}
+}
+
+func TestCmdErrors(t *testing.T) {
+	cases := [][]string{
+		{},
+		{"bogus", hotelFile},
+		{"parse"},
+		{"parse", "no-such-file.susc"},
+		{"plans", hotelFile}, // two clients, none picked
+		{"check", hotelFile, "-client", "nobody"}, // unknown client
+	}
+	for _, args := range cases {
+		if _, err := capture(t, func() error { return run(args) }); err == nil {
+			t.Errorf("run(%v) should fail", args)
+		}
+	}
+}
+
+func TestCmdCheckRejectsInvalidPlan(t *testing.T) {
+	dir := t.TempDir()
+	src, err := os.ReadFile(hotelFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := strings.Replace(string(src), "r3 -> s3", "r3 -> s2", 1)
+	path := dir + "/bad.susc"
+	if err := os.WriteFile(path, []byte(bad), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err = capture(t, func() error { return run([]string{"check", path, "-client", "c1"}) })
+	if err == nil || !strings.Contains(err.Error(), "not valid") {
+		t.Errorf("err = %v, want plan-not-valid", err)
+	}
+}
+
+func TestCmdFmtRoundTrip(t *testing.T) {
+	out, err := capture(t, func() error { return run([]string{"fmt", hotelFile}) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	path := dir + "/fmt.susc"
+	if err := os.WriteFile(path, []byte(out), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out2, err := capture(t, func() error { return run([]string{"fmt", path}) })
+	if err != nil {
+		t.Fatalf("formatted output failed to re-parse: %v\n%s", err, out)
+	}
+	if out != out2 {
+		t.Errorf("fmt not idempotent")
+	}
+	// the reformatted file still validates
+	if _, err := capture(t, func() error {
+		return run([]string{"check", path, "-client", "c1"})
+	}); err != nil {
+		t.Errorf("reformatted file fails check: %v", err)
+	}
+}
+
+func TestCmdDot(t *testing.T) {
+	out, err := capture(t, func() error {
+		return run([]string{"dot", hotelFile, "-policy", "phi"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "digraph") || !strings.Contains(out, "doublecircle") {
+		t.Errorf("policy dot output:\n%s", out)
+	}
+	out, err = capture(t, func() error {
+		return run([]string{"dot", hotelFile, "-lts", "br"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "open[r3,0]") {
+		t.Errorf("lts dot output misses the nested open:\n%s", out)
+	}
+	out, err = capture(t, func() error {
+		return run([]string{"dot", hotelFile, "-product", "br.r3", "-vs", "s2"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "color=red") {
+		t.Errorf("product dot should show the stuck state in red:\n%s", out)
+	}
+	// error paths
+	for _, args := range [][]string{
+		{"dot", hotelFile},
+		{"dot", hotelFile, "-policy", "zzz"},
+		{"dot", hotelFile, "-lts", "zzz"},
+		{"dot", hotelFile, "-product", "broken"},
+		{"dot", hotelFile, "-product", "br.r3", "-vs", "zzz"},
+		{"dot", hotelFile, "-product", "br.zzz", "-vs", "s2"},
+	} {
+		if _, err := capture(t, func() error { return run(args) }); err == nil {
+			t.Errorf("run(%v) should fail", args)
+		}
+	}
+}
+
+func TestCmdEffect(t *testing.T) {
+	out, err := capture(t, func() error {
+		return run([]string{"effect", "../../testdata/client.lam", "-decls", hotelFile})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"type   : unit", "Req!.(CoBo?.Pay! + NoAv?)", "{r1>br,r3>s3}"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("effect output missing %q:\n%s", want, out)
+		}
+	}
+	// without declarations: type and effect only
+	out, err = capture(t, func() error {
+		return run([]string{"effect", "../../testdata/client.lam"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(out, "plans") {
+		t.Errorf("effect without decls should not classify plans:\n%s", out)
+	}
+	// an ill-typed program fails
+	dir := t.TempDir()
+	bad := dir + "/bad.lam"
+	if err := os.WriteFile(bad, []byte("(fun x: int . x) ()"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := capture(t, func() error { return run([]string{"effect", bad}) }); err == nil {
+		t.Error("ill-typed program should fail")
+	}
+}
+
+func TestCmdSubstitutable(t *testing.T) {
+	out, err := capture(t, func() error {
+		return run([]string{"substitutable", hotelFile, "-old", "s1", "-new", "s3"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "EQUIVALENT") {
+		t.Errorf("s1/s3 should be equivalent:\n%s", out)
+	}
+	_, err = capture(t, func() error {
+		return run([]string{"substitutable", hotelFile, "-old", "s1", "-new", "s2"})
+	})
+	if err == nil {
+		t.Error("s2 must not substitute s1")
+	}
+	for _, args := range [][]string{
+		{"substitutable", hotelFile},
+		{"substitutable", hotelFile, "-old", "zzz", "-new", "s1"},
+		{"substitutable", hotelFile, "-old", "s1", "-new", "zzz"},
+	} {
+		if _, err := capture(t, func() error { return run(args) }); err == nil {
+			t.Errorf("run(%v) should fail", args)
+		}
+	}
+}
+
+func TestCmdDual(t *testing.T) {
+	out, err := capture(t, func() error {
+		return run([]string{"dual", hotelFile, "-of", "br.r3"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "dual     : IdC?.(Bok! (+) UnA!)") {
+		t.Errorf("dual output:\n%s", out)
+	}
+	out, err = capture(t, func() error {
+		return run([]string{"dual", hotelFile, "-of", "s1"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "dual     : IdC!.(Bok? + UnA?)") {
+		t.Errorf("dual of s1:\n%s", out)
+	}
+	for _, args := range [][]string{
+		{"dual", hotelFile},
+		{"dual", hotelFile, "-of", "zzz"},
+		{"dual", hotelFile, "-of", "br.zzz"},
+	} {
+		if _, err := capture(t, func() error { return run(args) }); err == nil {
+			t.Errorf("run(%v) should fail", args)
+		}
+	}
+}
+
+func TestCmdCheckAll(t *testing.T) {
+	out, err := capture(t, func() error { return run([]string{"checkall", hotelFile}) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "network of 2 client(s): valid") {
+		t.Errorf("checkall output:\n%s", out)
+	}
+	// bounded availability still verifies (sessions are sequential enough)
+	out, err = capture(t, func() error {
+		return run([]string{"checkall", hotelFile, "-cap", "br=1,s3=1,s4=1"})
+	})
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	// zero brokers: both clients are stuck at their first open
+	_, err = capture(t, func() error {
+		return run([]string{"checkall", hotelFile, "-cap", "br=0"})
+	})
+	if err == nil {
+		t.Error("checkall with no brokers should fail")
+	}
+	// malformed -cap
+	for _, bad := range []string{"br", "br=x"} {
+		if _, err := capture(t, func() error {
+			return run([]string{"checkall", hotelFile, "-cap", bad})
+		}); err == nil {
+			t.Errorf("-cap %q should fail", bad)
+		}
+	}
+}
+
+func TestCmdJSONOutput(t *testing.T) {
+	out, err := capture(t, func() error {
+		return run([]string{"check", hotelFile, "-client", "c1", "-json"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var report struct {
+		Verdict string `json:"verdict"`
+		States  int    `json:"states"`
+	}
+	if err := json.Unmarshal([]byte(out), &report); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, out)
+	}
+	if report.Verdict != "valid" || report.States == 0 {
+		t.Errorf("report = %+v", report)
+	}
+	out, err = capture(t, func() error {
+		return run([]string{"plans", hotelFile, "-client", "c1", "-json"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var assessments []struct {
+		Plan   map[string]string `json:"plan"`
+		Report struct {
+			Verdict string `json:"verdict"`
+		} `json:"report"`
+	}
+	if err := json.Unmarshal([]byte(out), &assessments); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, out)
+	}
+	validCount := 0
+	for _, a := range assessments {
+		if a.Report.Verdict == "valid" {
+			validCount++
+			if a.Plan["r3"] != "s3" {
+				t.Errorf("valid plan = %v", a.Plan)
+			}
+		}
+	}
+	if validCount != 1 {
+		t.Errorf("valid plans in JSON = %d", validCount)
+	}
+}
+
+func TestCmdRunAll(t *testing.T) {
+	out, err := capture(t, func() error {
+		return run([]string{"run", hotelFile, "-all", "-seed", "5", "-monitor"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"status: completed", "history of c1:", "history of c2:", "[c2]"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("run -all output missing %q:\n%s", want, out)
+		}
+	}
+	// with zero broker replicas both clients starve
+	out, err = capture(t, func() error {
+		return run([]string{"run", hotelFile, "-all", "-cap", "br=0"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "status: deadlock") {
+		t.Errorf("capacity-starved run should deadlock:\n%s", out)
+	}
+	// malformed cap on run
+	if _, err := capture(t, func() error {
+		return run([]string{"run", hotelFile, "-all", "-cap", "oops"})
+	}); err == nil {
+		t.Error("malformed -cap should fail")
+	}
+}

@@ -1,0 +1,11 @@
+// Package susc is a Go reproduction of "Secure and Unfailing Services"
+// (Basile, Degano, Ferrari): history expressions with communication,
+// usage-automata security policies, history-dependent validity, behavioural
+// contracts and compliance via product automata, networks of services with
+// plans, and static extraction of valid plans — so that verified
+// orchestrations run with no run-time monitor.
+//
+// The implementation lives under internal/ (see DESIGN.md for the map);
+// cmd/susc is the command-line front end and examples/ holds runnable
+// walkthroughs, starting with examples/quickstart.
+package susc

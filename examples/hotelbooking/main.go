@@ -1,0 +1,217 @@
+// Hotelbooking reproduces, end to end, the running example of §2 of
+// "Secure and Unfailing Services": the policy of Figure 1, the clients,
+// broker and hotels of Figure 2, the computation fragment of Figure 3, and
+// the plan-validity claims of the section. Its output is the ground truth
+// recorded in EXPERIMENTS.md.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"susc/internal/compliance"
+	"susc/internal/contract"
+	"susc/internal/hexpr"
+	"susc/internal/network"
+	"susc/internal/paperex"
+	"susc/internal/plans"
+	"susc/internal/valid"
+)
+
+func main() {
+	fig1()
+	fig2Compliance()
+	securityMatrix()
+	planClassification()
+	fig3()
+}
+
+// fig1 instantiates φ(bl,p,t) twice and classifies each hotel's trace.
+func fig1() {
+	fmt.Println("== Figure 1: the policy phi(bl, p, t) ==")
+	hotels := []struct {
+		name   string
+		id     string
+		price  int
+		rating int
+	}{
+		{"S1", "s1", 45, 80},
+		{"S2", "s2", 70, 100},
+		{"S3", "s3", 90, 100},
+		{"S4", "s4", 50, 90},
+	}
+	phis := []struct {
+		name string
+		in   interface {
+			Recognizes([]hexpr.Event) bool
+		}
+	}{
+		{"phi1 = phi({s1},45,100)", paperex.Phi1()},
+		{"phi2 = phi({s1,s3},40,70)", paperex.Phi2()},
+	}
+	for _, p := range phis {
+		fmt.Printf("  %s:\n", p.name)
+		for _, h := range hotels {
+			trace := []hexpr.Event{
+				hexpr.E(paperex.EvSgn, hexpr.Sym(h.id)),
+				hexpr.E(paperex.EvPrice, hexpr.Int(h.price)),
+				hexpr.E(paperex.EvRating, hexpr.Int(h.rating)),
+			}
+			verdict := "respects"
+			if p.in.Recognizes(trace) {
+				verdict = "VIOLATES"
+			}
+			fmt.Printf("    %s sgn(%s) price(%d) rating(%d): %s\n",
+				h.name, h.id, h.price, h.rating, verdict)
+		}
+	}
+}
+
+// fig2Compliance prints the projections and the compliance matrix.
+func fig2Compliance() {
+	fmt.Println("== Figure 2: contracts and compliance ==")
+	br := paperex.Broker()
+	fmt.Printf("  Br! = %s\n", hexpr.Pretty(contract.Project(br)))
+	body, _, err := contract.RequestBody(br, "r3")
+	if err != nil {
+		log.Fatal(err)
+	}
+	hotels := []struct {
+		name string
+		e    hexpr.Expr
+	}{
+		{"S1", paperex.S1()}, {"S2", paperex.S2()}, {"S3", paperex.S3()}, {"S4", paperex.S4()},
+	}
+	for _, h := range hotels {
+		ok, err := compliance.Compliant(body, h.e)
+		if err != nil {
+			log.Fatal(err)
+		}
+		mark := "compliant with Br"
+		if !ok {
+			w := "?"
+			if p, err := compliance.NewProduct(body, h.e); err == nil {
+				if wit := p.FindWitness(); wit != nil {
+					w = wit.String()
+				}
+			}
+			mark = "NOT compliant with Br (" + w + ")"
+		}
+		fmt.Printf("  %s (%s): %s\n", h.name, hexpr.Pretty(contract.Project(h.e)), mark)
+	}
+	for _, c := range []struct {
+		name string
+		e    hexpr.Expr
+		req  hexpr.RequestID
+	}{{"C1", paperex.C1(), "r1"}, {"C2", paperex.C2(), "r2"}} {
+		b, _, err := contract.RequestBody(c.e, c.req)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ok, err := compliance.Compliant(b, br)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %s compliant with Br: %v\n", c.name, ok)
+	}
+}
+
+// securityMatrix checks each hotel against each client's policy.
+func securityMatrix() {
+	fmt.Println("== Security: hotels under the clients' policies ==")
+	table := paperex.Policies()
+	for _, p := range []struct {
+		name string
+		id   hexpr.PolicyID
+	}{{"phi1", paperex.Phi1().ID()}, {"phi2", paperex.Phi2().ID()}} {
+		for name, e := range map[string]hexpr.Expr{
+			"S1": paperex.S1(), "S2": paperex.S2(), "S3": paperex.S3(), "S4": paperex.S4(),
+		} {
+			ok, err := valid.Valid(hexpr.Frame(p.id, e), table)
+			if err != nil {
+				log.Fatal(err)
+			}
+			verdict := "ok"
+			if !ok {
+				verdict = "VIOLATION"
+			}
+			fmt.Printf("  %s under %s: %s\n", name, p.name, verdict)
+		}
+	}
+}
+
+// planClassification enumerates and classifies every plan of both clients.
+func planClassification() {
+	fmt.Println("== Plans (Sect. 2): validity classification ==")
+	repo := paperex.Repository()
+	table := paperex.Policies()
+	for _, c := range []struct {
+		name string
+		loc  hexpr.Location
+		e    hexpr.Expr
+	}{
+		{"C1", paperex.LocC1, paperex.C1()},
+		{"C2", paperex.LocC2, paperex.C2()},
+	} {
+		as, err := plans.AssessAll(repo, table, c.loc, c.e, plans.Options{PruneNonCompliant: false})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %s:\n", c.name)
+		for _, a := range as {
+			fmt.Printf("    %-20s %s\n", a.Plan, a.Report)
+		}
+	}
+}
+
+// fig3 replays the computation fragment of Figure 3 and prints it.
+func fig3() {
+	fmt.Println("== Figure 3: the computation fragment ==")
+	phi1 := paperex.Phi1().ID()
+	phi2 := paperex.Phi2().ID()
+	cfg := network.NewConfig(paperex.Repository(), paperex.Policies(),
+		network.Client{Loc: paperex.LocC1, Expr: paperex.C1(),
+			Plan: network.Plan{"r1": paperex.LocBr, "r3": paperex.LocS3}},
+		network.Client{Loc: paperex.LocC2, Expr: paperex.C2(),
+			Plan: network.Plan{"r2": paperex.LocBr, "r3": paperex.LocS4}},
+	)
+	steps := []network.TraceEntry{
+		{Comp: 0, Label: hexpr.OpenLabel("r1", phi1)},
+		{Comp: 0, Label: hexpr.Tau},
+		{Comp: 0, Label: hexpr.OpenLabel("r3", hexpr.NoPolicy)},
+		{Comp: 1, Label: hexpr.OpenLabel("r2", phi2)},
+		{Comp: 0, Label: hexpr.EventLabel(hexpr.E(paperex.EvSgn, hexpr.Sym("s3")))},
+		{Comp: 0, Label: hexpr.EventLabel(hexpr.E(paperex.EvPrice, hexpr.Int(90)))},
+		{Comp: 0, Label: hexpr.EventLabel(hexpr.E(paperex.EvRating, hexpr.Int(100)))},
+		{Comp: 0, Label: hexpr.Tau},
+		{Comp: 0, Label: hexpr.Tau},
+		{Comp: 0, Label: hexpr.CloseLabel("r3", hexpr.NoPolicy)},
+		{Comp: 0, Label: hexpr.Tau},
+		{Comp: 0, Label: hexpr.CloseLabel("r1", phi1)},
+		{Comp: 1, Label: hexpr.Tau},
+	}
+	if at := cfg.Replay(steps, true); at != -1 {
+		log.Fatalf("figure 3 trace failed at step %d", at)
+	}
+	descr := []string{
+		"C1 opens session 1 with the broker (policy phi1 activates)",
+		"Req: the broker accepts C1's request",
+		"the broker opens nested session 3 with S3",
+		"C2 opens session 2 concurrently (policy phi2 activates)",
+		"S3 signs the contract",
+		"S3 publishes its price",
+		"S3 publishes its rating",
+		"IdC: the broker forwards the client data",
+		"UnA: no rooms available",
+		"session 3 closes",
+		"NoAv: the broker forwards the answer to C1",
+		"session 1 closes (phi1 deactivates)",
+		"Req: C2's broker instance accepts its request",
+	}
+	for i, s := range steps {
+		fmt.Printf("  %2d. [comp %d] %-28s %s\n", i+1, s.Comp, s.Label, descr[i])
+	}
+	fmt.Printf("  C1 history: %s\n", cfg.Comps[0].Hist)
+	fmt.Printf("  C1 terminated: %v; C2 still running: %v\n",
+		network.Done(cfg.Comps[0].Tree), !network.Done(cfg.Comps[1].Tree))
+}

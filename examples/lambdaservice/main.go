@@ -1,0 +1,109 @@
+// Lambdaservice demonstrates the language front end: service code is
+// written in the call-by-contract λ-calculus, its history expression is
+// extracted by the type and effect system, and the extracted behaviour is
+// fed to the paper's analyses — compliance against a published service and
+// plan validation — without ever writing a history expression by hand.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"susc/internal/hexpr"
+	"susc/internal/lambda"
+	"susc/internal/network"
+	"susc/internal/paperex"
+	"susc/internal/parser"
+	"susc/internal/verify"
+)
+
+func main() {
+	// The client program: open a session with the booking broker under
+	// φ₁, send the request, then settle the bill on confirmation or accept
+	// the no-availability answer. This is C1 of the paper, as a program.
+	prog := lambda.Request{
+		Req:    "r1",
+		Policy: paperex.Phi1().ID(),
+		Body: lambda.Select{Branches: []lambda.CommBranch{
+			{Channel: "Req", Body: lambda.Branch{Branches: []lambda.CommBranch{
+				{Channel: "CoBo", Body: lambda.Select{Branches: []lambda.CommBranch{
+					{Channel: "Pay", Body: lambda.Unit{}},
+				}}},
+				{Channel: "NoAv", Body: lambda.Unit{}},
+			}}},
+		}},
+	}
+
+	fmt.Println("== the client program ==")
+	fmt.Println(" ", prog)
+
+	ty, eff, err := lambda.InferClosed(prog)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("== type and effect ==")
+	fmt.Printf("  type   : %s\n", ty)
+	fmt.Printf("  effect : %s\n", hexpr.Pretty(eff))
+	if !hexpr.Equal(eff, paperex.C1()) {
+		log.Fatal("the extracted effect should coincide with the paper's C1")
+	}
+	fmt.Println("  (the effect coincides with C1 of the paper)")
+
+	fmt.Println("== validating plans for the extracted effect ==")
+	repo := paperex.Repository()
+	table := paperex.Policies()
+	for _, loc := range []hexpr.Location{paperex.LocS1, paperex.LocS2, paperex.LocS3, paperex.LocS4} {
+		plan := network.Plan{"r1": paperex.LocBr, "r3": loc}
+		r, err := verify.CheckPlan(repo, table, "client", eff, plan)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  r3 -> %-3s : %s\n", loc, r)
+	}
+
+	// A second program: a pure (communication-free) audit routine whose
+	// effect can be checked AND which can simply be run.
+	audit := lambda.Enforce{
+		Policy: paperex.Phi1().ID(),
+		Body: lambda.Seq{
+			First: lambda.Fire{Event: hexpr.E(paperex.EvSgn, hexpr.Sym("s3"))},
+			Then: lambda.Seq{
+				First: lambda.Fire{Event: hexpr.E(paperex.EvPrice, hexpr.Int(90))},
+				Then:  lambda.Fire{Event: hexpr.E(paperex.EvRating, hexpr.Int(100))},
+			},
+		},
+	}
+	fmt.Println("== a communication-free audit routine ==")
+	_, aeff, err := lambda.InferClosed(audit)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  effect : %s\n", hexpr.Pretty(aeff))
+	v, hist, err := lambda.Eval(audit, 1000)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  run    : value %s, history %s\n", v, hist)
+
+	// Finally, run ACTUAL λ-programs as the network: the broker program
+	// opens its nested session with the hotel program, all under the
+	// verified plan — monitor off.
+	fmt.Println("== running the λ-programs under the verified plan ==")
+	broker := parser.MustParseLambda(`
+branch { Req =>
+  open r3 { select { IdC => branch { Bok => () | UnA => () } } };
+  select { CoBo => branch { Pay => () } | NoAv => () }
+}`)
+	hotelS3 := parser.MustParseLambda(`
+fire sgn(s3); fire price(90); fire rating(100);
+branch { IdC => select { Bok => () | UnA => () } }`)
+	lamRepo := lambda.ServiceRepo{"br": broker, "s3": hotelS3}
+	res, err := lambda.RunNetwork(prog, "c1", lamRepo,
+		network.Plan{"r1": "br", "r3": "s3"}, lambda.NetOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  status : %s\n", res.Status)
+	fmt.Printf("  history: %s\n", res.Hist)
+	fmt.Printf("  synced : %v\n", res.Synchronised)
+}

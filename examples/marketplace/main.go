@@ -1,0 +1,113 @@
+// Marketplace is a larger scenario written in the surface language: a
+// buyer contacts a marketplace, which pays through a gateway and ships
+// through a courier, with a tracking loop (recursion) between marketplace
+// and courier. Two policies constrain the orchestration — a fraud cap on
+// charges and an export restriction on routing — and one courier has a
+// non-compliant contract (it may report the parcel Lost, which the
+// marketplace cannot handle). Plan synthesis finds the single valid
+// orchestration; the example then runs it with the monitor off.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"susc/internal/network"
+	"susc/internal/parser"
+	"susc/internal/plans"
+	"susc/internal/verify"
+)
+
+const source = `
+policy nofraud(limit int) {
+  states q0 qv;
+  start q0;
+  final qv;
+  edge q0 -> qv on charge(x) when x > limit;
+}
+
+policy noexport(banned set) {
+  states q0 qv;
+  start q0;
+  final qv;
+  edge q0 -> qv on route(r) when r in banned;
+}
+
+instance fraud100 = nofraud(limit = 100);
+instance euOnly   = noexport(banned = {offshore});
+
+// payment gateways
+service pgfair   = Charge? . charge(80)  . (OK! (+) Fail!);
+service pggreedy = Charge? . charge(120) . (OK! (+) Fail!);
+
+// couriers; the slow one may lose parcels, which the marketplace cannot
+// handle, and the offshore one routes through a banned region
+service fastcourier     = Pickup? . route(eu) . mu h . (Track! . h (+) Deliver!);
+service slowcourier     = Pickup? . route(eu) . mu h . (Track! . h (+) Deliver! (+) Lost!);
+service offshorecourier = Pickup? . route(offshore) . mu h . (Track! . h (+) Deliver!);
+
+// the marketplace: take the order, charge, ship, confirm
+service market = Buy? .
+    open rp { Charge! . (OK? + Fail?) } .
+    open rc { Pickup! . mu k . (Track? . k + Deliver?) } .
+    (Conf! (+) Abort!);
+
+client buyer at buyer plan { r0 -> market, rp -> pgfair, rc -> fastcourier } =
+    open r0 with fraud100 { enforce euOnly { Buy! . (Conf? + Abort?) } };
+`
+
+func main() {
+	f, err := parser.ParseFile(source)
+	if err != nil {
+		log.Fatal(err)
+	}
+	buyer, err := f.Client("buyer")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("== classifying every orchestration of the buyer ==")
+	as, err := plans.AssessAll(f.Repo, f.Table, buyer.Loc, buyer.Expr,
+		plans.Options{PruneNonCompliant: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	validCount := 0
+	for _, a := range as {
+		fmt.Printf("  %-48s %s\n", a.Plan, a.Report)
+		if a.Report.Verdict == verify.Valid {
+			validCount++
+		}
+	}
+	fmt.Printf("  => %d assessed under pruning, %d valid\n", len(as), validCount)
+
+	fmt.Println("== full (unpruned) classification, for the record ==")
+	all, err := plans.AssessAll(f.Repo, f.Table, buyer.Loc, buyer.Expr, plans.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	byVerdict := map[verify.Verdict]int{}
+	for _, a := range all {
+		byVerdict[a.Report.Verdict]++
+	}
+	fmt.Printf("  %d total plans: %d valid, %d security violations, %d non-compliant, %d deadlocked/unbounded\n",
+		len(all), byVerdict[verify.Valid], byVerdict[verify.SecurityViolation],
+		byVerdict[verify.NotCompliant],
+		byVerdict[verify.CommunicationDeadlock]+byVerdict[verify.UnboundedNesting])
+
+	fmt.Println("== validating and running the declared plan ==")
+	report, err := verify.CheckPlan(f.Repo, f.Table, buyer.Loc, buyer.Expr, buyer.Plan)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  static verdict: %s\n", report)
+	if report.Verdict != verify.Valid {
+		log.Fatal("declared plan is invalid")
+	}
+	cfg := network.NewConfig(f.Repo, f.Table,
+		network.Client{Loc: buyer.Loc, Expr: buyer.Expr, Plan: buyer.Plan})
+	res := cfg.Run(network.RunOptions{Rand: rand.New(rand.NewSource(7))})
+	fmt.Printf("  run: %s in %d steps (monitor off — the plan is verified)\n", res.Status, res.Steps)
+	fmt.Printf("  history: %s\n", cfg.Comps[0].Hist)
+}

@@ -1,0 +1,97 @@
+// Quickstart: build a client and two candidate services programmatically,
+// check compliance and security, synthesize the valid plans, and run the
+// network — the whole pipeline of "Secure and Unfailing Services" in one
+// page.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"susc/internal/compliance"
+	"susc/internal/hexpr"
+	"susc/internal/network"
+	"susc/internal/plans"
+	"susc/internal/policy"
+	"susc/internal/verify"
+)
+
+func main() {
+	// A policy from the standard templates: shipping requires a prior
+	// payment (the automaton recognises the violation ship-before-paid).
+	payFirst := policy.MustInstance(policy.RequireBefore("payFirst", "paid", 0, "ship", 0))
+	table := policy.NewTable(payFirst)
+
+	// The client: open a session enforcing payFirst, send an order, then
+	// either receive the parcel or a rejection.
+	client := hexpr.Open("r1", payFirst.ID(),
+		hexpr.SendThen("Order", hexpr.Ext(
+			hexpr.B(hexpr.In("Parcel"), hexpr.Eps()),
+			hexpr.B(hexpr.In("Reject"), hexpr.Eps()),
+		)))
+
+	// A well-behaved shop: records the payment, then ships or rejects.
+	goodShop := hexpr.RecvThen("Order", hexpr.Cat(
+		hexpr.Act(hexpr.E("paid")),
+		hexpr.Act(hexpr.E("ship")),
+		hexpr.IntCh(
+			hexpr.B(hexpr.Out("Parcel"), hexpr.Eps()),
+			hexpr.B(hexpr.Out("Reject"), hexpr.Eps()),
+		)))
+
+	// A rogue shop: ships before the payment is recorded...
+	rogueShop := hexpr.RecvThen("Order", hexpr.Cat(
+		hexpr.Act(hexpr.E("ship")),
+		hexpr.Act(hexpr.E("paid")),
+		hexpr.SendThen("Parcel", hexpr.Eps())))
+
+	// ...and a chatty shop that may answer on a channel the client cannot
+	// handle.
+	chattyShop := hexpr.RecvThen("Order", hexpr.Cat(
+		hexpr.Act(hexpr.E("paid")),
+		hexpr.IntCh(
+			hexpr.B(hexpr.Out("Parcel"), hexpr.Eps()),
+			hexpr.B(hexpr.Out("Backorder"), hexpr.Eps()),
+		)))
+
+	repo := network.Repository{
+		"good":   goodShop,
+		"rogue":  rogueShop,
+		"chatty": chattyShop,
+	}
+
+	fmt.Println("== compliance of the client's request against each shop ==")
+	body := client.(hexpr.Session).Body
+	for _, loc := range repo.Locations() {
+		ok, err := compliance.Compliant(body, repo[loc])
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-8s compliant: %v\n", loc, ok)
+	}
+
+	fmt.Println("== plan classification ==")
+	as, err := plans.AssessAll(repo, table, "cl", client, plans.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, a := range as {
+		fmt.Printf("  %-16s %s\n", a.Plan, a.Report)
+	}
+
+	fmt.Println("== running the only valid plan, monitor off ==")
+	valid, err := plans.Synthesize(repo, table, "cl", client, plans.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if len(valid) != 1 {
+		log.Fatalf("expected exactly one valid plan, got %v", valid)
+	}
+	if ok, _ := verify.ValidPlan(repo, table, "cl", client, valid[0]); !ok {
+		log.Fatal("synthesized plan failed re-validation")
+	}
+	cfg := network.NewConfig(repo, table, network.Client{Loc: "cl", Expr: client, Plan: valid[0]})
+	res := cfg.Run(network.RunOptions{})
+	fmt.Printf("  status : %s in %d steps\n", res.Status, res.Steps)
+	fmt.Printf("  history: %s\n", cfg.Comps[0].Hist)
+}

@@ -1,0 +1,80 @@
+// Ratelimited demonstrates the two §5 extensions implemented by the
+// toolkit on top of the paper: *bounded service availability* (services no
+// longer replicate unboundedly; sessions consume replicas) and
+// *quantitative policies* (counting usage automata bounding how many times
+// an event may fire). A crawler client fans out nested fetch sessions and
+// must respect both a download quota and the worker pool size.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"susc/internal/hexpr"
+	"susc/internal/network"
+	"susc/internal/plans"
+	"susc/internal/policy"
+	"susc/internal/verify"
+)
+
+func main() {
+	// Quantitative policy: at most 2 downloads per session.
+	quota := policy.MustCounting("quota", "download", 1, 2).
+		MustInstantiate(policy.Binding{})
+	table := policy.NewTable(quota)
+
+	// A fetch worker: receives a URL request, fires the download event,
+	// returns the page.
+	worker := hexpr.RecvThen("Fetch", hexpr.Cat(
+		hexpr.Act(hexpr.E("download", hexpr.Int(1))),
+		hexpr.SendThen("Page", hexpr.Eps()),
+	))
+
+	// A greedy worker downloads twice per request (mirror + original).
+	greedy := hexpr.RecvThen("Fetch", hexpr.Cat(
+		hexpr.Act(hexpr.E("download", hexpr.Int(1))),
+		hexpr.Act(hexpr.E("download", hexpr.Int(2))),
+		hexpr.SendThen("Page", hexpr.Eps()),
+	))
+
+	repo := network.Repository{"worker": worker, "greedy": greedy}
+
+	// The crawler opens two nested fetch sessions under the quota.
+	crawler := hexpr.Open("r1", quota.ID(),
+		hexpr.SendThen("Fetch", hexpr.RecvThen("Page",
+			hexpr.Open("r2", hexpr.NoPolicy,
+				hexpr.SendThen("Fetch", hexpr.RecvThen("Page", hexpr.Eps()))))))
+
+	fmt.Println("== plan classification under the download quota (<= 2) ==")
+	as, err := plans.AssessAll(repo, table, "crawler", crawler, plans.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, a := range as {
+		fmt.Printf("  %-36s %s\n", a.Plan, a.Report)
+	}
+
+	plan := network.Plan{"r1": "worker", "r2": "worker"}
+	fmt.Println("== bounded availability of the worker pool ==")
+	for _, replicas := range []int{1, 2} {
+		caps := map[hexpr.Location]int{"worker": replicas}
+		r, err := verify.CheckPlanOpts(repo, table, "crawler", crawler, plan,
+			verify.Options{Capacities: caps})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %d replica(s): static verdict %s\n", replicas, r)
+		cfg := network.NewConfig(repo, table,
+			network.Client{Loc: "crawler", Expr: crawler, Plan: plan}).
+			WithAvailability(caps)
+		res := cfg.Run(network.RunOptions{})
+		fmt.Printf("               runtime: %s in %d steps\n", res.Status, res.Steps)
+	}
+
+	fmt.Println("== running the verified configuration ==")
+	cfg := network.NewConfig(repo, table,
+		network.Client{Loc: "crawler", Expr: crawler, Plan: plan}).
+		WithAvailability(map[hexpr.Location]int{"worker": 2})
+	res := cfg.Run(network.RunOptions{})
+	fmt.Printf("  %s; history: %s\n", res.Status, cfg.Comps[0].Hist)
+}

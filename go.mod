@@ -1,0 +1,3 @@
+module susc
+
+go 1.22

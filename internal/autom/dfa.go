@@ -1,0 +1,299 @@
+package autom
+
+import (
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// DFA is a deterministic, complete finite automaton over an explicit
+// alphabet. Missing transitions are directed to an implicit rejecting sink
+// by Determinize, so every DFA produced here is total over its alphabet.
+type DFA struct {
+	// Alphabet is the sorted symbol set.
+	Alphabet []string
+	// Trans[s][i] is the successor of state s on Alphabet[i].
+	Trans [][]int
+	// Accept[s] reports whether s is accepting.
+	Accept []bool
+	// Start is the initial state.
+	Start int
+}
+
+// NumStates returns the number of states.
+func (d *DFA) NumStates() int { return len(d.Trans) }
+
+// symIndex returns the index of sym in the alphabet, or -1.
+func (d *DFA) symIndex(sym string) int {
+	i := sort.SearchStrings(d.Alphabet, sym)
+	if i < len(d.Alphabet) && d.Alphabet[i] == sym {
+		return i
+	}
+	return -1
+}
+
+// Accepts reports whether d accepts the word. Symbols outside the alphabet
+// make the word rejected.
+func (d *DFA) Accepts(word []string) bool {
+	s := d.Start
+	for _, sym := range word {
+		i := d.symIndex(sym)
+		if i < 0 {
+			return false
+		}
+		s = d.Trans[s][i]
+	}
+	return d.Accept[s]
+}
+
+// Determinize converts the NFA to an equivalent complete DFA via the subset
+// construction, over the given alphabet (defaulting to the NFA's own
+// alphabet when alphabet is nil).
+func (a *NFA) Determinize(alphabet []string) *DFA {
+	if alphabet == nil {
+		alphabet = a.Alphabet()
+	} else {
+		alphabet = append([]string(nil), alphabet...)
+		sort.Strings(alphabet)
+	}
+	d := &DFA{Alphabet: alphabet}
+	key := func(set []int) string {
+		parts := make([]string, len(set))
+		for i, s := range set {
+			parts[i] = strconv.Itoa(s)
+		}
+		return strings.Join(parts, ",")
+	}
+	index := map[string]int{}
+	var sets [][]int
+	add := func(set []int) int {
+		sort.Ints(set)
+		k := key(set)
+		if i, ok := index[k]; ok {
+			return i
+		}
+		i := len(sets)
+		index[k] = i
+		sets = append(sets, set)
+		acc := false
+		for _, s := range set {
+			if a.accept[s] {
+				acc = true
+				break
+			}
+		}
+		d.Accept = append(d.Accept, acc)
+		d.Trans = append(d.Trans, nil)
+		return i
+	}
+	d.Start = add([]int{a.start})
+	for i := 0; i < len(sets); i++ {
+		row := make([]int, len(alphabet))
+		for ai, sym := range alphabet {
+			targetSet := map[int]bool{}
+			for _, s := range sets[i] {
+				for _, t := range a.edges[s][sym] {
+					targetSet[t] = true
+				}
+			}
+			target := make([]int, 0, len(targetSet))
+			for t := range targetSet {
+				target = append(target, t)
+			}
+			row[ai] = add(target) // empty set becomes the rejecting sink
+		}
+		d.Trans[i] = row
+	}
+	return d
+}
+
+// Complement returns a DFA accepting exactly the words over the same
+// alphabet that d rejects.
+func (d *DFA) Complement() *DFA {
+	out := &DFA{Alphabet: d.Alphabet, Start: d.Start, Trans: d.Trans}
+	out.Accept = make([]bool, len(d.Accept))
+	for i, a := range d.Accept {
+		out.Accept[i] = !a
+	}
+	return out
+}
+
+// Product returns the synchronous product of d and e with the given
+// acceptance combiner (e.g. intersection: both accepting). The alphabets
+// must be equal.
+func (d *DFA) Product(e *DFA, acceptBoth func(a, b bool) bool) *DFA {
+	if len(d.Alphabet) != len(e.Alphabet) {
+		panic("autom: product over different alphabets")
+	}
+	for i := range d.Alphabet {
+		if d.Alphabet[i] != e.Alphabet[i] {
+			panic("autom: product over different alphabets")
+		}
+	}
+	type pair struct{ a, b int }
+	index := map[pair]int{}
+	var pairs []pair
+	out := &DFA{Alphabet: d.Alphabet}
+	add := func(p pair) int {
+		if i, ok := index[p]; ok {
+			return i
+		}
+		i := len(pairs)
+		index[p] = i
+		pairs = append(pairs, p)
+		out.Accept = append(out.Accept, acceptBoth(d.Accept[p.a], e.Accept[p.b]))
+		out.Trans = append(out.Trans, nil)
+		return i
+	}
+	out.Start = add(pair{d.Start, e.Start})
+	for i := 0; i < len(pairs); i++ {
+		p := pairs[i]
+		row := make([]int, len(out.Alphabet))
+		for ai := range out.Alphabet {
+			row[ai] = add(pair{d.Trans[p.a][ai], e.Trans[p.b][ai]})
+		}
+		out.Trans[i] = row
+	}
+	return out
+}
+
+// Intersect returns a DFA for L(d) ∩ L(e).
+func (d *DFA) Intersect(e *DFA) *DFA {
+	return d.Product(e, func(a, b bool) bool { return a && b })
+}
+
+// IsEmpty reports whether the accepted language is empty.
+func (d *DFA) IsEmpty() bool { return d.AcceptingPath() == nil }
+
+// AcceptingPath returns a shortest accepted word, or nil when the language
+// is empty.
+func (d *DFA) AcceptingPath() []string {
+	type item struct {
+		state int
+		word  []string
+	}
+	seen := make([]bool, len(d.Trans))
+	queue := []item{{state: d.Start}}
+	seen[d.Start] = true
+	for len(queue) > 0 {
+		it := queue[0]
+		queue = queue[1:]
+		if d.Accept[it.state] {
+			return append([]string{}, it.word...)
+		}
+		for ai, sym := range d.Alphabet {
+			t := d.Trans[it.state][ai]
+			if !seen[t] {
+				seen[t] = true
+				queue = append(queue, item{state: t, word: append(append([]string(nil), it.word...), sym)})
+			}
+		}
+	}
+	return nil
+}
+
+// Minimize returns the minimal DFA equivalent to d (Moore's partition
+// refinement restricted to reachable states).
+func (d *DFA) Minimize() *DFA {
+	// restrict to reachable states
+	reach := make([]bool, len(d.Trans))
+	stack := []int{d.Start}
+	reach[d.Start] = true
+	for len(stack) > 0 {
+		s := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, t := range d.Trans[s] {
+			if !reach[t] {
+				reach[t] = true
+				stack = append(stack, t)
+			}
+		}
+	}
+	// initial partition: accepting vs not (reachable only)
+	class := make([]int, len(d.Trans))
+	for s := range class {
+		class[s] = -1
+	}
+	for s := range d.Trans {
+		if !reach[s] {
+			continue
+		}
+		if d.Accept[s] {
+			class[s] = 1
+		} else {
+			class[s] = 0
+		}
+	}
+	for {
+		// signature: (class, classes of successors)
+		sig := map[string][]int{}
+		var order []string
+		for s := range d.Trans {
+			if !reach[s] {
+				continue
+			}
+			var b strings.Builder
+			b.WriteString(strconv.Itoa(class[s]))
+			for _, t := range d.Trans[s] {
+				b.WriteByte('|')
+				b.WriteString(strconv.Itoa(class[t]))
+			}
+			k := b.String()
+			if _, ok := sig[k]; !ok {
+				order = append(order, k)
+			}
+			sig[k] = append(sig[k], s)
+		}
+		changed := false
+		newClass := make([]int, len(d.Trans))
+		copy(newClass, class)
+		for i, k := range order {
+			for _, s := range sig[k] {
+				if newClass[s] != i {
+					newClass[s] = i
+					changed = true
+				}
+			}
+		}
+		class = newClass
+		if !changed {
+			break
+		}
+	}
+	// build quotient
+	numClasses := 0
+	for s := range d.Trans {
+		if reach[s] && class[s]+1 > numClasses {
+			numClasses = class[s] + 1
+		}
+	}
+	out := &DFA{
+		Alphabet: d.Alphabet,
+		Trans:    make([][]int, numClasses),
+		Accept:   make([]bool, numClasses),
+		Start:    class[d.Start],
+	}
+	for s := range d.Trans {
+		if !reach[s] {
+			continue
+		}
+		c := class[s]
+		if out.Trans[c] == nil {
+			row := make([]int, len(d.Alphabet))
+			for ai, t := range d.Trans[s] {
+				row[ai] = class[t]
+			}
+			out.Trans[c] = row
+			out.Accept[c] = d.Accept[s]
+		}
+	}
+	return out
+}
+
+// Equivalent reports whether d and e accept the same language (over equal
+// alphabets), by checking emptiness of the symmetric difference.
+func (d *DFA) Equivalent(e *DFA) bool {
+	diff1 := d.Intersect(e.Complement())
+	diff2 := e.Intersect(d.Complement())
+	return diff1.IsEmpty() && diff2.IsEmpty()
+}

@@ -1,0 +1,69 @@
+package autom
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// DOT renders the NFA in Graphviz dot syntax. Accepting states are drawn
+// as double circles; the start state is marked with an incoming arrow.
+func (a *NFA) DOT(name string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n", name)
+	b.WriteString("  rankdir=LR;\n  node [shape=circle];\n")
+	fmt.Fprintf(&b, "  __start [shape=point];\n  __start -> q%d;\n", a.start)
+	for s := 0; s < a.n; s++ {
+		shape := "circle"
+		if a.accept[s] {
+			shape = "doublecircle"
+		}
+		fmt.Fprintf(&b, "  q%d [shape=%s];\n", s, shape)
+	}
+	for s := 0; s < a.n; s++ {
+		syms := make([]string, 0, len(a.edges[s]))
+		for sym := range a.edges[s] {
+			syms = append(syms, sym)
+		}
+		sort.Strings(syms)
+		for _, sym := range syms {
+			for _, t := range a.edges[s][sym] {
+				fmt.Fprintf(&b, "  q%d -> q%d [label=%q];\n", s, t, sym)
+			}
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// DOT renders the DFA in Graphviz dot syntax.
+func (d *DFA) DOT(name string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n", name)
+	b.WriteString("  rankdir=LR;\n  node [shape=circle];\n")
+	fmt.Fprintf(&b, "  __start [shape=point];\n  __start -> q%d;\n", d.Start)
+	for s := range d.Trans {
+		shape := "circle"
+		if d.Accept[s] {
+			shape = "doublecircle"
+		}
+		fmt.Fprintf(&b, "  q%d [shape=%s];\n", s, shape)
+	}
+	for s, row := range d.Trans {
+		// group parallel edges by target for readability
+		byTarget := map[int][]string{}
+		for ai, t := range row {
+			byTarget[t] = append(byTarget[t], d.Alphabet[ai])
+		}
+		targets := make([]int, 0, len(byTarget))
+		for t := range byTarget {
+			targets = append(targets, t)
+		}
+		sort.Ints(targets)
+		for _, t := range targets {
+			fmt.Fprintf(&b, "  q%d -> q%d [label=%q];\n", s, t, strings.Join(byTarget[t], ","))
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

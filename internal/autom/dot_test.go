@@ -1,0 +1,30 @@
+package autom
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestNFADOT(t *testing.T) {
+	n := buildEvenAs()
+	dot := n.DOT("even")
+	for _, want := range []string{
+		`digraph "even"`, "rankdir=LR", "doublecircle", `label="a"`, "__start -> q0",
+	} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("NFA dot missing %q:\n%s", want, dot)
+		}
+	}
+}
+
+func TestDFADOT(t *testing.T) {
+	d := buildEvenAs().Determinize([]string{"a", "b"})
+	dot := d.DOT("even")
+	if !strings.Contains(dot, "digraph") || !strings.Contains(dot, "doublecircle") {
+		t.Errorf("DFA dot:\n%s", dot)
+	}
+	// parallel edges grouped: a self loop on "b" appears once with label b
+	if strings.Count(dot, "__start") != 2 { // declaration + edge
+		t.Errorf("start marker wrong:\n%s", dot)
+	}
+}

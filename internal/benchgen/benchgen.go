@@ -1,0 +1,206 @@
+// Package benchgen builds the parameterized workloads of the benchmark
+// harness: repositories with a scalable number of hotels, contracts of
+// controlled depth and width, event chains with nested framings, and
+// λ-programs of controlled size. Benchmarks (bench_test.go) and the
+// experiment tables (cmd/experiments) share these generators.
+package benchgen
+
+import (
+	"fmt"
+
+	"susc/internal/hexpr"
+	"susc/internal/lambda"
+	"susc/internal/network"
+	"susc/internal/paperex"
+	"susc/internal/policy"
+)
+
+// HotelWorld is a scaled-up variant of the paper's §2 scenario.
+type HotelWorld struct {
+	Repo   network.Repository
+	Table  *policy.Table
+	Client hexpr.Expr
+	Loc    hexpr.Location
+	// GoodPlan is a valid plan (broker + the first compliant, policy-
+	// respecting hotel).
+	GoodPlan network.Plan
+}
+
+// Hotels builds a repository with one broker and n hotels. Hotels cycle
+// through four profiles mirroring S1–S4 of the paper: blacklisted,
+// non-compliant (extra Del), valid, and threshold-violating. n must be at
+// least 3 so that a valid hotel exists.
+func Hotels(n int) *HotelWorld {
+	phi := paperex.BookingPolicy()
+	blacklist := []hexpr.Value{hexpr.Sym("h0")}
+	in := phi.MustInstantiate(policy.Binding{
+		Sets: map[string][]hexpr.Value{"bl": blacklist},
+		Ints: map[string]int{"p": 45, "t": 100},
+	})
+	table := policy.NewTable(in)
+	repo := network.Repository{paperex.LocBr: paperex.Broker()}
+	goodHotel := hexpr.Location("")
+	for i := 0; i < n; i++ {
+		name := fmt.Sprintf("h%d", i)
+		var price, rating int
+		withDel := false
+		switch i % 4 {
+		case 0: // blacklisted (h0) or cheap
+			price, rating = 40, 80
+		case 1: // non-compliant
+			price, rating, withDel = 40, 80, true
+		case 2: // valid: price over threshold but perfect rating
+			price, rating = 90, 100
+			if goodHotel == "" {
+				goodHotel = hexpr.Location(name)
+			}
+		case 3: // threshold violation
+			price, rating = 50, 90
+		}
+		outs := []hexpr.Branch{
+			hexpr.B(hexpr.Out("Bok"), hexpr.Eps()),
+			hexpr.B(hexpr.Out("UnA"), hexpr.Eps()),
+		}
+		if withDel {
+			outs = append(outs, hexpr.B(hexpr.Out("Del"), hexpr.Eps()))
+		}
+		repo[hexpr.Location(name)] = hexpr.Cat(
+			hexpr.Act(hexpr.E(paperex.EvSgn, hexpr.Sym(name))),
+			hexpr.Act(hexpr.E(paperex.EvPrice, hexpr.Int(price))),
+			hexpr.Act(hexpr.E(paperex.EvRating, hexpr.Int(rating))),
+			hexpr.RecvThen("IdC", hexpr.IntCh(outs...)),
+		)
+	}
+	client := hexpr.Open("r1", in.ID(),
+		hexpr.SendThen("Req", hexpr.Ext(
+			hexpr.B(hexpr.In("CoBo"), hexpr.SendThen("Pay", hexpr.Eps())),
+			hexpr.B(hexpr.In("NoAv"), hexpr.Eps()),
+		)))
+	return &HotelWorld{
+		Repo:     repo,
+		Table:    table,
+		Client:   client,
+		Loc:      "cl",
+		GoodPlan: network.Plan{"r1": paperex.LocBr, "r3": goodHotel},
+	}
+}
+
+// PingPong builds a compliant recursive contract pair exchanging `width`
+// distinct messages per round for `depth` alternation layers: the product
+// automaton grows with both parameters.
+func PingPong(width, depth int) (client, server hexpr.Expr) {
+	client = pingPongSide(width, depth, true)
+	server = pingPongSide(width, depth, false)
+	return client, server
+}
+
+func pingPongSide(width, depth int, isClient bool) hexpr.Expr {
+	var build func(d int) hexpr.Expr
+	build = func(d int) hexpr.Expr {
+		if d == 0 {
+			if isClient {
+				return hexpr.SendThen("bye", hexpr.Eps())
+			}
+			return hexpr.RecvThen("bye", hexpr.Eps())
+		}
+		bs := make([]hexpr.Branch, 0, width)
+		for i := 0; i < width; i++ {
+			ch := fmt.Sprintf("m%d_%d", d, i)
+			ack := fmt.Sprintf("ack%d_%d", d, i)
+			if isClient {
+				bs = append(bs, hexpr.B(hexpr.Out(ch),
+					hexpr.RecvThen(ack, build(d-1))))
+			} else {
+				bs = append(bs, hexpr.B(hexpr.In(ch),
+					hexpr.SendThen(ack, build(d-1))))
+			}
+		}
+		if isClient {
+			return hexpr.IntCh(bs...)
+		}
+		return hexpr.Ext(bs...)
+	}
+	return build(depth)
+}
+
+// LoopContract builds μh.(m0!.h ⊕ … ⊕ m_{w-1}!.h ⊕ bye!) and its dual —
+// a compliant pair with a single recursive state of width w.
+func LoopContract(width int) (client, server hexpr.Expr) {
+	cbs := make([]hexpr.Branch, 0, width+1)
+	sbs := make([]hexpr.Branch, 0, width+1)
+	for i := 0; i < width; i++ {
+		ch := fmt.Sprintf("m%d", i)
+		cbs = append(cbs, hexpr.B(hexpr.Out(ch), hexpr.V("h")))
+		sbs = append(sbs, hexpr.B(hexpr.In(ch), hexpr.V("k")))
+	}
+	cbs = append(cbs, hexpr.B(hexpr.Out("bye"), hexpr.Eps()))
+	sbs = append(sbs, hexpr.B(hexpr.In("bye"), hexpr.Eps()))
+	return hexpr.Mu("h", hexpr.IntCh(cbs...)), hexpr.Mu("k", hexpr.Ext(sbs...))
+}
+
+// EventChain builds a chain of n events wrapped in `nesting` framings of
+// distinct policies (policy i forbids the event named bad_i, which the
+// chain never fires, so the expression is valid). It returns the
+// expression and the table with every policy.
+func EventChain(n, nesting int) (hexpr.Expr, *policy.Table) {
+	table := policy.NewTable()
+	var e hexpr.Expr = hexpr.Eps()
+	parts := make([]hexpr.Expr, 0, n)
+	for i := 0; i < n; i++ {
+		parts = append(parts, hexpr.Act(hexpr.E(fmt.Sprintf("ev%d", i%7), hexpr.Int(i))))
+	}
+	e = hexpr.Cat(parts...)
+	for i := 0; i < nesting; i++ {
+		a := &policy.Automaton{
+			Name:   fmt.Sprintf("pol%d", i),
+			States: []string{"q0", "qv"},
+			Start:  "q0",
+			Finals: []string{"qv"},
+			Edges: []policy.Edge{
+				{From: "q0", To: "qv", EventName: fmt.Sprintf("bad%d", i)},
+			},
+		}
+		in := a.MustInstantiate(policy.Binding{})
+		table.Add(in)
+		e = hexpr.Frame(in.ID(), e)
+	}
+	return e, table
+}
+
+// RedundantFramings wraps the event chain in `depth` framings of the SAME
+// policy — the workload the regularization of internal/valid collapses to
+// depth one.
+func RedundantFramings(n, depth int) (hexpr.Expr, *policy.Table) {
+	a := &policy.Automaton{
+		Name:   "pol",
+		States: []string{"q0", "qv"},
+		Start:  "q0",
+		Finals: []string{"qv"},
+		Edges:  []policy.Edge{{From: "q0", To: "qv", EventName: "bad"}},
+	}
+	in := a.MustInstantiate(policy.Binding{})
+	table := policy.NewTable(in)
+	parts := make([]hexpr.Expr, 0, n)
+	for i := 0; i < n; i++ {
+		parts = append(parts, hexpr.Act(hexpr.E(fmt.Sprintf("ev%d", i%7))))
+	}
+	e := hexpr.Cat(parts...)
+	for i := 0; i < depth; i++ {
+		e = hexpr.Frame(in.ID(), hexpr.Cat(hexpr.Act(hexpr.E("mark", hexpr.Int(i))), e))
+	}
+	return e, table
+}
+
+// LambdaChain builds a λ-program firing n events through n nested
+// applications — a workload for effect-inference benchmarks.
+func LambdaChain(n int) lambda.Term {
+	var body lambda.Term = lambda.Unit{}
+	for i := 0; i < n; i++ {
+		body = lambda.Seq{
+			First: lambda.Fire{Event: hexpr.E(fmt.Sprintf("ev%d", i%5), hexpr.Int(i))},
+			Then:  body,
+		}
+	}
+	fn := lambda.Abs{Param: "x", ParamType: lambda.UnitT{}, Body: body}
+	return lambda.App{Fn: fn, Arg: lambda.Unit{}}
+}

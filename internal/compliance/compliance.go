@@ -1,0 +1,247 @@
+// Package compliance decides whether a client and a service are compliant
+// (§4 of the paper): every message either party decides to send is matched
+// by a corresponding input of the other, so their session always
+// progresses and the client can terminate.
+//
+// Two independent deciders are provided and cross-checked by the tests:
+//
+//   - the product automaton H₁ ⊗ H₂ of Definition 5, whose final states are
+//     exactly the stuck configurations; compliance holds iff its language
+//     is empty (Theorem 1);
+//   - a direct checker implementing Definition 4 via observable ready sets
+//     (condition (1)) on all reachable pairs, i.e. the ready-set side of
+//     Lemma 1.
+//
+// Compliance is an invariant of the product (Theorem 2) and hence a safety
+// property (Corollary 1), which is what makes it model-checkable.
+package compliance
+
+import (
+	"fmt"
+	"strings"
+
+	"susc/internal/autom"
+	"susc/internal/contract"
+	"susc/internal/hexpr"
+	"susc/internal/lts"
+)
+
+// Pair is a state of the product automaton: a pair of contract residuals.
+type Pair struct {
+	Client hexpr.Expr
+	Server hexpr.Expr
+}
+
+// Key returns the canonical key of the pair.
+func (p Pair) Key() string { return p.Client.Key() + " | " + p.Server.Key() }
+
+func (p Pair) String() string {
+	return "<" + hexpr.Pretty(p.Client) + " , " + hexpr.Pretty(p.Server) + ">"
+}
+
+// Edge is a synchronisation step of the product: the label records which
+// channel synchronised (the observable action is τ; the channel is kept
+// for diagnostics).
+type Edge struct {
+	Channel string
+	To      int
+}
+
+// Product is the product automaton A = H₁! ⊗ H₂! of Definition 5,
+// restricted to its reachable part. Final states are the stuck
+// configurations; per the definition, final states have no outgoing
+// transitions.
+type Product struct {
+	States []Pair
+	Edges  [][]Edge
+	Final  []bool
+}
+
+// MaxStates bounds product construction; guarded tail recursion keeps real
+// contracts far below it.
+const MaxStates = 1 << 20
+
+// NewProduct builds the product automaton of the two expressions. The
+// arguments are projected onto their communication actions first, so any
+// closed well-formed history expressions are accepted.
+func NewProduct(client, server hexpr.Expr) (*Product, error) {
+	h1 := contract.Project(client)
+	h2 := contract.Project(server)
+	if !hexpr.Closed(h1) || !hexpr.Closed(h2) {
+		return nil, fmt.Errorf("compliance: contracts must be closed")
+	}
+	p := &Product{}
+	index := map[string]int{}
+	var queue []Pair
+	add := func(pr Pair) int {
+		k := pr.Key()
+		if i, ok := index[k]; ok {
+			return i
+		}
+		i := len(p.States)
+		index[k] = i
+		p.States = append(p.States, pr)
+		p.Edges = append(p.Edges, nil)
+		p.Final = append(p.Final, false)
+		queue = append(queue, pr)
+		return i
+	}
+	add(Pair{Client: h1, Server: h2})
+	for done := 0; done < len(queue); done++ {
+		if len(p.States) > MaxStates {
+			return nil, fmt.Errorf("compliance: product exceeds %d states", MaxStates)
+		}
+		pr := queue[done]
+		i := index[pr.Key()]
+		c := lts.Step(pr.Client)
+		s := lts.Step(pr.Server)
+		if stuck(pr, c, s) {
+			p.Final[i] = true
+			continue // final states have no outgoing transitions (Def. 5)
+		}
+		for _, tc := range c {
+			for _, ts := range s {
+				if tc.Label.Comm == ts.Label.Comm.Co() {
+					j := add(Pair{Client: tc.To, Server: ts.To})
+					p.Edges[i] = append(p.Edges[i], Edge{Channel: tc.Label.Comm.Channel, To: j})
+				}
+			}
+		}
+	}
+	return p, nil
+}
+
+// stuck evaluates the final-state conditions of Definition 5 on a pair,
+// given the transitions of the two sides:
+//
+//	final ⟺ H₁ ≠ ε ∧ (¬(i) ∨ ¬(ii))
+//	(i)  some side can fire an output;
+//	(ii) every output either side offers is matched by an input of the
+//	     other side.
+func stuck(pr Pair, c, s []lts.Transition) bool {
+	if hexpr.IsNil(pr.Client) {
+		return false // the client has terminated: success, not stuck
+	}
+	someOutput := false
+	for _, t := range c {
+		if t.Label.Comm.IsSend() {
+			someOutput = true
+			if !hasComm(s, t.Label.Comm.Co()) {
+				return true // ¬(ii): client output unmatched
+			}
+		}
+	}
+	for _, t := range s {
+		if t.Label.Comm.IsSend() {
+			someOutput = true
+			if !hasComm(c, t.Label.Comm.Co()) {
+				return true // ¬(ii): server output unmatched
+			}
+		}
+	}
+	return !someOutput // ¬(i): both sides wait on inputs (or the server died)
+}
+
+func hasComm(ts []lts.Transition, c hexpr.Comm) bool {
+	for _, t := range ts {
+		if t.Label.Comm == c {
+			return true
+		}
+	}
+	return false
+}
+
+// Empty reports whether the language of the product is empty, i.e. no
+// final state is reachable. By Theorem 1 this is exactly compliance.
+func (p *Product) Empty() bool {
+	for _, f := range p.Final {
+		if f {
+			return false // every state is reachable by construction
+		}
+	}
+	return true
+}
+
+// NFA renders the product as an automaton over {"tau"}, with the stuck
+// states accepting — the literal object of Definition 5, suitable for the
+// language-emptiness formulation of Theorem 1 via the autom substrate.
+func (p *Product) NFA() *autom.NFA {
+	n := autom.NewNFA()
+	for i := 1; i < len(p.States); i++ {
+		n.AddState()
+	}
+	for i, es := range p.Edges {
+		for _, e := range es {
+			n.AddEdge(i, "tau", e.To)
+		}
+		n.SetAccept(i, p.Final[i])
+	}
+	return n
+}
+
+// Witness describes how a non-compliant pair gets stuck: the channel
+// synchronisations leading to the stuck pair, and the pair itself.
+type Witness struct {
+	Path  []string
+	Stuck Pair
+}
+
+func (w *Witness) String() string {
+	if len(w.Path) == 0 {
+		return "stuck immediately at " + w.Stuck.String()
+	}
+	return "after " + strings.Join(w.Path, "·") + " stuck at " + w.Stuck.String()
+}
+
+// FindWitness returns a shortest path to a stuck state, or nil when the
+// product is empty (the parties are compliant).
+func (p *Product) FindWitness() *Witness {
+	type item struct {
+		state int
+		path  []string
+	}
+	seen := make([]bool, len(p.States))
+	queue := []item{{state: 0}}
+	seen[0] = true
+	for len(queue) > 0 {
+		it := queue[0]
+		queue = queue[1:]
+		if p.Final[it.state] {
+			return &Witness{Path: it.path, Stuck: p.States[it.state]}
+		}
+		for _, e := range p.Edges[it.state] {
+			if !seen[e.To] {
+				seen[e.To] = true
+				queue = append(queue, item{
+					state: e.To,
+					path:  append(append([]string(nil), it.path...), e.Channel),
+				})
+			}
+		}
+	}
+	return nil
+}
+
+// Compliant reports H_c ⊢ H_s via the product automaton (Theorem 1). The
+// arguments may be arbitrary closed history expressions; they are
+// projected first.
+func Compliant(client, server hexpr.Expr) (bool, error) {
+	p, err := NewProduct(client, server)
+	if err != nil {
+		return false, err
+	}
+	return p.Empty(), nil
+}
+
+// Check is Compliant with a witness: it returns nil when compliant and a
+// descriptive error otherwise.
+func Check(client, server hexpr.Expr) error {
+	p, err := NewProduct(client, server)
+	if err != nil {
+		return err
+	}
+	if w := p.FindWitness(); w != nil {
+		return fmt.Errorf("compliance: not compliant: %s", w)
+	}
+	return nil
+}

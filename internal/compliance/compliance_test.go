@@ -1,0 +1,320 @@
+package compliance_test
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"susc/internal/compliance"
+	"susc/internal/contract"
+	"susc/internal/hexpr"
+	"susc/internal/paperex"
+)
+
+// requestBody extracts the body of request r of e.
+func requestBody(t *testing.T, e hexpr.Expr, r hexpr.RequestID) hexpr.Expr {
+	t.Helper()
+	body, _, err := contract.RequestBody(e, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return body
+}
+
+// TestFig2ComplianceMatrix reproduces the compliance claims of §2:
+// the clients are compliant with the broker; the broker (request r3) is
+// compliant with S1, S3, S4 but NOT with S2, which may send Del.
+func TestFig2ComplianceMatrix(t *testing.T) {
+	br := paperex.Broker()
+	brBody := requestBody(t, br, "r3")
+
+	// clients vs broker
+	for _, c := range []struct {
+		name string
+		e    hexpr.Expr
+		req  hexpr.RequestID
+	}{
+		{"C1", paperex.C1(), "r1"},
+		{"C2", paperex.C2(), "r2"},
+	} {
+		body := requestBody(t, c.e, c.req)
+		ok, err := compliance.Compliant(body, br)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			t.Errorf("%s should be compliant with Br", c.name)
+		}
+	}
+
+	// broker vs hotels
+	cases := []struct {
+		name      string
+		hotel     hexpr.Expr
+		compliant bool
+	}{
+		{"S1", paperex.S1(), true},
+		{"S2", paperex.S2(), false},
+		{"S3", paperex.S3(), true},
+		{"S4", paperex.S4(), true},
+	}
+	for _, c := range cases {
+		ok, err := compliance.Compliant(brBody, c.hotel)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ok != c.compliant {
+			t.Errorf("Br ⊢ %s = %v, want %v", c.name, ok, c.compliant)
+		}
+	}
+}
+
+func TestS2WitnessMentionsDel(t *testing.T) {
+	brBody := requestBody(t, paperex.Broker(), "r3")
+	err := compliance.Check(brBody, paperex.S2())
+	if err == nil {
+		t.Fatal("Br must not be compliant with S2")
+	}
+	if !strings.Contains(err.Error(), "IdC") {
+		t.Errorf("witness should pass through IdC: %v", err)
+	}
+	p, err2 := compliance.NewProduct(brBody, paperex.S2())
+	if err2 != nil {
+		t.Fatal(err2)
+	}
+	w := p.FindWitness()
+	if w == nil {
+		t.Fatal("expected a witness")
+	}
+	// the stuck pair is reached right after the IdC synchronisation
+	if len(w.Path) != 1 || w.Path[0] != "IdC" {
+		t.Errorf("witness path = %v, want [IdC]", w.Path)
+	}
+}
+
+func TestBasicComplianceShapes(t *testing.T) {
+	send := hexpr.SendThen("a", hexpr.Eps())
+	recv := hexpr.RecvThen("a", hexpr.Eps())
+	cases := []struct {
+		name           string
+		client, server hexpr.Expr
+		want           bool
+	}{
+		{"matching send/recv", send, recv, true},
+		{"matching recv/send", recv, send, true},
+		{"both wait: deadlock", recv, recv, false},
+		{"both send: mismatch", send, send, false},
+		{"client sends, server gone", send, hexpr.Eps(), false},
+		{"client waits, server gone", recv, hexpr.Eps(), false},
+		{"client done, server waits", hexpr.Eps(), recv, true},
+		{"client done, server sends", hexpr.Eps(), send, true},
+		{"both done", hexpr.Eps(), hexpr.Eps(), true},
+		{"wrong channel", send, hexpr.RecvThen("b", hexpr.Eps()), false},
+	}
+	for _, c := range cases {
+		got, err := compliance.Compliant(c.client, c.server)
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		if got != c.want {
+			t.Errorf("%s: compliant = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+func TestInternalChoiceNeedsAllOutputsMatched(t *testing.T) {
+	// client ⊕{ā, b̄}; server handles only a → not compliant
+	client := hexpr.IntCh(
+		hexpr.B(hexpr.Out("a"), hexpr.Eps()),
+		hexpr.B(hexpr.Out("b"), hexpr.Eps()),
+	)
+	server1 := hexpr.RecvThen("a", hexpr.Eps())
+	if ok, _ := compliance.Compliant(client, server1); ok {
+		t.Error("server missing b must not be compliant")
+	}
+	server2 := hexpr.Ext(
+		hexpr.B(hexpr.In("a"), hexpr.Eps()),
+		hexpr.B(hexpr.In("b"), hexpr.Eps()),
+	)
+	if ok, _ := compliance.Compliant(client, server2); !ok {
+		t.Error("server handling both must be compliant")
+	}
+}
+
+func TestExternalChoiceNeedsOnlyOffered(t *testing.T) {
+	// client a?+b?; server sends only ā → compliant (external choice is
+	// driven by the received message)
+	client := hexpr.Ext(
+		hexpr.B(hexpr.In("a"), hexpr.Eps()),
+		hexpr.B(hexpr.In("b"), hexpr.Eps()),
+	)
+	server := hexpr.SendThen("a", hexpr.Eps())
+	if ok, _ := compliance.Compliant(client, server); !ok {
+		t.Error("client offering a superset of inputs must be compliant")
+	}
+}
+
+func TestRecursiveCompliance(t *testing.T) {
+	// client: μh. ā.(ack?.h + done?) ; server: μk. a?.(ack̄.k ⊕ donē)
+	client := hexpr.Mu("h", hexpr.SendThen("a",
+		hexpr.Ext(
+			hexpr.B(hexpr.In("ack"), hexpr.V("h")),
+			hexpr.B(hexpr.In("done"), hexpr.Eps()),
+		)))
+	server := hexpr.Mu("k", hexpr.RecvThen("a",
+		hexpr.IntCh(
+			hexpr.B(hexpr.Out("ack"), hexpr.V("k")),
+			hexpr.B(hexpr.Out("done"), hexpr.Eps()),
+		)))
+	if ok, err := compliance.Compliant(client, server); err != nil || !ok {
+		t.Errorf("recursive pair should be compliant: %v %v", ok, err)
+	}
+	// Break the server: it may also send "retry", unknown to the client.
+	bad := hexpr.Mu("k", hexpr.RecvThen("a",
+		hexpr.IntCh(
+			hexpr.B(hexpr.Out("ack"), hexpr.V("k")),
+			hexpr.B(hexpr.Out("done"), hexpr.Eps()),
+			hexpr.B(hexpr.Out("retry"), hexpr.V("k")),
+		)))
+	if ok, _ := compliance.Compliant(client, bad); ok {
+		t.Error("unmatched retry must break compliance")
+	}
+}
+
+func TestInfiniteInteractionIsCompliant(t *testing.T) {
+	// Progress, not termination: an infinite ping/pong loop is compliant.
+	client := hexpr.Mu("h", hexpr.SendThen("ping", hexpr.RecvThen("pong", hexpr.V("h"))))
+	server := hexpr.Mu("k", hexpr.RecvThen("ping", hexpr.SendThen("pong", hexpr.V("k"))))
+	if ok, err := compliance.Compliant(client, server); err != nil || !ok {
+		t.Errorf("infinite ping/pong should be compliant: %v %v", ok, err)
+	}
+}
+
+// TestTheorem1Agreement (experiment E6): the product-automaton decision
+// (Theorem 1) agrees with the direct ready-set decision (Definition 4 via
+// Lemma 1) on randomized contract pairs.
+func TestTheorem1Agreement(t *testing.T) {
+	rnd := rand.New(rand.NewSource(42))
+	agree, compliant := 0, 0
+	for i := 0; i < 400; i++ {
+		c := hexpr.GenerateContract(rnd, 4)
+		s := hexpr.GenerateContract(rnd, 4)
+		viaProduct, err := compliance.Compliant(c, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		viaReady, err := compliance.CompliantReadySets(c, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if viaProduct != viaReady {
+			t.Fatalf("disagreement on\n  client %s\n  server %s\n  product=%v readySets=%v",
+				hexpr.Pretty(c), hexpr.Pretty(s), viaProduct, viaReady)
+		}
+		agree++
+		if viaProduct {
+			compliant++
+		}
+	}
+	if compliant == 0 || compliant == agree {
+		t.Errorf("degenerate sample: %d/%d compliant", compliant, agree)
+	}
+}
+
+// TestTheorem1NFAEmptiness: compliance ⟺ L(H₁⊗H₂) = ∅, with the language
+// emptiness checked on the rendered NFA.
+func TestTheorem1NFAEmptiness(t *testing.T) {
+	rnd := rand.New(rand.NewSource(43))
+	for i := 0; i < 200; i++ {
+		c := hexpr.GenerateContract(rnd, 4)
+		s := hexpr.GenerateContract(rnd, 4)
+		p, err := compliance.NewProduct(c, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.Empty() != p.NFA().IsEmpty() {
+			t.Fatalf("product emptiness and NFA emptiness disagree on %s | %s",
+				hexpr.Pretty(c), hexpr.Pretty(s))
+		}
+	}
+}
+
+// TestTheorem2Invariant (experiment E7): compliance is an invariant
+// property — when H₁ ⊢ H₂, every reachable product state is non-final and
+// the residual pair is itself compliant (compliance is preserved under
+// transitions).
+func TestTheorem2Invariant(t *testing.T) {
+	rnd := rand.New(rand.NewSource(44))
+	checked := 0
+	for i := 0; i < 150 && checked < 40; i++ {
+		c := hexpr.GenerateContract(rnd, 4)
+		s := hexpr.GenerateContract(rnd, 4)
+		p, err := compliance.NewProduct(c, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !p.Empty() {
+			continue
+		}
+		checked++
+		for _, st := range p.States {
+			ok, err := compliance.Compliant(st.Client, st.Server)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !ok {
+				t.Fatalf("compliance not preserved: reachable pair %s not compliant", st)
+			}
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no compliant samples generated")
+	}
+}
+
+// TestLemma1Agreement (experiment E8): on every reachable pair of every
+// random product, the ready-set formulation of stuckness agrees with the
+// transition formulation, i.e. final states are exactly the pairs failing
+// condition (1) with a non-terminated client.
+func TestLemma1Agreement(t *testing.T) {
+	rnd := rand.New(rand.NewSource(45))
+	for i := 0; i < 200; i++ {
+		c := hexpr.GenerateContract(rnd, 4)
+		s := hexpr.GenerateContract(rnd, 4)
+		p, err := compliance.NewProduct(c, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for idx, st := range p.States {
+			viaReady, err := compliance.CompliantPairReadySets(st)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if p.Final[idx] == viaReady {
+				t.Fatalf("Lemma 1 mismatch on %s: final=%v readyOK=%v", st, p.Final[idx], viaReady)
+			}
+		}
+	}
+}
+
+func TestProductFinalStatesHaveNoEdges(t *testing.T) {
+	brBody := requestBody(t, paperex.Broker(), "r3")
+	p, err := compliance.NewProduct(brBody, paperex.S2())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range p.States {
+		if p.Final[i] && len(p.Edges[i]) > 0 {
+			t.Errorf("final state %d has outgoing edges", i)
+		}
+	}
+}
+
+func TestComplianceRejectsOpenTerms(t *testing.T) {
+	if _, err := compliance.Compliant(hexpr.V("h"), hexpr.Eps()); err == nil {
+		t.Error("open client must be rejected")
+	}
+	if _, err := compliance.CompliantReadySets(hexpr.V("h"), hexpr.Eps()); err == nil {
+		t.Error("open client must be rejected (ready sets)")
+	}
+}

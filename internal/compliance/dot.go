@@ -1,0 +1,33 @@
+package compliance
+
+import (
+	"fmt"
+	"strings"
+)
+
+// DOT renders the product automaton in Graphviz dot syntax: stuck (final)
+// states are drawn as red double circles, terminated-client states as
+// green double circles, and edges carry the synchronised channel.
+func (p *Product) DOT(name string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n", name)
+	b.WriteString("  rankdir=LR;\n  node [shape=circle];\n")
+	b.WriteString("  __start [shape=point];\n  __start -> p0;\n")
+	for i, st := range p.States {
+		attrs := []string{fmt.Sprintf("tooltip=%q", st.String())}
+		switch {
+		case p.Final[i]:
+			attrs = append(attrs, "shape=doublecircle", "color=red")
+		case len(p.Edges[i]) == 0:
+			attrs = append(attrs, "shape=doublecircle", "color=darkgreen")
+		}
+		fmt.Fprintf(&b, "  p%d [%s];\n", i, strings.Join(attrs, ", "))
+	}
+	for i, es := range p.Edges {
+		for _, e := range es {
+			fmt.Fprintf(&b, "  p%d -> p%d [label=%q];\n", i, e.To, e.Channel)
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

@@ -1,0 +1,61 @@
+package compliance_test
+
+import (
+	"fmt"
+
+	"susc/internal/compliance"
+	"susc/internal/hexpr"
+)
+
+// A client that orders and waits for either a parcel or a rejection is
+// compliant with a shop that decides between the two — and not with a shop
+// that may answer on a channel the client cannot handle.
+func ExampleCompliant() {
+	client := hexpr.SendThen("Order", hexpr.Ext(
+		hexpr.B(hexpr.In("Parcel"), hexpr.Eps()),
+		hexpr.B(hexpr.In("Reject"), hexpr.Eps()),
+	))
+	shop := hexpr.RecvThen("Order", hexpr.IntCh(
+		hexpr.B(hexpr.Out("Parcel"), hexpr.Eps()),
+		hexpr.B(hexpr.Out("Reject"), hexpr.Eps()),
+	))
+	chatty := hexpr.RecvThen("Order", hexpr.IntCh(
+		hexpr.B(hexpr.Out("Parcel"), hexpr.Eps()),
+		hexpr.B(hexpr.Out("Backorder"), hexpr.Eps()),
+	))
+	ok, _ := compliance.Compliant(client, shop)
+	fmt.Println("shop:", ok)
+	ok, _ = compliance.Compliant(client, chatty)
+	fmt.Println("chatty:", ok)
+	// Output:
+	// shop: true
+	// chatty: false
+}
+
+// The product automaton explains *why* a pair is not compliant.
+func ExampleProduct_FindWitness() {
+	client := hexpr.SendThen("Order", hexpr.RecvThen("Parcel", hexpr.Eps()))
+	shop := hexpr.RecvThen("Order", hexpr.SendThen("Backorder", hexpr.Eps()))
+	p, _ := compliance.NewProduct(client, shop)
+	fmt.Println(p.FindWitness())
+	// Output:
+	// after Order stuck at <Parcel? , Backorder!>
+}
+
+// Substitutable decides when a service upgrade is safe for every client.
+func ExampleSubstitutable() {
+	oldSvc := hexpr.RecvThen("Order", hexpr.IntCh(
+		hexpr.B(hexpr.Out("Parcel"), hexpr.Eps()),
+		hexpr.B(hexpr.Out("Reject"), hexpr.Eps()),
+	))
+	// the new shop never rejects: fewer behaviours, still safe
+	newSvc := hexpr.RecvThen("Order", hexpr.SendThen("Parcel", hexpr.Eps()))
+	ok, _ := compliance.Substitutable(oldSvc, newSvc)
+	fmt.Println("fewer outputs:", ok)
+	// the reverse direction adds a behaviour old clients cannot handle
+	ok, _ = compliance.Substitutable(newSvc, oldSvc)
+	fmt.Println("more outputs:", ok)
+	// Output:
+	// fewer outputs: true
+	// more outputs: false
+}

@@ -1,0 +1,192 @@
+package compliance
+
+import (
+	"fmt"
+
+	"susc/internal/contract"
+	"susc/internal/hexpr"
+	"susc/internal/lts"
+)
+
+// Substitutable decides a *subcontract* relation in the spirit of the
+// theory of contracts the paper builds on [Castagna–Gesbert–Padovani]:
+// when it holds, the new service can replace the old one in the repository
+// and every client compliant with the old service stays compliant — so
+// plans need no re-validation of their compliance side.
+//
+// The relation is the greatest relation R over contract residuals such
+// that (o, n) ∈ R implies: wherever the old service would be
+//
+//   - waiting (external choice): the new one is also waiting, offering at
+//     least the same inputs, every new continuation covered by an old one
+//     in R;
+//   - sending (internal choice): the new one is also sending, a non-empty
+//     subset of the old outputs, every new continuation covered by an old
+//     one in R;
+//   - terminated: unconstrained — a client compliant with a terminated
+//     service has itself terminated, so nothing more happens.
+//
+// Extra inputs of the new service are never exercised by old clients and
+// are unconstrained too. It is computed as a greatest fixpoint: start from
+// all reachable pairs and refine away violations. Soundness (not
+// completeness) is what is guaranteed and property-tested:
+// Substitutable(old,new) ∧ C ⊢ old ⟹ C ⊢ new.
+func Substitutable(oldSvc, newSvc hexpr.Expr) (bool, error) {
+	o := contract.Project(oldSvc)
+	n := contract.Project(newSvc)
+	if !hexpr.Closed(o) || !hexpr.Closed(n) {
+		return false, fmt.Errorf("compliance: contracts must be closed")
+	}
+	s := newSubstSpace(o, n)
+	return s.gfp(), nil
+}
+
+// substPair is one candidate pair of the relation.
+type substPair struct {
+	o, n hexpr.Expr
+}
+
+func (p substPair) key() string { return p.o.Key() + "\x00" + p.n.Key() }
+
+// substSpace holds the over-approximated reachable pair set and the
+// channel-indexed successor structure needed by the refinement.
+type substSpace struct {
+	pairs map[string]substPair
+	rel   map[string]bool
+	init  substPair
+}
+
+func newSubstSpace(o, n hexpr.Expr) *substSpace {
+	s := &substSpace{
+		pairs: map[string]substPair{},
+		rel:   map[string]bool{},
+		init:  substPair{o: o, n: n},
+	}
+	// collect all pairs reachable through any shared channel step (an
+	// over-approximation of what the relation can exercise)
+	queue := []substPair{s.init}
+	s.pairs[s.init.key()] = s.init
+	s.rel[s.init.key()] = true
+	for len(queue) > 0 {
+		p := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		oIn, oOut := splitComm(lts.Step(p.o))
+		nIn, nOut := splitComm(lts.Step(p.n))
+		expand := func(oConts, nConts []hexpr.Expr) {
+			for _, oc := range oConts {
+				for _, nc := range nConts {
+					next := substPair{o: oc, n: nc}
+					k := next.key()
+					if _, seen := s.pairs[k]; !seen {
+						s.pairs[k] = next
+						s.rel[k] = true
+						queue = append(queue, next)
+					}
+				}
+			}
+		}
+		for ch, oConts := range oIn {
+			expand(oConts, nIn[ch])
+		}
+		for ch, nConts := range nOut {
+			expand(oOut[ch], nConts)
+		}
+	}
+	return s
+}
+
+// gfp refines the relation until stable and reports whether the initial
+// pair survives.
+func (s *substSpace) gfp() bool {
+	for {
+		changed := false
+		for k, p := range s.pairs {
+			if !s.rel[k] {
+				continue
+			}
+			if !s.holds(p) {
+				s.rel[k] = false
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	return s.rel[s.init.key()]
+}
+
+// holds evaluates the step condition of the relation on one pair, under
+// the current approximation of the relation.
+func (s *substSpace) holds(p substPair) bool {
+	if hexpr.IsNil(p.o) {
+		return true
+	}
+	oIn, oOut := splitComm(lts.Step(p.o))
+	nIn, nOut := splitComm(lts.Step(p.n))
+	switch {
+	case len(oOut) > 0:
+		// sending mode: new sends a non-empty subset with covered conts
+		if len(nOut) == 0 {
+			return false
+		}
+		for ch, nConts := range nOut {
+			oConts, ok := oOut[ch]
+			if !ok || !s.covered(oConts, nConts) {
+				return false
+			}
+		}
+		return true
+	case len(oIn) > 0:
+		// waiting mode: new waits for at least the same inputs, covered
+		// conts, and must not volunteer sends
+		if len(nOut) > 0 {
+			return false
+		}
+		for ch, oConts := range oIn {
+			nConts, ok := nIn[ch]
+			if !ok || !s.covered(oConts, nConts) {
+				return false
+			}
+		}
+		return true
+	default:
+		// terminated old service: unconstrained
+		return true
+	}
+}
+
+// covered checks ∀n′ ∃o′: (o′,n′) ∈ rel.
+func (s *substSpace) covered(oConts, nConts []hexpr.Expr) bool {
+	for _, nc := range nConts {
+		found := false
+		for _, oc := range oConts {
+			if s.rel[substPair{o: oc, n: nc}.key()] {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}
+
+// splitComm groups the communication successors of a contract state by
+// direction and channel.
+func splitComm(ts []lts.Transition) (ins, outs map[string][]hexpr.Expr) {
+	ins = map[string][]hexpr.Expr{}
+	outs = map[string][]hexpr.Expr{}
+	for _, t := range ts {
+		if t.Label.Kind != hexpr.LComm {
+			continue
+		}
+		if t.Label.Comm.IsSend() {
+			outs[t.Label.Comm.Channel] = append(outs[t.Label.Comm.Channel], t.To)
+		} else {
+			ins[t.Label.Comm.Channel] = append(ins[t.Label.Comm.Channel], t.To)
+		}
+	}
+	return ins, outs
+}

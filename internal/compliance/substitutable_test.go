@@ -1,0 +1,179 @@
+package compliance_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"susc/internal/compliance"
+	"susc/internal/hexpr"
+	"susc/internal/paperex"
+)
+
+func mustSubst(t *testing.T, oldSvc, newSvc hexpr.Expr) bool {
+	t.Helper()
+	ok, err := compliance.Substitutable(oldSvc, newSvc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ok
+}
+
+func TestSubstitutableReflexive(t *testing.T) {
+	rnd := rand.New(rand.NewSource(51))
+	for i := 0; i < 200; i++ {
+		s := hexpr.GenerateContract(rnd, 4)
+		if !mustSubst(t, s, s) {
+			t.Fatalf("subcontract not reflexive on %s", hexpr.Pretty(s))
+		}
+	}
+}
+
+func TestSubstitutableFewerOutputs(t *testing.T) {
+	// old: IdC?.(Bok! ⊕ UnA!); new: IdC?.Bok! — dropping an output is safe.
+	oldSvc := paperex.S1()
+	newSvc := hexpr.RecvThen("IdC", hexpr.SendThen("Bok", hexpr.Eps()))
+	if !mustSubst(t, oldSvc, newSvc) {
+		t.Error("dropping an output should be substitutable")
+	}
+	// the reverse adds an output (Del): NOT substitutable
+	if mustSubst(t, paperex.S1(), paperex.S2()) {
+		t.Error("adding the Del output must not be substitutable")
+	}
+	// dropping ALL outputs is not: the client would wait forever
+	bad := hexpr.RecvThen("IdC", hexpr.Eps())
+	if mustSubst(t, oldSvc, bad) {
+		t.Error("terminating instead of answering must not be substitutable")
+	}
+}
+
+func TestSubstitutableMoreInputs(t *testing.T) {
+	oldSvc := hexpr.RecvThen("a", hexpr.SendThen("r", hexpr.Eps()))
+	// new accepts an extra message b: safe, old clients never send it
+	newSvc := hexpr.Ext(
+		hexpr.B(hexpr.In("a"), hexpr.SendThen("r", hexpr.Eps())),
+		hexpr.B(hexpr.In("b"), hexpr.Eps()),
+	)
+	if !mustSubst(t, oldSvc, newSvc) {
+		t.Error("adding an input should be substitutable")
+	}
+	// dropping an input is not: clients may rely on it
+	oldWide := hexpr.Ext(
+		hexpr.B(hexpr.In("a"), hexpr.Eps()),
+		hexpr.B(hexpr.In("b"), hexpr.Eps()),
+	)
+	newNarrow := hexpr.RecvThen("a", hexpr.Eps())
+	if mustSubst(t, oldWide, newNarrow) {
+		t.Error("dropping an input must not be substitutable")
+	}
+}
+
+func TestSubstitutableModeSwitchRejected(t *testing.T) {
+	waiting := hexpr.RecvThen("a", hexpr.Eps())
+	sending := hexpr.SendThen("a", hexpr.Eps())
+	if mustSubst(t, waiting, sending) {
+		t.Error("waiting -> sending must not be substitutable")
+	}
+	if mustSubst(t, sending, waiting) {
+		t.Error("sending -> waiting must not be substitutable")
+	}
+}
+
+func TestSubstitutableAfterTermination(t *testing.T) {
+	// old terminates right away: any new service is fine, clients are done.
+	oldSvc := hexpr.Eps()
+	newSvc := hexpr.SendThen("noise", hexpr.Eps())
+	if !mustSubst(t, oldSvc, newSvc) {
+		t.Error("anything substitutes a terminated service")
+	}
+}
+
+func TestSubstitutableRecursive(t *testing.T) {
+	// old: μk. a?.(r̄.k ⊕ donē); new drops the done choice but keeps r̄ — the
+	// interaction can still loop forever, which compliance permits.
+	oldSvc := hexpr.Mu("k", hexpr.RecvThen("a", hexpr.IntCh(
+		hexpr.B(hexpr.Out("r"), hexpr.V("k")),
+		hexpr.B(hexpr.Out("done"), hexpr.Eps()),
+	)))
+	newSvc := hexpr.Mu("k", hexpr.RecvThen("a",
+		hexpr.SendThen("r", hexpr.V("k"))))
+	if !mustSubst(t, oldSvc, newSvc) {
+		t.Error("dropping one recursive output branch should be substitutable")
+	}
+	// new answering on a channel the old never used is rejected
+	bad := hexpr.Mu("k", hexpr.RecvThen("a",
+		hexpr.SendThen("zzz", hexpr.V("k"))))
+	if mustSubst(t, oldSvc, bad) {
+		t.Error("new output channel must not be substitutable")
+	}
+}
+
+// TestSubstitutableSoundness is the headline property (randomized): if
+// Substitutable(old,new) and a client is compliant with old, then the
+// client is compliant with new.
+func TestSubstitutableSoundness(t *testing.T) {
+	rnd := rand.New(rand.NewSource(52))
+	triples, substitutables := 0, 0
+	for i := 0; i < 1500 && substitutables < 120; i++ {
+		client := hexpr.GenerateContract(rnd, 3)
+		oldSvc := hexpr.GenerateContract(rnd, 3)
+		newSvc := hexpr.GenerateContract(rnd, 3)
+		okOld, err := compliance.Compliant(client, oldSvc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !okOld {
+			continue
+		}
+		triples++
+		sub, err := compliance.Substitutable(oldSvc, newSvc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !sub {
+			continue
+		}
+		substitutables++
+		okNew, err := compliance.Compliant(client, newSvc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !okNew {
+			t.Fatalf("soundness violated:\n  client %s\n  old    %s\n  new    %s",
+				hexpr.Pretty(client), hexpr.Pretty(oldSvc), hexpr.Pretty(newSvc))
+		}
+	}
+	if substitutables == 0 {
+		t.Fatalf("degenerate sample: %d compliant triples, 0 substitutable", triples)
+	}
+}
+
+// TestSubstitutableTransitivity (randomized): the relation composes.
+func TestSubstitutableTransitivity(t *testing.T) {
+	rnd := rand.New(rand.NewSource(53))
+	found := 0
+	for i := 0; i < 2000 && found < 60; i++ {
+		a := hexpr.GenerateContract(rnd, 3)
+		b := hexpr.GenerateContract(rnd, 3)
+		c := hexpr.GenerateContract(rnd, 3)
+		ab, _ := compliance.Substitutable(a, b)
+		bc, _ := compliance.Substitutable(b, c)
+		if !ab || !bc {
+			continue
+		}
+		found++
+		ac, _ := compliance.Substitutable(a, c)
+		if !ac {
+			t.Fatalf("transitivity violated:\n  a %s\n  b %s\n  c %s",
+				hexpr.Pretty(a), hexpr.Pretty(b), hexpr.Pretty(c))
+		}
+	}
+	if found == 0 {
+		t.Fatal("degenerate sample: no chained substitutables")
+	}
+}
+
+func TestSubstitutableRejectsOpenTerms(t *testing.T) {
+	if _, err := compliance.Substitutable(hexpr.V("h"), hexpr.Eps()); err == nil {
+		t.Error("open old service must be rejected")
+	}
+}

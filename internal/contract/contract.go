@@ -1,0 +1,241 @@
+// Package contract implements the projection of history expressions onto
+// their communication actions (§4 of the paper) and the observable ready
+// sets of Definition 3. The projection H! of a history expression is a
+// behavioural contract in the sense of Castagna–Gesbert–Padovani [12],
+// restricted as in the paper: internal choices guarded by outputs, external
+// choices by inputs, and guarded tail recursion only — which makes every
+// contract finite-state.
+package contract
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"susc/internal/hexpr"
+	"susc/internal/lts"
+)
+
+// Project computes H!: it erases access events, policy framings and whole
+// inner session requests (open_{r,φ}…close_{r,φ}), keeping only the
+// communication structure:
+//
+//	(H·H′)! = H!·H′!      h! = h        φ[H]! = H!
+//	(μh.H)! = μh.(H!)     (Σ aᵢ.Hᵢ)! = Σ aᵢ.(Hᵢ!)
+//	(⊕ āᵢ.Hᵢ)! = ⊕ āᵢ.(Hᵢ)!
+//	(open_{r,φ}·H·close_{r,φ})! = ε! = α! = ε
+//
+// As a simplification, μh.H! collapses to H! when h no longer occurs after
+// projection, so a fully erased recursion becomes ε rather than μh.ε.
+func Project(e hexpr.Expr) hexpr.Expr {
+	switch t := e.(type) {
+	case hexpr.Nil, hexpr.Var:
+		return e
+	case hexpr.Ev:
+		return hexpr.Eps()
+	case hexpr.Session:
+		return hexpr.Eps()
+	case hexpr.CloseTag:
+		return hexpr.Eps()
+	case hexpr.Framing:
+		return Project(t.Body)
+	case hexpr.FrameClose:
+		return hexpr.Eps()
+	case hexpr.Seq:
+		return hexpr.Cat(Project(t.Left), Project(t.Right))
+	case hexpr.ExtChoice:
+		return hexpr.Ext(projectBranches(t.Branches)...)
+	case hexpr.IntChoice:
+		return hexpr.IntCh(projectBranches(t.Branches)...)
+	case hexpr.Rec:
+		body := Project(t.Body)
+		if !hexpr.FreeVars(body)[t.Name] {
+			return body
+		}
+		return hexpr.Mu(t.Name, body)
+	}
+	panic(fmt.Sprintf("contract: unknown expression %T", e))
+}
+
+func projectBranches(bs []hexpr.Branch) []hexpr.Branch {
+	out := make([]hexpr.Branch, len(bs))
+	for i, b := range bs {
+		out[i] = hexpr.Branch{Comm: b.Comm, Cont: Project(b.Cont)}
+	}
+	return out
+}
+
+// IsContract reports whether e lies in the contract fragment: only ε,
+// recursion variables, guarded tail recursion, choices and sequencing of
+// these ((H·H′)! = H!·H′!, so projections keep sequential structure).
+// Projections of closed expressions always satisfy it.
+func IsContract(e hexpr.Expr) bool {
+	ok := true
+	hexpr.Walk(e, func(x hexpr.Expr) {
+		switch x.(type) {
+		case hexpr.Ev, hexpr.Session, hexpr.Framing, hexpr.CloseTag, hexpr.FrameClose:
+			ok = false
+		}
+	})
+	return ok
+}
+
+// ReadySet is an observable ready set S ⊆ Comm: the communication actions a
+// contract is ready to execute. An internal choice offers one output at a
+// time; an external choice offers all its inputs at once.
+type ReadySet []hexpr.Comm
+
+// NewReadySet builds a canonical (sorted, deduplicated) ready set.
+func NewReadySet(cs ...hexpr.Comm) ReadySet {
+	seen := map[hexpr.Comm]bool{}
+	out := make(ReadySet, 0, len(cs))
+	for _, c := range cs {
+		if !seen[c] {
+			seen[c] = true
+			out = append(out, c)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Channel != out[j].Channel {
+			return out[i].Channel < out[j].Channel
+		}
+		return out[i].Dir < out[j].Dir
+	})
+	return out
+}
+
+// Key returns a canonical string for the set.
+func (s ReadySet) Key() string {
+	parts := make([]string, len(s))
+	for i, c := range s {
+		parts[i] = c.String()
+	}
+	return "{" + strings.Join(parts, ",") + "}"
+}
+
+func (s ReadySet) String() string { return s.Key() }
+
+// Contains reports membership.
+func (s ReadySet) Contains(c hexpr.Comm) bool {
+	for _, x := range s {
+		if x == c {
+			return true
+		}
+	}
+	return false
+}
+
+// IntersectsCo reports whether some action of s has its co-action in t —
+// the C ∩ S̄ ≠ ∅ test of Definition 4.
+func (s ReadySet) IntersectsCo(t ReadySet) bool {
+	for _, c := range s {
+		if t.Contains(c.Co()) {
+			return true
+		}
+	}
+	return false
+}
+
+// ReadySets computes the finite set {S | H ⇓ S} of Definition 3. The
+// expression must be in the contract fragment (project first otherwise).
+func ReadySets(e hexpr.Expr) ([]ReadySet, error) {
+	switch t := e.(type) {
+	case hexpr.Nil, hexpr.Var:
+		// ε ⇓ ∅ and h ⇓ ∅
+		return []ReadySet{NewReadySet()}, nil
+	case hexpr.IntChoice:
+		// ⊕ᵢ āᵢ.Hᵢ ⇓ {āᵢ}, one singleton per branch
+		out := make([]ReadySet, 0, len(t.Branches))
+		seen := map[string]bool{}
+		for _, b := range t.Branches {
+			s := NewReadySet(b.Comm)
+			if !seen[s.Key()] {
+				seen[s.Key()] = true
+				out = append(out, s)
+			}
+		}
+		return out, nil
+	case hexpr.ExtChoice:
+		// Σᵢ aᵢ.Hᵢ ⇓ ∪ᵢ{aᵢ}, a single set
+		cs := make([]hexpr.Comm, len(t.Branches))
+		for i, b := range t.Branches {
+			cs[i] = b.Comm
+		}
+		return []ReadySet{NewReadySet(cs...)}, nil
+	case hexpr.Rec:
+		// μh.H ⇓ S iff H ⇓ S
+		return ReadySets(t.Body)
+	case hexpr.Seq:
+		// H·H′ ⇓ S if H ⇓ S with S ≠ ∅; and H·H′ ⇓ S if H ⇓ ∅ and H′ ⇓ S
+		left, err := ReadySets(t.Left)
+		if err != nil {
+			return nil, err
+		}
+		var out []ReadySet
+		seen := map[string]bool{}
+		add := func(s ReadySet) {
+			if !seen[s.Key()] {
+				seen[s.Key()] = true
+				out = append(out, s)
+			}
+		}
+		emptyLeft := false
+		for _, s := range left {
+			if len(s) == 0 {
+				emptyLeft = true
+			} else {
+				add(s)
+			}
+		}
+		if emptyLeft {
+			right, err := ReadySets(t.Right)
+			if err != nil {
+				return nil, err
+			}
+			for _, s := range right {
+				add(s)
+			}
+		}
+		return out, nil
+	default:
+		return nil, fmt.Errorf("contract: ready sets undefined on %T (project first)", e)
+	}
+}
+
+// MustReadySets is ReadySets for expressions known to be contracts.
+func MustReadySets(e hexpr.Expr) []ReadySet {
+	out, err := ReadySets(e)
+	if err != nil {
+		panic(err)
+	}
+	return out
+}
+
+// RequestBody returns the body H₁ of the request open_{r,φ} H₁ close_{r,φ}
+// with the given identifier inside e, together with its policy. It is the
+// starting point of per-request compliance checking.
+func RequestBody(e hexpr.Expr, r hexpr.RequestID) (hexpr.Expr, hexpr.PolicyID, error) {
+	var body hexpr.Expr
+	var pol hexpr.PolicyID
+	found := false
+	hexpr.Walk(e, func(x hexpr.Expr) {
+		if s, ok := x.(hexpr.Session); ok && s.Req == r && !found {
+			found = true
+			body = s.Body
+			pol = s.Policy
+		}
+	})
+	if !found {
+		return nil, hexpr.NoPolicy, fmt.Errorf("contract: no request %q in expression", r)
+	}
+	return body, pol, nil
+}
+
+// Equivalent reports whether the contracts of two expressions are strongly
+// bisimilar: H₁! and H₂! match communication for communication. Equivalent
+// services are compliant with exactly the same clients, so either can
+// replace the other in a repository with no re-analysis (a two-sided
+// strengthening of compliance-preserving substitutability).
+func Equivalent(a, b hexpr.Expr) (bool, error) {
+	return lts.Bisimilar(Project(a), Project(b))
+}

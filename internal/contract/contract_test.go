@@ -1,0 +1,289 @@
+package contract_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"susc/internal/contract"
+	"susc/internal/hexpr"
+	"susc/internal/paperex"
+)
+
+func TestProjectErasesEventsFramingsSessions(t *testing.T) {
+	e := hexpr.Cat(
+		hexpr.Act(hexpr.E("sgn", hexpr.Int(1))),
+		hexpr.Frame("phi", hexpr.Act(hexpr.E("w"))),
+		hexpr.Open("r9", "phi", hexpr.SendThen("inner", hexpr.Eps())),
+		hexpr.SendThen("a", hexpr.Eps()),
+	)
+	got := contract.Project(e)
+	want := hexpr.SendThen("a", hexpr.Eps())
+	if !hexpr.Equal(got, want) {
+		t.Errorf("Project = %s, want %s", got.Key(), want.Key())
+	}
+}
+
+func TestProjectKeepsFramedCommunications(t *testing.T) {
+	// φ[H]! = H!: communications inside a framing survive.
+	e := hexpr.Frame("phi", hexpr.Cat(hexpr.Act(hexpr.E("a")), hexpr.RecvThen("x", hexpr.Eps())))
+	got := contract.Project(e)
+	want := hexpr.RecvThen("x", hexpr.Eps())
+	if !hexpr.Equal(got, want) {
+		t.Errorf("Project = %s, want %s", got.Key(), want.Key())
+	}
+}
+
+func TestProjectRecursion(t *testing.T) {
+	// μh. ā.(α.h) projects to μh. ā.h
+	e := hexpr.Mu("h", hexpr.SendThen("a", hexpr.Cat(hexpr.Act(hexpr.E("ev")), hexpr.V("h"))))
+	got := contract.Project(e)
+	want := hexpr.Mu("h", hexpr.SendThen("a", hexpr.V("h")))
+	if !hexpr.Equal(got, want) {
+		t.Errorf("Project = %s, want %s", got.Key(), want.Key())
+	}
+	// a recursion whose body fully erases collapses to ε
+	e2 := hexpr.Mu("h", hexpr.SendThen("a", hexpr.Act(hexpr.E("ev"))))
+	got2 := contract.Project(e2)
+	want2 := hexpr.SendThen("a", hexpr.Eps())
+	if !hexpr.Equal(got2, want2) {
+		t.Errorf("Project = %s, want %s", got2.Key(), want2.Key())
+	}
+}
+
+func TestProjectBrokerMatchesPaper(t *testing.T) {
+	// Br! = Req.(CoBo.Pay ⊕ NoAv): the nested open₃…close₃ disappears.
+	got := contract.Project(paperex.Broker())
+	want := hexpr.RecvThen("Req", hexpr.IntCh(
+		hexpr.B(hexpr.Out("CoBo"), hexpr.RecvThen("Pay", hexpr.Eps())),
+		hexpr.B(hexpr.Out("NoAv"), hexpr.Eps()),
+	))
+	if !hexpr.Equal(got, want) {
+		t.Errorf("Br! = %s, want %s", hexpr.Pretty(got), hexpr.Pretty(want))
+	}
+}
+
+func TestProjectHotelsMatchPaper(t *testing.T) {
+	// S1! = IdC.(Bok ⊕ UnA)
+	got := contract.Project(paperex.S1())
+	want := hexpr.RecvThen("IdC", hexpr.IntCh(
+		hexpr.B(hexpr.Out("Bok"), hexpr.Eps()),
+		hexpr.B(hexpr.Out("UnA"), hexpr.Eps()),
+	))
+	if !hexpr.Equal(got, want) {
+		t.Errorf("S1! = %s, want %s", hexpr.Pretty(got), hexpr.Pretty(want))
+	}
+	// S2! also offers Del
+	got2 := contract.Project(paperex.S2())
+	want2 := hexpr.RecvThen("IdC", hexpr.IntCh(
+		hexpr.B(hexpr.Out("Bok"), hexpr.Eps()),
+		hexpr.B(hexpr.Out("Del"), hexpr.Eps()),
+		hexpr.B(hexpr.Out("UnA"), hexpr.Eps()),
+	))
+	if !hexpr.Equal(got2, want2) {
+		t.Errorf("S2! = %s, want %s", hexpr.Pretty(got2), hexpr.Pretty(want2))
+	}
+}
+
+func TestProjectClosedStaysClosedAndContract(t *testing.T) {
+	rnd := rand.New(rand.NewSource(21))
+	cfg := hexpr.DefaultGenConfig()
+	for i := 0; i < 500; i++ {
+		e := hexpr.Generate(rnd, cfg)
+		p := contract.Project(e)
+		if !hexpr.Closed(p) {
+			t.Fatalf("projection of closed expr not closed: %s -> %s", e.Key(), p.Key())
+		}
+		if !contract.IsContract(p) {
+			t.Fatalf("projection not a contract: %s -> %s", e.Key(), p.Key())
+		}
+		if err := hexpr.Check(p); err != nil {
+			t.Fatalf("projection ill-formed: %v", err)
+		}
+		// projection is idempotent
+		if !hexpr.Equal(contract.Project(p), p) {
+			t.Fatalf("projection not idempotent on %s", p.Key())
+		}
+	}
+}
+
+func TestIsContract(t *testing.T) {
+	if !contract.IsContract(hexpr.Eps()) {
+		t.Error("eps is a contract")
+	}
+	if contract.IsContract(hexpr.Act(hexpr.E("a"))) {
+		t.Error("an event is not a contract")
+	}
+	if contract.IsContract(hexpr.Frame("phi", hexpr.Eps())) {
+		t.Error("a framing is not a contract")
+	}
+}
+
+func readySetKeys(t *testing.T, e hexpr.Expr) map[string]bool {
+	t.Helper()
+	sets, err := contract.ReadySets(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := map[string]bool{}
+	for _, s := range sets {
+		out[s.Key()] = true
+	}
+	return out
+}
+
+// TestReadySetsPaperExamples checks the examples given below Definition 3:
+// (ā₁⊕ā₂) ⇓ {ā₁} and {ā₂}; (a₁+a₂) ⇓ {a₁,a₂};
+// μh.(ā₁⊕ā₂)·b̄·h ⇓ {ā₁} and {ā₂}; ε·(a+b)·(d̄⊕ē) ⇓ {a,b}.
+func TestReadySetsPaperExamples(t *testing.T) {
+	intc := hexpr.IntCh(
+		hexpr.B(hexpr.Out("a1"), hexpr.Eps()),
+		hexpr.B(hexpr.Out("a2"), hexpr.Eps()),
+	)
+	got := readySetKeys(t, intc)
+	if len(got) != 2 || !got["{a1!}"] || !got["{a2!}"] {
+		t.Errorf("internal choice ready sets = %v", got)
+	}
+
+	extc := hexpr.Ext(
+		hexpr.B(hexpr.In("a1"), hexpr.Eps()),
+		hexpr.B(hexpr.In("a2"), hexpr.Eps()),
+	)
+	got = readySetKeys(t, extc)
+	if len(got) != 1 || !got["{a1?,a2?}"] {
+		t.Errorf("external choice ready sets = %v", got)
+	}
+
+	rec := hexpr.Mu("h", hexpr.IntCh(
+		hexpr.B(hexpr.Out("a1"), hexpr.SendThen("b", hexpr.V("h"))),
+		hexpr.B(hexpr.Out("a2"), hexpr.SendThen("b", hexpr.V("h"))),
+	))
+	got = readySetKeys(t, rec)
+	if len(got) != 2 || !got["{a1!}"] || !got["{a2!}"] {
+		t.Errorf("recursive ready sets = %v", got)
+	}
+
+	seq := hexpr.Cat(
+		hexpr.Ext(hexpr.B(hexpr.In("a"), hexpr.Eps()), hexpr.B(hexpr.In("b"), hexpr.Eps())),
+		hexpr.IntCh(hexpr.B(hexpr.Out("d"), hexpr.Eps()), hexpr.B(hexpr.Out("e"), hexpr.Eps())),
+	)
+	got = readySetKeys(t, seq)
+	if len(got) != 1 || !got["{a?,b?}"] {
+		t.Errorf("sequence ready sets = %v", got)
+	}
+}
+
+func TestReadySetsEpsAndSeqThroughEmpty(t *testing.T) {
+	got := readySetKeys(t, hexpr.Eps())
+	if len(got) != 1 || !got["{}"] {
+		t.Errorf("eps ready sets = %v", got)
+	}
+	// (ā ⊕ ε-branch)·b̄: the ⊕ branch with empty continuation exposes b̄?
+	// Here: left = ā.ε ⊕ c̄.ε never has the empty ready set, so the right is
+	// invisible.
+	seq := hexpr.Cat(
+		hexpr.IntCh(hexpr.B(hexpr.Out("a"), hexpr.Eps()), hexpr.B(hexpr.Out("c"), hexpr.Eps())),
+		hexpr.SendThen("b", hexpr.Eps()),
+	)
+	got = readySetKeys(t, seq)
+	if got["{b!}"] {
+		t.Errorf("b! must be hidden behind the non-empty left: %v", got)
+	}
+}
+
+func TestReadySetsErrorOnNonContract(t *testing.T) {
+	if _, err := contract.ReadySets(hexpr.Act(hexpr.E("a"))); err == nil {
+		t.Error("ReadySets must reject non-contract expressions")
+	}
+	if _, err := contract.ReadySets(hexpr.Cat(hexpr.Eps(), hexpr.Eps())); err != nil {
+		t.Errorf("eps-seq: %v", err)
+	}
+}
+
+func TestReadySetOps(t *testing.T) {
+	s := contract.NewReadySet(hexpr.Out("b"), hexpr.Out("a"), hexpr.Out("a"))
+	if s.Key() != "{a!,b!}" {
+		t.Errorf("canonical key = %q", s.Key())
+	}
+	if !s.Contains(hexpr.Out("a")) || s.Contains(hexpr.In("a")) {
+		t.Error("Contains wrong")
+	}
+	// client ready {a!}, server ready {a?}: co-intersection non-empty
+	c := contract.NewReadySet(hexpr.Out("a"))
+	v := contract.NewReadySet(hexpr.In("a"), hexpr.In("b"))
+	if !c.IntersectsCo(v) {
+		t.Error("a! should synchronise with a?")
+	}
+	if c.IntersectsCo(contract.NewReadySet(hexpr.In("b"))) {
+		t.Error("a! cannot synchronise with b?")
+	}
+}
+
+func TestRequestBody(t *testing.T) {
+	c1 := paperex.C1()
+	body, pol, err := contract.RequestBody(c1, "r1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pol != paperex.Phi1().ID() {
+		t.Errorf("policy = %s", pol)
+	}
+	if hexpr.IsNil(body) {
+		t.Error("body must not be empty")
+	}
+	if _, _, err := contract.RequestBody(c1, "nope"); err == nil {
+		t.Error("missing request should error")
+	}
+	// nested request of the broker
+	_, pol3, err := contract.RequestBody(paperex.Broker(), "r3")
+	if err != nil || pol3 != hexpr.NoPolicy {
+		t.Errorf("r3 policy = %v, err %v", pol3, err)
+	}
+}
+
+func TestReadySetsMoreShapes(t *testing.T) {
+	// recursion: μh. (ā.h ⊕ b̄)
+	rec := hexpr.Mu("h", hexpr.IntCh(
+		hexpr.B(hexpr.Out("a"), hexpr.V("h")),
+		hexpr.B(hexpr.Out("b"), hexpr.Eps()),
+	))
+	got := readySetKeys(t, rec)
+	if len(got) != 2 || !got["{a!}"] || !got["{b!}"] {
+		t.Errorf("recursive ready sets = %v", got)
+	}
+	// a bare variable has the empty ready set
+	sets, err := contract.ReadySets(hexpr.V("h"))
+	if err != nil || len(sets) != 1 || len(sets[0]) != 0 {
+		t.Errorf("var ready sets = %v, %v", sets, err)
+	}
+	// duplicate singleton sets are deduplicated
+	dup := hexpr.IntChoice{Branches: []hexpr.Branch{
+		{Comm: hexpr.Out("a"), Cont: hexpr.Eps()},
+		{Comm: hexpr.Out("a"), Cont: hexpr.SendThen("b", hexpr.Eps())},
+	}}
+	got = readySetKeys(t, dup)
+	if len(got) != 1 || !got["{a!}"] {
+		t.Errorf("dedup ready sets = %v", got)
+	}
+	// MustReadySets panics on non-contracts
+	if contract.MustReadySets(hexpr.Eps())[0].String() != "{}" {
+		t.Error("MustReadySets/String wrong")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MustReadySets should panic on events")
+		}
+	}()
+	contract.MustReadySets(hexpr.Act(hexpr.E("a")))
+}
+
+func TestReadySetsSeqErrorPropagates(t *testing.T) {
+	// Seq with a non-contract on the right whose left can be empty
+	bad := hexpr.Seq{Left: hexpr.V("h"), Right: hexpr.Act(hexpr.E("a"))}
+	if _, err := contract.ReadySets(bad); err == nil {
+		t.Error("non-contract right under empty left must error")
+	}
+	bad2 := hexpr.Seq{Left: hexpr.Act(hexpr.E("a")), Right: hexpr.Eps()}
+	if _, err := contract.ReadySets(bad2); err == nil {
+		t.Error("non-contract left must error")
+	}
+}

@@ -1,0 +1,56 @@
+package contract
+
+import (
+	"fmt"
+
+	"susc/internal/hexpr"
+)
+
+// Dual returns the canonical dual of a contract: inputs become outputs and
+// vice versa, so external choices become internal ones and conversely. The
+// dual is the most permissive partner: every contract is compliant with
+// its dual (property-tested), which makes Dual useful both as a test
+// oracle and as a "what would a satisfying service look like" query.
+//
+// The argument is projected first, so any closed history expression is
+// accepted; the result is its contract's dual.
+func Dual(e hexpr.Expr) (hexpr.Expr, error) {
+	c := Project(e)
+	if !hexpr.Closed(c) {
+		return nil, fmt.Errorf("contract: dual of an open term")
+	}
+	return dual(c), nil
+}
+
+// MustDual is Dual panicking on error.
+func MustDual(e hexpr.Expr) hexpr.Expr {
+	d, err := Dual(e)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+func dual(e hexpr.Expr) hexpr.Expr {
+	switch t := e.(type) {
+	case hexpr.Nil, hexpr.Var:
+		return e
+	case hexpr.Rec:
+		return hexpr.Mu(t.Name, dual(t.Body))
+	case hexpr.Seq:
+		return hexpr.Cat(dual(t.Left), dual(t.Right))
+	case hexpr.ExtChoice:
+		return hexpr.IntCh(dualBranches(t.Branches)...)
+	case hexpr.IntChoice:
+		return hexpr.Ext(dualBranches(t.Branches)...)
+	}
+	panic(fmt.Sprintf("contract: dual of non-contract node %T", e))
+}
+
+func dualBranches(bs []hexpr.Branch) []hexpr.Branch {
+	out := make([]hexpr.Branch, len(bs))
+	for i, b := range bs {
+		out[i] = hexpr.Branch{Comm: b.Comm.Co(), Cont: dual(b.Cont)}
+	}
+	return out
+}

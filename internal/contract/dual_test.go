@@ -1,0 +1,92 @@
+package contract_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"susc/internal/compliance"
+	"susc/internal/contract"
+	"susc/internal/hexpr"
+	"susc/internal/paperex"
+)
+
+func TestDualBasics(t *testing.T) {
+	d := contract.MustDual(hexpr.SendThen("a", hexpr.RecvThen("b", hexpr.Eps())))
+	want := hexpr.RecvThen("a", hexpr.SendThen("b", hexpr.Eps()))
+	if !hexpr.Equal(d, want) {
+		t.Errorf("dual = %s, want %s", d.Key(), want.Key())
+	}
+	// dual of the broker's contract is the canonical broker client
+	brDual := contract.MustDual(paperex.Broker())
+	want = hexpr.SendThen("Req", hexpr.Ext(
+		hexpr.B(hexpr.In("CoBo"), hexpr.SendThen("Pay", hexpr.Eps())),
+		hexpr.B(hexpr.In("NoAv"), hexpr.Eps()),
+	))
+	if !hexpr.Equal(brDual, want) {
+		t.Errorf("dual(Br) = %s, want %s", brDual.Key(), want.Key())
+	}
+}
+
+func TestDualInvolution(t *testing.T) {
+	rnd := rand.New(rand.NewSource(71))
+	for i := 0; i < 300; i++ {
+		c := hexpr.GenerateContract(rnd, 4)
+		dd := contract.MustDual(contract.MustDual(c))
+		// involution holds up to projection normalisation (e.g. unused μ
+		// binders collapse when projecting)
+		if !hexpr.Equal(dd, contract.Project(c)) {
+			t.Fatalf("dual not involutive on %s: got %s", c.Key(), dd.Key())
+		}
+	}
+}
+
+// TestDualIsCompliantPartner: every contract is compliant with its dual —
+// both as client and (when the original is a reasonable client) the dual
+// serves it exactly.
+func TestDualIsCompliantPartner(t *testing.T) {
+	rnd := rand.New(rand.NewSource(72))
+	for i := 0; i < 400; i++ {
+		c := hexpr.GenerateContract(rnd, 4)
+		d := contract.MustDual(c)
+		ok, err := compliance.Compliant(c, d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			t.Fatalf("contract not compliant with its dual:\n  c %s\n  d %s",
+				hexpr.Pretty(c), hexpr.Pretty(d))
+		}
+	}
+}
+
+// TestDualOfPaperClients: the duals of the clients' request bodies are
+// services the brokers could be (compliance holds).
+func TestDualOfPaperClients(t *testing.T) {
+	body, _, err := contract.RequestBody(paperex.C1(), "r1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := contract.MustDual(body)
+	ok, err := compliance.Compliant(body, d)
+	if err != nil || !ok {
+		t.Errorf("C1's body should be compliant with its dual: %v %v", ok, err)
+	}
+	// and the real broker is substitutable-compatible with the dual in the
+	// sense that both serve C1
+	ok, err = compliance.Compliant(body, paperex.Broker())
+	if err != nil || !ok {
+		t.Errorf("C1's body should be compliant with Br: %v %v", ok, err)
+	}
+}
+
+func TestDualRejectsOpenTerms(t *testing.T) {
+	if _, err := contract.Dual(hexpr.V("h")); err == nil {
+		t.Error("dual of an open term must fail")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MustDual should panic")
+		}
+	}()
+	contract.MustDual(hexpr.V("h"))
+}

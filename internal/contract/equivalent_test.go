@@ -1,0 +1,105 @@
+package contract_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"susc/internal/compliance"
+	"susc/internal/contract"
+	"susc/internal/hexpr"
+	"susc/internal/paperex"
+)
+
+func TestEquivalentIgnoresEventsAndFramings(t *testing.T) {
+	// the same communications, different security decoration
+	a := hexpr.Cat(
+		hexpr.Act(hexpr.E("x")),
+		hexpr.Frame("phi", hexpr.RecvThen("go", hexpr.SendThen("done", hexpr.Eps()))),
+	)
+	b := hexpr.RecvThen("go", hexpr.Cat(hexpr.Act(hexpr.E("y")), hexpr.SendThen("done", hexpr.Eps())))
+	ok, err := contract.Equivalent(a, b)
+	if err != nil || !ok {
+		t.Errorf("contracts should be equivalent: %v %v", ok, err)
+	}
+}
+
+func TestEquivalentHotels(t *testing.T) {
+	// S1, S3 and S4 all have the same contract; S2 differs (Del)
+	ok, err := contract.Equivalent(paperex.S1(), paperex.S3())
+	if err != nil || !ok {
+		t.Errorf("S1 ≡ S3: %v %v", ok, err)
+	}
+	ok, err = contract.Equivalent(paperex.S1(), paperex.S2())
+	if err != nil || ok {
+		t.Errorf("S1 ≢ S2: %v %v", ok, err)
+	}
+}
+
+// TestEquivalentPreservesCompliance (randomized): equivalent servers are
+// compliant with the same clients.
+func TestEquivalentPreservesCompliance(t *testing.T) {
+	rnd := rand.New(rand.NewSource(63))
+	equivalents := 0
+	for i := 0; i < 800 && equivalents < 60; i++ {
+		s1 := hexpr.GenerateContract(rnd, 3)
+		s2 := hexpr.GenerateContract(rnd, 3)
+		eq, err := contract.Equivalent(s1, s2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !eq {
+			continue
+		}
+		equivalents++
+		client := hexpr.GenerateContract(rnd, 3)
+		c1, err := compliance.Compliant(client, s1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c2, err := compliance.Compliant(client, s2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c1 != c2 {
+			t.Fatalf("equivalence does not preserve compliance:\n  client %s\n  s1 %s\n  s2 %s",
+				hexpr.Pretty(client), hexpr.Pretty(s1), hexpr.Pretty(s2))
+		}
+	}
+	if equivalents == 0 {
+		t.Fatal("degenerate sample: no equivalent pairs")
+	}
+}
+
+// TestEquivalentImpliesTwoWaySubstitutable: equivalence is stronger than
+// substitutability in both directions on the samples.
+func TestEquivalentImpliesTwoWaySubstitutable(t *testing.T) {
+	rnd := rand.New(rand.NewSource(64))
+	checked := 0
+	for i := 0; i < 800 && checked < 40; i++ {
+		s1 := hexpr.GenerateContract(rnd, 3)
+		s2 := hexpr.GenerateContract(rnd, 3)
+		eq, err := contract.Equivalent(s1, s2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !eq {
+			continue
+		}
+		checked++
+		fwd, err := compliance.Substitutable(s1, s2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bwd, err := compliance.Substitutable(s2, s1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !fwd || !bwd {
+			t.Fatalf("equivalent but not two-way substitutable:\n  s1 %s\n  s2 %s",
+				hexpr.Pretty(s1), hexpr.Pretty(s2))
+		}
+	}
+	if checked == 0 {
+		t.Fatal("degenerate sample")
+	}
+}

@@ -1,0 +1,37 @@
+package hexpr_test
+
+import (
+	"fmt"
+
+	"susc/internal/hexpr"
+)
+
+// Build the paper's client C1 with the combinators and print it in the
+// surface syntax.
+func Example() {
+	c1 := hexpr.Open("r1", "phi1",
+		hexpr.SendThen("Req", hexpr.Ext(
+			hexpr.B(hexpr.In("CoBo"), hexpr.SendThen("Pay", hexpr.Eps())),
+			hexpr.B(hexpr.In("NoAv"), hexpr.Eps()),
+		)))
+	fmt.Println(hexpr.Pretty(c1))
+	fmt.Println(hexpr.Check(c1) == nil)
+	// Output:
+	// open r1 with phi1 { Req!.(CoBo?.Pay! + NoAv?) }
+	// true
+}
+
+// Cat normalises sequential composition: ε disappears and continuations
+// distribute into choices, giving every term one canonical form.
+func ExampleCat() {
+	prefix := hexpr.Ext(
+		hexpr.B(hexpr.In("a"), hexpr.Eps()),
+		hexpr.B(hexpr.In("b"), hexpr.Eps()),
+	)
+	rest := hexpr.SendThen("done", hexpr.Eps())
+	fmt.Println(hexpr.Pretty(hexpr.Cat(prefix, rest)))
+	fmt.Println(hexpr.Pretty(hexpr.Cat(hexpr.Eps(), rest, hexpr.Eps())))
+	// Output:
+	// a?.done! + b?.done!
+	// done!
+}

@@ -1,0 +1,307 @@
+package hexpr
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestValueBasics(t *testing.T) {
+	i := Int(45)
+	s := Sym("s1")
+	if !i.IsInt() || i.IntVal() != 45 {
+		t.Errorf("Int(45) = %v", i)
+	}
+	if !s.IsSym() || s.SymVal() != "s1" {
+		t.Errorf("Sym(s1) = %v", s)
+	}
+	if i.Equal(s) {
+		t.Error("Int(45) should differ from Sym(s1)")
+	}
+	if i.String() != "45" || s.String() != "s1" {
+		t.Errorf("String: %q %q", i, s)
+	}
+}
+
+func TestValueCompare(t *testing.T) {
+	cases := []struct {
+		a, b Value
+		want int
+	}{
+		{Int(1), Int(2), -1},
+		{Int(2), Int(1), 1},
+		{Int(2), Int(2), 0},
+		{Int(99), Sym("a"), -1},
+		{Sym("a"), Int(99), 1},
+		{Sym("a"), Sym("b"), -1},
+		{Sym("b"), Sym("b"), 0},
+	}
+	for _, c := range cases {
+		if got := c.a.Compare(c.b); got != c.want {
+			t.Errorf("Compare(%v,%v) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestParseValue(t *testing.T) {
+	v, err := ParseValue("42")
+	if err != nil || !v.IsInt() || v.IntVal() != 42 {
+		t.Errorf("ParseValue(42) = %v, %v", v, err)
+	}
+	v, err = ParseValue("s3")
+	if err != nil || !v.IsSym() || v.SymVal() != "s3" {
+		t.Errorf("ParseValue(s3) = %v, %v", v, err)
+	}
+	if _, err := ParseValue(""); err == nil {
+		t.Error("ParseValue(\"\") should fail")
+	}
+}
+
+func TestEventString(t *testing.T) {
+	e := E("sgn", Int(3))
+	if e.String() != "sgn(3)" {
+		t.Errorf("got %q", e)
+	}
+	if E("done").String() != "done" {
+		t.Errorf("got %q", E("done"))
+	}
+	if !e.Equal(E("sgn", Int(3))) {
+		t.Error("equal events not Equal")
+	}
+	if e.Equal(E("sgn", Int(4))) || e.Equal(E("sgn")) || e.Equal(E("p", Int(3))) {
+		t.Error("different events reported Equal")
+	}
+}
+
+func TestCommCo(t *testing.T) {
+	a := In("req")
+	if a.Co() != Out("req") || a.Co().Co() != a {
+		t.Errorf("co-action of %v wrong", a)
+	}
+	if a.String() != "req?" || a.Co().String() != "req!" {
+		t.Errorf("strings: %q %q", a, a.Co())
+	}
+}
+
+func TestCatNormalisation(t *testing.T) {
+	a, b, c := Act(E("a")), Act(E("b")), Act(E("c"))
+	// ε·H ≡ H ≡ H·ε
+	if !Equal(Cat(Eps(), a), a) {
+		t.Error("eps.a != a")
+	}
+	if !Equal(Cat(a, Eps()), a) {
+		t.Error("a.eps != a")
+	}
+	if !Equal(Cat(), Eps()) {
+		t.Error("empty Cat != eps")
+	}
+	// associativity
+	if !Equal(Cat(Cat(a, b), c), Cat(a, Cat(b, c))) {
+		t.Error("Cat not associative under Key")
+	}
+	if Cat(a, b).Key() != "(a . b)" {
+		t.Errorf("key %q", Cat(a, b).Key())
+	}
+}
+
+func TestChoiceCanonicalisation(t *testing.T) {
+	x := Ext(B(In("b"), Eps()), B(In("a"), Eps()))
+	y := Ext(B(In("a"), Eps()), B(In("b"), Eps()))
+	if !Equal(x, y) {
+		t.Errorf("branch order should not matter: %q vs %q", x.Key(), y.Key())
+	}
+	if !IsNil(Ext()) || !IsNil(IntCh()) {
+		t.Error("empty choice should normalise to eps")
+	}
+}
+
+func TestSubstAndUnfold(t *testing.T) {
+	// μh. a!.h
+	r := Mu("h", SendThen("a", V("h"))).(Rec)
+	u := Unfold(r)
+	want := SendThen("a", r)
+	if !Equal(u, want) {
+		t.Errorf("unfold = %s, want %s", u.Key(), want.Key())
+	}
+	// substitution stops at rebinding
+	inner := Mu("h", SendThen("b", V("h")))
+	e := Cat(V("h"), inner)
+	got := Subst(e, "h", Act(E("x")))
+	want2 := Cat(Act(E("x")), inner)
+	if !Equal(got, want2) {
+		t.Errorf("subst = %s, want %s", got.Key(), want2.Key())
+	}
+}
+
+func TestFreeVarsClosed(t *testing.T) {
+	if !Closed(Mu("h", SendThen("a", V("h")))) {
+		t.Error("μh.ā.h should be closed")
+	}
+	if Closed(V("h")) {
+		t.Error("h should not be closed")
+	}
+	fv := FreeVars(Cat(V("x"), Mu("y", RecvThen("a", V("y")))))
+	if !fv["x"] || fv["y"] || len(fv) != 1 {
+		t.Errorf("free vars = %v", fv)
+	}
+}
+
+func TestRequestsPoliciesEventsChannels(t *testing.T) {
+	e := Open("r1", "phi1", Cat(
+		SendThen("Req", Eps()),
+		Open("r2", NoPolicy, RecvThen("IdC", Eps())),
+		Frame("psi", Act(E("w", Int(1)))),
+	))
+	reqs := Requests(e)
+	if len(reqs) != 2 || reqs[0] != "r1" || reqs[1] != "r2" {
+		t.Errorf("requests = %v", reqs)
+	}
+	pols := Policies(e)
+	if len(pols) != 2 || pols[0] != "phi1" || pols[1] != "psi" {
+		t.Errorf("policies = %v", pols)
+	}
+	evs := Events(e)
+	if len(evs) != 1 || evs[0].Name != "w" {
+		t.Errorf("events = %v", evs)
+	}
+	chs := Channels(e)
+	if len(chs) != 2 || chs[0] != "Req" || chs[1] != "IdC" {
+		t.Errorf("channels = %v", chs)
+	}
+}
+
+func TestCheckAccepts(t *testing.T) {
+	good := []Expr{
+		Eps(),
+		Act(E("a")),
+		Mu("h", SendThen("a", V("h"))),
+		Mu("h", Ext(B(In("a"), V("h")), B(In("b"), Eps()))),
+		Open("r1", "phi", SendThen("Req", RecvThen("Ans", Eps()))),
+		Frame("phi", Cat(Act(E("a")), Act(E("b")))),
+		// recursion through a nested choice
+		Mu("h", IntCh(B(Out("a"), RecvThen("b", V("h"))), B(Out("c"), Eps()))),
+	}
+	for _, e := range good {
+		if err := Check(e); err != nil {
+			t.Errorf("Check(%s) = %v, want nil", e.Key(), err)
+		}
+	}
+}
+
+func TestCheckRejects(t *testing.T) {
+	bad := []struct {
+		e      Expr
+		reason string
+	}{
+		{V("h"), "free"},
+		{Mu("h", V("h")), "unguarded"},
+		{Mu("h", Cat(Act(E("a")), V("h"))), "unguarded"},
+		{Mu("h", SendThen("a", Cat(V("h"), Act(E("b"))))), "non-tail"},
+		{Mu("h", SendThen("a", Frame("phi", V("h")))), "non-tail"},
+		{Mu("h", SendThen("a", Open("r1", "phi", V("h")))), "non-tail"},
+		{ExtChoice{Branches: []Branch{{Comm: Out("a"), Cont: Nil{}}}}, "output"},
+		{IntChoice{Branches: []Branch{{Comm: In("a"), Cont: Nil{}}}}, "input"},
+		{Cat(Open("r1", "phi", Eps()), Open("r1", "phi", Eps())), "duplicate"},
+		{CloseTag{Req: "r1"}, "residual"},
+		{FrameClose{Policy: "phi"}, "residual"},
+		{ExtChoice{}, "empty"},
+	}
+	for _, c := range bad {
+		err := Check(c.e)
+		if err == nil {
+			t.Errorf("Check(%s) = nil, want error mentioning %q", c.e.Key(), c.reason)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.reason) {
+			t.Errorf("Check(%s) = %v, want mention of %q", c.e.Key(), err, c.reason)
+		}
+	}
+}
+
+func TestPretty(t *testing.T) {
+	cases := []struct {
+		e    Expr
+		want string
+	}{
+		{Eps(), "eps"},
+		{Act(E("sgn", Int(1))), "sgn(1)"},
+		{Cat(Act(E("a")), Act(E("b"))), "a() . b()"},
+		{SendThen("a", Eps()), "a!"},
+		{RecvThen("a", RecvThen("b", Eps())), "a?.b?"},
+		{Ext(B(In("a"), Eps()), B(In("b"), Eps())), "a? + b?"},
+		{IntCh(B(Out("a"), Eps()), B(Out("b"), Eps())), "a! (+) b!"},
+		{Mu("h", SendThen("a", V("h"))), "mu h. a!.h"},
+		{Open("r1", "phi", SendThen("Req", Eps())), "open r1 with phi { Req! }"},
+		{Open("r3", NoPolicy, Eps()), "open r3 { eps }"},
+		{Frame("phi", Act(E("a"))), "enforce phi { a() }"},
+	}
+	for _, c := range cases {
+		if got := Pretty(c.e); got != c.want {
+			t.Errorf("Pretty = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestGenerateWellFormed(t *testing.T) {
+	rnd := rand.New(rand.NewSource(1))
+	cfg := DefaultGenConfig()
+	for i := 0; i < 500; i++ {
+		e := Generate(rnd, cfg)
+		if err := Check(e); err != nil {
+			t.Fatalf("generated ill-formed expression: %v", err)
+		}
+	}
+}
+
+func TestGenerateContractFragment(t *testing.T) {
+	rnd := rand.New(rand.NewSource(2))
+	for i := 0; i < 500; i++ {
+		e := GenerateContract(rnd, 5)
+		if err := Check(e); err != nil {
+			t.Fatalf("generated ill-formed contract: %v", err)
+		}
+		Walk(e, func(x Expr) {
+			switch x.(type) {
+			case Ev, Session, Framing, Seq:
+				t.Fatalf("contract fragment contains %T: %s", x, e.Key())
+			}
+		})
+	}
+}
+
+func TestKeyInjectivity(t *testing.T) {
+	rnd := rand.New(rand.NewSource(3))
+	cfg := DefaultGenConfig()
+	seen := map[string]Expr{}
+	for i := 0; i < 300; i++ {
+		e := Generate(rnd, cfg)
+		k := e.Key()
+		if old, ok := seen[k]; ok {
+			// same key must round-trip to the same pretty form
+			if Pretty(old) != Pretty(e) {
+				t.Errorf("key collision: %q vs %q", Pretty(old), Pretty(e))
+			}
+		}
+		seen[k] = e
+	}
+}
+
+func TestSizeAndWalk(t *testing.T) {
+	e := Cat(Act(E("a")), Frame("phi", Act(E("b"))))
+	// Seq, Ev, Framing, Ev
+	if got := Size(e); got != 4 {
+		t.Errorf("Size = %d, want 4", got)
+	}
+}
+
+func TestSubstClosedIsIdentity(t *testing.T) {
+	rnd := rand.New(rand.NewSource(4))
+	cfg := DefaultGenConfig()
+	for i := 0; i < 200; i++ {
+		e := Generate(rnd, cfg)
+		got := Subst(e, "zzz", Act(E("boom")))
+		if !Equal(got, e) {
+			t.Fatalf("subst of unused var changed term: %s -> %s", e.Key(), got.Key())
+		}
+	}
+}

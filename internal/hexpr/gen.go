@@ -1,0 +1,183 @@
+package hexpr
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// GenConfig controls random history-expression generation. Random
+// expressions are used by the property-based tests and as workload
+// generators for the benchmark harness.
+type GenConfig struct {
+	// MaxDepth bounds the nesting depth of generated terms.
+	MaxDepth int
+	// Channels is the alphabet of channel names.
+	Channels []string
+	// Events is the alphabet of event names.
+	Events []string
+	// Policies is the pool of policy identifiers for framings/sessions.
+	Policies []PolicyID
+	// MaxBranches bounds the width of generated choices (min 1).
+	MaxBranches int
+	// WithSessions enables generation of open_{r,φ}…close_{r,φ} subterms.
+	WithSessions bool
+	// WithFramings enables generation of φ[…] subterms.
+	WithFramings bool
+	// WithRecursion enables generation of guarded tail recursion.
+	WithRecursion bool
+	// ContractOnly restricts generation to the projected-contract fragment:
+	// only ε, choices and guarded tail recursion (no events, sessions,
+	// framings or general sequencing).
+	ContractOnly bool
+}
+
+// DefaultGenConfig is a reasonable configuration for property tests.
+func DefaultGenConfig() GenConfig {
+	return GenConfig{
+		MaxDepth:      5,
+		Channels:      []string{"a", "b", "c", "d"},
+		Events:        []string{"read", "write", "sgn"},
+		Policies:      []PolicyID{"phi", "psi"},
+		MaxBranches:   3,
+		WithSessions:  true,
+		WithFramings:  true,
+		WithRecursion: true,
+	}
+}
+
+// Generate produces a random well-formed closed history expression. The
+// result always satisfies Check.
+func Generate(rnd *rand.Rand, cfg GenConfig) Expr {
+	g := &generator{rnd: rnd, cfg: cfg}
+	e := g.expr(cfg.MaxDepth, nil, true)
+	return e
+}
+
+type generator struct {
+	rnd  *rand.Rand
+	cfg  GenConfig
+	reqs int
+}
+
+func (g *generator) channel() string {
+	return g.cfg.Channels[g.rnd.Intn(len(g.cfg.Channels))]
+}
+
+func (g *generator) event() Event {
+	name := g.cfg.Events[g.rnd.Intn(len(g.cfg.Events))]
+	if g.rnd.Intn(2) == 0 {
+		return E(name)
+	}
+	return E(name, Int(g.rnd.Intn(100)))
+}
+
+func (g *generator) policy() PolicyID {
+	return g.cfg.Policies[g.rnd.Intn(len(g.cfg.Policies))]
+}
+
+// expr generates a term. vars is the stack of recursion variables usable in
+// guarded tail position; tail reports whether the hole is a tail context.
+func (g *generator) expr(depth int, vars []string, tail bool) Expr {
+	if depth <= 0 {
+		return Nil{}
+	}
+	kinds := []int{0, 1, 1, 2, 2} // eps, ext, int (choices weighted up)
+	if !g.cfg.ContractOnly {
+		kinds = append(kinds, 3, 4) // event, seq
+		if g.cfg.WithSessions {
+			kinds = append(kinds, 5)
+		}
+		if g.cfg.WithFramings {
+			kinds = append(kinds, 6)
+		}
+	}
+	if g.cfg.WithRecursion && tail {
+		kinds = append(kinds, 7)
+	}
+	switch kinds[g.rnd.Intn(len(kinds))] {
+	case 0:
+		return Nil{}
+	case 1:
+		return Ext(g.branches(depth, vars, tail, Recv)...)
+	case 2:
+		return IntCh(g.branches(depth, vars, tail, Send)...)
+	case 3:
+		return Act(g.event())
+	case 4:
+		// The left of a sequence is not a tail context.
+		return Cat(g.expr(depth-1, nil, false), g.expr(depth-1, vars, tail))
+	case 5:
+		g.reqs++
+		return Open(RequestID(fmt.Sprintf("r%d", g.reqs)), g.policy(),
+			g.expr(depth-1, nil, false))
+	case 6:
+		return Frame(g.policy(), g.expr(depth-1, nil, false))
+	default:
+		name := fmt.Sprintf("h%d", len(vars))
+		body := g.recBody(depth-1, append(vars, name))
+		return Mu(name, body)
+	}
+}
+
+// recBody generates a body for μh.H in which h, if used, is guarded and in
+// tail position: a choice whose continuations may end in a variable.
+func (g *generator) recBody(depth int, vars []string) Expr {
+	n := 1 + g.rnd.Intn(g.cfg.MaxBranches)
+	dir := Recv
+	if g.rnd.Intn(2) == 0 {
+		dir = Send
+	}
+	bs := make([]Branch, 0, n)
+	seen := map[string]bool{}
+	for i := 0; i < n; i++ {
+		ch := g.channel()
+		if seen[ch] {
+			continue
+		}
+		seen[ch] = true
+		var cont Expr
+		if g.rnd.Intn(2) == 0 {
+			cont = Var{Name: vars[g.rnd.Intn(len(vars))]}
+		} else {
+			cont = g.expr(depth-1, vars, true)
+		}
+		bs = append(bs, Branch{Comm: Comm{Channel: ch, Dir: dir}, Cont: cont})
+	}
+	if dir == Send {
+		return IntCh(bs...)
+	}
+	return Ext(bs...)
+}
+
+// branches generates choice branches with distinct channels and the given
+// direction.
+func (g *generator) branches(depth int, vars []string, tail bool, dir Dir) []Branch {
+	n := 1 + g.rnd.Intn(g.cfg.MaxBranches)
+	bs := make([]Branch, 0, n)
+	seen := map[string]bool{}
+	for i := 0; i < n; i++ {
+		ch := g.channel()
+		if seen[ch] {
+			continue
+		}
+		seen[ch] = true
+		var cont Expr
+		if tail && len(vars) > 0 && g.rnd.Intn(3) == 0 {
+			cont = Var{Name: vars[g.rnd.Intn(len(vars))]}
+		} else {
+			cont = g.expr(depth-1, vars, tail)
+		}
+		bs = append(bs, Branch{Comm: Comm{Channel: ch, Dir: dir}, Cont: cont})
+	}
+	return bs
+}
+
+// GenerateContract produces a random closed expression in the contract
+// fragment (choices + guarded tail recursion only), i.e. an expression H
+// with H = H!.
+func GenerateContract(rnd *rand.Rand, depth int) Expr {
+	cfg := DefaultGenConfig()
+	cfg.ContractOnly = true
+	cfg.MaxDepth = depth
+	return Generate(rnd, cfg)
+}

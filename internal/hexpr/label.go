@@ -1,0 +1,134 @@
+package hexpr
+
+import "fmt"
+
+// Dir is the direction of a communication action on a channel.
+type Dir int
+
+const (
+	// Recv is an input action a.
+	Recv Dir = iota
+	// Send is an output action ā.
+	Send
+)
+
+func (d Dir) String() string {
+	if d == Send {
+		return "!"
+	}
+	return "?"
+}
+
+// Comm is a communication action over a channel: an input a (Recv) or an
+// output ā (Send). The internal action τ is represented by Tau, not by a
+// Comm.
+type Comm struct {
+	Channel string
+	Dir     Dir
+}
+
+// In builds the input action a.
+func In(channel string) Comm { return Comm{Channel: channel, Dir: Recv} }
+
+// Out builds the output action ā.
+func Out(channel string) Comm { return Comm{Channel: channel, Dir: Send} }
+
+// Co returns the co-action: co(a) = ā and co(ā) = a.
+func (c Comm) Co() Comm {
+	c.Dir = 1 - c.Dir
+	return c
+}
+
+// IsSend reports whether c is an output action.
+func (c Comm) IsSend() bool { return c.Dir == Send }
+
+func (c Comm) String() string { return c.Channel + c.Dir.String() }
+
+// LabelKind discriminates the transition labels λ ∈ Comm ∪ Ev ∪ Frm of the
+// operational semantics.
+type LabelKind int
+
+const (
+	// LTau is the silent action τ produced by a synchronisation.
+	LTau LabelKind = iota
+	// LEvent is a security access event α.
+	LEvent
+	// LComm is a communication action a or ā.
+	LComm
+	// LOpen is the session-opening action open_{r,φ}.
+	LOpen
+	// LClose is the session-closing action close_{r,φ}.
+	LClose
+	// LFrameOpen is the framing action ⌊φ logging policy activation.
+	LFrameOpen
+	// LFrameClose is the framing action ⌋φ logging policy deactivation.
+	LFrameClose
+)
+
+// Label is a transition label of the operational semantics: a
+// communication, an event, a session open/close, a framing action, or τ.
+type Label struct {
+	Kind   LabelKind
+	Event  Event     // valid when Kind == LEvent
+	Comm   Comm      // valid when Kind == LComm
+	Req    RequestID // valid when Kind ∈ {LOpen, LClose}
+	Policy PolicyID  // valid when Kind ∈ {LOpen, LClose, LFrameOpen, LFrameClose}
+}
+
+// Tau is the silent label τ.
+var Tau = Label{Kind: LTau}
+
+// EventLabel wraps an event as a transition label.
+func EventLabel(e Event) Label { return Label{Kind: LEvent, Event: e} }
+
+// CommLabel wraps a communication action as a transition label.
+func CommLabel(c Comm) Label { return Label{Kind: LComm, Comm: c} }
+
+// OpenLabel is the label open_{r,φ}.
+func OpenLabel(r RequestID, p PolicyID) Label { return Label{Kind: LOpen, Req: r, Policy: p} }
+
+// CloseLabel is the label close_{r,φ}.
+func CloseLabel(r RequestID, p PolicyID) Label { return Label{Kind: LClose, Req: r, Policy: p} }
+
+// FrameOpenLabel is the label ⌊φ.
+func FrameOpenLabel(p PolicyID) Label { return Label{Kind: LFrameOpen, Policy: p} }
+
+// FrameCloseLabel is the label ⌋φ.
+func FrameCloseLabel(p PolicyID) Label { return Label{Kind: LFrameClose, Policy: p} }
+
+// IsComm reports whether the label is a visible communication action.
+func (l Label) IsComm() bool { return l.Kind == LComm }
+
+// IsFraming reports whether the label is ⌊φ or ⌋φ.
+func (l Label) IsFraming() bool { return l.Kind == LFrameOpen || l.Kind == LFrameClose }
+
+func (l Label) String() string {
+	switch l.Kind {
+	case LTau:
+		return "tau"
+	case LEvent:
+		return l.Event.String()
+	case LComm:
+		return l.Comm.String()
+	case LOpen:
+		return fmt.Sprintf("open[%s,%s]", l.Req, policyName(l.Policy))
+	case LClose:
+		return fmt.Sprintf("close[%s,%s]", l.Req, policyName(l.Policy))
+	case LFrameOpen:
+		return "[_" + string(l.Policy)
+	case LFrameClose:
+		return "_]" + string(l.Policy)
+	}
+	return "?"
+}
+
+func policyName(p PolicyID) string {
+	if p == NoPolicy {
+		return "0"
+	}
+	return string(p)
+}
+
+// Key returns a canonical string usable as a map key; it coincides with
+// String, which is injective on labels.
+func (l Label) Key() string { return l.String() }

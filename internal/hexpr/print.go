@@ -1,0 +1,126 @@
+package hexpr
+
+import "strings"
+
+// Rendering contexts, loosest construct allowed bare. They mirror the
+// surface grammar of internal/parser: expr := mu | choice; choice := seq
+// (('+'|'(+)') seq)*; seq := atom ('.' atom)*.
+const (
+	ctxTop    = iota // mu allowed bare
+	ctxChoice        // multi-branch choices allowed bare
+	ctxSeq           // sequences and communication prefixes allowed bare
+	ctxAtom          // only atoms allowed bare
+)
+
+// Pretty returns a human-oriented rendering of e with minimal parentheses
+// in the surface syntax accepted by internal/parser; for source
+// expressions (no run-time residuals) the output re-parses to the same
+// canonical term.
+func Pretty(e Expr) string { return PrettyWith(e, nil) }
+
+// PrettyWith renders e, mapping policy identifiers through name (when
+// non-nil) — the parser's formatter uses it to print instance aliases
+// instead of canonical instantiated identifiers.
+func PrettyWith(e Expr, name func(PolicyID) string) string {
+	p := &printer{policyName: name}
+	var b strings.Builder
+	p.print(&b, e, ctxTop)
+	return b.String()
+}
+
+type printer struct {
+	policyName func(PolicyID) string
+}
+
+func (p *printer) policy(id PolicyID) string {
+	if p.policyName != nil {
+		return p.policyName(id)
+	}
+	return string(id)
+}
+
+func (p *printer) print(b *strings.Builder, e Expr, ctx int) {
+	switch t := e.(type) {
+	case Nil:
+		b.WriteString("eps")
+	case Var:
+		b.WriteString(t.Name)
+	case Rec:
+		if ctx > ctxTop {
+			b.WriteString("(")
+			defer b.WriteString(")")
+		}
+		b.WriteString("mu ")
+		b.WriteString(t.Name)
+		b.WriteString(". ")
+		p.print(b, t.Body, ctxTop)
+	case Ev:
+		b.WriteString(t.Event.String())
+		if len(t.Event.Args) == 0 {
+			// disambiguate 0-ary events from recursion variables
+			b.WriteString("()")
+		}
+	case Seq:
+		if ctx > ctxSeq {
+			b.WriteString("(")
+			defer b.WriteString(")")
+		}
+		// the left of a normalised Seq is never a choice; atoms print bare,
+		// recursions get parenthesised
+		p.print(b, t.Left, ctxAtom)
+		b.WriteString(" . ")
+		p.print(b, t.Right, ctxSeq)
+	case ExtChoice:
+		p.printChoice(b, t.Branches, " + ", ctx)
+	case IntChoice:
+		p.printChoice(b, t.Branches, " (+) ", ctx)
+	case Session:
+		b.WriteString("open ")
+		b.WriteString(string(t.Req))
+		if t.Policy != NoPolicy {
+			b.WriteString(" with ")
+			b.WriteString(p.policy(t.Policy))
+		}
+		b.WriteString(" { ")
+		p.print(b, t.Body, ctxTop)
+		b.WriteString(" }")
+	case Framing:
+		b.WriteString("enforce ")
+		b.WriteString(p.policy(t.Policy))
+		b.WriteString(" { ")
+		p.print(b, t.Body, ctxTop)
+		b.WriteString(" }")
+	case CloseTag:
+		// run-time residual; not surface syntax
+		b.WriteString("close ")
+		b.WriteString(string(t.Req))
+		if t.Policy != NoPolicy {
+			b.WriteString(" with ")
+			b.WriteString(p.policy(t.Policy))
+		}
+	case FrameClose:
+		// run-time residual; not surface syntax
+		b.WriteString("_]")
+		b.WriteString(p.policy(t.Policy))
+	}
+}
+
+func (p *printer) printChoice(b *strings.Builder, bs []Branch, sep string, ctx int) {
+	multi := len(bs) > 1
+	if (multi && ctx > ctxChoice) || (!multi && ctx > ctxSeq) {
+		b.WriteString("(")
+		defer b.WriteString(")")
+	}
+	for i, br := range bs {
+		if i > 0 {
+			b.WriteString(sep)
+		}
+		b.WriteString(br.Comm.String())
+		if !IsNil(br.Cont) {
+			b.WriteString(".")
+			// a sequence re-parses correctly after a prefix (Cat
+			// re-distributes it); recursions and choices need parentheses
+			p.print(b, br.Cont, ctxSeq)
+		}
+	}
+}

@@ -1,0 +1,196 @@
+package hexpr
+
+// Subst returns e with every free occurrence of the recursion variable name
+// replaced by repl. Bound occurrences (under a μ binding the same name) are
+// left untouched.
+func Subst(e Expr, name string, repl Expr) Expr {
+	switch t := e.(type) {
+	case Nil, Ev, CloseTag, FrameClose:
+		return e
+	case Var:
+		if t.Name == name {
+			return repl
+		}
+		return e
+	case Rec:
+		if t.Name == name {
+			return e // name is rebound; stop
+		}
+		return Rec{Name: t.Name, Body: Subst(t.Body, name, repl)}
+	case Seq:
+		return Cat(Subst(t.Left, name, repl), Subst(t.Right, name, repl))
+	case ExtChoice:
+		return Ext(substBranches(t.Branches, name, repl)...)
+	case IntChoice:
+		return IntCh(substBranches(t.Branches, name, repl)...)
+	case Session:
+		return Session{Req: t.Req, Policy: t.Policy, Body: Subst(t.Body, name, repl)}
+	case Framing:
+		return Framing{Policy: t.Policy, Body: Subst(t.Body, name, repl)}
+	}
+	panic("hexpr: unknown expression in Subst")
+}
+
+func substBranches(bs []Branch, name string, repl Expr) []Branch {
+	out := make([]Branch, len(bs))
+	for i, b := range bs {
+		out[i] = Branch{Comm: b.Comm, Cont: Subst(b.Cont, name, repl)}
+	}
+	return out
+}
+
+// Unfold replaces the recursion variable of r by r itself in its body:
+// μh.H ↦ H{μh.H/h}.
+func Unfold(r Rec) Expr { return Subst(r.Body, r.Name, r) }
+
+// FreeVars returns the set of free recursion variables of e.
+func FreeVars(e Expr) map[string]bool {
+	free := map[string]bool{}
+	var walk func(Expr, map[string]bool)
+	walk = func(e Expr, bound map[string]bool) {
+		switch t := e.(type) {
+		case Var:
+			if !bound[t.Name] {
+				free[t.Name] = true
+			}
+		case Rec:
+			if bound[t.Name] {
+				walk(t.Body, bound)
+				return
+			}
+			bound[t.Name] = true
+			walk(t.Body, bound)
+			delete(bound, t.Name)
+		case Seq:
+			walk(t.Left, bound)
+			walk(t.Right, bound)
+		case ExtChoice:
+			for _, b := range t.Branches {
+				walk(b.Cont, bound)
+			}
+		case IntChoice:
+			for _, b := range t.Branches {
+				walk(b.Cont, bound)
+			}
+		case Session:
+			walk(t.Body, bound)
+		case Framing:
+			walk(t.Body, bound)
+		}
+	}
+	walk(e, map[string]bool{})
+	return free
+}
+
+// Closed reports whether e has no free recursion variables.
+func Closed(e Expr) bool { return len(FreeVars(e)) == 0 }
+
+// Requests returns every request identifier occurring in e, in document
+// order (outermost first, duplicates removed).
+func Requests(e Expr) []RequestID {
+	var out []RequestID
+	seen := map[RequestID]bool{}
+	Walk(e, func(x Expr) {
+		if s, ok := x.(Session); ok && !seen[s.Req] {
+			seen[s.Req] = true
+			out = append(out, s.Req)
+		}
+	})
+	return out
+}
+
+// Policies returns every policy identifier occurring in e (in framings or
+// session annotations), duplicates removed, excluding the trivial policy.
+func Policies(e Expr) []PolicyID {
+	var out []PolicyID
+	seen := map[PolicyID]bool{}
+	add := func(p PolicyID) {
+		if p != NoPolicy && !seen[p] {
+			seen[p] = true
+			out = append(out, p)
+		}
+	}
+	Walk(e, func(x Expr) {
+		switch t := x.(type) {
+		case Session:
+			add(t.Policy)
+		case Framing:
+			add(t.Policy)
+		case CloseTag:
+			add(t.Policy)
+		case FrameClose:
+			add(t.Policy)
+		}
+	})
+	return out
+}
+
+// Events returns every distinct event occurring in e, in document order.
+func Events(e Expr) []Event {
+	var out []Event
+	seen := map[string]bool{}
+	Walk(e, func(x Expr) {
+		if ev, ok := x.(Ev); ok {
+			k := ev.Event.String()
+			if !seen[k] {
+				seen[k] = true
+				out = append(out, ev.Event)
+			}
+		}
+	})
+	return out
+}
+
+// Channels returns every channel name occurring in e, duplicates removed,
+// in document order.
+func Channels(e Expr) []string {
+	var out []string
+	seen := map[string]bool{}
+	Walk(e, func(x Expr) {
+		var bs []Branch
+		switch t := x.(type) {
+		case ExtChoice:
+			bs = t.Branches
+		case IntChoice:
+			bs = t.Branches
+		}
+		for _, b := range bs {
+			if !seen[b.Comm.Channel] {
+				seen[b.Comm.Channel] = true
+				out = append(out, b.Comm.Channel)
+			}
+		}
+	})
+	return out
+}
+
+// Walk visits every node of e in pre-order, calling fn on each.
+func Walk(e Expr, fn func(Expr)) {
+	fn(e)
+	switch t := e.(type) {
+	case Rec:
+		Walk(t.Body, fn)
+	case Seq:
+		Walk(t.Left, fn)
+		Walk(t.Right, fn)
+	case ExtChoice:
+		for _, b := range t.Branches {
+			Walk(b.Cont, fn)
+		}
+	case IntChoice:
+		for _, b := range t.Branches {
+			Walk(b.Cont, fn)
+		}
+	case Session:
+		Walk(t.Body, fn)
+	case Framing:
+		Walk(t.Body, fn)
+	}
+}
+
+// Size returns the number of AST nodes of e.
+func Size(e Expr) int {
+	n := 0
+	Walk(e, func(Expr) { n++ })
+	return n
+}

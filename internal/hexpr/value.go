@@ -1,0 +1,141 @@
+// Package hexpr defines history expressions, the behavioural abstraction of
+// services in "Secure and Unfailing Services" (Basile, Degano, Ferrari).
+//
+// A history expression records the security-relevant events a service may
+// fire, the communications it may perform, the sessions it may open with
+// other services, and the security policies it activates (Definition 1 of
+// the paper):
+//
+//	H ::= ε | h | μh.H | Σᵢ aᵢ.Hᵢ | ⊕ᵢ āᵢ.Hᵢ | α | H·H
+//	    | open_{r,φ} H close_{r,φ} | φ[H]
+//
+// The package owns the shared vocabulary of the whole system: event
+// parameter values, events α, communication actions a/ā/τ, framing actions
+// ⌊φ/⌋φ, request identifiers and policy identifiers. Policies themselves
+// (usage automata) live in internal/policy; here they are referred to by
+// opaque instantiated identifiers, which keeps the AST independent of the
+// automata machinery.
+package hexpr
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Value is a parameter of a security event: either an integer (prices,
+// ratings, ...) or a symbol (service names, resource identifiers, ...).
+// The zero Value is the integer 0.
+type Value struct {
+	sym   string
+	n     int
+	isSym bool
+}
+
+// Int returns an integer event parameter.
+func Int(n int) Value { return Value{n: n} }
+
+// Sym returns a symbolic event parameter.
+func Sym(s string) Value { return Value{sym: s, isSym: true} }
+
+// IsInt reports whether v is an integer parameter.
+func (v Value) IsInt() bool { return !v.isSym }
+
+// IsSym reports whether v is a symbolic parameter.
+func (v Value) IsSym() bool { return v.isSym }
+
+// IntVal returns the integer held by v; it is 0 when v is symbolic.
+func (v Value) IntVal() int { return v.n }
+
+// SymVal returns the symbol held by v; it is "" when v is an integer.
+func (v Value) SymVal() string { return v.sym }
+
+// Equal reports whether two values are identical parameters.
+func (v Value) Equal(w Value) bool { return v == w }
+
+// Compare orders values: all integers before all symbols, then by value.
+// It returns -1, 0 or +1.
+func (v Value) Compare(w Value) int {
+	switch {
+	case !v.isSym && w.isSym:
+		return -1
+	case v.isSym && !w.isSym:
+		return 1
+	case v.isSym:
+		return strings.Compare(v.sym, w.sym)
+	case v.n < w.n:
+		return -1
+	case v.n > w.n:
+		return 1
+	}
+	return 0
+}
+
+func (v Value) String() string {
+	if v.isSym {
+		return v.sym
+	}
+	return strconv.Itoa(v.n)
+}
+
+// ParseValue interprets s as an integer if possible and as a symbol
+// otherwise. Symbols must be non-empty.
+func ParseValue(s string) (Value, error) {
+	if s == "" {
+		return Value{}, fmt.Errorf("hexpr: empty value")
+	}
+	if n, err := strconv.Atoi(s); err == nil {
+		return Int(n), nil
+	}
+	return Sym(s), nil
+}
+
+// Event is a security-relevant access event α with parameters, e.g.
+// sgn(3) or price(45).
+type Event struct {
+	Name string
+	Args []Value
+}
+
+// E builds an event from a name and parameter values.
+func E(name string, args ...Value) Event { return Event{Name: name, Args: args} }
+
+// Equal reports whether two events are identical.
+func (e Event) Equal(f Event) bool {
+	if e.Name != f.Name || len(e.Args) != len(f.Args) {
+		return false
+	}
+	for i := range e.Args {
+		if !e.Args[i].Equal(f.Args[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+func (e Event) String() string {
+	if len(e.Args) == 0 {
+		return e.Name
+	}
+	parts := make([]string, len(e.Args))
+	for i, a := range e.Args {
+		parts[i] = a.String()
+	}
+	return e.Name + "(" + strings.Join(parts, ",") + ")"
+}
+
+// RequestID identifies a service request (the r of open_{r,φ}). Request
+// identifiers are unique within a client and its transitively invoked
+// services.
+type RequestID string
+
+// PolicyID identifies an instantiated security policy. The empty PolicyID
+// denotes the trivial policy ∅ (no constraint), as in open_{3,∅} of the
+// paper's example.
+type PolicyID string
+
+// NoPolicy is the trivial policy imposed by open_{r,∅}.
+const NoPolicy PolicyID = ""
+
+// Location is the site hosting a client or a service (ℓ ∈ Loc).
+type Location string

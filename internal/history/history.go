@@ -1,0 +1,204 @@
+// Package history implements execution histories η ∈ (Ev ∪ Frm)* and their
+// validity (§3.1 of the paper): balance, flattening η♭, the multiset AP(η)
+// of active policies, and the history-dependent validity judgement ⊨ η.
+//
+// A note on AP: the paper's equations peel histories from the left, which
+// read literally would leave a closed framing ⌊φ⌋φ active. We implement the
+// evidently intended semantics — AP(η) is the multiset of policies opened
+// but not yet closed (the equations read right-to-left) — which coincides
+// with the paper's use of AP everywhere else.
+package history
+
+import (
+	"fmt"
+	"strings"
+
+	"susc/internal/hexpr"
+	"susc/internal/policy"
+)
+
+// ItemKind discriminates history items.
+type ItemKind int
+
+const (
+	// ItemEvent is an access event α.
+	ItemEvent ItemKind = iota
+	// ItemFrameOpen is the framing action ⌊φ.
+	ItemFrameOpen
+	// ItemFrameClose is the framing action ⌋φ.
+	ItemFrameClose
+)
+
+// Item is one element of a history: an event or a framing action.
+type Item struct {
+	Kind   ItemKind
+	Event  hexpr.Event    // for ItemEvent
+	Policy hexpr.PolicyID // for the framing kinds
+}
+
+// EventItem wraps an event as a history item.
+func EventItem(e hexpr.Event) Item { return Item{Kind: ItemEvent, Event: e} }
+
+// OpenItem is the ⌊φ item.
+func OpenItem(p hexpr.PolicyID) Item { return Item{Kind: ItemFrameOpen, Policy: p} }
+
+// CloseItem is the ⌋φ item.
+func CloseItem(p hexpr.PolicyID) Item { return Item{Kind: ItemFrameClose, Policy: p} }
+
+func (it Item) String() string {
+	switch it.Kind {
+	case ItemEvent:
+		return it.Event.String()
+	case ItemFrameOpen:
+		return "[_" + string(it.Policy)
+	default:
+		return "_]" + string(it.Policy)
+	}
+}
+
+// History is a sequence of events and framing actions.
+type History []Item
+
+func (h History) String() string {
+	parts := make([]string, len(h))
+	for i, it := range h {
+		parts[i] = it.String()
+	}
+	return strings.Join(parts, " ")
+}
+
+// FromLabels extracts the history logged by a sequence of transition
+// labels: events and framings are kept; open_{r,φ}/close_{r,φ} log ⌊φ/⌋φ
+// when φ is non-trivial (as the network rules Open and Close do);
+// communications and τ log nothing.
+func FromLabels(labels []hexpr.Label) History {
+	var h History
+	for _, l := range labels {
+		switch l.Kind {
+		case hexpr.LEvent:
+			h = append(h, EventItem(l.Event))
+		case hexpr.LFrameOpen:
+			h = append(h, OpenItem(l.Policy))
+		case hexpr.LFrameClose:
+			h = append(h, CloseItem(l.Policy))
+		case hexpr.LOpen:
+			if l.Policy != hexpr.NoPolicy {
+				h = append(h, OpenItem(l.Policy))
+			}
+		case hexpr.LClose:
+			if l.Policy != hexpr.NoPolicy {
+				h = append(h, CloseItem(l.Policy))
+			}
+		}
+	}
+	return h
+}
+
+// Flat returns η♭: the history with all framing actions erased.
+func (h History) Flat() []hexpr.Event {
+	var out []hexpr.Event
+	for _, it := range h {
+		if it.Kind == ItemEvent {
+			out = append(out, it.Event)
+		}
+	}
+	return out
+}
+
+// Balanced reports whether the history is balanced: framings are properly
+// opened and closed, in a well-nested fashion.
+func (h History) Balanced() bool {
+	ok, stack := h.scan()
+	return ok && len(stack) == 0
+}
+
+// PrefixOfBalanced reports whether the history is a prefix of some balanced
+// history, i.e. its closings are well-nested with its openings (openings
+// may still be pending). Only such histories arise from executions.
+func (h History) PrefixOfBalanced() bool {
+	ok, _ := h.scan()
+	return ok
+}
+
+// scan checks well-nesting and returns the stack of pending openings.
+func (h History) scan() (bool, []hexpr.PolicyID) {
+	var stack []hexpr.PolicyID
+	for _, it := range h {
+		switch it.Kind {
+		case ItemFrameOpen:
+			stack = append(stack, it.Policy)
+		case ItemFrameClose:
+			if len(stack) == 0 || stack[len(stack)-1] != it.Policy {
+				return false, nil
+			}
+			stack = stack[:len(stack)-1]
+		}
+	}
+	return true, stack
+}
+
+// Active returns AP(η), the multiset of active policies, as a map from
+// policy to multiplicity. The history must be a prefix of a balanced one.
+func (h History) Active() map[hexpr.PolicyID]int {
+	out := map[hexpr.PolicyID]int{}
+	for _, it := range h {
+		switch it.Kind {
+		case ItemFrameOpen:
+			out[it.Policy]++
+		case ItemFrameClose:
+			out[it.Policy]--
+			if out[it.Policy] <= 0 {
+				delete(out, it.Policy)
+			}
+		}
+	}
+	return out
+}
+
+// Oracle decides whether a flat trace violates a policy. *policy.Table
+// implements it.
+type Oracle interface {
+	Violates(id hexpr.PolicyID, trace []hexpr.Event) bool
+}
+
+var _ Oracle = (*policy.Table)(nil)
+
+// Valid implements ⊨ η: for every split η₀η₁ = η and every φ ∈ AP(η₀), the
+// flattened prefix η₀♭ respects φ. This is the reference (quadratic)
+// implementation; Monitor provides the incremental one. The two are
+// cross-checked by tests.
+func Valid(h History, oracle Oracle) bool {
+	return FirstViolation(h, oracle) == -1
+}
+
+// FirstViolation returns the length of the shortest invalid prefix of η, or
+// -1 when η is valid.
+func FirstViolation(h History, oracle Oracle) int {
+	for i := 0; i <= len(h); i++ {
+		prefix := h[:i]
+		flat := prefix.Flat()
+		for phi := range prefix.Active() {
+			if oracle.Violates(phi, flat) {
+				return i
+			}
+		}
+	}
+	return -1
+}
+
+// ViolationError reports an invalid history extension.
+type ViolationError struct {
+	Policy hexpr.PolicyID
+	At     int // history length at which the violation occurred
+}
+
+func (e *ViolationError) Error() string {
+	return fmt.Sprintf("history: policy %s violated at position %d", e.Policy, e.At)
+}
+
+// NestingError reports a framing action that is not well-nested.
+type NestingError struct{ Item Item }
+
+func (e *NestingError) Error() string {
+	return fmt.Sprintf("history: ill-nested framing action %s", e.Item)
+}

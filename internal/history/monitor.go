@@ -1,0 +1,173 @@
+package history
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"susc/internal/hexpr"
+	"susc/internal/policy"
+)
+
+// Monitor is the incremental run-time validity monitor: it consumes history
+// items one at a time and reports, in O(#policies) per item, whether the
+// history so far is valid. It maintains, for every policy of the table, the
+// state set reached by the policy automaton on the *whole* flat history —
+// the approach is history-dependent, so automata run from the very first
+// event even when the policy is activated later.
+//
+// The paper's programme is to make this monitor unnecessary: a plan
+// validated by internal/verify never trips it. Benchmarks compare monitored
+// and unmonitored execution.
+//
+// Framing closes are matched against openings as a multiset (the active
+// multiset AP), not as a strict stack: in a network, the two parties of a
+// session log framings into the same shared history, so openings and
+// closings of *different* policies may cross even though each party's own
+// framings are well-nested. Validity only depends on AP, which is
+// multiset-based, so this is exactly the paper's judgement.
+type Monitor struct {
+	table  *policy.Table
+	states map[hexpr.PolicyID]policy.StateSet
+	active map[hexpr.PolicyID]int
+	opened int // count of trivial-policy frames currently open
+	length int
+}
+
+// NewMonitor builds a monitor over the given policy table.
+func NewMonitor(table *policy.Table) *Monitor {
+	m := &Monitor{
+		table:  table,
+		states: map[hexpr.PolicyID]policy.StateSet{},
+		active: map[hexpr.PolicyID]int{},
+	}
+	for _, id := range table.IDs() {
+		in, _ := table.Get(id)
+		m.states[id] = in.Initial()
+	}
+	return m
+}
+
+// Len returns the number of items consumed so far.
+func (m *Monitor) Len() int { return m.length }
+
+// Active returns the multiset of currently active policies.
+func (m *Monitor) Active() map[hexpr.PolicyID]int {
+	out := make(map[hexpr.PolicyID]int, len(m.active))
+	for k, v := range m.active {
+		out[k] = v
+	}
+	return out
+}
+
+// Append consumes one history item. It returns a *ViolationError when the
+// extended history is invalid, a *NestingError when a framing action is
+// ill-nested, and nil otherwise. After an error the monitor state is
+// unchanged (the offending item is not recorded), matching the semantics in
+// which invalid moves simply cannot be taken.
+func (m *Monitor) Append(it Item) error {
+	switch it.Kind {
+	case ItemEvent:
+		// Tentatively step every automaton, then check active policies.
+		next := make(map[hexpr.PolicyID]policy.StateSet, len(m.states))
+		for id, s := range m.states {
+			in, _ := m.table.Get(id)
+			next[id] = in.Step(s, it.Event)
+		}
+		for id, n := range m.active {
+			if n <= 0 {
+				continue
+			}
+			if id == hexpr.NoPolicy {
+				continue
+			}
+			in, err := m.table.Get(id)
+			if err != nil {
+				return &ViolationError{Policy: id, At: m.length + 1}
+			}
+			if in.Final(next[id]) {
+				return &ViolationError{Policy: id, At: m.length + 1}
+			}
+		}
+		m.states = next
+	case ItemFrameOpen:
+		if it.Policy == hexpr.NoPolicy {
+			m.opened++
+			break
+		}
+		in, err := m.table.Get(it.Policy)
+		if err != nil {
+			return &ViolationError{Policy: it.Policy, At: m.length + 1}
+		}
+		// History dependence: the past must already respect the newly
+		// activated policy.
+		if in.Final(m.states[it.Policy]) {
+			return &ViolationError{Policy: it.Policy, At: m.length + 1}
+		}
+		m.active[it.Policy]++
+	case ItemFrameClose:
+		if it.Policy == hexpr.NoPolicy {
+			if m.opened == 0 {
+				return &NestingError{Item: it}
+			}
+			m.opened--
+			break
+		}
+		if m.active[it.Policy] == 0 {
+			return &NestingError{Item: it}
+		}
+		m.active[it.Policy]--
+		if m.active[it.Policy] == 0 {
+			delete(m.active, it.Policy)
+		}
+	}
+	m.length++
+	return nil
+}
+
+// AppendAll consumes a whole history, stopping at the first error.
+func (m *Monitor) AppendAll(h History) error {
+	for _, it := range h {
+		if err := m.Append(it); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Signature returns a canonical string of the monitor's abstract state —
+// the policy-automaton state sets and the active multiset, but not the
+// history length. Two monitors with equal signatures accept exactly the
+// same future histories, which is what makes state-space exploration
+// finite (internal/verify keys configurations on it).
+func (m *Monitor) Signature() string {
+	ids := make([]string, 0, len(m.states))
+	for id := range m.states {
+		ids = append(ids, string(id))
+	}
+	sort.Strings(ids)
+	var b strings.Builder
+	for _, id := range ids {
+		fmt.Fprintf(&b, "%s=%x/%d;", id, uint64(m.states[hexpr.PolicyID(id)]), m.active[hexpr.PolicyID(id)])
+	}
+	fmt.Fprintf(&b, "#%d", m.opened)
+	return b.String()
+}
+
+// Snapshot returns a deep copy of the monitor, so explorations can branch.
+func (m *Monitor) Snapshot() *Monitor {
+	out := &Monitor{
+		table:  m.table,
+		states: make(map[hexpr.PolicyID]policy.StateSet, len(m.states)),
+		active: make(map[hexpr.PolicyID]int, len(m.active)),
+		opened: m.opened,
+		length: m.length,
+	}
+	for k, v := range m.states {
+		out.states[k] = v
+	}
+	for k, v := range m.active {
+		out.active[k] = v
+	}
+	return out
+}

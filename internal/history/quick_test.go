@@ -1,0 +1,145 @@
+package history_test
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"susc/internal/hexpr"
+	"susc/internal/history"
+	"susc/internal/paperex"
+	"susc/internal/policy"
+)
+
+// genHistory builds a random prefix-of-balanced history from the hotel
+// vocabulary.
+func genHistory(seed int64, table *policy.Table) history.History {
+	rnd := rand.New(rand.NewSource(seed))
+	ids := table.IDs()
+	var h history.History
+	var stack []hexpr.PolicyID
+	n := rnd.Intn(12)
+	for i := 0; i < n; i++ {
+		switch rnd.Intn(4) {
+		case 0:
+			h = append(h, history.EventItem(hexpr.E(paperex.EvSgn,
+				hexpr.Sym([]string{"s1", "s2", "s3", "s4"}[rnd.Intn(4)]))))
+		case 1:
+			h = append(h, history.EventItem(hexpr.E(paperex.EvPrice, hexpr.Int(rnd.Intn(100)))))
+		case 2:
+			id := ids[rnd.Intn(len(ids))]
+			h = append(h, history.OpenItem(id))
+			stack = append(stack, id)
+		case 3:
+			if len(stack) > 0 {
+				top := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				h = append(h, history.CloseItem(top))
+			}
+		}
+	}
+	return h
+}
+
+// TestQuickValidityPrefixClosed: validity is a safety property — every
+// prefix of a valid history is valid, and extending an invalid history
+// never repairs it.
+func TestQuickValidityPrefixClosed(t *testing.T) {
+	table := paperex.Policies()
+	f := func(seed int64) bool {
+		h := genHistory(seed, table)
+		at := history.FirstViolation(h, table)
+		if at == -1 {
+			// valid: all prefixes valid
+			for i := 0; i <= len(h); i++ {
+				if !history.Valid(h[:i], table) {
+					return false
+				}
+			}
+			return true
+		}
+		// invalid at `at`: every extension beyond is invalid too
+		for i := at; i <= len(h); i++ {
+			if history.Valid(h[:i], table) {
+				return false
+			}
+		}
+		// and the prefix strictly before is valid
+		return history.Valid(h[:at-1], table)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickMonitorEquivalence: the incremental monitor accepts exactly the
+// valid histories.
+func TestQuickMonitorEquivalence(t *testing.T) {
+	table := paperex.Policies()
+	f := func(seed int64) bool {
+		h := genHistory(seed, table)
+		m := history.NewMonitor(table)
+		return (m.AppendAll(h) == nil) == history.Valid(h, table)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickActiveNeverNegative: AP multiplicities stay positive on
+// prefix-of-balanced histories, and closing everything empties AP.
+func TestQuickActiveConsistency(t *testing.T) {
+	table := paperex.Policies()
+	f := func(seed int64) bool {
+		h := genHistory(seed, table)
+		if !h.PrefixOfBalanced() {
+			return false // the generator only builds prefix-balanced histories
+		}
+		for _, n := range h.Active() {
+			if n <= 0 {
+				return false
+			}
+		}
+		// close all pending frames in stack order: balanced, empty AP
+		closed := append(history.History{}, h...)
+		var stack []hexpr.PolicyID
+		for _, it := range h {
+			switch it.Kind {
+			case history.ItemFrameOpen:
+				stack = append(stack, it.Policy)
+			case history.ItemFrameClose:
+				stack = stack[:len(stack)-1]
+			}
+		}
+		for i := len(stack) - 1; i >= 0; i-- {
+			closed = append(closed, history.CloseItem(stack[i]))
+		}
+		return closed.Balanced() && len(closed.Active()) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickFlatErasesExactlyFrames: η♭ keeps the events in order and drops
+// exactly the framing actions.
+func TestQuickFlat(t *testing.T) {
+	table := paperex.Policies()
+	f := func(seed int64) bool {
+		h := genHistory(seed, table)
+		flat := h.Flat()
+		events := 0
+		for _, it := range h {
+			if it.Kind == history.ItemEvent {
+				if !flat[events].Equal(it.Event) {
+					return false
+				}
+				events++
+			}
+		}
+		return events == len(flat)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,158 @@
+package lambda
+
+import (
+	"fmt"
+
+	"susc/internal/hexpr"
+	"susc/internal/history"
+)
+
+// EvalError reports an evaluation failure.
+type EvalError struct {
+	Term Term
+	Msg  string
+}
+
+func (e *EvalError) Error() string {
+	return fmt.Sprintf("lambda: eval: %s: in %s", e.Msg, e.Term)
+}
+
+// Value is an evaluation result: Unit, IntLit, SymLit, Abs or RecFun
+// (closures are realised by substitution, so closed abstractions are
+// values).
+type Value = Term
+
+// Eval runs a closed, communication-free term under call-by-value,
+// recording the history (events and framing actions) it produces. Terms
+// containing select/branch/open need a session partner and cannot be
+// evaluated stand-alone; Eval reports them as errors. The fuel bounds the
+// number of β-steps, so diverging recursions fail rather than hang.
+//
+// Eval is the ground truth for the effect-soundness tests: the recorded
+// history of a terminating run is always a trace of the inferred effect.
+func Eval(t Term, fuel int) (Value, history.History, error) {
+	e := &simpleEvaluator{fuel: fuel}
+	v, err := e.eval(t)
+	if err != nil {
+		return nil, nil, err
+	}
+	return v, e.hist, nil
+}
+
+type simpleEvaluator struct {
+	fuel int
+	hist history.History
+}
+
+func (e *simpleEvaluator) eval(t Term) (Value, error) {
+	if e.fuel <= 0 {
+		return nil, &EvalError{Term: t, Msg: "out of fuel"}
+	}
+	e.fuel--
+	switch x := t.(type) {
+	case Unit, IntLit, SymLit, Abs, RecFun:
+		return t, nil
+	case Var:
+		return nil, &EvalError{Term: t, Msg: fmt.Sprintf("unbound variable %q", x.Name)}
+	case Fire:
+		e.hist = append(e.hist, history.EventItem(x.Event))
+		return Unit{}, nil
+	case Seq:
+		if _, err := e.eval(x.First); err != nil {
+			return nil, err
+		}
+		return e.eval(x.Then)
+	case Let:
+		v, err := e.eval(x.Bind)
+		if err != nil {
+			return nil, err
+		}
+		return e.eval(substTerm(x.Body, x.Name, v))
+	case Enforce:
+		if x.Policy != hexpr.NoPolicy {
+			e.hist = append(e.hist, history.OpenItem(x.Policy))
+		}
+		v, err := e.eval(x.Body)
+		if err != nil {
+			return nil, err
+		}
+		if x.Policy != hexpr.NoPolicy {
+			e.hist = append(e.hist, history.CloseItem(x.Policy))
+		}
+		return v, nil
+	case App:
+		fv, err := e.eval(x.Fn)
+		if err != nil {
+			return nil, err
+		}
+		av, err := e.eval(x.Arg)
+		if err != nil {
+			return nil, err
+		}
+		switch fn := fv.(type) {
+		case Abs:
+			return e.eval(substTerm(fn.Body, fn.Param, av))
+		case RecFun:
+			body := substTerm(fn.Body, fn.Param, av)
+			body = substTerm(body, fn.Name, fn)
+			return e.eval(body)
+		default:
+			return nil, &EvalError{Term: t, Msg: fmt.Sprintf("applying non-function %s", fv)}
+		}
+	case Select, Branch, Request:
+		return nil, &EvalError{Term: t, Msg: "communication requires a session partner"}
+	}
+	return nil, &EvalError{Term: t, Msg: "unknown term"}
+}
+
+// substTerm substitutes a value for a variable, capture-avoidingly. Values
+// substituted are closed, so no renaming is needed.
+func substTerm(t Term, name string, v Value) Term {
+	switch x := t.(type) {
+	case Var:
+		if x.Name == name {
+			return v
+		}
+		return t
+	case Unit, IntLit, SymLit, Fire:
+		return t
+	case Abs:
+		if x.Param == name {
+			return t
+		}
+		return Abs{Param: x.Param, ParamType: x.ParamType, Body: substTerm(x.Body, name, v)}
+	case RecFun:
+		if x.Name == name || x.Param == name {
+			return t
+		}
+		return RecFun{Name: x.Name, Param: x.Param, ParamType: x.ParamType,
+			Result: x.Result, Body: substTerm(x.Body, name, v)}
+	case App:
+		return App{Fn: substTerm(x.Fn, name, v), Arg: substTerm(x.Arg, name, v)}
+	case Seq:
+		return Seq{First: substTerm(x.First, name, v), Then: substTerm(x.Then, name, v)}
+	case Let:
+		bind := substTerm(x.Bind, name, v)
+		if x.Name == name {
+			return Let{Name: x.Name, Bind: bind, Body: x.Body}
+		}
+		return Let{Name: x.Name, Bind: bind, Body: substTerm(x.Body, name, v)}
+	case Enforce:
+		return Enforce{Policy: x.Policy, Body: substTerm(x.Body, name, v)}
+	case Request:
+		return Request{Req: x.Req, Policy: x.Policy, Body: substTerm(x.Body, name, v)}
+	case Select:
+		return Select{Branches: substBranches(x.Branches, name, v)}
+	case Branch:
+		return Branch{Branches: substBranches(x.Branches, name, v)}
+	}
+	return t
+}
+
+func substBranches(bs []CommBranch, name string, v Value) []CommBranch {
+	out := make([]CommBranch, len(bs))
+	for i, b := range bs {
+		out[i] = CommBranch{Channel: b.Channel, Body: substTerm(b.Body, name, v)}
+	}
+	return out
+}

@@ -1,0 +1,34 @@
+package lambda_test
+
+import (
+	"fmt"
+
+	"susc/internal/hexpr"
+	"susc/internal/lambda"
+	"susc/internal/parser"
+)
+
+// The type-and-effect system extracts the history expression of a program:
+// the behavioural abstraction every static analysis runs on.
+func ExampleInferClosed() {
+	prog := parser.MustParseLambda(`
+open r1 with phi {
+  select { Order => branch { Parcel => () | Reject => () } }
+}`)
+	ty, eff, _ := lambda.InferClosed(prog)
+	fmt.Println(ty)
+	fmt.Println(hexpr.Pretty(eff))
+	// Output:
+	// unit
+	// open r1 with phi { Order!.(Parcel? + Reject?) }
+}
+
+// EvalSession runs two programs as the parties of one session.
+func ExampleEvalSession() {
+	client := parser.MustParseLambda(`select { ping => branch { pong => 42 } }`)
+	server := parser.MustParseLambda(`branch { ping => select { pong => () } }`)
+	res, _ := lambda.EvalSession(client, server, 1000, nil)
+	fmt.Println(res.Status, res.ClientValue, res.Synchronised)
+	// Output:
+	// completed 42 [ping pong]
+}

@@ -1,0 +1,217 @@
+package lambda
+
+import (
+	"fmt"
+
+	"susc/internal/hexpr"
+)
+
+// TypeError reports a typing failure.
+type TypeError struct {
+	Term Term
+	Msg  string
+}
+
+func (e *TypeError) Error() string {
+	return fmt.Sprintf("lambda: %s: in %s", e.Msg, e.Term)
+}
+
+// Env is a typing environment.
+type Env map[string]Type
+
+// clone copies the environment.
+func (env Env) clone() Env {
+	out := make(Env, len(env)+1)
+	for k, v := range env {
+		out[k] = v
+	}
+	return out
+}
+
+// Infer runs the type and effect system: it returns the type of the term
+// and its effect — the history expression abstracting every run of the
+// term. The effect of a well-typed closed term always satisfies
+// hexpr.Check; the guarded-tail-recursion restriction of Definition 1 is
+// enforced on recursive functions at their definition.
+func Infer(t Term, env Env) (Type, hexpr.Expr, error) {
+	i := &inferrer{}
+	ty, eff, err := i.infer(t, env)
+	if err != nil {
+		return nil, nil, err
+	}
+	return ty, eff, nil
+}
+
+// InferClosed infers a closed term against the empty environment and
+// additionally checks the resulting effect's well-formedness.
+func InferClosed(t Term) (Type, hexpr.Expr, error) {
+	ty, eff, err := Infer(t, Env{})
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := hexpr.Check(eff); err != nil {
+		return nil, nil, &TypeError{Term: t, Msg: fmt.Sprintf("ill-formed effect: %v", err)}
+	}
+	return ty, eff, nil
+}
+
+type inferrer struct {
+	recCount int
+}
+
+func (i *inferrer) infer(t Term, env Env) (Type, hexpr.Expr, error) {
+	switch x := t.(type) {
+	case Var:
+		ty, ok := env[x.Name]
+		if !ok {
+			return nil, nil, &TypeError{Term: t, Msg: fmt.Sprintf("unbound variable %q", x.Name)}
+		}
+		return ty, hexpr.Eps(), nil
+	case Unit:
+		return UnitT{}, hexpr.Eps(), nil
+	case IntLit:
+		return IntT{}, hexpr.Eps(), nil
+	case SymLit:
+		return SymT{}, hexpr.Eps(), nil
+	case Abs:
+		inner := env.clone()
+		inner[x.Param] = x.ParamType
+		rty, reff, err := i.infer(x.Body, inner)
+		if err != nil {
+			return nil, nil, err
+		}
+		return FunT{Param: x.ParamType, Effect: reff, Result: rty}, hexpr.Eps(), nil
+	case App:
+		fty, feff, err := i.infer(x.Fn, env)
+		if err != nil {
+			return nil, nil, err
+		}
+		fun, ok := fty.(FunT)
+		if !ok {
+			return nil, nil, &TypeError{Term: t, Msg: fmt.Sprintf("applying a non-function of type %s", fty)}
+		}
+		aty, aeff, err := i.infer(x.Arg, env)
+		if err != nil {
+			return nil, nil, err
+		}
+		if !TypeEqual(aty, fun.Param) {
+			return nil, nil, &TypeError{Term: t,
+				Msg: fmt.Sprintf("argument type %s does not match parameter type %s", aty, fun.Param)}
+		}
+		// effect: evaluate the function, the argument, then the latent
+		// effect fires
+		return fun.Result, hexpr.Cat(feff, aeff, fun.Effect), nil
+	case Fire:
+		return UnitT{}, hexpr.Act(x.Event), nil
+	case Seq:
+		_, eff1, err := i.infer(x.First, env)
+		if err != nil {
+			return nil, nil, err
+		}
+		ty2, eff2, err := i.infer(x.Then, env)
+		if err != nil {
+			return nil, nil, err
+		}
+		return ty2, hexpr.Cat(eff1, eff2), nil
+	case Let:
+		bty, beff, err := i.infer(x.Bind, env)
+		if err != nil {
+			return nil, nil, err
+		}
+		inner := env.clone()
+		inner[x.Name] = bty
+		ty, eff, err := i.infer(x.Body, inner)
+		if err != nil {
+			return nil, nil, err
+		}
+		return ty, hexpr.Cat(beff, eff), nil
+	case Enforce:
+		ty, eff, err := i.infer(x.Body, env)
+		if err != nil {
+			return nil, nil, err
+		}
+		return ty, hexpr.Frame(x.Policy, eff), nil
+	case Request:
+		ty, eff, err := i.infer(x.Body, env)
+		if err != nil {
+			return nil, nil, err
+		}
+		return ty, hexpr.Open(x.Req, x.Policy, eff), nil
+	case Select:
+		return i.inferComm(t, x.Branches, env, hexpr.Send)
+	case Branch:
+		return i.inferComm(t, x.Branches, env, hexpr.Recv)
+	case RecFun:
+		i.recCount++
+		h := fmt.Sprintf("h$%s%d", x.Name, i.recCount)
+		inner := env.clone()
+		inner[x.Name] = FunT{Param: x.ParamType, Effect: hexpr.V(h), Result: x.Result}
+		inner[x.Param] = x.ParamType
+		rty, reff, err := i.infer(x.Body, inner)
+		if err != nil {
+			return nil, nil, err
+		}
+		if !TypeEqual(rty, x.Result) {
+			return nil, nil, &TypeError{Term: t,
+				Msg: fmt.Sprintf("body type %s does not match declared result %s", rty, x.Result)}
+		}
+		var latent hexpr.Expr
+		if hexpr.FreeVars(reff)[h] {
+			latent = hexpr.Mu(h, reff)
+			// The effect grammar only admits guarded tail recursion
+			// (Definition 1): surface the violation at the definition site.
+			if err := checkRecEffect(latent); err != nil {
+				return nil, nil, &TypeError{Term: t, Msg: err.Error()}
+			}
+		} else {
+			latent = reff
+		}
+		return FunT{Param: x.ParamType, Effect: latent, Result: x.Result}, hexpr.Eps(), nil
+	}
+	return nil, nil, &TypeError{Term: t, Msg: "unknown term"}
+}
+
+func (i *inferrer) inferComm(t Term, bs []CommBranch, env Env, dir hexpr.Dir) (Type, hexpr.Expr, error) {
+	if len(bs) == 0 {
+		return nil, nil, &TypeError{Term: t, Msg: "empty communication choice"}
+	}
+	sorted := sortedBranches(bs)
+	seen := map[string]bool{}
+	var ty Type
+	branches := make([]hexpr.Branch, 0, len(sorted))
+	for _, b := range sorted {
+		if seen[b.Channel] {
+			return nil, nil, &TypeError{Term: t, Msg: fmt.Sprintf("duplicate channel %q", b.Channel)}
+		}
+		seen[b.Channel] = true
+		bty, beff, err := i.infer(b.Body, env)
+		if err != nil {
+			return nil, nil, err
+		}
+		if ty == nil {
+			ty = bty
+		} else if !TypeEqual(ty, bty) {
+			return nil, nil, &TypeError{Term: t,
+				Msg: fmt.Sprintf("branch types differ: %s vs %s", ty, bty)}
+		}
+		branches = append(branches, hexpr.B(hexpr.Comm{Channel: b.Channel, Dir: dir}, beff))
+	}
+	if dir == hexpr.Send {
+		return ty, hexpr.IntCh(branches...), nil
+	}
+	return ty, hexpr.Ext(branches...), nil
+}
+
+// checkRecEffect validates that a recursive latent effect respects the
+// guarded-tail-recursion restriction, reporting a readable error at the
+// definition site. Effects still containing outer recursion variables are
+// deferred to the enclosing definition (and ultimately to InferClosed).
+func checkRecEffect(latent hexpr.Expr) error {
+	if !hexpr.Closed(latent) {
+		return nil
+	}
+	if err := hexpr.Check(latent); err != nil {
+		return fmt.Errorf("recursive effect is not guarded tail recursion: %v", err)
+	}
+	return nil
+}

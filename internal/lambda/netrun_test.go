@@ -1,0 +1,276 @@
+package lambda_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"susc/internal/hexpr"
+	"susc/internal/history"
+	"susc/internal/lambda"
+	"susc/internal/network"
+	"susc/internal/paperex"
+	"susc/internal/parser"
+	"susc/internal/verify"
+)
+
+// lamHotelWorld builds the paper's §2 scenario entirely as λ-programs: the
+// broker opens a nested session with a hotel, the hotels fire their
+// events, the client talks to the broker.
+func lamHotelWorld(t *testing.T) (lambda.Term, lambda.ServiceRepo) {
+	t.Helper()
+	aliases := map[string]hexpr.PolicyID{
+		"phi1": paperex.Phi1().ID(),
+		"phi2": paperex.Phi2().ID(),
+	}
+	parse := func(src string) lambda.Term {
+		t.Helper()
+		term, err := parser.ParseLambdaWith(src, aliases)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return term
+	}
+	client := parse(`
+open r1 with phi1 {
+  select { Req => branch { CoBo => select { Pay => () } | NoAv => () } }
+}`)
+	broker := parse(`
+branch { Req =>
+  open r3 {
+    select { IdC => branch { Bok => () | UnA => () } }
+  };
+  select { CoBo => branch { Pay => () } | NoAv => () }
+}`)
+	hotel := func(id string, price, rating int, withDel bool) lambda.Term {
+		extra := ""
+		if withDel {
+			extra = " | Del => ()"
+		}
+		return parse(`
+fire sgn(` + id + `); fire price(` + itoa(price) + `); fire rating(` + itoa(rating) + `);
+branch { IdC => select { Bok => () | UnA => ()` + extra + ` } }`)
+	}
+	repo := lambda.ServiceRepo{
+		"br": broker,
+		"s1": hotel("s1", 45, 80, false),
+		"s2": hotel("s2", 70, 100, true),
+		"s3": hotel("s3", 90, 100, false),
+		"s4": hotel("s4", 50, 90, false),
+	}
+	return client, repo
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var digits []byte
+	for n > 0 {
+		digits = append([]byte{byte('0' + n%10)}, digits...)
+		n /= 10
+	}
+	return string(digits)
+}
+
+// TestLamHotelEffectsMatchPaper: the extracted effects of the λ-services
+// coincide with the paper's history expressions.
+func TestLamHotelEffectsMatchPaper(t *testing.T) {
+	client, repo := lamHotelWorld(t)
+	effects, err := repo.Effects()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[hexpr.Location]hexpr.Expr{
+		"br": paperex.Broker(), "s1": paperex.S1(), "s2": paperex.S2(),
+		"s3": paperex.S3(), "s4": paperex.S4(),
+	}
+	for loc, w := range want {
+		if !hexpr.Equal(effects[loc], w) {
+			t.Errorf("effect at %s:\n  got  %s\n  want %s", loc, effects[loc].Key(), w.Key())
+		}
+	}
+	_, ceff, err := lambda.InferClosed(client)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hexpr.Equal(ceff, paperex.C1()) {
+		t.Errorf("client effect = %s, want C1", ceff.Key())
+	}
+}
+
+// TestLamNetworkValidPlanCompletes: the verified plan π₁ runs the actual
+// λ-programs to completion with the monitor off, under many schedulers.
+func TestLamNetworkValidPlanCompletes(t *testing.T) {
+	client, repo := lamHotelWorld(t)
+	plan := network.Plan{"r1": "br", "r3": "s3"}
+	// statically verify the plan on the extracted effects
+	effects, err := repo.Effects()
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, ceff, err := lambda.InferClosed(client)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := verify.CheckPlan(effects, paperex.Policies(), "c1", ceff, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Verdict != verify.Valid {
+		t.Fatalf("π₁ should verify on the extracted effects: %s", r)
+	}
+	// then run the programs
+	for seed := int64(0); seed < 30; seed++ {
+		res, err := lambda.RunNetwork(client, "c1", repo, plan,
+			lambda.NetOptions{Rand: rand.New(rand.NewSource(seed))})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Status != lambda.SessionCompleted {
+			t.Fatalf("seed %d: %s", seed, res.Status)
+		}
+		if !res.Hist.Balanced() || !history.Valid(res.Hist, paperex.Policies()) {
+			t.Fatalf("seed %d: bad history %s", seed, res.Hist)
+		}
+	}
+}
+
+// TestLamNetworkHistoryMatchesFig3: the deterministic run under π₁ logs
+// exactly the Fig. 3 history of C1.
+func TestLamNetworkHistoryMatchesFig3(t *testing.T) {
+	client, repo := lamHotelWorld(t)
+	plan := network.Plan{"r1": "br", "r3": "s3"}
+	res, err := lambda.RunNetwork(client, "c1", repo, plan, lambda.NetOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != lambda.SessionCompleted {
+		t.Fatalf("status = %s", res.Status)
+	}
+	phi1 := string(paperex.Phi1().ID())
+	want := "[_" + phi1 + " sgn(s3) price(90) rating(100) _]" + phi1
+	if res.Hist.String() != want {
+		t.Errorf("history = %q, want %q", res.Hist, want)
+	}
+}
+
+// TestLamNetworkMonitorAbortsBlacklisted: binding r3 to the blacklisted
+// hotel trips the monitor at the sgn event.
+func TestLamNetworkMonitorAbortsBlacklisted(t *testing.T) {
+	client, repo := lamHotelWorld(t)
+	plan := network.Plan{"r1": "br", "r3": "s1"}
+	res, err := lambda.RunNetwork(client, "c1", repo, plan, lambda.NetOptions{
+		Monitored: true, Table: paperex.Policies(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != lambda.SessionAborted {
+		t.Fatalf("status = %s, want security-abort", res.Status)
+	}
+	if res.Violation != paperex.Phi1().ID() {
+		t.Errorf("violation = %s", res.Violation)
+	}
+	// unmonitored, the same plan completes but the history is invalid
+	res, err = lambda.RunNetwork(client, "c1", repo, plan, lambda.NetOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != lambda.SessionCompleted {
+		t.Fatalf("free run: %s", res.Status)
+	}
+	if history.Valid(res.Hist, paperex.Policies()) {
+		t.Error("free run under the bad plan must produce an invalid history")
+	}
+}
+
+// TestLamNetworkStuckOnNonCompliant: a Del-only hotel deadlocks the run.
+func TestLamNetworkStuckOnNonCompliant(t *testing.T) {
+	client, repo := lamHotelWorld(t)
+	delOnly, err := parser.ParseLambda(`
+fire sgn(s2); fire price(70); fire rating(100);
+branch { IdC => select { Del => () } }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	repo["s2"] = delOnly
+	plan := network.Plan{"r1": "br", "r3": "s2"}
+	res, err := lambda.RunNetwork(client, "c1", repo, plan, lambda.NetOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != lambda.SessionStuck {
+		t.Fatalf("status = %s, want stuck", res.Status)
+	}
+}
+
+// TestLamNetworkUnboundRequestStuck: unplanned requests are stuck.
+func TestLamNetworkUnboundRequestStuck(t *testing.T) {
+	client, repo := lamHotelWorld(t)
+	res, err := lambda.RunNetwork(client, "c1", repo, network.Plan{"r1": "br"}, lambda.NetOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != lambda.SessionStuck {
+		t.Fatalf("status = %s, want stuck", res.Status)
+	}
+	res, err = lambda.RunNetwork(client, "c1", repo,
+		network.Plan{"r1": "ghost", "r3": "s3"}, lambda.NetOptions{})
+	if err != nil || res.Status != lambda.SessionStuck {
+		t.Fatalf("dangling: %v %v", res, err)
+	}
+}
+
+// TestLamNetworkDanglingServiceFramesClosed: when the client closes a
+// session while the service sits inside an Enforce, the Φ rule closes the
+// dangling frame in the history.
+func TestLamNetworkDanglingServiceFramesClosed(t *testing.T) {
+	phi1 := paperex.Phi1().ID()
+	svc, err := parser.ParseLambdaWith(`
+enforce phi1 {
+  branch { ping => branch { never => () } }
+}`, map[string]hexpr.PolicyID{"phi1": phi1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	client, err := parser.ParseLambda(`open r1 { select { ping => () } }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := lambda.RunNetwork(client, "cl", lambda.ServiceRepo{"svc": svc},
+		network.Plan{"r1": "svc"}, lambda.NetOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != lambda.SessionCompleted {
+		t.Fatalf("status = %s", res.Status)
+	}
+	if !res.Hist.Balanced() {
+		t.Errorf("history not balanced despite Φ: %s", res.Hist)
+	}
+}
+
+func TestLamNetworkOutOfFuel(t *testing.T) {
+	client, err := parser.ParseLambda(
+		`open r1 { (rec f(x: unit): unit . select { tick => branch { tock => f () } }) () }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc, err := parser.ParseLambda(
+		`(rec g(x: unit): unit . branch { tick => select { tock => g () } }) ()`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := lambda.RunNetwork(client, "cl", lambda.ServiceRepo{"svc": svc},
+		network.Plan{"r1": "svc"}, lambda.NetOptions{Fuel: 200})
+	if err != nil || res.Status != lambda.SessionOutOfFuel {
+		t.Fatalf("res = %v err %v", res, err)
+	}
+}
+
+func TestServiceRepoEffectsRejectsIllTyped(t *testing.T) {
+	bad := lambda.App{Fn: lambda.Unit{}, Arg: lambda.Unit{}}
+	if _, err := (lambda.ServiceRepo{"x": bad}).Effects(); err == nil {
+		t.Error("ill-typed service must fail effect extraction")
+	}
+}

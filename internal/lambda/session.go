@@ -1,0 +1,279 @@
+package lambda
+
+import (
+	"fmt"
+	"math/rand"
+
+	"susc/internal/hexpr"
+	"susc/internal/history"
+)
+
+// SessionStatus classifies how a two-party session evaluation ended.
+type SessionStatus int
+
+const (
+	// SessionCompleted: the client program reduced to a value (the paper's
+	// notion of success — the server need not terminate).
+	SessionCompleted SessionStatus = iota
+	// SessionStuck: both sides paused on communications that cannot
+	// synchronise — exactly the run-time failure compliance rules out.
+	SessionStuck
+	// SessionOutOfFuel: the step budget ran out.
+	SessionOutOfFuel
+	// SessionAborted: the run-time monitor stopped the run on a policy
+	// violation (network runs only).
+	SessionAborted
+)
+
+func (s SessionStatus) String() string {
+	switch s {
+	case SessionCompleted:
+		return "completed"
+	case SessionStuck:
+		return "stuck"
+	case SessionOutOfFuel:
+		return "out-of-fuel"
+	case SessionAborted:
+		return "security-abort"
+	}
+	return "unknown"
+}
+
+// SessionResult is the outcome of EvalSession.
+type SessionResult struct {
+	Status SessionStatus
+	// ClientValue is the client's result (Completed only).
+	ClientValue Value
+	// Hist is the shared session history: both parties log their events
+	// and framing actions into it, as in the network semantics. Each side
+	// runs to its next communication point before the other is scheduled.
+	Hist history.History
+	// Synchronised lists the channels synchronised, in order.
+	Synchronised []string
+}
+
+// EvalSession runs a client and a server λ-program as the two parties of a
+// session: non-communication steps reduce locally (call-by-value), and
+// select/branch pairs synchronise — the side holding the select picks the
+// channel (via rnd; deterministically first when rnd is nil), the other
+// side must offer it. Service requests (open) are not supported inside a
+// session evaluation; use the network semantics on extracted effects for
+// nested sessions.
+//
+// EvalSession is the run-time ground truth for compliance at the λ level:
+// when the inferred effects of the two programs are compliant, no
+// scheduling of EvalSession ever returns SessionStuck (property-tested).
+func EvalSession(client, server Term, fuel int, rnd *rand.Rand) (*SessionResult, error) {
+	sess := &session{fuel: fuel}
+	ce := &evaluator{sess: sess}
+	se := &evaluator{sess: sess}
+	res := &SessionResult{}
+	co := ce.eval(client, valueK)
+	so := se.eval(server, valueK)
+	for {
+		if co.err != nil {
+			if isFuel(co.err) {
+				res.Status = SessionOutOfFuel
+				res.Hist = sess.hist
+				return res, nil
+			}
+			return nil, co.err
+		}
+		if so.err != nil {
+			if isFuel(so.err) {
+				res.Status = SessionOutOfFuel
+				res.Hist = sess.hist
+				return res, nil
+			}
+			return nil, so.err
+		}
+		if co.req != nil || so.req != nil {
+			return nil, &EvalError{Term: client,
+				Msg: "nested service requests are not supported in session evaluation (use RunNetwork)"}
+		}
+		// the client finished: success regardless of the server residual
+		if co.comm == nil {
+			res.Status = SessionCompleted
+			res.ClientValue = co.val
+			res.Hist = sess.hist
+			return res, nil
+		}
+		// client paused; server finished: nobody will ever answer
+		if so.comm == nil {
+			res.Status = SessionStuck
+			res.Hist = sess.hist
+			return res, nil
+		}
+		// both paused: they must form a sender/receiver pair
+		var sender, receiver *pausedComm
+		switch {
+		case co.comm.send && !so.comm.send:
+			sender, receiver = co.comm, so.comm
+		case !co.comm.send && so.comm.send:
+			sender, receiver = so.comm, co.comm
+		default:
+			res.Status = SessionStuck
+			res.Hist = sess.hist
+			return res, nil
+		}
+		// the sender decides
+		idx := 0
+		if rnd != nil {
+			idx = rnd.Intn(len(sender.branches))
+		}
+		ch := sender.branches[idx].Channel
+		rBranch, ok := findBranch(receiver.branches, ch)
+		if !ok {
+			res.Status = SessionStuck
+			res.Hist = sess.hist
+			return res, nil
+		}
+		res.Synchronised = append(res.Synchronised, ch)
+		next1 := sender.resume(sender.branches[idx].Body)
+		next2 := receiver.resume(rBranch.Body)
+		if co.comm == sender {
+			co, so = next1, next2
+		} else {
+			co, so = next2, next1
+		}
+	}
+}
+
+func findBranch(bs []CommBranch, ch string) (CommBranch, bool) {
+	for _, b := range bs {
+		if b.Channel == ch {
+			return b, true
+		}
+	}
+	return CommBranch{}, false
+}
+
+// outcome is the result of evaluating one side: a value, an error, or a
+// pause — at a communication, or at a service request (handled only by the
+// network runtime).
+type outcome struct {
+	val  Value
+	err  error
+	comm *pausedComm
+	req  *pausedReq
+}
+
+// pausedComm is a side blocked on select (send=true) or branch; resume
+// continues evaluation with the chosen branch body.
+type pausedComm struct {
+	send     bool
+	branches []CommBranch
+	resume   func(Term) *outcome
+}
+
+// pausedReq is a side blocked on a service request open_{r,φ}: the network
+// runtime spawns the service, evaluates body in the session, and calls
+// resume with the body's value once the session closes.
+type pausedReq struct {
+	req    hexpr.RequestID
+	policy hexpr.PolicyID
+	body   Term
+	resume func(Value) *outcome
+}
+
+func valueK(v Value) *outcome { return &outcome{val: v} }
+
+type fuelError struct{}
+
+func (fuelError) Error() string { return "lambda: session out of fuel" }
+
+func isFuel(err error) bool {
+	_, ok := err.(fuelError)
+	return ok
+}
+
+// session holds the shared fuel and history of an evaluation (one per
+// network component; both parties of EvalSession share one).
+type session struct {
+	fuel int
+	hist history.History
+}
+
+// evaluator is one party's CPS evaluation state: it shares the component
+// session (fuel, history) and tracks its own stack of open Enforce frames,
+// so the network runtime can close them (the Φ of rule Close) when the
+// party is terminated mid-frame.
+type evaluator struct {
+	sess   *session
+	frames []hexpr.PolicyID
+}
+
+// eval is a CPS evaluator: it reduces t and passes the value to k; when
+// the redex is a communication or a service request, it returns a pause
+// whose resume re-enters evaluation with the same continuation.
+func (e *evaluator) eval(t Term, k func(Value) *outcome) *outcome {
+	s := e.sess
+	if s.fuel <= 0 {
+		return &outcome{err: fuelError{}}
+	}
+	s.fuel--
+	switch x := t.(type) {
+	case Unit, IntLit, SymLit, Abs, RecFun:
+		return k(t)
+	case Var:
+		return &outcome{err: &EvalError{Term: t, Msg: fmt.Sprintf("unbound variable %q", x.Name)}}
+	case Fire:
+		s.hist = append(s.hist, history.EventItem(x.Event))
+		return k(Unit{})
+	case Seq:
+		return e.eval(x.First, func(Value) *outcome {
+			return e.eval(x.Then, k)
+		})
+	case Let:
+		return e.eval(x.Bind, func(v Value) *outcome {
+			return e.eval(substTerm(x.Body, x.Name, v), k)
+		})
+	case Enforce:
+		if x.Policy != hexpr.NoPolicy {
+			s.hist = append(s.hist, history.OpenItem(x.Policy))
+			e.frames = append(e.frames, x.Policy)
+		}
+		return e.eval(x.Body, func(v Value) *outcome {
+			if x.Policy != hexpr.NoPolicy {
+				s.hist = append(s.hist, history.CloseItem(x.Policy))
+				e.frames = e.frames[:len(e.frames)-1]
+			}
+			return k(v)
+		})
+	case App:
+		return e.eval(x.Fn, func(fv Value) *outcome {
+			return e.eval(x.Arg, func(av Value) *outcome {
+				switch fn := fv.(type) {
+				case Abs:
+					return e.eval(substTerm(fn.Body, fn.Param, av), k)
+				case RecFun:
+					body := substTerm(fn.Body, fn.Param, av)
+					body = substTerm(body, fn.Name, fn)
+					return e.eval(body, k)
+				default:
+					return &outcome{err: &EvalError{Term: t, Msg: fmt.Sprintf("applying non-function %s", fv)}}
+				}
+			})
+		})
+	case Select:
+		return &outcome{comm: &pausedComm{
+			send:     true,
+			branches: x.Branches,
+			resume:   func(body Term) *outcome { return e.eval(body, k) },
+		}}
+	case Branch:
+		return &outcome{comm: &pausedComm{
+			send:     false,
+			branches: x.Branches,
+			resume:   func(body Term) *outcome { return e.eval(body, k) },
+		}}
+	case Request:
+		return &outcome{req: &pausedReq{
+			req:    x.Req,
+			policy: x.Policy,
+			body:   x.Body,
+			resume: func(v Value) *outcome { return k(v) },
+		}}
+	}
+	return &outcome{err: &EvalError{Term: t, Msg: "unknown term"}}
+}

@@ -1,0 +1,192 @@
+package lambda_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"susc/internal/compliance"
+	"susc/internal/hexpr"
+	"susc/internal/history"
+	"susc/internal/lambda"
+	"susc/internal/paperex"
+	"susc/internal/parser"
+)
+
+func mustLam(t *testing.T, src string) lambda.Term {
+	t.Helper()
+	term, err := parser.ParseLambda(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return term
+}
+
+func TestEvalSessionPingPong(t *testing.T) {
+	client := mustLam(t, `select { ping => branch { pong => 7 } }`)
+	server := mustLam(t, `branch { ping => select { pong => () } }`)
+	res, err := lambda.EvalSession(client, server, 1000, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != lambda.SessionCompleted {
+		t.Fatalf("status = %s", res.Status)
+	}
+	if n, ok := res.ClientValue.(lambda.IntLit); !ok || n.Value != 7 {
+		t.Errorf("client value = %v", res.ClientValue)
+	}
+	if len(res.Synchronised) != 2 || res.Synchronised[0] != "ping" || res.Synchronised[1] != "pong" {
+		t.Errorf("synchronised = %v", res.Synchronised)
+	}
+}
+
+func TestEvalSessionStuckOnMismatch(t *testing.T) {
+	client := mustLam(t, `select { hello => () }`)
+	server := mustLam(t, `branch { goodbye => () }`)
+	res, err := lambda.EvalSession(client, server, 100, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != lambda.SessionStuck {
+		t.Fatalf("status = %s, want stuck", res.Status)
+	}
+	// both sending is stuck too
+	server2 := mustLam(t, `select { hello => () }`)
+	res, err = lambda.EvalSession(client, server2, 100, nil)
+	if err != nil || res.Status != lambda.SessionStuck {
+		t.Fatalf("both-send: %v %v", res, err)
+	}
+	// client waiting on a terminated server is stuck
+	res, err = lambda.EvalSession(mustLam(t, `branch { x => () }`), mustLam(t, `()`), 100, nil)
+	if err != nil || res.Status != lambda.SessionStuck {
+		t.Fatalf("server-gone: %v %v", res, err)
+	}
+}
+
+func TestEvalSessionClientFinishesFirst(t *testing.T) {
+	// the client terminates while the server still wants to talk: success
+	client := mustLam(t, `42`)
+	server := mustLam(t, `branch { x => () }`)
+	res, err := lambda.EvalSession(client, server, 100, nil)
+	if err != nil || res.Status != lambda.SessionCompleted {
+		t.Fatalf("res = %v, err %v", res, err)
+	}
+}
+
+func TestEvalSessionHistories(t *testing.T) {
+	client := mustLam(t, `enforce phi { fire order(1); select { Buy => branch { Ok => () } } }`)
+	server := mustLam(t, `branch { Buy => fire charge(80); select { Ok => () } }`)
+	res, err := lambda.EvalSession(client, server, 1000, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != lambda.SessionCompleted {
+		t.Fatalf("status = %s", res.Status)
+	}
+	want := "[_phi order(1) charge(80) _]phi"
+	if res.Hist.String() != want {
+		t.Errorf("history = %q, want %q", res.Hist, want)
+	}
+}
+
+func TestEvalSessionRecursivePump(t *testing.T) {
+	client := mustLam(t, `
+(rec pump(n: unit): unit .
+  select { more => branch { item => pump () }
+         | done => () }) ()`)
+	server := mustLam(t, `
+(rec serve(n: unit): unit .
+  branch { more => select { item => serve () }
+         | done => () }) ()`)
+	// the client picks more/done randomly: all seeds must complete or run
+	// out of fuel mid-progress, never get stuck
+	for seed := int64(0); seed < 30; seed++ {
+		res, err := lambda.EvalSession(client, server, 2000, rand.New(rand.NewSource(seed)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Status == lambda.SessionStuck {
+			t.Fatalf("seed %d: recursive pump stuck", seed)
+		}
+	}
+}
+
+func TestEvalSessionOutOfFuel(t *testing.T) {
+	client := mustLam(t, `(rec f(x: unit): unit . select { a => f () }) ()`)
+	server := mustLam(t, `(rec g(x: unit): unit . branch { a => g () }) ()`)
+	res, err := lambda.EvalSession(client, server, 50, nil)
+	if err != nil || res.Status != lambda.SessionOutOfFuel {
+		t.Fatalf("res = %v, err = %v", res, err)
+	}
+}
+
+func TestEvalSessionRejectsNestedRequests(t *testing.T) {
+	client := mustLam(t, `open r1 { select { a => () } }`)
+	if _, err := lambda.EvalSession(client, mustLam(t, `()`), 100, nil); err == nil {
+		t.Error("nested requests should be rejected")
+	}
+}
+
+// TestEvalSessionComplianceSoundness: when the inferred effects are
+// compliant, no scheduling of the session evaluation is ever stuck; and
+// the session history is always a valid, balanced history when the static
+// validity of the combined effects holds. This is the λ-level statement of
+// the paper's guarantee.
+func TestEvalSessionComplianceSoundness(t *testing.T) {
+	srcPairs := []struct {
+		client, server string
+	}{
+		{`select { Req => branch { CoBo => select { Pay => () } | NoAv => () } }`,
+			`branch { Req => select { CoBo => branch { Pay => () } | NoAv => () } }`},
+		{`(rec p(x: unit): unit . select { a => branch { ack => p () } | q => () }) ()`,
+			`(rec s(x: unit): unit . branch { a => select { ack => s () } | q => () }) ()`},
+		{`select { hi => () }`, `branch { hi => () | bye => () }`},
+	}
+	for i, pair := range srcPairs {
+		client := mustLam(t, pair.client)
+		server := mustLam(t, pair.server)
+		_, ceff, err := lambda.InferClosed(client)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, seff, err := lambda.InferClosed(server)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ok, err := compliance.Compliant(ceff, seff)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			t.Fatalf("pair %d should be compliant", i)
+		}
+		for seed := int64(0); seed < 25; seed++ {
+			res, err := lambda.EvalSession(client, server, 2000, rand.New(rand.NewSource(seed)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Status == lambda.SessionStuck {
+				t.Fatalf("pair %d seed %d: compliant session stuck", i, seed)
+			}
+		}
+	}
+}
+
+// TestEvalSessionHistoryMatchesMonitor: the session history obeys the
+// run-time monitor when the programs respect their policies.
+func TestEvalSessionHistoryMatchesMonitor(t *testing.T) {
+	phi1 := paperex.Phi1()
+	client := lambda.Enforce{Policy: phi1.ID(), Body: lambda.Select{Branches: []lambda.CommBranch{
+		{Channel: "Go", Body: lambda.Unit{}},
+	}}}
+	server := lambda.Branch{Branches: []lambda.CommBranch{
+		{Channel: "Go", Body: lambda.Fire{Event: hexpr.E(paperex.EvSgn, hexpr.Sym("s3"))}},
+	}}
+	res, err := lambda.EvalSession(client, server, 100, nil)
+	if err != nil || res.Status != lambda.SessionCompleted {
+		t.Fatalf("res = %v err %v", res, err)
+	}
+	m := history.NewMonitor(paperex.Policies())
+	if err := m.AppendAll(res.Hist); err != nil {
+		t.Errorf("session history rejected by the monitor: %v (history %s)", err, res.Hist)
+	}
+}

@@ -1,0 +1,150 @@
+package lts
+
+import (
+	"sort"
+	"strconv"
+	"strings"
+
+	"susc/internal/hexpr"
+)
+
+// Bisimilar reports whether two closed expressions are strongly bisimilar:
+// their LTSs match transition for transition, label by label. Bisimilarity
+// implies equality of traces and preservation of every analysis in this
+// module (compliance, validity), making it a sound notion of behavioural
+// equality for contracts and services.
+func Bisimilar(a, b hexpr.Expr) (bool, error) {
+	la, err := Build(a)
+	if err != nil {
+		return false, err
+	}
+	lb, err := Build(b)
+	if err != nil {
+		return false, err
+	}
+	union := &LTS{index: map[string]int{}}
+	offset := la.Len()
+	union.States = append(union.States, la.States...)
+	union.States = append(union.States, lb.States...)
+	union.Edges = append(union.Edges, la.Edges...)
+	for _, es := range lb.Edges {
+		shifted := make([]Edge, len(es))
+		for i, e := range es {
+			shifted[i] = Edge{Label: e.Label, To: e.To + offset}
+		}
+		union.Edges = append(union.Edges, shifted)
+	}
+	class := union.Bisimulation()
+	return class[0] == class[offset], nil
+}
+
+// Bisimulation computes the strong-bisimilarity partition of the LTS
+// states (Kanellakis–Smolka style partition refinement on labelled
+// transitions): the returned slice maps each state to its equivalence
+// class, with classes numbered densely from 0.
+func (l *LTS) Bisimulation() []int {
+	// initial partition: terminated vs not
+	class := make([]int, l.Len())
+	for i := range class {
+		if l.Terminated(i) {
+			class[i] = 1
+		}
+	}
+	for {
+		// signature: sorted set of (label, class of target)
+		sigs := make([]string, l.Len())
+		for s := 0; s < l.Len(); s++ {
+			var parts []string
+			seen := map[string]bool{}
+			for _, e := range l.Edges[s] {
+				p := e.Label.Key() + "→" + strconv.Itoa(class[e.To])
+				if !seen[p] {
+					seen[p] = true
+					parts = append(parts, p)
+				}
+			}
+			sort.Strings(parts)
+			sigs[s] = strconv.Itoa(class[s]) + "|" + strings.Join(parts, ";")
+		}
+		index := map[string]int{}
+		next := make([]int, l.Len())
+		changed := false
+		for s := 0; s < l.Len(); s++ {
+			c, ok := index[sigs[s]]
+			if !ok {
+				c = len(index)
+				index[sigs[s]] = c
+			}
+			next[s] = c
+			if next[s] != class[s] {
+				changed = true
+			}
+		}
+		class = next
+		if !changed {
+			return class
+		}
+	}
+}
+
+// Minimize returns the quotient LTS under strong bisimilarity. State 0 of
+// the result is the class of the original initial state; the state
+// expression of each class is a representative (the first original state
+// of the class).
+func (l *LTS) Minimize() *LTS {
+	class := l.Bisimulation()
+	numClasses := 0
+	for _, c := range class {
+		if c+1 > numClasses {
+			numClasses = c + 1
+		}
+	}
+	// remap so the initial state's class becomes 0
+	remap := make([]int, numClasses)
+	for i := range remap {
+		remap[i] = -1
+	}
+	nextID := 0
+	assign := func(c int) int {
+		if remap[c] == -1 {
+			remap[c] = nextID
+			nextID++
+		}
+		return remap[c]
+	}
+	assign(class[0])
+	for s := 0; s < l.Len(); s++ {
+		assign(class[s])
+	}
+	out := &LTS{
+		States: make([]hexpr.Expr, nextID),
+		Edges:  make([][]Edge, nextID),
+		index:  map[string]int{},
+	}
+	filled := make([]bool, nextID)
+	for s := 0; s < l.Len(); s++ {
+		c := remap[class[s]]
+		if filled[c] {
+			continue
+		}
+		filled[c] = true
+		out.States[c] = l.States[s]
+		seen := map[string]bool{}
+		for _, e := range l.Edges[s] {
+			t := remap[class[e.To]]
+			k := e.Label.Key() + "→" + strconv.Itoa(t)
+			if !seen[k] {
+				seen[k] = true
+				out.Edges[c] = append(out.Edges[c], Edge{Label: e.Label, To: t})
+			}
+		}
+	}
+	for i, e := range out.States {
+		// representatives may collide on keys across classes only if they
+		// were bisimilar but structurally distinct; index keeps the first
+		if _, ok := out.index[e.Key()]; !ok {
+			out.index[e.Key()] = i
+		}
+	}
+	return out
+}

@@ -1,0 +1,31 @@
+package lts
+
+import (
+	"fmt"
+	"strings"
+
+	"susc/internal/hexpr"
+)
+
+// DOT renders the LTS in Graphviz dot syntax: states are numbered, the
+// terminated state ε is a double circle, and edges carry their labels.
+func (l *LTS) DOT(name string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n", name)
+	b.WriteString("  rankdir=LR;\n  node [shape=circle];\n")
+	b.WriteString("  __start [shape=point];\n  __start -> s0;\n")
+	for i := range l.States {
+		shape := "circle"
+		if l.Terminated(i) {
+			shape = "doublecircle"
+		}
+		fmt.Fprintf(&b, "  s%d [shape=%s, tooltip=%q];\n", i, shape, hexpr.Pretty(l.States[i]))
+	}
+	for i, es := range l.Edges {
+		for _, e := range es {
+			fmt.Fprintf(&b, "  s%d -> s%d [label=%q];\n", i, e.To, e.Label.String())
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

@@ -1,0 +1,244 @@
+package lts
+
+import (
+	"math/rand"
+	"testing"
+
+	"susc/internal/hexpr"
+)
+
+func step1(t *testing.T, e hexpr.Expr) Transition {
+	t.Helper()
+	ts := Step(e)
+	if len(ts) != 1 {
+		t.Fatalf("Step(%s) has %d transitions, want 1", e.Key(), len(ts))
+	}
+	return ts[0]
+}
+
+func TestStepEvent(t *testing.T) {
+	tr := step1(t, hexpr.Act(hexpr.E("sgn", hexpr.Int(1))))
+	if tr.Label.Kind != hexpr.LEvent || tr.Label.Event.Name != "sgn" {
+		t.Errorf("label = %v", tr.Label)
+	}
+	if !hexpr.IsNil(tr.To) {
+		t.Errorf("target = %s, want eps", tr.To.Key())
+	}
+}
+
+func TestStepChoices(t *testing.T) {
+	ic := hexpr.IntCh(
+		hexpr.B(hexpr.Out("Bok"), hexpr.Eps()),
+		hexpr.B(hexpr.Out("UnA"), hexpr.Eps()),
+	)
+	ts := Step(ic)
+	if len(ts) != 2 {
+		t.Fatalf("internal choice: %d transitions, want 2", len(ts))
+	}
+	for _, tr := range ts {
+		if tr.Label.Kind != hexpr.LComm || !tr.Label.Comm.IsSend() {
+			t.Errorf("internal-choice label %v is not an output", tr.Label)
+		}
+	}
+	ec := hexpr.Ext(
+		hexpr.B(hexpr.In("Bok"), hexpr.Act(hexpr.E("ok"))),
+		hexpr.B(hexpr.In("UnA"), hexpr.Eps()),
+	)
+	ts = Step(ec)
+	if len(ts) != 2 {
+		t.Fatalf("external choice: %d transitions, want 2", len(ts))
+	}
+	for _, tr := range ts {
+		if tr.Label.Kind != hexpr.LComm || tr.Label.Comm.IsSend() {
+			t.Errorf("external-choice label %v is not an input", tr.Label)
+		}
+	}
+}
+
+func TestStepSessionAndClose(t *testing.T) {
+	s := hexpr.Open("r1", "phi", hexpr.SendThen("Req", hexpr.Eps()))
+	tr := step1(t, s)
+	if tr.Label.Kind != hexpr.LOpen || tr.Label.Req != "r1" || tr.Label.Policy != "phi" {
+		t.Fatalf("label = %v", tr.Label)
+	}
+	// target is Req! · close[r1,phi]
+	want := hexpr.Cat(hexpr.SendThen("Req", hexpr.Eps()), hexpr.CloseTag{Req: "r1", Policy: "phi"})
+	if !hexpr.Equal(tr.To, want) {
+		t.Fatalf("target = %s, want %s", tr.To.Key(), want.Key())
+	}
+	// run to the close
+	tr2 := step1(t, tr.To) // fires Req!
+	tr3 := step1(t, tr2.To)
+	if tr3.Label.Kind != hexpr.LClose || tr3.Label.Req != "r1" {
+		t.Fatalf("expected close, got %v", tr3.Label)
+	}
+	if !hexpr.IsNil(tr3.To) {
+		t.Fatalf("after close: %s", tr3.To.Key())
+	}
+}
+
+func TestStepFraming(t *testing.T) {
+	f := hexpr.Frame("phi", hexpr.Act(hexpr.E("a")))
+	tr := step1(t, f)
+	if tr.Label.Kind != hexpr.LFrameOpen || tr.Label.Policy != "phi" {
+		t.Fatalf("label = %v", tr.Label)
+	}
+	tr2 := step1(t, tr.To) // fires a
+	tr3 := step1(t, tr2.To)
+	if tr3.Label.Kind != hexpr.LFrameClose || tr3.Label.Policy != "phi" {
+		t.Fatalf("expected frame close, got %v", tr3.Label)
+	}
+}
+
+func TestStepSeqOnlyLeftMoves(t *testing.T) {
+	e := hexpr.Cat(hexpr.Act(hexpr.E("a")), hexpr.Act(hexpr.E("b")))
+	ts := Step(e)
+	if len(ts) != 1 || ts[0].Label.Event.Name != "a" {
+		t.Fatalf("Seq must move on the left first: %v", ts)
+	}
+	if !hexpr.Equal(ts[0].To, hexpr.Act(hexpr.E("b"))) {
+		t.Fatalf("residual = %s", ts[0].To.Key())
+	}
+}
+
+func TestStepRecUnfolds(t *testing.T) {
+	r := hexpr.Mu("h", hexpr.SendThen("a", hexpr.V("h")))
+	ts := Step(r)
+	if len(ts) != 1 || ts[0].Label.Comm != hexpr.Out("a") {
+		t.Fatalf("rec step = %v", ts)
+	}
+	if !hexpr.Equal(ts[0].To, r) {
+		t.Fatalf("μh.ā.h should loop to itself, got %s", ts[0].To.Key())
+	}
+}
+
+func TestStepTerminalStates(t *testing.T) {
+	if len(Step(hexpr.Eps())) != 0 {
+		t.Error("eps must be terminal")
+	}
+	if len(Step(hexpr.V("h"))) != 0 {
+		t.Error("a free variable must be stuck")
+	}
+}
+
+func TestBuildFiniteRecursion(t *testing.T) {
+	// μh.(ā.h ⊕ b̄) has exactly 2 states: itself and ε.
+	r := hexpr.Mu("h", hexpr.IntCh(
+		hexpr.B(hexpr.Out("a"), hexpr.V("h")),
+		hexpr.B(hexpr.Out("b"), hexpr.Eps()),
+	))
+	l, err := Build(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Len() != 2 {
+		t.Fatalf("states = %d, want 2", l.Len())
+	}
+	if !l.CanReachTermination(0) {
+		t.Error("should reach termination via b̄")
+	}
+	if len(l.Stuck()) != 0 {
+		t.Errorf("stuck states: %v", l.Stuck())
+	}
+}
+
+func TestBuildBrokerExample(t *testing.T) {
+	// Br = Req.open₃∅ IdC.(Bok+UnA) close₃ (CoBo.Pay ⊕ NoAv)
+	br := hexpr.RecvThen("Req", hexpr.Cat(
+		hexpr.Open("r3", hexpr.NoPolicy,
+			hexpr.SendThen("IdC", hexpr.Ext(
+				hexpr.B(hexpr.In("Bok"), hexpr.Eps()),
+				hexpr.B(hexpr.In("UnA"), hexpr.Eps()),
+			))),
+		hexpr.IntCh(
+			hexpr.B(hexpr.Out("CoBo"), hexpr.SendThen("Pay", hexpr.Eps())),
+			hexpr.B(hexpr.Out("NoAv"), hexpr.Eps()),
+		),
+	))
+	if err := hexpr.Check(br); err != nil {
+		t.Fatal(err)
+	}
+	l, err := Build(br)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !l.CanReachTermination(0) {
+		t.Error("broker should be able to terminate")
+	}
+	// Exactly one trace of the broker reaches ε via CoBo·Pay:
+	// Req? open₃ IdC! Bok? close₃ CoBo! Pay!  (7 steps)
+	found := false
+	for _, tr := range l.Traces(7) {
+		if len(tr) != 7 {
+			continue
+		}
+		if tr[0].Kind == hexpr.LComm && tr[0].Comm == hexpr.In("Req") &&
+			tr[6].Kind == hexpr.LComm && tr[6].Comm == hexpr.Out("Pay") {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("expected the Req…Pay trace of the broker")
+	}
+}
+
+func TestBuildStateOf(t *testing.T) {
+	e := hexpr.Cat(hexpr.Act(hexpr.E("a")), hexpr.Act(hexpr.E("b")))
+	l, err := Build(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.StateOf(e) != 0 {
+		t.Error("initial state must be 0")
+	}
+	if l.StateOf(hexpr.Act(hexpr.E("b"))) < 0 {
+		t.Error("intermediate state missing")
+	}
+	if l.StateOf(hexpr.Act(hexpr.E("zzz"))) != -1 {
+		t.Error("unknown state should be -1")
+	}
+}
+
+func TestBuildBoundedRejectsExplosion(t *testing.T) {
+	// A deep expression with a tiny bound.
+	e := hexpr.Cat(
+		hexpr.Act(hexpr.E("a")), hexpr.Act(hexpr.E("b")), hexpr.Act(hexpr.E("c")),
+		hexpr.Act(hexpr.E("d")), hexpr.Act(hexpr.E("e")),
+	)
+	if _, err := BuildBounded(e, 2); err == nil {
+		t.Error("expected state-bound error")
+	}
+}
+
+func TestBuildRandomAlwaysFinite(t *testing.T) {
+	rnd := rand.New(rand.NewSource(7))
+	cfg := hexpr.DefaultGenConfig()
+	for i := 0; i < 300; i++ {
+		e := hexpr.Generate(rnd, cfg)
+		l, err := BuildBounded(e, 100000)
+		if err != nil {
+			t.Fatalf("Build(%s): %v", hexpr.Pretty(e), err)
+		}
+		// every closed well-formed expression can always terminate or loop,
+		// but never gets stuck alone
+		if s := l.Stuck(); len(s) != 0 {
+			t.Fatalf("stand-alone expression stuck: %s at %v", hexpr.Pretty(e), s)
+		}
+	}
+}
+
+func TestTracesPrefixClosed(t *testing.T) {
+	e := hexpr.Cat(hexpr.Act(hexpr.E("a")), hexpr.Act(hexpr.E("b")))
+	l, err := Build(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trs := l.Traces(2)
+	// ε, a, a·b
+	if len(trs) != 3 {
+		t.Fatalf("traces = %d, want 3", len(trs))
+	}
+	if len(trs[0]) != 0 || len(trs[1]) != 1 || len(trs[2]) != 2 {
+		t.Errorf("trace lengths wrong: %v", trs)
+	}
+}

@@ -1,0 +1,102 @@
+package network_test
+
+import (
+	"testing"
+
+	"susc/internal/hexpr"
+	"susc/internal/network"
+	"susc/internal/paperex"
+)
+
+// echoService receives one hello.
+func echoService() hexpr.Expr { return hexpr.RecvThen("hello", hexpr.Eps()) }
+
+// nestedClient opens echo twice, the second session nested in the first.
+func nestedClient() hexpr.Expr {
+	return hexpr.Open("ra", hexpr.NoPolicy,
+		hexpr.SendThen("hello",
+			hexpr.Open("rb", hexpr.NoPolicy,
+				hexpr.SendThen("hello", hexpr.Eps()))))
+}
+
+// sequentialClient opens echo twice, one session after the other.
+func sequentialClient() hexpr.Expr {
+	return hexpr.Cat(
+		hexpr.Open("ra", hexpr.NoPolicy, hexpr.SendThen("hello", hexpr.Eps())),
+		hexpr.Open("rb", hexpr.NoPolicy, hexpr.SendThen("hello", hexpr.Eps())),
+	)
+}
+
+func echoConfig(client hexpr.Expr, capacity int) *network.Config {
+	repo := network.Repository{"echo": echoService()}
+	plan := network.Plan{"ra": "echo", "rb": "echo"}
+	cfg := network.NewConfig(repo, paperex.Policies(),
+		network.Client{Loc: "cl", Expr: client, Plan: plan})
+	if capacity >= 0 {
+		cfg.WithAvailability(map[hexpr.Location]int{"echo": capacity})
+	}
+	return cfg
+}
+
+func TestAvailabilityNestedSessionsDeadlockOnOneReplica(t *testing.T) {
+	res := echoConfig(nestedClient(), 1).Run(network.RunOptions{})
+	if res.Status != network.Deadlock {
+		t.Fatalf("nested sessions with 1 replica: %s, want deadlock", res)
+	}
+}
+
+func TestAvailabilityNestedSessionsCompleteOnTwoReplicas(t *testing.T) {
+	res := echoConfig(nestedClient(), 2).Run(network.RunOptions{})
+	if res.Status != network.Completed {
+		t.Fatalf("nested sessions with 2 replicas: %s, want completed", res)
+	}
+}
+
+func TestAvailabilitySequentialSessionsReuseReplica(t *testing.T) {
+	// Closing a session releases the replica, so one replica suffices for
+	// sequential use.
+	res := echoConfig(sequentialClient(), 1).Run(network.RunOptions{})
+	if res.Status != network.Completed {
+		t.Fatalf("sequential sessions with 1 replica: %s, want completed", res)
+	}
+}
+
+func TestAvailabilityUnlimitedByDefault(t *testing.T) {
+	res := echoConfig(nestedClient(), -1).Run(network.RunOptions{})
+	if res.Status != network.Completed {
+		t.Fatalf("unbounded availability: %s, want completed", res)
+	}
+	// Unlisted locations are unbounded even when the map exists.
+	cfg := echoConfig(nestedClient(), -1)
+	cfg.WithAvailability(map[hexpr.Location]int{"other": 0})
+	if res := cfg.Run(network.RunOptions{}); res.Status != network.Completed {
+		t.Fatalf("unlisted location should be unbounded: %s", res)
+	}
+}
+
+func TestAvailabilityZeroBlocksImmediately(t *testing.T) {
+	res := echoConfig(sequentialClient(), 0).Run(network.RunOptions{})
+	if res.Status != network.Deadlock {
+		t.Fatalf("0 replicas: %s, want deadlock", res)
+	}
+}
+
+func TestAvailabilitySharedAcrossComponents(t *testing.T) {
+	// Two clients compete for one replica of a service that never answers
+	// until the session is closed by the client; since each session opens
+	// and closes promptly here, both still complete.
+	repo := network.Repository{"echo": echoService()}
+	c := hexpr.Open("ra", hexpr.NoPolicy, hexpr.SendThen("hello", hexpr.Eps()))
+	c2 := hexpr.Open("rb", hexpr.NoPolicy, hexpr.SendThen("hello", hexpr.Eps()))
+	cfg := network.NewConfig(repo, paperex.Policies(),
+		network.Client{Loc: "cl1", Expr: c, Plan: network.Plan{"ra": "echo"}},
+		network.Client{Loc: "cl2", Expr: c2, Plan: network.Plan{"rb": "echo"}},
+	).WithAvailability(map[hexpr.Location]int{"echo": 1})
+	res := cfg.Run(network.RunOptions{})
+	if res.Status != network.Completed {
+		t.Fatalf("two prompt clients over 1 replica: %s, want completed", res)
+	}
+	if cfg.Avail["echo"] != 1 {
+		t.Errorf("replica not released: avail = %d", cfg.Avail["echo"])
+	}
+}

@@ -1,0 +1,289 @@
+package network
+
+import (
+	"fmt"
+
+	"susc/internal/hexpr"
+	"susc/internal/history"
+	"susc/internal/lts"
+)
+
+// Move is one enabled transition of a component: the observable label, the
+// resulting session tree, and the history items the move logs.
+type Move struct {
+	// Comp is the index of the component the move belongs to (set by
+	// Config.Moves).
+	Comp int
+	// Label is the transition label (τ for synchronisations).
+	Label hexpr.Label
+	// Items are the history items the move appends to the component
+	// history (⌊φ for Open, Φ(H″)·⌋φ for Close, γ for Access, none for
+	// Synch).
+	Items []history.Item
+	// Tree is the component tree after the move.
+	Tree Node
+	// OpenLoc is the service location a session-opening move instantiates
+	// ("" otherwise); with bounded availability it consumes one replica.
+	OpenLoc hexpr.Location
+	// ReleaseLoc is the service location a session-closing move releases
+	// ("" otherwise).
+	ReleaseLoc hexpr.Location
+}
+
+// TreeMoves computes the enabled moves of a session tree under a plan and
+// repository, per the rules of §3:
+//
+//   - Access: a leaf fires an event or framing action, logged;
+//   - Open:   a leaf fires open_{r,φ}; the plan selects ℓj, the repository
+//     supplies Hj, the leaf becomes [ℓi:H′, ℓj:Hj], ⌊φ is logged;
+//   - Close:  a pair of leaves one of which fires close_{r,φ} collapses to
+//     the closing leaf; Φ(H″)·⌋φ is logged;
+//   - Synch:  a pair of leaves fires complementary actions a/ā, giving τ;
+//   - Session: moves propagate through enclosing pairs.
+//
+// Opens whose request is unbound in the plan, or bound to a location
+// missing from the repository, are simply not enabled (the network is
+// stuck on them; plan validation flags this).
+func TreeMoves(n Node, plan Plan, repo Repository) []Move {
+	switch t := n.(type) {
+	case Leaf:
+		return leafMoves(t, plan, repo)
+	case Pair:
+		var out []Move
+		// (Session): evolve one side, keeping the move's annotations
+		for _, m := range TreeMoves(t.Left, plan, repo) {
+			m.Tree = Pair{Left: m.Tree, Right: t.Right}
+			out = append(out, m)
+		}
+		for _, m := range TreeMoves(t.Right, plan, repo) {
+			m.Tree = Pair{Left: t.Left, Right: m.Tree}
+			out = append(out, m)
+		}
+		// (Synch) and (Close) need both sides to be leaves
+		l, lok := t.Left.(Leaf)
+		r, rok := t.Right.(Leaf)
+		if lok && rok {
+			out = append(out, pairMoves(l, r)...)
+		}
+		return out
+	}
+	panic(fmt.Sprintf("network: unknown node %T", n))
+}
+
+// leafMoves yields the Access and Open moves of a single located process.
+// Communication and close steps of the leaf are handled by the enclosing
+// pair (they need a partner).
+func leafMoves(l Leaf, plan Plan, repo Repository) []Move {
+	var out []Move
+	for _, tr := range lts.Step(l.Expr) {
+		switch tr.Label.Kind {
+		case hexpr.LEvent:
+			out = append(out, Move{
+				Label: tr.Label,
+				Items: []history.Item{history.EventItem(tr.Label.Event)},
+				Tree:  Leaf{Loc: l.Loc, Expr: tr.To},
+			})
+		case hexpr.LFrameOpen:
+			var items []history.Item
+			if tr.Label.Policy != hexpr.NoPolicy {
+				items = []history.Item{history.OpenItem(tr.Label.Policy)}
+			}
+			out = append(out, Move{Label: tr.Label, Items: items, Tree: Leaf{Loc: l.Loc, Expr: tr.To}})
+		case hexpr.LFrameClose:
+			var items []history.Item
+			if tr.Label.Policy != hexpr.NoPolicy {
+				items = []history.Item{history.CloseItem(tr.Label.Policy)}
+			}
+			out = append(out, Move{Label: tr.Label, Items: items, Tree: Leaf{Loc: l.Loc, Expr: tr.To}})
+		case hexpr.LOpen:
+			loc, ok := plan[tr.Label.Req]
+			if !ok {
+				continue // unplanned request: not enabled
+			}
+			service, ok := repo[loc]
+			if !ok {
+				continue // dangling location: not enabled
+			}
+			var items []history.Item
+			if tr.Label.Policy != hexpr.NoPolicy {
+				items = []history.Item{history.OpenItem(tr.Label.Policy)}
+			}
+			out = append(out, Move{
+				Label:   tr.Label,
+				Items:   items,
+				OpenLoc: loc,
+				Tree: Pair{
+					Left:  Leaf{Loc: l.Loc, Expr: tr.To},
+					Right: Leaf{Loc: loc, Expr: service},
+				},
+			})
+		}
+	}
+	return out
+}
+
+// pairMoves yields the Synch and Close moves of a session whose two sides
+// are leaves. [S,S′] ≡ [S′,S]: both orientations are considered.
+func pairMoves(l, r Leaf) []Move {
+	var out []Move
+	ls := lts.Step(l.Expr)
+	rs := lts.Step(r.Expr)
+	// (Synch): complementary communications become τ
+	for _, a := range ls {
+		if a.Label.Kind != hexpr.LComm {
+			continue
+		}
+		for _, b := range rs {
+			if b.Label.Kind != hexpr.LComm || b.Label.Comm != a.Label.Comm.Co() {
+				continue
+			}
+			out = append(out, Move{
+				Label: hexpr.Tau,
+				Tree: Pair{
+					Left:  Leaf{Loc: l.Loc, Expr: a.To},
+					Right: Leaf{Loc: r.Loc, Expr: b.To},
+				},
+			})
+		}
+	}
+	// (Close): either side may close the session; the other side is
+	// terminated, its dangling framings closed in the history via Φ.
+	out = append(out, closeMoves(l, r)...)
+	out = append(out, closeMoves(r, l)...)
+	return out
+}
+
+func closeMoves(closer, other Leaf) []Move {
+	var out []Move
+	for _, tr := range lts.Step(closer.Expr) {
+		if tr.Label.Kind != hexpr.LClose {
+			continue
+		}
+		items := ClosingFrames(other.Expr)
+		if tr.Label.Policy != hexpr.NoPolicy {
+			items = append(items, history.CloseItem(tr.Label.Policy))
+		}
+		out = append(out, Move{
+			Label:      tr.Label,
+			Items:      items,
+			ReleaseLoc: other.Loc,
+			Tree:       Leaf{Loc: closer.Loc, Expr: tr.To},
+		})
+	}
+	return out
+}
+
+// ClosingFrames computes Φ(H): the ⌋φ markers of the framings still open
+// in a terminated service's residual code, left to right (innermost
+// first), as history items:
+//
+//	Φ(H₁·H₂) = Φ(H₁)·Φ(H₂)   Φ(⌋φ) = ⌋φ   Φ(H) = ε otherwise
+func ClosingFrames(e hexpr.Expr) []history.Item {
+	switch t := e.(type) {
+	case hexpr.FrameClose:
+		if t.Policy == hexpr.NoPolicy {
+			return nil
+		}
+		return []history.Item{history.CloseItem(t.Policy)}
+	case hexpr.Seq:
+		return append(ClosingFrames(t.Left), ClosingFrames(t.Right)...)
+	default:
+		return nil
+	}
+}
+
+// Moves returns every syntactically enabled move of the configuration
+// (rule Net: any component may step), honouring bounded availability:
+// session openings towards a location whose replicas are exhausted are not
+// enabled. Monitored executions filter further with ValidMoves.
+func (c *Config) Moves() []Move {
+	var out []Move
+	for i, comp := range c.Comps {
+		for _, m := range TreeMoves(comp.Tree, comp.Plan, c.Repo) {
+			if m.OpenLoc != "" && !c.available(m.OpenLoc) {
+				continue
+			}
+			m.Comp = i
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// available reports whether the location still has a replica to offer.
+func (c *Config) available(loc hexpr.Location) bool {
+	if c.Avail == nil {
+		return true
+	}
+	n, limited := c.Avail[loc]
+	return !limited || n > 0
+}
+
+// ValidMoves returns the enabled moves whose logged history items keep the
+// component history valid — the angelic, monitored semantics. The monitors
+// argument must hold one monitor per component, tracking its history so
+// far (see NewMonitors).
+func (c *Config) ValidMoves(monitors []*history.Monitor) []Move {
+	all := c.Moves()
+	out := make([]Move, 0, len(all))
+	for _, m := range all {
+		if MoveValid(monitors[m.Comp], m) {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// MoveValid reports whether applying the move's history items to (a copy
+// of) the monitor succeeds.
+func MoveValid(m *history.Monitor, mv Move) bool {
+	if len(mv.Items) == 0 {
+		return true
+	}
+	snap := m.Snapshot()
+	for _, it := range mv.Items {
+		if err := snap.Append(it); err != nil {
+			return false
+		}
+	}
+	return true
+}
+
+// NewMonitors builds one fresh monitor per component.
+func (c *Config) NewMonitors() []*history.Monitor {
+	out := make([]*history.Monitor, len(c.Comps))
+	for i := range c.Comps {
+		out[i] = history.NewMonitor(c.Table)
+	}
+	return out
+}
+
+// Apply executes a move: the component tree is replaced and the history
+// extended. When monitors is non-nil the corresponding monitor consumes
+// the items; an item the monitor rejects is a hard error (callers using
+// ValidMoves never see it).
+func (c *Config) Apply(m Move, monitors []*history.Monitor) error {
+	comp := c.Comps[m.Comp]
+	if monitors != nil {
+		for _, it := range m.Items {
+			if err := monitors[m.Comp].Append(it); err != nil {
+				return err
+			}
+		}
+	}
+	comp.Tree = m.Tree
+	comp.Hist = append(comp.Hist, m.Items...)
+	if c.Avail != nil {
+		if m.OpenLoc != "" {
+			if _, limited := c.Avail[m.OpenLoc]; limited {
+				c.Avail[m.OpenLoc]--
+			}
+		}
+		if m.ReleaseLoc != "" {
+			if _, limited := c.Avail[m.ReleaseLoc]; limited {
+				c.Avail[m.ReleaseLoc]++
+			}
+		}
+	}
+	return nil
+}

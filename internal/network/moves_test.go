@@ -1,0 +1,118 @@
+package network_test
+
+import (
+	"testing"
+
+	"susc/internal/hexpr"
+	"susc/internal/network"
+	"susc/internal/paperex"
+)
+
+// TestPairMovesBothOrientations: [S,S′] ≡ [S′,S] — the close can be fired
+// by either side of the pair.
+func TestPairMovesBothOrientations(t *testing.T) {
+	closer := network.Leaf{Loc: "a", Expr: hexpr.CloseTag{Req: "r1", Policy: hexpr.NoPolicy}}
+	other := network.Leaf{Loc: "b", Expr: hexpr.Eps()}
+	for _, pair := range []network.Pair{
+		{Left: closer, Right: other},
+		{Left: other, Right: closer},
+	} {
+		moves := network.TreeMoves(pair, network.Plan{}, network.Repository{})
+		foundClose := false
+		for _, m := range moves {
+			if m.Label.Kind == hexpr.LClose {
+				foundClose = true
+				if leaf, ok := m.Tree.(network.Leaf); !ok || leaf.Loc != "a" {
+					t.Errorf("close must keep the closing side: %v", m.Tree)
+				}
+				if m.ReleaseLoc != "b" {
+					t.Errorf("release loc = %s, want b", m.ReleaseLoc)
+				}
+			}
+		}
+		if !foundClose {
+			t.Errorf("no close move for orientation %s", pair.Key())
+		}
+	}
+}
+
+// TestSynchOnlyBetweenLeavesOfSamePair: a nested session blocks the outer
+// communication until it closes.
+func TestSynchOnlyBetweenLeavesOfSamePair(t *testing.T) {
+	// outer: [cl: a? …, [mid: b̄ …, inner: b? …]]: cl cannot talk to mid
+	cl := network.Leaf{Loc: "cl", Expr: hexpr.RecvThen("x", hexpr.Eps())}
+	mid := network.Leaf{Loc: "mid", Expr: hexpr.SendThen("b", hexpr.SendThen("x", hexpr.Eps()))}
+	inner := network.Leaf{Loc: "in", Expr: hexpr.RecvThen("b", hexpr.Eps())}
+	tree := network.Pair{Left: cl, Right: network.Pair{Left: mid, Right: inner}}
+	moves := network.TreeMoves(tree, network.Plan{}, network.Repository{})
+	for _, m := range moves {
+		if m.Label.Kind != hexpr.LTau {
+			t.Errorf("unexpected non-τ move %s", m.Label)
+		}
+	}
+	if len(moves) != 1 {
+		t.Fatalf("only the inner b synchronisation should be enabled, got %d moves", len(moves))
+	}
+}
+
+// TestEventInsideNestedSessionPropagates: Access moves bubble through
+// enclosing pairs and keep their annotations.
+func TestEventInsideNestedSessionPropagates(t *testing.T) {
+	ev := network.Leaf{Loc: "svc", Expr: hexpr.Act(hexpr.E("sgn", hexpr.Sym("s1")))}
+	tree := network.Pair{
+		Left:  network.Leaf{Loc: "cl", Expr: hexpr.RecvThen("x", hexpr.Eps())},
+		Right: network.Pair{Left: network.Leaf{Loc: "br", Expr: hexpr.RecvThen("y", hexpr.Eps())}, Right: ev},
+	}
+	moves := network.TreeMoves(tree, network.Plan{}, network.Repository{})
+	if len(moves) != 1 || moves[0].Label.Kind != hexpr.LEvent {
+		t.Fatalf("moves = %v", moves)
+	}
+	if len(moves[0].Items) != 1 {
+		t.Errorf("event move must log one item")
+	}
+}
+
+// TestOpenInsideSessionTagsLocation: nested opens carry OpenLoc through
+// the Session rule.
+func TestOpenInsideSessionTagsLocation(t *testing.T) {
+	repo := network.Repository{"svc": hexpr.RecvThen("q", hexpr.Eps())}
+	plan := network.Plan{"r9": "svc"}
+	opener := network.Leaf{Loc: "br",
+		Expr: hexpr.Open("r9", hexpr.NoPolicy, hexpr.SendThen("q", hexpr.Eps()))}
+	tree := network.Pair{
+		Left:  network.Leaf{Loc: "cl", Expr: hexpr.RecvThen("x", hexpr.Eps())},
+		Right: opener,
+	}
+	moves := network.TreeMoves(tree, plan, repo)
+	if len(moves) != 1 || moves[0].Label.Kind != hexpr.LOpen {
+		t.Fatalf("moves = %v", moves)
+	}
+	if moves[0].OpenLoc != "svc" {
+		t.Errorf("OpenLoc = %s, want svc (annotation must survive rule Session)", moves[0].OpenLoc)
+	}
+}
+
+func TestValidMovesFiltering(t *testing.T) {
+	// the only enabled move violates φ₂ (blacklisted sgn): ValidMoves
+	// filters it, Moves keeps it
+	phi2 := paperex.Phi2()
+	cfg := network.NewConfig(network.Repository{}, paperex.Policies(),
+		network.Client{Loc: "cl", Expr: hexpr.Frame(phi2.ID(),
+			hexpr.Act(hexpr.E(paperex.EvSgn, hexpr.Sym("s1")))), Plan: network.Plan{}})
+	monitors := cfg.NewMonitors()
+	// first move: the frame opens — fine
+	all := cfg.Moves()
+	if len(all) != 1 {
+		t.Fatalf("moves = %d", len(all))
+	}
+	if err := cfg.Apply(all[0], monitors); err != nil {
+		t.Fatal(err)
+	}
+	// now the sgn event is syntactically enabled but invalid
+	if n := len(cfg.Moves()); n != 1 {
+		t.Fatalf("raw moves = %d, want 1", n)
+	}
+	if n := len(cfg.ValidMoves(monitors)); n != 0 {
+		t.Fatalf("valid moves = %d, want 0", n)
+	}
+}

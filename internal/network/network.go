@@ -1,0 +1,185 @@
+// Package network implements the networks of services of Definition 2 and
+// their operational semantics (the rules Open, Close, Session, Net, Access
+// and Synch of §3): configurations of parallel components with (possibly
+// nested) sessions, a trusted repository, plans binding requests to
+// service locations, shared per-component histories, and the run-time
+// validity monitor ⊨ η.
+//
+// The interpreter can run *monitored* (invalid moves are pruned, as the
+// paper's angelic semantics prescribes — this is the run-time monitor) or
+// *free* (all syntactically enabled moves; what a statically verified plan
+// makes safe). internal/verify explores the same move relation
+// exhaustively to validate plans.
+package network
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"susc/internal/hexpr"
+	"susc/internal/history"
+	"susc/internal/policy"
+)
+
+// Plan is the orchestration π: it binds each request identifier to the
+// location of the service that must answer it.
+type Plan map[hexpr.RequestID]hexpr.Location
+
+// Key renders the plan canonically.
+func (p Plan) Key() string {
+	reqs := make([]string, 0, len(p))
+	for r := range p {
+		reqs = append(reqs, string(r))
+	}
+	sort.Strings(reqs)
+	parts := make([]string, len(reqs))
+	for i, r := range reqs {
+		parts[i] = r + ">" + string(p[hexpr.RequestID(r)])
+	}
+	return "{" + strings.Join(parts, ",") + "}"
+}
+
+func (p Plan) String() string { return p.Key() }
+
+// Clone returns a copy of the plan.
+func (p Plan) Clone() Plan {
+	out := make(Plan, len(p))
+	for k, v := range p {
+		out[k] = v
+	}
+	return out
+}
+
+// Repository is the global trusted repository R = {ℓj : Hj}: services
+// published at locations, always available for joining sessions (services
+// replicate at will, so taking a service does not consume it).
+type Repository map[hexpr.Location]hexpr.Expr
+
+// Locations returns the sorted locations of the repository.
+func (r Repository) Locations() []hexpr.Location {
+	out := make([]hexpr.Location, 0, len(r))
+	for l := range r {
+		out = append(out, l)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Node is a session tree S ::= ℓ:H | [S, S′]. The session constructor is
+// commutative ([S,S′] ≡ [S′,S]); the implementation keeps the orientation
+// it built (initiator on the left) but treats both orientations in the
+// rules that inspect pairs.
+type Node interface {
+	isNode()
+	// Key is a canonical rendering of the tree.
+	Key() string
+}
+
+// Leaf is a located process ℓ:H.
+type Leaf struct {
+	Loc  hexpr.Location
+	Expr hexpr.Expr
+}
+
+// Pair is a session [S, S′] between two participants.
+type Pair struct {
+	Left, Right Node
+}
+
+func (Leaf) isNode() {}
+func (Pair) isNode() {}
+
+// Key implements Node.
+func (l Leaf) Key() string { return string(l.Loc) + ":" + l.Expr.Key() }
+
+// Key implements Node.
+func (p Pair) Key() string { return "[" + p.Left.Key() + " , " + p.Right.Key() + "]" }
+
+// Done reports whether the tree has fully terminated: it is a single leaf
+// with the terminated expression.
+func Done(n Node) bool {
+	l, ok := n.(Leaf)
+	return ok && hexpr.IsNil(l.Expr)
+}
+
+// Component is one top-level parallel component of a network: a session
+// tree, its execution history, and the plan driving its requests.
+type Component struct {
+	Plan Plan
+	Tree Node
+	Hist history.History
+}
+
+// Config is a network configuration: the parallel composition of
+// components, evolving against a repository and a policy table.
+//
+// Avail optionally bounds service availability (a §5 extension of the
+// paper, which lets services "replicate their code at will"): locations
+// present in the map have that many replicas; opening a session consumes
+// one, closing it releases one; locations absent from the map replicate
+// unboundedly. A nil map means unbounded availability everywhere.
+type Config struct {
+	Repo  Repository
+	Table *policy.Table
+	Comps []*Component
+	Avail map[hexpr.Location]int
+}
+
+// NewConfig builds the initial configuration for the given clients, each
+// hosted at its location with its plan and an empty history.
+func NewConfig(repo Repository, table *policy.Table, clients ...Client) *Config {
+	cfg := &Config{Repo: repo, Table: table}
+	for _, c := range clients {
+		cfg.Comps = append(cfg.Comps, &Component{
+			Plan: c.Plan,
+			Tree: Leaf{Loc: c.Loc, Expr: c.Expr},
+		})
+	}
+	return cfg
+}
+
+// WithAvailability bounds the availability of the given locations and
+// returns the configuration for chaining. The map is copied.
+func (c *Config) WithAvailability(avail map[hexpr.Location]int) *Config {
+	c.Avail = make(map[hexpr.Location]int, len(avail))
+	for l, n := range avail {
+		c.Avail[l] = n
+	}
+	return c
+}
+
+// Client is an initial component description.
+type Client struct {
+	Loc  hexpr.Location
+	Expr hexpr.Expr
+	Plan Plan
+}
+
+// Done reports whether every component has fully terminated.
+func (c *Config) Done() bool {
+	for _, comp := range c.Comps {
+		if !Done(comp.Tree) {
+			return false
+		}
+	}
+	return true
+}
+
+// Key renders the configuration trees canonically (histories excluded).
+func (c *Config) Key() string {
+	parts := make([]string, len(c.Comps))
+	for i, comp := range c.Comps {
+		parts[i] = comp.Tree.Key()
+	}
+	return strings.Join(parts, " || ")
+}
+
+func (c *Config) String() string {
+	var b strings.Builder
+	for i, comp := range c.Comps {
+		fmt.Fprintf(&b, "component %d (plan %s)\n  tree: %s\n  hist: %s\n",
+			i, comp.Plan, comp.Tree.Key(), comp.Hist.String())
+	}
+	return b.String()
+}

@@ -1,0 +1,256 @@
+package network_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"susc/internal/hexpr"
+	"susc/internal/history"
+	"susc/internal/network"
+	"susc/internal/paperex"
+)
+
+// plan1 is π₁ of §2: request 1 to the broker, request 3 to hotel S3.
+func plan1() network.Plan {
+	return network.Plan{"r1": paperex.LocBr, "r3": paperex.LocS3}
+}
+
+func c1Config(plan network.Plan) *network.Config {
+	return network.NewConfig(paperex.Repository(), paperex.Policies(),
+		network.Client{Loc: paperex.LocC1, Expr: paperex.C1(), Plan: plan})
+}
+
+func TestPlanKey(t *testing.T) {
+	p := plan1()
+	if p.Key() != "{r1>br,r3>s3}" {
+		t.Errorf("Key = %q", p.Key())
+	}
+	q := p.Clone()
+	q["r3"] = paperex.LocS2
+	if p["r3"] != paperex.LocS3 {
+		t.Error("Clone must not alias")
+	}
+}
+
+func TestRunValidPlanCompletes(t *testing.T) {
+	for seed := int64(0); seed < 30; seed++ {
+		cfg := c1Config(plan1())
+		res := cfg.Run(network.RunOptions{Rand: rand.New(rand.NewSource(seed)), Monitored: true})
+		if res.Status != network.Completed {
+			t.Fatalf("seed %d: status = %s (%s)", seed, res.Status, res)
+		}
+		h := cfg.Comps[0].Hist
+		if !h.Balanced() {
+			t.Errorf("seed %d: final history not balanced: %s", seed, h)
+		}
+		if !history.Valid(h, paperex.Policies()) {
+			t.Errorf("seed %d: final history invalid: %s", seed, h)
+		}
+	}
+}
+
+func TestRunUnmonitoredEqualsMonitoredOnValidPlan(t *testing.T) {
+	// With a valid plan, the monitor never prunes anything: the same seeds
+	// give the same traces.
+	for seed := int64(0); seed < 10; seed++ {
+		cfgM := c1Config(plan1())
+		cfgF := c1Config(plan1())
+		rm := cfgM.Run(network.RunOptions{Rand: rand.New(rand.NewSource(seed)), Monitored: true})
+		rf := cfgF.Run(network.RunOptions{Rand: rand.New(rand.NewSource(seed)), Monitored: false})
+		if rm.String() != rf.String() {
+			t.Fatalf("seed %d: monitored and free traces differ:\n%s\n%s", seed, rm, rf)
+		}
+	}
+}
+
+// delOnlyHotel is an S2 variant that always answers Del, forcing the
+// deadlock deterministically.
+func delOnlyHotel() hexpr.Expr {
+	return hexpr.Cat(
+		hexpr.Act(hexpr.E(paperex.EvSgn, hexpr.Sym("s2"))),
+		hexpr.Act(hexpr.E(paperex.EvPrice, hexpr.Int(70))),
+		hexpr.Act(hexpr.E(paperex.EvRating, hexpr.Int(100))),
+		hexpr.RecvThen("IdC", hexpr.SendThen("Del", hexpr.Eps())),
+	)
+}
+
+func TestRunNonCompliantServiceDeadlocks(t *testing.T) {
+	repo := paperex.Repository()
+	repo[paperex.LocS2] = delOnlyHotel()
+	cfg := network.NewConfig(repo, paperex.Policies(),
+		network.Client{Loc: paperex.LocC1, Expr: paperex.C1(),
+			Plan: network.Plan{"r1": paperex.LocBr, "r3": paperex.LocS2}})
+	res := cfg.Run(network.RunOptions{})
+	if res.Status != network.Deadlock {
+		t.Fatalf("status = %s (%s), want deadlock", res.Status, res)
+	}
+}
+
+func TestRunSecurityAbortWhenMonitored(t *testing.T) {
+	// π₃ of §2 for C2: request 3 bound to S3, which C2 blacklists.
+	plan := network.Plan{"r2": paperex.LocBr, "r3": paperex.LocS3}
+	cfg := network.NewConfig(paperex.Repository(), paperex.Policies(),
+		network.Client{Loc: paperex.LocC2, Expr: paperex.C2(), Plan: plan})
+	res := cfg.Run(network.RunOptions{Monitored: true})
+	if res.Status != network.SecurityAbort {
+		t.Fatalf("status = %s (%s), want security-abort", res.Status, res)
+	}
+	// Unmonitored, the same plan produces an invalid history.
+	cfg2 := network.NewConfig(paperex.Repository(), paperex.Policies(),
+		network.Client{Loc: paperex.LocC2, Expr: paperex.C2(), Plan: plan})
+	res2 := cfg2.Run(network.RunOptions{Monitored: false})
+	if res2.Status != network.Completed {
+		t.Fatalf("free run: status = %s, want completed", res2.Status)
+	}
+	if history.Valid(cfg2.Comps[0].Hist, paperex.Policies()) {
+		t.Error("free run under π₃ must produce an invalid history")
+	}
+}
+
+func TestRunUnboundRequestDeadlocks(t *testing.T) {
+	cfg := c1Config(network.Plan{"r1": paperex.LocBr}) // r3 unbound
+	res := cfg.Run(network.RunOptions{})
+	if res.Status != network.Deadlock {
+		t.Fatalf("status = %s, want deadlock on unbound r3", res.Status)
+	}
+	cfg2 := c1Config(network.Plan{"r1": "nowhere", "r3": paperex.LocS3})
+	res2 := cfg2.Run(network.RunOptions{})
+	if res2.Status != network.Deadlock {
+		t.Fatalf("status = %s, want deadlock on dangling location", res2.Status)
+	}
+}
+
+func TestRunOutOfFuel(t *testing.T) {
+	// An infinite ping/pong session.
+	server := hexpr.Mu("k", hexpr.RecvThen("ping", hexpr.SendThen("pong", hexpr.V("k"))))
+	client := hexpr.Open("r1", hexpr.NoPolicy,
+		hexpr.Mu("h", hexpr.SendThen("ping", hexpr.RecvThen("pong", hexpr.V("h")))))
+	repo := network.Repository{"srv": server}
+	cfg := network.NewConfig(repo, paperex.Policies(),
+		network.Client{Loc: "cl", Expr: client, Plan: network.Plan{"r1": "srv"}})
+	res := cfg.Run(network.RunOptions{MaxSteps: 100})
+	if res.Status != network.OutOfFuel {
+		t.Fatalf("status = %s, want out-of-fuel", res.Status)
+	}
+}
+
+// TestFig3Trace replays the computation fragment of Figure 3: the two
+// clients interleave; C1's session with the broker nests the broker's
+// session with S3; S3 signs and publishes price and rating; the broker
+// forwards the no-availability answer; session 1 closes; C2 proceeds.
+func TestFig3Trace(t *testing.T) {
+	phi1 := paperex.Phi1().ID()
+	phi2 := paperex.Phi2().ID()
+	cfg := network.NewConfig(paperex.Repository(), paperex.Policies(),
+		network.Client{Loc: paperex.LocC1, Expr: paperex.C1(),
+			Plan: network.Plan{"r1": paperex.LocBr, "r3": paperex.LocS3}},
+		network.Client{Loc: paperex.LocC2, Expr: paperex.C2(),
+			Plan: network.Plan{"r2": paperex.LocBr, "r3": paperex.LocS4}},
+	)
+	steps := []network.TraceEntry{
+		{Comp: 0, Label: hexpr.OpenLabel("r1", phi1)},                                 // open session 1
+		{Comp: 0, Label: hexpr.Tau},                                                   // Req
+		{Comp: 0, Label: hexpr.OpenLabel("r3", hexpr.NoPolicy)},                       // nested open with S3
+		{Comp: 1, Label: hexpr.OpenLabel("r2", phi2)},                                 // C2 starts concurrently
+		{Comp: 0, Label: hexpr.EventLabel(hexpr.E(paperex.EvSgn, hexpr.Sym("s3")))},   // αsgn(3)
+		{Comp: 0, Label: hexpr.EventLabel(hexpr.E(paperex.EvPrice, hexpr.Int(90)))},   // αp(90)
+		{Comp: 0, Label: hexpr.EventLabel(hexpr.E(paperex.EvRating, hexpr.Int(100)))}, // αta(100)
+		{Comp: 0, Label: hexpr.Tau},                                                   // IdC
+		{Comp: 0, Label: hexpr.Tau},                                                   // UnA: no rooms
+		{Comp: 0, Label: hexpr.CloseLabel("r3", hexpr.NoPolicy)},                      // close nested session
+		{Comp: 0, Label: hexpr.Tau},                                                   // NoAv forwarded
+		{Comp: 0, Label: hexpr.CloseLabel("r1", phi1)},                                // close session 1
+		{Comp: 1, Label: hexpr.Tau},                                                   // C2's Req
+	}
+	if at := cfg.Replay(steps, true); at != -1 {
+		t.Fatalf("Figure 3 trace not replayable at step %d (%s)", at, steps[at])
+	}
+	// After the fragment, C1 is done, its history is ⌊φ₁ sgn price rating ⌋φ₁.
+	if !network.Done(cfg.Comps[0].Tree) {
+		t.Errorf("C1 should be terminated, tree = %s", cfg.Comps[0].Tree.Key())
+	}
+	h := cfg.Comps[0].Hist
+	if got := h.String(); got != "[_"+string(phi1)+" sgn(s3) price(90) rating(100) _]"+string(phi1) {
+		t.Errorf("C1 history = %q", got)
+	}
+	if !h.Balanced() || !history.Valid(h, paperex.Policies()) {
+		t.Error("C1 history must be balanced and valid")
+	}
+	// C2 is mid-session.
+	if network.Done(cfg.Comps[1].Tree) {
+		t.Error("C2 should still be running")
+	}
+}
+
+func TestReplayRejectsWrongStep(t *testing.T) {
+	cfg := c1Config(plan1())
+	steps := []network.TraceEntry{
+		{Comp: 0, Label: hexpr.Tau}, // nothing to synchronise yet
+	}
+	if at := cfg.Replay(steps, false); at != 0 {
+		t.Errorf("replay should fail at 0, got %d", at)
+	}
+}
+
+func TestClosingFrames(t *testing.T) {
+	e := hexpr.Cat(
+		hexpr.FrameClose{Policy: "a"},
+		hexpr.Act(hexpr.E("ev")),
+		hexpr.FrameClose{Policy: "b"},
+	)
+	items := network.ClosingFrames(e)
+	if len(items) != 2 || items[0].Policy != "a" || items[1].Policy != "b" {
+		t.Errorf("ClosingFrames = %v", items)
+	}
+	if items[0].Kind != history.ItemFrameClose {
+		t.Error("items must be frame closes")
+	}
+	if got := network.ClosingFrames(hexpr.Eps()); len(got) != 0 {
+		t.Errorf("Φ(ε) = %v", got)
+	}
+}
+
+func TestCloseLogsDanglingServiceFrames(t *testing.T) {
+	// A service that opens a framing and never closes it before the client
+	// closes the session: Φ must close it in the history.
+	phi1 := paperex.Phi1()
+	service := hexpr.Frame(phi1.ID(), hexpr.Mu("h",
+		hexpr.Ext(
+			hexpr.B(hexpr.In("ping"), hexpr.V("h")),
+			hexpr.B(hexpr.In("stop"), hexpr.V("h")), // never terminates by itself
+		)))
+	client := hexpr.Open("r1", hexpr.NoPolicy, hexpr.SendThen("ping", hexpr.Eps()))
+	repo := network.Repository{"srv": service}
+	cfg := network.NewConfig(repo, paperex.Policies(),
+		network.Client{Loc: "cl", Expr: client, Plan: network.Plan{"r1": "srv"}})
+	res := cfg.Run(network.RunOptions{})
+	if res.Status != network.Completed {
+		t.Fatalf("status = %s (%s)", res.Status, res)
+	}
+	h := cfg.Comps[0].Hist
+	if !h.Balanced() {
+		t.Errorf("history must be balanced thanks to Φ: %s", h)
+	}
+}
+
+func TestConfigKeyAndString(t *testing.T) {
+	cfg := c1Config(plan1())
+	if cfg.Key() == "" || cfg.String() == "" {
+		t.Error("Key/String must render")
+	}
+	if cfg.Done() {
+		t.Error("fresh config is not done")
+	}
+}
+
+func TestRepositoryLocations(t *testing.T) {
+	locs := paperex.Repository()
+	repo := network.Repository{}
+	for l, e := range locs {
+		repo[l] = e
+	}
+	got := repo.Locations()
+	if len(got) != 5 || got[0] != "br" || got[4] != "s4" {
+		t.Errorf("Locations = %v", got)
+	}
+}

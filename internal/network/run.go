@@ -1,0 +1,213 @@
+package network
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"susc/internal/hexpr"
+	"susc/internal/history"
+)
+
+// Status classifies how a run ended.
+type Status int
+
+const (
+	// Completed: every component terminated.
+	Completed Status = iota
+	// Deadlock: some component is not terminated but no move is enabled —
+	// either a missing communication (non-compliant services) or an
+	// unbound request.
+	Deadlock
+	// SecurityAbort: moves were enabled but all of them would violate an
+	// active policy; the monitor blocked the execution.
+	SecurityAbort
+	// OutOfFuel: the step budget was exhausted (possible with genuinely
+	// infinite interactions).
+	OutOfFuel
+)
+
+func (s Status) String() string {
+	switch s {
+	case Completed:
+		return "completed"
+	case Deadlock:
+		return "deadlock"
+	case SecurityAbort:
+		return "security-abort"
+	case OutOfFuel:
+		return "out-of-fuel"
+	}
+	return "unknown"
+}
+
+// TraceEntry records one executed move.
+type TraceEntry struct {
+	Comp  int
+	Label hexpr.Label
+}
+
+func (t TraceEntry) String() string { return fmt.Sprintf("%d:%s", t.Comp, t.Label) }
+
+// Result is the outcome of a run.
+type Result struct {
+	Status Status
+	Trace  []TraceEntry
+	Steps  int
+}
+
+func (r *Result) String() string {
+	parts := make([]string, len(r.Trace))
+	for i, e := range r.Trace {
+		parts[i] = e.String()
+	}
+	return fmt.Sprintf("%s after %d steps: %s", r.Status, r.Steps, strings.Join(parts, " "))
+}
+
+// RunOptions configures a run.
+type RunOptions struct {
+	// MaxSteps bounds the run; 0 means DefaultMaxSteps.
+	MaxSteps int
+	// Monitored prunes moves that would violate an active policy (the
+	// run-time monitor). Unmonitored runs take any enabled move and never
+	// abort on security (what a verified plan makes safe).
+	Monitored bool
+	// Rand drives the scheduler; nil picks the first enabled move
+	// deterministically.
+	Rand *rand.Rand
+}
+
+// DefaultMaxSteps is the default run budget.
+const DefaultMaxSteps = 10000
+
+// Run drives the configuration until completion, deadlock, security abort
+// or fuel exhaustion, mutating the configuration in place.
+func (c *Config) Run(opts RunOptions) *Result {
+	maxSteps := opts.MaxSteps
+	if maxSteps == 0 {
+		maxSteps = DefaultMaxSteps
+	}
+	var monitors []*history.Monitor
+	if opts.Monitored {
+		monitors = c.NewMonitors()
+		// replay existing histories, if any
+		for i, comp := range c.Comps {
+			if err := monitors[i].AppendAll(comp.Hist); err != nil {
+				return &Result{Status: SecurityAbort}
+			}
+		}
+	}
+	res := &Result{}
+	for res.Steps = 0; res.Steps < maxSteps; res.Steps++ {
+		if c.Done() {
+			res.Status = Completed
+			return res
+		}
+		all := c.Moves()
+		enabled := all
+		if opts.Monitored {
+			enabled = enabled[:0:0]
+			for _, m := range all {
+				if MoveValid(monitors[m.Comp], m) {
+					enabled = append(enabled, m)
+				}
+			}
+		}
+		if len(enabled) == 0 {
+			if opts.Monitored && len(all) > 0 {
+				res.Status = SecurityAbort
+			} else {
+				res.Status = Deadlock
+			}
+			return res
+		}
+		var m Move
+		if opts.Rand != nil {
+			m = enabled[opts.Rand.Intn(len(enabled))]
+		} else {
+			m = enabled[0]
+		}
+		if err := c.Apply(m, monitors); err != nil {
+			res.Status = SecurityAbort
+			return res
+		}
+		res.Trace = append(res.Trace, TraceEntry{Comp: m.Comp, Label: m.Label})
+	}
+	res.Status = OutOfFuel
+	return res
+}
+
+// Replay checks that the given label sequence is an enabled run of the
+// configuration (used to reproduce the paper's Figure 3 computation).
+// Because distinct moves can carry the same label (e.g. two τ
+// synchronisations), the replay backtracks over all matching moves. On
+// success the configuration is left in the final state and -1 is returned;
+// otherwise the configuration is unchanged and the index of the deepest
+// entry reached with no continuation is returned.
+func (c *Config) Replay(entries []TraceEntry, monitored bool) int {
+	var monitors []*history.Monitor
+	if monitored {
+		monitors = c.NewMonitors()
+	}
+	deepest := 0
+	var search func(cur *Config, mons []*history.Monitor, i int) *Config
+	search = func(cur *Config, mons []*history.Monitor, i int) *Config {
+		if i > deepest {
+			deepest = i
+		}
+		if i == len(entries) {
+			return cur
+		}
+		want := entries[i]
+		for _, m := range cur.Moves() {
+			if m.Comp != want.Comp || m.Label.Key() != want.Label.Key() {
+				continue
+			}
+			if monitored && !MoveValid(mons[m.Comp], m) {
+				continue
+			}
+			next := cur.clone()
+			var nextMons []*history.Monitor
+			if monitored {
+				nextMons = make([]*history.Monitor, len(mons))
+				for j, mon := range mons {
+					nextMons[j] = mon.Snapshot()
+				}
+			}
+			if err := next.Apply(m, nextMons); err != nil {
+				continue
+			}
+			if final := search(next, nextMons, i+1); final != nil {
+				return final
+			}
+		}
+		return nil
+	}
+	if final := search(c, monitors, 0); final != nil {
+		c.Comps = final.Comps
+		c.Avail = final.Avail
+		return -1
+	}
+	return deepest
+}
+
+// clone deep-copies the mutable parts of the configuration (trees are
+// immutable, plans are never mutated by the semantics).
+func (c *Config) clone() *Config {
+	comps := make([]*Component, len(c.Comps))
+	for i, comp := range c.Comps {
+		comps[i] = &Component{
+			Plan: comp.Plan,
+			Tree: comp.Tree,
+			Hist: append(history.History{}, comp.Hist...),
+		}
+	}
+	out := &Config{Repo: c.Repo, Table: c.Table, Comps: comps}
+	if c.Avail != nil {
+		out.Avail = make(map[hexpr.Location]int, len(c.Avail))
+		for l, n := range c.Avail {
+			out.Avail[l] = n
+		}
+	}
+	return out
+}

@@ -1,0 +1,160 @@
+// Package paperex defines the running example of §2 of the paper — the
+// hotel-booking scenario of Figures 1 and 2 — as reusable values: the
+// parametric policy φ(bl,p,t), its two instances φ₁ and φ₂, the clients C1
+// and C2, the broker Br and the hotels S1…S4, together with the repository
+// they are published in. Tests, examples and benchmarks all build on it.
+package paperex
+
+import (
+	"susc/internal/hexpr"
+	"susc/internal/policy"
+)
+
+// Locations of the participants.
+const (
+	LocC1 hexpr.Location = "c1"
+	LocC2 hexpr.Location = "c2"
+	LocBr hexpr.Location = "br"
+	LocS1 hexpr.Location = "s1"
+	LocS2 hexpr.Location = "s2"
+	LocS3 hexpr.Location = "s3"
+	LocS4 hexpr.Location = "s4"
+)
+
+// Event names used by the hotels.
+const (
+	EvSgn    = "sgn"    // αsgn(x): the hotel x signs the contract
+	EvPrice  = "price"  // αp(y): the hotel publishes its price y
+	EvRating = "rating" // αta(z): the hotel publishes its Trip Advisor rating z
+)
+
+// BookingPolicy returns the parametric usage automaton φ(bl,p,t) of
+// Figure 1: a violation occurs when the signing hotel is blacklisted, or
+// when its price exceeds p while its rating is below t.
+func BookingPolicy() *policy.Automaton {
+	return &policy.Automaton{
+		Name: "phi",
+		Params: []policy.Param{
+			{Name: "bl", Kind: policy.SetParam},
+			{Name: "p", Kind: policy.IntParam},
+			{Name: "t", Kind: policy.IntParam},
+		},
+		States: []string{"q1", "q2", "q3", "q4", "q5", "q6"},
+		Start:  "q1",
+		Finals: []string{"q6"},
+		Edges: []policy.Edge{
+			{From: "q1", To: "q2", EventName: EvSgn, Guards: []policy.Guard{policy.G(policy.NotInSet, "bl")}},
+			{From: "q1", To: "q6", EventName: EvSgn, Guards: []policy.Guard{policy.G(policy.InSet, "bl")}},
+			{From: "q2", To: "q3", EventName: EvPrice, Guards: []policy.Guard{policy.G(policy.LE, "p")}},
+			{From: "q2", To: "q4", EventName: EvPrice, Guards: []policy.Guard{policy.G(policy.GT, "p")}},
+			{From: "q4", To: "q5", EventName: EvRating, Guards: []policy.Guard{policy.G(policy.GE, "t")}},
+			{From: "q4", To: "q6", EventName: EvRating, Guards: []policy.Guard{policy.G(policy.LT, "t")}},
+		},
+	}
+}
+
+// Phi1 instantiates φ({s1}, 45, 100), the policy client C1 imposes.
+func Phi1() *policy.Instance {
+	return BookingPolicy().MustInstantiate(policy.Binding{
+		Sets: map[string][]hexpr.Value{"bl": {hexpr.Sym("s1")}},
+		Ints: map[string]int{"p": 45, "t": 100},
+	})
+}
+
+// Phi2 instantiates φ({s1,s3}, 40, 70), the policy client C2 imposes.
+func Phi2() *policy.Instance {
+	return BookingPolicy().MustInstantiate(policy.Binding{
+		Sets: map[string][]hexpr.Value{"bl": {hexpr.Sym("s1"), hexpr.Sym("s3")}},
+		Ints: map[string]int{"p": 40, "t": 70},
+	})
+}
+
+// Policies returns the policy table holding φ₁ and φ₂.
+func Policies() *policy.Table { return policy.NewTable(Phi1(), Phi2()) }
+
+// clientBody is Req.(CoBo.Pay + NoAv): send the request, then either
+// receive the confirmation and settle the bill, or receive the
+// no-availability message.
+func clientBody() hexpr.Expr {
+	return hexpr.SendThen("Req", hexpr.Ext(
+		hexpr.B(hexpr.In("CoBo"), hexpr.SendThen("Pay", hexpr.Eps())),
+		hexpr.B(hexpr.In("NoAv"), hexpr.Eps()),
+	))
+}
+
+// C1 is the first client: open₁,φ₁ Req.(CoBo.Pay + NoAv) close₁,φ₁.
+func C1() hexpr.Expr {
+	return hexpr.Open("r1", Phi1().ID(), clientBody())
+}
+
+// C2 is the second client: open₂,φ₂ Req.(CoBo.Pay + NoAv) close₂,φ₂.
+func C2() hexpr.Expr {
+	return hexpr.Open("r2", Phi2().ID(), clientBody())
+}
+
+// Broker is Br = Req.open₃,∅ IdC.(Bok + UnA) close₃,∅ (CoBo.Pay ⊕ NoAv):
+// receive the request, contact a hotel in a nested session, forward the
+// outcome to the client.
+func Broker() hexpr.Expr {
+	return hexpr.RecvThen("Req", hexpr.Cat(
+		hexpr.Open("r3", hexpr.NoPolicy,
+			hexpr.SendThen("IdC", hexpr.Ext(
+				hexpr.B(hexpr.In("Bok"), hexpr.Eps()),
+				hexpr.B(hexpr.In("UnA"), hexpr.Eps()),
+			))),
+		hexpr.IntCh(
+			hexpr.B(hexpr.Out("CoBo"), hexpr.RecvThen("Pay", hexpr.Eps())),
+			hexpr.B(hexpr.Out("NoAv"), hexpr.Eps()),
+		),
+	))
+}
+
+// hotel builds αsgn(id)·αp(price)·αta(rating)·IdC.(Bok ⊕ UnA [⊕ Del]).
+func hotel(id string, price, rating int, withDel bool) hexpr.Expr {
+	outs := []hexpr.Branch{
+		hexpr.B(hexpr.Out("Bok"), hexpr.Eps()),
+		hexpr.B(hexpr.Out("UnA"), hexpr.Eps()),
+	}
+	if withDel {
+		outs = append(outs, hexpr.B(hexpr.Out("Del"), hexpr.Eps()))
+	}
+	return hexpr.Cat(
+		hexpr.Act(hexpr.E(EvSgn, hexpr.Sym(id))),
+		hexpr.Act(hexpr.E(EvPrice, hexpr.Int(price))),
+		hexpr.Act(hexpr.E(EvRating, hexpr.Int(rating))),
+		hexpr.RecvThen("IdC", hexpr.IntCh(outs...)),
+	)
+}
+
+// S1 is αsgn(s1)·αp(45)·αta(80)·IdC.(Bok ⊕ UnA).
+func S1() hexpr.Expr { return hotel("s1", 45, 80, false) }
+
+// S2 is αsgn(s2)·αp(70)·αta(100)·IdC.(Bok ⊕ UnA ⊕ Del): the hotel that may
+// answer Del, which the broker cannot handle — S2 is not compliant with Br.
+func S2() hexpr.Expr { return hotel("s2", 70, 100, true) }
+
+// S3 is αsgn(s3)·αp(90)·αta(100)·IdC.(Bok ⊕ UnA).
+func S3() hexpr.Expr { return hotel("s3", 90, 100, false) }
+
+// S4 is αsgn(s4)·αp(50)·αta(90)·IdC.(Bok ⊕ UnA).
+func S4() hexpr.Expr { return hotel("s4", 50, 90, false) }
+
+// Repository is the global trusted repository R of §2: the broker and the
+// four hotels, each published at its location.
+func Repository() map[hexpr.Location]hexpr.Expr {
+	return map[hexpr.Location]hexpr.Expr{
+		LocBr: Broker(),
+		LocS1: S1(),
+		LocS2: S2(),
+		LocS3: S3(),
+		LocS4: S4(),
+	}
+}
+
+// Hotels returns the hotel services keyed by location, excluding the
+// broker.
+func Hotels() map[hexpr.Location]hexpr.Expr {
+	return map[hexpr.Location]hexpr.Expr{
+		LocS1: S1(), LocS2: S2(), LocS3: S3(), LocS4: S4(),
+	}
+}

@@ -1,0 +1,154 @@
+package parser
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"susc/internal/hexpr"
+	"susc/internal/policy"
+)
+
+// Format renders a parsed file back to canonical surface syntax. The
+// result re-parses to an equivalent file (same automata, same instance
+// identifiers, same expressions up to the canonical congruence); edge
+// guard variables are renamed positionally (x0, x1, …).
+func Format(f *File) string {
+	aliases := map[hexpr.PolicyID]string{}
+	for alias, id := range f.Instances {
+		aliases[id] = alias
+	}
+	name := func(id hexpr.PolicyID) string {
+		if a, ok := aliases[id]; ok {
+			return a
+		}
+		return string(id)
+	}
+	render := func(e hexpr.Expr) string { return hexpr.PrettyWith(e, name) }
+	var b strings.Builder
+	for _, name := range f.PolicyOrder {
+		formatPolicy(&b, f.Automata[name])
+		b.WriteString("\n")
+	}
+	for _, d := range f.InstanceOrder {
+		formatInstance(&b, f.Automata[d.Template], d)
+	}
+	if len(f.InstanceOrder) > 0 {
+		b.WriteString("\n")
+	}
+	for _, loc := range f.ServiceOrder {
+		fmt.Fprintf(&b, "service %s = %s;\n", loc, render(f.Repo[loc]))
+	}
+	if len(f.ServiceOrder) > 0 {
+		b.WriteString("\n")
+	}
+	for _, c := range f.Clients {
+		b.WriteString("client ")
+		b.WriteString(c.Name)
+		b.WriteString(" at ")
+		b.WriteString(string(c.Loc))
+		if c.Plan != nil {
+			b.WriteString(" plan { ")
+			reqs := make([]string, 0, len(c.Plan))
+			for r := range c.Plan {
+				reqs = append(reqs, string(r))
+			}
+			sort.Strings(reqs)
+			for i, r := range reqs {
+				if i > 0 {
+					b.WriteString(", ")
+				}
+				fmt.Fprintf(&b, "%s -> %s", r, c.Plan[hexpr.RequestID(r)])
+			}
+			b.WriteString(" }")
+		}
+		fmt.Fprintf(&b, " = %s;\n", render(c.Expr))
+	}
+	return b.String()
+}
+
+func formatPolicy(b *strings.Builder, a *policy.Automaton) {
+	fmt.Fprintf(b, "policy %s(", a.Name)
+	for i, p := range a.Params {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		kind := "set"
+		if p.Kind == policy.IntParam {
+			kind = "int"
+		}
+		fmt.Fprintf(b, "%s %s", p.Name, kind)
+	}
+	b.WriteString(") {\n")
+	fmt.Fprintf(b, "  states %s;\n", strings.Join(a.States, " "))
+	fmt.Fprintf(b, "  start %s;\n", a.Start)
+	if len(a.Finals) > 0 {
+		fmt.Fprintf(b, "  final %s;\n", strings.Join(a.Finals, " "))
+	}
+	for _, e := range a.Edges {
+		fmt.Fprintf(b, "  edge %s -> %s on %s", e.From, e.To, e.EventName)
+		if len(e.Guards) > 0 {
+			vars := make([]string, len(e.Guards))
+			for i := range e.Guards {
+				vars[i] = fmt.Sprintf("x%d", i)
+			}
+			fmt.Fprintf(b, "(%s)", strings.Join(vars, ", "))
+			var conds []string
+			for i, g := range e.Guards {
+				if c := guardText(vars[i], g); c != "" {
+					conds = append(conds, c)
+				}
+			}
+			if len(conds) > 0 {
+				fmt.Fprintf(b, " when %s", strings.Join(conds, ", "))
+			}
+		}
+		b.WriteString(";\n")
+	}
+	b.WriteString("}\n")
+}
+
+func guardText(v string, g policy.Guard) string {
+	switch g.Kind {
+	case policy.Any:
+		return ""
+	case policy.InSet:
+		return fmt.Sprintf("%s in %s", v, g.Param)
+	case policy.NotInSet:
+		return fmt.Sprintf("%s notin %s", v, g.Param)
+	case policy.LE:
+		return fmt.Sprintf("%s <= %s", v, g.Param)
+	case policy.LT:
+		return fmt.Sprintf("%s < %s", v, g.Param)
+	case policy.GE:
+		return fmt.Sprintf("%s >= %s", v, g.Param)
+	case policy.GT:
+		return fmt.Sprintf("%s > %s", v, g.Param)
+	case policy.EqConst:
+		return fmt.Sprintf("%s == %s", v, g.Const)
+	case policy.NeConst:
+		return fmt.Sprintf("%s != %s", v, g.Const)
+	}
+	return ""
+}
+
+func formatInstance(b *strings.Builder, tmpl *policy.Automaton, d InstanceDecl) {
+	fmt.Fprintf(b, "instance %s = %s(", d.Alias, d.Template)
+	for i, p := range tmpl.Params {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		switch p.Kind {
+		case policy.SetParam:
+			vals := d.Binding.Sets[p.Name]
+			strs := make([]string, len(vals))
+			for j, v := range vals {
+				strs[j] = v.String()
+			}
+			fmt.Fprintf(b, "%s = {%s}", p.Name, strings.Join(strs, ", "))
+		case policy.IntParam:
+			fmt.Fprintf(b, "%s = %d", p.Name, d.Binding.Ints[p.Name])
+		}
+	}
+	b.WriteString(");\n")
+}

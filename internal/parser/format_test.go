@@ -1,0 +1,120 @@
+package parser_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"susc/internal/hexpr"
+	"susc/internal/parser"
+)
+
+// TestFormatRoundTrip: formatting a parsed file and re-parsing yields an
+// equivalent file.
+func TestFormatRoundTrip(t *testing.T) {
+	f1 := parseHotel(t)
+	src2 := parser.Format(f1)
+	f2, err := parser.ParseFile(src2)
+	if err != nil {
+		t.Fatalf("re-parse of formatted source failed: %v\n%s", err, src2)
+	}
+	// same instances (by canonical ID)
+	for alias, id := range f1.Instances {
+		if f2.Instances[alias] != id {
+			t.Errorf("instance %s: %s vs %s", alias, id, f2.Instances[alias])
+		}
+	}
+	// same services
+	if len(f1.Repo) != len(f2.Repo) {
+		t.Fatalf("repo sizes differ: %d vs %d", len(f1.Repo), len(f2.Repo))
+	}
+	for loc, e1 := range f1.Repo {
+		e2, ok := f2.Repo[loc]
+		if !ok || !hexpr.Equal(e1, e2) {
+			t.Errorf("service %s differs after round trip", loc)
+		}
+	}
+	// same clients and plans
+	if len(f1.Clients) != len(f2.Clients) {
+		t.Fatalf("client counts differ")
+	}
+	for i := range f1.Clients {
+		c1, c2 := f1.Clients[i], f2.Clients[i]
+		if c1.Name != c2.Name || c1.Loc != c2.Loc || !hexpr.Equal(c1.Expr, c2.Expr) {
+			t.Errorf("client %s differs after round trip", c1.Name)
+		}
+		if (c1.Plan == nil) != (c2.Plan == nil) ||
+			(c1.Plan != nil && c1.Plan.Key() != c2.Plan.Key()) {
+			t.Errorf("client %s plan differs: %s vs %s", c1.Name, c1.Plan, c2.Plan)
+		}
+	}
+	// idempotence: formatting again is stable
+	if src3 := parser.Format(f2); src3 != src2 {
+		t.Errorf("Format not idempotent:\n%s\nvs\n%s", src2, src3)
+	}
+}
+
+// TestPrettyExprRoundTrip: Pretty output of random well-formed expressions
+// re-parses to the same canonical term.
+func TestPrettyExprRoundTrip(t *testing.T) {
+	rnd := rand.New(rand.NewSource(99))
+	cfg := hexpr.DefaultGenConfig()
+	for i := 0; i < 1000; i++ {
+		e := hexpr.Generate(rnd, cfg)
+		src := hexpr.Pretty(e)
+		got, err := parser.ParseExpr(src)
+		if err != nil {
+			t.Fatalf("re-parse of %q (from %s): %v", src, e.Key(), err)
+		}
+		if !hexpr.Equal(got, e) {
+			t.Fatalf("round trip changed the term:\n  pretty %q\n  orig   %s\n  parsed %s",
+				src, e.Key(), got.Key())
+		}
+	}
+}
+
+// TestPrettyGuardKindsRoundTrip formats a policy exercising every guard
+// kind and re-parses it.
+func TestPrettyGuardKindsRoundTrip(t *testing.T) {
+	src := `
+policy g(n int, s set) {
+  states q0 qv;
+  start q0;
+  final qv;
+  edge q0 -> qv on a(x0) when x0 in s;
+  edge q0 -> qv on b(x0) when x0 notin s;
+  edge q0 -> qv on c(x0) when x0 <= n;
+  edge q0 -> qv on d(x0) when x0 < n;
+  edge q0 -> qv on e(x0) when x0 >= n;
+  edge q0 -> qv on f(x0) when x0 > n;
+  edge q0 -> qv on g(x0) when x0 == 7;
+  edge q0 -> qv on h(x0) when x0 != foo;
+  edge q0 -> qv on i(x0, x1) when x1 == 1;
+  edge q0 -> qv on j;
+}
+instance gi = g(n = 3, s = {a, b});
+`
+	f1, err := parser.ParseFile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := parser.Format(f1)
+	f2, err := parser.ParseFile(out)
+	if err != nil {
+		t.Fatalf("re-parse failed: %v\n%s", err, out)
+	}
+	if f2.Instances["gi"] != f1.Instances["gi"] {
+		t.Errorf("instance id changed: %s vs %s", f1.Instances["gi"], f2.Instances["gi"])
+	}
+	// behavioural spot-checks across the round trip
+	for _, ev := range []hexpr.Event{
+		hexpr.E("a", hexpr.Sym("a")),
+		hexpr.E("c", hexpr.Int(3)),
+		hexpr.E("g", hexpr.Int(7)),
+		hexpr.E("j"),
+	} {
+		id := f1.Instances["gi"]
+		if f1.Table.Violates(id, []hexpr.Event{ev}) != f2.Table.Violates(id, []hexpr.Event{ev}) {
+			t.Errorf("round trip changed behaviour on %v", ev)
+		}
+	}
+}

@@ -1,0 +1,399 @@
+package parser
+
+import (
+	"fmt"
+
+	"susc/internal/hexpr"
+	"susc/internal/lambda"
+)
+
+// ParseLambda parses a program of the service λ-calculus (internal/lambda)
+// from its surface syntax:
+//
+//	e ::= fun x: T . e                      abstraction
+//	    | rec f(x: T): T . e                recursive function
+//	    | let x = e in e                    binding
+//	    | e ; e                             sequencing
+//	    | e e                               application (left-assoc)
+//	    | fire name(args)                   security event
+//	    | enforce phi { e }                 policy framing
+//	    | open r [with phi] { e }           service request
+//	    | select { a => e | b => e }        internal choice (sends)
+//	    | branch { a => e | b => e }        external choice (receives)
+//	    | x | () | 42 | 'sym                variables and literals
+//
+//	T ::= unit | int | sym | T -[ H ]-> T   H: a history expression
+//
+// Policy names are taken verbatim as instance identifiers (combine with a
+// declarations file to resolve aliases via ParseLambdaWith).
+func ParseLambda(src string) (lambda.Term, error) {
+	return ParseLambdaWith(src, nil)
+}
+
+// ParseLambdaWith is ParseLambda resolving policy aliases through the
+// given table (e.g. a parsed File's Instances).
+func ParseLambdaWith(src string, aliases map[string]hexpr.PolicyID) (lambda.Term, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks, aliases: aliases}
+	t, err := p.lamExpr()
+	if err != nil {
+		return nil, err
+	}
+	if !p.at(tokEOF) {
+		return nil, p.errf(p.peek(), "trailing input: %s", p.peek())
+	}
+	return t, nil
+}
+
+// MustParseLambda is ParseLambda panicking on error.
+func MustParseLambda(src string) lambda.Term {
+	t, err := ParseLambda(src)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// lamExpr := binder | lamSeq
+func (p *parser) lamExpr() (lambda.Term, error) {
+	if t := p.peek(); t.kind == tokIdent {
+		switch t.text {
+		case "fun":
+			return p.lamFun()
+		case "rec":
+			return p.lamRec()
+		case "let":
+			return p.lamLet()
+		}
+	}
+	return p.lamSeq()
+}
+
+// lamSeq := lamApp [';' lamExpr]
+func (p *parser) lamSeq() (lambda.Term, error) {
+	first, err := p.lamApp()
+	if err != nil {
+		return nil, err
+	}
+	if p.at(tokSemi) {
+		p.next()
+		rest, err := p.lamExpr()
+		if err != nil {
+			return nil, err
+		}
+		return lambda.Seq{First: first, Then: rest}, nil
+	}
+	return first, nil
+}
+
+// lamApp := lamAtom lamAtom*
+func (p *parser) lamApp() (lambda.Term, error) {
+	fn, err := p.lamAtom()
+	if err != nil {
+		return nil, err
+	}
+	for p.startsLamAtom() {
+		arg, err := p.lamAtom()
+		if err != nil {
+			return nil, err
+		}
+		fn = lambda.App{Fn: fn, Arg: arg}
+	}
+	return fn, nil
+}
+
+// startsLamAtom reports whether the next token can begin an atom (for
+// application juxtaposition).
+func (p *parser) startsLamAtom() bool {
+	switch t := p.peek(); t.kind {
+	case tokLParen, tokInt, tokQuote:
+		return true
+	case tokIdent:
+		switch t.text {
+		case "in", "fun", "rec", "let":
+			return false
+		}
+		return true
+	}
+	return false
+}
+
+// lamAtom parses the non-application forms.
+func (p *parser) lamAtom() (lambda.Term, error) {
+	t := p.peek()
+	switch t.kind {
+	case tokLParen:
+		p.next()
+		if p.at(tokRParen) { // ()
+			p.next()
+			return lambda.Unit{}, nil
+		}
+		e, err := p.lamExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokRParen); err != nil {
+			return nil, err
+		}
+		return e, nil
+	case tokInt:
+		p.next()
+		n := 0
+		fmt.Sscanf(t.text, "%d", &n)
+		return lambda.IntLit{Value: n}, nil
+	case tokQuote:
+		p.next()
+		id, err := p.expect(tokIdent)
+		if err != nil {
+			return nil, err
+		}
+		return lambda.SymLit{Value: id.text}, nil
+	case tokIdent:
+		switch t.text {
+		case "fire":
+			p.next()
+			name, err := p.expect(tokIdent)
+			if err != nil {
+				return nil, err
+			}
+			args, err := p.valueArgs()
+			if err != nil {
+				return nil, err
+			}
+			return lambda.Fire{Event: hexpr.Event{Name: name.text, Args: args}}, nil
+		case "enforce":
+			p.next()
+			name, err := p.expect(tokIdent)
+			if err != nil {
+				return nil, err
+			}
+			body, err := p.lamBraced()
+			if err != nil {
+				return nil, err
+			}
+			return lambda.Enforce{Policy: p.resolvePolicy(name.text), Body: body}, nil
+		case "open":
+			p.next()
+			req, err := p.expect(tokIdent)
+			if err != nil {
+				return nil, err
+			}
+			pol := hexpr.NoPolicy
+			if w := p.peek(); w.kind == tokIdent && w.text == "with" {
+				p.next()
+				name, err := p.expect(tokIdent)
+				if err != nil {
+					return nil, err
+				}
+				pol = p.resolvePolicy(name.text)
+			}
+			body, err := p.lamBraced()
+			if err != nil {
+				return nil, err
+			}
+			return lambda.Request{Req: hexpr.RequestID(req.text), Policy: pol, Body: body}, nil
+		case "select":
+			p.next()
+			bs, err := p.lamBranches()
+			if err != nil {
+				return nil, err
+			}
+			return lambda.Select{Branches: bs}, nil
+		case "branch":
+			p.next()
+			bs, err := p.lamBranches()
+			if err != nil {
+				return nil, err
+			}
+			return lambda.Branch{Branches: bs}, nil
+		}
+		p.next()
+		return lambda.Var{Name: t.text}, nil
+	}
+	return nil, p.errf(t, "expected a λ-term, found %s", t)
+}
+
+func (p *parser) lamBraced() (lambda.Term, error) {
+	if _, err := p.expect(tokLBrace); err != nil {
+		return nil, err
+	}
+	e, err := p.lamExpr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokRBrace); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+// lamBranches := '{' ident '=>' e ('|' ident '=>' e)* '}'
+func (p *parser) lamBranches() ([]lambda.CommBranch, error) {
+	if _, err := p.expect(tokLBrace); err != nil {
+		return nil, err
+	}
+	var out []lambda.CommBranch
+	for {
+		ch, err := p.expect(tokIdent)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokDArrow); err != nil {
+			return nil, err
+		}
+		body, err := p.lamExpr()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, lambda.CommBranch{Channel: ch.text, Body: body})
+		if !p.at(tokBar) {
+			break
+		}
+		p.next()
+	}
+	if _, err := p.expect(tokRBrace); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// lamLet := 'let' ident '=' e 'in' e
+func (p *parser) lamLet() (lambda.Term, error) {
+	p.next() // let
+	name, err := p.expect(tokIdent)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokAssign); err != nil {
+		return nil, err
+	}
+	bind, err := p.lamExpr()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("in"); err != nil {
+		return nil, err
+	}
+	body, err := p.lamExpr()
+	if err != nil {
+		return nil, err
+	}
+	return lambda.Let{Name: name.text, Bind: bind, Body: body}, nil
+}
+
+// lamFun := 'fun' ident ':' type '.' e
+func (p *parser) lamFun() (lambda.Term, error) {
+	p.next() // fun
+	name, err := p.expect(tokIdent)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokColon); err != nil {
+		return nil, err
+	}
+	ty, err := p.lamType()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokDot); err != nil {
+		return nil, err
+	}
+	body, err := p.lamExpr()
+	if err != nil {
+		return nil, err
+	}
+	return lambda.Abs{Param: name.text, ParamType: ty, Body: body}, nil
+}
+
+// lamRec := 'rec' f '(' x ':' type ')' ':' type '.' e
+func (p *parser) lamRec() (lambda.Term, error) {
+	p.next() // rec
+	fname, err := p.expect(tokIdent)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokLParen); err != nil {
+		return nil, err
+	}
+	param, err := p.expect(tokIdent)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokColon); err != nil {
+		return nil, err
+	}
+	pty, err := p.lamType()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokRParen); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokColon); err != nil {
+		return nil, err
+	}
+	rty, err := p.lamType()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokDot); err != nil {
+		return nil, err
+	}
+	body, err := p.lamExpr()
+	if err != nil {
+		return nil, err
+	}
+	return lambda.RecFun{Name: fname.text, Param: param.text,
+		ParamType: pty, Result: rty, Body: body}, nil
+}
+
+// lamType := base ['-[' effect ']->' lamType] | '(' lamType ')'
+func (p *parser) lamType() (lambda.Type, error) {
+	var left lambda.Type
+	t := p.peek()
+	switch {
+	case t.kind == tokLParen:
+		p.next()
+		inner, err := p.lamType()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokRParen); err != nil {
+			return nil, err
+		}
+		left = inner
+	case t.kind == tokIdent:
+		p.next()
+		switch t.text {
+		case "unit":
+			left = lambda.UnitT{}
+		case "int":
+			left = lambda.IntT{}
+		case "sym":
+			left = lambda.SymT{}
+		default:
+			return nil, p.errf(t, "unknown type %q (want unit, int or sym)", t.text)
+		}
+	default:
+		return nil, p.errf(t, "expected a type, found %s", t)
+	}
+	if p.at(tokLEff) {
+		p.next()
+		eff, err := p.expr() // a history expression
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokREff); err != nil {
+			return nil, err
+		}
+		result, err := p.lamType()
+		if err != nil {
+			return nil, err
+		}
+		return lambda.FunT{Param: left, Effect: eff, Result: result}, nil
+	}
+	return left, nil
+}

@@ -1,0 +1,199 @@
+package parser_test
+
+import (
+	"strings"
+	"testing"
+
+	"susc/internal/hexpr"
+	"susc/internal/lambda"
+	"susc/internal/paperex"
+	"susc/internal/parser"
+)
+
+func inferSrc(t *testing.T, src string) (lambda.Type, hexpr.Expr) {
+	t.Helper()
+	term, err := parser.ParseLambda(src)
+	if err != nil {
+		t.Fatalf("ParseLambda(%q): %v", src, err)
+	}
+	ty, eff, err := lambda.InferClosed(term)
+	if err != nil {
+		t.Fatalf("InferClosed(%q): %v", src, err)
+	}
+	return ty, eff
+}
+
+func TestParseLambdaBasics(t *testing.T) {
+	cases := []struct {
+		src        string
+		wantEffect string // canonical key of the inferred effect
+	}{
+		{"()", "eps"},
+		{"42", "eps"},
+		{"'hello", "eps"},
+		{"fire sgn(s1)", "sgn(s1)"},
+		{"fire a(); fire b()", "(a . b)"},
+		{"let x = fire a() in fire b()", "(a . b)"},
+		{"(fun x: unit . fire a()) ()", "a"},
+		{"enforce phi { fire a() }", "phi[a]"},
+	}
+	for _, c := range cases {
+		_, eff := inferSrc(t, c.src)
+		if eff.Key() != c.wantEffect {
+			t.Errorf("%q: effect = %s, want %s", c.src, eff.Key(), c.wantEffect)
+		}
+	}
+}
+
+func TestParseLambdaCommunication(t *testing.T) {
+	_, eff := inferSrc(t, "select { Bok => () | UnA => fire gone() }")
+	want := hexpr.IntCh(
+		hexpr.B(hexpr.Out("Bok"), hexpr.Eps()),
+		hexpr.B(hexpr.Out("UnA"), hexpr.Act(hexpr.E("gone"))),
+	)
+	if !hexpr.Equal(eff, want) {
+		t.Errorf("select effect = %s, want %s", eff.Key(), want.Key())
+	}
+	_, eff = inferSrc(t, "branch { a => () | b => () }")
+	want = hexpr.Ext(
+		hexpr.B(hexpr.In("a"), hexpr.Eps()),
+		hexpr.B(hexpr.In("b"), hexpr.Eps()),
+	)
+	if !hexpr.Equal(eff, want) {
+		t.Errorf("branch effect = %s, want %s", eff.Key(), want.Key())
+	}
+}
+
+// TestParseLambdaClientC1: the paper's client as a surface program; the
+// inferred effect coincides with paperex.C1 when the alias resolves.
+func TestParseLambdaClientC1(t *testing.T) {
+	src := `
+open r1 with phi1 {
+  select { Req =>
+    branch { CoBo => select { Pay => () }
+           | NoAv => () }
+  }
+}`
+	term, err := parser.ParseLambdaWith(src, map[string]hexpr.PolicyID{
+		"phi1": paperex.Phi1().ID(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, eff, err := lambda.InferClosed(term)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hexpr.Equal(eff, paperex.C1()) {
+		t.Errorf("effect = %s, want C1 = %s", eff.Key(), paperex.C1().Key())
+	}
+}
+
+func TestParseLambdaRecursion(t *testing.T) {
+	src := `
+(rec pump(x: unit): unit .
+  select { ping => branch { pong => pump () }
+         | stop => () }) ()`
+	_, eff := inferSrc(t, src)
+	if _, ok := eff.(hexpr.Rec); !ok {
+		t.Fatalf("effect = %s, want a recursion", eff.Key())
+	}
+	if err := hexpr.Check(eff); err != nil {
+		t.Errorf("recursive effect ill-formed: %v", err)
+	}
+}
+
+func TestParseLambdaHigherOrder(t *testing.T) {
+	// a function taking an effectful callback: unit -[ a ]-> unit
+	src := `
+(fun cb: unit -[ a() ]-> unit . cb (); cb ())
+(fun x: unit . fire a())`
+	_, eff := inferSrc(t, src)
+	want := hexpr.Cat(hexpr.Act(hexpr.E("a")), hexpr.Act(hexpr.E("a")))
+	if !hexpr.Equal(eff, want) {
+		t.Errorf("effect = %s, want %s", eff.Key(), want.Key())
+	}
+}
+
+func TestParseLambdaHigherOrderEffectMismatch(t *testing.T) {
+	// annotation says the callback fires b, the argument fires a: rejected
+	src := `
+(fun cb: unit -[ b() ]-> unit . cb ())
+(fun x: unit . fire a())`
+	term, err := parser.ParseLambda(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := lambda.InferClosed(term); err == nil {
+		t.Error("latent-effect mismatch should be rejected")
+	}
+}
+
+func TestParseLambdaApplicationAssociativity(t *testing.T) {
+	// f x y parses as (f x) y
+	src := `
+(fun f: unit -[ eps ]-> (unit -[ a() ]-> unit) . f () ())
+(fun x: unit . fun y: unit . fire a())`
+	_, eff := inferSrc(t, src)
+	if eff.Key() != "a" {
+		t.Errorf("effect = %s, want a", eff.Key())
+	}
+}
+
+func TestParseLambdaEval(t *testing.T) {
+	term, err := parser.ParseLambda("let x = 41 in fire count(1); x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, hist, err := lambda.Eval(term, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, ok := v.(lambda.IntLit); !ok || n.Value != 41 {
+		t.Errorf("value = %v", v)
+	}
+	if hist.String() != "count(1)" {
+		t.Errorf("history = %s", hist)
+	}
+}
+
+func TestParseLambdaErrors(t *testing.T) {
+	cases := []struct {
+		src string
+		msg string
+	}{
+		{"", "expected a λ-term"},
+		{"fun x . e", "expected ':'"},
+		{"fun x: float . ()", "unknown type"},
+		{"rec f(x: unit) unit . ()", "expected ':'"},
+		{"select { }", "expected identifier"},
+		{"select { a => }", "expected a λ-term"},
+		{"select { a () }", "expected '=>'"},
+		{"open r1", "expected '{'"},
+		{"enforce { () }", "expected identifier"},
+		{"let x = 1", `expected "in"`},
+		{"(1", "expected ')'"},
+		{"1 2 3 )", "trailing input"},
+		{"'", "expected identifier"},
+		{"fun x: (unit -[ a ]- unit) . ()", "expected"},
+	}
+	for _, c := range cases {
+		_, err := parser.ParseLambda(c.src)
+		if err == nil {
+			t.Errorf("ParseLambda(%q) succeeded, want error %q", c.src, c.msg)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.msg) {
+			t.Errorf("ParseLambda(%q) = %v, want mention of %q", c.src, err, c.msg)
+		}
+	}
+}
+
+func TestMustParseLambdaPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustParseLambda should panic")
+		}
+	}()
+	parser.MustParseLambda("@@")
+}

@@ -1,0 +1,172 @@
+package parser
+
+import (
+	"fmt"
+	"strings"
+
+	"susc/internal/hexpr"
+	"susc/internal/lambda"
+)
+
+// λ-printer contexts: where a bare form is allowed.
+const (
+	lamTop  = iota // binders (fun/rec/let) and sequencing allowed bare
+	lamApp         // application heads: applications and atoms
+	lamAtom        // application operands: atoms only
+)
+
+// FormatLambda renders a λ-term in the surface syntax of ParseLambda; for
+// source terms the output re-parses to an equal term (property-tested).
+// Policy identifiers print through name when non-nil (e.g. alias tables).
+func FormatLambda(t lambda.Term, name func(hexpr.PolicyID) string) string {
+	p := &lamPrinter{policyName: name}
+	var b strings.Builder
+	p.print(&b, t, lamTop)
+	return b.String()
+}
+
+type lamPrinter struct {
+	policyName func(hexpr.PolicyID) string
+}
+
+func (p *lamPrinter) policy(id hexpr.PolicyID) string {
+	if p.policyName != nil {
+		return p.policyName(id)
+	}
+	return string(id)
+}
+
+func (p *lamPrinter) print(b *strings.Builder, t lambda.Term, ctx int) {
+	switch x := t.(type) {
+	case lambda.Unit:
+		b.WriteString("()")
+	case lambda.IntLit:
+		fmt.Fprintf(b, "%d", x.Value)
+	case lambda.SymLit:
+		b.WriteString("'")
+		b.WriteString(x.Value)
+	case lambda.Var:
+		b.WriteString(x.Name)
+	case lambda.Abs:
+		if ctx > lamTop {
+			b.WriteString("(")
+			defer b.WriteString(")")
+		}
+		b.WriteString("fun ")
+		b.WriteString(x.Param)
+		b.WriteString(": ")
+		p.printType(b, x.ParamType)
+		b.WriteString(" . ")
+		p.print(b, x.Body, lamTop)
+	case lambda.RecFun:
+		if ctx > lamTop {
+			b.WriteString("(")
+			defer b.WriteString(")")
+		}
+		b.WriteString("rec ")
+		b.WriteString(x.Name)
+		b.WriteString("(")
+		b.WriteString(x.Param)
+		b.WriteString(": ")
+		p.printType(b, x.ParamType)
+		b.WriteString("): ")
+		p.printType(b, x.Result)
+		b.WriteString(" . ")
+		p.print(b, x.Body, lamTop)
+	case lambda.App:
+		if ctx > lamApp {
+			b.WriteString("(")
+			defer b.WriteString(")")
+		}
+		p.print(b, x.Fn, lamApp)
+		b.WriteString(" ")
+		p.print(b, x.Arg, lamAtom)
+	case lambda.Fire:
+		if ctx > lamApp {
+			b.WriteString("(")
+			defer b.WriteString(")")
+		}
+		b.WriteString("fire ")
+		b.WriteString(x.Event.Name)
+		b.WriteString("(")
+		for i, a := range x.Event.Args {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(a.String())
+		}
+		b.WriteString(")")
+	case lambda.Seq:
+		if ctx > lamTop {
+			b.WriteString("(")
+			defer b.WriteString(")")
+		}
+		p.print(b, x.First, lamApp)
+		b.WriteString("; ")
+		p.print(b, x.Then, lamTop)
+	case lambda.Let:
+		if ctx > lamTop {
+			b.WriteString("(")
+			defer b.WriteString(")")
+		}
+		b.WriteString("let ")
+		b.WriteString(x.Name)
+		b.WriteString(" = ")
+		p.print(b, x.Bind, lamApp)
+		b.WriteString(" in ")
+		p.print(b, x.Body, lamTop)
+	case lambda.Enforce:
+		b.WriteString("enforce ")
+		b.WriteString(p.policy(x.Policy))
+		b.WriteString(" { ")
+		p.print(b, x.Body, lamTop)
+		b.WriteString(" }")
+	case lambda.Request:
+		b.WriteString("open ")
+		b.WriteString(string(x.Req))
+		if x.Policy != hexpr.NoPolicy {
+			b.WriteString(" with ")
+			b.WriteString(p.policy(x.Policy))
+		}
+		b.WriteString(" { ")
+		p.print(b, x.Body, lamTop)
+		b.WriteString(" }")
+	case lambda.Select:
+		p.printComm(b, "select", x.Branches)
+	case lambda.Branch:
+		p.printComm(b, "branch", x.Branches)
+	}
+}
+
+func (p *lamPrinter) printComm(b *strings.Builder, kw string, bs []lambda.CommBranch) {
+	b.WriteString(kw)
+	b.WriteString(" { ")
+	for i, br := range bs {
+		if i > 0 {
+			b.WriteString(" | ")
+		}
+		b.WriteString(br.Channel)
+		b.WriteString(" => ")
+		p.print(b, br.Body, lamTop)
+	}
+	b.WriteString(" }")
+}
+
+func (p *lamPrinter) printType(b *strings.Builder, ty lambda.Type) {
+	switch t := ty.(type) {
+	case lambda.UnitT:
+		b.WriteString("unit")
+	case lambda.IntT:
+		b.WriteString("int")
+	case lambda.SymT:
+		b.WriteString("sym")
+	case lambda.FunT:
+		b.WriteString("(")
+		p.printType(b, t.Param)
+		b.WriteString(" -[ ")
+		b.WriteString(hexpr.PrettyWith(t.Effect, p.policyName))
+		b.WriteString(" ]-> ")
+		p.printType(b, t.Result)
+		b.WriteString(")")
+	}
+}

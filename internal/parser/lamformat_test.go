@@ -1,0 +1,81 @@
+package parser_test
+
+import (
+	"testing"
+
+	"susc/internal/hexpr"
+	"susc/internal/lambda"
+	"susc/internal/parser"
+)
+
+// lamSources is a corpus covering every construct and tricky nesting.
+var lamSources = []string{
+	`()`,
+	`42`,
+	`'hello`,
+	`fire sgn(s1)`,
+	`fire pair(1, s2)`,
+	`fire a(); fire b()`,
+	`let x = 41 in x`,
+	`fun x: unit . fire a()`,
+	`(fun x: int . x) 5`,
+	`(fun f: (unit -[ a() ]-> unit) . f (); f ()) (fun x: unit . fire a())`,
+	`rec f(x: unit): unit . select { go => f () | stop => () }`,
+	`enforce phi { fire a() }`,
+	`open r1 with phi { select { Req => branch { Ok => () | No => () } } }`,
+	`open r2 { () }`,
+	`select { a => fire x(); () | b => let y = 1 in y }`,
+	`branch { a => fun z: sym . z | b => (fun z: sym . z) }`,
+	`(rec loop(n: int): int . branch { more => loop 1 | done => n }) 0`,
+	`fire a(); let x = (fun y: unit . y) () in fire b(); x`,
+}
+
+// TestFormatLambdaRoundTrip: format ∘ parse is the identity on formatted
+// output, and the inferred type/effect survives the round trip.
+func TestFormatLambdaRoundTrip(t *testing.T) {
+	for _, src := range lamSources {
+		t1, err := parser.ParseLambda(src)
+		if err != nil {
+			t.Fatalf("parse %q: %v", src, err)
+		}
+		out1 := parser.FormatLambda(t1, nil)
+		t2, err := parser.ParseLambda(out1)
+		if err != nil {
+			t.Fatalf("re-parse of %q (from %q): %v", out1, src, err)
+		}
+		out2 := parser.FormatLambda(t2, nil)
+		if out1 != out2 {
+			t.Errorf("format not a fixpoint:\n  %q\n  %q", out1, out2)
+		}
+		// the semantics (type and effect) survives
+		ty1, eff1, err1 := lambda.InferClosed(t1)
+		ty2, eff2, err2 := lambda.InferClosed(t2)
+		if (err1 == nil) != (err2 == nil) {
+			t.Errorf("typability changed across round trip for %q: %v vs %v", src, err1, err2)
+			continue
+		}
+		if err1 != nil {
+			continue
+		}
+		if !lambda.TypeEqual(ty1, ty2) {
+			t.Errorf("type changed for %q: %s vs %s", src, ty1, ty2)
+		}
+		if !hexpr.Equal(eff1, eff2) {
+			t.Errorf("effect changed for %q: %s vs %s", src, eff1.Key(), eff2.Key())
+		}
+	}
+}
+
+func TestFormatLambdaAliases(t *testing.T) {
+	phi := hexpr.PolicyID("phi[bl={s1},p=45,t=100]")
+	term := lambda.Enforce{Policy: phi, Body: lambda.Unit{}}
+	out := parser.FormatLambda(term, func(id hexpr.PolicyID) string {
+		if id == phi {
+			return "phi1"
+		}
+		return string(id)
+	})
+	if out != "enforce phi1 { () }" {
+		t.Errorf("aliased output = %q", out)
+	}
+}

@@ -1,0 +1,320 @@
+package parser_test
+
+import (
+	"strings"
+	"testing"
+
+	"susc/internal/hexpr"
+	"susc/internal/paperex"
+	"susc/internal/parser"
+	"susc/internal/plans"
+	"susc/internal/verify"
+)
+
+// hotelSource is the paper's §2 scenario in the surface syntax.
+const hotelSource = `
+// Figure 1: the booking policy phi(bl, p, t)
+policy phi(bl set, p int, t int) {
+  states q1 q2 q3 q4 q5 q6;
+  start q1;
+  final q6;
+  edge q1 -> q2 on sgn(x) when x notin bl;
+  edge q1 -> q6 on sgn(x) when x in bl;
+  edge q2 -> q3 on price(y) when y <= p;
+  edge q2 -> q4 on price(y) when y > p;
+  edge q4 -> q5 on rating(z) when z >= t;
+  edge q4 -> q6 on rating(z) when z < t;
+}
+
+instance phi1 = phi(bl = {s1}, p = 45, t = 100);
+instance phi2 = phi(bl = {s1, s3}, p = 40, t = 70);
+
+// Figure 2: the broker and the hotels
+service br = Req? . open r3 { IdC! . (Bok? + UnA?) } . (CoBo! . Pay? (+) NoAv!);
+service s1 = sgn(s1) . price(45) . rating(80) . IdC? . (Bok! (+) UnA!);
+service s2 = sgn(s2) . price(70) . rating(100) . IdC? . (Bok! (+) UnA! (+) Del!);
+service s3 = sgn(s3) . price(90) . rating(100) . IdC? . (Bok! (+) UnA!);
+service s4 = sgn(s4) . price(50) . rating(90) . IdC? . (Bok! (+) UnA!);
+
+client c1 at c1 plan { r1 -> br, r3 -> s3 } =
+    open r1 with phi1 { Req! . (CoBo? . Pay! + NoAv?) };
+client c2 at c2 =
+    open r2 with phi2 { Req! . (CoBo? . Pay! + NoAv?) };
+`
+
+func parseHotel(t *testing.T) *parser.File {
+	t.Helper()
+	f, err := parser.ParseFile(hotelSource)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+// TestHotelFileMatchesPaperex: the parsed scenario coincides, term by term,
+// with the programmatically built one.
+func TestHotelFileMatchesPaperex(t *testing.T) {
+	f := parseHotel(t)
+	want := map[hexpr.Location]hexpr.Expr{
+		paperex.LocBr: paperex.Broker(),
+		paperex.LocS1: paperex.S1(),
+		paperex.LocS2: paperex.S2(),
+		paperex.LocS3: paperex.S3(),
+		paperex.LocS4: paperex.S4(),
+	}
+	for loc, w := range want {
+		got, ok := f.Repo[loc]
+		if !ok {
+			t.Fatalf("service %s missing", loc)
+		}
+		if !hexpr.Equal(got, w) {
+			t.Errorf("service %s:\n  parsed %s\n  want   %s", loc, got.Key(), w.Key())
+		}
+	}
+	c1, err := f.Client("c1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hexpr.Equal(c1.Expr, paperex.C1()) {
+		t.Errorf("c1:\n  parsed %s\n  want   %s", c1.Expr.Key(), paperex.C1().Key())
+	}
+	if c1.Plan.Key() != "{r1>br,r3>s3}" {
+		t.Errorf("c1 plan = %s", c1.Plan)
+	}
+	c2, err := f.Client("c2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hexpr.Equal(c2.Expr, paperex.C2()) {
+		t.Errorf("c2:\n  parsed %s\n  want   %s", c2.Expr.Key(), paperex.C2().Key())
+	}
+	if c2.Plan != nil {
+		t.Errorf("c2 has no plan, got %s", c2.Plan)
+	}
+}
+
+// TestHotelFileInstances: the parsed instances carry the canonical IDs and
+// the same behaviour as the paperex ones.
+func TestHotelFileInstances(t *testing.T) {
+	f := parseHotel(t)
+	if f.Instances["phi1"] != paperex.Phi1().ID() {
+		t.Errorf("phi1 id = %s, want %s", f.Instances["phi1"], paperex.Phi1().ID())
+	}
+	if f.Instances["phi2"] != paperex.Phi2().ID() {
+		t.Errorf("phi2 id = %s", f.Instances["phi2"])
+	}
+	// behaviour check through the table
+	trace := []hexpr.Event{
+		hexpr.E("sgn", hexpr.Sym("s4")),
+		hexpr.E("price", hexpr.Int(50)),
+		hexpr.E("rating", hexpr.Int(90)),
+	}
+	if !f.Table.Violates(f.Instances["phi1"], trace) {
+		t.Error("parsed phi1 must reject S4's trace")
+	}
+	if f.Table.Violates(f.Instances["phi2"], trace) {
+		t.Error("parsed phi2 must accept S4's trace")
+	}
+}
+
+// TestParsedScenarioEndToEnd: plan synthesis over the parsed file gives
+// the paper's results.
+func TestParsedScenarioEndToEnd(t *testing.T) {
+	f := parseHotel(t)
+	c1, _ := f.Client("c1")
+	got, err := plans.Synthesize(f.Repo, f.Table, c1.Loc, c1.Expr, plans.Options{PruneNonCompliant: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].Key() != "{r1>br,r3>s3}" {
+		t.Fatalf("plans = %v", got)
+	}
+	// and the declared plan verifies
+	ok, err := verify.ValidPlan(f.Repo, f.Table, c1.Loc, c1.Expr, c1.Plan)
+	if err != nil || !ok {
+		t.Fatalf("declared plan should be valid: %v %v", ok, err)
+	}
+}
+
+func TestParseExprForms(t *testing.T) {
+	cases := []struct {
+		src  string
+		want hexpr.Expr
+	}{
+		{"eps", hexpr.Eps()},
+		{"a?", hexpr.RecvThen("a", hexpr.Eps())},
+		{"a!", hexpr.SendThen("a", hexpr.Eps())},
+		{"a? . b!", hexpr.RecvThen("a", hexpr.SendThen("b", hexpr.Eps()))},
+		{"sgn(1)", hexpr.Act(hexpr.E("sgn", hexpr.Int(1)))},
+		{"sgn(s1, 2)", hexpr.Act(hexpr.E("sgn", hexpr.Sym("s1"), hexpr.Int(2)))},
+		{"done()", hexpr.Act(hexpr.E("done"))},
+		{"a? + b?", hexpr.Ext(
+			hexpr.B(hexpr.In("a"), hexpr.Eps()),
+			hexpr.B(hexpr.In("b"), hexpr.Eps()))},
+		{"a! (+) b!", hexpr.IntCh(
+			hexpr.B(hexpr.Out("a"), hexpr.Eps()),
+			hexpr.B(hexpr.Out("b"), hexpr.Eps()))},
+		{"a? . x() + b?", hexpr.Ext(
+			hexpr.B(hexpr.In("a"), hexpr.Act(hexpr.E("x"))),
+			hexpr.B(hexpr.In("b"), hexpr.Eps()))},
+		{"mu h . a! . h", hexpr.Mu("h", hexpr.SendThen("a", hexpr.V("h")))},
+		{"mu h . (a? . h + b?)", hexpr.Mu("h", hexpr.Ext(
+			hexpr.B(hexpr.In("a"), hexpr.V("h")),
+			hexpr.B(hexpr.In("b"), hexpr.Eps())))},
+		{"open r1 with phi { a! }", hexpr.Open("r1", "phi", hexpr.SendThen("a", hexpr.Eps()))},
+		{"open r1 { a! }", hexpr.Open("r1", hexpr.NoPolicy, hexpr.SendThen("a", hexpr.Eps()))},
+		{"enforce phi { sgn(1) }", hexpr.Frame("phi", hexpr.Act(hexpr.E("sgn", hexpr.Int(1))))},
+		{"(a?)", hexpr.RecvThen("a", hexpr.Eps())},
+		{"sgn(1) . price(2)", hexpr.Cat(
+			hexpr.Act(hexpr.E("sgn", hexpr.Int(1))),
+			hexpr.Act(hexpr.E("price", hexpr.Int(2))))},
+		// recursion after a prefix
+		{"go? . mu h . ping! . pong? . h",
+			hexpr.RecvThen("go", hexpr.Mu("h",
+				hexpr.SendThen("ping", hexpr.RecvThen("pong", hexpr.V("h")))))},
+	}
+	for _, c := range cases {
+		got, err := parser.ParseExpr(c.src)
+		if err != nil {
+			t.Errorf("ParseExpr(%q): %v", c.src, err)
+			continue
+		}
+		if !hexpr.Equal(got, c.want) {
+			t.Errorf("ParseExpr(%q) = %s, want %s", c.src, got.Key(), c.want.Key())
+		}
+	}
+}
+
+func TestParseExprErrors(t *testing.T) {
+	cases := []struct {
+		src string
+		msg string
+	}{
+		{"", "expected an expression"},
+		{"a? +", "expected an expression"},
+		{"a? + b!", "output-guarded summand in an external choice"},
+		{"a! (+) b?", "input-guarded summand in an internal choice"},
+		{"a? + b? (+) c!", "cannot mix"},
+		{"eps + eps", "must start with a channel action"},
+		{"open r1", "expected '{'"},
+		{"open r1 { a! ", "expected '}'"},
+		{"enforce { a! }", "expected identifier"},
+		{"mu . a!", "expected identifier"},
+		{"a? . ", "expected an expression"},
+		{"(a?", "expected ')'"},
+		{"a? b?", "trailing input"},
+		{"sgn(", "expected a value"},
+		{"@", "unexpected character"},
+	}
+	for _, c := range cases {
+		_, err := parser.ParseExpr(c.src)
+		if err == nil {
+			t.Errorf("ParseExpr(%q) succeeded, want error %q", c.src, c.msg)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.msg) {
+			t.Errorf("ParseExpr(%q) = %v, want mention of %q", c.src, err, c.msg)
+		}
+	}
+}
+
+func TestParseFileErrors(t *testing.T) {
+	cases := []struct {
+		src string
+		msg string
+	}{
+		{"bogus x;", "unknown declaration"},
+		{"policy p() { start q; }", "no states"},
+		{"policy p(x float) { }", "parameter kind"},
+		{"policy p() { states q; start q; edge q -> z on e; }", "unknown state"},
+		{"policy p() { states q; start q; edge q -> q on e(x) when y in s; }", "unknown variable"},
+		{"policy p() { states q; start q; edge q -> q on e(x) when x in s, x in s; }", "constrained twice"},
+		{"instance i = nope();", "unknown policy"},
+		{"policy p() { states q; start q; }\ninstance i = p();\ninstance i = p();", "redeclared"},
+		{"service s = a?;\nservice s = a?;", "redeclared"},
+		{"service s = h;", "free recursion variables"},
+		{"client c at l = h;", "free recursion variables"},
+		{"123", "expected a declaration"},
+	}
+	for _, c := range cases {
+		_, err := parser.ParseFile(c.src)
+		if err == nil {
+			t.Errorf("ParseFile(%q) succeeded, want error %q", c.src, c.msg)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.msg) {
+			t.Errorf("ParseFile(%q) = %v, want mention of %q", c.src, err, c.msg)
+		}
+	}
+}
+
+func TestParseGuardOperators(t *testing.T) {
+	src := `
+policy g(n int) {
+  states q0 qv;
+  start q0;
+  final qv;
+  edge q0 -> qv on eq(x) when x == 7;
+  edge q0 -> qv on ne(x) when x != ok;
+  edge q0 -> qv on lt(x) when x < n;
+  edge q0 -> qv on any(x);
+}
+instance gi = g(n = 10);
+`
+	f, err := parser.ParseFile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := f.Instances["gi"]
+	checks := []struct {
+		ev   hexpr.Event
+		want bool
+	}{
+		{hexpr.E("eq", hexpr.Int(7)), true},
+		{hexpr.E("eq", hexpr.Int(8)), false},
+		{hexpr.E("ne", hexpr.Sym("bad")), true},
+		{hexpr.E("ne", hexpr.Sym("ok")), false},
+		{hexpr.E("lt", hexpr.Int(9)), true},
+		{hexpr.E("lt", hexpr.Int(10)), false},
+		{hexpr.E("any", hexpr.Sym("whatever")), true},
+	}
+	for _, c := range checks {
+		if got := f.Table.Violates(id, []hexpr.Event{c.ev}); got != c.want {
+			t.Errorf("event %v: violates = %v, want %v", c.ev, got, c.want)
+		}
+	}
+}
+
+func TestCommentsAndWhitespace(t *testing.T) {
+	e, err := parser.ParseExpr("a? . // comment here\n b!")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := hexpr.RecvThen("a", hexpr.SendThen("b", hexpr.Eps()))
+	if !hexpr.Equal(e, want) {
+		t.Errorf("got %s", e.Key())
+	}
+}
+
+func TestMustHelpersPanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustParseExpr should panic on bad input")
+		}
+	}()
+	parser.MustParseExpr("@@@")
+}
+
+func TestErrorPositions(t *testing.T) {
+	_, err := parser.ParseExpr("a? .\n  @")
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	perr, ok := err.(*parser.Error)
+	if !ok {
+		t.Fatalf("err type %T", err)
+	}
+	if perr.Line != 2 || perr.Col != 3 {
+		t.Errorf("position = %d:%d, want 2:3", perr.Line, perr.Col)
+	}
+}

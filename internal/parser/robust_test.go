@@ -1,0 +1,84 @@
+package parser_test
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"susc/internal/parser"
+)
+
+// mutate returns src with a random edit: deletion, duplication or
+// substitution of a random chunk.
+func mutate(rnd *rand.Rand, src string) string {
+	if len(src) == 0 {
+		return src
+	}
+	i := rnd.Intn(len(src))
+	j := i + 1 + rnd.Intn(10)
+	if j > len(src) {
+		j = len(src)
+	}
+	switch rnd.Intn(3) {
+	case 0: // delete
+		return src[:i] + src[j:]
+	case 1: // duplicate
+		return src[:j] + src[i:j] + src[j:]
+	default: // substitute
+		garbage := []string{"(", ")", "{", "}", "(+)", "->", "mu ", "open ", ";;", "?", "!", "=>", "-[", "]->"}
+		return src[:i] + garbage[rnd.Intn(len(garbage))] + src[j:]
+	}
+}
+
+// TestParserNeverPanics hammers the three parsers with mutations of valid
+// sources and raw noise: errors are fine, panics are not.
+func TestParserNeverPanics(t *testing.T) {
+	rnd := rand.New(rand.NewSource(101))
+	exprSeed := "mu h . a? . enforce phi { sgn(1) . open r1 with phi { b! . (c? + d?) } } . h"
+	lamSeed := "rec f(x: unit -[ a() ]-> unit): unit . select { a => f x | b => fire e(1); () }"
+	fileSeed := hotelSource
+	run := func(name string, parse func(string) error, seed string) {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Fatalf("%s panicked: %v", name, r)
+			}
+		}()
+		src := seed
+		for i := 0; i < 3000; i++ {
+			_ = parse(src) // errors expected, panics not
+			if i%5 == 0 {
+				src = seed // restart from the seed regularly
+			}
+			src = mutate(rnd, src)
+		}
+		// raw noise
+		for i := 0; i < 500; i++ {
+			n := rnd.Intn(40)
+			b := make([]byte, n)
+			for j := range b {
+				b[j] = byte(rnd.Intn(128))
+			}
+			_ = parse(string(b))
+		}
+	}
+	run("ParseExpr", func(s string) error { _, err := parser.ParseExpr(s); return err }, exprSeed)
+	run("ParseLambda", func(s string) error { _, err := parser.ParseLambda(s); return err }, lamSeed)
+	run("ParseFile", func(s string) error { _, err := parser.ParseFile(s); return err }, fileSeed)
+}
+
+// TestParserErrorsNeverEmpty: every parse failure carries a message and a
+// position.
+func TestParserErrorsNeverEmpty(t *testing.T) {
+	rnd := rand.New(rand.NewSource(102))
+	src := "service x = a? . b!;"
+	for i := 0; i < 500; i++ {
+		src = mutate(rnd, src)
+		_, err := parser.ParseFile(src)
+		if err == nil {
+			continue
+		}
+		if strings.TrimSpace(err.Error()) == "" {
+			t.Fatalf("empty error message for %q", src)
+		}
+	}
+}

@@ -1,0 +1,43 @@
+package plans_test
+
+import (
+	"fmt"
+
+	"susc/internal/hexpr"
+	"susc/internal/network"
+	"susc/internal/paperex"
+	"susc/internal/plans"
+)
+
+// Synthesize extracts exactly the valid plans of the paper's §2 scenario:
+// for client C1, request 1 must go to the broker and request 3 (the
+// broker's) to hotel S3.
+func ExampleSynthesize() {
+	valid, _ := plans.Synthesize(
+		paperex.Repository(), paperex.Policies(),
+		paperex.LocC1, paperex.C1(),
+		plans.Options{PruneNonCompliant: true},
+	)
+	for _, p := range valid {
+		fmt.Println(p)
+	}
+	// Output:
+	// {r1>br,r3>s3}
+}
+
+// AssessAll classifies every orchestration, not just the valid ones.
+func ExampleAssessAll() {
+	repo := network.Repository{
+		"good": hexpr.RecvThen("Order", hexpr.SendThen("Parcel", hexpr.Eps())),
+		"bad":  hexpr.RecvThen("Order", hexpr.SendThen("Backorder", hexpr.Eps())),
+	}
+	client := hexpr.Open("r1", hexpr.NoPolicy,
+		hexpr.SendThen("Order", hexpr.RecvThen("Parcel", hexpr.Eps())))
+	as, _ := plans.AssessAll(repo, paperex.Policies(), "cl", client, plans.Options{})
+	for _, a := range as {
+		fmt.Printf("%s %s\n", a.Plan, a.Report.Verdict)
+	}
+	// Output:
+	// {r1>bad} not-compliant
+	// {r1>good} valid
+}

@@ -1,0 +1,184 @@
+// Package plans extracts viable orchestrations: it enumerates the plans of
+// a client against a repository — lazily discovering the nested requests
+// that selecting a service introduces — and filters them through the
+// static checks of internal/verify, keeping exactly the *valid* plans of
+// §2/§5: those driving computations that neither violate security nor get
+// stuck on a missing communication. Adopting a synthesized plan lets the
+// network run with no run-time monitor.
+package plans
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"susc/internal/compliance"
+	"susc/internal/hexpr"
+	"susc/internal/network"
+	"susc/internal/policy"
+	"susc/internal/verify"
+)
+
+// Options tunes synthesis.
+type Options struct {
+	// PruneNonCompliant rejects a binding as soon as the product automaton
+	// of the request body and the candidate service is non-empty, instead
+	// of completing the plan and validating it whole. Sound (compliance is
+	// per-request) and usually much faster; the ablation benchmark
+	// measures the difference.
+	PruneNonCompliant bool
+	// MaxPlans bounds the number of complete plans examined (0 = no
+	// bound). Synthesis fails with an error when the bound is hit.
+	MaxPlans int
+	// Workers validates plans concurrently with this many goroutines
+	// (0 or 1 = sequential). All analyses are read-only over the
+	// repository and policy table, so parallel validation is safe.
+	Workers int
+}
+
+// Assessment is a complete plan together with its verdict.
+type Assessment struct {
+	Plan   network.Plan
+	Report *verify.Report
+}
+
+func (a Assessment) String() string {
+	return fmt.Sprintf("%s: %s", a.Plan, a.Report)
+}
+
+// AssessAll enumerates every complete plan for the client and validates
+// each, returning the assessments in deterministic order (lexicographic in
+// the plan keys).
+func AssessAll(repo network.Repository, table *policy.Table,
+	loc hexpr.Location, client hexpr.Expr, opts Options) ([]Assessment, error) {
+
+	complete, err := enumerate(repo, client, opts)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Assessment, len(complete))
+	if opts.Workers > 1 && len(complete) > 1 {
+		var wg sync.WaitGroup
+		var mu sync.Mutex
+		var firstErr error
+		jobs := make(chan int)
+		for w := 0; w < opts.Workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range jobs {
+					report, err := verify.CheckPlan(repo, table, loc, client, complete[i])
+					if err != nil {
+						mu.Lock()
+						if firstErr == nil {
+							firstErr = err
+						}
+						mu.Unlock()
+						continue
+					}
+					out[i] = Assessment{Plan: complete[i], Report: report}
+				}
+			}()
+		}
+		for i := range complete {
+			jobs <- i
+		}
+		close(jobs)
+		wg.Wait()
+		if firstErr != nil {
+			return nil, firstErr
+		}
+	} else {
+		for i, plan := range complete {
+			report, err := verify.CheckPlan(repo, table, loc, client, plan)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = Assessment{Plan: plan, Report: report}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Plan.Key() < out[j].Plan.Key() })
+	return out, nil
+}
+
+// Synthesize returns exactly the valid plans for the client, in
+// deterministic order.
+func Synthesize(repo network.Repository, table *policy.Table,
+	loc hexpr.Location, client hexpr.Expr, opts Options) ([]network.Plan, error) {
+
+	assessments, err := AssessAll(repo, table, loc, client, opts)
+	if err != nil {
+		return nil, err
+	}
+	var out []network.Plan
+	for _, a := range assessments {
+		if a.Report.Verdict == verify.Valid {
+			out = append(out, a.Plan)
+		}
+	}
+	return out, nil
+}
+
+// enumerate produces every complete binding of the requests reachable
+// under the binding itself (selecting a service adds its requests).
+func enumerate(repo network.Repository, client hexpr.Expr, opts Options) ([]network.Plan, error) {
+	locations := repo.Locations()
+	var out []network.Plan
+	var expand func(plan network.Plan, pending []pendingReq) error
+	expand = func(plan network.Plan, pending []pendingReq) error {
+		// drop already-bound requests (cycles in the service graph)
+		for len(pending) > 0 {
+			if _, ok := plan[pending[0].req]; ok {
+				pending = pending[1:]
+				continue
+			}
+			break
+		}
+		if len(pending) == 0 {
+			if opts.MaxPlans > 0 && len(out) >= opts.MaxPlans {
+				return fmt.Errorf("plans: more than %d complete plans", opts.MaxPlans)
+			}
+			out = append(out, plan.Clone())
+			return nil
+		}
+		head, rest := pending[0], pending[1:]
+		for _, l := range locations {
+			service := repo[l]
+			if opts.PruneNonCompliant {
+				ok, err := compliance.Compliant(head.body, service)
+				if err != nil {
+					return err
+				}
+				if !ok {
+					continue
+				}
+			}
+			plan[head.req] = l
+			newPending := append(append([]pendingReq(nil), rest...), requestsOf(service)...)
+			if err := expand(plan, newPending); err != nil {
+				return err
+			}
+			delete(plan, head.req)
+		}
+		return nil
+	}
+	if err := expand(network.Plan{}, requestsOf(client)); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+type pendingReq struct {
+	req  hexpr.RequestID
+	body hexpr.Expr
+}
+
+func requestsOf(e hexpr.Expr) []pendingReq {
+	var out []pendingReq
+	hexpr.Walk(e, func(x hexpr.Expr) {
+		if s, ok := x.(hexpr.Session); ok {
+			out = append(out, pendingReq{req: s.Req, body: s.Body})
+		}
+	})
+	return out
+}

@@ -1,0 +1,175 @@
+package policy
+
+import (
+	"fmt"
+
+	"susc/internal/hexpr"
+)
+
+// ParamKind discriminates formal parameters of a usage automaton.
+type ParamKind int
+
+const (
+	// SetParam is a finite set of values (e.g. a blacklist).
+	SetParam ParamKind = iota
+	// IntParam is an integer scalar (e.g. a price threshold).
+	IntParam
+)
+
+// Param is a formal parameter declaration.
+type Param struct {
+	Name string
+	Kind ParamKind
+}
+
+// Edge is a transition pattern of a usage automaton: it fires on events
+// named EventName whose arguments satisfy the guards (one guard per
+// argument; the arities must match).
+type Edge struct {
+	From, To  string
+	EventName string
+	Guards    []Guard
+}
+
+func (e Edge) String() string {
+	gs := make([]string, len(e.Guards))
+	for i, g := range e.Guards {
+		gs[i] = g.String()
+	}
+	return fmt.Sprintf("%s --%s(%v)--> %s", e.From, e.EventName, gs, e.To)
+}
+
+// Automaton is a parametric usage automaton: a policy template. Final
+// states are the *violation* states — the language of an instance is the
+// set of forbidden traces (default allow).
+type Automaton struct {
+	Name   string
+	Params []Param
+	States []string
+	Start  string
+	Finals []string
+	Edges  []Edge
+}
+
+// MaxStates bounds the size of a usage automaton: instances track state
+// sets as 64-bit masks.
+const MaxStates = 64
+
+// Validate checks internal consistency of the automaton definition.
+func (a *Automaton) Validate() error {
+	if len(a.States) == 0 {
+		return fmt.Errorf("policy %s: no states", a.Name)
+	}
+	if len(a.States) > MaxStates {
+		return fmt.Errorf("policy %s: %d states exceed the maximum %d", a.Name, len(a.States), MaxStates)
+	}
+	idx := map[string]bool{}
+	for _, s := range a.States {
+		if idx[s] {
+			return fmt.Errorf("policy %s: duplicate state %q", a.Name, s)
+		}
+		idx[s] = true
+	}
+	if !idx[a.Start] {
+		return fmt.Errorf("policy %s: unknown start state %q", a.Name, a.Start)
+	}
+	for _, f := range a.Finals {
+		if !idx[f] {
+			return fmt.Errorf("policy %s: unknown final state %q", a.Name, f)
+		}
+	}
+	params := map[string]ParamKind{}
+	for _, p := range a.Params {
+		if _, ok := params[p.Name]; ok {
+			return fmt.Errorf("policy %s: duplicate parameter %q", a.Name, p.Name)
+		}
+		params[p.Name] = p.Kind
+	}
+	for _, e := range a.Edges {
+		if !idx[e.From] {
+			return fmt.Errorf("policy %s: edge from unknown state %q", a.Name, e.From)
+		}
+		if !idx[e.To] {
+			return fmt.Errorf("policy %s: edge to unknown state %q", a.Name, e.To)
+		}
+		if e.EventName == "" {
+			return fmt.Errorf("policy %s: edge with empty event name", a.Name)
+		}
+		for _, g := range e.Guards {
+			switch g.Kind {
+			case InSet, NotInSet:
+				if k, ok := params[g.Param]; !ok || k != SetParam {
+					return fmt.Errorf("policy %s: guard %s needs a set parameter", a.Name, g)
+				}
+			case LE, LT, GE, GT:
+				if k, ok := params[g.Param]; !ok || k != IntParam {
+					return fmt.Errorf("policy %s: guard %s needs a scalar parameter", a.Name, g)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// Instantiate binds the formal parameters and returns a concrete policy
+// instance. The binding must supply every declared parameter.
+func (a *Automaton) Instantiate(b Binding) (*Instance, error) {
+	if err := a.Validate(); err != nil {
+		return nil, err
+	}
+	for _, p := range a.Params {
+		switch p.Kind {
+		case SetParam:
+			if _, ok := b.Sets[p.Name]; !ok {
+				return nil, fmt.Errorf("policy %s: missing set parameter %q", a.Name, p.Name)
+			}
+		case IntParam:
+			if _, ok := b.Ints[p.Name]; !ok {
+				return nil, fmt.Errorf("policy %s: missing scalar parameter %q", a.Name, p.Name)
+			}
+		}
+	}
+	stateIdx := map[string]int{}
+	for i, s := range a.States {
+		stateIdx[s] = i
+	}
+	in := &Instance{
+		id:      hexpr.PolicyID(a.Name + "[" + b.idFragment(a.Params) + "]"),
+		a:       a,
+		binding: b,
+		start:   stateIdx[a.Start],
+	}
+	for _, f := range a.Finals {
+		in.finals |= 1 << uint(stateIdx[f])
+	}
+	for _, e := range a.Edges {
+		in.edges = append(in.edges, instEdge{
+			from:  stateIdx[e.From],
+			to:    stateIdx[e.To],
+			event: e.EventName,
+			arity: len(e.Guards),
+			match: func(guards []Guard) func([]hexpr.Value) (bool, error) {
+				return func(args []hexpr.Value) (bool, error) {
+					for i, g := range guards {
+						ok, err := g.eval(args[i], b)
+						if err != nil || !ok {
+							return false, err
+						}
+					}
+					return true, nil
+				}
+			}(e.Guards),
+		})
+	}
+	return in, nil
+}
+
+// MustInstantiate is Instantiate that panics on error; convenient for
+// statically known bindings in examples and tests.
+func (a *Automaton) MustInstantiate(b Binding) *Instance {
+	in, err := a.Instantiate(b)
+	if err != nil {
+		panic(err)
+	}
+	return in
+}

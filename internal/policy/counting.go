@@ -1,0 +1,48 @@
+package policy
+
+import "fmt"
+
+// Counting builds a quantitative policy in the spirit of the paper's §5
+// outlook (quantitative security policies): the instance recognises as
+// violations the traces in which the event occurs more than max times.
+// The event is matched by name and arity, with unconstrained arguments.
+// Counting policies are ordinary usage automata (max+2 states), so every
+// analysis of the toolkit applies to them unchanged.
+func Counting(name, eventName string, arity, max int) (*Automaton, error) {
+	if max < 0 {
+		return nil, fmt.Errorf("policy: negative bound %d", max)
+	}
+	if max+2 > MaxStates {
+		return nil, fmt.Errorf("policy: bound %d needs %d states, exceeding the maximum %d",
+			max, max+2, MaxStates)
+	}
+	a := &Automaton{Name: name, Start: "c0", Finals: []string{"over"}}
+	guards := make([]Guard, arity)
+	for i := range guards {
+		guards[i] = GAny()
+	}
+	for i := 0; i <= max; i++ {
+		a.States = append(a.States, fmt.Sprintf("c%d", i))
+	}
+	a.States = append(a.States, "over")
+	for i := 0; i < max; i++ {
+		a.Edges = append(a.Edges, Edge{
+			From: fmt.Sprintf("c%d", i), To: fmt.Sprintf("c%d", i+1),
+			EventName: eventName, Guards: guards,
+		})
+	}
+	a.Edges = append(a.Edges, Edge{
+		From: fmt.Sprintf("c%d", max), To: "over",
+		EventName: eventName, Guards: guards,
+	})
+	return a, nil
+}
+
+// MustCounting is Counting panicking on error.
+func MustCounting(name, eventName string, arity, max int) *Automaton {
+	a, err := Counting(name, eventName, arity, max)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}

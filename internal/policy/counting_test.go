@@ -1,0 +1,84 @@
+package policy_test
+
+import (
+	"strings"
+	"testing"
+
+	"susc/internal/hexpr"
+	"susc/internal/policy"
+)
+
+func fires(n int) []hexpr.Event {
+	out := make([]hexpr.Event, n)
+	for i := range out {
+		out[i] = hexpr.E("download", hexpr.Int(i))
+	}
+	return out
+}
+
+func TestCountingPolicy(t *testing.T) {
+	a, err := policy.Counting("atMost3", "download", 1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, err := a.Instantiate(policy.Binding{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for n := 0; n <= 3; n++ {
+		if in.Recognizes(fires(n)) {
+			t.Errorf("%d downloads should respect the bound 3", n)
+		}
+	}
+	for n := 4; n <= 6; n++ {
+		if !in.Recognizes(fires(n)) {
+			t.Errorf("%d downloads should violate the bound 3", n)
+		}
+	}
+	// the violating prefix is exactly the (max+1)-th occurrence
+	if at := in.ViolatingPrefix(fires(6)); at != 4 {
+		t.Errorf("violating prefix = %d, want 4", at)
+	}
+	// other events do not count
+	mixed := []hexpr.Event{
+		hexpr.E("download", hexpr.Int(1)),
+		hexpr.E("upload", hexpr.Int(1)),
+		hexpr.E("download", hexpr.Int(2)),
+	}
+	if in.Recognizes(mixed) {
+		t.Error("2 downloads among uploads should respect the bound 3")
+	}
+	// arity mismatches do not count
+	if in.Recognizes([]hexpr.Event{
+		hexpr.E("download"), hexpr.E("download"), hexpr.E("download"), hexpr.E("download"),
+	}) {
+		t.Error("0-ary download events should not match the 1-ary counter")
+	}
+}
+
+func TestCountingZeroForbidsAnyOccurrence(t *testing.T) {
+	a := policy.MustCounting("never", "rm", 0, 0)
+	in := a.MustInstantiate(policy.Binding{})
+	if in.Recognizes(nil) {
+		t.Error("empty trace respects the zero bound")
+	}
+	if !in.Recognizes([]hexpr.Event{hexpr.E("rm")}) {
+		t.Error("one rm violates the zero bound")
+	}
+}
+
+func TestCountingErrors(t *testing.T) {
+	if _, err := policy.Counting("x", "e", 0, -1); err == nil {
+		t.Error("negative bound must fail")
+	}
+	if _, err := policy.Counting("x", "e", 0, policy.MaxStates); err == nil ||
+		!strings.Contains(err.Error(), "exceed") {
+		t.Errorf("oversized bound: %v", err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MustCounting should panic on bad input")
+		}
+	}()
+	policy.MustCounting("x", "e", 0, -1)
+}

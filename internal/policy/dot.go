@@ -1,0 +1,55 @@
+package policy
+
+import (
+	"fmt"
+	"strings"
+)
+
+// DOT renders the parametric automaton in Graphviz dot syntax: final
+// (violation) states are red double circles; edges show the event pattern
+// and its guards.
+func (a *Automaton) DOT() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n", a.Name)
+	b.WriteString("  rankdir=LR;\n  node [shape=circle];\n")
+	fmt.Fprintf(&b, "  __start [shape=point];\n  __start -> %q;\n", a.Start)
+	finals := map[string]bool{}
+	for _, f := range a.Finals {
+		finals[f] = true
+	}
+	for _, s := range a.States {
+		if finals[s] {
+			fmt.Fprintf(&b, "  %q [shape=doublecircle, color=red];\n", s)
+		} else {
+			fmt.Fprintf(&b, "  %q;\n", s)
+		}
+	}
+	for _, e := range a.Edges {
+		label := e.EventName
+		var guards []string
+		for i, g := range e.Guards {
+			if g.Kind == Any {
+				continue
+			}
+			guards = append(guards, fmt.Sprintf("x%d %s", i, g))
+		}
+		if len(e.Guards) > 0 {
+			label += fmt.Sprintf("(%d)", len(e.Guards))
+		}
+		if len(guards) > 0 {
+			label += " when " + strings.Join(guards, ", ")
+		}
+		fmt.Fprintf(&b, "  %q -> %q [label=%q];\n", e.From, e.To, label)
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// DOT renders the instantiated automaton, annotating the graph with the
+// binding carried by the instance identifier.
+func (in *Instance) DOT() string {
+	dot := in.a.DOT()
+	header := fmt.Sprintf("  label=%q;\n  labelloc=top;\n", string(in.id))
+	i := strings.Index(dot, "\n")
+	return dot[:i+1] + header + dot[i+1:]
+}

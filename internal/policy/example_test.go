@@ -1,0 +1,44 @@
+package policy_test
+
+import (
+	"fmt"
+
+	"susc/internal/hexpr"
+	"susc/internal/policy"
+)
+
+// A parametric usage automaton instantiates into a recogniser of the
+// forbidden traces: here, charging more than a limit.
+func ExampleAutomaton_Instantiate() {
+	auto := &policy.Automaton{
+		Name:   "nofraud",
+		Params: []policy.Param{{Name: "limit", Kind: policy.IntParam}},
+		States: []string{"ok", "bad"},
+		Start:  "ok",
+		Finals: []string{"bad"},
+		Edges: []policy.Edge{
+			{From: "ok", To: "bad", EventName: "charge",
+				Guards: []policy.Guard{policy.G(policy.GT, "limit")}},
+		},
+	}
+	inst, _ := auto.Instantiate(policy.Binding{Ints: map[string]int{"limit": 100}})
+	fmt.Println(inst.ID())
+	fmt.Println(inst.Recognizes([]hexpr.Event{hexpr.E("charge", hexpr.Int(80))}))
+	fmt.Println(inst.Recognizes([]hexpr.Event{hexpr.E("charge", hexpr.Int(120))}))
+	// Output:
+	// nofraud[limit=100]
+	// false
+	// true
+}
+
+// Counting policies bound how many times an event may fire.
+func ExampleCounting() {
+	auto, _ := policy.Counting("quota", "download", 0, 2)
+	inst, _ := auto.Instantiate(policy.Binding{})
+	dl := hexpr.E("download")
+	fmt.Println(inst.Recognizes([]hexpr.Event{dl, dl}))
+	fmt.Println(inst.Recognizes([]hexpr.Event{dl, dl, dl}))
+	// Output:
+	// false
+	// true
+}

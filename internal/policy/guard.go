@@ -1,0 +1,161 @@
+// Package policy implements usage automata [Bartoletti 2009], the
+// parametric finite-state automata the paper uses to express security
+// policies φ. A usage automaton recognises the *forbidden* traces of
+// access events (the "default-allow" paradigm): a history violates the
+// policy exactly when the automaton accepts it.
+//
+// A usage automaton has formal parameters (a blacklist, thresholds, ...);
+// instantiating it with actual values yields an Instance, a finite-state
+// recogniser over concrete events. Non-matching events leave the state
+// unchanged (implicit self-loops), and overlapping guards may make the
+// automaton nondeterministic, so instances step over *sets* of states.
+package policy
+
+import (
+	"fmt"
+	"strings"
+
+	"susc/internal/hexpr"
+)
+
+// GuardKind enumerates the predicates a guard can apply to one event
+// argument, possibly referring to a formal parameter of the automaton.
+type GuardKind int
+
+const (
+	// Any matches every argument.
+	Any GuardKind = iota
+	// InSet holds when the argument belongs to the set parameter Param.
+	InSet
+	// NotInSet holds when the argument does not belong to the set
+	// parameter Param.
+	NotInSet
+	// LE holds when the integer argument is ≤ the scalar parameter Param.
+	LE
+	// LT holds when the integer argument is < the scalar parameter Param.
+	LT
+	// GE holds when the integer argument is ≥ the scalar parameter Param.
+	GE
+	// GT holds when the integer argument is > the scalar parameter Param.
+	GT
+	// EqConst holds when the argument equals the constant Const.
+	EqConst
+	// NeConst holds when the argument differs from the constant Const.
+	NeConst
+)
+
+// Guard is a predicate on a single event argument.
+type Guard struct {
+	Kind  GuardKind
+	Param string      // parameter name, for the parameter-relative kinds
+	Const hexpr.Value // constant, for EqConst/NeConst
+}
+
+// G is a convenience guard constructor for parameter-relative guards.
+func G(kind GuardKind, param string) Guard { return Guard{Kind: kind, Param: param} }
+
+// GAny matches anything.
+func GAny() Guard { return Guard{Kind: Any} }
+
+// GEq matches the given constant.
+func GEq(v hexpr.Value) Guard { return Guard{Kind: EqConst, Const: v} }
+
+// GNe matches anything but the given constant.
+func GNe(v hexpr.Value) Guard { return Guard{Kind: NeConst, Const: v} }
+
+func (g Guard) String() string {
+	switch g.Kind {
+	case Any:
+		return "*"
+	case InSet:
+		return "in " + g.Param
+	case NotInSet:
+		return "not in " + g.Param
+	case LE:
+		return "<= " + g.Param
+	case LT:
+		return "< " + g.Param
+	case GE:
+		return ">= " + g.Param
+	case GT:
+		return "> " + g.Param
+	case EqConst:
+		return "== " + g.Const.String()
+	case NeConst:
+		return "!= " + g.Const.String()
+	}
+	return "?"
+}
+
+// Binding supplies actual values for the formal parameters of a usage
+// automaton: value sets for set parameters and integers for scalar ones.
+type Binding struct {
+	Sets map[string][]hexpr.Value
+	Ints map[string]int
+}
+
+// eval evaluates the guard against an argument under a binding.
+func (g Guard) eval(arg hexpr.Value, b Binding) (bool, error) {
+	switch g.Kind {
+	case Any:
+		return true, nil
+	case InSet, NotInSet:
+		set, ok := b.Sets[g.Param]
+		if !ok {
+			return false, fmt.Errorf("policy: unbound set parameter %q", g.Param)
+		}
+		found := false
+		for _, v := range set {
+			if v.Equal(arg) {
+				found = true
+				break
+			}
+		}
+		if g.Kind == InSet {
+			return found, nil
+		}
+		return !found, nil
+	case LE, LT, GE, GT:
+		n, ok := b.Ints[g.Param]
+		if !ok {
+			return false, fmt.Errorf("policy: unbound scalar parameter %q", g.Param)
+		}
+		if !arg.IsInt() {
+			return false, nil // a non-integer never satisfies an arithmetic guard
+		}
+		switch g.Kind {
+		case LE:
+			return arg.IntVal() <= n, nil
+		case LT:
+			return arg.IntVal() < n, nil
+		case GE:
+			return arg.IntVal() >= n, nil
+		default:
+			return arg.IntVal() > n, nil
+		}
+	case EqConst:
+		return arg.Equal(g.Const), nil
+	case NeConst:
+		return !arg.Equal(g.Const), nil
+	}
+	return false, fmt.Errorf("policy: unknown guard kind %d", g.Kind)
+}
+
+// idFragment renders the binding canonically, for instance identifiers.
+func (b Binding) idFragment(params []Param) string {
+	parts := make([]string, 0, len(params))
+	for _, p := range params {
+		switch p.Kind {
+		case SetParam:
+			vals := b.Sets[p.Name]
+			strs := make([]string, len(vals))
+			for i, v := range vals {
+				strs[i] = v.String()
+			}
+			parts = append(parts, p.Name+"={"+strings.Join(strs, " ")+"}")
+		case IntParam:
+			parts = append(parts, fmt.Sprintf("%s=%d", p.Name, b.Ints[p.Name]))
+		}
+	}
+	return strings.Join(parts, ",")
+}

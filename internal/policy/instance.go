@@ -1,0 +1,201 @@
+package policy
+
+import (
+	"fmt"
+
+	"susc/internal/hexpr"
+)
+
+// StateSet is a set of automaton states, as a bitmask (usage automata have
+// at most 64 states).
+type StateSet uint64
+
+// Contains reports whether state i belongs to the set.
+func (s StateSet) Contains(i int) bool { return s&(1<<uint(i)) != 0 }
+
+// instEdge is an instantiated transition: guards are closed over the
+// binding.
+type instEdge struct {
+	from, to int
+	event    string
+	arity    int
+	match    func([]hexpr.Value) (bool, error)
+}
+
+// Instance is an instantiated usage automaton: a recogniser of forbidden
+// traces over concrete events. Because guards may overlap, the recogniser
+// is nondeterministic and steps over state sets; events matched by no edge
+// leave each state unchanged (implicit self-loops), so stepping is total.
+type Instance struct {
+	id      hexpr.PolicyID
+	a       *Automaton
+	binding Binding
+	start   int
+	finals  StateSet
+	edges   []instEdge
+}
+
+// ID returns the canonical identifier of the instance, e.g.
+// "phi[bl={s1},p=45,t=100]". It is the hexpr.PolicyID under which the
+// instance is registered in a Table.
+func (in *Instance) ID() hexpr.PolicyID { return in.id }
+
+// Name returns the template name of the underlying automaton.
+func (in *Instance) Name() string { return in.a.Name }
+
+// Initial returns the singleton set holding the start state.
+func (in *Instance) Initial() StateSet { return 1 << uint(in.start) }
+
+// Final reports whether the set contains a violation state.
+func (in *Instance) Final(s StateSet) bool { return s&in.finals != 0 }
+
+// Step advances every state of the set on the event: states with matching
+// edges move to all their targets, states without stay put.
+func (in *Instance) Step(s StateSet, ev hexpr.Event) StateSet {
+	var next StateSet
+	for i := 0; i < len(in.a.States); i++ {
+		if !s.Contains(i) {
+			continue
+		}
+		moved := false
+		for _, e := range in.edges {
+			if e.from != i || e.event != ev.Name || e.arity != len(ev.Args) {
+				continue
+			}
+			ok, err := e.match(ev.Args)
+			if err != nil {
+				// Unbound parameters are rejected at instantiation; this is
+				// unreachable, but stay put rather than panic.
+				continue
+			}
+			if ok {
+				next |= 1 << uint(e.to)
+				moved = true
+			}
+		}
+		if !moved {
+			next |= 1 << uint(i)
+		}
+	}
+	return next
+}
+
+// NumStates returns the number of states of the underlying automaton.
+func (in *Instance) NumStates() int { return len(in.a.States) }
+
+// StartState returns the index of the start state.
+func (in *Instance) StartState() int { return in.start }
+
+// IsFinalState reports whether state i is a violation state.
+func (in *Instance) IsFinalState(i int) bool { return in.finals.Contains(i) }
+
+// Next returns the successor states of a single state on an event,
+// including the implicit self-loop when no edge matches. It exposes the
+// raw (nondeterministic) transition relation for automata constructions.
+func (in *Instance) Next(state int, ev hexpr.Event) []int {
+	var out []int
+	for _, e := range in.edges {
+		if e.from != state || e.event != ev.Name || e.arity != len(ev.Args) {
+			continue
+		}
+		if ok, err := e.match(ev.Args); err == nil && ok {
+			out = append(out, e.to)
+		}
+	}
+	if len(out) == 0 {
+		out = append(out, state)
+	}
+	return out
+}
+
+// Run steps the instance over a whole trace from the initial set.
+func (in *Instance) Run(trace []hexpr.Event) StateSet {
+	s := in.Initial()
+	for _, ev := range trace {
+		s = in.Step(s, ev)
+	}
+	return s
+}
+
+// Recognizes reports whether the trace is in the language of the instance,
+// i.e. whether the trace is forbidden by the policy.
+func (in *Instance) Recognizes(trace []hexpr.Event) bool {
+	return in.Final(in.Run(trace))
+}
+
+// Respects reports whether the trace obeys the policy: η♭ ⊨ φ in the
+// paper's notation, i.e. the trace is *not* recognised.
+func (in *Instance) Respects(trace []hexpr.Event) bool {
+	return !in.Recognizes(trace)
+}
+
+// ViolatingPrefix returns the length of the shortest prefix of the trace
+// recognised by the instance, or -1 when every prefix respects the policy.
+// (Validity of histories is prefix-sensitive.)
+func (in *Instance) ViolatingPrefix(trace []hexpr.Event) int {
+	s := in.Initial()
+	if in.Final(s) {
+		return 0
+	}
+	for i, ev := range trace {
+		s = in.Step(s, ev)
+		if in.Final(s) {
+			return i + 1
+		}
+	}
+	return -1
+}
+
+// Table maps policy identifiers to instantiated usage automata. It
+// implements the policy oracle needed by history validity checking
+// (internal/history) and by the model checkers.
+type Table struct {
+	m map[hexpr.PolicyID]*Instance
+}
+
+// NewTable builds a table from the given instances.
+func NewTable(instances ...*Instance) *Table {
+	t := &Table{m: map[hexpr.PolicyID]*Instance{}}
+	for _, in := range instances {
+		t.m[in.ID()] = in
+	}
+	return t
+}
+
+// Add registers an instance (overwriting any instance with the same ID).
+func (t *Table) Add(in *Instance) { t.m[in.ID()] = in }
+
+// Get returns the instance registered under id.
+func (t *Table) Get(id hexpr.PolicyID) (*Instance, error) {
+	if id == hexpr.NoPolicy {
+		return nil, fmt.Errorf("policy: the trivial policy has no instance")
+	}
+	in, ok := t.m[id]
+	if !ok {
+		return nil, fmt.Errorf("policy: unknown policy %q", id)
+	}
+	return in, nil
+}
+
+// IDs returns the registered identifiers (unordered).
+func (t *Table) IDs() []hexpr.PolicyID {
+	out := make([]hexpr.PolicyID, 0, len(t.m))
+	for id := range t.m {
+		out = append(out, id)
+	}
+	return out
+}
+
+// Violates reports whether the trace violates the policy registered under
+// id. The trivial policy is violated by no trace; unknown identifiers are
+// conservatively reported as violated.
+func (t *Table) Violates(id hexpr.PolicyID, trace []hexpr.Event) bool {
+	if id == hexpr.NoPolicy {
+		return false
+	}
+	in, ok := t.m[id]
+	if !ok {
+		return true
+	}
+	return in.Recognizes(trace)
+}

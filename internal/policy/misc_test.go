@@ -1,0 +1,91 @@
+package policy_test
+
+import (
+	"strings"
+	"testing"
+
+	"susc/internal/hexpr"
+	"susc/internal/paperex"
+	"susc/internal/policy"
+)
+
+func TestAutomatonDOT(t *testing.T) {
+	dot := paperex.BookingPolicy().DOT()
+	for _, want := range []string{
+		`digraph "phi"`, `"q6" [shape=doublecircle, color=red]`,
+		"sgn(1) when x0 not in bl", "rating(1) when x0 < t",
+	} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("automaton dot missing %q:\n%s", want, dot)
+		}
+	}
+}
+
+func TestInstanceDOT(t *testing.T) {
+	dot := paperex.Phi1().DOT()
+	if !strings.Contains(dot, `label="phi[bl={s1},p=45,t=100]"`) {
+		t.Errorf("instance dot missing binding label:\n%s", dot)
+	}
+}
+
+func TestGuardStrings(t *testing.T) {
+	cases := []struct {
+		g    policy.Guard
+		want string
+	}{
+		{policy.GAny(), "*"},
+		{policy.G(policy.InSet, "bl"), "in bl"},
+		{policy.G(policy.NotInSet, "bl"), "not in bl"},
+		{policy.G(policy.LE, "p"), "<= p"},
+		{policy.G(policy.LT, "p"), "< p"},
+		{policy.G(policy.GE, "p"), ">= p"},
+		{policy.G(policy.GT, "p"), "> p"},
+		{policy.GEq(hexpr.Int(7)), "== 7"},
+		{policy.GNe(hexpr.Sym("x")), "!= x"},
+	}
+	for _, c := range cases {
+		if got := c.g.String(); got != c.want {
+			t.Errorf("guard string = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestInstanceLowLevelAccessors(t *testing.T) {
+	in := paperex.Phi1()
+	if in.Name() != "phi" {
+		t.Errorf("Name = %q", in.Name())
+	}
+	if in.NumStates() != 6 {
+		t.Errorf("NumStates = %d", in.NumStates())
+	}
+	start := in.StartState()
+	if in.IsFinalState(start) {
+		t.Error("start must not be final")
+	}
+	// q1 --sgn(s1)--> q6 (blacklist)
+	next := in.Next(start, hexpr.E(paperex.EvSgn, hexpr.Sym("s1")))
+	if len(next) != 1 || !in.IsFinalState(next[0]) {
+		t.Errorf("Next on blacklisted sgn = %v", next)
+	}
+	// implicit self-loop on unmatched events
+	stay := in.Next(start, hexpr.E("unrelated"))
+	if len(stay) != 1 || stay[0] != start {
+		t.Errorf("Next on unrelated = %v", stay)
+	}
+}
+
+func TestEdgeString(t *testing.T) {
+	e := policy.Edge{From: "q1", To: "q6", EventName: "sgn",
+		Guards: []policy.Guard{policy.G(policy.InSet, "bl")}}
+	if s := e.String(); !strings.Contains(s, "q1") || !strings.Contains(s, "sgn") {
+		t.Errorf("edge string = %q", s)
+	}
+}
+
+func TestTableAdd(t *testing.T) {
+	tab := policy.NewTable()
+	tab.Add(paperex.Phi1())
+	if _, err := tab.Get(paperex.Phi1().ID()); err != nil {
+		t.Errorf("Get after Add: %v", err)
+	}
+}

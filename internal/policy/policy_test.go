@@ -1,0 +1,290 @@
+package policy_test
+
+import (
+	"strings"
+	"testing"
+
+	"susc/internal/hexpr"
+	"susc/internal/paperex"
+	"susc/internal/policy"
+)
+
+// hotelTrace is the event trace αsgn(id)·αp(price)·αta(rating).
+func hotelTrace(id string, price, rating int) []hexpr.Event {
+	return []hexpr.Event{
+		hexpr.E(paperex.EvSgn, hexpr.Sym(id)),
+		hexpr.E(paperex.EvPrice, hexpr.Int(price)),
+		hexpr.E(paperex.EvRating, hexpr.Int(rating)),
+	}
+}
+
+// TestFig1Phi1 reproduces the §2 claims for φ₁ = φ({s1},45,100): S1 and S4
+// violate it, S2 and S3 do not.
+func TestFig1Phi1(t *testing.T) {
+	phi1 := paperex.Phi1()
+	cases := []struct {
+		hotel   string
+		price   int
+		rating  int
+		violate bool
+	}{
+		{"s1", 45, 80, true},   // blacklisted
+		{"s2", 70, 100, false}, // price high but rating 100 ≥ 100
+		{"s3", 90, 100, false}, // price high but rating 100 ≥ 100
+		{"s4", 50, 90, true},   // price 50 > 45 and rating 90 < 100
+	}
+	for _, c := range cases {
+		got := phi1.Recognizes(hotelTrace(c.hotel, c.price, c.rating))
+		if got != c.violate {
+			t.Errorf("phi1 on %s: violate = %v, want %v", c.hotel, got, c.violate)
+		}
+	}
+}
+
+// TestFig1Phi2 reproduces the §2 claims for φ₂ = φ({s1,s3},40,70): S1 and
+// S3 violate it (blacklist), S2 and S4 do not.
+func TestFig1Phi2(t *testing.T) {
+	phi2 := paperex.Phi2()
+	cases := []struct {
+		hotel   string
+		price   int
+		rating  int
+		violate bool
+	}{
+		{"s1", 45, 80, true},   // blacklisted
+		{"s2", 70, 100, false}, // 100 ≥ 70
+		{"s3", 90, 100, true},  // blacklisted
+		{"s4", 50, 90, false},  // 90 ≥ 70
+	}
+	for _, c := range cases {
+		got := phi2.Recognizes(hotelTrace(c.hotel, c.price, c.rating))
+		if got != c.violate {
+			t.Errorf("phi2 on %s: violate = %v, want %v", c.hotel, got, c.violate)
+		}
+	}
+}
+
+func TestFig1ViolationIsAtSigningForBlacklist(t *testing.T) {
+	phi1 := paperex.Phi1()
+	trace := hotelTrace("s1", 45, 80)
+	if got := phi1.ViolatingPrefix(trace); got != 1 {
+		t.Errorf("blacklist violation should occur at the sgn event, got prefix %d", got)
+	}
+	trace = hotelTrace("s4", 50, 90)
+	if got := phi1.ViolatingPrefix(trace); got != 3 {
+		t.Errorf("threshold violation should occur at the rating event, got prefix %d", got)
+	}
+	if got := phi1.ViolatingPrefix(hotelTrace("s3", 90, 100)); got != -1 {
+		t.Errorf("s3 should never violate phi1, got prefix %d", got)
+	}
+}
+
+func TestInstanceIDsAreCanonical(t *testing.T) {
+	id1 := paperex.Phi1().ID()
+	if id1 != "phi[bl={s1},p=45,t=100]" {
+		t.Errorf("phi1 id = %q", id1)
+	}
+	if paperex.Phi1().ID() != id1 {
+		t.Error("re-instantiation must give the same ID")
+	}
+	if paperex.Phi2().ID() == id1 {
+		t.Error("different bindings must give different IDs")
+	}
+}
+
+func TestImplicitSelfLoops(t *testing.T) {
+	phi1 := paperex.Phi1()
+	// Events not mentioned by the automaton leave the state unchanged.
+	trace := []hexpr.Event{
+		hexpr.E("unrelated", hexpr.Int(1)),
+		hexpr.E(paperex.EvSgn, hexpr.Sym("s1")),
+	}
+	if !phi1.Recognizes(trace) {
+		t.Error("unrelated events must not mask a violation")
+	}
+	// An event with the right name but wrong arity is not matched.
+	trace = []hexpr.Event{hexpr.E(paperex.EvSgn)} // no args
+	if phi1.Recognizes(trace) {
+		t.Error("arity mismatch should not fire the edge")
+	}
+}
+
+func TestNondeterministicAutomaton(t *testing.T) {
+	// Overlapping guards: sgn(x) goes to both q2 and qViol when x == 7;
+	// a violation is reported when ANY run reaches a final state.
+	a := &policy.Automaton{
+		Name:   "nd",
+		States: []string{"q0", "q1", "qv"},
+		Start:  "q0",
+		Finals: []string{"qv"},
+		Edges: []policy.Edge{
+			{From: "q0", To: "q1", EventName: "sgn", Guards: []policy.Guard{policy.GAny()}},
+			{From: "q0", To: "qv", EventName: "sgn", Guards: []policy.Guard{policy.GEq(hexpr.Int(7))}},
+		},
+	}
+	in, err := a.Instantiate(policy.Binding{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !in.Recognizes([]hexpr.Event{hexpr.E("sgn", hexpr.Int(7))}) {
+		t.Error("nondeterministic violation run must be found")
+	}
+	if in.Recognizes([]hexpr.Event{hexpr.E("sgn", hexpr.Int(8))}) {
+		t.Error("sgn(8) does not reach the violation state")
+	}
+}
+
+func TestGuardKinds(t *testing.T) {
+	a := &policy.Automaton{
+		Name:   "g",
+		Params: []policy.Param{{Name: "n", Kind: policy.IntParam}},
+		States: []string{"q0", "qv"},
+		Start:  "q0",
+		Finals: []string{"qv"},
+		Edges: []policy.Edge{
+			{From: "q0", To: "qv", EventName: "lt", Guards: []policy.Guard{policy.G(policy.LT, "n")}},
+			{From: "q0", To: "qv", EventName: "ge", Guards: []policy.Guard{policy.G(policy.GE, "n")}},
+			{From: "q0", To: "qv", EventName: "ne", Guards: []policy.Guard{policy.GNe(hexpr.Sym("ok"))}},
+		},
+	}
+	in, err := a.Instantiate(policy.Binding{Ints: map[string]int{"n": 10}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checks := []struct {
+		ev   hexpr.Event
+		want bool
+	}{
+		{hexpr.E("lt", hexpr.Int(9)), true},
+		{hexpr.E("lt", hexpr.Int(10)), false},
+		{hexpr.E("ge", hexpr.Int(10)), true},
+		{hexpr.E("ge", hexpr.Int(9)), false},
+		{hexpr.E("lt", hexpr.Sym("x")), false}, // arithmetic guard on symbol
+		{hexpr.E("ne", hexpr.Sym("bad")), true},
+		{hexpr.E("ne", hexpr.Sym("ok")), false},
+	}
+	for _, c := range checks {
+		if got := in.Recognizes([]hexpr.Event{c.ev}); got != c.want {
+			t.Errorf("event %v: violate = %v, want %v", c.ev, got, c.want)
+		}
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	base := func() *policy.Automaton {
+		return &policy.Automaton{
+			Name:   "v",
+			States: []string{"q0", "q1"},
+			Start:  "q0",
+			Finals: []string{"q1"},
+		}
+	}
+	cases := []struct {
+		name   string
+		mutate func(*policy.Automaton)
+		msg    string
+	}{
+		{"no states", func(a *policy.Automaton) { a.States = nil }, "no states"},
+		{"dup state", func(a *policy.Automaton) { a.States = []string{"q0", "q0"} }, "duplicate state"},
+		{"bad start", func(a *policy.Automaton) { a.Start = "zz" }, "unknown start"},
+		{"bad final", func(a *policy.Automaton) { a.Finals = []string{"zz"} }, "unknown final"},
+		{"bad edge from", func(a *policy.Automaton) {
+			a.Edges = []policy.Edge{{From: "zz", To: "q1", EventName: "e"}}
+		}, "unknown state"},
+		{"bad edge to", func(a *policy.Automaton) {
+			a.Edges = []policy.Edge{{From: "q0", To: "zz", EventName: "e"}}
+		}, "unknown state"},
+		{"empty event", func(a *policy.Automaton) {
+			a.Edges = []policy.Edge{{From: "q0", To: "q1"}}
+		}, "empty event"},
+		{"set guard without param", func(a *policy.Automaton) {
+			a.Edges = []policy.Edge{{From: "q0", To: "q1", EventName: "e",
+				Guards: []policy.Guard{policy.G(policy.InSet, "zz")}}}
+		}, "set parameter"},
+		{"scalar guard without param", func(a *policy.Automaton) {
+			a.Edges = []policy.Edge{{From: "q0", To: "q1", EventName: "e",
+				Guards: []policy.Guard{policy.G(policy.LE, "zz")}}}
+		}, "scalar parameter"},
+		{"dup param", func(a *policy.Automaton) {
+			a.Params = []policy.Param{{Name: "p", Kind: policy.IntParam}, {Name: "p", Kind: policy.SetParam}}
+		}, "duplicate parameter"},
+	}
+	for _, c := range cases {
+		a := base()
+		c.mutate(a)
+		err := a.Validate()
+		if err == nil {
+			t.Errorf("%s: Validate should fail", c.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.msg) {
+			t.Errorf("%s: error %q should mention %q", c.name, err, c.msg)
+		}
+	}
+}
+
+func TestInstantiateMissingParams(t *testing.T) {
+	a := paperex.BookingPolicy()
+	_, err := a.Instantiate(policy.Binding{Ints: map[string]int{"p": 1, "t": 1}})
+	if err == nil || !strings.Contains(err.Error(), "missing set parameter") {
+		t.Errorf("err = %v", err)
+	}
+	_, err = a.Instantiate(policy.Binding{Sets: map[string][]hexpr.Value{"bl": nil}, Ints: map[string]int{"p": 1}})
+	if err == nil || !strings.Contains(err.Error(), "missing scalar parameter") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestTable(t *testing.T) {
+	tab := paperex.Policies()
+	phi1 := paperex.Phi1()
+	if tab.Violates(hexpr.NoPolicy, hotelTrace("s1", 1, 1)) {
+		t.Error("trivial policy never violated")
+	}
+	if !tab.Violates("no-such-policy", nil) {
+		t.Error("unknown policy must be conservatively violated")
+	}
+	if !tab.Violates(phi1.ID(), hotelTrace("s1", 45, 80)) {
+		t.Error("phi1 violated by s1")
+	}
+	if tab.Violates(phi1.ID(), hotelTrace("s3", 90, 100)) {
+		t.Error("phi1 not violated by s3")
+	}
+	got, err := tab.Get(phi1.ID())
+	if err != nil || got.ID() != phi1.ID() {
+		t.Errorf("Get = %v, %v", got, err)
+	}
+	if _, err := tab.Get(hexpr.NoPolicy); err == nil {
+		t.Error("Get(NoPolicy) should fail")
+	}
+	if _, err := tab.Get("zzz"); err == nil {
+		t.Error("Get(zzz) should fail")
+	}
+	if n := len(tab.IDs()); n != 2 {
+		t.Errorf("IDs = %d entries, want 2", n)
+	}
+}
+
+func TestRespectsIsNegationOfRecognizes(t *testing.T) {
+	phi1 := paperex.Phi1()
+	for _, tr := range [][]hexpr.Event{
+		hotelTrace("s1", 45, 80),
+		hotelTrace("s3", 90, 100),
+		nil,
+	} {
+		if phi1.Respects(tr) == phi1.Recognizes(tr) {
+			t.Errorf("Respects and Recognizes must be complementary on %v", tr)
+		}
+	}
+}
+
+func TestMaxStatesEnforced(t *testing.T) {
+	states := make([]string, policy.MaxStates+1)
+	for i := range states {
+		states[i] = string(rune('a'+i%26)) + string(rune('0'+i/26))
+	}
+	a := &policy.Automaton{Name: "big", States: states, Start: states[0]}
+	if err := a.Validate(); err == nil || !strings.Contains(err.Error(), "exceed") {
+		t.Errorf("err = %v", err)
+	}
+}

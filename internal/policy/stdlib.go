@@ -1,0 +1,90 @@
+package policy
+
+import "fmt"
+
+// This file offers canonical policy templates as one-call constructors.
+// They are ordinary usage automata — everything the toolkit does to a
+// hand-written policy applies to them.
+
+// Never forbids any occurrence of the event (matched by name and arity).
+func Never(name, eventName string, arity int) *Automaton {
+	guards := anyGuards(arity)
+	return &Automaton{
+		Name:   name,
+		States: []string{"q0", "qv"},
+		Start:  "q0",
+		Finals: []string{"qv"},
+		Edges: []Edge{
+			{From: "q0", To: "qv", EventName: eventName, Guards: guards},
+		},
+	}
+}
+
+// NeverAfter forbids any `then` event once a `first` event has occurred —
+// the classic "never write after read" shape of the paper's §3.
+func NeverAfter(name, first string, firstArity int, then string, thenArity int) *Automaton {
+	return &Automaton{
+		Name:   name,
+		States: []string{"q0", "armed", "qv"},
+		Start:  "q0",
+		Finals: []string{"qv"},
+		Edges: []Edge{
+			{From: "q0", To: "armed", EventName: first, Guards: anyGuards(firstArity)},
+			{From: "armed", To: "qv", EventName: then, Guards: anyGuards(thenArity)},
+		},
+	}
+}
+
+// MutualExclusion forbids both events occurring in the same history, in
+// either order.
+func MutualExclusion(name, a string, aArity int, b string, bArity int) *Automaton {
+	return &Automaton{
+		Name:   name,
+		States: []string{"q0", "sawA", "sawB", "qv"},
+		Start:  "q0",
+		Finals: []string{"qv"},
+		Edges: []Edge{
+			{From: "q0", To: "sawA", EventName: a, Guards: anyGuards(aArity)},
+			{From: "q0", To: "sawB", EventName: b, Guards: anyGuards(bArity)},
+			{From: "sawA", To: "qv", EventName: b, Guards: anyGuards(bArity)},
+			{From: "sawB", To: "qv", EventName: a, Guards: anyGuards(aArity)},
+		},
+	}
+}
+
+// RequireBefore forbids the `gated` event unless `enabler` has occurred
+// first (e.g. "no ship before paid").
+func RequireBefore(name, enabler string, enablerArity int, gated string, gatedArity int) *Automaton {
+	return &Automaton{
+		Name:   name,
+		States: []string{"q0", "enabled", "qv"},
+		Start:  "q0",
+		Finals: []string{"qv"},
+		Edges: []Edge{
+			{From: "q0", To: "enabled", EventName: enabler, Guards: anyGuards(enablerArity)},
+			{From: "q0", To: "qv", EventName: gated, Guards: anyGuards(gatedArity)},
+		},
+	}
+}
+
+// anyGuards builds n unconstrained guards.
+func anyGuards(n int) []Guard {
+	if n == 0 {
+		return nil
+	}
+	out := make([]Guard, n)
+	for i := range out {
+		out[i] = GAny()
+	}
+	return out
+}
+
+// MustInstance instantiates a parameterless template, panicking on error —
+// the stdlib templates take no parameters, so this is their one-liner.
+func MustInstance(a *Automaton) *Instance {
+	in, err := a.Instantiate(Binding{})
+	if err != nil {
+		panic(fmt.Sprintf("policy: %v", err))
+	}
+	return in
+}

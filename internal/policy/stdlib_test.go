@@ -1,0 +1,100 @@
+package policy_test
+
+import (
+	"testing"
+
+	"susc/internal/hexpr"
+	"susc/internal/policy"
+)
+
+func ev0(names ...string) []hexpr.Event {
+	out := make([]hexpr.Event, len(names))
+	for i, n := range names {
+		out[i] = hexpr.E(n)
+	}
+	return out
+}
+
+func TestNever(t *testing.T) {
+	in := policy.MustInstance(policy.Never("noRm", "rm", 0))
+	if in.Recognizes(ev0("ls", "cat")) {
+		t.Error("unrelated events must pass")
+	}
+	if !in.Recognizes(ev0("ls", "rm")) {
+		t.Error("rm must violate")
+	}
+}
+
+func TestNeverAfter(t *testing.T) {
+	in := policy.MustInstance(policy.NeverAfter("nwar", "read", 0, "write", 0))
+	cases := []struct {
+		trace   []string
+		violate bool
+	}{
+		{[]string{"write"}, false},
+		{[]string{"write", "read"}, false},
+		{[]string{"read", "write"}, true},
+		{[]string{"write", "read", "write"}, true},
+		{[]string{"read", "read"}, false},
+	}
+	for _, c := range cases {
+		if got := in.Recognizes(ev0(c.trace...)); got != c.violate {
+			t.Errorf("trace %v: violate = %v, want %v", c.trace, got, c.violate)
+		}
+	}
+}
+
+func TestMutualExclusion(t *testing.T) {
+	in := policy.MustInstance(policy.MutualExclusion("mx", "euApi", 0, "usApi", 0))
+	cases := []struct {
+		trace   []string
+		violate bool
+	}{
+		{[]string{"euApi", "euApi"}, false},
+		{[]string{"usApi"}, false},
+		{[]string{"euApi", "usApi"}, true},
+		{[]string{"usApi", "other", "euApi"}, true},
+	}
+	for _, c := range cases {
+		if got := in.Recognizes(ev0(c.trace...)); got != c.violate {
+			t.Errorf("trace %v: violate = %v, want %v", c.trace, got, c.violate)
+		}
+	}
+}
+
+func TestRequireBefore(t *testing.T) {
+	in := policy.MustInstance(policy.RequireBefore("payFirst", "paid", 0, "ship", 0))
+	if !in.Recognizes(ev0("ship")) {
+		t.Error("ship before paid must violate")
+	}
+	if in.Recognizes(ev0("paid", "ship", "ship")) {
+		t.Error("ship after paid must pass")
+	}
+}
+
+func TestStdlibTemplatesValidate(t *testing.T) {
+	for _, a := range []*policy.Automaton{
+		policy.Never("a", "e", 2),
+		policy.NeverAfter("b", "x", 1, "y", 0),
+		policy.MutualExclusion("c", "x", 0, "y", 3),
+		policy.RequireBefore("d", "x", 0, "y", 1),
+	} {
+		if err := a.Validate(); err != nil {
+			t.Errorf("%s: %v", a.Name, err)
+		}
+	}
+}
+
+func TestMustInstancePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustInstance should panic on a parameterised template")
+		}
+	}()
+	policy.MustInstance(&policy.Automaton{
+		Name:   "broken",
+		Params: []policy.Param{{Name: "p", Kind: policy.IntParam}},
+		States: []string{"q"},
+		Start:  "q",
+	})
+}

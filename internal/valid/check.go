@@ -1,0 +1,184 @@
+package valid
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"susc/internal/hexpr"
+	"susc/internal/history"
+	"susc/internal/lts"
+	"susc/internal/policy"
+)
+
+// Violation is a counterexample to validity: a history of the expression
+// whose final item violates an active policy.
+type Violation struct {
+	Policy hexpr.PolicyID
+	Trace  history.History
+}
+
+func (v *Violation) Error() string {
+	return fmt.Sprintf("valid: policy %s violated by history %q", v.Policy, v.Trace.String())
+}
+
+// Check statically verifies that every history the expression can produce
+// is valid: it explores the product of the expression's LTS with the state
+// sets of every policy automaton the expression mentions, running each
+// automaton from the very start (the approach is history-dependent).
+// Communication labels are skipped (they log nothing); session open/close
+// log policy activations exactly as the network rules do.
+//
+// It returns nil when the expression is valid, a *Violation with a
+// shortest offending history otherwise, and a different error when a
+// mentioned policy is not in the table.
+func Check(e hexpr.Expr, table *policy.Table) error {
+	l, err := lts.Build(e)
+	if err != nil {
+		return err
+	}
+	ids := hexpr.Policies(e)
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	instances := make([]*policy.Instance, len(ids))
+	idIndex := map[hexpr.PolicyID]int{}
+	for i, id := range ids {
+		in, err := table.Get(id)
+		if err != nil {
+			return err
+		}
+		instances[i] = in
+		idIndex[id] = i
+	}
+
+	// nodes record their BFS parent and the logged item, so violating
+	// histories are reconstructed on demand instead of copied per state
+	// (keeping exploration linear in the state count).
+	type node struct {
+		expr   int
+		states []policy.StateSet
+		active []int
+		parent *node
+		item   *history.Item
+	}
+	rebuild := func(n *node, last history.Item) history.History {
+		var rev history.History
+		rev = append(rev, last)
+		for cur := n; cur != nil; cur = cur.parent {
+			if cur.item != nil {
+				rev = append(rev, *cur.item)
+			}
+		}
+		out := make(history.History, 0, len(rev))
+		for i := len(rev) - 1; i >= 0; i-- {
+			out = append(out, rev[i])
+		}
+		return out
+	}
+	key := func(n *node) string {
+		var b strings.Builder
+		b.WriteString(strconv.Itoa(n.expr))
+		for i := range n.states {
+			b.WriteByte('|')
+			b.WriteString(strconv.FormatUint(uint64(n.states[i]), 16))
+			b.WriteByte(':')
+			b.WriteString(strconv.Itoa(n.active[i]))
+		}
+		return b.String()
+	}
+
+	start := &node{
+		expr:   0,
+		states: make([]policy.StateSet, len(ids)),
+		active: make([]int, len(ids)),
+	}
+	for i, in := range instances {
+		start.states[i] = in.Initial()
+	}
+	seen := map[string]bool{key(start): true}
+	queue := []*node{start}
+
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		for _, edge := range l.Edges[n.expr] {
+			next, item, bad := step(n.states, n.active, instances, idIndex, edge.Label)
+			if bad != hexpr.NoPolicy {
+				return &Violation{Policy: bad, Trace: rebuild(n, *item)}
+			}
+			nn := &node{expr: edge.To, states: next.states, active: next.active,
+				parent: n, item: item}
+			k := key(nn)
+			if !seen[k] {
+				seen[k] = true
+				queue = append(queue, nn)
+			}
+		}
+	}
+	return nil
+}
+
+type policyVec struct {
+	states []policy.StateSet
+	active []int
+}
+
+// step advances the policy vector over one transition label. It returns
+// the new vector, the history item logged (nil when the label logs
+// nothing), and the violated policy if the step is invalid.
+func step(states []policy.StateSet, active []int, instances []*policy.Instance,
+	idIndex map[hexpr.PolicyID]int, label hexpr.Label) (policyVec, *history.Item, hexpr.PolicyID) {
+
+	out := policyVec{
+		states: append([]policy.StateSet(nil), states...),
+		active: append([]int(nil), active...),
+	}
+	switch label.Kind {
+	case hexpr.LEvent:
+		it := history.EventItem(label.Event)
+		for i, in := range instances {
+			out.states[i] = in.Step(out.states[i], label.Event)
+			if out.active[i] > 0 && in.Final(out.states[i]) {
+				return out, &it, in.ID()
+			}
+		}
+		return out, &it, hexpr.NoPolicy
+	case hexpr.LFrameOpen, hexpr.LOpen:
+		if label.Policy == hexpr.NoPolicy {
+			return out, nil, hexpr.NoPolicy
+		}
+		it := history.OpenItem(label.Policy)
+		i := idIndex[label.Policy]
+		// History dependence: the past must already respect the policy.
+		if instances[i].Final(out.states[i]) {
+			return out, &it, label.Policy
+		}
+		out.active[i]++
+		return out, &it, hexpr.NoPolicy
+	case hexpr.LFrameClose, hexpr.LClose:
+		if label.Policy == hexpr.NoPolicy {
+			return out, nil, hexpr.NoPolicy
+		}
+		it := history.CloseItem(label.Policy)
+		i := idIndex[label.Policy]
+		if out.active[i] > 0 {
+			out.active[i]--
+		}
+		return out, &it, hexpr.NoPolicy
+	default:
+		// communications and τ log nothing
+		return out, nil, hexpr.NoPolicy
+	}
+}
+
+// Valid reports whether every history of e is valid; see Check.
+func Valid(e hexpr.Expr, table *policy.Table) (bool, error) {
+	err := Check(e, table)
+	if err == nil {
+		return true, nil
+	}
+	if _, ok := err.(*Violation); ok {
+		return false, nil
+	}
+	return false, err
+}

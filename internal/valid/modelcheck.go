@@ -1,0 +1,225 @@
+package valid
+
+import (
+	"fmt"
+	"strings"
+
+	"susc/internal/autom"
+	"susc/internal/hexpr"
+	"susc/internal/history"
+	"susc/internal/lts"
+	"susc/internal/policy"
+)
+
+// Symbol encoding for the finite alphabets of the model-checking pipeline.
+const (
+	symEvent      = "e:"
+	symFrameOpen  = "[:"
+	symFrameClose = "]:"
+)
+
+// EncodeItem renders a history item as an alphabet symbol.
+func EncodeItem(it history.Item) string {
+	switch it.Kind {
+	case history.ItemEvent:
+		return symEvent + it.Event.String()
+	case history.ItemFrameOpen:
+		return symFrameOpen + string(it.Policy)
+	default:
+		return symFrameClose + string(it.Policy)
+	}
+}
+
+// labelSymbol maps a transition label to its alphabet symbol; ok is false
+// for labels that log nothing (communications, τ, trivial policies).
+func labelSymbol(l hexpr.Label) (string, bool) {
+	switch l.Kind {
+	case hexpr.LEvent:
+		return symEvent + l.Event.String(), true
+	case hexpr.LFrameOpen, hexpr.LOpen:
+		if l.Policy == hexpr.NoPolicy {
+			return "", false
+		}
+		return symFrameOpen + string(l.Policy), true
+	case hexpr.LFrameClose, hexpr.LClose:
+		if l.Policy == hexpr.NoPolicy {
+			return "", false
+		}
+		return symFrameClose + string(l.Policy), true
+	}
+	return "", false
+}
+
+// HistoryNFA renders the prefix-closed history language of the expression
+// as an NFA over event/framing symbols: transitions that log nothing are
+// ε-eliminated, and every state accepts (histories are prefixes).
+func HistoryNFA(e hexpr.Expr) (*autom.NFA, error) {
+	l, err := lts.Build(e)
+	if err != nil {
+		return nil, err
+	}
+	// ε-closure over silent edges
+	closure := make([][]int, l.Len())
+	for s := 0; s < l.Len(); s++ {
+		seen := map[int]bool{s: true}
+		stack := []int{s}
+		for len(stack) > 0 {
+			x := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, edge := range l.Edges[x] {
+				if _, logged := labelSymbol(edge.Label); !logged && !seen[edge.To] {
+					seen[edge.To] = true
+					stack = append(stack, edge.To)
+				}
+			}
+		}
+		for x := range seen {
+			closure[s] = append(closure[s], x)
+		}
+	}
+	n := autom.NewNFA()
+	for s := 1; s < l.Len(); s++ {
+		n.AddState()
+	}
+	for s := 0; s < l.Len(); s++ {
+		n.SetAccept(s, true)
+		for _, x := range closure[s] {
+			for _, edge := range l.Edges[x] {
+				if sym, logged := labelSymbol(edge.Label); logged {
+					n.AddEdge(s, sym, edge.To)
+				}
+			}
+		}
+	}
+	return n, nil
+}
+
+// FramedPolicyNFA builds, over the given alphabet pieces, the automaton
+// accepting exactly the histories that violate the instance: runs of the
+// usage automaton (from the start of the history) paired with the
+// activation flag of the policy, accepting when the policy is active on a
+// violation state. The expression feeding the product must be regularized,
+// so the activation flag is boolean.
+func FramedPolicyNFA(in *policy.Instance, events []hexpr.Event, frames []hexpr.PolicyID) *autom.NFA {
+	n := autom.NewNFA()
+	// state (q, active) encoded as q*2 + active; state 0 is (start, 0) —
+	// reindex so that the NFA start (always 0) is the encoded start state.
+	id := func(q, active int) int { return q*2 + active }
+	total := in.NumStates() * 2
+	for i := 1; i < total; i++ {
+		n.AddState()
+	}
+	// autom.NewNFA starts at 0; we need (in.StartState(), 0): swap roles by
+	// setting the start explicitly.
+	n.SetStart(id(in.StartState(), 0))
+	for q := 0; q < in.NumStates(); q++ {
+		for _, act := range []int{0, 1} {
+			s := id(q, act)
+			if act == 1 && in.IsFinalState(q) {
+				n.SetAccept(s, true)
+			}
+			for _, ev := range events {
+				sym := symEvent + ev.String()
+				for _, q2 := range in.Next(q, ev) {
+					n.AddEdge(s, sym, id(q2, act))
+				}
+			}
+			for _, f := range frames {
+				open := symFrameOpen + string(f)
+				closeSym := symFrameClose + string(f)
+				if f == in.ID() {
+					if act == 0 {
+						n.AddEdge(s, open, id(q, 1))
+					} else {
+						n.AddEdge(s, closeSym, id(q, 0))
+					}
+				} else {
+					n.AddEdge(s, open, s)
+					n.AddEdge(s, closeSym, s)
+				}
+			}
+		}
+	}
+	return n
+}
+
+// ModelCheck decides validity of the expression through the literal
+// finite-state pipeline of the paper: regularize the framings, extract the
+// history-prefix NFA, intersect with each framed policy automaton, and
+// report the shortest accepted word of the intersection as the violating
+// history. It always agrees with Check (the tests verify the agreement).
+func ModelCheck(e hexpr.Expr, table *policy.Table) error {
+	reg := Regularize(e)
+	hn, err := HistoryNFA(reg)
+	if err != nil {
+		return err
+	}
+	events := hexpr.Events(reg)
+	frames := hexpr.Policies(reg)
+	// combined alphabet
+	var alphabet []string
+	for _, ev := range events {
+		alphabet = append(alphabet, symEvent+ev.String())
+	}
+	for _, f := range frames {
+		alphabet = append(alphabet, symFrameOpen+string(f), symFrameClose+string(f))
+	}
+	hd := hn.Determinize(alphabet)
+	for _, f := range frames {
+		in, err := table.Get(f)
+		if err != nil {
+			return err
+		}
+		bad := FramedPolicyNFA(in, events, frames).Determinize(alphabet)
+		inter := hd.Intersect(bad)
+		if word := inter.AcceptingPath(); word != nil {
+			return &Violation{Policy: f, Trace: decodeWord(word)}
+		}
+	}
+	return nil
+}
+
+// decodeWord turns alphabet symbols back into a history.
+func decodeWord(word []string) history.History {
+	h := make(history.History, 0, len(word))
+	for _, sym := range word {
+		switch {
+		case strings.HasPrefix(sym, symEvent):
+			ev, err := parseEventSymbol(strings.TrimPrefix(sym, symEvent))
+			if err == nil {
+				h = append(h, history.EventItem(ev))
+			}
+		case strings.HasPrefix(sym, symFrameOpen):
+			h = append(h, history.OpenItem(hexpr.PolicyID(strings.TrimPrefix(sym, symFrameOpen))))
+		case strings.HasPrefix(sym, symFrameClose):
+			h = append(h, history.CloseItem(hexpr.PolicyID(strings.TrimPrefix(sym, symFrameClose))))
+		}
+	}
+	return h
+}
+
+// parseEventSymbol parses "name(a,b)" back into an event.
+func parseEventSymbol(s string) (hexpr.Event, error) {
+	open := strings.IndexByte(s, '(')
+	if open < 0 {
+		return hexpr.E(s), nil
+	}
+	if !strings.HasSuffix(s, ")") {
+		return hexpr.Event{}, fmt.Errorf("valid: malformed event symbol %q", s)
+	}
+	name := s[:open]
+	argsStr := s[open+1 : len(s)-1]
+	if argsStr == "" {
+		return hexpr.E(name), nil
+	}
+	parts := strings.Split(argsStr, ",")
+	args := make([]hexpr.Value, len(parts))
+	for i, p := range parts {
+		v, err := hexpr.ParseValue(strings.TrimSpace(p))
+		if err != nil {
+			return hexpr.Event{}, err
+		}
+		args[i] = v
+	}
+	return hexpr.Event{Name: name, Args: args}, nil
+}

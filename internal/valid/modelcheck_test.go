@@ -1,0 +1,119 @@
+package valid_test
+
+import (
+	"testing"
+
+	"susc/internal/hexpr"
+	"susc/internal/history"
+	"susc/internal/paperex"
+	"susc/internal/policy"
+	"susc/internal/valid"
+)
+
+func TestHistoryNFAAcceptsExactlyThePrefixes(t *testing.T) {
+	// φ[sgn(s1)] · price(45): histories are all prefixes of
+	// ⌊φ sgn(s1) ⌋φ price(45)
+	phi := paperex.Phi1().ID()
+	e := hexpr.Cat(
+		hexpr.Frame(phi, hexpr.Act(hexpr.E("sgn", hexpr.Sym("s1")))),
+		hexpr.Act(hexpr.E("price", hexpr.Int(45))),
+	)
+	n, err := valid.HistoryNFA(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := history.History{
+		history.OpenItem(phi),
+		history.EventItem(hexpr.E("sgn", hexpr.Sym("s1"))),
+		history.CloseItem(phi),
+		history.EventItem(hexpr.E("price", hexpr.Int(45))),
+	}
+	word := func(h history.History) []string {
+		out := make([]string, len(h))
+		for i, it := range h {
+			out[i] = valid.EncodeItem(it)
+		}
+		return out
+	}
+	for i := 0; i <= len(full); i++ {
+		if !n.Accepts(word(full[:i])) {
+			t.Errorf("prefix of length %d not accepted", i)
+		}
+	}
+	// out-of-order histories are not
+	bad := history.History{full[1], full[0]}
+	if n.Accepts(word(bad)) {
+		t.Error("reordered history accepted")
+	}
+	// and a history with a foreign event is not
+	other := history.History{history.EventItem(hexpr.E("zzz"))}
+	if n.Accepts(word(other)) {
+		t.Error("foreign event accepted")
+	}
+}
+
+func TestHistoryNFAElidesCommunications(t *testing.T) {
+	// a? . sgn(1): the communication is silent, the event visible
+	e := hexpr.RecvThen("a", hexpr.Act(hexpr.E("sgn", hexpr.Int(1))))
+	n, err := valid.HistoryNFA(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !n.Accepts([]string{valid.EncodeItem(history.EventItem(hexpr.E("sgn", hexpr.Int(1))))}) {
+		t.Error("event behind a communication must be reachable silently")
+	}
+}
+
+func TestFramedPolicyNFARecognisesViolations(t *testing.T) {
+	phi1 := paperex.Phi1()
+	events := []hexpr.Event{
+		hexpr.E("sgn", hexpr.Sym("s1")),
+		hexpr.E("sgn", hexpr.Sym("s3")),
+	}
+	frames := []hexpr.PolicyID{phi1.ID()}
+	n := valid.FramedPolicyNFA(phi1, events, frames)
+	enc := func(items ...history.Item) []string {
+		out := make([]string, len(items))
+		for i, it := range items {
+			out[i] = valid.EncodeItem(it)
+		}
+		return out
+	}
+	// blacklisted sgn while φ active: violation (accepted)
+	if !n.Accepts(enc(history.OpenItem(phi1.ID()), history.EventItem(events[0]))) {
+		t.Error("active blacklist violation not recognised")
+	}
+	// the same event with φ inactive: not a violation
+	if n.Accepts(enc(history.EventItem(events[0]))) {
+		t.Error("inactive policy must not flag")
+	}
+	// history dependence: event first, then activation → violation at ⌊φ
+	if !n.Accepts(enc(history.EventItem(events[0]), history.OpenItem(phi1.ID()))) {
+		t.Error("activation over a violating past not recognised")
+	}
+	// a clean hotel never violates
+	if n.Accepts(enc(history.OpenItem(phi1.ID()), history.EventItem(events[1]))) {
+		t.Error("s3 should not violate phi1")
+	}
+	// deactivation forgives the future, not the past
+	if n.Accepts(enc(
+		history.OpenItem(phi1.ID()), history.CloseItem(phi1.ID()),
+		history.EventItem(events[0]))) {
+		t.Error("event after deactivation must not flag")
+	}
+}
+
+func TestModelCheckOnSessionAnnotatedExpressions(t *testing.T) {
+	// open_{r,φ} logs ⌊φ like the network does: a violating event inside
+	// the session body is caught by the pipeline too.
+	phi1 := paperex.Phi1()
+	table := policy.NewTable(phi1)
+	bad := hexpr.Open("r1", phi1.ID(), hexpr.Act(hexpr.E("sgn", hexpr.Sym("s1"))))
+	if err := valid.ModelCheck(bad, table); err == nil {
+		t.Error("session-scoped violation must be found")
+	}
+	good := hexpr.Open("r1", phi1.ID(), hexpr.Act(hexpr.E("sgn", hexpr.Sym("s3"))))
+	if err := valid.ModelCheck(good, table); err != nil {
+		t.Errorf("clean session flagged: %v", err)
+	}
+}

@@ -1,0 +1,130 @@
+// Package valid statically verifies the validity of (the histories of) a
+// history expression against its security policies — the §3.1 machinery of
+// the paper, inherited from Bartoletti–Degano–Ferrari. Because of framing
+// nesting, validity is not a regular property of the raw expression; the
+// semantics-preserving *regularization* removes redundant re-activations
+// of already-active policies, after which validity is decidable by
+// standard finite-state model checking.
+//
+// Two deciders are provided and cross-checked by the tests:
+//
+//   - Check: a direct product exploration of the expression's LTS with the
+//     (nondeterministic) policy automata run from the start of the history
+//     — exact, and independent of regularization;
+//   - ModelCheck: the literal pipeline of the paper — history-prefix NFA of
+//     the expression, framed policy automata over a concrete alphabet,
+//     product and emptiness via the autom substrate (the LocUsT role).
+package valid
+
+import (
+	"susc/internal/hexpr"
+)
+
+// Regularize removes redundant policy framings: inside φ[…], any nested
+// framing of the same φ is dropped (its body is kept), and framings of the
+// trivial policy disappear. Sessions open_{r,φ} keep their node but their
+// bodies are regularized under φ active, matching the network semantics in
+// which the session opening activates φ.
+//
+// Regularization preserves the flattened histories and the validity of
+// every history of the expression (the [5,4] transformation): a nested
+// re-activation of an active policy enforces nothing new, since validity
+// already demands every prefix respect the active policy.
+func Regularize(e hexpr.Expr) hexpr.Expr {
+	return regularize(e, map[hexpr.PolicyID]bool{})
+}
+
+func regularize(e hexpr.Expr, active map[hexpr.PolicyID]bool) hexpr.Expr {
+	switch t := e.(type) {
+	case hexpr.Nil, hexpr.Var, hexpr.Ev, hexpr.CloseTag, hexpr.FrameClose:
+		return e
+	case hexpr.Seq:
+		return hexpr.Cat(regularize(t.Left, active), regularize(t.Right, active))
+	case hexpr.Rec:
+		return hexpr.Mu(t.Name, regularize(t.Body, active))
+	case hexpr.ExtChoice:
+		return hexpr.Ext(regularizeBranches(t.Branches, active)...)
+	case hexpr.IntChoice:
+		return hexpr.IntCh(regularizeBranches(t.Branches, active)...)
+	case hexpr.Session:
+		if t.Policy == hexpr.NoPolicy || active[t.Policy] {
+			// The policy adds nothing (trivial or already enforced): keep the
+			// session but demote its policy to trivial inside an active scope.
+			pol := t.Policy
+			if active[pol] {
+				pol = hexpr.NoPolicy
+			}
+			return hexpr.Open(t.Req, pol, regularize(t.Body, active))
+		}
+		active[t.Policy] = true
+		body := regularize(t.Body, active)
+		delete(active, t.Policy)
+		return hexpr.Open(t.Req, t.Policy, body)
+	case hexpr.Framing:
+		if t.Policy == hexpr.NoPolicy || active[t.Policy] {
+			return regularize(t.Body, active)
+		}
+		active[t.Policy] = true
+		body := regularize(t.Body, active)
+		delete(active, t.Policy)
+		return hexpr.Frame(t.Policy, body)
+	}
+	panic("valid: unknown expression in Regularize")
+}
+
+func regularizeBranches(bs []hexpr.Branch, active map[hexpr.PolicyID]bool) []hexpr.Branch {
+	out := make([]hexpr.Branch, len(bs))
+	for i, b := range bs {
+		out[i] = hexpr.Branch{Comm: b.Comm, Cont: regularize(b.Cont, active)}
+	}
+	return out
+}
+
+// FramingDepth returns the maximum static nesting depth of framings (and
+// session policies) in e; after Regularize, no policy contributes more
+// than one level per scope.
+func FramingDepth(e hexpr.Expr) int {
+	var depth func(hexpr.Expr) int
+	depth = func(e hexpr.Expr) int {
+		switch t := e.(type) {
+		case hexpr.Seq:
+			return max(depth(t.Left), depth(t.Right))
+		case hexpr.Rec:
+			return depth(t.Body)
+		case hexpr.ExtChoice:
+			d := 0
+			for _, b := range t.Branches {
+				d = max(d, depth(b.Cont))
+			}
+			return d
+		case hexpr.IntChoice:
+			d := 0
+			for _, b := range t.Branches {
+				d = max(d, depth(b.Cont))
+			}
+			return d
+		case hexpr.Session:
+			d := depth(t.Body)
+			if t.Policy != hexpr.NoPolicy {
+				d++
+			}
+			return d
+		case hexpr.Framing:
+			d := depth(t.Body)
+			if t.Policy != hexpr.NoPolicy {
+				d++
+			}
+			return d
+		default:
+			return 0
+		}
+	}
+	return depth(e)
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

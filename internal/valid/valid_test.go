@@ -1,0 +1,321 @@
+package valid_test
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"susc/internal/hexpr"
+	"susc/internal/history"
+	"susc/internal/paperex"
+	"susc/internal/policy"
+	"susc/internal/valid"
+)
+
+// nwar builds the "never write after read" policy instance.
+func nwar() *policy.Instance {
+	a := &policy.Automaton{
+		Name:   "nwar",
+		States: []string{"q0", "q1", "qv"},
+		Start:  "q0",
+		Finals: []string{"qv"},
+		Edges: []policy.Edge{
+			{From: "q0", To: "q1", EventName: "read"},
+			{From: "q1", To: "qv", EventName: "write"},
+		},
+	}
+	return a.MustInstantiate(policy.Binding{})
+}
+
+func read() hexpr.Expr  { return hexpr.Act(hexpr.E("read")) }
+func write() hexpr.Expr { return hexpr.Act(hexpr.E("write")) }
+
+func TestCheckSimpleViolation(t *testing.T) {
+	phi := nwar()
+	table := policy.NewTable(phi)
+	bad := hexpr.Frame(phi.ID(), hexpr.Cat(read(), write()))
+	err := valid.Check(bad, table)
+	var v *valid.Violation
+	if !errors.As(err, &v) {
+		t.Fatalf("err = %v, want Violation", err)
+	}
+	if v.Policy != phi.ID() {
+		t.Errorf("policy = %s", v.Policy)
+	}
+	good := hexpr.Cat(hexpr.Frame(phi.ID(), read()), write())
+	if err := valid.Check(good, table); err != nil {
+		t.Errorf("φ[read]·write is valid: %v", err)
+	}
+}
+
+func TestCheckHistoryDependence(t *testing.T) {
+	phi := nwar()
+	table := policy.NewTable(phi)
+	// read·write outside the framing, then activate φ: the activation must
+	// fail because the past does not respect φ.
+	bad := hexpr.Cat(read(), write(), hexpr.Frame(phi.ID(), hexpr.Act(hexpr.E("other"))))
+	var v *valid.Violation
+	if !errors.As(valid.Check(bad, table), &v) {
+		t.Fatal("activating φ over a violating past must be invalid")
+	}
+	// read before the framing, write inside: still a violation (history
+	// dependence: the read is remembered).
+	bad2 := hexpr.Cat(read(), hexpr.Frame(phi.ID(), write()))
+	if !errors.As(valid.Check(bad2, table), &v) {
+		t.Fatal("read·φ[write] must be invalid")
+	}
+}
+
+func TestCheckBranching(t *testing.T) {
+	phi := nwar()
+	table := policy.NewTable(phi)
+	// only one branch violates: the expression is still invalid
+	e := hexpr.Frame(phi.ID(), hexpr.Cat(read(),
+		hexpr.Ext(
+			hexpr.B(hexpr.In("ok"), hexpr.Eps()),
+			hexpr.B(hexpr.In("oops"), write()),
+		)))
+	if ok, err := valid.Valid(e, table); err != nil || ok {
+		t.Errorf("branching violation must be found: ok=%v err=%v", ok, err)
+	}
+	// no branch violates
+	e2 := hexpr.Frame(phi.ID(), hexpr.Cat(read(),
+		hexpr.Ext(
+			hexpr.B(hexpr.In("ok"), hexpr.Eps()),
+			hexpr.B(hexpr.In("oops"), read()),
+		)))
+	if ok, err := valid.Valid(e2, table); err != nil || !ok {
+		t.Errorf("no violation expected: ok=%v err=%v", ok, err)
+	}
+}
+
+func TestCheckRecursionWithPolicies(t *testing.T) {
+	phi := nwar()
+	table := policy.NewTable(phi)
+	// μh. (loop?.(read·h) + stop?) under φ: reads forever, never writes — valid
+	e := hexpr.Frame(phi.ID(), hexpr.Mu("h", hexpr.Ext(
+		hexpr.B(hexpr.In("loop"), hexpr.Cat(read(), hexpr.V("h"))),
+		hexpr.B(hexpr.In("stop"), hexpr.Eps()),
+	)))
+	if ok, err := valid.Valid(e, table); err != nil || !ok {
+		t.Errorf("recursive reads are valid: ok=%v err=%v", ok, err)
+	}
+	// a write somewhere in the loop makes it invalid
+	e2 := hexpr.Frame(phi.ID(), hexpr.Mu("h", hexpr.Ext(
+		hexpr.B(hexpr.In("loop"), hexpr.Cat(read(), hexpr.V("h"))),
+		hexpr.B(hexpr.In("w"), hexpr.Cat(write(), hexpr.V("h"))),
+		hexpr.B(hexpr.In("stop"), hexpr.Eps()),
+	)))
+	if ok, err := valid.Valid(e2, table); err != nil || ok {
+		t.Errorf("write in loop is invalid: ok=%v err=%v", ok, err)
+	}
+}
+
+func TestCheckUnknownPolicy(t *testing.T) {
+	table := policy.NewTable()
+	e := hexpr.Frame("ghost", hexpr.Eps())
+	err := valid.Check(e, table)
+	if err == nil {
+		t.Fatal("unknown policy must error")
+	}
+	var v *valid.Violation
+	if errors.As(err, &v) {
+		t.Fatal("unknown policy is a hard error, not a violation")
+	}
+}
+
+func TestRegularizeDropsNestedFraming(t *testing.T) {
+	phi := nwar()
+	inner := hexpr.Frame(phi.ID(), read())
+	e := hexpr.Frame(phi.ID(), hexpr.Cat(read(), inner, write()))
+	got := valid.Regularize(e)
+	want := hexpr.Frame(phi.ID(), hexpr.Cat(read(), read(), write()))
+	if !hexpr.Equal(got, want) {
+		t.Errorf("Regularize = %s, want %s", got.Key(), want.Key())
+	}
+	if valid.FramingDepth(e) != 2 || valid.FramingDepth(got) != 1 {
+		t.Errorf("depths: %d -> %d", valid.FramingDepth(e), valid.FramingDepth(got))
+	}
+}
+
+func TestRegularizeKeepsDifferentPolicies(t *testing.T) {
+	e := hexpr.Frame("a", hexpr.Frame("b", hexpr.Frame("a", read())))
+	got := valid.Regularize(e)
+	want := hexpr.Frame("a", hexpr.Frame("b", read()))
+	if !hexpr.Equal(got, want) {
+		t.Errorf("Regularize = %s, want %s", got.Key(), want.Key())
+	}
+}
+
+func TestRegularizeSessionPolicies(t *testing.T) {
+	phi := nwar()
+	// A session under an active framing of the same policy is demoted.
+	e := hexpr.Frame(phi.ID(), hexpr.Open("r1", phi.ID(), read()))
+	got := valid.Regularize(e)
+	want := hexpr.Frame(phi.ID(), hexpr.Open("r1", hexpr.NoPolicy, read()))
+	if !hexpr.Equal(got, want) {
+		t.Errorf("Regularize = %s, want %s", got.Key(), want.Key())
+	}
+	// A session policy shields its body from re-framing.
+	e2 := hexpr.Open("r1", phi.ID(), hexpr.Frame(phi.ID(), read()))
+	got2 := valid.Regularize(e2)
+	want2 := hexpr.Open("r1", phi.ID(), read())
+	if !hexpr.Equal(got2, want2) {
+		t.Errorf("Regularize = %s, want %s", got2.Key(), want2.Key())
+	}
+}
+
+func TestRegularizePreservesValidity(t *testing.T) {
+	phi := nwar()
+	psi := paperex.Phi1()
+	table := policy.NewTable(phi, psi)
+	rnd := rand.New(rand.NewSource(31))
+	cfg := hexpr.DefaultGenConfig()
+	cfg.Policies = []hexpr.PolicyID{phi.ID(), psi.ID()}
+	cfg.Events = []string{"read", "write", paperex.EvSgn}
+	for i := 0; i < 300; i++ {
+		e := hexpr.Generate(rnd, cfg)
+		v1, err := valid.Valid(e, table)
+		if err != nil {
+			t.Fatal(err)
+		}
+		v2, err := valid.Valid(valid.Regularize(e), table)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v1 != v2 {
+			t.Fatalf("regularization changed validity of %s: %v -> %v", hexpr.Pretty(e), v1, v2)
+		}
+	}
+}
+
+// TestModelCheckAgreesWithCheck cross-checks the two deciders on random
+// expressions (the [5,4] automata pipeline vs. the direct exploration).
+func TestModelCheckAgreesWithCheck(t *testing.T) {
+	phi := nwar()
+	psi := paperex.Phi1()
+	table := policy.NewTable(phi, psi)
+	rnd := rand.New(rand.NewSource(32))
+	cfg := hexpr.DefaultGenConfig()
+	cfg.Policies = []hexpr.PolicyID{phi.ID(), psi.ID()}
+	cfg.Events = []string{"read", "write", paperex.EvSgn}
+	valids, invalids := 0, 0
+	for i := 0; i < 300; i++ {
+		e := hexpr.Generate(rnd, cfg)
+		if i%2 == 1 {
+			// Bias half the sample towards violations: a read under φ makes
+			// any later write invalid, so expressions containing writes trip.
+			e = hexpr.Frame(phi.ID(), hexpr.Cat(read(), e))
+		}
+		direct, err := valid.Valid(e, table)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mcErr := valid.ModelCheck(e, table)
+		var v *valid.Violation
+		mc := mcErr == nil
+		if mcErr != nil && !errors.As(mcErr, &v) {
+			t.Fatalf("ModelCheck hard error: %v", mcErr)
+		}
+		if direct != mc {
+			t.Fatalf("deciders disagree on %s: direct=%v modelcheck=%v", hexpr.Pretty(e), direct, mc)
+		}
+		if direct {
+			valids++
+		} else {
+			invalids++
+		}
+	}
+	if valids == 0 || invalids == 0 {
+		t.Errorf("degenerate sample: %d valid, %d invalid", valids, invalids)
+	}
+}
+
+func TestModelCheckWitnessIsViolating(t *testing.T) {
+	phi := nwar()
+	table := policy.NewTable(phi)
+	bad := hexpr.Frame(phi.ID(), hexpr.Cat(read(), write()))
+	err := valid.ModelCheck(bad, table)
+	var v *valid.Violation
+	if !errors.As(err, &v) {
+		t.Fatalf("err = %v", err)
+	}
+	// The decoded witness must itself be an invalid history.
+	flat := v.Trace.Flat()
+	if len(flat) != 2 || flat[0].Name != "read" || flat[1].Name != "write" {
+		t.Errorf("witness = %v", v.Trace)
+	}
+}
+
+func TestHotelServicesValidityUnderPhi(t *testing.T) {
+	table := paperex.Policies()
+	phi1 := paperex.Phi1().ID()
+	phi2 := paperex.Phi2().ID()
+	cases := []struct {
+		name  string
+		hotel hexpr.Expr
+		pol   hexpr.PolicyID
+		valid bool
+	}{
+		{"S1/phi1", paperex.S1(), phi1, false},
+		{"S2/phi1", paperex.S2(), phi1, true},
+		{"S3/phi1", paperex.S3(), phi1, true},
+		{"S4/phi1", paperex.S4(), phi1, false},
+		{"S1/phi2", paperex.S1(), phi2, false},
+		{"S2/phi2", paperex.S2(), phi2, true},
+		{"S3/phi2", paperex.S3(), phi2, false},
+		{"S4/phi2", paperex.S4(), phi2, true},
+	}
+	for _, c := range cases {
+		framed := hexpr.Frame(c.pol, c.hotel)
+		got, err := valid.Valid(framed, table)
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		if got != c.valid {
+			t.Errorf("%s: valid = %v, want %v", c.name, got, c.valid)
+		}
+		// the automata pipeline agrees
+		mcOK := valid.ModelCheck(framed, table) == nil
+		if mcOK != c.valid {
+			t.Errorf("%s: ModelCheck = %v, want %v", c.name, mcOK, c.valid)
+		}
+	}
+}
+
+func TestFramingDepth(t *testing.T) {
+	if d := valid.FramingDepth(hexpr.Eps()); d != 0 {
+		t.Errorf("depth(eps) = %d", d)
+	}
+	e := hexpr.Frame("a", hexpr.Cat(read(), hexpr.Frame("b", hexpr.Frame("c", read()))))
+	if d := valid.FramingDepth(e); d != 3 {
+		t.Errorf("depth = %d, want 3", d)
+	}
+}
+
+// TestCheckWitnessTraceIsCompleteAndInvalid: the violation trace returned
+// by Check contains the full offending history — it is itself invalid, and
+// all of its proper prefixes are valid.
+func TestCheckWitnessTraceIsComplete(t *testing.T) {
+	phi := nwar()
+	table := policy.NewTable(phi)
+	bad := hexpr.Frame(phi.ID(), hexpr.Cat(
+		hexpr.Act(hexpr.E("setup")), read(), hexpr.Act(hexpr.E("mid")), write(),
+	))
+	err := valid.Check(bad, table)
+	var v *valid.Violation
+	if !errors.As(err, &v) {
+		t.Fatalf("err = %v", err)
+	}
+	// expected: ⌊φ setup read mid write
+	want := "[_" + string(phi.ID()) + " setup read mid write"
+	if v.Trace.String() != want {
+		t.Fatalf("witness = %q, want %q", v.Trace, want)
+	}
+	if history.Valid(v.Trace, table) {
+		t.Error("witness must be an invalid history")
+	}
+	if !history.Valid(v.Trace[:len(v.Trace)-1], table) {
+		t.Error("witness minus the last item must be valid")
+	}
+}

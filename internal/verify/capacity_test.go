@@ -1,0 +1,87 @@
+package verify_test
+
+import (
+	"testing"
+
+	"susc/internal/hexpr"
+	"susc/internal/network"
+	"susc/internal/paperex"
+	"susc/internal/verify"
+)
+
+func capacityWorld() (network.Repository, hexpr.Expr, network.Plan) {
+	repo := network.Repository{"echo": hexpr.RecvThen("hello", hexpr.Eps())}
+	client := hexpr.Open("ra", hexpr.NoPolicy,
+		hexpr.SendThen("hello",
+			hexpr.Open("rb", hexpr.NoPolicy,
+				hexpr.SendThen("hello", hexpr.Eps()))))
+	return repo, client, network.Plan{"ra": "echo", "rb": "echo"}
+}
+
+// TestCapacityVerification: the §5 availability extension is statically
+// checkable — nested sessions over a single replica are reported as a
+// deadlock, two replicas verify, and the unbounded default also verifies.
+func TestCapacityVerification(t *testing.T) {
+	repo, client, plan := capacityWorld()
+	cases := []struct {
+		name    string
+		caps    map[hexpr.Location]int
+		verdict verify.Verdict
+	}{
+		{"one replica", map[hexpr.Location]int{"echo": 1}, verify.CommunicationDeadlock},
+		{"two replicas", map[hexpr.Location]int{"echo": 2}, verify.Valid},
+		{"unbounded", nil, verify.Valid},
+	}
+	for _, c := range cases {
+		r, err := verify.CheckPlanOpts(repo, paperex.Policies(), "cl", client, plan,
+			verify.Options{Capacities: c.caps})
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		if r.Verdict != c.verdict {
+			t.Errorf("%s: %s, want %s", c.name, r, c.verdict)
+		}
+	}
+}
+
+// TestCapacityVerdictMatchesRuntime: the static verdict under capacities
+// agrees with what actually happens at run time.
+func TestCapacityVerdictMatchesRuntime(t *testing.T) {
+	repo, client, plan := capacityWorld()
+	for _, capacity := range []int{1, 2, 3} {
+		caps := map[hexpr.Location]int{"echo": capacity}
+		r, err := verify.CheckPlanOpts(repo, paperex.Policies(), "cl", client, plan,
+			verify.Options{Capacities: caps})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := network.NewConfig(repo, paperex.Policies(),
+			network.Client{Loc: "cl", Expr: client, Plan: plan}).
+			WithAvailability(caps)
+		res := cfg.Run(network.RunOptions{})
+		staticOK := r.Verdict == verify.Valid
+		runtimeOK := res.Status == network.Completed
+		if staticOK != runtimeOK {
+			t.Errorf("capacity %d: static %s vs runtime %s", capacity, r, res)
+		}
+	}
+}
+
+// TestCapacitySequentialFine: releases make one replica enough for
+// sequential sessions.
+func TestCapacitySequentialFine(t *testing.T) {
+	repo := network.Repository{"echo": hexpr.RecvThen("hello", hexpr.Eps())}
+	client := hexpr.Cat(
+		hexpr.Open("ra", hexpr.NoPolicy, hexpr.SendThen("hello", hexpr.Eps())),
+		hexpr.Open("rb", hexpr.NoPolicy, hexpr.SendThen("hello", hexpr.Eps())),
+	)
+	plan := network.Plan{"ra": "echo", "rb": "echo"}
+	r, err := verify.CheckPlanOpts(repo, paperex.Policies(), "cl", client, plan,
+		verify.Options{Capacities: map[hexpr.Location]int{"echo": 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Verdict != verify.Valid {
+		t.Errorf("sequential sessions over 1 replica: %s, want valid", r)
+	}
+}

@@ -1,0 +1,26 @@
+package verify_test
+
+import (
+	"fmt"
+
+	"susc/internal/network"
+	"susc/internal/paperex"
+	"susc/internal/verify"
+)
+
+// CheckPlan validates the paper's plan π₁ and rejects the plan that routes
+// the broker to the blacklisted hotel.
+func ExampleCheckPlan() {
+	repo := paperex.Repository()
+	table := paperex.Policies()
+	good := network.Plan{"r1": paperex.LocBr, "r3": paperex.LocS3}
+	bad := network.Plan{"r1": paperex.LocBr, "r3": paperex.LocS1}
+
+	r, _ := verify.CheckPlan(repo, table, paperex.LocC1, paperex.C1(), good)
+	fmt.Println("π₁:", r.Verdict)
+	r, _ = verify.CheckPlan(repo, table, paperex.LocC1, paperex.C1(), bad)
+	fmt.Println("to s1:", r.Verdict, "of", r.Policy)
+	// Output:
+	// π₁: valid
+	// to s1: security-violation of phi[bl={s1},p=45,t=100]
+}

@@ -1,0 +1,32 @@
+package verify
+
+import "encoding/json"
+
+// reportJSON is the wire form of a Report.
+type reportJSON struct {
+	Verdict   string   `json:"verdict"`
+	Policy    string   `json:"policy,omitempty"`
+	Request   string   `json:"request,omitempty"`
+	Witness   string   `json:"witness,omitempty"`
+	Trace     []string `json:"trace,omitempty"`
+	StuckTree string   `json:"stuckTree,omitempty"`
+	States    int      `json:"states"`
+}
+
+// MarshalJSON renders the report for machine consumption (CI pipelines,
+// the CLI's -json flag): the verdict as its string form, the trace as
+// label strings.
+func (r *Report) MarshalJSON() ([]byte, error) {
+	out := reportJSON{
+		Verdict:   r.Verdict.String(),
+		Policy:    string(r.Policy),
+		Request:   string(r.Request),
+		Witness:   r.Witness,
+		StuckTree: r.StuckTree,
+		States:    r.States,
+	}
+	for _, e := range r.Trace {
+		out.Trace = append(out.Trace, e.Label.String())
+	}
+	return json.Marshal(out)
+}

@@ -1,0 +1,181 @@
+package verify
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"susc/internal/compliance"
+	"susc/internal/hexpr"
+	"susc/internal/history"
+	"susc/internal/network"
+	"susc/internal/policy"
+)
+
+// CheckNetwork validates a whole vector of clients in one exploration of
+// the full product state space (component trees × monitors × shared
+// availability). Without capacity bounds, components never interact and
+// CheckClients (one exploration per client) is equivalent and much
+// cheaper; with bounded availability the components *do* interact — they
+// compete for replicas — so only the product exploration is sound, e.g. it
+// finds the deadlock where two clients each hold the last replica the
+// other needs.
+func CheckNetwork(repo network.Repository, table *policy.Table,
+	clients []ClientSpec, opts Options) (*Report, error) {
+
+	// per-client static prechecks (cycles, compliance)
+	for _, c := range clients {
+		if cyc := CallCycle(repo, c.Client, c.Plan); cyc != nil {
+			return &Report{
+				Verdict: UnboundedNesting,
+				Witness: fmt.Sprintf("client at %s: cyclic service calls: %s", c.Loc, locPath(cyc)),
+			}, nil
+		}
+		reqs, err := PlannedRequests(repo, c.Client, c.Plan)
+		if err != nil {
+			return nil, err
+		}
+		for _, pr := range reqs {
+			if !pr.Bound {
+				continue
+			}
+			p, err := compliance.NewProduct(pr.Body, pr.Service)
+			if err != nil {
+				return nil, err
+			}
+			if w := p.FindWitness(); w != nil {
+				return &Report{
+					Verdict: NotCompliant,
+					Request: pr.Req,
+					Witness: fmt.Sprintf("client at %s, service at %s: %s", c.Loc, pr.Loc, w),
+				}, nil
+			}
+		}
+	}
+
+	var limited []hexpr.Location
+	for l := range opts.Capacities {
+		limited = append(limited, l)
+	}
+	sort.Slice(limited, func(i, j int) bool { return limited[i] < limited[j] })
+	limitedIdx := map[hexpr.Location]int{}
+	initialAvail := make([]int, len(limited))
+	for i, l := range limited {
+		limitedIdx[l] = i
+		initialAvail[i] = opts.Capacities[l]
+	}
+
+	type state struct {
+		trees []network.Node
+		mons  []*history.Monitor
+		avail []int
+		trace []network.TraceEntry
+	}
+	start := state{avail: initialAvail}
+	for _, c := range clients {
+		start.trees = append(start.trees, network.Leaf{Loc: c.Loc, Expr: c.Client})
+		start.mons = append(start.mons, history.NewMonitor(table))
+	}
+	key := func(s state) string {
+		var b strings.Builder
+		for i, tr := range s.trees {
+			b.WriteString(tr.Key())
+			b.WriteByte(0)
+			b.WriteString(s.mons[i].Signature())
+			b.WriteByte(0)
+		}
+		for _, n := range s.avail {
+			fmt.Fprintf(&b, "%d,", n)
+		}
+		return b.String()
+	}
+	allDone := func(s state) bool {
+		for _, tr := range s.trees {
+			if !network.Done(tr) {
+				return false
+			}
+		}
+		return true
+	}
+	seen := map[string]bool{key(start): true}
+	queue := []state{start}
+	report := &Report{}
+	for len(queue) > 0 {
+		report.States++
+		if report.States > MaxStates {
+			return nil, fmt.Errorf("verify: network exploration exceeds %d states", MaxStates)
+		}
+		s := queue[0]
+		queue = queue[1:]
+		type compMove struct {
+			comp int
+			m    network.Move
+		}
+		var moves []compMove
+		for ci := range s.trees {
+			for _, m := range network.TreeMoves(s.trees[ci], clients[ci].Plan, repo) {
+				if m.OpenLoc != "" {
+					if i, ok := limitedIdx[m.OpenLoc]; ok && s.avail[i] == 0 {
+						continue
+					}
+				}
+				moves = append(moves, compMove{comp: ci, m: m})
+			}
+		}
+		if len(moves) == 0 && !allDone(s) {
+			report.Verdict = CommunicationDeadlock
+			report.Trace = s.trace
+			parts := make([]string, len(s.trees))
+			for i, tr := range s.trees {
+				parts[i] = tr.Key()
+			}
+			report.StuckTree = strings.Join(parts, " || ")
+			return report, nil
+		}
+		for _, cm := range moves {
+			mon := s.mons[cm.comp].Snapshot()
+			bad := hexpr.NoPolicy
+			for _, it := range cm.m.Items {
+				if err := mon.Append(it); err != nil {
+					if verr, ok := err.(*history.ViolationError); ok {
+						bad = verr.Policy
+					} else {
+						return nil, fmt.Errorf("verify: unexpected monitor error: %w", err)
+					}
+					break
+				}
+			}
+			entry := network.TraceEntry{Comp: cm.comp, Label: cm.m.Label}
+			if bad != hexpr.NoPolicy {
+				report.Verdict = SecurityViolation
+				report.Policy = bad
+				report.Trace = append(append([]network.TraceEntry{}, s.trace...), entry)
+				return report, nil
+			}
+			next := state{
+				trees: append([]network.Node(nil), s.trees...),
+				mons:  append([]*history.Monitor(nil), s.mons...),
+				avail: s.avail,
+				trace: append(append([]network.TraceEntry{}, s.trace...), entry),
+			}
+			next.trees[cm.comp] = cm.m.Tree
+			next.mons[cm.comp] = mon
+			if len(limited) > 0 && (cm.m.OpenLoc != "" || cm.m.ReleaseLoc != "") {
+				next.avail = append([]int(nil), s.avail...)
+				if i, ok := limitedIdx[cm.m.OpenLoc]; ok && cm.m.OpenLoc != "" {
+					next.avail[i]--
+				}
+				if i, ok := limitedIdx[cm.m.ReleaseLoc]; ok && cm.m.ReleaseLoc != "" {
+					next.avail[i]++
+				}
+			}
+			k := key(next)
+			if !seen[k] {
+				seen[k] = true
+				queue = append(queue, next)
+			}
+		}
+	}
+	report.Verdict = Valid
+	return report, nil
+}

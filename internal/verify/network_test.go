@@ -1,0 +1,153 @@
+package verify_test
+
+import (
+	"testing"
+
+	"susc/internal/hexpr"
+	"susc/internal/network"
+	"susc/internal/paperex"
+	"susc/internal/verify"
+)
+
+// holdAndCall builds a client that opens svcA and, while holding it, opens
+// svcB inside — the classic shape for resource-competition deadlocks.
+func holdAndCall(reqA, reqB hexpr.RequestID) hexpr.Expr {
+	return hexpr.Open(reqA, hexpr.NoPolicy,
+		hexpr.SendThen("hello",
+			hexpr.Open(reqB, hexpr.NoPolicy,
+				hexpr.SendThen("hello", hexpr.Eps()))))
+}
+
+func TestCheckNetworkFindsCrossClientCapacityDeadlock(t *testing.T) {
+	// Two services with one replica each; two clients grab them in opposite
+	// orders while holding the first — some interleaving deadlocks. The
+	// per-client check cannot see this; the network check must.
+	repo := network.Repository{
+		"A": hexpr.RecvThen("hello", hexpr.Eps()),
+		"B": hexpr.RecvThen("hello", hexpr.Eps()),
+	}
+	clients := []verify.ClientSpec{
+		{Loc: "c1", Client: holdAndCall("r1", "r2"),
+			Plan: network.Plan{"r1": "A", "r2": "B"}},
+		{Loc: "c2", Client: holdAndCall("r3", "r4"),
+			Plan: network.Plan{"r3": "B", "r4": "A"}},
+	}
+	caps := map[hexpr.Location]int{"A": 1, "B": 1}
+
+	// per-client validation is blind to the competition
+	for _, c := range clients {
+		r, err := verify.CheckPlanOpts(repo, paperex.Policies(), c.Loc, c.Client, c.Plan,
+			verify.Options{Capacities: caps})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Verdict != verify.Valid {
+			t.Fatalf("per-client check should pass in isolation: %s", r)
+		}
+	}
+
+	// the product exploration finds the deadlock
+	r, err := verify.CheckNetwork(repo, paperex.Policies(), clients,
+		verify.Options{Capacities: caps})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Verdict != verify.CommunicationDeadlock {
+		t.Fatalf("network check: %s, want communication-deadlock", r)
+	}
+
+	// with one more replica of either service the deadlock disappears
+	r, err = verify.CheckNetwork(repo, paperex.Policies(), clients,
+		verify.Options{Capacities: map[hexpr.Location]int{"A": 2, "B": 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Verdict != verify.Valid {
+		t.Fatalf("network check with 2 replicas of A: %s, want valid", r)
+	}
+}
+
+func TestCheckNetworkUnboundedMatchesCheckClients(t *testing.T) {
+	// without capacities the product exploration agrees with the
+	// per-client validation on the paper scenario
+	clients := []verify.ClientSpec{
+		{Loc: paperex.LocC1, Client: paperex.C1(),
+			Plan: network.Plan{"r1": paperex.LocBr, "r3": paperex.LocS3}},
+		{Loc: paperex.LocC2, Client: paperex.C2(),
+			Plan: network.Plan{"r2": paperex.LocBr, "r3": paperex.LocS4}},
+	}
+	r, err := verify.CheckNetwork(paperex.Repository(), paperex.Policies(), clients, verify.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Verdict != verify.Valid {
+		t.Fatalf("network check: %s", r)
+	}
+	_, all, err := verify.CheckClients(paperex.Repository(), paperex.Policies(), clients)
+	if err != nil || !all {
+		t.Fatalf("per-client check disagrees: %v %v", all, err)
+	}
+}
+
+func TestCheckNetworkPropagatesClientVerdicts(t *testing.T) {
+	clients := []verify.ClientSpec{
+		{Loc: paperex.LocC1, Client: paperex.C1(),
+			Plan: network.Plan{"r1": paperex.LocBr, "r3": paperex.LocS2}},
+	}
+	r, err := verify.CheckNetwork(paperex.Repository(), paperex.Policies(), clients, verify.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Verdict != verify.NotCompliant {
+		t.Fatalf("network check: %s, want not-compliant", r)
+	}
+	clients[0].Plan = network.Plan{"r1": paperex.LocBr, "r3": paperex.LocS1}
+	r, err = verify.CheckNetwork(paperex.Repository(), paperex.Policies(), clients, verify.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Verdict != verify.SecurityViolation {
+		t.Fatalf("network check: %s, want security-violation", r)
+	}
+	clients[0].Plan = network.Plan{"r1": paperex.LocBr, "r3": paperex.LocBr}
+	r, err = verify.CheckNetwork(paperex.Repository(), paperex.Policies(), clients, verify.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Verdict != verify.UnboundedNesting {
+		t.Fatalf("network check: %s, want unbounded-nesting", r)
+	}
+}
+
+func TestCheckNetworkDeadlockWitnessReplays(t *testing.T) {
+	repo := network.Repository{
+		"A": hexpr.RecvThen("hello", hexpr.Eps()),
+		"B": hexpr.RecvThen("hello", hexpr.Eps()),
+	}
+	clients := []verify.ClientSpec{
+		{Loc: "c1", Client: holdAndCall("r1", "r2"),
+			Plan: network.Plan{"r1": "A", "r2": "B"}},
+		{Loc: "c2", Client: holdAndCall("r3", "r4"),
+			Plan: network.Plan{"r3": "B", "r4": "A"}},
+	}
+	caps := map[hexpr.Location]int{"A": 1, "B": 1}
+	r, err := verify.CheckNetwork(repo, paperex.Policies(), clients, verify.Options{Capacities: caps})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Verdict != verify.CommunicationDeadlock || len(r.Trace) == 0 {
+		t.Fatalf("report = %s", r)
+	}
+	// the witness trace replays on the runtime configuration
+	cfg := network.NewConfig(repo, paperex.Policies(),
+		network.Client{Loc: "c1", Expr: clients[0].Client, Plan: clients[0].Plan},
+		network.Client{Loc: "c2", Expr: clients[1].Client, Plan: clients[1].Plan},
+	).WithAvailability(caps)
+	if at := cfg.Replay(r.Trace, false); at != -1 {
+		t.Fatalf("deadlock witness failed to replay at step %d", at)
+	}
+	// and the replayed configuration is indeed stuck
+	if len(cfg.Moves()) != 0 || cfg.Done() {
+		t.Error("replayed configuration should be stuck and not done")
+	}
+}

@@ -1,0 +1,316 @@
+// Package verify statically validates plans: it explores exhaustively the
+// (finite) state space of a client running against the repository under a
+// given plan, and reports whether any reachable computation violates a
+// security policy or deadlocks on a missing communication. A plan passing
+// this check is *valid* in the sense of §2/§5 of the paper: the network
+// needs no run-time monitor.
+//
+// Finiteness. A configuration is abstracted to (session-tree key, monitor
+// signature): expression residuals range over the finite LTS state spaces
+// (guarded tail recursion), session nesting is bounded by the static
+// structure, and the monitor signature ranges over policy-automaton state
+// sets and bounded activation counts — so the exploration always
+// terminates.
+//
+// Parallel components of a network never interact (they only interleave,
+// each with its own history), so validating a vector of clients reduces to
+// validating each client separately; CheckClients does exactly that.
+package verify
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"susc/internal/compliance"
+	"susc/internal/hexpr"
+	"susc/internal/history"
+	"susc/internal/network"
+	"susc/internal/policy"
+)
+
+// Verdict classifies a plan.
+type Verdict int
+
+const (
+	// Valid: every request compliant, no reachable security violation, no
+	// reachable deadlock.
+	Valid Verdict = iota
+	// SecurityViolation: some computation would violate an active policy.
+	SecurityViolation
+	// NotCompliant: some request is bound to a service that is not
+	// compliant with the request body — the service could commit to an
+	// output the caller cannot receive. The synchronisation-based network
+	// semantics is angelic and never exhibits this as a stuck run (§3), so
+	// it is detected statically with the product automaton of Definition 5.
+	NotCompliant
+	// CommunicationDeadlock: some computation reaches a configuration that
+	// is not terminated yet has no enabled move (unbound request, dangling
+	// location, or a genuinely stuck interleaving).
+	CommunicationDeadlock
+	// UnboundedNesting: the planned service call graph is cyclic, so the
+	// composed behaviour opens sessions to unbounded depth and exhaustive
+	// verification is refused. The paper's framework likewise assumes
+	// finitely nested compositions.
+	UnboundedNesting
+)
+
+func (v Verdict) String() string {
+	switch v {
+	case Valid:
+		return "valid"
+	case SecurityViolation:
+		return "security-violation"
+	case NotCompliant:
+		return "not-compliant"
+	case CommunicationDeadlock:
+		return "communication-deadlock"
+	case UnboundedNesting:
+		return "unbounded-nesting"
+	}
+	return "unknown"
+}
+
+// Report is the result of validating one client under one plan.
+type Report struct {
+	Verdict Verdict
+	// Policy is the violated policy (security verdicts only).
+	Policy hexpr.PolicyID
+	// Request and Witness describe the failing request (non-compliance
+	// verdicts only).
+	Request hexpr.RequestID
+	Witness string
+	// Trace drives the configuration to the offending state.
+	Trace []network.TraceEntry
+	// StuckTree is the session tree of the deadlocked configuration
+	// (deadlock verdicts only).
+	StuckTree string
+	// States is the number of distinct abstract states explored.
+	States int
+}
+
+func (r *Report) String() string {
+	switch r.Verdict {
+	case Valid:
+		return fmt.Sprintf("valid (%d states)", r.States)
+	case SecurityViolation:
+		return fmt.Sprintf("security violation of %s after %s (%d states)",
+			r.Policy, traceString(r.Trace), r.States)
+	case NotCompliant:
+		return fmt.Sprintf("request %s not compliant: %s", r.Request, r.Witness)
+	case UnboundedNesting:
+		return fmt.Sprintf("unbounded session nesting: %s", r.Witness)
+	default:
+		return fmt.Sprintf("deadlock at %s after %s (%d states)",
+			r.StuckTree, traceString(r.Trace), r.States)
+	}
+}
+
+func traceString(tr []network.TraceEntry) string {
+	parts := make([]string, len(tr))
+	for i, e := range tr {
+		parts[i] = e.Label.String()
+	}
+	return strings.Join(parts, "·")
+}
+
+// MaxStates bounds the exploration.
+const MaxStates = 1 << 20
+
+// Options tunes plan validation.
+type Options struct {
+	// Capacities bounds the availability of the listed service locations
+	// (the §5 extension): opening a session consumes a replica, closing
+	// releases it. Locations absent from the map replicate unboundedly.
+	// Exhausted capacity shows up as a communication deadlock when some
+	// computation can strand an open on an unavailable service.
+	Capacities map[hexpr.Location]int
+}
+
+// CheckPlan validates the plan for one client against the repository,
+// following the §5 recipe: (a) every request occurring in the composed
+// service — in the client or transitively in the services the plan selects
+// — must be bound to a compliant service (product automaton, Theorem 1);
+// (b) the exhaustive exploration of the network under the plan must reach
+// no security violation and no stuck configuration. It returns a Valid
+// report when both hold, and a counterexample report otherwise.
+func CheckPlan(repo network.Repository, table *policy.Table,
+	loc hexpr.Location, client hexpr.Expr, plan network.Plan) (*Report, error) {
+	return CheckPlanOpts(repo, table, loc, client, plan, Options{})
+}
+
+// CheckPlanOpts is CheckPlan with extension options.
+func CheckPlanOpts(repo network.Repository, table *policy.Table,
+	loc hexpr.Location, client hexpr.Expr, plan network.Plan, opts Options) (*Report, error) {
+
+	// Refuse cyclic compositions: their session nesting is unbounded and
+	// the state space infinite.
+	if cyc := CallCycle(repo, client, plan); cyc != nil {
+		return &Report{
+			Verdict: UnboundedNesting,
+			Witness: fmt.Sprintf("cyclic service calls: %s", locPath(cyc)),
+		}, nil
+	}
+
+	// (a) per-request compliance over the composed service
+	reqs, err := PlannedRequests(repo, client, plan)
+	if err != nil {
+		return nil, err
+	}
+	for _, pr := range reqs {
+		if !pr.Bound {
+			continue // the exploration reports the deadlock with a trace
+		}
+		p, err := compliance.NewProduct(pr.Body, pr.Service)
+		if err != nil {
+			return nil, err
+		}
+		if w := p.FindWitness(); w != nil {
+			return &Report{
+				Verdict: NotCompliant,
+				Request: pr.Req,
+				Witness: fmt.Sprintf("service at %s: %s", pr.Loc, w),
+			}, nil
+		}
+	}
+
+	// (b) exhaustive exploration for security and structural deadlocks;
+	// limited locations are tracked in a dense availability vector.
+	var limited []hexpr.Location
+	for l := range opts.Capacities {
+		limited = append(limited, l)
+	}
+	sort.Slice(limited, func(i, j int) bool { return limited[i] < limited[j] })
+	limitedIdx := map[hexpr.Location]int{}
+	initialAvail := make([]int, len(limited))
+	for i, l := range limited {
+		limitedIdx[l] = i
+		initialAvail[i] = opts.Capacities[l]
+	}
+
+	type state struct {
+		tree  network.Node
+		mon   *history.Monitor
+		avail []int
+		trace []network.TraceEntry
+	}
+	start := state{
+		tree:  network.Leaf{Loc: loc, Expr: client},
+		mon:   history.NewMonitor(table),
+		avail: initialAvail,
+	}
+	key := func(s state) string {
+		k := s.tree.Key() + "\x00" + s.mon.Signature()
+		for _, n := range s.avail {
+			k += fmt.Sprintf("\x00%d", n)
+		}
+		return k
+	}
+	seen := map[string]bool{key(start): true}
+	queue := []state{start}
+	report := &Report{}
+	for len(queue) > 0 {
+		report.States++
+		if report.States > MaxStates {
+			return nil, fmt.Errorf("verify: exploration exceeds %d states", MaxStates)
+		}
+		s := queue[0]
+		queue = queue[1:]
+		all := network.TreeMoves(s.tree, plan, repo)
+		moves := all[:0:0]
+		for _, m := range all {
+			if m.OpenLoc != "" {
+				if i, ok := limitedIdx[m.OpenLoc]; ok && s.avail[i] == 0 {
+					continue // no replica available: not enabled
+				}
+			}
+			moves = append(moves, m)
+		}
+		if len(moves) == 0 && !network.Done(s.tree) {
+			report.Verdict = CommunicationDeadlock
+			report.Trace = s.trace
+			report.StuckTree = s.tree.Key()
+			return report, nil
+		}
+		for _, m := range moves {
+			mon := s.mon.Snapshot()
+			bad := hexpr.NoPolicy
+			for _, it := range m.Items {
+				if err := mon.Append(it); err != nil {
+					if verr, ok := err.(*history.ViolationError); ok {
+						bad = verr.Policy
+					} else {
+						return nil, fmt.Errorf("verify: unexpected monitor error: %w", err)
+					}
+					break
+				}
+			}
+			entry := network.TraceEntry{Comp: 0, Label: m.Label}
+			if bad != hexpr.NoPolicy {
+				report.Verdict = SecurityViolation
+				report.Policy = bad
+				report.Trace = append(append([]network.TraceEntry{}, s.trace...), entry)
+				return report, nil
+			}
+			avail := s.avail
+			if len(limited) > 0 && (m.OpenLoc != "" || m.ReleaseLoc != "") {
+				avail = append([]int(nil), s.avail...)
+				if i, ok := limitedIdx[m.OpenLoc]; ok && m.OpenLoc != "" {
+					avail[i]--
+				}
+				if i, ok := limitedIdx[m.ReleaseLoc]; ok && m.ReleaseLoc != "" {
+					avail[i]++
+				}
+			}
+			next := state{
+				tree:  m.Tree,
+				mon:   mon,
+				avail: avail,
+				trace: append(append([]network.TraceEntry{}, s.trace...), entry),
+			}
+			k := key(next)
+			if !seen[k] {
+				seen[k] = true
+				queue = append(queue, next)
+			}
+		}
+	}
+	report.Verdict = Valid
+	return report, nil
+}
+
+// ValidPlan reports whether the plan is valid for the client.
+func ValidPlan(repo network.Repository, table *policy.Table,
+	loc hexpr.Location, client hexpr.Expr, plan network.Plan) (bool, error) {
+	r, err := CheckPlan(repo, table, loc, client, plan)
+	if err != nil {
+		return false, err
+	}
+	return r.Verdict == Valid, nil
+}
+
+// ClientSpec pairs a client with its plan for vector validation.
+type ClientSpec struct {
+	Loc    hexpr.Location
+	Client hexpr.Expr
+	Plan   network.Plan
+}
+
+// CheckClients validates a vector of clients (one plan each). Components
+// of a network never interact, so the vector is valid iff every component
+// is; the reports are returned in order.
+func CheckClients(repo network.Repository, table *policy.Table, clients []ClientSpec) ([]*Report, bool, error) {
+	reports := make([]*Report, len(clients))
+	all := true
+	for i, c := range clients {
+		r, err := CheckPlan(repo, table, c.Loc, c.Client, c.Plan)
+		if err != nil {
+			return nil, false, err
+		}
+		reports[i] = r
+		if r.Verdict != Valid {
+			all = false
+		}
+	}
+	return reports, all, nil
+}
