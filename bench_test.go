@@ -21,6 +21,7 @@ import (
 	"susc/internal/history"
 	"susc/internal/lambda"
 	"susc/internal/lts"
+	"susc/internal/memo"
 	"susc/internal/network"
 	"susc/internal/paperex"
 	"susc/internal/parser"
@@ -518,6 +519,34 @@ func BenchmarkPlanSynthesisParallel(b *testing.B) {
 					b.Fatal("no plans")
 				}
 			}
+		})
+	}
+}
+
+// BenchmarkPlanSynthesisCached measures repeated synthesis over an
+// unchanged repository with a shared memo.Cache — the steady-state cost a
+// long-lived tool pays per query once verdicts, products, projections and
+// step sets are warm. The hit% metric is the cache hit rate over the whole
+// run.
+func BenchmarkPlanSynthesisCached(b *testing.B) {
+	for _, n := range []int{32, 64} {
+		w := benchgen.Hotels(n)
+		b.Run(fmt.Sprintf("hotels=%d", n), func(b *testing.B) {
+			cache := memo.New()
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				as, err := plans.AssessAll(w.Repo, w.Table, w.Loc, w.Client,
+					plans.Options{PruneNonCompliant: true, Workers: 4, Cache: cache})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(as) == 0 {
+					b.Fatal("no plans")
+				}
+			}
+			st := cache.Stats()
+			b.ReportMetric(st.HitRate()*100, "hit%")
+			b.ReportMetric(float64(st.Hits()+st.Misses()), "lookups")
 		})
 	}
 }

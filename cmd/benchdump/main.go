@@ -1,0 +1,99 @@
+// Command benchdump runs the plan-synthesis benchmarks in-process via
+// testing.Benchmark and emits one machine-readable JSON document, so CI
+// and developers can archive comparable baselines (BENCH_baseline.json at
+// the repository root) without scraping `go test -bench` output.
+//
+//	benchdump [-hotels N] [-o FILE]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+
+	"susc/internal/benchgen"
+	"susc/internal/memo"
+	"susc/internal/plans"
+)
+
+type result struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	// HitRate is the memo-cache hit rate over the whole benchmark run
+	// (cached variants only).
+	HitRate float64 `json:"hit_rate,omitempty"`
+}
+
+type document struct {
+	GoVersion string   `json:"go_version"`
+	GoArch    string   `json:"go_arch"`
+	Hotels    int      `json:"hotels"`
+	Results   []result `json:"results"`
+}
+
+func main() {
+	hotels := flag.Int("hotels", 32, "size of the benchgen.Hotels workload")
+	out := flag.String("o", "", "write the JSON document here instead of stdout")
+	flag.Parse()
+
+	w := benchgen.Hotels(*hotels)
+	run := func(workers int, cache *memo.Cache) testing.BenchmarkResult {
+		return testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				as, err := plans.AssessAll(w.Repo, w.Table, w.Loc, w.Client,
+					plans.Options{PruneNonCompliant: true, Workers: workers, Cache: cache})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(as) == 0 {
+					b.Fatal("no plans")
+				}
+			}
+		})
+	}
+
+	doc := document{GoVersion: runtime.Version(), GoArch: runtime.GOARCH, Hotels: *hotels}
+	for _, workers := range []int{1, 4} {
+		r := run(workers, nil)
+		doc.Results = append(doc.Results, toResult(
+			fmt.Sprintf("PlanSynthesisParallel/workers=%d", workers), r, 0))
+	}
+	cache := memo.New()
+	r := run(4, cache)
+	doc.Results = append(doc.Results, toResult(
+		fmt.Sprintf("PlanSynthesisCached/workers=%d", 4), r, cache.Stats().HitRate()))
+
+	enc := json.NewEncoder(os.Stdout)
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchdump:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		enc = json.NewEncoder(f)
+	}
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		fmt.Fprintln(os.Stderr, "benchdump:", err)
+		os.Exit(1)
+	}
+}
+
+func toResult(name string, r testing.BenchmarkResult, hitRate float64) result {
+	return result{
+		Name:        name,
+		Iterations:  r.N,
+		NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+		AllocsPerOp: r.AllocsPerOp(),
+		HitRate:     hitRate,
+	}
+}

@@ -31,6 +31,7 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"runtime"
 	"sort"
 	"strings"
 
@@ -81,7 +82,8 @@ func run(args []string) error {
 	capSpec := fs.String("cap", "", "checkall: bounded availability, e.g. \"br=2,s3=1\"")
 	jsonOut := fs.Bool("json", false, "check/checkall/plans: JSON output")
 	runAll := fs.Bool("all", false, "run: simulate all declared clients concurrently")
-	workers := fs.Int("workers", 1, "plans: validate candidate plans with this many goroutines")
+	workers := fs.Int("workers", runtime.GOMAXPROCS(0),
+		"plans/effect: validate candidate plans with this many goroutines")
 	if len(args) < 2 {
 		return fmt.Errorf("usage: susc %s FILE [flags]", cmd)
 	}
@@ -94,7 +96,7 @@ func run(args []string) error {
 		return err
 	}
 	if cmd == "effect" {
-		return cmdEffect(string(src), *decls)
+		return cmdEffect(string(src), *decls, *workers)
 	}
 	f, err := parser.ParseFile(string(src))
 	if err != nil {
@@ -200,7 +202,7 @@ func cmdDual(f *parser.File, of string) error {
 // cmdEffect infers the type and effect of a λ-program; with a declarations
 // file, policy aliases resolve and the program's plans are classified
 // against the declared repository.
-func cmdEffect(src, declsPath string) error {
+func cmdEffect(src, declsPath string, workers int) error {
 	var aliases map[string]hexpr.PolicyID
 	var f *parser.File
 	if declsPath != "" {
@@ -232,7 +234,7 @@ func cmdEffect(src, declsPath string) error {
 		return nil
 	}
 	fmt.Println("plans  :")
-	as, err := plans.AssessAll(f.Repo, f.Table, "program", eff, plans.Options{})
+	as, err := plans.AssessAll(f.Repo, f.Table, "program", eff, plans.Options{Workers: workers})
 	if err != nil {
 		return err
 	}

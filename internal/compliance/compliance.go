@@ -23,6 +23,7 @@ import (
 	"susc/internal/autom"
 	"susc/internal/contract"
 	"susc/internal/hexpr"
+	"susc/internal/intern"
 	"susc/internal/lts"
 )
 
@@ -65,16 +66,43 @@ const MaxStates = 1 << 20
 // arguments are projected onto their communication actions first, so any
 // closed well-formed history expressions are accepted.
 func NewProduct(client, server hexpr.Expr) (*Product, error) {
-	h1 := contract.Project(client)
-	h2 := contract.Project(server)
+	return NewProductWith(nil, nil, client, server)
+}
+
+// NewProductWith is NewProduct over a caller-supplied interning table and
+// step function, so repeated constructions (e.g. through a shared
+// memo.Cache) reuse interning and one-step computation across products.
+// Either argument may be nil: tab defaults to a fresh table, step to
+// lts.Step. The construction memoises pairs on packed interned IDs
+// instead of the recursive Pair.Key() strings.
+func NewProductWith(tab *intern.Table, step func(hexpr.Expr) []lts.Transition,
+	client, server hexpr.Expr) (*Product, error) {
+	return NewProductProjected(tab, step, contract.Project(client), contract.Project(server))
+}
+
+// NewProductProjected is NewProductWith over arguments already projected
+// onto their communication actions (H!), so callers memoising projections
+// (memo.Cache) skip re-projecting per product.
+func NewProductProjected(tab *intern.Table, step func(hexpr.Expr) []lts.Transition,
+	h1, h2 hexpr.Expr) (*Product, error) {
+
 	if !hexpr.Closed(h1) || !hexpr.Closed(h2) {
 		return nil, fmt.Errorf("compliance: contracts must be closed")
 	}
+	if tab == nil {
+		tab = intern.NewTable()
+	}
+	if step == nil {
+		step = lts.Step
+	}
 	p := &Product{}
-	index := map[string]int{}
+	index := map[uint64]int{}
+	key := func(pr Pair) uint64 {
+		return intern.Pack(tab.Expr(pr.Client), tab.Expr(pr.Server))
+	}
 	var queue []Pair
 	add := func(pr Pair) int {
-		k := pr.Key()
+		k := key(pr)
 		if i, ok := index[k]; ok {
 			return i
 		}
@@ -92,9 +120,9 @@ func NewProduct(client, server hexpr.Expr) (*Product, error) {
 			return nil, fmt.Errorf("compliance: product exceeds %d states", MaxStates)
 		}
 		pr := queue[done]
-		i := index[pr.Key()]
-		c := lts.Step(pr.Client)
-		s := lts.Step(pr.Server)
+		i := done
+		c := step(pr.Client)
+		s := step(pr.Server)
 		if stuck(pr, c, s) {
 			p.Final[i] = true
 			continue // final states have no outgoing transitions (Def. 5)

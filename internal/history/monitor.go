@@ -1,9 +1,8 @@
 package history
 
 import (
-	"fmt"
 	"sort"
-	"strings"
+	"strconv"
 
 	"susc/internal/hexpr"
 	"susc/internal/policy"
@@ -32,6 +31,7 @@ type Monitor struct {
 	active map[hexpr.PolicyID]int
 	opened int // count of trivial-policy frames currently open
 	length int
+	sig    string // cached Signature ("" = stale); Append invalidates
 }
 
 // NewMonitor builds a monitor over the given policy table.
@@ -122,6 +122,7 @@ func (m *Monitor) Append(it Item) error {
 		}
 	}
 	m.length++
+	m.sig = ""
 	return nil
 }
 
@@ -140,18 +141,32 @@ func (m *Monitor) AppendAll(h History) error {
 // history length. Two monitors with equal signatures accept exactly the
 // same future histories, which is what makes state-space exploration
 // finite (internal/verify keys configurations on it).
+// The signature is cached between calls: exploration keys every generated
+// state, but monitors are shared across item-less moves and advanced only
+// through Append (which invalidates the cache), so the string is built
+// once per distinct monitor state instead of once per lookup.
 func (m *Monitor) Signature() string {
+	if m.sig != "" {
+		return m.sig
+	}
 	ids := make([]string, 0, len(m.states))
 	for id := range m.states {
 		ids = append(ids, string(id))
 	}
 	sort.Strings(ids)
-	var b strings.Builder
+	buf := make([]byte, 0, 8+16*len(ids))
 	for _, id := range ids {
-		fmt.Fprintf(&b, "%s=%x/%d;", id, uint64(m.states[hexpr.PolicyID(id)]), m.active[hexpr.PolicyID(id)])
+		buf = append(buf, id...)
+		buf = append(buf, '=')
+		buf = strconv.AppendUint(buf, uint64(m.states[hexpr.PolicyID(id)]), 16)
+		buf = append(buf, '/')
+		buf = strconv.AppendInt(buf, int64(m.active[hexpr.PolicyID(id)]), 10)
+		buf = append(buf, ';')
 	}
-	fmt.Fprintf(&b, "#%d", m.opened)
-	return b.String()
+	buf = append(buf, '#')
+	buf = strconv.AppendInt(buf, int64(m.opened), 10)
+	m.sig = string(buf)
+	return m.sig
 }
 
 // Snapshot returns a deep copy of the monitor, so explorations can branch.
@@ -162,6 +177,7 @@ func (m *Monitor) Snapshot() *Monitor {
 		active: make(map[hexpr.PolicyID]int, len(m.active)),
 		opened: m.opened,
 		length: m.length,
+		sig:    m.sig,
 	}
 	for k, v := range m.states {
 		out.states[k] = v

@@ -1,0 +1,212 @@
+// Package intern maps history expressions (and small caller-defined keys)
+// to compact integer IDs. Two expressions receive the same ID iff their
+// canonical Key() forms are equal, so an ID comparison replaces a full
+// recursive Key() string build on the hot paths of the static analyses
+// (the verify visited set, the compliance product index, the lts builder
+// memo).
+//
+// Interning works bottom-up: children are interned first and a short
+// per-node key — a type tag plus the child IDs — identifies the node, so
+// the cost of interning a term is one small-map lookup per node instead of
+// the quadratic string concatenation Key() performs on deep sequences.
+// Tables are safe for concurrent use (sharded maps under RWMutexes) and
+// are shared across goroutines by the memoisation layer (internal/memo).
+package intern
+
+import (
+	"hash/maphash"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"unsafe"
+
+	"susc/internal/hexpr"
+)
+
+// ID is a compact identifier for an interned value. IDs are unique within
+// one Table and start at 0; they are never reused.
+type ID int32
+
+const shardCount = 64 // power of two
+
+type shard struct {
+	mu  sync.RWMutex
+	ids map[string]ID
+}
+
+// nodeKey identifies a tagged pair of already-interned children — the key
+// of Node. Comparable, so interning composite nodes needs no string
+// building at all.
+type nodeKey struct {
+	tag  byte
+	a, b ID
+}
+
+type nodeShard struct {
+	mu  sync.RWMutex
+	ids map[nodeKey]ID
+}
+
+// Table interns strings and expressions to IDs. The zero value is not
+// usable; construct with NewTable.
+type Table struct {
+	seed   maphash.Seed
+	next   atomic.Int32
+	shards [shardCount]shard
+	nodes  [shardCount]nodeShard
+	// byIdent is the identity fast path: expression interface words →
+	// ID. The analyses recirculate the same boxed expression values (the
+	// repository services, memoised step targets, walked sub-terms), so
+	// after the first structural intern of a term, re-interning it is a
+	// single lock-free lookup instead of a full tree walk. Entries keep
+	// their boxed value alive through the key's data pointer, so an
+	// address is never reused while its entry is visible.
+	byIdent sync.Map // ifaceWords -> ID
+}
+
+// ifaceWords is the runtime representation of a non-nil interface value.
+// Two equal word pairs denote the very same boxed value, hence the same
+// expression; distinct pairs say nothing (the slow path decides).
+type ifaceWords struct {
+	typ  unsafe.Pointer
+	data unsafe.Pointer
+}
+
+func exprWords(e hexpr.Expr) ifaceWords {
+	return *(*ifaceWords)(unsafe.Pointer(&e))
+}
+
+// NewTable returns an empty interning table.
+func NewTable() *Table {
+	t := &Table{seed: maphash.MakeSeed()}
+	for i := range t.shards {
+		t.shards[i].ids = map[string]ID{}
+	}
+	for i := range t.nodes {
+		t.nodes[i].ids = map[nodeKey]ID{}
+	}
+	return t
+}
+
+// Len returns the number of distinct values interned so far.
+func (t *Table) Len() int { return int(t.next.Load()) }
+
+// intern returns the ID of key, assigning a fresh one on first sight.
+func (t *Table) intern(key string) ID {
+	s := &t.shards[maphash.String(t.seed, key)&(shardCount-1)]
+	s.mu.RLock()
+	id, ok := s.ids[key]
+	s.mu.RUnlock()
+	if ok {
+		return id
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if id, ok := s.ids[key]; ok {
+		return id
+	}
+	id = ID(t.next.Add(1) - 1)
+	s.ids[key] = id
+	return id
+}
+
+// Node interns a tagged pair of IDs: a composite whose children are
+// already interned, e.g. an internal node of a session tree. Node IDs live
+// in their own namespace — they never collide with Key or Expr IDs — and
+// the lookup hashes three machine words instead of a built string.
+func (t *Table) Node(tag byte, a, b ID) ID {
+	k := nodeKey{tag: tag, a: a, b: b}
+	s := &t.nodes[(uint32(a)*0x9e3779b1+uint32(b))&(shardCount-1)]
+	s.mu.RLock()
+	id, ok := s.ids[k]
+	s.mu.RUnlock()
+	if ok {
+		return id
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if id, ok := s.ids[k]; ok {
+		return id
+	}
+	id = ID(t.next.Add(1) - 1)
+	s.ids[k] = id
+	return id
+}
+
+// Key interns an arbitrary caller-constructed key. Caller keys live in
+// their own namespace: they never collide with expression IDs, but two
+// callers using the same key string share an ID, so callers composing
+// structured keys should prefix them with a distinguishing tag.
+func (t *Table) Key(k string) ID { return t.intern("u" + k) }
+
+// Expr interns a history expression. IDs agree with the canonical
+// congruence of hexpr: Expr(a) == Expr(b) iff a.Key() == b.Key().
+func (t *Table) Expr(e hexpr.Expr) ID {
+	w := exprWords(e)
+	if id, ok := t.byIdent.Load(w); ok {
+		return id.(ID)
+	}
+	id := t.exprSlow(e)
+	t.byIdent.Store(w, id)
+	return id
+}
+
+// exprSlow interns structurally, bottom-up; children go through Expr so
+// they pick up (and seed) the identity fast path too.
+func (t *Table) exprSlow(e hexpr.Expr) ID {
+	switch x := e.(type) {
+	case hexpr.Nil:
+		return t.intern("e")
+	case hexpr.Var:
+		return t.intern("v" + x.Name)
+	case hexpr.Ev:
+		return t.intern("a" + x.Event.String())
+	case hexpr.Rec:
+		body := t.Expr(x.Body)
+		return t.intern("r" + x.Name + "\x00" + itoa(body))
+	case hexpr.Seq:
+		l, r := t.Expr(x.Left), t.Expr(x.Right)
+		return t.intern("s" + itoa(l) + "," + itoa(r))
+	case hexpr.ExtChoice:
+		return t.branches("x", x.Branches)
+	case hexpr.IntChoice:
+		return t.branches("i", x.Branches)
+	case hexpr.Session:
+		body := t.Expr(x.Body)
+		return t.intern("o" + string(x.Req) + "\x00" + string(x.Policy) + "\x00" + itoa(body))
+	case hexpr.Framing:
+		body := t.Expr(x.Body)
+		return t.intern("f" + string(x.Policy) + "\x00" + itoa(body))
+	case hexpr.CloseTag:
+		return t.intern("c" + string(x.Req) + "\x00" + string(x.Policy))
+	case hexpr.FrameClose:
+		return t.intern("q" + string(x.Policy))
+	}
+	panic("intern: unknown expression type")
+}
+
+// branches interns a choice node: the branch guards (channel + direction)
+// and the interned continuation IDs, in the order the smart constructors
+// canonicalised them to.
+func (t *Table) branches(tag string, bs []hexpr.Branch) ID {
+	buf := make([]byte, 0, 16+16*len(bs))
+	buf = append(buf, tag...)
+	for _, b := range bs {
+		cont := t.Expr(b.Cont)
+		buf = append(buf, b.Comm.Channel...)
+		if b.Comm.IsSend() {
+			buf = append(buf, '!')
+		} else {
+			buf = append(buf, '?')
+		}
+		buf = strconv.AppendInt(buf, int64(cont), 10)
+		buf = append(buf, 0)
+	}
+	return t.intern(string(buf))
+}
+
+func itoa(id ID) string { return strconv.FormatInt(int64(id), 10) }
+
+// Pack combines two IDs into a single map key, e.g. for caches keyed by a
+// (client, server) pair.
+func Pack(a, b ID) uint64 { return uint64(uint32(a))<<32 | uint64(uint32(b)) }

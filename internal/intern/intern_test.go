@@ -1,0 +1,136 @@
+package intern
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"susc/internal/hexpr"
+)
+
+// TestExprAgreesWithKey is the defining property of the table: two
+// expressions receive the same ID iff their canonical Key() forms are
+// equal. Checked over random well-formed expressions pairwise.
+func TestExprAgreesWithKey(t *testing.T) {
+	rnd := rand.New(rand.NewSource(7))
+	cfg := hexpr.DefaultGenConfig()
+	tab := NewTable()
+	const n = 120
+	exprs := make([]hexpr.Expr, n)
+	ids := make([]ID, n)
+	for i := range exprs {
+		exprs[i] = hexpr.Generate(rnd, cfg)
+		ids[i] = tab.Expr(exprs[i])
+	}
+	for i := 0; i < n; i++ {
+		for j := i; j < n; j++ {
+			sameKey := exprs[i].Key() == exprs[j].Key()
+			sameID := ids[i] == ids[j]
+			if sameKey != sameID {
+				t.Fatalf("expr %d vs %d: sameKey=%v sameID=%v\n  a=%s\n  b=%s",
+					i, j, sameKey, sameID, exprs[i].Key(), exprs[j].Key())
+			}
+		}
+	}
+}
+
+// TestExprStableAcrossCalls re-interns the same expressions (same boxed
+// values, exercising the identity fast path, and structurally equal
+// rebuilt values, exercising the slow path) and expects identical IDs.
+func TestExprStableAcrossCalls(t *testing.T) {
+	rnd := rand.New(rand.NewSource(11))
+	cfg := hexpr.DefaultGenConfig()
+	tab := NewTable()
+	for i := 0; i < 50; i++ {
+		e := hexpr.Generate(rnd, cfg)
+		a := tab.Expr(e)
+		if b := tab.Expr(e); b != a {
+			t.Fatalf("re-interning the same value changed the ID: %d vs %d", a, b)
+		}
+		// A sequence built around e twice must intern both copies alike.
+		s1 := hexpr.Cat(e, hexpr.Act(hexpr.E("read", hexpr.Sym("x"))))
+		s2 := hexpr.Cat(e, hexpr.Act(hexpr.E("read", hexpr.Sym("x"))))
+		if tab.Expr(s1) != tab.Expr(s2) {
+			t.Fatalf("structurally equal terms got distinct IDs")
+		}
+	}
+}
+
+func TestKeyAndNodeNamespaces(t *testing.T) {
+	tab := NewTable()
+	k1 := tab.Key("x")
+	k2 := tab.Key("x")
+	if k1 != k2 {
+		t.Fatalf("Key not idempotent: %d vs %d", k1, k2)
+	}
+	if tab.Key("y") == k1 {
+		t.Fatalf("distinct keys share an ID")
+	}
+	n1 := tab.Node('P', k1, k2)
+	if n2 := tab.Node('P', k1, k2); n2 != n1 {
+		t.Fatalf("Node not idempotent: %d vs %d", n1, n2)
+	}
+	if tab.Node('L', k1, k2) == n1 {
+		t.Fatalf("nodes with distinct tags share an ID")
+	}
+	if tab.Node('P', k2, tab.Key("y")) == n1 {
+		t.Fatalf("nodes with distinct children share an ID")
+	}
+}
+
+// TestConcurrentIntern hammers one table from many goroutines over a
+// shared pool of expressions and checks every goroutine observed the same
+// ID per expression. Run under -race this also exercises the identity
+// fast path and shard locking for data races.
+func TestConcurrentIntern(t *testing.T) {
+	rnd := rand.New(rand.NewSource(23))
+	cfg := hexpr.DefaultGenConfig()
+	const nExpr, nGo = 40, 8
+	exprs := make([]hexpr.Expr, nExpr)
+	for i := range exprs {
+		exprs[i] = hexpr.Generate(rnd, cfg)
+	}
+	tab := NewTable()
+	got := make([][]ID, nGo)
+	var wg sync.WaitGroup
+	for g := 0; g < nGo; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			ids := make([]ID, nExpr)
+			// vary the visiting order per goroutine
+			for k := 0; k < nExpr; k++ {
+				i := (k*7 + g*13) % nExpr
+				ids[i] = tab.Expr(exprs[i])
+				tab.Node('P', ids[i], ids[i])
+				tab.Key("shared")
+			}
+			got[g] = ids
+		}(g)
+	}
+	wg.Wait()
+	for g := 1; g < nGo; g++ {
+		for i := range exprs {
+			if got[g][i] != got[0][i] {
+				t.Fatalf("goroutine %d interned expr %d as %d, goroutine 0 as %d",
+					g, i, got[g][i], got[0][i])
+			}
+		}
+	}
+}
+
+func TestPack(t *testing.T) {
+	seen := map[uint64]bool{}
+	for _, a := range []ID{0, 1, 2, 1000, 1 << 20} {
+		for _, b := range []ID{0, 1, 2, 1000, 1 << 20} {
+			k := Pack(a, b)
+			if seen[k] {
+				t.Fatalf("Pack collision at (%d,%d)", a, b)
+			}
+			seen[k] = true
+		}
+	}
+	if Pack(1, 2) == Pack(2, 1) {
+		t.Fatal("Pack must be order-sensitive")
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"susc/internal/hexpr"
+	"susc/internal/intern"
 )
 
 // Bisimilar reports whether two closed expressions are strongly bisimilar:
@@ -22,7 +23,7 @@ func Bisimilar(a, b hexpr.Expr) (bool, error) {
 	if err != nil {
 		return false, err
 	}
-	union := &LTS{index: map[string]int{}}
+	union := &LTS{} // index-less: only Bisimulation runs on the union
 	offset := la.Len()
 	union.States = append(union.States, la.States...)
 	union.States = append(union.States, lb.States...)
@@ -119,7 +120,8 @@ func (l *LTS) Minimize() *LTS {
 	out := &LTS{
 		States: make([]hexpr.Expr, nextID),
 		Edges:  make([][]Edge, nextID),
-		index:  map[string]int{},
+		tab:    intern.NewTable(),
+		index:  map[intern.ID]int{},
 	}
 	filled := make([]bool, nextID)
 	for s := 0; s < l.Len(); s++ {
@@ -142,8 +144,9 @@ func (l *LTS) Minimize() *LTS {
 	for i, e := range out.States {
 		// representatives may collide on keys across classes only if they
 		// were bisimilar but structurally distinct; index keeps the first
-		if _, ok := out.index[e.Key()]; !ok {
-			out.index[e.Key()] = i
+		k := out.tab.Expr(e)
+		if _, ok := out.index[k]; !ok {
+			out.index[k] = i
 		}
 	}
 	return out

@@ -13,6 +13,7 @@ import (
 	"fmt"
 
 	"susc/internal/hexpr"
+	"susc/internal/intern"
 )
 
 // Transition is a single small step H —λ→ H′.
@@ -92,7 +93,8 @@ type LTS struct {
 	// order.
 	Edges [][]Edge
 
-	index map[string]int
+	tab   *intern.Table
+	index map[intern.ID]int
 }
 
 // DefaultMaxStates bounds LTS construction; well-formed expressions stay
@@ -106,7 +108,15 @@ func Build(e hexpr.Expr) (*LTS, error) { return BuildBounded(e, DefaultMaxStates
 
 // BuildBounded is Build with an explicit state bound.
 func BuildBounded(e hexpr.Expr, maxStates int) (*LTS, error) {
-	l := &LTS{index: map[string]int{}}
+	return BuildInterned(intern.NewTable(), e, maxStates)
+}
+
+// BuildInterned is BuildBounded over a caller-supplied interning table, so
+// repeated builds (e.g. through a shared memo.Cache) reuse each other's
+// interning work. The builder memoises states on interned IDs instead of
+// the recursive Key() strings.
+func BuildInterned(tab *intern.Table, e hexpr.Expr, maxStates int) (*LTS, error) {
+	l := &LTS{tab: tab, index: map[intern.ID]int{}}
 	l.add(e)
 	for i := 0; i < len(l.States); i++ {
 		if len(l.States) > maxStates {
@@ -123,7 +133,7 @@ func BuildBounded(e hexpr.Expr, maxStates int) (*LTS, error) {
 }
 
 func (l *LTS) add(e hexpr.Expr) int {
-	k := e.Key()
+	k := l.tab.Expr(e)
 	if i, ok := l.index[k]; ok {
 		return i
 	}
@@ -135,7 +145,10 @@ func (l *LTS) add(e hexpr.Expr) int {
 
 // StateOf returns the index of the state whose expression equals e, or -1.
 func (l *LTS) StateOf(e hexpr.Expr) int {
-	if i, ok := l.index[e.Key()]; ok {
+	if l.tab == nil {
+		return -1
+	}
+	if i, ok := l.index[l.tab.Expr(e)]; ok {
 		return i
 	}
 	return -1

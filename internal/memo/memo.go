@@ -1,0 +1,224 @@
+// Package memo is the shared memoisation layer of the static-analysis
+// stack. One Cache holds every artifact that plan synthesis recomputes
+// across candidate plans — compliance verdicts, product automata, one-step
+// transition sets and built LTSs — keyed by interned expression IDs
+// (internal/intern), so the cost of assessing N plans over a repository
+// grows with the number of *distinct* (request body, service) pairs and
+// distinct expression residuals, not with N.
+//
+// A Cache is safe for concurrent use: each table is sharded and guarded by
+// per-shard RWMutexes, and every cached artifact is immutable after
+// construction (products, transition slices and LTSs are never mutated by
+// their consumers). Racing goroutines may build the same artifact twice on
+// a cold key; both results are structurally identical and one wins, so
+// callers observe deterministic values regardless of scheduling.
+package memo
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"susc/internal/compliance"
+	"susc/internal/contract"
+	"susc/internal/hexpr"
+	"susc/internal/intern"
+	"susc/internal/lts"
+)
+
+const shardCount = 16 // power of two
+
+// Stats counts cache traffic. Counters are cumulative over the cache's
+// lifetime; Stats values are snapshots.
+type Stats struct {
+	ComplianceHits, ComplianceMisses uint64
+	ProductHits, ProductMisses       uint64
+	StepsHits, StepsMisses           uint64
+	LTSHits, LTSMisses               uint64
+	ProjectHits, ProjectMisses       uint64
+}
+
+// Hits returns the total hit count across all tables.
+func (s Stats) Hits() uint64 {
+	return s.ComplianceHits + s.ProductHits + s.StepsHits + s.LTSHits + s.ProjectHits
+}
+
+// Misses returns the total miss count across all tables.
+func (s Stats) Misses() uint64 {
+	return s.ComplianceMisses + s.ProductMisses + s.StepsMisses + s.LTSMisses + s.ProjectMisses
+}
+
+// HitRate returns the overall hit rate in [0,1] (0 when the cache is
+// untouched).
+func (s Stats) HitRate() float64 {
+	h, m := s.Hits(), s.Misses()
+	if h+m == 0 {
+		return 0
+	}
+	return float64(h) / float64(h+m)
+}
+
+type shard[V any] struct {
+	mu sync.RWMutex
+	m  map[uint64]V
+}
+
+type table[V any] struct {
+	shards [shardCount]shard[V]
+	hits   atomic.Uint64
+	misses atomic.Uint64
+}
+
+func (t *table[V]) get(k uint64) (V, bool) {
+	s := &t.shards[k&(shardCount-1)]
+	s.mu.RLock()
+	v, ok := s.m[k]
+	s.mu.RUnlock()
+	if ok {
+		t.hits.Add(1)
+	} else {
+		t.misses.Add(1)
+	}
+	return v, ok
+}
+
+func (t *table[V]) put(k uint64, v V) {
+	s := &t.shards[k&(shardCount-1)]
+	s.mu.Lock()
+	if s.m == nil {
+		s.m = map[uint64]V{}
+	}
+	s.m[k] = v
+	s.mu.Unlock()
+}
+
+// verdict is a memoised compliance decision with its diagnostic witness.
+type verdict struct {
+	ok      bool
+	witness string
+	err     error
+}
+
+type productEntry struct {
+	p   *compliance.Product
+	err error
+}
+
+type ltsEntry struct {
+	l   *lts.LTS
+	err error
+}
+
+// Cache is the shared memoisation handle. Construct with New; the zero
+// value is not usable.
+type Cache struct {
+	tab      *intern.Table
+	verdicts table[verdict]
+	products table[productEntry]
+	steps    table[[]lts.Transition]
+	ltss     table[ltsEntry]
+	projs    table[hexpr.Expr]
+}
+
+// New returns an empty cache with a fresh interning table.
+func New() *Cache { return &Cache{tab: intern.NewTable()} }
+
+// Interner exposes the cache's interning table, so callers (e.g. the
+// verify visited set) key their own maps in the same ID space.
+func (c *Cache) Interner() *intern.Table { return c.tab }
+
+// Stats returns a snapshot of the cache counters.
+func (c *Cache) Stats() Stats {
+	return Stats{
+		ComplianceHits:   c.verdicts.hits.Load(),
+		ComplianceMisses: c.verdicts.misses.Load(),
+		ProductHits:      c.products.hits.Load(),
+		ProductMisses:    c.products.misses.Load(),
+		StepsHits:        c.steps.hits.Load(),
+		StepsMisses:      c.steps.misses.Load(),
+		LTSHits:          c.ltss.hits.Load(),
+		LTSMisses:        c.ltss.misses.Load(),
+		ProjectHits:      c.projs.hits.Load(),
+		ProjectMisses:    c.projs.misses.Load(),
+	}
+}
+
+// Steps returns the one-step successors of e under the stand-alone
+// operational semantics, memoised on the interned form of e. The returned
+// slice is shared: callers must not mutate it.
+func (c *Cache) Steps(e hexpr.Expr) []lts.Transition {
+	k := uint64(uint32(c.tab.Expr(e)))
+	if v, ok := c.steps.get(k); ok {
+		return v
+	}
+	v := lts.Step(e)
+	c.steps.put(k, v)
+	return v
+}
+
+// Project returns the communication projection H! of e, memoised on the
+// interned form of e. Repeated products against the same service (or with
+// the same request body) project it once.
+func (c *Cache) Project(e hexpr.Expr) hexpr.Expr {
+	k := uint64(uint32(c.tab.Expr(e)))
+	if v, ok := c.projs.get(k); ok {
+		return v
+	}
+	v := contract.Project(e)
+	c.projs.put(k, v)
+	return v
+}
+
+// Product returns the product automaton of the pair, memoised on the
+// interned (client, server) IDs. The product shares the cache's interner,
+// projection memo and step memo, so building one product warms the
+// others.
+func (c *Cache) Product(client, server hexpr.Expr) (*compliance.Product, error) {
+	k := intern.Pack(c.tab.Expr(client), c.tab.Expr(server))
+	if v, ok := c.products.get(k); ok {
+		return v.p, v.err
+	}
+	p, err := compliance.NewProductProjected(c.tab, c.Steps, c.Project(client), c.Project(server))
+	c.products.put(k, productEntry{p: p, err: err})
+	return p, err
+}
+
+// Compliance decides H_client ⊢ H_server, memoised per distinct pair. It
+// returns the verdict together with the (deterministic) witness string of
+// a shortest stuck run when non-compliant.
+func (c *Cache) Compliance(client, server hexpr.Expr) (ok bool, witness string, err error) {
+	k := intern.Pack(c.tab.Expr(client), c.tab.Expr(server))
+	if v, ok := c.verdicts.get(k); ok {
+		return v.ok, v.witness, v.err
+	}
+	v := verdict{}
+	p, err := c.Product(client, server)
+	if err != nil {
+		v.err = err
+	} else if w := p.FindWitness(); w != nil {
+		v.witness = w.String()
+	} else {
+		v.ok = true
+	}
+	c.verdicts.put(k, v)
+	return v.ok, v.witness, v.err
+}
+
+// Compliant is Compliance without the witness, mirroring
+// compliance.Compliant.
+func (c *Cache) Compliant(client, server hexpr.Expr) (bool, error) {
+	ok, _, err := c.Compliance(client, server)
+	return ok, err
+}
+
+// LTS returns the built transition system of e, memoised on its interned
+// root. The LTS is immutable for cached use; callers needing to Minimize
+// must build their own copy via lts.Build.
+func (c *Cache) LTS(e hexpr.Expr) (*lts.LTS, error) {
+	k := uint64(uint32(c.tab.Expr(e)))
+	if v, ok := c.ltss.get(k); ok {
+		return v.l, v.err
+	}
+	l, err := lts.BuildInterned(c.tab, e, lts.DefaultMaxStates)
+	c.ltss.put(k, ltsEntry{l: l, err: err})
+	return l, err
+}

@@ -45,17 +45,28 @@ type Move struct {
 // missing from the repository, are simply not enabled (the network is
 // stuck on them; plan validation flags this).
 func TreeMoves(n Node, plan Plan, repo Repository) []Move {
+	return TreeMovesStep(n, plan, repo, lts.Step)
+}
+
+// StepFunc computes the one-step successors of a stand-alone expression.
+// lts.Step is the reference implementation; explorations pass a memoised
+// variant (memo.Cache.Steps) to amortise stepping across states and plans.
+type StepFunc func(hexpr.Expr) []lts.Transition
+
+// TreeMovesStep is TreeMoves with an explicit step function. The step
+// function's result slices are treated as read-only.
+func TreeMovesStep(n Node, plan Plan, repo Repository, step StepFunc) []Move {
 	switch t := n.(type) {
 	case Leaf:
-		return leafMoves(t, plan, repo)
+		return leafMoves(t, plan, repo, step)
 	case Pair:
 		var out []Move
 		// (Session): evolve one side, keeping the move's annotations
-		for _, m := range TreeMoves(t.Left, plan, repo) {
+		for _, m := range TreeMovesStep(t.Left, plan, repo, step) {
 			m.Tree = Pair{Left: m.Tree, Right: t.Right}
 			out = append(out, m)
 		}
-		for _, m := range TreeMoves(t.Right, plan, repo) {
+		for _, m := range TreeMovesStep(t.Right, plan, repo, step) {
 			m.Tree = Pair{Left: t.Left, Right: m.Tree}
 			out = append(out, m)
 		}
@@ -63,7 +74,7 @@ func TreeMoves(n Node, plan Plan, repo Repository) []Move {
 		l, lok := t.Left.(Leaf)
 		r, rok := t.Right.(Leaf)
 		if lok && rok {
-			out = append(out, pairMoves(l, r)...)
+			out = append(out, pairMoves(l, r, step)...)
 		}
 		return out
 	}
@@ -73,9 +84,9 @@ func TreeMoves(n Node, plan Plan, repo Repository) []Move {
 // leafMoves yields the Access and Open moves of a single located process.
 // Communication and close steps of the leaf are handled by the enclosing
 // pair (they need a partner).
-func leafMoves(l Leaf, plan Plan, repo Repository) []Move {
+func leafMoves(l Leaf, plan Plan, repo Repository, step StepFunc) []Move {
 	var out []Move
-	for _, tr := range lts.Step(l.Expr) {
+	for _, tr := range step(l.Expr) {
 		switch tr.Label.Kind {
 		case hexpr.LEvent:
 			out = append(out, Move{
@@ -124,10 +135,10 @@ func leafMoves(l Leaf, plan Plan, repo Repository) []Move {
 
 // pairMoves yields the Synch and Close moves of a session whose two sides
 // are leaves. [S,S′] ≡ [S′,S]: both orientations are considered.
-func pairMoves(l, r Leaf) []Move {
+func pairMoves(l, r Leaf, step StepFunc) []Move {
 	var out []Move
-	ls := lts.Step(l.Expr)
-	rs := lts.Step(r.Expr)
+	ls := step(l.Expr)
+	rs := step(r.Expr)
 	// (Synch): complementary communications become τ
 	for _, a := range ls {
 		if a.Label.Kind != hexpr.LComm {
@@ -148,14 +159,14 @@ func pairMoves(l, r Leaf) []Move {
 	}
 	// (Close): either side may close the session; the other side is
 	// terminated, its dangling framings closed in the history via Φ.
-	out = append(out, closeMoves(l, r)...)
-	out = append(out, closeMoves(r, l)...)
+	out = append(out, closeMoves(l, r, step)...)
+	out = append(out, closeMoves(r, l, step)...)
 	return out
 }
 
-func closeMoves(closer, other Leaf) []Move {
+func closeMoves(closer, other Leaf, step StepFunc) []Move {
 	var out []Move
-	for _, tr := range lts.Step(closer.Expr) {
+	for _, tr := range step(closer.Expr) {
 		if tr.Label.Kind != hexpr.LClose {
 			continue
 		}

@@ -1,0 +1,65 @@
+package plans_test
+
+import (
+	"encoding/json"
+	"testing"
+
+	"susc/internal/benchgen"
+	"susc/internal/memo"
+	"susc/internal/plans"
+)
+
+// TestAssessAllWorkersDeterministic: parallel validation must be invisible
+// in the output — AssessAll with 1 worker and with 8 workers (sharing one
+// memo cache or not) yields byte-identical assessments. Run under -race
+// this also exercises the shared cache across validator goroutines.
+func TestAssessAllWorkersDeterministic(t *testing.T) {
+	w := benchgen.Hotels(12)
+	marshal := func(workers int, cache *memo.Cache) []byte {
+		t.Helper()
+		as, err := plans.AssessAll(w.Repo, w.Table, w.Loc, w.Client,
+			plans.Options{PruneNonCompliant: true, Workers: workers, Cache: cache})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(as) == 0 {
+			t.Fatal("no assessments")
+		}
+		type entry struct {
+			Plan   string
+			Report string
+		}
+		out := make([]entry, len(as))
+		for i, a := range as {
+			out[i] = entry{Plan: a.Plan.Key(), Report: a.Report.String()}
+		}
+		b, err := json.Marshal(out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	sequential := marshal(1, nil)
+	for _, workers := range []int{1, 8} {
+		for _, shared := range []bool{false, true} {
+			var cache *memo.Cache
+			if shared {
+				cache = memo.New()
+			}
+			got := marshal(workers, cache)
+			if string(got) != string(sequential) {
+				t.Fatalf("workers=%d shared-cache=%v diverges from sequential:\n%s\nvs\n%s",
+					workers, shared, got, sequential)
+			}
+			// a shared cache must also be reusable for a second, identical run
+			if shared {
+				if again := marshal(workers, cache); string(again) != string(sequential) {
+					t.Fatalf("workers=%d warm-cache rerun diverges:\n%s", workers, again)
+				}
+				if cache.Stats().Hits() == 0 {
+					t.Fatal("warm rerun produced no cache hits")
+				}
+			}
+		}
+	}
+}

@@ -12,8 +12,8 @@ import (
 	"sort"
 	"sync"
 
-	"susc/internal/compliance"
 	"susc/internal/hexpr"
+	"susc/internal/memo"
 	"susc/internal/network"
 	"susc/internal/policy"
 	"susc/internal/verify"
@@ -34,6 +34,13 @@ type Options struct {
 	// (0 or 1 = sequential). All analyses are read-only over the
 	// repository and policy table, so parallel validation is safe.
 	Workers int
+	// Cache memoises compliance verdicts, product automata and one-step
+	// transition sets across the whole synthesis: the enumeration probe
+	// (PruneNonCompliant) and every worker validating candidate plans
+	// share it, so per-pair work is done once instead of once per plan.
+	// Nil builds a fresh cache for the call; supply one to share it
+	// across calls (e.g. repeated synthesis over the same repository).
+	Cache *memo.Cache
 }
 
 // Assessment is a complete plan together with its verdict.
@@ -52,10 +59,15 @@ func (a Assessment) String() string {
 func AssessAll(repo network.Repository, table *policy.Table,
 	loc hexpr.Location, client hexpr.Expr, opts Options) ([]Assessment, error) {
 
-	complete, err := enumerate(repo, client, opts)
+	cache := opts.Cache
+	if cache == nil {
+		cache = memo.New()
+	}
+	complete, err := enumerate(repo, client, opts, cache)
 	if err != nil {
 		return nil, err
 	}
+	vopts := verify.Options{Cache: cache}
 	out := make([]Assessment, len(complete))
 	if opts.Workers > 1 && len(complete) > 1 {
 		var wg sync.WaitGroup
@@ -67,7 +79,7 @@ func AssessAll(repo network.Repository, table *policy.Table,
 			go func() {
 				defer wg.Done()
 				for i := range jobs {
-					report, err := verify.CheckPlan(repo, table, loc, client, complete[i])
+					report, err := verify.CheckPlanOpts(repo, table, loc, client, complete[i], vopts)
 					if err != nil {
 						mu.Lock()
 						if firstErr == nil {
@@ -90,15 +102,33 @@ func AssessAll(repo network.Repository, table *policy.Table,
 		}
 	} else {
 		for i, plan := range complete {
-			report, err := verify.CheckPlan(repo, table, loc, client, plan)
+			report, err := verify.CheckPlanOpts(repo, table, loc, client, plan, vopts)
 			if err != nil {
 				return nil, err
 			}
 			out[i] = Assessment{Plan: plan, Report: report}
 		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Plan.Key() < out[j].Plan.Key() })
+	// sort on precomputed keys: Plan.Key() rebuilds its string per call,
+	// so computing it once per plan beats recomputing per comparison
+	keys := make([]string, len(out))
+	for i := range out {
+		keys[i] = out[i].Plan.Key()
+	}
+	sort.Sort(&byKey{keys: keys, out: out})
 	return out, nil
+}
+
+type byKey struct {
+	keys []string
+	out  []Assessment
+}
+
+func (s *byKey) Len() int           { return len(s.out) }
+func (s *byKey) Less(i, j int) bool { return s.keys[i] < s.keys[j] }
+func (s *byKey) Swap(i, j int) {
+	s.keys[i], s.keys[j] = s.keys[j], s.keys[i]
+	s.out[i], s.out[j] = s.out[j], s.out[i]
 }
 
 // Synthesize returns exactly the valid plans for the client, in
@@ -120,8 +150,11 @@ func Synthesize(repo network.Repository, table *policy.Table,
 }
 
 // enumerate produces every complete binding of the requests reachable
-// under the binding itself (selecting a service adds its requests).
-func enumerate(repo network.Repository, client hexpr.Expr, opts Options) ([]network.Plan, error) {
+// under the binding itself (selecting a service adds its requests). The
+// PruneNonCompliant probe decides compliance through the shared cache:
+// backtracking re-asks the same (body, service) pair on every branch, and
+// the memoised verdict turns the repeats into lookups.
+func enumerate(repo network.Repository, client hexpr.Expr, opts Options, cache *memo.Cache) ([]network.Plan, error) {
 	locations := repo.Locations()
 	var out []network.Plan
 	var expand func(plan network.Plan, pending []pendingReq) error
@@ -145,7 +178,7 @@ func enumerate(repo network.Repository, client hexpr.Expr, opts Options) ([]netw
 		for _, l := range locations {
 			service := repo[l]
 			if opts.PruneNonCompliant {
-				ok, err := compliance.Compliant(head.body, service)
+				ok, err := cache.Compliant(head.body, service)
 				if err != nil {
 					return err
 				}

@@ -1,0 +1,68 @@
+package verify
+
+import (
+	"strconv"
+
+	"susc/internal/intern"
+	"susc/internal/network"
+)
+
+// stateKey is the comparable visited-set key of one abstract configuration:
+// interned session tree, interned monitor signature, and the packed
+// availability vector (usually empty).
+type stateKey struct {
+	tree  intern.ID
+	sig   intern.ID
+	avail string
+}
+
+// internTree interns a session tree bottom-up in the same ID space as the
+// expressions it contains, so tree equality is one ID comparison. Leaves
+// and pairs are interned as tagged ID pairs (intern.Node) — no key string
+// is ever built.
+func internTree(tab *intern.Table, n network.Node) intern.ID {
+	switch t := n.(type) {
+	case network.Leaf:
+		return tab.Node('L', tab.Key(string(t.Loc)), tab.Expr(t.Expr))
+	case network.Pair:
+		return tab.Node('P', internTree(tab, t.Left), internTree(tab, t.Right))
+	}
+	panic("verify: unknown tree node")
+}
+
+// traceNode is a persistent (shared-tail) trace: explorations extend
+// traces in O(1) per move and materialise a slice only for the report's
+// counterexample.
+type traceNode struct {
+	prev  *traceNode
+	entry network.TraceEntry
+}
+
+// materialize returns the trace as a slice, oldest entry first. A nil
+// node is the empty trace.
+func (n *traceNode) materialize() []network.TraceEntry {
+	depth := 0
+	for p := n; p != nil; p = p.prev {
+		depth++
+	}
+	out := make([]network.TraceEntry, depth)
+	for p := n; p != nil; p = p.prev {
+		depth--
+		out[depth] = p.entry
+	}
+	return out
+}
+
+// packAvail encodes an availability vector compactly. Replica counts are
+// small non-negative ints; a comma keeps the encoding injective.
+func packAvail(avail []int) string {
+	if len(avail) == 0 {
+		return ""
+	}
+	buf := make([]byte, 0, 4*len(avail))
+	for _, n := range avail {
+		buf = strconv.AppendInt(buf, int64(n), 10)
+		buf = append(buf, ',')
+	}
+	return string(buf)
+}

@@ -3,11 +3,12 @@ package verify
 import (
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
 
-	"susc/internal/compliance"
 	"susc/internal/hexpr"
 	"susc/internal/history"
+	"susc/internal/memo"
 	"susc/internal/network"
 	"susc/internal/policy"
 )
@@ -22,6 +23,11 @@ import (
 // other needs.
 func CheckNetwork(repo network.Repository, table *policy.Table,
 	clients []ClientSpec, opts Options) (*Report, error) {
+
+	cache := opts.Cache
+	if cache == nil {
+		cache = memo.New()
+	}
 
 	// per-client static prechecks (cycles, compliance)
 	for _, c := range clients {
@@ -39,15 +45,15 @@ func CheckNetwork(repo network.Repository, table *policy.Table,
 			if !pr.Bound {
 				continue
 			}
-			p, err := compliance.NewProduct(pr.Body, pr.Service)
+			ok, witness, err := cache.Compliance(pr.Body, pr.Service)
 			if err != nil {
 				return nil, err
 			}
-			if w := p.FindWitness(); w != nil {
+			if !ok {
 				return &Report{
 					Verdict: NotCompliant,
 					Request: pr.Req,
-					Witness: fmt.Sprintf("client at %s, service at %s: %s", c.Loc, pr.Loc, w),
+					Witness: fmt.Sprintf("client at %s, service at %s: %s", c.Loc, pr.Loc, witness),
 				}, nil
 			}
 		}
@@ -69,25 +75,30 @@ func CheckNetwork(repo network.Repository, table *policy.Table,
 		trees []network.Node
 		mons  []*history.Monitor
 		avail []int
-		trace []network.TraceEntry
+		trace *traceNode
 	}
 	start := state{avail: initialAvail}
 	for _, c := range clients {
 		start.trees = append(start.trees, network.Leaf{Loc: c.Loc, Expr: c.Client})
 		start.mons = append(start.mons, history.NewMonitor(table))
 	}
+	// The visited-set key interns each component tree and monitor
+	// signature, so a state collapses to a short string of IDs instead of
+	// the concatenation of full tree keys.
+	tab := cache.Interner()
 	key := func(s state) string {
-		var b strings.Builder
+		buf := make([]byte, 0, 16*len(s.trees)+len(s.avail)*4)
 		for i, tr := range s.trees {
-			b.WriteString(tr.Key())
-			b.WriteByte(0)
-			b.WriteString(s.mons[i].Signature())
-			b.WriteByte(0)
+			buf = strconv.AppendInt(buf, int64(internTree(tab, tr)), 10)
+			buf = append(buf, ':')
+			buf = strconv.AppendInt(buf, int64(tab.Key(s.mons[i].Signature())), 10)
+			buf = append(buf, ';')
 		}
 		for _, n := range s.avail {
-			fmt.Fprintf(&b, "%d,", n)
+			buf = strconv.AppendInt(buf, int64(n), 10)
+			buf = append(buf, ',')
 		}
-		return b.String()
+		return string(buf)
 	}
 	allDone := func(s state) bool {
 		for _, tr := range s.trees {
@@ -113,7 +124,7 @@ func CheckNetwork(repo network.Repository, table *policy.Table,
 		}
 		var moves []compMove
 		for ci := range s.trees {
-			for _, m := range network.TreeMoves(s.trees[ci], clients[ci].Plan, repo) {
+			for _, m := range network.TreeMovesStep(s.trees[ci], clients[ci].Plan, repo, cache.Steps) {
 				if m.OpenLoc != "" {
 					if i, ok := limitedIdx[m.OpenLoc]; ok && s.avail[i] == 0 {
 						continue
@@ -124,7 +135,7 @@ func CheckNetwork(repo network.Repository, table *policy.Table,
 		}
 		if len(moves) == 0 && !allDone(s) {
 			report.Verdict = CommunicationDeadlock
-			report.Trace = s.trace
+			report.Trace = s.trace.materialize()
 			parts := make([]string, len(s.trees))
 			for i, tr := range s.trees {
 				parts[i] = tr.Key()
@@ -133,30 +144,34 @@ func CheckNetwork(repo network.Repository, table *policy.Table,
 			return report, nil
 		}
 		for _, cm := range moves {
-			mon := s.mons[cm.comp].Snapshot()
+			// see CheckPlanOpts: item-less moves share the monitor
+			mon := s.mons[cm.comp]
 			bad := hexpr.NoPolicy
-			for _, it := range cm.m.Items {
-				if err := mon.Append(it); err != nil {
-					if verr, ok := err.(*history.ViolationError); ok {
-						bad = verr.Policy
-					} else {
-						return nil, fmt.Errorf("verify: unexpected monitor error: %w", err)
+			if len(cm.m.Items) > 0 {
+				mon = mon.Snapshot()
+				for _, it := range cm.m.Items {
+					if err := mon.Append(it); err != nil {
+						if verr, ok := err.(*history.ViolationError); ok {
+							bad = verr.Policy
+						} else {
+							return nil, fmt.Errorf("verify: unexpected monitor error: %w", err)
+						}
+						break
 					}
-					break
 				}
 			}
 			entry := network.TraceEntry{Comp: cm.comp, Label: cm.m.Label}
 			if bad != hexpr.NoPolicy {
 				report.Verdict = SecurityViolation
 				report.Policy = bad
-				report.Trace = append(append([]network.TraceEntry{}, s.trace...), entry)
+				report.Trace = (&traceNode{prev: s.trace, entry: entry}).materialize()
 				return report, nil
 			}
 			next := state{
 				trees: append([]network.Node(nil), s.trees...),
 				mons:  append([]*history.Monitor(nil), s.mons...),
 				avail: s.avail,
-				trace: append(append([]network.TraceEntry{}, s.trace...), entry),
+				trace: &traceNode{prev: s.trace, entry: entry},
 			}
 			next.trees[cm.comp] = cm.m.Tree
 			next.mons[cm.comp] = mon

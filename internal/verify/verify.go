@@ -22,9 +22,9 @@ import (
 	"sort"
 	"strings"
 
-	"susc/internal/compliance"
 	"susc/internal/hexpr"
 	"susc/internal/history"
+	"susc/internal/memo"
 	"susc/internal/network"
 	"susc/internal/policy"
 )
@@ -125,6 +125,11 @@ type Options struct {
 	// Exhausted capacity shows up as a communication deadlock when some
 	// computation can strand an open on an unavailable service.
 	Capacities map[hexpr.Location]int
+	// Cache memoises compliance verdicts, product automata and one-step
+	// transition sets across CheckPlan calls; plan synthesis shares one
+	// cache over every candidate plan. Nil builds a private per-call cache
+	// (stepping is still amortised across the states of the exploration).
+	Cache *memo.Cache
 }
 
 // CheckPlan validates the plan for one client against the repository,
@@ -143,6 +148,11 @@ func CheckPlan(repo network.Repository, table *policy.Table,
 func CheckPlanOpts(repo network.Repository, table *policy.Table,
 	loc hexpr.Location, client hexpr.Expr, plan network.Plan, opts Options) (*Report, error) {
 
+	cache := opts.Cache
+	if cache == nil {
+		cache = memo.New()
+	}
+
 	// Refuse cyclic compositions: their session nesting is unbounded and
 	// the state space infinite.
 	if cyc := CallCycle(repo, client, plan); cyc != nil {
@@ -152,7 +162,9 @@ func CheckPlanOpts(repo network.Repository, table *policy.Table,
 		}, nil
 	}
 
-	// (a) per-request compliance over the composed service
+	// (a) per-request compliance over the composed service; verdicts (and
+	// their witnesses) are memoised per distinct (body, service) pair, so
+	// assessing many plans over the same repository decides each pair once.
 	reqs, err := PlannedRequests(repo, client, plan)
 	if err != nil {
 		return nil, err
@@ -161,15 +173,15 @@ func CheckPlanOpts(repo network.Repository, table *policy.Table,
 		if !pr.Bound {
 			continue // the exploration reports the deadlock with a trace
 		}
-		p, err := compliance.NewProduct(pr.Body, pr.Service)
+		ok, witness, err := cache.Compliance(pr.Body, pr.Service)
 		if err != nil {
 			return nil, err
 		}
-		if w := p.FindWitness(); w != nil {
+		if !ok {
 			return &Report{
 				Verdict: NotCompliant,
 				Request: pr.Req,
-				Witness: fmt.Sprintf("service at %s: %s", pr.Loc, w),
+				Witness: fmt.Sprintf("service at %s: %s", pr.Loc, witness),
 			}, nil
 		}
 	}
@@ -192,21 +204,25 @@ func CheckPlanOpts(repo network.Repository, table *policy.Table,
 		tree  network.Node
 		mon   *history.Monitor
 		avail []int
-		trace []network.TraceEntry
+		trace *traceNode
 	}
 	start := state{
 		tree:  network.Leaf{Loc: loc, Expr: client},
 		mon:   history.NewMonitor(table),
 		avail: initialAvail,
 	}
-	key := func(s state) string {
-		k := s.tree.Key() + "\x00" + s.mon.Signature()
-		for _, n := range s.avail {
-			k += fmt.Sprintf("\x00%d", n)
+	// Visited states are keyed by a small comparable struct of interned
+	// IDs — tree shape and monitor signature are interned once per state
+	// instead of concatenated into an O(size) string per lookup.
+	tab := cache.Interner()
+	key := func(s state) stateKey {
+		return stateKey{
+			tree:  internTree(tab, s.tree),
+			sig:   tab.Key(s.mon.Signature()),
+			avail: packAvail(s.avail),
 		}
-		return k
 	}
-	seen := map[string]bool{key(start): true}
+	seen := map[stateKey]bool{key(start): true}
 	queue := []state{start}
 	report := &Report{}
 	for len(queue) > 0 {
@@ -216,7 +232,7 @@ func CheckPlanOpts(repo network.Repository, table *policy.Table,
 		}
 		s := queue[0]
 		queue = queue[1:]
-		all := network.TreeMoves(s.tree, plan, repo)
+		all := network.TreeMovesStep(s.tree, plan, repo, cache.Steps)
 		moves := all[:0:0]
 		for _, m := range all {
 			if m.OpenLoc != "" {
@@ -228,28 +244,35 @@ func CheckPlanOpts(repo network.Repository, table *policy.Table,
 		}
 		if len(moves) == 0 && !network.Done(s.tree) {
 			report.Verdict = CommunicationDeadlock
-			report.Trace = s.trace
+			report.Trace = s.trace.materialize()
 			report.StuckTree = s.tree.Key()
 			return report, nil
 		}
 		for _, m := range moves {
-			mon := s.mon.Snapshot()
+			// Item-less moves (synchronisations) leave the monitor
+			// untouched; sharing it avoids a map copy per move. Monitors
+			// are only ever advanced on fresh snapshots, so sharing is
+			// safe.
+			mon := s.mon
 			bad := hexpr.NoPolicy
-			for _, it := range m.Items {
-				if err := mon.Append(it); err != nil {
-					if verr, ok := err.(*history.ViolationError); ok {
-						bad = verr.Policy
-					} else {
-						return nil, fmt.Errorf("verify: unexpected monitor error: %w", err)
+			if len(m.Items) > 0 {
+				mon = s.mon.Snapshot()
+				for _, it := range m.Items {
+					if err := mon.Append(it); err != nil {
+						if verr, ok := err.(*history.ViolationError); ok {
+							bad = verr.Policy
+						} else {
+							return nil, fmt.Errorf("verify: unexpected monitor error: %w", err)
+						}
+						break
 					}
-					break
 				}
 			}
 			entry := network.TraceEntry{Comp: 0, Label: m.Label}
 			if bad != hexpr.NoPolicy {
 				report.Verdict = SecurityViolation
 				report.Policy = bad
-				report.Trace = append(append([]network.TraceEntry{}, s.trace...), entry)
+				report.Trace = (&traceNode{prev: s.trace, entry: entry}).materialize()
 				return report, nil
 			}
 			avail := s.avail
@@ -266,7 +289,7 @@ func CheckPlanOpts(repo network.Repository, table *policy.Table,
 				tree:  m.Tree,
 				mon:   mon,
 				avail: avail,
-				trace: append(append([]network.TraceEntry{}, s.trace...), entry),
+				trace: &traceNode{prev: s.trace, entry: entry},
 			}
 			k := key(next)
 			if !seen[k] {
@@ -298,12 +321,14 @@ type ClientSpec struct {
 
 // CheckClients validates a vector of clients (one plan each). Components
 // of a network never interact, so the vector is valid iff every component
-// is; the reports are returned in order.
+// is; the reports are returned in order. One shared cache memoises
+// compliance and stepping across all the clients.
 func CheckClients(repo network.Repository, table *policy.Table, clients []ClientSpec) ([]*Report, bool, error) {
+	opts := Options{Cache: memo.New()}
 	reports := make([]*Report, len(clients))
 	all := true
 	for i, c := range clients {
-		r, err := CheckPlan(repo, table, c.Loc, c.Client, c.Plan)
+		r, err := CheckPlanOpts(repo, table, c.Loc, c.Client, c.Plan, opts)
 		if err != nil {
 			return nil, false, err
 		}
