@@ -31,14 +31,33 @@ type result struct {
 }
 
 type document struct {
-	GoVersion string   `json:"go_version"`
-	GoArch    string   `json:"go_arch"`
-	Hotels    int      `json:"hotels"`
-	Results   []result `json:"results"`
+	GoVersion string `json:"go_version"`
+	GoArch    string `json:"go_arch"`
+	Hotels    int    `json:"hotels"`
+	// Chained compares the legacy per-plan engine against the fused
+	// shared-state-space engine on the benchgen.Chained workload.
+	Chained *chainedDoc `json:"chained,omitempty"`
+	Results []result    `json:"results"`
+}
+
+// chainedDoc is the legacy-vs-fused comparison on one Chained workload:
+// the headline claim of the fused engine (BENCH_pr2.json archives it).
+type chainedDoc struct {
+	Depth   int     `json:"depth"`
+	Fanout  int     `json:"fanout"`
+	Plans   int     `json:"plans"`
+	Speedup float64 `json:"speedup"` // legacy ns_per_op / fused ns_per_op
+	// Fused-engine work counters from the last fused iteration.
+	StatesExpanded uint64 `json:"states_expanded"`
+	EdgesBuilt     uint64 `json:"edges_built"`
+	ReplayStates   uint64 `json:"replay_states"`
+	ReplayMemoHits uint64 `json:"replay_memo_hits"`
 }
 
 func main() {
 	hotels := flag.Int("hotels", 32, "size of the benchgen.Hotels workload")
+	depth := flag.Int("chained-depth", 12, "depth of the benchgen.Chained workload (0 skips it)")
+	fanout := flag.Int("chained-fanout", 2, "fanout of the benchgen.Chained workload")
 	out := flag.String("o", "", "write the JSON document here instead of stdout")
 	flag.Parse()
 
@@ -70,6 +89,10 @@ func main() {
 	doc.Results = append(doc.Results, toResult(
 		fmt.Sprintf("PlanSynthesisCached/workers=%d", 4), r, cache.Stats().HitRate()))
 
+	if *depth > 0 {
+		doc.Chained = runChained(*depth, *fanout, &doc)
+	}
+
 	enc := json.NewEncoder(os.Stdout)
 	if *out != "" {
 		f, err := os.Create(*out)
@@ -84,6 +107,49 @@ func main() {
 	if err := enc.Encode(doc); err != nil {
 		fmt.Fprintln(os.Stderr, "benchdump:", err)
 		os.Exit(1)
+	}
+}
+
+// runChained benchmarks the legacy and fused engines on one Chained
+// workload, appends both results to the document, and returns the
+// comparison summary.
+func runChained(depth, fanout int, doc *document) *chainedDoc {
+	w := benchgen.Chained(depth, fanout)
+	var stats plans.FusedStats
+	run := func(engine plans.Engine, st *plans.FusedStats) testing.BenchmarkResult {
+		return testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if st != nil {
+					*st = plans.FusedStats{}
+				}
+				as, err := plans.AssessAll(w.Repo, w.Table, w.Loc, w.Client,
+					plans.Options{PruneNonCompliant: true, Engine: engine, Stats: st})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(as) != w.PlanCount {
+					b.Fatalf("plans = %d, want %d", len(as), w.PlanCount)
+				}
+			}
+		})
+	}
+	legacy := run(plans.EngineLegacy, nil)
+	fused := run(plans.EngineFused, &stats)
+	base := fmt.Sprintf("PlanSynthesisChained/depth=%d/fanout=%d", depth, fanout)
+	doc.Results = append(doc.Results,
+		toResult(base+"/legacy", legacy, 0),
+		toResult(base+"/fused", fused, 0))
+	return &chainedDoc{
+		Depth:  depth,
+		Fanout: fanout,
+		Plans:  w.PlanCount,
+		Speedup: float64(legacy.T.Nanoseconds()) / float64(legacy.N) /
+			(float64(fused.T.Nanoseconds()) / float64(fused.N)),
+		StatesExpanded: stats.StatesExpanded,
+		EdgesBuilt:     stats.EdgesBuilt,
+		ReplayStates:   stats.ReplayStates,
+		ReplayMemoHits: stats.ReplayMemoHits,
 	}
 }
 

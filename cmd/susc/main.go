@@ -23,6 +23,9 @@
 //	                                     optionally under bounded availability
 //
 // check, checkall and plans accept -json for machine-readable reports.
+// plans also accepts -stream (print each assessment as the fused engine
+// produces it; with -json, one object per line) and -stats (memo-cache and
+// fused-engine work counters on stderr).
 package main
 
 import (
@@ -40,6 +43,7 @@ import (
 	"susc/internal/hexpr"
 	"susc/internal/lambda"
 	"susc/internal/lts"
+	"susc/internal/memo"
 	"susc/internal/network"
 	"susc/internal/parser"
 	"susc/internal/plans"
@@ -81,6 +85,10 @@ func run(args []string) error {
 	dualOf := fs.String("of", "", "dual: service, client, or OWNER.REQUEST to dualise")
 	capSpec := fs.String("cap", "", "checkall: bounded availability, e.g. \"br=2,s3=1\"")
 	jsonOut := fs.Bool("json", false, "check/checkall/plans: JSON output")
+	stream := fs.Bool("stream", false,
+		"plans: print each assessment as it is produced (with -json, one object per line)")
+	stats := fs.Bool("stats", false,
+		"plans: print memo-cache and fused-engine work counters on stderr")
 	runAll := fs.Bool("all", false, "run: simulate all declared clients concurrently")
 	workers := fs.Int("workers", runtime.GOMAXPROCS(0),
 		"plans/effect: validate candidate plans with this many goroutines")
@@ -117,7 +125,7 @@ func run(args []string) error {
 	case "validity":
 		return cmdValidity(f)
 	case "plans":
-		return cmdPlans(f, *clientName, *prune, *jsonOut, *workers)
+		return cmdPlans(f, *clientName, *prune, *jsonOut, *stream, *stats, *workers)
 	case "check":
 		return cmdCheck(f, *clientName, *jsonOut)
 	case "checkall":
@@ -423,32 +431,78 @@ func cmdValidity(f *parser.File) error {
 	return nil
 }
 
-func cmdPlans(f *parser.File, name string, prune, jsonOut bool, workers int) error {
+// planEntry is the JSON shape of one assessed plan (both the batch array
+// of -json and the per-line objects of -json -stream).
+type planEntry struct {
+	Plan   map[string]string `json:"plan"`
+	Report *verify.Report    `json:"report"`
+}
+
+func toPlanEntry(a plans.Assessment) planEntry {
+	m := map[string]string{}
+	for r, l := range a.Plan {
+		m[string(r)] = string(l)
+	}
+	return planEntry{Plan: m, Report: a.Report}
+}
+
+func cmdPlans(f *parser.File, name string, prune, jsonOut, stream, stats bool, workers int) error {
 	c, err := client(f, name)
 	if err != nil {
 		return err
 	}
-	as, err := plans.AssessAll(f.Repo, f.Table, c.Loc, c.Expr,
-		plans.Options{PruneNonCompliant: prune, Workers: workers})
+	cache := memo.New()
+	opts := plans.Options{
+		PruneNonCompliant: prune,
+		Workers:           workers,
+		Cache:             cache,
+	}
+	if stats {
+		opts.Stats = &plans.FusedStats{}
+	}
+	if stream {
+		// Stream assessments as the fused engine produces them — first
+		// results appear while later plans are still being replayed.
+		var enc *json.Encoder
+		if jsonOut {
+			enc = json.NewEncoder(os.Stdout)
+		}
+		total, validCount := 0, 0
+		err := plans.AssessStream(f.Repo, f.Table, c.Loc, c.Expr, opts,
+			func(a plans.Assessment) error {
+				total++
+				if a.Report.Verdict == verify.Valid {
+					validCount++
+				}
+				if jsonOut {
+					return enc.Encode(toPlanEntry(a))
+				}
+				fmt.Printf("%-30s %s\n", a.Plan, a.Report)
+				return nil
+			})
+		if err != nil {
+			return err
+		}
+		if !jsonOut {
+			fmt.Printf("%d plan(s), %d valid\n", total, validCount)
+		}
+		return printPlanStats(stats, cache, opts.Stats)
+	}
+	as, err := plans.AssessAll(f.Repo, f.Table, c.Loc, c.Expr, opts)
 	if err != nil {
 		return err
 	}
 	if jsonOut {
-		type entry struct {
-			Plan   map[string]string `json:"plan"`
-			Report *verify.Report    `json:"report"`
-		}
-		out := make([]entry, len(as))
+		out := make([]planEntry, len(as))
 		for i, a := range as {
-			m := map[string]string{}
-			for r, l := range a.Plan {
-				m[string(r)] = string(l)
-			}
-			out[i] = entry{Plan: m, Report: a.Report}
+			out[i] = toPlanEntry(a)
 		}
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
-		return enc.Encode(out)
+		if err := enc.Encode(out); err != nil {
+			return err
+		}
+		return printPlanStats(stats, cache, opts.Stats)
 	}
 	validCount := 0
 	for _, a := range as {
@@ -458,6 +512,24 @@ func cmdPlans(f *parser.File, name string, prune, jsonOut bool, workers int) err
 		}
 	}
 	fmt.Printf("%d plan(s), %d valid\n", len(as), validCount)
+	return printPlanStats(stats, cache, opts.Stats)
+}
+
+// printPlanStats reports the memo-cache hit rate and the fused engine's
+// work counters on stderr (keeping stdout machine-readable under -json).
+func printPlanStats(enabled bool, cache *memo.Cache, fs *plans.FusedStats) error {
+	if !enabled {
+		return nil
+	}
+	st := cache.Stats()
+	fmt.Fprintf(os.Stderr, "stats: cache %d hits, %d misses (%.1f%% hit rate)\n",
+		st.Hits(), st.Misses(), st.HitRate()*100)
+	if fs != nil {
+		fmt.Fprintf(os.Stderr,
+			"stats: fused %d plans assessed, %d states expanded, %d edges, %d replay states, %d memo hits, %d bindings pruned\n",
+			fs.PlansAssessed, fs.StatesExpanded, fs.EdgesBuilt,
+			fs.ReplayStates, fs.ReplayMemoHits, fs.BindingsPruned)
+	}
 	return nil
 }
 

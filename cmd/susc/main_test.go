@@ -115,6 +115,110 @@ func TestCmdPlans(t *testing.T) {
 	}
 }
 
+func TestCmdPlansStream(t *testing.T) {
+	// -stream must print the same assessments as the batch path, one per
+	// line as they arrive, followed by the same summary.
+	batch, err := capture(t, func() error {
+		return run([]string{"plans", hotelFile, "-client", "c2"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	streamed, err := capture(t, func() error {
+		return run([]string{"plans", hotelFile, "-client", "c2", "-stream"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if streamed != batch {
+		t.Errorf("-stream output differs from batch:\nbatch:\n%s\nstream:\n%s", batch, streamed)
+	}
+}
+
+func TestCmdPlansStreamJSON(t *testing.T) {
+	// -stream -json emits one JSON object per line; the concatenation must
+	// decode to the same entries as the batch -json array, in order.
+	out, err := capture(t, func() error {
+		return run([]string{"plans", hotelFile, "-client", "c2", "-stream", "-json"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	type entry struct {
+		Plan   map[string]string `json:"plan"`
+		Report struct {
+			Verdict string `json:"verdict"`
+		} `json:"report"`
+	}
+	dec := json.NewDecoder(strings.NewReader(out))
+	var got []entry
+	for dec.More() {
+		var e entry
+		if err := dec.Decode(&e); err != nil {
+			t.Fatalf("decode streamed object %d: %v\n%s", len(got), err, out)
+		}
+		got = append(got, e)
+	}
+	batchOut, err := capture(t, func() error {
+		return run([]string{"plans", hotelFile, "-client", "c2", "-json"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want []entry
+	if err := json.Unmarshal([]byte(batchOut), &want); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("streamed %d entries, batch has %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i].Report.Verdict != want[i].Report.Verdict ||
+			len(got[i].Plan) != len(want[i].Plan) {
+			t.Errorf("entry %d differs: stream %+v, batch %+v", i, got[i], want[i])
+		}
+		for r, l := range want[i].Plan {
+			if got[i].Plan[r] != l {
+				t.Errorf("entry %d binds %s to %s, batch to %s", i, r, got[i].Plan[r], l)
+			}
+		}
+	}
+}
+
+func TestCmdPlansStats(t *testing.T) {
+	// -stats reports the work counters on stderr, keeping stdout intact.
+	oldErr := os.Stderr
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stderr = w
+	var errBuf bytes.Buffer
+	done := make(chan struct{})
+	go func() {
+		errBuf.ReadFrom(r)
+		close(done)
+	}()
+	out, runErr := capture(t, func() error {
+		return run([]string{"plans", hotelFile, "-client", "c2", "-stats"})
+	})
+	w.Close()
+	<-done
+	os.Stderr = oldErr
+	if runErr != nil {
+		t.Fatal(runErr)
+	}
+	if !strings.Contains(out, "1 valid") {
+		t.Errorf("plans output:\n%s", out)
+	}
+	stderr := errBuf.String()
+	for _, want := range []string{"stats: cache", "hit rate", "stats: fused", "states expanded"} {
+		if !strings.Contains(stderr, want) {
+			t.Errorf("-stats stderr missing %q:\n%s", want, stderr)
+		}
+	}
+}
+
 func TestCmdCheck(t *testing.T) {
 	out, err := capture(t, func() error {
 		return run([]string{"check", hotelFile, "-client", "c1"})

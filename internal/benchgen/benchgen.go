@@ -85,6 +85,74 @@ func Hotels(n int) *HotelWorld {
 	}
 }
 
+// ChainedWorld is a workload that scales the *request* dimension of plan
+// synthesis: a chain of `depth` brokerage levels, each offering `fanout`
+// interchangeable services, so the pruned plan space holds fanout^depth
+// complete plans — every one of them valid.
+type ChainedWorld struct {
+	Repo   network.Repository
+	Table  *policy.Table
+	Client hexpr.Expr
+	Loc    hexpr.Location
+	// Requests lists the chained request identifiers r1…r<depth>.
+	Requests []hexpr.RequestID
+	// PlanCount is the number of complete plans surviving compliance
+	// pruning: fanout^depth.
+	PlanCount int
+}
+
+// Chained builds the chained-brokers world: the client opens r1 towards a
+// level-1 service; every level-i service (i < depth) serves its level's
+// protocol and opens r<i+1> towards a level-(i+1) service in a nested
+// session. The `fanout` services of one level are interchangeable (same
+// protocol, distinct signing events), and each level uses level-distinct
+// channels, so compliance pruning confines request r<i> to level i — the
+// plan space is exactly the fanout^depth level-respecting assignments.
+// The policy table is empty: all plans are valid, which makes the workload
+// a pure measurement of exploration cost across an exponential plan
+// family with heavily shared state.
+func Chained(depth, fanout int) *ChainedWorld {
+	body := func(i int) hexpr.Expr {
+		return hexpr.SendThen(fmt.Sprintf("m%d", i),
+			hexpr.RecvThen(fmt.Sprintf("k%d", i), hexpr.Eps()))
+	}
+	repo := network.Repository{}
+	count := 1
+	var reqs []hexpr.RequestID
+	for i := 1; i <= depth; i++ {
+		reqs = append(reqs, hexpr.RequestID(fmt.Sprintf("r%d", i)))
+		count *= fanout
+		for j := 0; j < fanout; j++ {
+			name := fmt.Sprintf("s%d_%d", i, j)
+			reply := hexpr.SendThen(fmt.Sprintf("k%d", i), hexpr.Eps())
+			var work hexpr.Expr = reply
+			if i < depth {
+				// The nested call: every level-i service requests r<i+1>
+				// with the same body, so each plan selects one downstream
+				// service for whichever level-i service it picked.
+				work = hexpr.Cat(
+					hexpr.Open(hexpr.RequestID(fmt.Sprintf("r%d", i+1)),
+						hexpr.NoPolicy, body(i+1)),
+					reply,
+				)
+			}
+			repo[hexpr.Location(name)] = hexpr.Cat(
+				hexpr.Act(hexpr.E("sgn", hexpr.Sym(name))),
+				hexpr.RecvThen(fmt.Sprintf("m%d", i), work),
+			)
+		}
+	}
+	client := hexpr.Open("r1", hexpr.NoPolicy, body(1))
+	return &ChainedWorld{
+		Repo:      repo,
+		Table:     policy.NewTable(),
+		Client:    client,
+		Loc:       "cl",
+		Requests:  reqs,
+		PlanCount: count,
+	}
+}
+
 // PingPong builds a compliant recursive contract pair exchanging `width`
 // distinct messages per round for `depth` alternation layers: the product
 // automaton grows with both parameters.

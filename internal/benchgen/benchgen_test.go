@@ -1,0 +1,46 @@
+package benchgen_test
+
+import (
+	"testing"
+
+	"susc/internal/benchgen"
+	"susc/internal/plans"
+	"susc/internal/verify"
+)
+
+// TestChainedPlanSpace: the pruned plan space of Chained(depth, fanout) is
+// exactly fanout^depth — every plan binds each level's request to one of
+// that level's services — and every plan is valid.
+func TestChainedPlanSpace(t *testing.T) {
+	for _, tc := range []struct{ depth, fanout int }{
+		{1, 3}, {2, 2}, {2, 3}, {3, 2},
+	} {
+		w := benchgen.Chained(tc.depth, tc.fanout)
+		want := 1
+		for i := 0; i < tc.depth; i++ {
+			want *= tc.fanout
+		}
+		if w.PlanCount != want {
+			t.Fatalf("Chained(%d,%d).PlanCount = %d, want %d",
+				tc.depth, tc.fanout, w.PlanCount, want)
+		}
+		if len(w.Requests) != tc.depth {
+			t.Fatalf("Chained(%d,%d) has %d requests", tc.depth, tc.fanout, len(w.Requests))
+		}
+		as, err := plans.AssessAll(w.Repo, w.Table, w.Loc, w.Client,
+			plans.Options{PruneNonCompliant: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(as) != want {
+			t.Fatalf("Chained(%d,%d): %d pruned plans, want %d",
+				tc.depth, tc.fanout, len(as), want)
+		}
+		for _, a := range as {
+			if a.Report.Verdict != verify.Valid {
+				t.Fatalf("Chained(%d,%d): plan %s is %s, want valid",
+					tc.depth, tc.fanout, a.Plan, a.Report)
+			}
+		}
+	}
+}

@@ -332,3 +332,31 @@ func TestHistoryString(t *testing.T) {
 		t.Errorf("String = %q", got)
 	}
 }
+
+func TestInertFor(t *testing.T) {
+	events := []history.Item{ev("a"), ev("b", hexpr.Int(1))}
+	// No policies: plain events are inert — sharing the monitor instead of
+	// snapshotting must leave signature and acceptance unchanged.
+	empty := history.NewMonitor(policy.NewTable())
+	if !empty.InertFor(events) {
+		t.Error("events under an empty table must be inert")
+	}
+	sig := empty.Signature()
+	for _, it := range events {
+		if err := empty.Append(it); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := empty.Signature(); got != sig {
+		t.Errorf("inert items changed the signature: %q -> %q", sig, got)
+	}
+	// Framing items are never inert, even under an empty table.
+	if empty.InertFor([]history.Item{history.OpenItem(hexpr.NoPolicy)}) {
+		t.Error("frame-open must not be inert")
+	}
+	// With policy automata present, events can advance states: not inert.
+	m := history.NewMonitor(policy.NewTable(noWriteAfterRead()))
+	if m.InertFor(events) {
+		t.Error("events under a non-empty table must not be inert")
+	}
+}

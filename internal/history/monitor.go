@@ -126,6 +126,24 @@ func (m *Monitor) Append(it Item) error {
 	return nil
 }
 
+// InertFor reports whether appending the items would provably leave the
+// monitor's abstract state unchanged and violation-free: with no policy
+// automata to run (empty table — states is seeded with every table ID, so
+// an empty map means no policies, hence nothing active), plain events
+// advance nothing and cannot violate. Explorations use this to share a
+// monitor across such moves instead of snapshotting and re-appending.
+func (m *Monitor) InertFor(items []Item) bool {
+	if len(m.states) > 0 {
+		return false
+	}
+	for _, it := range items {
+		if it.Kind != ItemEvent {
+			return false
+		}
+	}
+	return true
+}
+
 // AppendAll consumes a whole history, stopping at the first error.
 func (m *Monitor) AppendAll(h History) error {
 	for _, it := range h {

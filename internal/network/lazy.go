@@ -1,0 +1,141 @@
+package network
+
+import (
+	"fmt"
+
+	"susc/internal/hexpr"
+	"susc/internal/history"
+)
+
+// MoveGroup is one plan-independent unit of the enabled-move relation of a
+// session tree: either a single concrete move (Req == "", len(Moves) == 1),
+// or a lazily-bound session opening (Req != ""), whose Moves instantiate
+// the same open once per candidate service location, in candidate order.
+// All moves of an open group share the same Label and Items (they differ
+// only in the selected service), so a monitor needs to be advanced once per
+// group, not once per candidate.
+type MoveGroup struct {
+	Req   hexpr.RequestID
+	Moves []Move
+}
+
+// Candidates supplies, per request, the candidate service locations a lazy
+// exploration branches over — typically the repository locations whose
+// service is compliant with the request body. Locations absent from the
+// repository are ignored. Returning an error aborts the walk.
+type Candidates func(req hexpr.RequestID) ([]hexpr.Location, error)
+
+// TreeMovesLazy is the plan-free analogue of TreeMovesStep: instead of
+// resolving a session-opening through a plan, it emits one open group per
+// enabled open, branching over the candidate services. Projecting the
+// groups under a complete plan π — keeping every concrete group and, for
+// every open group, exactly the move whose OpenLoc is π(Req) — yields
+// precisely TreeMovesStep(n, π, repo, step), in the same order, whenever π
+// binds every emitted request to one of its listed candidates. Open groups
+// with no candidate are dropped: no such plan enables them.
+func TreeMovesLazy(n Node, repo Repository, cands Candidates, step StepFunc) ([]MoveGroup, error) {
+	return treeMovesLazyInto(nil, n, repo, cands, step)
+}
+
+// treeMovesLazyInto appends the groups of n to out: one growing
+// accumulator for the whole walk instead of a slice per recursion level.
+func treeMovesLazyInto(out []MoveGroup, n Node, repo Repository, cands Candidates, step StepFunc) ([]MoveGroup, error) {
+	switch t := n.(type) {
+	case Leaf:
+		return leafMovesLazyInto(out, t, repo, cands, step)
+	case Pair:
+		// (Session): evolve one side, keeping every candidate's annotations
+		start := len(out)
+		out, err := treeMovesLazyInto(out, t.Left, repo, cands, step)
+		if err != nil {
+			return nil, err
+		}
+		for _, g := range out[start:] {
+			for i := range g.Moves {
+				g.Moves[i].Tree = Pair{Left: g.Moves[i].Tree, Right: t.Right}
+			}
+		}
+		mid := len(out)
+		out, err = treeMovesLazyInto(out, t.Right, repo, cands, step)
+		if err != nil {
+			return nil, err
+		}
+		for _, g := range out[mid:] {
+			for i := range g.Moves {
+				g.Moves[i].Tree = Pair{Left: t.Left, Right: g.Moves[i].Tree}
+			}
+		}
+		// (Synch) and (Close) need both sides to be leaves; they never
+		// open sessions, so they are always concrete.
+		l, lok := t.Left.(Leaf)
+		r, rok := t.Right.(Leaf)
+		if lok && rok {
+			for _, m := range pairMoves(l, r, step) {
+				out = append(out, MoveGroup{Moves: []Move{m}})
+			}
+		}
+		return out, nil
+	}
+	panic(fmt.Sprintf("network: unknown node %T", n))
+}
+
+// leafMovesLazyInto mirrors leafMoves, with LOpen branching over candidates
+// instead of resolving through a plan. The two must stay in lock-step; the
+// projection property test (lazy_test.go) guards the correspondence.
+func leafMovesLazyInto(out []MoveGroup, l Leaf, repo Repository, cands Candidates, step StepFunc) ([]MoveGroup, error) {
+	for _, tr := range step(l.Expr) {
+		switch tr.Label.Kind {
+		case hexpr.LEvent:
+			out = append(out, MoveGroup{Moves: []Move{{
+				Label: tr.Label,
+				Items: []history.Item{history.EventItem(tr.Label.Event)},
+				Tree:  Leaf{Loc: l.Loc, Expr: tr.To},
+			}}})
+		case hexpr.LFrameOpen:
+			var items []history.Item
+			if tr.Label.Policy != hexpr.NoPolicy {
+				items = []history.Item{history.OpenItem(tr.Label.Policy)}
+			}
+			out = append(out, MoveGroup{Moves: []Move{{
+				Label: tr.Label, Items: items, Tree: Leaf{Loc: l.Loc, Expr: tr.To},
+			}}})
+		case hexpr.LFrameClose:
+			var items []history.Item
+			if tr.Label.Policy != hexpr.NoPolicy {
+				items = []history.Item{history.CloseItem(tr.Label.Policy)}
+			}
+			out = append(out, MoveGroup{Moves: []Move{{
+				Label: tr.Label, Items: items, Tree: Leaf{Loc: l.Loc, Expr: tr.To},
+			}}})
+		case hexpr.LOpen:
+			locs, err := cands(tr.Label.Req)
+			if err != nil {
+				return nil, err
+			}
+			var items []history.Item
+			if tr.Label.Policy != hexpr.NoPolicy {
+				items = []history.Item{history.OpenItem(tr.Label.Policy)}
+			}
+			g := MoveGroup{Req: tr.Label.Req}
+			for _, loc := range locs {
+				service, ok := repo[loc]
+				if !ok {
+					continue // dangling candidate: not enabled
+				}
+				g.Moves = append(g.Moves, Move{
+					Label:   tr.Label,
+					Items:   items,
+					OpenLoc: loc,
+					Tree: Pair{
+						Left:  Leaf{Loc: l.Loc, Expr: tr.To},
+						Right: Leaf{Loc: loc, Expr: service},
+					},
+				})
+			}
+			if len(g.Moves) > 0 {
+				out = append(out, g)
+			}
+		}
+	}
+	return out, nil
+}

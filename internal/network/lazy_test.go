@@ -1,0 +1,146 @@
+package network_test
+
+import (
+	"reflect"
+	"sort"
+	"testing"
+
+	"susc/internal/hexpr"
+	"susc/internal/lts"
+	"susc/internal/network"
+	"susc/internal/paperex"
+)
+
+// project restricts lazy move groups to a concrete plan: concrete groups
+// survive as-is, open groups keep exactly the candidate the plan selects
+// (nothing, when the plan leaves the request unbound).
+func project(groups []network.MoveGroup, plan network.Plan) []network.Move {
+	var out []network.Move
+	for _, g := range groups {
+		if g.Req == "" {
+			out = append(out, g.Moves...)
+			continue
+		}
+		loc, ok := plan[g.Req]
+		if !ok {
+			continue
+		}
+		for _, m := range g.Moves {
+			if m.OpenLoc == loc {
+				out = append(out, m)
+			}
+		}
+	}
+	return out
+}
+
+// TestLazyMovesProjection: for every tree reachable under a plan whose
+// bindings all come from the candidate sets, projecting TreeMovesLazy under
+// the plan equals TreeMovesStep — same moves, same order. Explored over the
+// paper's hotel-booking world under several plans.
+func TestLazyMovesProjection(t *testing.T) {
+	repo := network.Repository(paperex.Repository())
+	var all []hexpr.Location
+	for l := range repo {
+		all = append(all, l)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	cands := func(hexpr.RequestID) ([]hexpr.Location, error) { return all, nil }
+
+	plans := []network.Plan{
+		{"r1": paperex.LocBr, "r3": paperex.LocS1},
+		{"r1": paperex.LocBr, "r3": paperex.LocS4},
+		{"r2": paperex.LocBr, "r3": paperex.LocS2},
+		{"r1": paperex.LocBr}, // r3 unbound: its open group projects away
+		{},
+	}
+	for _, client := range []hexpr.Expr{paperex.C1(), paperex.C2()} {
+		for _, plan := range plans {
+			start := network.Node(network.Leaf{Loc: "cl", Expr: client})
+			seen := map[string]bool{start.Key(): true}
+			queue := []network.Node{start}
+			for len(queue) > 0 {
+				tree := queue[0]
+				queue = queue[1:]
+				want := network.TreeMovesStep(tree, plan, repo, lts.Step)
+				groups, err := network.TreeMovesLazy(tree, repo, cands, lts.Step)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got := project(groups, plan)
+				if !movesEqual(got, want) {
+					t.Fatalf("plan %v, tree %s:\nprojected = %+v\ndirect    = %+v",
+						plan, tree.Key(), got, want)
+				}
+				for _, m := range want {
+					if k := m.Tree.Key(); !seen[k] {
+						seen[k] = true
+						queue = append(queue, m.Tree)
+					}
+				}
+			}
+		}
+	}
+}
+
+// movesEqual compares move slices structurally, treating nil and empty
+// item slices as equal (the two code paths build them differently).
+func movesEqual(a, b []network.Move) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		x, y := a[i], b[i]
+		if len(x.Items) == 0 && len(y.Items) == 0 {
+			x.Items, y.Items = nil, nil
+		}
+		if !reflect.DeepEqual(x, y) {
+			return false
+		}
+	}
+	return true
+}
+
+// TestLazyMovesGroups: open groups list one move per candidate in candidate
+// order, all sharing the label and items; dangling candidates are dropped;
+// candidate-less groups are elided.
+func TestLazyMovesGroups(t *testing.T) {
+	repo := network.Repository{
+		"a": hexpr.RecvThen("q", hexpr.Eps()),
+		"b": hexpr.RecvThen("q", hexpr.Eps()),
+	}
+	open := network.Leaf{Loc: "cl",
+		Expr: hexpr.Open("r1", hexpr.NoPolicy, hexpr.SendThen("q", hexpr.Eps()))}
+	cands := func(req hexpr.RequestID) ([]hexpr.Location, error) {
+		return []hexpr.Location{"a", "ghost", "b"}, nil
+	}
+	groups, err := network.TreeMovesLazy(open, repo, cands, lts.Step)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(groups) != 1 || groups[0].Req != "r1" {
+		t.Fatalf("groups = %+v", groups)
+	}
+	var locs []hexpr.Location
+	for _, m := range groups[0].Moves {
+		locs = append(locs, m.OpenLoc)
+		if m.Label.Kind != hexpr.LOpen {
+			t.Errorf("open group carries non-open move %s", m.Label)
+		}
+	}
+	if !reflect.DeepEqual(locs, []hexpr.Location{"a", "b"}) {
+		t.Fatalf("candidate locs = %v, want [a b] (ghost dropped, order kept)", locs)
+	}
+
+	// No candidate in the repository: the group disappears entirely.
+	none := func(hexpr.RequestID) ([]hexpr.Location, error) {
+		return []hexpr.Location{"ghost"}, nil
+	}
+	groups, err = network.TreeMovesLazy(open, repo, none, lts.Step)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(groups) != 0 {
+		t.Fatalf("groups = %+v, want none", groups)
+	}
+}

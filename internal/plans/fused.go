@@ -1,0 +1,925 @@
+package plans
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"unsafe"
+
+	"susc/internal/hexpr"
+	"susc/internal/history"
+	"susc/internal/intern"
+	"susc/internal/memo"
+	"susc/internal/network"
+	"susc/internal/policy"
+	"susc/internal/ring"
+	"susc/internal/verify"
+)
+
+// Engine selects the synthesis strategy.
+type Engine int
+
+const (
+	// EngineFused (the default) synthesizes and validates plans in one
+	// shared exploration of the client's configuration space: request
+	// bindings are resolved lazily at the first session-open, states
+	// reachable under many plans are expanded once, and per-plan verdicts
+	// are recovered by cheap replays over the shared graph, memoised on
+	// the binding decisions they actually consult. Output is identical to
+	// EngineLegacy — same assessments, same deterministic order.
+	EngineFused Engine = iota
+	// EngineLegacy enumerates every complete plan first and validates
+	// each with an independent verify.CheckPlanOpts exploration.
+	EngineLegacy
+)
+
+// FusedStats counts the work of one fused synthesis. The engine updates
+// the fields atomically; read them after the call returns (or via
+// atomic.LoadUint64 while it runs).
+type FusedStats struct {
+	// StatesExpanded is the number of distinct graph states whose moves
+	// and monitor advances were computed (once, shared by every plan
+	// reaching the state).
+	StatesExpanded uint64
+	// EdgesBuilt is the number of graph edges built: one per concrete
+	// move, one per compliant candidate of a lazy session-open.
+	EdgesBuilt uint64
+	// ReplayStates is the total number of state visits across all plan
+	// replays — the fused analogue of summing Report.States over the
+	// plans that were actually explored.
+	ReplayStates uint64
+	// ReplayMemoHits is the number of plans whose verdict was recovered
+	// from an earlier replay consulting the same binding decisions.
+	ReplayMemoHits uint64
+	// PlansAssessed is the number of complete plans assessed.
+	PlansAssessed uint64
+	// BindingsPruned is the number of candidate bindings rejected by the
+	// PruneNonCompliant probe during enumeration.
+	BindingsPruned uint64
+}
+
+// fusedEngine is the shared-state-space synthesis engine. One engine
+// serves one AssessStream call; the memo.Cache it draws compliance
+// verdicts and transition sets from may outlive it.
+//
+// The state graph is plan-oblivious: a node is keyed by the interned
+// session tree and monitor signature only — exactly the visited-set key of
+// verify.CheckPlanOpts (synthesis never bounds availability, so the
+// availability component is always empty). Session-opens are not resolved
+// through a plan: a node's outgoing edges include one *group* per enabled
+// open, carrying one sub-edge per compliant candidate service. A concrete
+// plan's exploration is the projection of the graph that keeps, in every
+// group, the candidate the plan selects — so one graph expansion serves
+// every plan, and replaying a plan is a BFS over prebuilt edges with no
+// stepping, no monitor copies and no interning.
+type fusedEngine struct {
+	repo   network.Repository
+	table  *policy.Table
+	loc    hexpr.Location
+	client hexpr.Expr
+	opts   Options
+	cache  *memo.Cache
+	tab    *intern.Table
+	stats  *FusedStats
+	// locIDs pre-interns every location of the world (client + repository),
+	// read-only after construction, so keying a leaf skips the string
+	// build and shard lock of Table.Key.
+	locIDs map[hexpr.Location]intern.ID
+
+	// locations is the deterministic candidate order (sorted repository
+	// locations), shared with the legacy enumerator.
+	locations []hexpr.Location
+	// bodies maps each request of the world to its body (request
+	// identifiers are unique across a composition, Definition 1).
+	bodies map[hexpr.RequestID]hexpr.Expr
+	// clientPending/locPending hold the sessions of the client and of
+	// every service, in hexpr.Walk pre-order — computed once and shared by
+	// plan enumeration and the per-plan static compliance walk, which
+	// would otherwise re-walk the expressions for every plan.
+	clientPending []pendingReq
+	locPending    map[hexpr.Location][]pendingReq
+	// clientReqs/locReqs are the deduplicated per-expression request lists
+	// feeding the call-cycle successor function.
+	clientReqs []hexpr.RequestID
+	locReqs    map[hexpr.Location][]hexpr.RequestID
+
+	// cycleFree records that the union call graph — every request pointing
+	// at every location enumeration could bind it to — is acyclic, which
+	// proves every assessed plan acyclic (each plan's call graph is a
+	// subgraph) and lets staticCheck skip the per-plan cycle DFS. Set
+	// before workers start, read-only after.
+	cycleFree bool
+
+	candMu sync.Mutex
+	cands  map[hexpr.RequestID][]hexpr.Location
+
+	nodeMu sync.Mutex
+	nodes  map[nodeKey]*fnode
+	start  *fnode
+
+	memoMu sync.Mutex
+	memo   *decisionTrie
+}
+
+// nodeKey identifies an abstract configuration — the interned session tree
+// and monitor signature, matching verify's visited-set key.
+type nodeKey struct {
+	tree intern.ID
+	sig  intern.ID
+}
+
+// skel mirrors a session tree with the interned ID of every subtree. A
+// move rebuilds only the spine from the root to the leaf that moved — the
+// untouched siblings of a successor tree are the very same boxed interface
+// values as in the predecessor — so diffing against the predecessor's
+// skeleton re-keys a successor in O(spine) instead of re-hashing every
+// leaf (internDiff). IDs agree with verify.InternTree by construction.
+type skel struct {
+	id          intern.ID
+	left, right *skel
+}
+
+// sameBox reports whether two tree interface values share one boxed
+// representation. False negatives only cost a re-intern; equal boxes
+// always denote equal trees (trees are immutable).
+func sameBox(a, b network.Node) bool {
+	type iface struct{ typ, data unsafe.Pointer }
+	return *(*iface)(unsafe.Pointer(&a)) == *(*iface)(unsafe.Pointer(&b))
+}
+
+func (eng *fusedEngine) locKey(l hexpr.Location) intern.ID {
+	if id, ok := eng.locIDs[l]; ok {
+		return id
+	}
+	return eng.tab.Key(string(l))
+}
+
+// internSkel interns a tree from scratch (the start node).
+func (eng *fusedEngine) internSkel(n network.Node) *skel {
+	switch t := n.(type) {
+	case network.Leaf:
+		return &skel{id: eng.tab.Node('L', eng.locKey(t.Loc), eng.tab.Expr(t.Expr))}
+	case network.Pair:
+		l, r := eng.internSkel(t.Left), eng.internSkel(t.Right)
+		return &skel{id: eng.tab.Node('P', l.id, r.id), left: l, right: r}
+	}
+	panic("plans: unknown tree node")
+}
+
+// skelArena block-allocates skeleton nodes: every skel built during
+// expansion stays reachable from the shared graph for the engine's
+// lifetime, so bump-allocating them in large blocks trades nothing for
+// ~one malloc per thousands of nodes. One arena per worker — expansion
+// happens under the expanding node's lock, but distinct nodes expand
+// concurrently.
+type skelArena struct {
+	buf []skel
+}
+
+func (a *skelArena) alloc(id intern.ID, l, r *skel) *skel {
+	if len(a.buf) == cap(a.buf) {
+		a.buf = make([]skel, 0, 4096)
+	}
+	a.buf = append(a.buf, skel{id: id, left: l, right: r})
+	return &a.buf[len(a.buf)-1]
+}
+
+// internDiff interns a successor tree against its predecessor's skeleton:
+// box-identical subtrees reuse the predecessor's skeleton nodes wholesale,
+// so only the rebuilt spine pays interning work.
+func (eng *fusedEngine) internDiff(ar *skelArena, n, prev network.Node, ps *skel) *skel {
+	if ps != nil && sameBox(n, prev) {
+		return ps
+	}
+	switch t := n.(type) {
+	case network.Leaf:
+		return ar.alloc(eng.tab.Node('L', eng.locKey(t.Loc), eng.tab.Expr(t.Expr)), nil, nil)
+	case network.Pair:
+		var pl, pr network.Node
+		var sl, sr *skel
+		if pp, ok := prev.(network.Pair); ok && ps != nil {
+			pl, pr, sl, sr = pp.Left, pp.Right, ps.left, ps.right
+		}
+		l := eng.internDiff(ar, t.Left, pl, sl)
+		r := eng.internDiff(ar, t.Right, pr, sr)
+		return ar.alloc(eng.tab.Node('P', l.id, r.id), l, r)
+	}
+	panic("plans: unknown tree node")
+}
+
+// fnode is one shared graph state. The monitor is warmed (signature
+// cached) before publication and never mutated afterwards; expansion
+// advances only fresh snapshots.
+type fnode struct {
+	key  nodeKey
+	tree network.Node
+	sk   *skel
+	mon  *history.Monitor
+	done bool
+	// idx is the node's dense creation index; replays key their visited
+	// arrays on it (an indexed slot instead of a map operation per visit).
+	idx int32
+
+	// ready flips once groups/err are final; replays check it lock-free
+	// (Store is the release publishing the fields, Load the acquire), so
+	// the n-th visit of an expanded node costs no mutex.
+	ready    atomic.Bool
+	mu       sync.Mutex
+	expanded bool
+	err      error
+	groups   []fgroup
+}
+
+// fgroup is one outgoing move group of an expanded node: a concrete move
+// (req == "", one successor) or a lazy open (one successor per compliant
+// candidate, in candidate order). The monitor items of a group are shared
+// by all its candidates, so violation is a per-group fact.
+type fgroup struct {
+	label     hexpr.Label
+	req       hexpr.RequestID
+	violation hexpr.PolicyID
+	next      *fnode  // concrete groups (nil when the move violates)
+	cands     []fcand // open groups
+}
+
+type fcand struct {
+	loc  hexpr.Location
+	next *fnode
+}
+
+// decision is one binding consulted during a replay, in consultation
+// order.
+type decision struct {
+	req hexpr.RequestID
+	loc hexpr.Location
+}
+
+// decisionTrie memoises replay reports on the ordered binding decisions
+// the replay consulted. Plans agreeing on a replay's consulted decisions
+// explore the very same projection of the graph, so they share its report;
+// a plan that fails before its later bindings are ever consulted stands in
+// for the whole (possibly exponential) family of plans extending the
+// failing prefix. Replays consult decisions deterministically, so the
+// next-consulted request at any trie position is a function of the path —
+// the trie is well-formed by construction.
+type decisionTrie struct {
+	req      hexpr.RequestID // request this node branches on ("" = leaf/empty)
+	branches map[hexpr.Location]*decisionTrie
+	leaf     bool
+	report   *verify.Report
+}
+
+func newFusedEngine(repo network.Repository, table *policy.Table,
+	loc hexpr.Location, client hexpr.Expr, opts Options) *fusedEngine {
+
+	cache := opts.Cache
+	if cache == nil {
+		cache = memo.New()
+	}
+	stats := opts.Stats
+	if stats == nil {
+		stats = &FusedStats{}
+	}
+	eng := &fusedEngine{
+		repo:      repo,
+		table:     table,
+		loc:       loc,
+		client:    client,
+		opts:      opts,
+		cache:     cache,
+		tab:       cache.Interner(),
+		stats:     stats,
+		locations: repo.Locations(),
+		bodies:    map[hexpr.RequestID]hexpr.Expr{},
+		cands:     map[hexpr.RequestID][]hexpr.Location{},
+		nodes:     map[nodeKey]*fnode{},
+	}
+	eng.locIDs = make(map[hexpr.Location]intern.ID, len(eng.locations)+1)
+	eng.locIDs[loc] = eng.tab.Key(string(loc))
+	for _, l := range eng.locations {
+		eng.locIDs[l] = eng.tab.Key(string(l))
+	}
+	record := func(list []pendingReq) {
+		for _, p := range list {
+			if _, dup := eng.bodies[p.req]; !dup {
+				eng.bodies[p.req] = p.body
+			}
+		}
+	}
+	eng.clientPending = requestsOf(client)
+	eng.clientReqs = hexpr.Requests(client)
+	eng.locPending = make(map[hexpr.Location][]pendingReq, len(eng.locations))
+	eng.locReqs = make(map[hexpr.Location][]hexpr.RequestID, len(eng.locations))
+	record(eng.clientPending)
+	for _, l := range eng.locations {
+		eng.locPending[l] = requestsOf(repo[l])
+		eng.locReqs[l] = hexpr.Requests(repo[l])
+		record(eng.locPending[l])
+	}
+	startTree := network.Leaf{Loc: loc, Expr: client}
+	eng.start = eng.node(startTree, eng.internSkel(startTree), history.NewMonitor(table))
+	return eng
+}
+
+// candidates returns the repository locations whose service is compliant
+// with the request's body, in deterministic (sorted-location) order — the
+// branching set of a lazy session-open. Cached per request.
+func (eng *fusedEngine) candidates(req hexpr.RequestID) ([]hexpr.Location, error) {
+	eng.candMu.Lock()
+	defer eng.candMu.Unlock()
+	if locs, ok := eng.cands[req]; ok {
+		return locs, nil
+	}
+	body, known := eng.bodies[req]
+	if !known {
+		eng.cands[req] = nil
+		return nil, nil
+	}
+	var locs []hexpr.Location
+	for _, l := range eng.locations {
+		ok, err := eng.cache.Compliant(body, eng.repo[l])
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			locs = append(locs, l)
+		}
+	}
+	eng.cands[req] = locs
+	return locs, nil
+}
+
+// node interns (tree, monitor) into the shared graph, creating the node on
+// first sight. The tree is keyed through its precomputed skeleton (sk.id ==
+// verify.InternTree of the tree), and the monitor's signature is computed
+// here — before the node is published through the map mutex — so readers
+// in other goroutines never race on the signature cache.
+func (eng *fusedEngine) node(tree network.Node, sk *skel, mon *history.Monitor) *fnode {
+	k := nodeKey{
+		tree: sk.id,
+		sig:  eng.tab.Key(mon.Signature()),
+	}
+	eng.nodeMu.Lock()
+	defer eng.nodeMu.Unlock()
+	if n, ok := eng.nodes[k]; ok {
+		return n
+	}
+	n := &fnode{key: k, tree: tree, sk: sk, mon: mon, done: network.Done(tree), idx: int32(len(eng.nodes))}
+	eng.nodes[k] = n
+	return n
+}
+
+// ensureExpanded computes the node's outgoing groups once: the lazy move
+// relation, one monitor advance per group (candidates share their items),
+// and the successor nodes. Every plan whose replay reaches this state
+// reuses the result.
+func (n *fnode) ensureExpanded(eng *fusedEngine, ar *skelArena) error {
+	if n.ready.Load() {
+		return n.err
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.expanded {
+		return n.err
+	}
+	groups, err := network.TreeMovesLazy(n.tree, eng.repo, eng.candidates, eng.cache.Steps)
+	if err != nil {
+		n.expanded, n.err = true, err
+		n.ready.Store(true)
+		return err
+	}
+	for _, g := range groups {
+		fg := fgroup{label: g.Moves[0].Label, req: g.Req, violation: hexpr.NoPolicy}
+		mon := n.mon
+		// Inert items (plain events under an empty policy table) cannot
+		// change the signature or violate, so the monitor is shared like
+		// an item-less move instead of snapshotted.
+		if items := g.Moves[0].Items; len(items) > 0 && !n.mon.InertFor(items) {
+			mon = n.mon.Snapshot()
+			for _, it := range items {
+				if err := mon.Append(it); err != nil {
+					if verr, ok := err.(*history.ViolationError); ok {
+						fg.violation = verr.Policy
+					} else {
+						n.expanded = true
+						n.err = fmt.Errorf("verify: unexpected monitor error: %w", err)
+						n.ready.Store(true)
+						return n.err
+					}
+					break
+				}
+			}
+		}
+		if fg.violation == hexpr.NoPolicy {
+			if g.Req == "" {
+				sk := eng.internDiff(ar, g.Moves[0].Tree, n.tree, n.sk)
+				fg.next = eng.node(g.Moves[0].Tree, sk, mon)
+				atomic.AddUint64(&eng.stats.EdgesBuilt, 1)
+			} else {
+				fg.cands = make([]fcand, 0, len(g.Moves))
+				for _, m := range g.Moves {
+					sk := eng.internDiff(ar, m.Tree, n.tree, n.sk)
+					fg.cands = append(fg.cands, fcand{loc: m.OpenLoc, next: eng.node(m.Tree, sk, mon)})
+				}
+				atomic.AddUint64(&eng.stats.EdgesBuilt, uint64(len(g.Moves)))
+			}
+		}
+		n.groups = append(n.groups, fg)
+	}
+	n.expanded = true
+	n.ready.Store(true)
+	atomic.AddUint64(&eng.stats.StatesExpanded, 1)
+	return nil
+}
+
+// rvis is one slot of a replayer's visited array: the epoch stamps the
+// replay the slot belongs to (bumping the epoch clears the whole array in
+// O(1)), prev/gi record how the replay first reached the node (the trace
+// label lives in the predecessor's group). prev == nil marks the start.
+type rvis struct {
+	epoch uint32
+	gi    int32
+	prev  *fnode
+}
+
+// pmove is one projected move of the current replay state: the group index
+// (the trace label is the group's), the policy the move violates (if any)
+// and the successor node (nil for violating moves).
+type pmove struct {
+	gi        int32
+	violation hexpr.PolicyID
+	next      *fnode
+}
+
+// replayer holds one worker's reusable replay scratch: the epoch-stamped
+// visited array (indexed by fnode.idx — a slot access instead of a map
+// operation per visit), BFS ring, projected-move buffer and decision
+// accumulators persist across plans, so assessing the n-th plan of a large
+// family allocates almost nothing.
+type replayer struct {
+	visited []rvis
+	epoch   uint32
+	queue   ring.Queue[*fnode]
+	moves   []pmove
+	used    []decision
+	usedSet map[hexpr.RequestID]bool
+	// seen is the dedup set of the static compliance walk.
+	seen map[hexpr.RequestID]bool
+	// states counts this replay's visits, flushed to the shared stats in
+	// one atomic add per plan.
+	states uint64
+	// arena block-allocates the skeleton nodes minted by expansions this
+	// worker wins.
+	arena skelArena
+}
+
+func newReplayer() *replayer {
+	return &replayer{
+		usedSet: map[hexpr.RequestID]bool{},
+		seen:    map[hexpr.RequestID]bool{},
+	}
+}
+
+// slot returns the visited slot of n, growing the array when expansion has
+// minted nodes past its end mid-replay.
+func (r *replayer) slot(n *fnode) *rvis {
+	if int(n.idx) >= len(r.visited) {
+		size := len(r.visited) * 2
+		if size <= int(n.idx) {
+			size = int(n.idx) + 64
+		}
+		grown := make([]rvis, size)
+		copy(grown, r.visited)
+		r.visited = grown
+	}
+	return &r.visited[n.idx]
+}
+
+func (r *replayer) trace(n *fnode) []network.TraceEntry {
+	depth := 0
+	for p := r.visited[n.idx]; p.prev != nil; p = r.visited[p.prev.idx] {
+		depth++
+	}
+	// Non-nil even when empty, like verify's trace materialisation.
+	out := make([]network.TraceEntry, depth)
+	for p := r.visited[n.idx]; p.prev != nil; p = r.visited[p.prev.idx] {
+		depth--
+		out[depth] = network.TraceEntry{Label: p.prev.groups[p.gi].label}
+	}
+	return out
+}
+
+// replay recovers one plan's verification report from the shared graph: a
+// BFS over the projection that keeps, in every open group, the candidate
+// the plan selects. It visits exactly the states verify.CheckPlanOpts
+// would (same keying, same move order), so verdicts, witnesses, traces and
+// even state counts coincide — but each visit is a map lookup over
+// prebuilt edges. The binding decisions consulted, in consultation order,
+// are left in r.used for the replay memo.
+func (eng *fusedEngine) replay(plan network.Plan, r *replayer) (*verify.Report, error) {
+	r.used = r.used[:0]
+	clear(r.usedSet)
+	r.epoch++
+	r.queue.Reset()
+	r.states = 0
+	s := r.slot(eng.start)
+	*s = rvis{epoch: r.epoch}
+	r.queue.Push(eng.start)
+	report := &verify.Report{}
+	for r.queue.Len() > 0 {
+		report.States++
+		if report.States > verify.MaxStates {
+			return nil, fmt.Errorf("verify: exploration exceeds %d states", verify.MaxStates)
+		}
+		n := r.queue.Pop()
+		r.states++
+		if err := n.ensureExpanded(eng, &r.arena); err != nil {
+			return nil, err
+		}
+		r.moves = r.moves[:0]
+		for gi := range n.groups {
+			g := &n.groups[gi]
+			if g.req == "" {
+				r.moves = append(r.moves, pmove{int32(gi), g.violation, g.next})
+				continue
+			}
+			if g.violation != hexpr.NoPolicy {
+				// The open itself violates, whichever service it selects:
+				// no binding decision is consulted, so every plan reaching
+				// this state shares the verdict.
+				r.moves = append(r.moves, pmove{int32(gi), g.violation, nil})
+				continue
+			}
+			loc := plan[g.req]
+			if !r.usedSet[g.req] {
+				r.usedSet[g.req] = true
+				r.used = append(r.used, decision{req: g.req, loc: loc})
+			}
+			for ci := range g.cands {
+				if g.cands[ci].loc == loc {
+					r.moves = append(r.moves, pmove{int32(gi), hexpr.NoPolicy, g.cands[ci].next})
+					break
+				}
+			}
+			// No matching candidate (request unbound, or bound outside the
+			// candidate set): the open is not enabled, exactly as in the
+			// direct exploration.
+		}
+		if len(r.moves) == 0 && !n.done {
+			report.Verdict = verify.CommunicationDeadlock
+			report.Trace = r.trace(n)
+			report.StuckTree = n.tree.Key()
+			return report, nil
+		}
+		for _, m := range r.moves {
+			if m.violation != hexpr.NoPolicy {
+				report.Verdict = verify.SecurityViolation
+				report.Policy = m.violation
+				report.Trace = append(r.trace(n), network.TraceEntry{Label: n.groups[m.gi].label})
+				return report, nil
+			}
+			if s := r.slot(m.next); s.epoch != r.epoch {
+				*s = rvis{epoch: r.epoch, gi: m.gi, prev: n}
+				r.queue.Push(m.next)
+			}
+		}
+	}
+	report.Verdict = verify.Valid
+	return report, nil
+}
+
+// assessReplay returns the plan's exploration report, through the decision
+// memo: a hit costs one trie walk; a miss replays and files the report
+// under the decisions the replay consulted.
+func (eng *fusedEngine) assessReplay(plan network.Plan, r *replayer) (*verify.Report, error) {
+	eng.memoMu.Lock()
+	for t := eng.memo; t != nil; {
+		if t.leaf {
+			rep := *t.report
+			eng.memoMu.Unlock()
+			atomic.AddUint64(&eng.stats.ReplayMemoHits, 1)
+			return &rep, nil
+		}
+		t = t.branches[plan[t.req]]
+	}
+	eng.memoMu.Unlock()
+
+	report, err := eng.replay(plan, r)
+	atomic.AddUint64(&eng.stats.ReplayStates, r.states)
+	if err != nil {
+		return nil, err
+	}
+
+	eng.memoMu.Lock()
+	node := eng.memo
+	if node == nil {
+		node = &decisionTrie{}
+		eng.memo = node
+	}
+	for _, d := range r.used {
+		if node.leaf {
+			break // concurrent duplicate replay already filed a report
+		}
+		if node.req == "" {
+			node.req = d.req
+			node.branches = map[hexpr.Location]*decisionTrie{}
+		}
+		child := node.branches[d.loc]
+		if child == nil {
+			child = &decisionTrie{}
+			node.branches[d.loc] = child
+		}
+		node = child
+	}
+	if !node.leaf && node.req == "" {
+		node.leaf = true
+		node.report = report
+	}
+	eng.memoMu.Unlock()
+	rep := *report
+	return &rep, nil
+}
+
+// staticCheck mirrors verify.StaticCheck over the engine's precomputed
+// session lists: the call-cycle DFS draws its successors from the
+// per-expression request lists, and the compliance check traverses the
+// precollected sessions in the depth-first, first-occurrence order of
+// verify.PlannedRequests — same first failure, same witness strings, no
+// per-plan expression walks. The equivalence property test pins the
+// parity.
+func (eng *fusedEngine) staticCheck(plan network.Plan, r *replayer) (*verify.Report, error) {
+	if !eng.cycleFree {
+		succ := func(n hexpr.Location) []hexpr.Location {
+			reqs := eng.locReqs[n]
+			if n == verify.ClientNode {
+				reqs = eng.clientReqs
+			}
+			var out []hexpr.Location
+			for _, rq := range reqs {
+				if l, ok := plan[rq]; ok {
+					out = append(out, l)
+				}
+			}
+			return out
+		}
+		if cyc := verify.CallCycleFunc(succ); cyc != nil {
+			return &verify.Report{
+				Verdict: verify.UnboundedNesting,
+				Witness: fmt.Sprintf("cyclic service calls: %s", verify.LocPath(cyc)),
+			}, nil
+		}
+	}
+	clear(r.seen)
+	var walk func(list []pendingReq) (*verify.Report, error)
+	walk = func(list []pendingReq) (*verify.Report, error) {
+		for _, s := range list {
+			if r.seen[s.req] {
+				continue
+			}
+			r.seen[s.req] = true
+			loc, bound := plan[s.req]
+			if !bound {
+				continue // the exploration reports the deadlock with a trace
+			}
+			svc, present := eng.repo[loc]
+			if !present {
+				continue
+			}
+			ok, witness, err := eng.cache.Compliance(s.body, svc)
+			if err != nil {
+				return nil, err
+			}
+			if !ok {
+				return &verify.Report{
+					Verdict: verify.NotCompliant,
+					Request: s.req,
+					Witness: fmt.Sprintf("service at %s: %s", loc, witness),
+				}, nil
+			}
+			if rep, err := walk(eng.locPending[loc]); err != nil || rep != nil {
+				return rep, err
+			}
+		}
+		return nil, nil
+	}
+	return walk(eng.clientPending)
+}
+
+// computeCycleSkip decides whether per-plan cycle detection is needed: it
+// runs one DFS over the union call graph in which every request points at
+// every location enumeration could bind it to — the compliant candidates
+// under pruning, the whole repository otherwise. Every assessed plan's
+// call graph is a subgraph of the union, so an acyclic union (from the
+// client) proves every plan acyclic and staticCheck skips its per-plan
+// DFS; a cyclic union just keeps the per-plan check.
+func (eng *fusedEngine) computeCycleSkip() error {
+	const (
+		white = 0
+		grey  = 1
+		black = 2
+	)
+	color := map[hexpr.Location]int{}
+	var dfs func(n hexpr.Location) (bool, error)
+	dfs = func(n hexpr.Location) (bool, error) {
+		color[n] = grey
+		reqs := eng.locReqs[n]
+		if n == verify.ClientNode {
+			reqs = eng.clientReqs
+		}
+		for _, rq := range reqs {
+			targets := eng.locations
+			if eng.opts.PruneNonCompliant {
+				var err error
+				targets, err = eng.candidates(rq)
+				if err != nil {
+					return false, err
+				}
+			}
+			for _, m := range targets {
+				switch color[m] {
+				case grey:
+					return true, nil
+				case white:
+					if cyc, err := dfs(m); err != nil || cyc {
+						return cyc, err
+					}
+				}
+			}
+		}
+		color[n] = black
+		return false, nil
+	}
+	cyc, err := dfs(verify.ClientNode)
+	if err != nil {
+		return err
+	}
+	eng.cycleFree = !cyc
+	return nil
+}
+
+// assess produces one plan's assessment: the static prechecks (mirroring
+// verify.CheckPlanOpts, so witnesses are identical by construction), then
+// the memoised replay.
+func (eng *fusedEngine) assess(plan network.Plan, r *replayer) (Assessment, error) {
+	atomic.AddUint64(&eng.stats.PlansAssessed, 1)
+	if rep, err := eng.staticCheck(plan, r); err != nil {
+		return Assessment{}, err
+	} else if rep != nil {
+		return Assessment{Plan: plan, Report: rep}, nil
+	}
+	report, err := eng.assessReplay(plan, r)
+	if err != nil {
+		return Assessment{}, err
+	}
+	return Assessment{Plan: plan, Report: report}, nil
+}
+
+// enumerate mirrors the legacy enumerator exactly — same candidate order,
+// same pruning, same MaxPlans semantics — so both engines assess the same
+// plans. Pruned bindings are counted in the stats.
+func (eng *fusedEngine) enumerate() ([]network.Plan, error) {
+	var out []network.Plan
+	var expand func(plan network.Plan, pending []pendingReq) error
+	expand = func(plan network.Plan, pending []pendingReq) error {
+		for len(pending) > 0 {
+			if _, ok := plan[pending[0].req]; ok {
+				pending = pending[1:]
+				continue
+			}
+			break
+		}
+		if len(pending) == 0 {
+			if eng.opts.MaxPlans > 0 && len(out) >= eng.opts.MaxPlans {
+				return fmt.Errorf("plans: more than %d complete plans", eng.opts.MaxPlans)
+			}
+			out = append(out, plan.Clone())
+			return nil
+		}
+		head, rest := pending[0], pending[1:]
+		for _, l := range eng.locations {
+			service := eng.repo[l]
+			if eng.opts.PruneNonCompliant {
+				ok, err := eng.cache.Compliant(head.body, service)
+				if err != nil {
+					return err
+				}
+				if !ok {
+					atomic.AddUint64(&eng.stats.BindingsPruned, 1)
+					continue
+				}
+			}
+			plan[head.req] = l
+			newPending := append(append([]pendingReq(nil), rest...), eng.locPending[l]...)
+			if err := expand(plan, newPending); err != nil {
+				return err
+			}
+			delete(plan, head.req)
+		}
+		return nil
+	}
+	if err := expand(network.Plan{}, eng.clientPending); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// AssessStream enumerates every complete plan for the client and streams
+// its assessment to yield, in deterministic enumeration order (depth-first
+// over pending requests, candidates in sorted-location order). A non-nil
+// error from yield stops the stream and is returned. Assessments come from
+// the fused engine: plans are validated against one shared state graph,
+// and with opts.Workers > 1 they are assessed concurrently (yield still
+// observes enumeration order, and is never called concurrently).
+func AssessStream(repo network.Repository, table *policy.Table,
+	loc hexpr.Location, client hexpr.Expr, opts Options,
+	yield func(Assessment) error) error {
+
+	eng := newFusedEngine(repo, table, loc, client, opts)
+	plans, err := eng.enumerate()
+	if err != nil {
+		return err
+	}
+	if err := eng.computeCycleSkip(); err != nil {
+		return err
+	}
+	if opts.Workers > 1 && len(plans) > 1 {
+		return eng.runParallel(plans, yield)
+	}
+	r := newReplayer()
+	for _, p := range plans {
+		a, err := eng.assess(p, r)
+		if err != nil {
+			return err
+		}
+		if err := yield(a); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// runParallel assesses the plans with opts.Workers goroutines over the
+// shared graph, delivering results to yield in enumeration order through a
+// reorder buffer. Work-stealing is implicit: workers pull the next plan
+// index as they free up, so an expensive replay never stalls the others.
+func (eng *fusedEngine) runParallel(plans []network.Plan, yield func(Assessment) error) error {
+	type res struct {
+		idx int
+		a   Assessment
+		err error
+	}
+	jobs := make(chan int)
+	results := make(chan res, eng.opts.Workers)
+	stop := make(chan struct{})
+	defer close(stop)
+	var wg sync.WaitGroup
+	for w := 0; w < eng.opts.Workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			r := newReplayer()
+			for i := range jobs {
+				a, err := eng.assess(plans[i], r)
+				select {
+				case results <- res{idx: i, a: a, err: err}:
+				case <-stop:
+					return
+				}
+			}
+		}()
+	}
+	go func() {
+		defer close(jobs)
+		for i := range plans {
+			select {
+			case jobs <- i:
+			case <-stop:
+				return
+			}
+		}
+	}()
+	go func() {
+		wg.Wait()
+		close(results)
+	}()
+	pending := map[int]res{}
+	next := 0
+	for r := range results {
+		pending[r.idx] = r
+		for {
+			rr, ok := pending[next]
+			if !ok {
+				break
+			}
+			delete(pending, next)
+			if rr.err != nil {
+				return rr.err
+			}
+			if err := yield(rr.a); err != nil {
+				return err
+			}
+			next++
+		}
+	}
+	return nil
+}

@@ -1,0 +1,311 @@
+package plans_test
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"susc/internal/benchgen"
+	"susc/internal/hexpr"
+	"susc/internal/network"
+	"susc/internal/paperex"
+	"susc/internal/plans"
+	"susc/internal/policy"
+	"susc/internal/verify"
+)
+
+// assertEquivalent runs both engines on the world and requires identical
+// assessments — plans, verdicts, witnesses, traces, even state counts — in
+// identical order, for every prune × workers combination. This is the
+// contract of the fused engine: it is an optimisation, never a semantic
+// change.
+func assertEquivalent(t *testing.T, label string, repo network.Repository,
+	table *policy.Table, loc hexpr.Location, client hexpr.Expr) {
+	t.Helper()
+	for _, prune := range []bool{false, true} {
+		legacy, legacyErr := plans.AssessAll(repo, table, loc, client, plans.Options{
+			Engine: plans.EngineLegacy, PruneNonCompliant: prune,
+		})
+		for _, workers := range []int{1, 4} {
+			fused, fusedErr := plans.AssessAll(repo, table, loc, client, plans.Options{
+				Engine: plans.EngineFused, PruneNonCompliant: prune, Workers: workers,
+			})
+			if (legacyErr == nil) != (fusedErr == nil) {
+				t.Fatalf("%s (prune=%v workers=%d): legacy err = %v, fused err = %v",
+					label, prune, workers, legacyErr, fusedErr)
+			}
+			if legacyErr != nil {
+				if legacyErr.Error() != fusedErr.Error() {
+					t.Fatalf("%s (prune=%v workers=%d): legacy err = %q, fused err = %q",
+						label, prune, workers, legacyErr, fusedErr)
+				}
+				continue
+			}
+			if len(legacy) != len(fused) {
+				t.Fatalf("%s (prune=%v workers=%d): legacy %d assessments, fused %d",
+					label, prune, workers, len(legacy), len(fused))
+			}
+			for i := range legacy {
+				if !reflect.DeepEqual(legacy[i], fused[i]) {
+					t.Fatalf("%s (prune=%v workers=%d): assessment %d differs:\nlegacy: %+v\n        %+v\nfused:  %+v\n        %+v",
+						label, prune, workers, i,
+						legacy[i], *legacy[i].Report, fused[i], *fused[i].Report)
+				}
+			}
+		}
+	}
+}
+
+// TestFusedEquivalenceDeterministic: the engines agree on the curated
+// worlds — the paper's running example (valid, non-compliant, violating
+// and cyclic plans), the scaled hotel world, and the chained-brokers
+// workload.
+func TestFusedEquivalenceDeterministic(t *testing.T) {
+	repo := network.Repository(paperex.Repository())
+	assertEquivalent(t, "paperex/C1", repo, paperex.Policies(), paperex.LocC1, paperex.C1())
+	assertEquivalent(t, "paperex/C2", repo, paperex.Policies(), paperex.LocC2, paperex.C2())
+
+	h := benchgen.Hotels(6)
+	assertEquivalent(t, "hotels(6)", h.Repo, h.Table, h.Loc, h.Client)
+
+	c := benchgen.Chained(2, 3)
+	assertEquivalent(t, "chained(2,3)", c.Repo, c.Table, c.Loc, c.Client)
+}
+
+// worldGen builds small random worlds: services decorated with random
+// events, framings and nested session-opens, and a client opening one or
+// two requests. Request identifiers are globally unique (Definition 1);
+// channels are drawn from a 2-letter alphabet so compliance holds often
+// enough to reach the exploration, and the paper's policies make
+// violations reachable.
+type worldGen struct {
+	r       *rand.Rand
+	nextReq int
+}
+
+func (g *worldGen) req() hexpr.RequestID {
+	g.nextReq++
+	return hexpr.RequestID(fmt.Sprintf("r%d", g.nextReq))
+}
+
+func (g *worldGen) policyID() hexpr.PolicyID {
+	switch g.r.Intn(3) {
+	case 0:
+		return paperex.Phi1().ID()
+	case 1:
+		return paperex.Phi2().ID()
+	}
+	return hexpr.NoPolicy
+}
+
+func (g *worldGen) event() hexpr.Expr {
+	switch g.r.Intn(3) {
+	case 0:
+		return hexpr.Act(hexpr.E(paperex.EvSgn, hexpr.Sym([]string{"s1", "s2", "s9"}[g.r.Intn(3)])))
+	case 1:
+		return hexpr.Act(hexpr.E(paperex.EvPrice, hexpr.Int([]int{30, 50, 90}[g.r.Intn(3)])))
+	}
+	return hexpr.Act(hexpr.E(paperex.EvRating, hexpr.Int([]int{60, 80, 100}[g.r.Intn(3)])))
+}
+
+// protocol generates a communication skeleton over channels {a, b}.
+func (g *worldGen) protocol(depth int) hexpr.Expr {
+	if depth <= 0 || g.r.Intn(4) == 0 {
+		return hexpr.Eps()
+	}
+	ch := []string{"a", "b"}[g.r.Intn(2)]
+	if g.r.Intn(2) == 0 {
+		return hexpr.SendThen(ch, g.protocol(depth-1))
+	}
+	return hexpr.RecvThen(ch, g.protocol(depth-1))
+}
+
+// decorate interleaves a protocol with events, framings and (budget
+// permitting) nested opens.
+func (g *worldGen) decorate(e hexpr.Expr, opens *int, depth int) hexpr.Expr {
+	if depth <= 0 {
+		return e
+	}
+	switch g.r.Intn(5) {
+	case 0:
+		return hexpr.Cat(g.event(), g.decorate(e, opens, depth-1))
+	case 1:
+		return hexpr.Frame(g.policyID(), g.decorate(e, opens, depth-1))
+	case 2:
+		if *opens > 0 {
+			*opens--
+			return hexpr.Cat(
+				hexpr.Open(g.req(), g.policyID(), g.protocol(2)),
+				g.decorate(e, opens, depth-1),
+			)
+		}
+		return g.decorate(e, opens, depth-1)
+	}
+	return e
+}
+
+// TestFusedEquivalenceRandom is the equivalence property test: on
+// randomized repositories the fused engine reproduces the legacy engine's
+// assessments exactly, across pruning and worker settings (the CI runs
+// this under -race, exercising the shared graph concurrently).
+func TestFusedEquivalenceRandom(t *testing.T) {
+	seeds := 40
+	if testing.Short() {
+		seeds = 10
+	}
+	for seed := 0; seed < seeds; seed++ {
+		g := &worldGen{r: rand.New(rand.NewSource(int64(seed)))}
+		opens := 2
+		nLocs := 2 + g.r.Intn(3)
+		repo := network.Repository{}
+		for i := 0; i < nLocs; i++ {
+			svc := g.decorate(g.protocol(3), &opens, 3)
+			repo[hexpr.Location(fmt.Sprintf("s%d", i))] = svc
+		}
+		clientOpens := 1
+		client := hexpr.Cat(
+			hexpr.Open(g.req(), g.policyID(), g.protocol(3)),
+			g.decorate(hexpr.Eps(), &clientOpens, 2),
+		)
+		label := fmt.Sprintf("seed=%d", seed)
+		assertEquivalent(t, label, repo, paperex.Policies(), "cl", client)
+	}
+}
+
+// TestAssessStreamDeterministicOrder: the stream's enumeration order is
+// reproducible, also with a worker pool racing over the shared graph.
+func TestAssessStreamDeterministicOrder(t *testing.T) {
+	w := benchgen.Chained(3, 3)
+	run := func() []string {
+		var keys []string
+		err := plans.AssessStream(w.Repo, w.Table, w.Loc, w.Client,
+			plans.Options{PruneNonCompliant: true, Workers: 4},
+			func(a plans.Assessment) error {
+				keys = append(keys, a.Plan.Key())
+				return nil
+			})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return keys
+	}
+	first := run()
+	if len(first) != w.PlanCount {
+		t.Fatalf("streamed %d assessments, want %d", len(first), w.PlanCount)
+	}
+	for i := 0; i < 3; i++ {
+		if again := run(); !reflect.DeepEqual(again, first) {
+			t.Fatalf("stream order changed between runs:\n%v\n%v", first, again)
+		}
+	}
+}
+
+// TestAssessStreamEarlyStop: a yield error stops the stream and surfaces
+// unchanged, sequentially and with workers.
+func TestAssessStreamEarlyStop(t *testing.T) {
+	w := benchgen.Chained(2, 3)
+	sentinel := errors.New("enough")
+	for _, workers := range []int{1, 4} {
+		seen := 0
+		err := plans.AssessStream(w.Repo, w.Table, w.Loc, w.Client,
+			plans.Options{PruneNonCompliant: true, Workers: workers},
+			func(plans.Assessment) error {
+				seen++
+				if seen == 2 {
+					return sentinel
+				}
+				return nil
+			})
+		if !errors.Is(err, sentinel) {
+			t.Fatalf("workers=%d: err = %v, want sentinel", workers, err)
+		}
+		if seen != 2 {
+			t.Fatalf("workers=%d: yield ran %d times after stop", workers, seen)
+		}
+	}
+}
+
+// TestFusedStats: the counters report the sharing the engine achieves —
+// on Chained every state is expanded once however many plans visit it, and
+// replays cover the plans' explorations.
+func TestFusedStats(t *testing.T) {
+	w := benchgen.Chained(2, 3)
+	var stats plans.FusedStats
+	as, err := plans.AssessAll(w.Repo, w.Table, w.Loc, w.Client,
+		plans.Options{PruneNonCompliant: true, Stats: &stats})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := int(stats.PlansAssessed); got != len(as) {
+		t.Errorf("PlansAssessed = %d, want %d", got, len(as))
+	}
+	if stats.StatesExpanded == 0 || stats.EdgesBuilt == 0 || stats.ReplayStates == 0 {
+		t.Errorf("empty work counters: %+v", stats)
+	}
+	var sumStates uint64
+	for _, a := range as {
+		sumStates += uint64(a.Report.States)
+	}
+	if stats.ReplayStates != sumStates {
+		t.Errorf("ReplayStates = %d, want the summed per-plan state counts %d",
+			stats.ReplayStates, sumStates)
+	}
+	if stats.StatesExpanded >= stats.ReplayStates {
+		t.Errorf("no sharing: expanded %d states for %d replayed visits",
+			stats.StatesExpanded, stats.ReplayStates)
+	}
+}
+
+// TestFusedMaxPlansParity: both engines fail the MaxPlans bound with the
+// same error.
+func TestFusedMaxPlansParity(t *testing.T) {
+	w := benchgen.Chained(2, 3)
+	for _, engine := range []plans.Engine{plans.EngineLegacy, plans.EngineFused} {
+		_, err := plans.AssessAll(w.Repo, w.Table, w.Loc, w.Client,
+			plans.Options{PruneNonCompliant: true, MaxPlans: 4, Engine: engine})
+		if err == nil || err.Error() != "plans: more than 4 complete plans" {
+			t.Fatalf("engine %d: err = %v", engine, err)
+		}
+	}
+}
+
+// policyTableForRandom keeps the import of policy used even if the random
+// generator evolves.
+var _ *policy.Table = paperex.Policies()
+
+// TestFusedReplayMemoCollapsesFailures: when a shared failing prefix dooms
+// an exponential family of plans, the fused engine replays once and
+// recovers the rest from the decision memo.
+func TestFusedReplayMemoCollapsesFailures(t *testing.T) {
+	// The client violates φ₂ right after its first open: whatever the
+	// remaining bindings, the exploration fails at the same prefix. The
+	// chained tail keeps an exponential family of suffix bindings alive.
+	w := benchgen.Chained(3, 3)
+	client := hexpr.Frame(paperex.Phi2().ID(), hexpr.Cat(
+		hexpr.Act(hexpr.E(paperex.EvSgn, hexpr.Sym("s1"))), // blacklisted by φ₂
+		w.Client,
+	))
+	table := paperex.Policies()
+	var stats plans.FusedStats
+	as, err := plans.AssessAll(w.Repo, table, w.Loc, client,
+		plans.Options{PruneNonCompliant: true, Stats: &stats})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(as) != w.PlanCount {
+		t.Fatalf("%d assessments, want %d", len(as), w.PlanCount)
+	}
+	for _, a := range as {
+		if a.Report.Verdict != verify.SecurityViolation {
+			t.Fatalf("plan %s: verdict %s, want security-violation", a.Plan, a.Report)
+		}
+	}
+	if want := uint64(len(as) - 1); stats.ReplayMemoHits != want {
+		t.Errorf("ReplayMemoHits = %d, want %d (one replay serves the family)",
+			stats.ReplayMemoHits, want)
+	}
+	// And the memoised reports still agree with the legacy engine.
+	assertEquivalent(t, "violating prefix", w.Repo, table, w.Loc, client)
+}

@@ -41,6 +41,13 @@ type Options struct {
 	// Nil builds a fresh cache for the call; supply one to share it
 	// across calls (e.g. repeated synthesis over the same repository).
 	Cache *memo.Cache
+	// Engine selects the synthesis strategy: EngineFused (default)
+	// validates every plan against one shared state graph, EngineLegacy
+	// explores each plan independently. Both produce identical output.
+	Engine Engine
+	// Stats, when non-nil, receives the fused engine's work counters
+	// (EngineFused only).
+	Stats *FusedStats
 }
 
 // Assessment is a complete plan together with its verdict.
@@ -55,8 +62,33 @@ func (a Assessment) String() string {
 
 // AssessAll enumerates every complete plan for the client and validates
 // each, returning the assessments in deterministic order (lexicographic in
-// the plan keys).
+// the plan keys). The work runs on the engine opts.Engine selects; the
+// result does not depend on the choice.
 func AssessAll(repo network.Repository, table *policy.Table,
+	loc hexpr.Location, client hexpr.Expr, opts Options) ([]Assessment, error) {
+
+	if opts.Engine == EngineLegacy {
+		return assessAllLegacy(repo, table, loc, client, opts)
+	}
+	var out []Assessment
+	err := AssessStream(repo, table, loc, client, opts, func(a Assessment) error {
+		out = append(out, a)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	keys := make([]string, len(out))
+	for i := range out {
+		keys[i] = out[i].Plan.Key()
+	}
+	sort.Sort(&byKey{keys: keys, out: out})
+	return out, nil
+}
+
+// assessAllLegacy is the one-exploration-per-plan strategy: enumerate
+// every complete plan, then verify each independently.
+func assessAllLegacy(repo network.Repository, table *policy.Table,
 	loc hexpr.Location, client hexpr.Expr, opts Options) ([]Assessment, error) {
 
 	cache := opts.Cache

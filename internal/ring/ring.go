@@ -1,0 +1,69 @@
+// Package ring provides a growable FIFO queue backed by a circular buffer.
+//
+// The breadth-first explorations of internal/verify and internal/plans used
+// to pop with `queue = queue[1:]`, which keeps the whole backing array —
+// every state ever enqueued — reachable until the exploration ends: the
+// slice header advances but the array never shrinks, and popped states are
+// pinned for the lifetime of the search. A ring buffer reuses the slots of
+// dequeued elements, so the live memory of a BFS is the frontier, not the
+// history.
+package ring
+
+// Queue is a FIFO queue. The zero value is an empty queue ready for use.
+// Queue is not safe for concurrent use.
+type Queue[T any] struct {
+	buf  []T
+	head int // index of the front element
+	n    int // number of elements
+}
+
+// Len returns the number of queued elements.
+func (q *Queue[T]) Len() int { return q.n }
+
+// Push appends v to the back of the queue.
+func (q *Queue[T]) Push(v T) {
+	if q.n == len(q.buf) {
+		q.grow()
+	}
+	q.buf[(q.head+q.n)%len(q.buf)] = v
+	q.n++
+}
+
+// Pop removes and returns the front element. It panics on an empty queue.
+// The vacated slot is zeroed so popped elements are not pinned by the
+// backing array.
+func (q *Queue[T]) Pop() T {
+	if q.n == 0 {
+		panic("ring: Pop of empty queue")
+	}
+	var zero T
+	v := q.buf[q.head]
+	q.buf[q.head] = zero
+	q.head = (q.head + 1) % len(q.buf)
+	q.n--
+	return v
+}
+
+// Reset empties the queue, keeping the backing array for reuse. Occupied
+// slots are zeroed so abandoned elements are not pinned.
+func (q *Queue[T]) Reset() {
+	var zero T
+	for i := 0; i < q.n; i++ {
+		q.buf[(q.head+i)%len(q.buf)] = zero
+	}
+	q.head, q.n = 0, 0
+}
+
+// grow doubles the capacity, unwrapping the elements in order.
+func (q *Queue[T]) grow() {
+	cap := len(q.buf) * 2
+	if cap == 0 {
+		cap = 16
+	}
+	buf := make([]T, cap)
+	for i := 0; i < q.n; i++ {
+		buf[i] = q.buf[(q.head+i)%len(q.buf)]
+	}
+	q.buf = buf
+	q.head = 0
+}

@@ -1,0 +1,103 @@
+package ring
+
+import "testing"
+
+func TestFIFOOrder(t *testing.T) {
+	var q Queue[int]
+	for i := 0; i < 100; i++ {
+		q.Push(i)
+	}
+	for i := 0; i < 100; i++ {
+		if got := q.Pop(); got != i {
+			t.Fatalf("Pop = %d, want %d", got, i)
+		}
+	}
+	if q.Len() != 0 {
+		t.Fatalf("Len = %d after draining", q.Len())
+	}
+}
+
+func TestInterleavedPushPop(t *testing.T) {
+	// Exercise wrap-around: the head travels around the buffer repeatedly
+	// while the queue stays short.
+	var q Queue[int]
+	next, expect := 0, 0
+	for round := 0; round < 1000; round++ {
+		for i := 0; i < 3; i++ {
+			q.Push(next)
+			next++
+		}
+		for i := 0; i < 2; i++ {
+			if got := q.Pop(); got != expect {
+				t.Fatalf("Pop = %d, want %d", got, expect)
+			}
+			expect++
+		}
+	}
+	for q.Len() > 0 {
+		if got := q.Pop(); got != expect {
+			t.Fatalf("Pop = %d, want %d", got, expect)
+		}
+		expect++
+	}
+	if expect != next {
+		t.Fatalf("drained %d elements, pushed %d", expect, next)
+	}
+}
+
+func TestPopFreesSlot(t *testing.T) {
+	// Popped slots must be zeroed so the backing array does not pin
+	// dequeued elements (the leak the ring buffer exists to fix).
+	var q Queue[*int]
+	v := new(int)
+	q.Push(v)
+	q.Pop()
+	for i := range q.buf {
+		if q.buf[i] != nil {
+			t.Fatal("Pop left a pointer in the backing array")
+		}
+	}
+}
+
+func TestReset(t *testing.T) {
+	// Reset must empty the queue, keep the backing array, zero every
+	// occupied slot (including wrapped ones), and leave the queue usable.
+	var q Queue[*int]
+	for i := 0; i < 20; i++ {
+		q.Push(new(int))
+	}
+	for i := 0; i < 10; i++ {
+		q.Pop()
+	}
+	for i := 0; i < 12; i++ { // wrap the tail past the array end
+		q.Push(new(int))
+	}
+	buf := &q.buf[0]
+	q.Reset()
+	if q.Len() != 0 {
+		t.Fatalf("Len = %d after Reset", q.Len())
+	}
+	for i := range q.buf {
+		if q.buf[i] != nil {
+			t.Fatalf("Reset left a pointer at slot %d", i)
+		}
+	}
+	if &q.buf[0] != buf {
+		t.Fatal("Reset reallocated the backing array")
+	}
+	want := 7
+	q.Push(&want)
+	if got := q.Pop(); got != &want {
+		t.Fatal("queue unusable after Reset")
+	}
+}
+
+func TestPopEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Pop of empty queue should panic")
+		}
+	}()
+	var q Queue[int]
+	q.Pop()
+}

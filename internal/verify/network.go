@@ -11,6 +11,7 @@ import (
 	"susc/internal/memo"
 	"susc/internal/network"
 	"susc/internal/policy"
+	"susc/internal/ring"
 )
 
 // CheckNetwork validates a whole vector of clients in one exploration of
@@ -34,7 +35,7 @@ func CheckNetwork(repo network.Repository, table *policy.Table,
 		if cyc := CallCycle(repo, c.Client, c.Plan); cyc != nil {
 			return &Report{
 				Verdict: UnboundedNesting,
-				Witness: fmt.Sprintf("client at %s: cyclic service calls: %s", c.Loc, locPath(cyc)),
+				Witness: fmt.Sprintf("client at %s: cyclic service calls: %s", c.Loc, LocPath(cyc)),
 			}, nil
 		}
 		reqs, err := PlannedRequests(repo, c.Client, c.Plan)
@@ -89,7 +90,7 @@ func CheckNetwork(repo network.Repository, table *policy.Table,
 	key := func(s state) string {
 		buf := make([]byte, 0, 16*len(s.trees)+len(s.avail)*4)
 		for i, tr := range s.trees {
-			buf = strconv.AppendInt(buf, int64(internTree(tab, tr)), 10)
+			buf = strconv.AppendInt(buf, int64(InternTree(tab, tr)), 10)
 			buf = append(buf, ':')
 			buf = strconv.AppendInt(buf, int64(tab.Key(s.mons[i].Signature())), 10)
 			buf = append(buf, ';')
@@ -108,16 +109,18 @@ func CheckNetwork(repo network.Repository, table *policy.Table,
 		}
 		return true
 	}
+	// Ring-buffer queue: see CheckPlanOpts — `queue[1:]` popping would pin
+	// every state ever enqueued until the exploration ends.
 	seen := map[string]bool{key(start): true}
-	queue := []state{start}
+	var queue ring.Queue[state]
+	queue.Push(start)
 	report := &Report{}
-	for len(queue) > 0 {
+	for queue.Len() > 0 {
 		report.States++
 		if report.States > MaxStates {
 			return nil, fmt.Errorf("verify: network exploration exceeds %d states", MaxStates)
 		}
-		s := queue[0]
-		queue = queue[1:]
+		s := queue.Pop()
 		type compMove struct {
 			comp int
 			m    network.Move
@@ -187,7 +190,7 @@ func CheckNetwork(repo network.Repository, table *policy.Table,
 			k := key(next)
 			if !seen[k] {
 				seen[k] = true
-				queue = append(queue, next)
+				queue.Push(next)
 			}
 		}
 	}

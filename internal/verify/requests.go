@@ -84,6 +84,11 @@ func UnboundRequests(repo network.Repository, client hexpr.Expr, plan network.Pl
 	return out, nil
 }
 
+// ClientNode is the synthetic call-graph node standing for the client in
+// CallCycleFunc (the NUL prefix keeps it disjoint from repository
+// locations).
+const ClientNode = hexpr.Location("\x00client")
+
 // CallCycle detects a cycle in the planned service call graph reachable
 // from the client: locations are nodes, and a location ℓ has an edge to
 // plan[r] for every request r its service makes. It returns one cyclic
@@ -91,10 +96,9 @@ func UnboundRequests(repo network.Repository, client hexpr.Expr, plan network.Pl
 // is a static over-approximation: a cycle through dead code is still
 // reported.
 func CallCycle(repo network.Repository, client hexpr.Expr, plan network.Plan) []hexpr.Location {
-	const clientNode = hexpr.Location("\x00client")
-	succ := func(n hexpr.Location) []hexpr.Location {
+	return CallCycleFunc(func(n hexpr.Location) []hexpr.Location {
 		var e hexpr.Expr
-		if n == clientNode {
+		if n == ClientNode {
 			e = client
 		} else {
 			var ok bool
@@ -110,7 +114,15 @@ func CallCycle(repo network.Repository, client hexpr.Expr, plan network.Plan) []
 			}
 		}
 		return out
-	}
+	})
+}
+
+// CallCycleFunc is CallCycle over an abstract successor function: the DFS
+// starts at ClientNode and follows succ edges. Callers that precompute the
+// per-location request lists (the fused synthesis engine) supply a succ
+// closure over the precomputation instead of re-walking expressions per
+// plan.
+func CallCycleFunc(succ func(hexpr.Location) []hexpr.Location) []hexpr.Location {
 	const (
 		white = 0
 		grey  = 1
@@ -144,10 +156,11 @@ func CallCycle(repo network.Repository, client hexpr.Expr, plan network.Plan) []
 		color[n] = black
 		return nil
 	}
-	return dfs(clientNode)
+	return dfs(ClientNode)
 }
 
-func locPath(locs []hexpr.Location) string {
+// LocPath renders a location path the way cycle witnesses print it.
+func LocPath(locs []hexpr.Location) string {
 	parts := make([]string, len(locs))
 	for i, l := range locs {
 		parts[i] = string(l)

@@ -27,6 +27,7 @@ import (
 	"susc/internal/memo"
 	"susc/internal/network"
 	"susc/internal/policy"
+	"susc/internal/ring"
 )
 
 // Verdict classifies a plan.
@@ -144,25 +145,25 @@ func CheckPlan(repo network.Repository, table *policy.Table,
 	return CheckPlanOpts(repo, table, loc, client, plan, Options{})
 }
 
-// CheckPlanOpts is CheckPlan with extension options.
-func CheckPlanOpts(repo network.Repository, table *policy.Table,
-	loc hexpr.Location, client hexpr.Expr, plan network.Plan, opts Options) (*Report, error) {
+// StaticCheck runs the exploration-free prechecks of plan validation: it
+// refuses cyclic compositions (their session nesting is unbounded and the
+// state space infinite) and checks every bound request of the composed
+// service for compliance. It returns a counterexample report when a check
+// fails and nil when the plan passes — ready for the exhaustive
+// exploration. CheckPlanOpts and the fused synthesis engine
+// (internal/plans) share it, so static verdicts and witnesses are
+// identical across engines by construction.
+func StaticCheck(repo network.Repository, client hexpr.Expr,
+	plan network.Plan, cache *memo.Cache) (*Report, error) {
 
-	cache := opts.Cache
-	if cache == nil {
-		cache = memo.New()
-	}
-
-	// Refuse cyclic compositions: their session nesting is unbounded and
-	// the state space infinite.
 	if cyc := CallCycle(repo, client, plan); cyc != nil {
 		return &Report{
 			Verdict: UnboundedNesting,
-			Witness: fmt.Sprintf("cyclic service calls: %s", locPath(cyc)),
+			Witness: fmt.Sprintf("cyclic service calls: %s", LocPath(cyc)),
 		}, nil
 	}
 
-	// (a) per-request compliance over the composed service; verdicts (and
+	// Per-request compliance over the composed service; verdicts (and
 	// their witnesses) are memoised per distinct (body, service) pair, so
 	// assessing many plans over the same repository decides each pair once.
 	reqs, err := PlannedRequests(repo, client, plan)
@@ -184,6 +185,24 @@ func CheckPlanOpts(repo network.Repository, table *policy.Table,
 				Witness: fmt.Sprintf("service at %s: %s", pr.Loc, witness),
 			}, nil
 		}
+	}
+	return nil, nil
+}
+
+// CheckPlanOpts is CheckPlan with extension options.
+func CheckPlanOpts(repo network.Repository, table *policy.Table,
+	loc hexpr.Location, client hexpr.Expr, plan network.Plan, opts Options) (*Report, error) {
+
+	cache := opts.Cache
+	if cache == nil {
+		cache = memo.New()
+	}
+
+	// (a) the static prechecks: cyclic composition, per-request compliance.
+	if r, err := StaticCheck(repo, client, plan, cache); err != nil {
+		return nil, err
+	} else if r != nil {
+		return r, nil
 	}
 
 	// (b) exhaustive exploration for security and structural deadlocks;
@@ -217,21 +236,25 @@ func CheckPlanOpts(repo network.Repository, table *policy.Table,
 	tab := cache.Interner()
 	key := func(s state) stateKey {
 		return stateKey{
-			tree:  internTree(tab, s.tree),
+			tree:  InternTree(tab, s.tree),
 			sig:   tab.Key(s.mon.Signature()),
 			avail: packAvail(s.avail),
 		}
 	}
+	// The queue is a ring buffer: `queue = queue[1:]` would pin the whole
+	// backing array — every state ever enqueued — until the exploration
+	// ends, while the ring reuses dequeued slots and keeps only the
+	// frontier live.
 	seen := map[stateKey]bool{key(start): true}
-	queue := []state{start}
+	var queue ring.Queue[state]
+	queue.Push(start)
 	report := &Report{}
-	for len(queue) > 0 {
+	for queue.Len() > 0 {
 		report.States++
 		if report.States > MaxStates {
 			return nil, fmt.Errorf("verify: exploration exceeds %d states", MaxStates)
 		}
-		s := queue[0]
-		queue = queue[1:]
+		s := queue.Pop()
 		all := network.TreeMovesStep(s.tree, plan, repo, cache.Steps)
 		moves := all[:0:0]
 		for _, m := range all {
@@ -294,7 +317,7 @@ func CheckPlanOpts(repo network.Repository, table *policy.Table,
 			k := key(next)
 			if !seen[k] {
 				seen[k] = true
-				queue = append(queue, next)
+				queue.Push(next)
 			}
 		}
 	}
