@@ -11,6 +11,9 @@
 //	susc check      FILE -client NAME    validate the client's declared plan
 //	susc run        FILE -client NAME    simulate the network under the declared plan
 //	susc fmt        FILE                 reformat to canonical surface syntax
+//	susc lint       FILE                 static analysis: positioned diagnostics
+//	                                     (dead services, vacuous policies, …);
+//	                                     -json (NDJSON), -severity LEVEL, -stats
 //	susc dot        FILE -policy P | -lts NAME | -product OWNER.REQ -vs LOC
 //	                                     render an artifact as Graphviz dot
 //	susc effect     FILE.lam [-decls FILE.susc]
@@ -42,6 +45,7 @@ import (
 	"susc/internal/contract"
 	"susc/internal/hexpr"
 	"susc/internal/lambda"
+	"susc/internal/lint"
 	"susc/internal/lts"
 	"susc/internal/memo"
 	"susc/internal/network"
@@ -60,11 +64,11 @@ func main() {
 
 func run(args []string) error {
 	if len(args) < 1 {
-		return fmt.Errorf("usage: susc <parse|fmt|project|compliance|validity|plans|check|run|dot> FILE [flags]")
+		return fmt.Errorf("usage: susc <parse|fmt|lint|project|compliance|validity|plans|check|checkall|run|dot|effect|substitutable|dual> FILE [flags]")
 	}
 	cmd := args[0]
 	switch cmd {
-	case "parse", "fmt", "project", "compliance", "validity", "plans", "check", "run",
+	case "parse", "fmt", "lint", "project", "compliance", "validity", "plans", "check", "run",
 		"dot", "effect", "substitutable", "dual", "checkall":
 	default:
 		return fmt.Errorf("unknown command %q", cmd)
@@ -84,11 +88,13 @@ func run(args []string) error {
 	newLoc := fs.String("new", "", "substitutable: the candidate replacement")
 	dualOf := fs.String("of", "", "dual: service, client, or OWNER.REQUEST to dualise")
 	capSpec := fs.String("cap", "", "checkall: bounded availability, e.g. \"br=2,s3=1\"")
-	jsonOut := fs.Bool("json", false, "check/checkall/plans: JSON output")
+	jsonOut := fs.Bool("json", false, "check/checkall/plans/lint: JSON output (lint: NDJSON, one diagnostic per line)")
 	stream := fs.Bool("stream", false,
 		"plans: print each assessment as it is produced (with -json, one object per line)")
 	stats := fs.Bool("stats", false,
-		"plans: print memo-cache and fused-engine work counters on stderr")
+		"plans/lint: print per-engine work counters on stderr")
+	severity := fs.String("severity", "info",
+		"lint: report findings at or above this severity (info, warning, error)")
 	runAll := fs.Bool("all", false, "run: simulate all declared clients concurrently")
 	workers := fs.Int("workers", runtime.GOMAXPROCS(0),
 		"plans/effect: validate candidate plans with this many goroutines")
@@ -105,6 +111,11 @@ func run(args []string) error {
 	}
 	if cmd == "effect" {
 		return cmdEffect(string(src), *decls, *workers)
+	}
+	if cmd == "lint" {
+		// lint parses leniently itself, so one run can report several
+		// independent problems (and parse errors become diagnostics).
+		return cmdLint(path, string(src), *jsonOut, *severity, *stats)
 	}
 	f, err := parser.ParseFile(string(src))
 	if err != nil {
@@ -136,6 +147,67 @@ func run(args []string) error {
 		return cmdSubstitutable(f, *oldLoc, *newLoc)
 	case "dual":
 		return cmdDual(f, *dualOf)
+	}
+	return nil
+}
+
+// lintEntry is the JSON shape of one diagnostic in -json NDJSON output:
+// the lint.Diagnostic fields plus the file the finding is in.
+type lintEntry struct {
+	File string `json:"file"`
+	lint.Diagnostic
+}
+
+// cmdLint runs the static-analysis suite over a specification file and
+// prints positioned diagnostics: text ("file:line:col: severity: message
+// [CODE]") or, with -json, NDJSON with one diagnostic object per line.
+// The exit status is non-zero iff any error-severity finding is reported.
+func cmdLint(path, src string, jsonOut bool, severity string, stats bool) error {
+	minSev, err := lint.ParseSeverity(severity)
+	if err != nil {
+		return err
+	}
+	cache := memo.New()
+	opts := lint.Options{MinSeverity: minSev, Cache: cache}
+	if stats {
+		opts.Stats = &lint.Stats{}
+	}
+	diags := lint.Source(src, opts)
+	errs := 0
+	if jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		for _, d := range diags {
+			if err := enc.Encode(lintEntry{File: path, Diagnostic: d}); err != nil {
+				return err
+			}
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Printf("%s:%s\n", path, d)
+			for _, r := range d.Related {
+				fmt.Printf("\t%s:%s: %s\n", path, r.Span, r.Message)
+			}
+		}
+	}
+	counts := map[lint.Severity]int{}
+	for _, d := range diags {
+		counts[d.Severity]++
+	}
+	errs = counts[lint.Error]
+	if stats {
+		for _, a := range opts.Stats.Analyzers {
+			fmt.Fprintf(os.Stderr, "stats: lint %-14s %d finding(s) in %v\n", a.Name, a.Findings, a.Duration)
+		}
+		st := cache.Stats()
+		fmt.Fprintf(os.Stderr, "stats: cache %d hits, %d misses (%.1f%% hit rate)\n",
+			st.Hits(), st.Misses(), st.HitRate()*100)
+	}
+	if !jsonOut && len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "lint: %d finding(s): %d error(s), %d warning(s), %d info\n",
+			len(diags), errs, counts[lint.Warning], counts[lint.Info])
+	}
+	if errs > 0 {
+		return fmt.Errorf("lint: %d error(s)", errs)
 	}
 	return nil
 }
@@ -565,6 +637,12 @@ func cmdCheck(f *parser.File, name string, jsonOut bool) error {
 func cmdCheckAll(f *parser.File, capSpec string, jsonOut bool) error {
 	if len(f.Clients) == 0 {
 		return fmt.Errorf("the file declares no clients")
+	}
+	// Surface lint findings alongside the verdict (on stderr, so -json
+	// stdout stays machine-readable). The file parsed strictly, so there
+	// are no parse-level issues to forward.
+	for _, d := range lint.Run(f, nil, lint.Options{MinSeverity: lint.Warning}) {
+		fmt.Fprintf(os.Stderr, "lint: %s\n", d)
 	}
 	var specs []verify.ClientSpec
 	for _, c := range f.Clients {

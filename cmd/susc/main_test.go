@@ -544,3 +544,87 @@ func TestCmdRunAll(t *testing.T) {
 		t.Error("malformed -cap should fail")
 	}
 }
+
+func TestUsageListsAllCommands(t *testing.T) {
+	err := run(nil)
+	if err == nil {
+		t.Fatal("run with no args succeeded, want usage error")
+	}
+	for _, cmd := range []string{"lint", "checkall", "effect", "substitutable", "dual"} {
+		if !strings.Contains(err.Error(), cmd) {
+			t.Errorf("usage string omits %q: %v", cmd, err)
+		}
+	}
+}
+
+func TestCmdLint(t *testing.T) {
+	out, err := capture(t, func() error { return run([]string{"lint", hotelFile}) })
+	if err != nil {
+		t.Fatalf("warnings must not fail the command: %v", err)
+	}
+	if !strings.Contains(out, "[SUSC005]") || !strings.Contains(out, hotelFile+":22:9:") {
+		t.Errorf("lint output missing the positioned s2 finding:\n%s", out)
+	}
+}
+
+func TestCmdLintSeverityThreshold(t *testing.T) {
+	out, err := capture(t, func() error { return run([]string{"lint", hotelFile, "-severity", "error"}) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.TrimSpace(out) != "" {
+		t.Errorf("at -severity error hotel.susc should be clean, got:\n%s", out)
+	}
+	if _, err := capture(t, func() error { return run([]string{"lint", hotelFile, "-severity", "fatal"}) }); err == nil {
+		t.Error("unknown severity accepted")
+	}
+}
+
+func TestCmdLintErrorsFail(t *testing.T) {
+	bad := "../../internal/lint/testdata/susc006_unmatched.susc"
+	out, err := capture(t, func() error { return run([]string{"lint", bad}) })
+	if err == nil {
+		t.Fatalf("error findings must yield a non-zero exit, output:\n%s", out)
+	}
+	if !strings.Contains(out, "[SUSC006]") {
+		t.Errorf("missing SUSC006 finding:\n%s", out)
+	}
+}
+
+func TestCmdLintJSON(t *testing.T) {
+	out, err := capture(t, func() error { return run([]string{"lint", hotelFile, "-json"}) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 1 {
+		t.Fatalf("want one NDJSON line, got %d:\n%s", len(lines), out)
+	}
+	var entry struct {
+		File     string `json:"file"`
+		Code     string `json:"code"`
+		Severity string `json:"severity"`
+		Span     struct {
+			Start struct{ Line, Col int }
+		} `json:"span"`
+		Message string `json:"message"`
+	}
+	if err := json.Unmarshal([]byte(lines[0]), &entry); err != nil {
+		t.Fatalf("invalid NDJSON: %v\n%s", err, lines[0])
+	}
+	if entry.File != hotelFile || entry.Code != "SUSC005" || entry.Severity != "warning" ||
+		entry.Span.Start.Line != 22 || entry.Span.Start.Col != 9 || entry.Message == "" {
+		t.Errorf("unexpected NDJSON entry: %+v", entry)
+	}
+}
+
+func TestCmdLintParseError(t *testing.T) {
+	bad := "../../internal/lint/testdata/parse_error.susc"
+	out, err := capture(t, func() error { return run([]string{"lint", bad}) })
+	if err == nil {
+		t.Fatal("syntax errors must yield a non-zero exit")
+	}
+	if !strings.Contains(out, "[SUSC000]") || !strings.Contains(out, ":3:") {
+		t.Errorf("want a positioned SUSC000 finding:\n%s", out)
+	}
+}

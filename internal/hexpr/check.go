@@ -2,9 +2,36 @@ package hexpr
 
 import "fmt"
 
+// CheckKind classifies a well-formedness violation, so tools (the linter
+// in particular) can react to the class of failure without matching on
+// the human-readable reason.
+type CheckKind int
+
+const (
+	// IllFormed is the catch-all class.
+	IllFormed CheckKind = iota
+	// FreeVariable: the expression has free recursion variables.
+	FreeVariable
+	// UnguardedRecursion: a recursion variable occurs with no
+	// communication prefix between it and its binder (μh.h).
+	UnguardedRecursion
+	// NonTailRecursion: a recursion variable occurs outside tail position.
+	NonTailRecursion
+	// EmptyChoice: a choice with no branches.
+	EmptyChoice
+	// MixedGuards: an output guarding an external choice, or an input
+	// guarding an internal one.
+	MixedGuards
+	// DuplicateRequest: one run may open the same request twice.
+	DuplicateRequest
+	// Residual: a run-time residual (close_{r,φ} or ⌋φ) in a source term.
+	Residual
+)
+
 // CheckError describes a well-formedness violation of a history expression.
 type CheckError struct {
 	Expr   Expr
+	Kind   CheckKind
 	Reason string
 }
 
@@ -25,13 +52,13 @@ func (e *CheckError) Error() string {
 // (see internal/contract) and hence compliance decidable.
 func Check(e Expr) error {
 	if !Closed(e) {
-		return &CheckError{Expr: e, Reason: "free recursion variables"}
+		return &CheckError{Expr: e, Kind: FreeVariable, Reason: "free recursion variables"}
 	}
 	if err := checkNode(e, e); err != nil {
 		return err
 	}
 	if r, dup := duplicateRequestOnPath(e); dup {
-		return &CheckError{Expr: e, Reason: fmt.Sprintf("duplicate request identifier %q", r)}
+		return &CheckError{Expr: e, Kind: DuplicateRequest, Reason: fmt.Sprintf("duplicate request identifier %q", r)}
 	}
 	return nil
 }
@@ -107,9 +134,9 @@ func checkNode(root, e Expr) error {
 	case Nil, Var, Ev:
 		return nil
 	case CloseTag:
-		return &CheckError{Expr: root, Reason: "run-time residual close_{r,φ} in source term"}
+		return &CheckError{Expr: root, Kind: Residual, Reason: "run-time residual close_{r,φ} in source term"}
 	case FrameClose:
-		return &CheckError{Expr: root, Reason: "run-time residual ⌋φ in source term"}
+		return &CheckError{Expr: root, Kind: Residual, Reason: "run-time residual ⌋φ in source term"}
 	case Seq:
 		if err := checkNode(root, t.Left); err != nil {
 			return err
@@ -117,11 +144,11 @@ func checkNode(root, e Expr) error {
 		return checkNode(root, t.Right)
 	case ExtChoice:
 		if len(t.Branches) == 0 {
-			return &CheckError{Expr: root, Reason: "empty external choice"}
+			return &CheckError{Expr: root, Kind: EmptyChoice, Reason: "empty external choice"}
 		}
 		for _, b := range t.Branches {
 			if b.Comm.IsSend() {
-				return &CheckError{Expr: root, Reason: fmt.Sprintf("output %s guards an external choice", b.Comm)}
+				return &CheckError{Expr: root, Kind: MixedGuards, Reason: fmt.Sprintf("output %s guards an external choice", b.Comm)}
 			}
 			if err := checkNode(root, b.Cont); err != nil {
 				return err
@@ -130,11 +157,11 @@ func checkNode(root, e Expr) error {
 		return nil
 	case IntChoice:
 		if len(t.Branches) == 0 {
-			return &CheckError{Expr: root, Reason: "empty internal choice"}
+			return &CheckError{Expr: root, Kind: EmptyChoice, Reason: "empty internal choice"}
 		}
 		for _, b := range t.Branches {
 			if !b.Comm.IsSend() {
-				return &CheckError{Expr: root, Reason: fmt.Sprintf("input %s guards an internal choice", b.Comm)}
+				return &CheckError{Expr: root, Kind: MixedGuards, Reason: fmt.Sprintf("input %s guards an internal choice", b.Comm)}
 			}
 			if err := checkNode(root, b.Cont); err != nil {
 				return err
@@ -165,10 +192,10 @@ func checkRec(root Expr, r Rec) error {
 				return nil
 			}
 			if !guarded {
-				return &CheckError{Expr: root, Reason: fmt.Sprintf("unguarded recursion variable %s", r.Name)}
+				return &CheckError{Expr: root, Kind: UnguardedRecursion, Reason: fmt.Sprintf("unguarded recursion variable %s", r.Name)}
 			}
 			if !tail {
-				return &CheckError{Expr: root, Reason: fmt.Sprintf("non-tail occurrence of recursion variable %s", r.Name)}
+				return &CheckError{Expr: root, Kind: NonTailRecursion, Reason: fmt.Sprintf("non-tail occurrence of recursion variable %s", r.Name)}
 			}
 			return nil
 		case Rec:

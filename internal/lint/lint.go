@@ -1,0 +1,269 @@
+// Package lint is a static-analysis pass over specification files: a
+// suite of analyzers inspects a parsed file and reports positioned,
+// machine-readable diagnostics — dead services, vacuous policies,
+// non-contractive recursion, dangling references and the like. It is the
+// "explain why" companion to the yes/no answers of internal/valid,
+// internal/compliance and internal/plans, in the spirit of go/analysis:
+// each Analyzer is a named, documented unit with a Run function over a
+// shared Pass.
+//
+// Diagnostics carry a stable code (SUSC000…SUSC010), a severity, a source
+// span from the parser's side table, and optional related positions. The
+// suite runs on leniently parsed files (parser.ParseFileLenient), so a
+// single run can report several independent problems.
+package lint
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"susc/internal/memo"
+	"susc/internal/parser"
+)
+
+// Severity grades a diagnostic.
+type Severity int
+
+const (
+	// Info marks stylistic or dead-code findings.
+	Info Severity = iota
+	// Warning marks suspicious constructs that do not by themselves make
+	// every plan invalid.
+	Warning
+	// Error marks findings that break the file for some or all analyses.
+	Error
+)
+
+func (s Severity) String() string {
+	switch s {
+	case Info:
+		return "info"
+	case Warning:
+		return "warning"
+	case Error:
+		return "error"
+	}
+	return fmt.Sprintf("severity(%d)", int(s))
+}
+
+// MarshalJSON renders the severity as its lower-case name, keeping the
+// JSON stream stable against renumbering.
+func (s Severity) MarshalJSON() ([]byte, error) { return json.Marshal(s.String()) }
+
+// ParseSeverity parses "info", "warning" or "error".
+func ParseSeverity(text string) (Severity, error) {
+	switch text {
+	case "info":
+		return Info, nil
+	case "warning":
+		return Warning, nil
+	case "error":
+		return Error, nil
+	}
+	return Info, fmt.Errorf("lint: unknown severity %q (want info, warning or error)", text)
+}
+
+// Diagnostic codes, one per finding class. Codes are stable public API:
+// tests, editors and CI pipelines key on them.
+const (
+	// CodeIllFormed: the declaration does not satisfy the well-formedness
+	// restrictions of Definition 1 (or the file does not parse at all).
+	CodeIllFormed = "SUSC000"
+	// CodeNonContractive: recursion that can diverge without progress —
+	// an unguarded or non-tail recursion variable (μh.h).
+	CodeNonContractive = "SUSC001"
+	// CodeFraming: redundant or ill-nested security framings.
+	CodeFraming = "SUSC002"
+	// CodeVacuousPolicy: a policy whose offending state is unreachable —
+	// its framings can never fire.
+	CodeVacuousPolicy = "SUSC003"
+	// CodeAlwaysViolated: a policy instance violated by the empty history —
+	// every service framed with it is invalid.
+	CodeAlwaysViolated = "SUSC004"
+	// CodeDeadService: a repository service no request in the file
+	// complies with — never selectable by any plan.
+	CodeDeadService = "SUSC005"
+	// CodeUnmatchedRequest: a request no repository service complies
+	// with — every plan for its owner is invalid.
+	CodeUnmatchedRequest = "SUSC006"
+	// CodeDuplicateDecl: duplicate or shadowed declarations.
+	CodeDuplicateDecl = "SUSC007"
+	// CodeUnusedInstance: a policy instance never used in a with or
+	// enforce clause.
+	CodeUnusedInstance = "SUSC008"
+	// CodeUnusedPolicy: a policy template never instantiated or used.
+	CodeUnusedPolicy = "SUSC009"
+	// CodeDanglingRef: a dangling reference — a plan binding to an
+	// unknown service, a plan entry for a request nothing opens, or a
+	// with/enforce clause naming an unknown policy instance.
+	CodeDanglingRef = "SUSC010"
+)
+
+// Related is a secondary position attached to a diagnostic (the first of
+// two duplicate declarations, the policy template of a bad instance, …).
+type Related struct {
+	Span    parser.Span `json:"span"`
+	Message string      `json:"message"`
+}
+
+// Diagnostic is one positioned finding.
+type Diagnostic struct {
+	Code     string      `json:"code"`
+	Severity Severity    `json:"severity"`
+	Span     parser.Span `json:"span"`
+	Message  string      `json:"message"`
+	Related  []Related   `json:"related,omitempty"`
+}
+
+// String renders the conventional single-line form
+// "line:col: severity: message [CODE]".
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s: %s [%s]", d.Span, d.Severity, d.Message, d.Code)
+}
+
+// An Analyzer is one named static-analysis unit, in the mould of
+// golang.org/x/tools/go/analysis: Name and Doc identify and document it,
+// Codes lists the diagnostic codes it may emit, and Run inspects the Pass
+// and reports findings through it.
+type Analyzer struct {
+	Name  string
+	Doc   string
+	Codes []string
+	Run   func(*Pass)
+}
+
+// Pass carries one lint run over one file: the parsed declarations, the
+// issues lenient parsing collected, and the shared memoisation cache the
+// expensive analyzers (dead-service, unmatched-request) draw compliance
+// verdicts from.
+type Pass struct {
+	File   *parser.File
+	Issues []parser.Issue
+	Cache  *memo.Cache
+
+	diags  []Diagnostic
+	bodies []reqBody
+}
+
+// Report adds a finding.
+func (p *Pass) Report(d Diagnostic) { p.diags = append(p.diags, d) }
+
+// Reportf adds a finding built from a format string.
+func (p *Pass) Reportf(code string, sev Severity, span parser.Span, format string, args ...interface{}) {
+	p.Report(Diagnostic{Code: code, Severity: sev, Span: span, Message: fmt.Sprintf(format, args...)})
+}
+
+// AnalyzerStat is the per-analyzer cost and yield of one run.
+type AnalyzerStat struct {
+	Name     string
+	Findings int
+	Duration time.Duration
+}
+
+// Stats collects per-analyzer statistics when Options.Stats is set.
+type Stats struct {
+	Analyzers []AnalyzerStat
+}
+
+// Options tunes a lint run.
+type Options struct {
+	// MinSeverity drops findings below this grade (default Info: keep all).
+	MinSeverity Severity
+	// Analyzers overrides the default suite (nil = all).
+	Analyzers []*Analyzer
+	// Cache supplies a shared memoisation cache; nil builds a fresh one.
+	Cache *memo.Cache
+	// Stats, when non-nil, receives per-analyzer wall time and counts.
+	Stats *Stats
+}
+
+// Analyzers returns the default suite, in running order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{
+		wellformedAnalyzer,
+		duplicateAnalyzer,
+		framingAnalyzer,
+		vacuityAnalyzer,
+		contradictionAnalyzer,
+		deadServiceAnalyzer,
+		unmatchedAnalyzer,
+		unusedInstanceAnalyzer,
+		unusedPolicyAnalyzer,
+		referenceAnalyzer,
+	}
+}
+
+// Run lints an already-parsed file. The issues argument carries what
+// lenient parsing collected (nil for a strictly parsed file). Diagnostics
+// come back deduplicated and ordered by position, code, message.
+func Run(f *parser.File, issues []parser.Issue, opts Options) []Diagnostic {
+	pass := &Pass{File: f, Issues: issues, Cache: opts.Cache}
+	if pass.Cache == nil {
+		pass.Cache = memo.New()
+	}
+	analyzers := opts.Analyzers
+	if analyzers == nil {
+		analyzers = Analyzers()
+	}
+	for _, a := range analyzers {
+		before := len(pass.diags)
+		start := time.Now()
+		a.Run(pass)
+		if opts.Stats != nil {
+			opts.Stats.Analyzers = append(opts.Stats.Analyzers, AnalyzerStat{
+				Name:     a.Name,
+				Findings: len(pass.diags) - before,
+				Duration: time.Since(start),
+			})
+		}
+	}
+	return finish(pass.diags, opts.MinSeverity)
+}
+
+// Source lints a source file from its text. Syntax errors do not fail the
+// run: they come back as a single SUSC000 diagnostic anchored at the
+// error position, so `susc lint` always yields positioned findings.
+func Source(src string, opts Options) []Diagnostic {
+	f, issues, err := parser.ParseFileLenient(src)
+	if err != nil {
+		d := Diagnostic{Code: CodeIllFormed, Severity: Error, Message: err.Error()}
+		var pe *parser.Error
+		if errors.As(err, &pe) {
+			pos := parser.Pos{Line: pe.Line, Col: pe.Col}
+			d.Span = parser.Span{Start: pos, End: pos}
+			d.Message = pe.Msg
+		}
+		return finish([]Diagnostic{d}, opts.MinSeverity)
+	}
+	return Run(f, issues, opts)
+}
+
+// finish deduplicates, orders and filters a diagnostic list.
+func finish(diags []Diagnostic, min Severity) []Diagnostic {
+	var kept []Diagnostic
+	for _, d := range diags {
+		if d.Severity >= min {
+			kept = append(kept, d)
+		}
+	}
+	sort.SliceStable(kept, func(i, j int) bool {
+		if kept[i].Span != kept[j].Span {
+			return kept[i].Span.Before(kept[j].Span)
+		}
+		if kept[i].Code != kept[j].Code {
+			return kept[i].Code < kept[j].Code
+		}
+		return kept[i].Message < kept[j].Message
+	})
+	out := kept[:0]
+	for i, d := range kept {
+		if i > 0 && d.Code == kept[i-1].Code && d.Span == kept[i-1].Span && d.Message == kept[i-1].Message {
+			continue
+		}
+		out = append(out, d)
+	}
+	return out
+}

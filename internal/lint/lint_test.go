@@ -1,0 +1,248 @@
+package lint
+
+import (
+	"flag"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"susc/internal/memo"
+	"susc/internal/parser"
+)
+
+var update = flag.Bool("update", false, "rewrite .lint.golden files")
+
+// render prints diagnostics the way `susc lint` does, minus the file name
+// prefix, so golden files stay valid if fixtures move.
+func render(diags []Diagnostic) string {
+	var b strings.Builder
+	for _, d := range diags {
+		fmt.Fprintf(&b, "%s\n", d)
+		for _, r := range d.Related {
+			fmt.Fprintf(&b, "\t%s: %s\n", r.Span, r.Message)
+		}
+	}
+	return b.String()
+}
+
+// specFiles lists every .susc file under the given roots (relative to
+// this package directory).
+func specFiles(t *testing.T, roots ...string) []string {
+	t.Helper()
+	var files []string
+	for _, root := range roots {
+		err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() && strings.HasSuffix(path, ".susc") {
+				files = append(files, path)
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("walk %s: %v", root, err)
+		}
+	}
+	return files
+}
+
+// TestGolden lints every specification shipped in the repository — the
+// dedicated fixtures here, the top-level testdata, and the examples —
+// and compares the rendered diagnostics against sibling .lint.golden
+// files. Run with -update to regenerate.
+func TestGolden(t *testing.T) {
+	cache := memo.New()
+	for _, path := range specFiles(t, "testdata", "../../testdata", "../../examples") {
+		t.Run(path, func(t *testing.T) {
+			src, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := render(Source(string(src), Options{Cache: cache}))
+			golden := path + ".lint.golden"
+			if *update {
+				if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(golden)
+			if err != nil {
+				t.Fatalf("missing golden file (run `go test ./internal/lint -run TestGolden -update`): %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("lint output mismatch\n--- got ---\n%s--- want ---\n%s", got, want)
+			}
+		})
+	}
+}
+
+// TestFixtureCodes pins each dedicated fixture to the exact diagnostic
+// codes it must trigger — one finding per analyzer under test — and
+// checks that together the fixtures cover every published code.
+func TestFixtureCodes(t *testing.T) {
+	expected := map[string][]string{
+		"parse_error.susc":            {CodeIllFormed},
+		"susc000_illformed.susc":      {CodeIllFormed},
+		"susc001_noncontractive.susc": {CodeNonContractive},
+		"susc002_framing.susc":        {CodeFraming},
+		"susc003_vacuous.susc":        {CodeVacuousPolicy},
+		"susc004_contradiction.susc":  {CodeAlwaysViolated},
+		"susc005_deadservice.susc":    {CodeDeadService},
+		"susc006_unmatched.susc":      {CodeUnmatchedRequest},
+		"susc007_duplicates.susc":     {CodeDuplicateDecl},
+		"susc008_unusedinstance.susc": {CodeUnusedInstance},
+		"susc009_unusedpolicy.susc":   {CodeUnusedPolicy},
+		"susc010_danglingref.susc":    {CodeDanglingRef},
+		"susc010_unknownpolicy.susc":  {CodeDanglingRef},
+		"susc010_unopened.susc":       {CodeDanglingRef},
+		"clean.susc":                  {},
+	}
+	covered := map[string]bool{}
+	cache := memo.New()
+	for name, want := range expected {
+		src, err := os.ReadFile(filepath.Join("testdata", name))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		diags := Source(string(src), Options{Cache: cache})
+		var got []string
+		for _, d := range diags {
+			got = append(got, d.Code)
+			covered[d.Code] = true
+			if d.Span.IsZero() {
+				t.Errorf("%s: diagnostic %s has no source span: %s", name, d.Code, d)
+			}
+		}
+		if !equalStrings(got, want) {
+			t.Errorf("%s: got codes %v, want %v", name, got, want)
+		}
+	}
+	all := []string{
+		CodeIllFormed, CodeNonContractive, CodeFraming, CodeVacuousPolicy,
+		CodeAlwaysViolated, CodeDeadService, CodeUnmatchedRequest,
+		CodeDuplicateDecl, CodeUnusedInstance, CodeUnusedPolicy, CodeDanglingRef,
+	}
+	for _, code := range all {
+		if !covered[code] {
+			t.Errorf("no fixture triggers %s", code)
+		}
+	}
+	// Every code an analyzer declares must be in the published set.
+	known := map[string]bool{}
+	for _, c := range all {
+		known[c] = true
+	}
+	for _, a := range Analyzers() {
+		for _, c := range a.Codes {
+			if !known[c] {
+				t.Errorf("analyzer %s declares unpublished code %s", a.Name, c)
+			}
+		}
+	}
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestSeverity(t *testing.T) {
+	for _, tc := range []struct {
+		text string
+		sev  Severity
+	}{{"info", Info}, {"warning", Warning}, {"error", Error}} {
+		got, err := ParseSeverity(tc.text)
+		if err != nil || got != tc.sev {
+			t.Errorf("ParseSeverity(%q) = %v, %v", tc.text, got, err)
+		}
+		if got.String() != tc.text {
+			t.Errorf("%v.String() = %q, want %q", got, got.String(), tc.text)
+		}
+	}
+	if _, err := ParseSeverity("fatal"); err == nil {
+		t.Error("ParseSeverity(fatal) succeeded, want error")
+	}
+}
+
+// TestMinSeverity checks that the threshold filters findings: the
+// dead-service fixture only warns, so at -severity error it is clean.
+func TestMinSeverity(t *testing.T) {
+	src, err := os.ReadFile(filepath.Join("testdata", "susc005_deadservice.susc"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diags := Source(string(src), Options{MinSeverity: Error}); len(diags) != 0 {
+		t.Errorf("MinSeverity=Error: got %d diagnostics, want 0: %v", len(diags), diags)
+	}
+	if diags := Source(string(src), Options{MinSeverity: Warning}); len(diags) != 1 {
+		t.Errorf("MinSeverity=Warning: got %d diagnostics, want 1: %v", len(diags), diags)
+	}
+}
+
+// TestStats checks that per-analyzer statistics cover the whole suite and
+// account for every reported finding.
+func TestStats(t *testing.T) {
+	src, err := os.ReadFile(filepath.Join("testdata", "susc005_deadservice.susc"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stats Stats
+	diags := Source(string(src), Options{Stats: &stats})
+	if len(stats.Analyzers) != len(Analyzers()) {
+		t.Fatalf("got %d analyzer stats, want %d", len(stats.Analyzers), len(Analyzers()))
+	}
+	total := 0
+	for _, s := range stats.Analyzers {
+		if s.Name == "" {
+			t.Error("analyzer stat with empty name")
+		}
+		total += s.Findings
+	}
+	if total != len(diags) {
+		t.Errorf("stats count %d findings, run reported %d", total, len(diags))
+	}
+}
+
+// TestParseErrorSpan checks that a hard syntax error comes back as one
+// positioned SUSC000 diagnostic instead of an error.
+func TestParseErrorSpan(t *testing.T) {
+	diags := Source("service = ;", Options{})
+	if len(diags) != 1 || diags[0].Code != CodeIllFormed || diags[0].Severity != Error {
+		t.Fatalf("got %v, want one SUSC000 error", diags)
+	}
+	if diags[0].Span.Start.Line != 1 || diags[0].Span.Start.Col == 0 {
+		t.Errorf("parse error span = %v, want line 1 with a column", diags[0].Span)
+	}
+}
+
+// TestRunStrictFile checks Run on a strictly parsed file (no issues):
+// analyzer findings still appear.
+func TestRunStrictFile(t *testing.T) {
+	src, err := os.ReadFile(filepath.Join("..", "..", "testdata", "hotel.susc"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := parser.ParseFile(string(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := Run(f, nil, Options{})
+	if len(diags) != 1 || diags[0].Code != CodeDeadService {
+		t.Fatalf("hotel.susc: got %v, want exactly the s2 dead-service warning", diags)
+	}
+	if !strings.Contains(diags[0].Message, "s2") {
+		t.Errorf("message %q does not name s2", diags[0].Message)
+	}
+}

@@ -12,6 +12,29 @@ type parser struct {
 	toks    []token
 	pos     int
 	aliases map[string]hexpr.PolicyID
+	depth   int
+
+	// File-level state (ParseFile / ParseFileLenient): lenient parsing
+	// collects declaration-level issues instead of failing, spans is the
+	// whole-file position side table, and cur collects expression-level
+	// positions for the declaration being parsed.
+	lenient bool
+	issues  []Issue
+	spans   *SpanTable
+	cur     *ExprSpans
+}
+
+// maxParseDepth bounds expression nesting so hostile inputs (kilobytes of
+// "((((…") fail with a parse error instead of exhausting the stack.
+const maxParseDepth = 2048
+
+// push enters one nesting level of the expression grammar.
+func (p *parser) push(t token) error {
+	p.depth++
+	if p.depth > maxParseDepth {
+		return p.errf(t, "expression nested more than %d levels deep", maxParseDepth)
+	}
+	return nil
 }
 
 func (p *parser) peek() token         { return p.toks[p.pos] }
@@ -81,11 +104,18 @@ func MustParseExpr(src string) hexpr.Expr {
 
 // expr := 'mu' ident '.' expr | choice
 func (p *parser) expr() (hexpr.Expr, error) {
+	if err := p.push(p.peek()); err != nil {
+		return nil, err
+	}
+	defer func() { p.depth-- }()
 	if t := p.peek(); t.kind == tokIdent && t.text == "mu" {
 		p.next()
 		name, err := p.expect(tokIdent)
 		if err != nil {
 			return nil, err
+		}
+		if p.cur != nil {
+			p.cur.Mus = append(p.cur.Mus, NameSpan{Name: name.text, Span: name.span()})
 		}
 		if _, err := p.expect(tokDot); err != nil {
 			return nil, err
@@ -251,6 +281,11 @@ func (p *parser) openExpr() (hexpr.Expr, error) {
 	if err != nil {
 		return nil, err
 	}
+	if p.cur != nil {
+		if _, seen := p.cur.Opens[req.text]; !seen {
+			p.cur.Opens[req.text] = req.span()
+		}
+	}
 	pol := hexpr.NoPolicy
 	if t := p.peek(); t.kind == tokIdent && t.text == "with" {
 		p.next()
@@ -259,6 +294,10 @@ func (p *parser) openExpr() (hexpr.Expr, error) {
 			return nil, err
 		}
 		pol = p.resolvePolicy(name.text)
+		if p.cur != nil {
+			p.cur.Policies = append(p.cur.Policies,
+				NameSpan{Name: name.text, ID: string(pol), Span: name.span()})
+		}
 	}
 	if _, err := p.expect(tokLBrace); err != nil {
 		return nil, err
@@ -279,6 +318,11 @@ func (p *parser) enforceExpr() (hexpr.Expr, error) {
 	name, err := p.expect(tokIdent)
 	if err != nil {
 		return nil, err
+	}
+	if p.cur != nil {
+		ns := NameSpan{Name: name.text, ID: string(p.resolvePolicy(name.text)), Span: name.span()}
+		p.cur.Policies = append(p.cur.Policies, ns)
+		p.cur.Enforces = append(p.cur.Enforces, ns)
 	}
 	if _, err := p.expect(tokLBrace); err != nil {
 		return nil, err

@@ -1,6 +1,7 @@
 package parser
 
 import (
+	"errors"
 	"fmt"
 
 	"susc/internal/hexpr"
@@ -43,6 +44,11 @@ type File struct {
 	PolicyOrder   []string
 	InstanceOrder []InstanceDecl
 	ServiceOrder  []hexpr.Location
+
+	// Spans is the source-position side table of every declaration (and
+	// the request/policy/mu constructs inside expressions), for positioned
+	// diagnostics. Always populated by ParseFile and ParseFileLenient.
+	Spans *SpanTable
 }
 
 // Client returns the declared client with the given name.
@@ -55,46 +61,81 @@ func (f *File) Client(name string) (ClientDecl, error) {
 	return ClientDecl{}, fmt.Errorf("parser: no client %q", name)
 }
 
-// ParseFile parses a full source file.
+// ErrRedeclared tags redeclaration issues, so tools inspecting lenient
+// parse Issues can recognise them with errors.Is.
+var ErrRedeclared = errors.New("redeclared")
+
+// ParseFile parses a full source file. Any error — syntactic or semantic
+// (redeclaration, ill-formed expression, bad instantiation) — aborts the
+// parse.
 func ParseFile(src string) (*File, error) {
+	f, _, err := parseFile(src, false)
+	return f, err
+}
+
+// ParseFileLenient parses a full source file, recovering from semantic
+// declaration-level problems: redeclarations, ill-formed expressions and
+// bad policy instantiations are recorded as Issues (and the offending
+// declaration skipped) instead of aborting the parse. Syntax errors are
+// still fatal. The linter builds on this to diagnose several problems in
+// one run.
+func ParseFileLenient(src string) (*File, []Issue, error) {
+	return parseFile(src, true)
+}
+
+func parseFile(src string, lenient bool) (*File, []Issue, error) {
 	toks, err := lex(src)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	p := &parser{toks: toks, aliases: map[string]hexpr.PolicyID{}}
+	p := &parser{toks: toks, aliases: map[string]hexpr.PolicyID{}, lenient: lenient, spans: newSpanTable()}
 	f := &File{
 		Automata:  map[string]*policy.Automaton{},
 		Instances: p.aliases,
 		Table:     policy.NewTable(),
 		Repo:      network.Repository{},
+		Spans:     p.spans,
 	}
 	for !p.at(tokEOF) {
 		t := p.peek()
 		if t.kind != tokIdent {
-			return nil, p.errf(t, "expected a declaration, found %s", t)
+			return nil, p.issues, p.errf(t, "expected a declaration, found %s", t)
 		}
 		switch t.text {
 		case "policy":
 			if err := p.policyDecl(f); err != nil {
-				return nil, err
+				return nil, p.issues, err
 			}
 		case "instance":
 			if err := p.instanceDecl(f); err != nil {
-				return nil, err
+				return nil, p.issues, err
 			}
 		case "service":
 			if err := p.serviceDecl(f); err != nil {
-				return nil, err
+				return nil, p.issues, err
 			}
 		case "client":
 			if err := p.clientDecl(f); err != nil {
-				return nil, err
+				return nil, p.issues, err
 			}
 		default:
-			return nil, p.errf(t, "unknown declaration %q (want policy, instance, service or client)", t.text)
+			return nil, p.issues, p.errf(t, "unknown declaration %q (want policy, instance, service or client)", t.text)
 		}
 	}
-	return f, nil
+	return f, p.issues, nil
+}
+
+// semantic reports a declaration-level semantic problem: in lenient mode
+// it is recorded as an Issue and parsing continues (the caller must skip
+// registering the declaration); in strict mode it is a parse error.
+func (p *parser) semantic(t token, declKind, name string, err error) error {
+	if p.lenient {
+		p.issues = append(p.issues, Issue{
+			Span: t.span(), DeclKind: declKind, Name: name, Err: err, Exprs: p.cur,
+		})
+		return nil
+	}
+	return p.errf(t, "%v", err)
 }
 
 // MustParseFile is ParseFile panicking on error.
@@ -113,9 +154,6 @@ func (p *parser) policyDecl(f *File) error {
 	name, err := p.expect(tokIdent)
 	if err != nil {
 		return err
-	}
-	if _, ok := f.Automata[name.text]; ok {
-		return p.errf(name, "policy %q redeclared", name.text)
 	}
 	a := &policy.Automaton{Name: name.text}
 	if _, err := p.expect(tokLParen); err != nil {
@@ -184,11 +222,15 @@ func (p *parser) policyDecl(f *File) error {
 		}
 	}
 	p.next() // '}'
+	if _, ok := f.Automata[name.text]; ok {
+		return p.semantic(name, "policy", name.text, fmt.Errorf("policy %q %w", name.text, ErrRedeclared))
+	}
 	if err := a.Validate(); err != nil {
-		return p.errf(name, "%v", err)
+		return p.semantic(name, "policy", name.text, err)
 	}
 	f.Automata[name.text] = a
 	f.PolicyOrder = append(f.PolicyOrder, name.text)
+	p.spans.Policies[name.text] = name.span()
 	return nil
 }
 
@@ -314,19 +356,12 @@ func (p *parser) instanceDecl(f *File) error {
 	if err != nil {
 		return err
 	}
-	if _, dup := f.Instances[alias.text]; dup {
-		return p.errf(alias, "instance %q redeclared", alias.text)
-	}
 	if _, err := p.expect(tokAssign); err != nil {
 		return err
 	}
 	tmplTok, err := p.expect(tokIdent)
 	if err != nil {
 		return err
-	}
-	tmpl, ok := f.Automata[tmplTok.text]
-	if !ok {
-		return p.errf(tmplTok, "unknown policy %q", tmplTok.text)
 	}
 	b := policy.Binding{Sets: map[string][]hexpr.Value{}, Ints: map[string]int{}}
 	if _, err := p.expect(tokLParen); err != nil {
@@ -378,15 +413,23 @@ func (p *parser) instanceDecl(f *File) error {
 	if _, err := p.expect(tokSemi); err != nil {
 		return err
 	}
+	if _, dup := f.Instances[alias.text]; dup {
+		return p.semantic(alias, "instance", alias.text, fmt.Errorf("instance %q %w", alias.text, ErrRedeclared))
+	}
+	tmpl, ok := f.Automata[tmplTok.text]
+	if !ok {
+		return p.semantic(tmplTok, "instance", alias.text, fmt.Errorf("unknown policy %q", tmplTok.text))
+	}
 	in, err := tmpl.Instantiate(b)
 	if err != nil {
-		return p.errf(alias, "%v", err)
+		return p.semantic(alias, "instance", alias.text, err)
 	}
 	f.Instances[alias.text] = in.ID()
 	f.Table.Add(in)
 	f.InstanceOrder = append(f.InstanceOrder, InstanceDecl{
 		Alias: alias.text, Template: tmplTok.text, Binding: b, ID: in.ID(),
 	})
+	p.spans.Instances[alias.text] = alias.span()
 	return nil
 }
 
@@ -397,12 +440,11 @@ func (p *parser) serviceDecl(f *File) error {
 	if err != nil {
 		return err
 	}
-	if _, dup := f.Repo[hexpr.Location(loc.text)]; dup {
-		return p.errf(loc, "service %q redeclared", loc.text)
-	}
 	if _, err := p.expect(tokAssign); err != nil {
 		return err
 	}
+	p.cur = newExprSpans()
+	defer func() { p.cur = nil }()
 	e, err := p.expr()
 	if err != nil {
 		return err
@@ -410,11 +452,16 @@ func (p *parser) serviceDecl(f *File) error {
 	if _, err := p.expect(tokSemi); err != nil {
 		return err
 	}
+	if _, dup := f.Repo[hexpr.Location(loc.text)]; dup {
+		return p.semantic(loc, "service", loc.text, fmt.Errorf("service %q %w", loc.text, ErrRedeclared))
+	}
 	if err := hexpr.Check(e); err != nil {
-		return p.errf(loc, "service %s: %v", loc.text, err)
+		return p.semantic(loc, "service", loc.text, fmt.Errorf("service %s: %w", loc.text, err))
 	}
 	f.Repo[hexpr.Location(loc.text)] = e
 	f.ServiceOrder = append(f.ServiceOrder, hexpr.Location(loc.text))
+	p.spans.Services[loc.text] = loc.span()
+	p.spans.ServiceExprs[loc.text] = p.cur
 	return nil
 }
 
@@ -434,6 +481,7 @@ func (p *parser) clientDecl(f *File) error {
 		return err
 	}
 	decl := ClientDecl{Name: name.text, Loc: hexpr.Location(loc.text)}
+	planSpans := map[string]Span{}
 	if t := p.peek(); t.kind == tokIdent && t.text == "plan" {
 		p.next()
 		if _, err := p.expect(tokLBrace); err != nil {
@@ -458,12 +506,15 @@ func (p *parser) clientDecl(f *File) error {
 				return err
 			}
 			decl.Plan[hexpr.RequestID(req.text)] = hexpr.Location(to.text)
+			planSpans[req.text] = to.span()
 		}
 		p.next() // '}'
 	}
 	if _, err := p.expect(tokAssign); err != nil {
 		return err
 	}
+	p.cur = newExprSpans()
+	defer func() { p.cur = nil }()
 	e, err := p.expr()
 	if err != nil {
 		return err
@@ -472,9 +523,12 @@ func (p *parser) clientDecl(f *File) error {
 		return err
 	}
 	if err := hexpr.Check(e); err != nil {
-		return p.errf(name, "client %s: %v", name.text, err)
+		return p.semantic(name, "client", name.text, fmt.Errorf("client %s: %w", name.text, err))
 	}
 	decl.Expr = e
 	f.Clients = append(f.Clients, decl)
+	p.spans.Clients = append(p.spans.Clients, name.span())
+	p.spans.PlanTargets = append(p.spans.PlanTargets, planSpans)
+	p.spans.ClientExprs = append(p.spans.ClientExprs, p.cur)
 	return nil
 }

@@ -1,0 +1,96 @@
+package parser
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"susc/internal/hexpr"
+)
+
+// addSpecSeeds seeds a fuzz corpus with every specification file shipped
+// in the repository.
+func addSpecSeeds(f *testing.F) {
+	f.Helper()
+	for _, pattern := range []string{
+		"../../testdata/*.susc",
+		"../../examples/specs/*.susc",
+		"../lint/testdata/*.susc",
+	} {
+		paths, err := filepath.Glob(pattern)
+		if err != nil {
+			f.Fatal(err)
+		}
+		for _, p := range paths {
+			src, err := os.ReadFile(p)
+			if err != nil {
+				f.Fatal(err)
+			}
+			f.Add(string(src))
+		}
+	}
+}
+
+// FuzzParseFile checks that file parsing never panics, and that accepted
+// files survive a format → reparse → format round trip unchanged.
+func FuzzParseFile(f *testing.F) {
+	addSpecSeeds(f)
+	f.Add("service s = a?;")
+	f.Add("policy p(n int) { states q0 q1; start q0; final q1; edge q0 -> q1 on ev(x) when x > n; }")
+	f.Add("client c at l plan { r1 -> s } = open r1 { a! };")
+	f.Add("service s = mu h . a? . h;")
+	f.Fuzz(func(t *testing.T, src string) {
+		file, err := ParseFile(src)
+
+		// Lenient parsing must behave on the same input: never panic, and
+		// succeed (possibly with issues) whenever strict parsing does.
+		_, _, lerr := ParseFileLenient(src)
+		if err == nil && lerr != nil {
+			t.Fatalf("strict parse accepts, lenient rejects: %v", lerr)
+		}
+		if err != nil {
+			return
+		}
+
+		out := Format(file)
+		file2, err := ParseFile(out)
+		if err != nil {
+			t.Fatalf("formatted output fails to reparse: %v\n--- formatted ---\n%s", err, out)
+		}
+		if out2 := Format(file2); out2 != out {
+			t.Fatalf("format is not idempotent\n--- first ---\n%s\n--- second ---\n%s", out, out2)
+		}
+	})
+}
+
+// FuzzParseExpr checks that expression parsing never panics and that
+// accepted expressions round-trip through hexpr.Pretty to the same
+// canonical term.
+func FuzzParseExpr(f *testing.F) {
+	for _, seed := range []string{
+		"eps",
+		"a? . b!",
+		"mu h . a? . h",
+		"open r1 with p { a! }",
+		"enforce p { ev(1) . a? }",
+		"(a? + b?) . c!",
+		"a! (+) b! . ev(x, 2)",
+		"open r1 { enforce p { mu h . a? . h + b? } }",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		e, err := ParseExpr(src)
+		if err != nil {
+			return
+		}
+		pretty := hexpr.Pretty(e)
+		e2, err := ParseExpr(pretty)
+		if err != nil {
+			t.Fatalf("Pretty output fails to reparse: %v\n--- pretty ---\n%s", err, pretty)
+		}
+		if e.Key() != e2.Key() {
+			t.Fatalf("round trip changes the term\n--- in  ---\n%s\n--- out ---\n%s", e.Key(), e2.Key())
+		}
+	})
+}

@@ -1,0 +1,126 @@
+package parser
+
+import "fmt"
+
+// Pos is a source position: 1-based line and column.
+type Pos struct {
+	Line int `json:"line"`
+	Col  int `json:"col"`
+}
+
+// Span is a half-open source range [Start, End). Tokens never span lines,
+// so End.Line == Start.Line for token-derived spans.
+type Span struct {
+	Start Pos `json:"start"`
+	End   Pos `json:"end"`
+}
+
+// String renders the span as the conventional "line:col" anchor of its
+// start, the form editors and CI annotations understand.
+func (s Span) String() string { return fmt.Sprintf("%d:%d", s.Start.Line, s.Start.Col) }
+
+// IsZero reports whether the span carries no position.
+func (s Span) IsZero() bool { return s.Start.Line == 0 }
+
+// Before orders spans by start position, then end position.
+func (s Span) Before(o Span) bool {
+	if s.Start.Line != o.Start.Line {
+		return s.Start.Line < o.Start.Line
+	}
+	if s.Start.Col != o.Start.Col {
+		return s.Start.Col < o.Start.Col
+	}
+	if s.End.Line != o.End.Line {
+		return s.End.Line < o.End.Line
+	}
+	return s.End.Col < o.End.Col
+}
+
+// span is the source range of one token.
+func (t token) span() Span {
+	return Span{
+		Start: Pos{Line: t.line, Col: t.col},
+		End:   Pos{Line: t.line, Col: t.col + len(t.text)},
+	}
+}
+
+// NameSpan records one named construct occurrence inside an expression: a
+// `with`/`enforce` policy reference (Name as written, ID as resolved) or a
+// `mu` binder (Name is the variable, ID empty).
+type NameSpan struct {
+	Name string
+	ID   string
+	Span Span
+}
+
+// ExprSpans is the per-declaration side table of positions inside one
+// expression. Expressions themselves are canonicalised (internal/hexpr
+// rebuilds and re-sorts terms), so positions cannot live on the nodes;
+// instead the parser records them here, keyed by the stable handles lint
+// diagnostics need: request identifiers, policy references and recursion
+// binders.
+type ExprSpans struct {
+	// Opens maps each request identifier to the span of its first `open`.
+	Opens map[string]Span
+	// Policies are the `with` and `enforce` policy references, in source
+	// order.
+	Policies []NameSpan
+	// Enforces are the `enforce` references only (a subset of Policies).
+	Enforces []NameSpan
+	// Mus are the `mu` binders, in source order.
+	Mus []NameSpan
+}
+
+func newExprSpans() *ExprSpans { return &ExprSpans{Opens: map[string]Span{}} }
+
+// SpanTable is the whole-file side table of source positions, populated by
+// ParseFile alongside the declarations themselves. Declaration spans cover
+// the name token of the declaration.
+type SpanTable struct {
+	// Policies, Instances and Services map declaration names to the span
+	// of the declaring name token.
+	Policies  map[string]Span
+	Instances map[string]Span
+	Services  map[string]Span
+	// Clients holds the name-token span of each client, parallel to
+	// File.Clients (duplicate names make a name-keyed map lossy).
+	Clients []Span
+	// PlanTargets holds, per client, the span of each plan target
+	// (the service token of "r -> loc"), keyed by request identifier.
+	PlanTargets []map[string]Span
+	// ServiceExprs and ClientExprs hold the per-expression side tables;
+	// ClientExprs is parallel to File.Clients.
+	ServiceExprs map[string]*ExprSpans
+	ClientExprs  []*ExprSpans
+}
+
+func newSpanTable() *SpanTable {
+	return &SpanTable{
+		Policies:     map[string]Span{},
+		Instances:    map[string]Span{},
+		Services:     map[string]Span{},
+		ServiceExprs: map[string]*ExprSpans{},
+	}
+}
+
+// Issue is a declaration-level problem found while parsing leniently:
+// a redeclaration, an ill-formed expression, or a bad policy instantiation.
+// ParseFileLenient records issues and carries on where ParseFile stops.
+type Issue struct {
+	// Span anchors the issue, normally at the declaration's name token.
+	Span Span
+	// DeclKind is "policy", "instance", "service" or "client".
+	DeclKind string
+	// Name is the declared name.
+	Name string
+	// Err is the underlying error; for ill-formed expressions it is a
+	// *hexpr.CheckError.
+	Err error
+	// Exprs is the expression side table of the offending declaration,
+	// when one was parsed (nil otherwise).
+	Exprs *ExprSpans
+}
+
+func (is Issue) Error() string {
+	return fmt.Sprintf("%s: %s %s: %v", is.Span, is.DeclKind, is.Name, is.Err)
+}
