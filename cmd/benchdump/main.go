@@ -15,6 +15,7 @@ import (
 	"testing"
 
 	"susc/internal/benchgen"
+	"susc/internal/lint"
 	"susc/internal/memo"
 	"susc/internal/plans"
 )
@@ -37,7 +38,22 @@ type document struct {
 	// Chained compares the legacy per-plan engine against the fused
 	// shared-state-space engine on the benchgen.Chained workload.
 	Chained *chainedDoc `json:"chained,omitempty"`
-	Results []result    `json:"results"`
+	// LintSemantic measures the semantic analyzer suite (SUSC011–015,
+	// witness extraction included) over the surface rendering of a
+	// Chained workload.
+	LintSemantic *lintDoc `json:"lint_semantic,omitempty"`
+	Results      []result `json:"results"`
+}
+
+// lintDoc summarizes the semantic-lint series: the dominant cost is
+// SUSC013's plan-space emptiness check, which explores the full
+// fanout^depth plan family through the fused engine and memo cache.
+type lintDoc struct {
+	Depth       int     `json:"depth"`
+	Fanout      int     `json:"fanout"`
+	Plans       int     `json:"plans"`
+	SourceBytes int     `json:"source_bytes"`
+	HitRate     float64 `json:"hit_rate"`
 }
 
 // chainedDoc is the legacy-vs-fused comparison on one Chained workload:
@@ -58,6 +74,7 @@ func main() {
 	hotels := flag.Int("hotels", 32, "size of the benchgen.Hotels workload")
 	depth := flag.Int("chained-depth", 12, "depth of the benchgen.Chained workload (0 skips it)")
 	fanout := flag.Int("chained-fanout", 2, "fanout of the benchgen.Chained workload")
+	lintDepth := flag.Int("lint-semantic", 8, "depth of the Chained workload for the semantic-lint series (0 skips it; keep fanout^depth within the analyzers' plan budget)")
 	out := flag.String("o", "", "write the JSON document here instead of stdout")
 	flag.Parse()
 
@@ -91,6 +108,9 @@ func main() {
 
 	if *depth > 0 {
 		doc.Chained = runChained(*depth, *fanout, &doc)
+	}
+	if *lintDepth > 0 {
+		doc.LintSemantic = runLintSemantic(*lintDepth, *fanout, &doc)
 	}
 
 	enc := json.NewEncoder(os.Stdout)
@@ -150,6 +170,40 @@ func runChained(depth, fanout int, doc *document) *chainedDoc {
 		EdgesBuilt:     stats.EdgesBuilt,
 		ReplayStates:   stats.ReplayStates,
 		ReplayMemoHits: stats.ReplayMemoHits,
+	}
+}
+
+// runLintSemantic benchmarks the full lint suite — default analyzers plus
+// the semantic SUSC011–015 pass with witness extraction — over the surface
+// rendering of a Chained workload, appends two series (syntactic-only and
+// full) to the document, and returns the summary. The workload is lint-
+// clean, so the run measures pure analysis: SUSC013 alone walks the whole
+// fanout^depth plan space through the fused engine.
+func runLintSemantic(depth, fanout int, doc *document) *lintDoc {
+	src := benchgen.ChainedSource(depth, fanout)
+	w := benchgen.Chained(depth, fanout)
+	cache := memo.New()
+	run := func(analyzers []*lint.Analyzer) testing.BenchmarkResult {
+		return testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				diags := lint.Source(src, lint.Options{Analyzers: analyzers, Cache: cache})
+				if len(diags) != 0 {
+					b.Fatalf("chained workload is not lint-clean: %v", diags)
+				}
+			}
+		})
+	}
+	base := fmt.Sprintf("LintChained/depth=%d/fanout=%d", depth, fanout)
+	doc.Results = append(doc.Results,
+		toResult(base+"/syntactic", run(lint.Analyzers()), 0),
+		toResult(base+"/semantic", run(lint.AllAnalyzers()), cache.Stats().HitRate()))
+	return &lintDoc{
+		Depth:       depth,
+		Fanout:      fanout,
+		Plans:       w.PlanCount,
+		SourceBytes: len(src),
+		HitRate:     cache.Stats().HitRate(),
 	}
 }
 

@@ -14,6 +14,10 @@
 //	susc lint       FILE                 static analysis: positioned diagnostics
 //	                                     (dead services, vacuous policies, …);
 //	                                     -json (NDJSON), -severity LEVEL, -stats
+//	susc explain    FILE                 semantic analysis with counterexamples:
+//	                                     model-check every declaration and print a
+//	                                     minimal witness trace per finding
+//	                                     (SUSC011–015); -code SUSCnnn, -json, -dot
 //	susc dot        FILE -policy P | -lts NAME | -product OWNER.REQ -vs LOC
 //	                                     render an artifact as Graphviz dot
 //	susc effect     FILE.lam [-decls FILE.susc]
@@ -64,11 +68,11 @@ func main() {
 
 func run(args []string) error {
 	if len(args) < 1 {
-		return fmt.Errorf("usage: susc <parse|fmt|lint|project|compliance|validity|plans|check|checkall|run|dot|effect|substitutable|dual> FILE [flags]")
+		return fmt.Errorf("usage: susc <parse|fmt|lint|explain|project|compliance|validity|plans|check|checkall|run|dot|effect|substitutable|dual> FILE [flags]")
 	}
 	cmd := args[0]
 	switch cmd {
-	case "parse", "fmt", "lint", "project", "compliance", "validity", "plans", "check", "run",
+	case "parse", "fmt", "lint", "explain", "project", "compliance", "validity", "plans", "check", "run",
 		"dot", "effect", "substitutable", "dual", "checkall":
 	default:
 		return fmt.Errorf("unknown command %q", cmd)
@@ -95,6 +99,10 @@ func run(args []string) error {
 		"plans/lint: print per-engine work counters on stderr")
 	severity := fs.String("severity", "info",
 		"lint: report findings at or above this severity (info, warning, error)")
+	codeFilter := fs.String("code", "",
+		"explain: only report findings with this diagnostic code (e.g. SUSC011)")
+	witnessDot := fs.Bool("wdot", false,
+		"explain: render each witness as a Graphviz digraph instead of text")
 	runAll := fs.Bool("all", false, "run: simulate all declared clients concurrently")
 	workers := fs.Int("workers", runtime.GOMAXPROCS(0),
 		"plans/effect: validate candidate plans with this many goroutines")
@@ -116,6 +124,11 @@ func run(args []string) error {
 		// lint parses leniently itself, so one run can report several
 		// independent problems (and parse errors become diagnostics).
 		return cmdLint(path, string(src), *jsonOut, *severity, *stats)
+	}
+	if cmd == "explain" {
+		// explain also parses leniently: the semantic analyzers skip what
+		// does not parse and still explain the declarations that do.
+		return cmdExplain(path, string(src), *codeFilter, *jsonOut, *witnessDot)
 	}
 	f, err := parser.ParseFile(string(src))
 	if err != nil {
@@ -208,6 +221,61 @@ func cmdLint(path, src string, jsonOut bool, severity string, stats bool) error 
 	}
 	if errs > 0 {
 		return fmt.Errorf("lint: %d error(s)", errs)
+	}
+	return nil
+}
+
+// cmdExplain runs the full analyzer suite — the default syntactic
+// analyzers plus the semantic model checkers (SUSC011–015) — and reports
+// the findings that carry a counterexample witness, each with its minimal
+// trace printed step by step and anchored at file:line:col. -code keeps
+// one diagnostic code, -json emits NDJSON (witness included), -wdot
+// renders each witness as a Graphviz digraph. The exit status is non-zero
+// iff any error-severity witness is reported.
+func cmdExplain(path, src, code string, jsonOut, wdot bool) error {
+	diags := lint.Source(src, lint.Options{Analyzers: lint.AllAnalyzers(), Cache: memo.New()})
+	var kept []lint.Diagnostic
+	for _, d := range diags {
+		if d.Witness == nil {
+			continue
+		}
+		if code != "" && d.Code != code {
+			continue
+		}
+		kept = append(kept, d)
+	}
+	errs := 0
+	switch {
+	case jsonOut:
+		enc := json.NewEncoder(os.Stdout)
+		for _, d := range kept {
+			if err := enc.Encode(lintEntry{File: path, Diagnostic: d}); err != nil {
+				return err
+			}
+		}
+	case wdot:
+		for i, d := range kept {
+			fmt.Print(d.Witness.DOT(fmt.Sprintf("%s_%d", d.Code, i)))
+		}
+	default:
+		for _, d := range kept {
+			fmt.Printf("%s:%s\n", path, d)
+			for _, r := range d.Related {
+				fmt.Printf("\t%s:%s: %s\n", path, r.Span, r.Message)
+			}
+			fmt.Print(d.Witness.Render(path))
+		}
+	}
+	for _, d := range kept {
+		if d.Severity == lint.Error {
+			errs++
+		}
+	}
+	if !jsonOut && !wdot && len(kept) > 0 {
+		fmt.Fprintf(os.Stderr, "explain: %d finding(s) with witnesses, %d error(s)\n", len(kept), errs)
+	}
+	if errs > 0 {
+		return fmt.Errorf("explain: %d error(s)", errs)
 	}
 	return nil
 }
@@ -639,10 +707,15 @@ func cmdCheckAll(f *parser.File, capSpec string, jsonOut bool) error {
 		return fmt.Errorf("the file declares no clients")
 	}
 	// Surface lint findings alongside the verdict (on stderr, so -json
-	// stdout stays machine-readable). The file parsed strictly, so there
-	// are no parse-level issues to forward.
-	for _, d := range lint.Run(f, nil, lint.Options{MinSeverity: lint.Warning}) {
+	// stdout stays machine-readable), semantic analyzers included; witness
+	// details stay behind `susc explain`. The file parsed strictly, so
+	// there are no parse-level issues to forward.
+	for _, d := range lint.Run(f, nil, lint.Options{MinSeverity: lint.Warning, Analyzers: lint.AllAnalyzers()}) {
 		fmt.Fprintf(os.Stderr, "lint: %s\n", d)
+		if d.Witness != nil {
+			fmt.Fprintf(os.Stderr, "lint: \trun `susc explain FILE -code %s` for the %d-step witness\n",
+				d.Code, len(d.Witness.Steps))
+		}
 	}
 	var specs []verify.ClientSpec
 	for _, c := range f.Clients {

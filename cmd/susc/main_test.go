@@ -3,7 +3,9 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"flag"
 	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -626,5 +628,108 @@ func TestCmdLintParseError(t *testing.T) {
 	}
 	if !strings.Contains(out, "[SUSC000]") || !strings.Contains(out, ":3:") {
 		t.Errorf("want a positioned SUSC000 finding:\n%s", out)
+	}
+}
+
+var updateExplain = flag.Bool("update", false, "rewrite .explain.golden files")
+
+// TestCmdExplainGolden pins the text output of `susc explain` on every
+// semantic fixture byte-for-byte: witness rendering is public, stable
+// output. Run with -update to regenerate.
+func TestCmdExplainGolden(t *testing.T) {
+	matches, err := filepath.Glob("../../internal/lint/testdata/semantic/*.susc")
+	if err != nil || len(matches) == 0 {
+		t.Fatalf("no semantic fixtures: %v", err)
+	}
+	for _, path := range matches {
+		t.Run(filepath.Base(path), func(t *testing.T) {
+			// Error-severity findings make the command fail by design; the
+			// output is still the object under test.
+			out, _ := capture(t, func() error { return run([]string{"explain", path}) })
+			golden := path + ".explain.golden"
+			if *updateExplain {
+				if err := os.WriteFile(golden, []byte(out), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(golden)
+			if err != nil {
+				t.Fatalf("missing golden (run `go test ./cmd/susc -run TestCmdExplainGolden -update`): %v", err)
+			}
+			if out != string(want) {
+				t.Errorf("explain output mismatch\n--- got ---\n%s--- want ---\n%s", out, want)
+			}
+		})
+	}
+}
+
+// TestCmdExplainClean checks that a witness-free specification yields no
+// output and a zero exit status (the CI smoke contract).
+func TestCmdExplainClean(t *testing.T) {
+	out, err := capture(t, func() error {
+		return run([]string{"explain", "../../internal/lint/testdata/semantic/clean.susc"})
+	})
+	if err != nil {
+		t.Fatalf("explain on a clean file failed: %v", err)
+	}
+	if out != "" {
+		t.Errorf("explain on a clean file printed output:\n%s", out)
+	}
+}
+
+// TestCmdExplainCodeFilter checks -code keeps only the requested findings.
+func TestCmdExplainCodeFilter(t *testing.T) {
+	fix := "../../internal/lint/testdata/semantic/susc015_deadautomaton.susc"
+	out, err := capture(t, func() error { return run([]string{"explain", fix, "-code", "SUSC015"}) })
+	if err != nil {
+		t.Fatalf("info findings must not fail the command: %v", err)
+	}
+	if !strings.Contains(out, "[SUSC015]") || strings.Contains(out, "[SUSC011]") {
+		t.Errorf("-code SUSC015 output wrong:\n%s", out)
+	}
+	out, err = capture(t, func() error { return run([]string{"explain", fix, "-code", "SUSC011"}) })
+	if err != nil || out != "" {
+		t.Errorf("-code SUSC011 should match nothing here, got err=%v out:\n%s", err, out)
+	}
+}
+
+// TestCmdExplainJSON checks the NDJSON stream carries the witness.
+func TestCmdExplainJSON(t *testing.T) {
+	fix := "../../internal/lint/testdata/semantic/susc011_violable.susc"
+	out, _ := capture(t, func() error { return run([]string{"explain", fix, "-json"}) })
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 1 {
+		t.Fatalf("want one NDJSON line, got %d:\n%s", len(lines), out)
+	}
+	var entry struct {
+		File    string `json:"file"`
+		Code    string `json:"code"`
+		Witness struct {
+			Kind  string `json:"kind"`
+			Steps []struct {
+				Label string `json:"label"`
+				State string `json:"state"`
+			} `json:"steps"`
+		} `json:"witness"`
+	}
+	if err := json.Unmarshal([]byte(lines[0]), &entry); err != nil {
+		t.Fatalf("invalid NDJSON: %v\n%s", err, lines[0])
+	}
+	if entry.Code != "SUSC011" || entry.Witness.Kind != "violation" || len(entry.Witness.Steps) != 3 ||
+		entry.Witness.Steps[2].State != "qv" {
+		t.Errorf("unexpected NDJSON entry: %+v", entry)
+	}
+}
+
+// TestCmdExplainDot checks -wdot emits one digraph per witness.
+func TestCmdExplainDot(t *testing.T) {
+	fix := "../../internal/lint/testdata/semantic/susc014_subsumed.susc"
+	out, err := capture(t, func() error { return run([]string{"explain", fix, "-wdot"}) })
+	if err != nil {
+		t.Fatalf("warning findings must not fail the command: %v", err)
+	}
+	if !strings.Contains(out, `digraph "SUSC014_0"`) || !strings.Contains(out, "doublecircle") {
+		t.Errorf("-wdot output is not a digraph:\n%s", out)
 	}
 }

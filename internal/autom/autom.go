@@ -139,36 +139,11 @@ func (a *NFA) IsEmpty() bool {
 
 // AcceptingPath returns a shortest word leading from the start state to an
 // accepting state, or nil when the language is empty. It is the
-// counterexample extractor of the model checkers built on this package.
+// counterexample extractor of the model checkers built on this package;
+// AcceptingRun additionally reconstructs the state sequence.
 func (a *NFA) AcceptingPath() []string {
-	type item struct {
-		state int
-		word  []string
-	}
-	seen := make([]bool, a.n)
-	queue := []item{{state: a.start}}
-	seen[a.start] = true
-	for len(queue) > 0 {
-		it := queue[0]
-		queue = queue[1:]
-		if a.accept[it.state] {
-			return append([]string{}, it.word...)
-		}
-		syms := make([]string, 0, len(a.edges[it.state]))
-		for sym := range a.edges[it.state] {
-			syms = append(syms, sym)
-		}
-		sort.Strings(syms)
-		for _, sym := range syms {
-			for _, t := range a.edges[it.state][sym] {
-				if !seen[t] {
-					seen[t] = true
-					queue = append(queue, item{state: t, word: append(append([]string(nil), it.word...), sym)})
-				}
-			}
-		}
-	}
-	return nil
+	word, _ := a.AcceptingRun()
+	return word
 }
 
 func (a *NFA) String() string {

@@ -166,30 +166,10 @@ func (d *DFA) Intersect(e *DFA) *DFA {
 func (d *DFA) IsEmpty() bool { return d.AcceptingPath() == nil }
 
 // AcceptingPath returns a shortest accepted word, or nil when the language
-// is empty.
+// is empty. AcceptingRun additionally reconstructs the state sequence.
 func (d *DFA) AcceptingPath() []string {
-	type item struct {
-		state int
-		word  []string
-	}
-	seen := make([]bool, len(d.Trans))
-	queue := []item{{state: d.Start}}
-	seen[d.Start] = true
-	for len(queue) > 0 {
-		it := queue[0]
-		queue = queue[1:]
-		if d.Accept[it.state] {
-			return append([]string{}, it.word...)
-		}
-		for ai, sym := range d.Alphabet {
-			t := d.Trans[it.state][ai]
-			if !seen[t] {
-				seen[t] = true
-				queue = append(queue, item{state: t, word: append(append([]string(nil), it.word...), sym)})
-			}
-		}
-	}
-	return nil
+	word, _ := d.AcceptingRun()
+	return word
 }
 
 // Minimize returns the minimal DFA equivalent to d (Moore's partition

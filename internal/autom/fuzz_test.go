@@ -1,0 +1,156 @@
+package autom
+
+import (
+	"bytes"
+	"testing"
+)
+
+// fuzzAlphabet is the fixed alphabet fuzzed automata range over. Three
+// symbols are enough to exercise branching without exploding the bounded
+// brute-force oracles below.
+var fuzzAlphabet = []string{"a", "b", "c"}
+
+// decodeNFA deterministically builds a small NFA from a byte stream and
+// returns the remaining bytes. The layout is: one byte for the state
+// count, one for the accept mask, one for the edge count, then three
+// bytes (from, symbol, to) per edge. Every input decodes to a valid
+// automaton, so the fuzzer explores structure rather than validity.
+func decodeNFA(data []byte) (*NFA, []byte) {
+	next := func() byte {
+		if len(data) == 0 {
+			return 0
+		}
+		b := data[0]
+		data = data[1:]
+		return b
+	}
+	a := NewNFA()
+	n := int(next())%5 + 1
+	for a.NumStates() < n {
+		a.AddState()
+	}
+	mask := next()
+	for s := 0; s < n; s++ {
+		a.SetAccept(s, mask&(1<<(s%8)) != 0)
+	}
+	edges := int(next()) % 12
+	for i := 0; i < edges; i++ {
+		from := int(next()) % n
+		sym := fuzzAlphabet[int(next())%len(fuzzAlphabet)]
+		to := int(next()) % n
+		a.AddEdge(from, sym, to)
+	}
+	return a, data
+}
+
+// shortestAcceptedLen returns the length of a shortest accepted word via
+// level-order BFS over states, or -1 when the language is empty. It is an
+// independent oracle for the BFS-minimality contract of AcceptingRun.
+func shortestAcceptedLen(a *NFA) int {
+	seen := make([]bool, a.NumStates())
+	level := []int{a.Start()}
+	seen[a.Start()] = true
+	for depth := 0; len(level) > 0; depth++ {
+		var next []int
+		for _, s := range level {
+			if a.Accepting(s) {
+				return depth
+			}
+		}
+		for _, s := range level {
+			for _, sym := range fuzzAlphabet {
+				for _, t := range a.Succ(s, sym) {
+					if !seen[t] {
+						seen[t] = true
+						next = append(next, t)
+					}
+				}
+			}
+		}
+		level = next
+	}
+	return -1
+}
+
+// FuzzWitnessMinimal checks the witness-extraction contract on random
+// automata: AcceptingRun returns an accepted word whose run replays edge
+// by edge and which is BFS-minimal, and the product witness (the shape
+// SUSC014 language-inclusion counterexamples take) is accepted by both
+// operands and minimal among common words, verified by a bounded
+// brute-force oracle.
+func FuzzWitnessMinimal(f *testing.F) {
+	f.Add([]byte{2, 2, 2, 0, 0, 1, 1, 1, 1})
+	f.Add([]byte{3, 4, 3, 0, 0, 1, 1, 1, 2, 2, 2, 0, 1, 1, 1, 0, 2, 1})
+	f.Add([]byte{5, 16, 9, 0, 0, 1, 1, 1, 2, 2, 2, 3, 3, 0, 4, 4, 1, 0})
+	f.Add(bytes.Repeat([]byte{7, 255, 11, 4}, 6))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		a, rest := decodeNFA(data)
+		b, _ := decodeNFA(rest)
+
+		for _, n := range []*NFA{a, b} {
+			word, states := n.AcceptingRun()
+			min := shortestAcceptedLen(n)
+			if word == nil {
+				if min >= 0 {
+					t.Fatalf("AcceptingRun found nothing but a word of length %d is accepted\n%s", min, n)
+				}
+				if states != nil {
+					t.Fatalf("nil word with non-nil states %v", states)
+				}
+				continue
+			}
+			if !n.Accepts(word) {
+				t.Fatalf("witness %v is not accepted\n%s", word, n)
+			}
+			if len(word) != min {
+				t.Fatalf("witness %v has length %d, BFS-shortest is %d\n%s", word, len(word), min, n)
+			}
+			if len(states) != len(word)+1 || states[0] != n.Start() || !n.Accepting(states[len(states)-1]) {
+				t.Fatalf("run %v malformed for word %v", states, word)
+			}
+			for i, sym := range word {
+				found := false
+				for _, succ := range n.Succ(states[i], sym) {
+					if succ == states[i+1] {
+						found = true
+						break
+					}
+				}
+				if !found {
+					t.Fatalf("run step %d (%d -%s-> %d) is not an edge\n%s", i, states[i], sym, states[i+1], n)
+				}
+				if replay := n.RunFor(word); replay == nil {
+					t.Fatalf("RunFor rejects the accepted witness %v", word)
+				}
+			}
+		}
+
+		// Product witness: minimal common word of L(a) ∩ L(b), the shape
+		// language-inclusion counterexamples take (with b complemented).
+		da, db := a.Determinize(fuzzAlphabet), b.Determinize(fuzzAlphabet)
+		common := da.Intersect(db).AcceptingPath()
+		if common != nil {
+			if !a.Accepts(common) || !b.Accepts(common) {
+				t.Fatalf("product witness %v not accepted by both operands", common)
+			}
+			// Bounded oracle: no strictly shorter word is accepted by both.
+			bound := len(common)
+			if bound > 5 {
+				bound = 5
+			}
+			var walk func(prefix []string)
+			walk = func(prefix []string) {
+				if len(prefix) >= bound {
+					return
+				}
+				if a.Accepts(prefix) && b.Accepts(prefix) {
+					t.Fatalf("product witness %v is not minimal: %v is shorter and common", common, prefix)
+				}
+				for _, sym := range fuzzAlphabet {
+					walk(append(prefix, sym))
+				}
+			}
+			walk([]string{})
+		}
+	})
+}

@@ -7,6 +7,8 @@ package benchgen
 
 import (
 	"fmt"
+	"sort"
+	"strings"
 
 	"susc/internal/hexpr"
 	"susc/internal/lambda"
@@ -151,6 +153,26 @@ func Chained(depth, fanout int) *ChainedWorld {
 		Requests:  reqs,
 		PlanCount: count,
 	}
+}
+
+// ChainedSource renders the Chained world as a surface-syntax
+// specification (one service declaration per repository entry, one
+// planless client), so source-level tools — the lint suite in
+// particular — can be benchmarked over the same exponential plan family
+// the engine benchmarks use. The output parses back to the same world.
+func ChainedSource(depth, fanout int) string {
+	w := Chained(depth, fanout)
+	locs := make([]string, 0, len(w.Repo))
+	for loc := range w.Repo {
+		locs = append(locs, string(loc))
+	}
+	sort.Strings(locs)
+	var b strings.Builder
+	for _, loc := range locs {
+		fmt.Fprintf(&b, "service %s = %s;\n", loc, hexpr.Pretty(w.Repo[hexpr.Location(loc)]))
+	}
+	fmt.Fprintf(&b, "client cl at %s = %s;\n", w.Loc, hexpr.Pretty(w.Client))
+	return b.String()
 }
 
 // PingPong builds a compliant recursive contract pair exchanging `width`

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"susc/internal/benchgen"
+	"susc/internal/parser"
 	"susc/internal/plans"
 	"susc/internal/verify"
 )
@@ -41,6 +42,39 @@ func TestChainedPlanSpace(t *testing.T) {
 				t.Fatalf("Chained(%d,%d): plan %s is %s, want valid",
 					tc.depth, tc.fanout, a.Plan, a.Report)
 			}
+		}
+	}
+}
+
+// TestChainedSourceRoundTrips: the surface rendering of a Chained world
+// parses back to a specification with the same repository, the same
+// planless client, and the same pruned plan space.
+func TestChainedSourceRoundTrips(t *testing.T) {
+	const depth, fanout = 3, 2
+	src := benchgen.ChainedSource(depth, fanout)
+	f, err := parser.ParseFile(src)
+	if err != nil {
+		t.Fatalf("ChainedSource does not parse: %v\n%s", err, src)
+	}
+	w := benchgen.Chained(depth, fanout)
+	if len(f.Repo) != len(w.Repo) {
+		t.Fatalf("parsed %d services, world has %d", len(f.Repo), len(w.Repo))
+	}
+	c, err := f.Client("cl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	as, err := plans.AssessAll(f.Repo, f.Table, c.Loc, c.Expr,
+		plans.Options{PruneNonCompliant: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(as) != w.PlanCount {
+		t.Fatalf("parsed world has %d plans, want %d", len(as), w.PlanCount)
+	}
+	for _, a := range as {
+		if a.Report.Verdict != verify.Valid {
+			t.Fatalf("parsed plan %v is %v, want valid", a.Plan, a.Report.Verdict)
 		}
 	}
 }

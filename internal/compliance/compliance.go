@@ -208,9 +208,14 @@ func (p *Product) NFA() *autom.NFA {
 }
 
 // Witness describes how a non-compliant pair gets stuck: the channel
-// synchronisations leading to the stuck pair, and the pair itself.
+// synchronisations leading to the stuck pair, the sequence of product
+// states traversed (both endpoints' residuals at every step), and the
+// stuck pair itself.
 type Witness struct {
-	Path  []string
+	Path []string
+	// Pairs is the product-state sequence of the run: Pairs[0] is the
+	// initial pair, Pairs[len(Path)] == Stuck.
+	Pairs []Pair
 	Stuck Pair
 }
 
@@ -221,29 +226,44 @@ func (w *Witness) String() string {
 	return "after " + strings.Join(w.Path, "·") + " stuck at " + w.Stuck.String()
 }
 
-// FindWitness returns a shortest path to a stuck state, or nil when the
-// product is empty (the parties are compliant).
+// FindWitness returns a BFS-shortest path to a stuck state, or nil when
+// the product is empty (the parties are compliant). Parent pointers keep
+// the search linear in the state count; the path and the state sequence
+// are reconstructed only for the returned witness.
 func (p *Product) FindWitness() *Witness {
-	type item struct {
-		state int
-		path  []string
+	type pred struct {
+		prev    int // BFS-parent state, -1 for the start
+		channel string
 	}
+	parent := make([]pred, len(p.States))
 	seen := make([]bool, len(p.States))
-	queue := []item{{state: 0}}
+	queue := []int{0}
 	seen[0] = true
+	parent[0] = pred{prev: -1}
 	for len(queue) > 0 {
-		it := queue[0]
+		s := queue[0]
 		queue = queue[1:]
-		if p.Final[it.state] {
-			return &Witness{Path: it.path, Stuck: p.States[it.state]}
+		if p.Final[s] {
+			w := &Witness{Stuck: p.States[s]}
+			for x := s; x >= 0; x = parent[x].prev {
+				w.Pairs = append(w.Pairs, p.States[x])
+				if parent[x].prev >= 0 {
+					w.Path = append(w.Path, parent[x].channel)
+				}
+			}
+			for i, j := 0, len(w.Path)-1; i < j; i, j = i+1, j-1 {
+				w.Path[i], w.Path[j] = w.Path[j], w.Path[i]
+			}
+			for i, j := 0, len(w.Pairs)-1; i < j; i, j = i+1, j-1 {
+				w.Pairs[i], w.Pairs[j] = w.Pairs[j], w.Pairs[i]
+			}
+			return w
 		}
-		for _, e := range p.Edges[it.state] {
+		for _, e := range p.Edges[s] {
 			if !seen[e.To] {
 				seen[e.To] = true
-				queue = append(queue, item{
-					state: e.To,
-					path:  append(append([]string(nil), it.path...), e.Channel),
-				})
+				parent[e.To] = pred{prev: s, channel: e.Channel}
+				queue = append(queue, e.To)
 			}
 		}
 	}
@@ -261,15 +281,26 @@ func Compliant(client, server hexpr.Expr) (bool, error) {
 	return p.Empty(), nil
 }
 
+// Failure is the typed non-compliance error: it carries the structured
+// witness so callers can inspect the stuck run instead of parsing the
+// message.
+type Failure struct {
+	Witness *Witness
+}
+
+func (f *Failure) Error() string {
+	return fmt.Sprintf("compliance: not compliant: %s", f.Witness)
+}
+
 // Check is Compliant with a witness: it returns nil when compliant and a
-// descriptive error otherwise.
+// *Failure holding the shortest stuck run otherwise.
 func Check(client, server hexpr.Expr) error {
 	p, err := NewProduct(client, server)
 	if err != nil {
 		return err
 	}
 	if w := p.FindWitness(); w != nil {
-		return fmt.Errorf("compliance: not compliant: %s", w)
+		return &Failure{Witness: w}
 	}
 	return nil
 }

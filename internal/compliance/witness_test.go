@@ -1,0 +1,88 @@
+package compliance_test
+
+import (
+	"errors"
+	"testing"
+
+	"susc/internal/compliance"
+	"susc/internal/hexpr"
+	"susc/internal/paperex"
+)
+
+// TestWitnessPairsTraceTheRun checks that the witness carries the full
+// product-state sequence: Pairs[0] is the initial pair, each step follows
+// an edge labelled with the corresponding channel, and the last pair is
+// the stuck one.
+func TestWitnessPairsTraceTheRun(t *testing.T) {
+	brBody := requestBody(t, paperex.Broker(), "r3")
+	p, err := compliance.NewProduct(brBody, paperex.S2())
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := p.FindWitness()
+	if w == nil {
+		t.Fatal("expected a witness")
+	}
+	if len(w.Pairs) != len(w.Path)+1 {
+		t.Fatalf("len(Pairs) = %d, want len(Path)+1 = %d", len(w.Pairs), len(w.Path)+1)
+	}
+	if w.Pairs[0].Key() != p.States[0].Key() {
+		t.Errorf("Pairs[0] is not the initial pair: %s", w.Pairs[0])
+	}
+	if w.Pairs[len(w.Pairs)-1].Key() != w.Stuck.Key() {
+		t.Errorf("last pair %s is not the stuck pair %s", w.Pairs[len(w.Pairs)-1], w.Stuck)
+	}
+	// every step replays over an edge with the recorded channel
+	state := 0
+	for i, ch := range w.Path {
+		next := -1
+		for _, e := range p.Edges[state] {
+			if e.Channel == ch && p.States[e.To].Key() == w.Pairs[i+1].Key() {
+				next = e.To
+				break
+			}
+		}
+		if next < 0 {
+			t.Fatalf("step %d (%s) does not replay from state %d", i, ch, state)
+		}
+		state = next
+	}
+	if !p.Final[state] {
+		t.Error("replayed run does not end in a stuck state")
+	}
+}
+
+// TestCheckReturnsTypedFailure checks the typed error carries the witness
+// and keeps the historical message text.
+func TestCheckReturnsTypedFailure(t *testing.T) {
+	brBody := requestBody(t, paperex.Broker(), "r3")
+	err := compliance.Check(brBody, paperex.S2())
+	var f *compliance.Failure
+	if !errors.As(err, &f) {
+		t.Fatalf("err = %T, want *Failure", err)
+	}
+	if f.Witness == nil || len(f.Witness.Pairs) == 0 {
+		t.Fatal("failure must carry a structured witness")
+	}
+	want := "compliance: not compliant: " + f.Witness.String()
+	if err.Error() != want {
+		t.Errorf("message = %q, want %q", err.Error(), want)
+	}
+}
+
+// TestWitnessImmediateStuck covers the zero-length path: a deadlocked
+// initial pair yields Pairs == [stuck] and an empty Path.
+func TestWitnessImmediateStuck(t *testing.T) {
+	recv := hexpr.RecvThen("a", hexpr.Eps())
+	p, err := compliance.NewProduct(recv, recv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := p.FindWitness()
+	if w == nil {
+		t.Fatal("recv|recv deadlocks immediately")
+	}
+	if len(w.Path) != 0 || len(w.Pairs) != 1 {
+		t.Errorf("Path = %v, Pairs = %v", w.Path, w.Pairs)
+	}
+}

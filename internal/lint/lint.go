@@ -100,6 +100,29 @@ const (
 	// unknown service, a plan entry for a request nothing opens, or a
 	// with/enforce clause naming an unknown policy instance.
 	CodeDanglingRef = "SUSC010"
+
+	// Semantic codes (SUSC011…SUSC015) are emitted by the whole-network
+	// model-checking analyzers (SemanticAnalyzers); their diagnostics carry
+	// a Witness — a minimal counterexample trace.
+
+	// CodeViolableFraming: a declaration whose history can violate one of
+	// its own framed policies (Theorem 1 model check fails).
+	CodeViolableFraming = "SUSC011"
+	// CodeDeadlockableRequest: a request whose conversation deadlocks
+	// against the service its owner's plan binds it to, although some
+	// other repository service would comply.
+	CodeDeadlockableRequest = "SUSC012"
+	// CodeUnrealizableRequest: every request of a client complies with
+	// some service individually, yet no complete plan is valid — the
+	// requests' constraints are jointly unsatisfiable.
+	CodeUnrealizableRequest = "SUSC013"
+	// CodeSubsumedFraming: a framing nested inside a framing of a
+	// *different* policy whose language is strictly stronger on the
+	// declaration's alphabet — the inner framing can never fire first.
+	CodeSubsumedFraming = "SUSC014"
+	// CodeUnreachableState: a usage-automaton state unreachable from the
+	// start, or a transition that can never lie on a violating run.
+	CodeUnreachableState = "SUSC015"
 )
 
 // Related is a secondary position attached to a diagnostic (the first of
@@ -116,6 +139,9 @@ type Diagnostic struct {
 	Span     parser.Span `json:"span"`
 	Message  string      `json:"message"`
 	Related  []Related   `json:"related,omitempty"`
+	// Witness is the structured counterexample attached by the semantic
+	// analyzers (SUSC011–015); nil for syntactic findings.
+	Witness *Witness `json:"witness,omitempty"`
 }
 
 // String renders the conventional single-line form
@@ -194,6 +220,26 @@ func Analyzers() []*Analyzer {
 		unusedPolicyAnalyzer,
 		referenceAnalyzer,
 	}
+}
+
+// SemanticAnalyzers returns the model-checking suite (SUSC011–015), in
+// running order. These analyzers explore whole state spaces and attach
+// Witness counterexamples; they are not part of the default suite, so
+// quick lint runs stay cheap and existing outputs stable. `susc explain`
+// runs AllAnalyzers.
+func SemanticAnalyzers() []*Analyzer {
+	return []*Analyzer{
+		violableAnalyzer,
+		deadlockableAnalyzer,
+		unrealizableAnalyzer,
+		subsumedAnalyzer,
+		deadAutomatonAnalyzer,
+	}
+}
+
+// AllAnalyzers returns the default suite followed by the semantic suite.
+func AllAnalyzers() []*Analyzer {
+	return append(Analyzers(), SemanticAnalyzers()...)
 }
 
 // Run lints an already-parsed file. The issues argument carries what

@@ -16,13 +16,19 @@ import (
 var update = flag.Bool("update", false, "rewrite .lint.golden files")
 
 // render prints diagnostics the way `susc lint` does, minus the file name
-// prefix, so golden files stay valid if fixtures move.
+// prefix, so golden files stay valid if fixtures move. Witnesses (semantic
+// diagnostics only) are rendered indented below their finding.
 func render(diags []Diagnostic) string {
 	var b strings.Builder
 	for _, d := range diags {
 		fmt.Fprintf(&b, "%s\n", d)
 		for _, r := range d.Related {
 			fmt.Fprintf(&b, "\t%s: %s\n", r.Span, r.Message)
+		}
+		if d.Witness != nil {
+			for _, line := range strings.Split(strings.TrimRight(d.Witness.Render(""), "\n"), "\n") {
+				fmt.Fprintf(&b, "\t%s\n", line)
+			}
 		}
 	}
 	return b.String()
@@ -53,7 +59,9 @@ func specFiles(t *testing.T, roots ...string) []string {
 // TestGolden lints every specification shipped in the repository — the
 // dedicated fixtures here, the top-level testdata, and the examples —
 // and compares the rendered diagnostics against sibling .lint.golden
-// files. Run with -update to regenerate.
+// files. Fixtures under testdata/semantic run the full suite (default +
+// semantic analyzers), everything else the default suite, so pre-existing
+// goldens stay byte-stable. Run with -update to regenerate.
 func TestGolden(t *testing.T) {
 	cache := memo.New()
 	for _, path := range specFiles(t, "testdata", "../../testdata", "../../examples") {
@@ -62,7 +70,11 @@ func TestGolden(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			got := render(Source(string(src), Options{Cache: cache}))
+			opts := Options{Cache: cache}
+			if strings.Contains(filepath.ToSlash(path), "testdata/semantic/") {
+				opts.Analyzers = AllAnalyzers()
+			}
+			got := render(Source(string(src), opts))
 			golden := path + ".lint.golden"
 			if *update {
 				if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
@@ -137,7 +149,13 @@ func TestFixtureCodes(t *testing.T) {
 	for _, c := range all {
 		known[c] = true
 	}
-	for _, a := range Analyzers() {
+	for _, c := range []string{
+		CodeViolableFraming, CodeDeadlockableRequest, CodeUnrealizableRequest,
+		CodeSubsumedFraming, CodeUnreachableState,
+	} {
+		known[c] = true
+	}
+	for _, a := range AllAnalyzers() {
 		for _, c := range a.Codes {
 			if !known[c] {
 				t.Errorf("analyzer %s declares unpublished code %s", a.Name, c)

@@ -1,0 +1,179 @@
+package lint
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"susc/internal/compliance"
+	"susc/internal/hexpr"
+	"susc/internal/parser"
+)
+
+// semanticSource lints a semantic fixture with the full suite.
+func semanticSource(t *testing.T, name string) (string, []Diagnostic) {
+	t.Helper()
+	src, err := os.ReadFile(filepath.Join("testdata", "semantic", name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(src), Source(string(src), Options{Analyzers: AllAnalyzers()})
+}
+
+// TestSemanticFixtureCodes pins each semantic fixture to the exact codes
+// it must trigger under the full suite, and checks the witness contract:
+// every semantic diagnostic carries a non-empty witness with a positioned
+// span and JSON that round-trips.
+func TestSemanticFixtureCodes(t *testing.T) {
+	expected := map[string][]string{
+		"susc011_violable.susc":      {CodeViolableFraming},
+		"susc012_deadlockable.susc":  {CodeDeadlockableRequest},
+		"susc013_unrealizable.susc":  {CodeUnrealizableRequest},
+		"susc014_subsumed.susc":      {CodeSubsumedFraming},
+		"susc015_deadautomaton.susc": {CodeUnreachableState, CodeUnreachableState},
+		"clean.susc":                 {},
+	}
+	for name, want := range expected {
+		_, diags := semanticSource(t, name)
+		var got []string
+		for _, d := range diags {
+			got = append(got, d.Code)
+			if d.Span.IsZero() {
+				t.Errorf("%s: %s has no source span", name, d.Code)
+			}
+			if d.Witness == nil || len(d.Witness.Steps) == 0 {
+				t.Errorf("%s: %s carries no witness trace: %s", name, d.Code, d)
+				continue
+			}
+			var round Witness
+			blob, err := json.Marshal(d.Witness)
+			if err != nil {
+				t.Fatalf("%s: marshal: %v", name, err)
+			}
+			if err := json.Unmarshal(blob, &round); err != nil {
+				t.Fatalf("%s: unmarshal: %v", name, err)
+			}
+			if round.Kind != d.Witness.Kind || len(round.Steps) != len(d.Witness.Steps) {
+				t.Errorf("%s: witness does not round-trip through JSON", name)
+			}
+		}
+		if !equalStrings(got, want) {
+			t.Errorf("%s: got codes %v, want %v", name, got, want)
+		}
+	}
+}
+
+// TestViolationWitnessReplays replays the SUSC011 witness over the policy
+// instance itself: the event steps, run in order, must drive the automaton
+// into an offending state, and the trace must be BFS-minimal (the fixture
+// has exactly one shortest violation: frame open, read, write).
+func TestViolationWitnessReplays(t *testing.T) {
+	src, diags := semanticSource(t, "susc011_violable.susc")
+	if len(diags) != 1 {
+		t.Fatalf("got %d diagnostics, want 1", len(diags))
+	}
+	w := diags[0].Witness
+	if w.Kind != WitnessViolation {
+		t.Fatalf("witness kind = %s", w.Kind)
+	}
+	if len(w.Steps) != 3 {
+		t.Fatalf("witness has %d steps, want the 3-step minimal trace: %v", len(w.Steps), w.Steps)
+	}
+	f, err := parser.ParseFile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, err := f.Table.Get(f.Instances["noleak"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	var trace []hexpr.Event
+	for _, s := range w.Steps {
+		if strings.HasPrefix(s.Label, "[_") || strings.HasPrefix(s.Label, "_]") {
+			continue // framing actions are not events
+		}
+		trace = append(trace, hexpr.E(s.Label))
+	}
+	if !in.Recognizes(trace) {
+		t.Errorf("witness trace %v does not replay to an offending state", trace)
+	}
+	if last := w.Steps[len(w.Steps)-1]; last.State == "" || !strings.Contains(w.Note, last.State) {
+		t.Errorf("final step state %q not named by the note %q", last.State, w.Note)
+	}
+}
+
+// TestDeadlockWitnessReplays replays the SUSC012 witness over the product
+// automaton of the failing binding: following the channel labels from the
+// initial pair must end in a stuck (final) state.
+func TestDeadlockWitnessReplays(t *testing.T) {
+	src, diags := semanticSource(t, "susc012_deadlockable.susc")
+	if len(diags) != 1 {
+		t.Fatalf("got %d diagnostics, want 1", len(diags))
+	}
+	w := diags[0].Witness
+	if w.Kind != WitnessDeadlock {
+		t.Fatalf("witness kind = %s", w.Kind)
+	}
+	f, err := parser.ParseFile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := f.Client("c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var body hexpr.Expr
+	hexpr.Walk(c.Expr, func(x hexpr.Expr) {
+		if s, ok := x.(hexpr.Session); ok && s.Req == "r1" {
+			body = s.Body
+		}
+	})
+	p, err := compliance.NewProduct(body, f.Repo["bad"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	cur := 0
+	for _, step := range w.Steps {
+		moved := false
+		for _, e := range p.Edges[cur] {
+			if e.Channel == step.Label {
+				cur = e.To
+				moved = true
+				break
+			}
+		}
+		if !moved {
+			t.Fatalf("witness step %q does not replay from product state %d", step.Label, cur)
+		}
+	}
+	if !p.Final[cur] {
+		t.Errorf("witness replay ends in non-stuck product state %d", cur)
+	}
+}
+
+// TestWitnessRenderAndDOT checks the human rendering anchors steps at
+// file:line:col and the DOT emission is a well-formed linear digraph.
+func TestWitnessRenderAndDOT(t *testing.T) {
+	_, diags := semanticSource(t, "susc011_violable.susc")
+	if len(diags) != 1 {
+		t.Fatalf("got %d diagnostics, want 1", len(diags))
+	}
+	w := diags[0].Witness
+	text := w.Render("fix.susc")
+	if !strings.Contains(text, "at fix.susc:14:") {
+		t.Errorf("rendering lacks file-prefixed anchors:\n%s", text)
+	}
+	for _, line := range strings.Split(text, "\n") {
+		if strings.HasSuffix(line, " ") {
+			t.Errorf("rendered line has trailing spaces: %q", line)
+		}
+	}
+	dot := w.DOT("susc011")
+	for _, frag := range []string{`digraph "susc011"`, "rankdir=LR", "__start -> n0", "doublecircle", "n0 -> n1"} {
+		if !strings.Contains(dot, frag) {
+			t.Errorf("DOT output lacks %q:\n%s", frag, dot)
+		}
+	}
+}

@@ -1,0 +1,197 @@
+package lint
+
+import (
+	"fmt"
+	"strings"
+
+	"susc/internal/compliance"
+	"susc/internal/parser"
+	"susc/internal/valid"
+)
+
+// Witness kinds, one per counterexample shape the semantic analyzers
+// extract. The kind selects how the trace is to be read: a violating
+// history, a stuck conversation, a failing representative plan, a trace
+// two policies both forbid, or the live run a dead automaton part never
+// joins.
+const (
+	WitnessViolation   = "violation"
+	WitnessDeadlock    = "deadlock"
+	WitnessNoPlan      = "no-plan"
+	WitnessSubsumption = "subsumption"
+	WitnessDeadCode    = "dead-code"
+)
+
+// WitnessStep is one step of a counterexample trace: the label fired (an
+// event, a framing action, or a channel synchronisation), the automaton or
+// product state reached after it, and the source span of the construct
+// that produces the label, when the parser recorded one.
+type WitnessStep struct {
+	Label string      `json:"label"`
+	State string      `json:"state,omitempty"`
+	Span  parser.Span `json:"span"`
+}
+
+// Witness is the structured counterexample attached to a semantic
+// diagnostic (SUSC011–015): a minimal trace demonstrating the finding,
+// with the automaton run threaded through it. Traces are BFS-shortest by
+// construction — no strictly shorter trace demonstrates the same finding.
+type Witness struct {
+	// Kind is one of the Witness* constants.
+	Kind string `json:"kind"`
+	// Start is the automaton state before the first step, when meaningful.
+	Start string `json:"start,omitempty"`
+	// Steps is the trace, in firing order.
+	Steps []WitnessStep `json:"steps"`
+	// Note closes the witness: the stuck pair, the violated state, the
+	// dead construct — whatever the trace runs into.
+	Note string `json:"note,omitempty"`
+}
+
+// Render returns the step-by-step human rendering of the witness, one
+// line per step. A non-empty file prefixes the source anchors.
+func (w *Witness) Render(file string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "witness (%s)", w.Kind)
+	if w.Start != "" {
+		fmt.Fprintf(&b, ", start state %s", w.Start)
+	}
+	b.WriteString(":\n")
+	width := 0
+	for _, s := range w.Steps {
+		if len(s.Label) > width {
+			width = len(s.Label)
+		}
+	}
+	for i, s := range w.Steps {
+		line := fmt.Sprintf("  %2d. %-*s", i+1, width, s.Label)
+		if s.State != "" {
+			line += fmt.Sprintf("  -> %s", s.State)
+		}
+		if !s.Span.IsZero() {
+			if file != "" {
+				line += fmt.Sprintf("  at %s:%s", file, s.Span)
+			} else {
+				line += fmt.Sprintf("  at %s", s.Span)
+			}
+		}
+		b.WriteString(strings.TrimRight(line, " "))
+		b.WriteString("\n")
+	}
+	if w.Note != "" {
+		fmt.Fprintf(&b, "  %s\n", w.Note)
+	}
+	return b.String()
+}
+
+// DOT renders the witness run as a linear Graphviz digraph, in the style
+// of the automata DOT emitters: states as nodes (the last one doubled),
+// steps as labelled edges.
+func (w *Witness) DOT(name string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n", name)
+	b.WriteString("  rankdir=LR;\n  node [shape=circle];\n")
+	label := func(i int) string {
+		if i == 0 {
+			if w.Start != "" {
+				return w.Start
+			}
+			return "start"
+		}
+		if s := w.Steps[i-1].State; s != "" {
+			return s
+		}
+		return fmt.Sprintf("s%d", i)
+	}
+	n := len(w.Steps)
+	b.WriteString("  __start [shape=point];\n  __start -> n0;\n")
+	for i := 0; i <= n; i++ {
+		shape := "circle"
+		if i == n {
+			shape = "doublecircle"
+		}
+		fmt.Fprintf(&b, "  n%d [label=%q, shape=%s];\n", i, label(i), shape)
+	}
+	for i, s := range w.Steps {
+		fmt.Fprintf(&b, "  n%d -> n%d [label=%q];\n", i, i+1, s.Label)
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// --- builders -------------------------------------------------------------
+
+// itemSpan anchors a history item rendered in paper syntax: events resolve
+// through the Events side table, framing actions ("[_φ"/"_]φ") through the
+// policy reference spans.
+func itemSpan(exprs *parser.ExprSpans, item string) parser.Span {
+	if exprs == nil {
+		return parser.Span{}
+	}
+	id := ""
+	switch {
+	case strings.HasPrefix(item, "[_"):
+		id = strings.TrimPrefix(item, "[_")
+	case strings.HasPrefix(item, "_]"):
+		id = strings.TrimPrefix(item, "_]")
+	default:
+		return exprs.EventSpan(item)
+	}
+	for _, ns := range exprs.Policies {
+		if ns.ID == id {
+			return ns.Span
+		}
+	}
+	return parser.Span{}
+}
+
+// violationWitness builds a Witness from a validity counterexample.
+func violationWitness(ce *valid.Counterexample, exprs *parser.ExprSpans) *Witness {
+	w := &Witness{Kind: WitnessViolation, Start: ce.Start}
+	last := ce.Start
+	for _, st := range ce.Trace {
+		w.Steps = append(w.Steps, WitnessStep{
+			Label: st.Item,
+			State: st.State,
+			Span:  itemSpan(exprs, st.Item),
+		})
+		if st.State != "" {
+			last = st.State
+		}
+	}
+	w.Note = fmt.Sprintf("state %s is offending: the history violates the policy", last)
+	return w
+}
+
+// deadlockWitness builds a Witness from a compliance witness: channel
+// synchronisations down to the stuck pair, with both endpoints' residuals
+// as the product states.
+func deadlockWitness(cw *compliance.Witness, exprs *parser.ExprSpans) *Witness {
+	w := &Witness{Kind: WitnessDeadlock}
+	if len(cw.Pairs) > 0 {
+		w.Start = cw.Pairs[0].String()
+	}
+	for i, ch := range cw.Path {
+		st := ""
+		if i+1 < len(cw.Pairs) {
+			st = cw.Pairs[i+1].String()
+		}
+		w.Steps = append(w.Steps, WitnessStep{
+			Label: ch,
+			State: st,
+			Span:  eventOrChannelSpan(exprs, ch),
+		})
+	}
+	w.Note = fmt.Sprintf("stuck at %s: no message either side offers is matched", cw.Stuck)
+	return w
+}
+
+// eventOrChannelSpan anchors a channel name: channel actions are recorded
+// as bare identifiers in the Events side table (the parser cannot tell a
+// variable from a 0-ary event from a channel until resolution).
+func eventOrChannelSpan(exprs *parser.ExprSpans, name string) parser.Span {
+	if exprs == nil {
+		return parser.Span{}
+	}
+	return exprs.EventSpan(name)
+}

@@ -255,19 +255,33 @@ func (p *parser) atom() (hexpr.Expr, error) {
 		switch p.peek().kind {
 		case tokQuery:
 			p.next()
+			if p.cur != nil {
+				p.cur.Events[t.text] = append(p.cur.Events[t.text], t.span())
+			}
 			return hexpr.Ext(hexpr.B(hexpr.In(t.text), hexpr.Eps())), nil
 		case tokBang:
 			p.next()
+			if p.cur != nil {
+				p.cur.Events[t.text] = append(p.cur.Events[t.text], t.span())
+			}
 			return hexpr.IntCh(hexpr.B(hexpr.Out(t.text), hexpr.Eps())), nil
 		case tokLParen:
 			args, err := p.valueArgs()
 			if err != nil {
 				return nil, err
 			}
-			return hexpr.Act(hexpr.Event{Name: t.text, Args: args}), nil
+			ev := hexpr.Event{Name: t.text, Args: args}
+			if p.cur != nil {
+				k := ev.String()
+				p.cur.Events[k] = append(p.cur.Events[k], t.span())
+			}
+			return hexpr.Act(ev), nil
 		default:
 			// bare identifier: recursion variable or 0-ary event; the
 			// well-formedness check disambiguates (variables must be bound)
+			if p.cur != nil {
+				p.cur.Events[t.text] = append(p.cur.Events[t.text], t.span())
+			}
 			return hexpr.Var{Name: t.text}, nil
 		}
 	}

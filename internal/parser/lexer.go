@@ -33,6 +33,7 @@ import (
 	"fmt"
 	"strings"
 	"unicode"
+	"unicode/utf8"
 )
 
 // tokenKind enumerates lexical token kinds.
@@ -173,14 +174,19 @@ func lex(src string) ([]token, error) {
 	emit := func(kind tokenKind, text string) {
 		toks = append(toks, token{kind: kind, text: text, line: line, col: col})
 	}
+	// advance consumes n bytes, counting columns in runes so positions
+	// stay editor-accurate on multi-byte (UTF-8) input.
 	advance := func(n int) {
-		for j := 0; j < n; j++ {
+		for j := 0; j < n; {
 			if src[i+j] == '\n' {
 				line++
 				col = 1
-			} else {
-				col++
+				j++
+				continue
 			}
+			_, size := utf8.DecodeRuneInString(src[i+j : i+n])
+			col++
+			j += size
 		}
 		i += n
 	}
@@ -284,15 +290,21 @@ func lex(src string) ([]token, error) {
 			}
 			emit(tokInt, src[i:j])
 			advance(j - i)
-		case unicode.IsLetter(rune(c)) || c == '_':
-			j := i
-			for j < len(src) && (unicode.IsLetter(rune(src[j])) || unicode.IsDigit(rune(src[j])) || src[j] == '_') {
-				j++
+		default:
+			r, size := utf8.DecodeRuneInString(src[i:])
+			if !unicode.IsLetter(r) && r != '_' {
+				return nil, &Error{Line: line, Col: col, Msg: fmt.Sprintf("unexpected character %q", r)}
+			}
+			j := i + size
+			for j < len(src) {
+				r2, s2 := utf8.DecodeRuneInString(src[j:])
+				if !unicode.IsLetter(r2) && !unicode.IsDigit(r2) && r2 != '_' {
+					break
+				}
+				j += s2
 			}
 			emit(tokIdent, src[i:j])
 			advance(j - i)
-		default:
-			return nil, &Error{Line: line, Col: col, Msg: fmt.Sprintf("unexpected character %q", c)}
 		}
 	}
 	toks = append(toks, token{kind: tokEOF, line: line, col: col})

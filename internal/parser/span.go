@@ -1,6 +1,9 @@
 package parser
 
-import "fmt"
+import (
+	"fmt"
+	"unicode/utf8"
+)
 
 // Pos is a source position: 1-based line and column.
 type Pos struct {
@@ -36,11 +39,12 @@ func (s Span) Before(o Span) bool {
 	return s.End.Col < o.End.Col
 }
 
-// span is the source range of one token.
+// span is the source range of one token. Columns count runes, not bytes,
+// so multi-byte identifiers report editor-accurate positions.
 func (t token) span() Span {
 	return Span{
 		Start: Pos{Line: t.line, Col: t.col},
-		End:   Pos{Line: t.line, Col: t.col + len(t.text)},
+		End:   Pos{Line: t.line, Col: t.col + utf8.RuneCountInString(t.text)},
 	}
 }
 
@@ -69,9 +73,31 @@ type ExprSpans struct {
 	Enforces []NameSpan
 	// Mus are the `mu` binders, in source order.
 	Mus []NameSpan
+	// Events maps each event occurrence to its name-token spans, in source
+	// order, keyed by the event's canonical rendering (hexpr.Event.String).
+	// Bare identifiers and channel actions (a?/a!) are recorded too (under
+	// their name), since a variable-vs-0-ary-event reading is only resolved
+	// later; witness anchoring only looks up keys it knows denote events or
+	// channels.
+	Events map[string][]Span
 }
 
-func newExprSpans() *ExprSpans { return &ExprSpans{Opens: map[string]Span{}} }
+func newExprSpans() *ExprSpans {
+	return &ExprSpans{Opens: map[string]Span{}, Events: map[string][]Span{}}
+}
+
+// EventSpan returns the span of the first occurrence of the event with the
+// given canonical rendering, or a zero span when unknown (e.g. the side
+// table predates event tracking or the event arose from rewriting).
+func (es *ExprSpans) EventSpan(key string) Span {
+	if es == nil {
+		return Span{}
+	}
+	if spans := es.Events[key]; len(spans) > 0 {
+		return spans[0]
+	}
+	return Span{}
+}
 
 // SpanTable is the whole-file side table of source positions, populated by
 // ParseFile alongside the declarations themselves. Declaration spans cover

@@ -1,0 +1,163 @@
+package parser
+
+import (
+	"testing"
+
+	"susc/internal/hexpr"
+)
+
+// TestSpanColumnsCountRunes asserts line:col stability on multi-byte
+// (UTF-8) and CRLF input: columns count runes, not bytes, and carriage
+// returns behave as ordinary whitespace.
+func TestSpanColumnsCountRunes(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		// expected tokens: text with start line:col and end col
+		want []struct {
+			text              string
+			line, col, endCol int
+		}
+	}{
+		{
+			name: "ascii baseline",
+			src:  "ab cd",
+			want: []struct {
+				text              string
+				line, col, endCol int
+			}{
+				{"ab", 1, 1, 3},
+				{"cd", 1, 4, 6},
+			},
+		},
+		{
+			name: "multibyte identifier",
+			// "héllo" is 6 bytes but 5 runes; "x" must start at col 7.
+			src: "héllo x",
+			want: []struct {
+				text              string
+				line, col, endCol int
+			}{
+				{"héllo", 1, 1, 6},
+				{"x", 1, 7, 8},
+			},
+		},
+		{
+			name: "multibyte in comment",
+			src:  "// π ≈ 3\nabc",
+			want: []struct {
+				text              string
+				line, col, endCol int
+			}{
+				{"abc", 2, 1, 4},
+			},
+		},
+		{
+			name: "crlf newlines",
+			src:  "ab\r\ncd\r\nef",
+			want: []struct {
+				text              string
+				line, col, endCol int
+			}{
+				{"ab", 1, 1, 3},
+				{"cd", 2, 1, 3},
+				{"ef", 3, 1, 3},
+			},
+		},
+		{
+			name: "cjk identifier",
+			// each CJK rune is 3 bytes, 1 column
+			src: "日本語 q",
+			want: []struct {
+				text              string
+				line, col, endCol int
+			}{
+				{"日本語", 1, 1, 4},
+				{"q", 1, 5, 6},
+			},
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			toks, err := lex(c.src)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(toks)-1 != len(c.want) { // minus EOF
+				t.Fatalf("got %d tokens, want %d", len(toks)-1, len(c.want))
+			}
+			for i, w := range c.want {
+				tok := toks[i]
+				if tok.text != w.text {
+					t.Errorf("token %d text = %q, want %q", i, tok.text, w.text)
+				}
+				sp := tok.span()
+				if sp.Start.Line != w.line || sp.Start.Col != w.col {
+					t.Errorf("%q start = %d:%d, want %d:%d", w.text,
+						sp.Start.Line, sp.Start.Col, w.line, w.col)
+				}
+				if sp.End.Line != w.line || sp.End.Col != w.endCol {
+					t.Errorf("%q end = %d:%d, want %d:%d", w.text,
+						sp.End.Line, sp.End.Col, w.line, w.endCol)
+				}
+			}
+		})
+	}
+}
+
+// TestSpanTableCRLFFile parses a whole CRLF-terminated file and checks the
+// declaration spans land on the same line:col as the LF version.
+func TestSpanTableCRLFFile(t *testing.T) {
+	lf := "service s = ping! . eps;\nclient c at c plan { } = ping? . done();\n"
+	crlf := "service s = ping! . eps;\r\nclient c at c plan { } = ping? . done();\r\n"
+	fl, err := ParseFile(lf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fc, err := ParseFile(crlf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fl.Spans.Services["s"] != fc.Spans.Services["s"] {
+		t.Errorf("service span LF %v != CRLF %v", fl.Spans.Services["s"], fc.Spans.Services["s"])
+	}
+	if fl.Spans.Clients[0] != fc.Spans.Clients[0] {
+		t.Errorf("client span LF %v != CRLF %v", fl.Spans.Clients[0], fc.Spans.Clients[0])
+	}
+	if got, want := fc.Spans.Clients[0], (Span{Start: Pos{2, 8}, End: Pos{2, 9}}); got != want {
+		t.Errorf("client span = %v, want %v", got, want)
+	}
+}
+
+// TestEventSpansRecorded checks the new Events side table: every event
+// occurrence in a declaration body is anchored, keyed by canonical
+// rendering.
+func TestEventSpansRecorded(t *testing.T) {
+	src := "service s = sgn(3) . ping! . sgn(3);\n"
+	f, err := ParseFile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	es := f.Spans.ServiceExprs["s"]
+	if es == nil {
+		t.Fatal("no expression spans for s")
+	}
+	key := hexpr.E("sgn", hexpr.Int(3)).String()
+	spans := es.Events[key]
+	if len(spans) != 2 {
+		t.Fatalf("Events[%q] = %v, want 2 occurrences", key, spans)
+	}
+	if spans[0] != (Span{Start: Pos{1, 13}, End: Pos{1, 16}}) {
+		t.Errorf("first occurrence = %v", spans[0])
+	}
+	if es.EventSpan(key) != spans[0] {
+		t.Errorf("EventSpan(%q) = %v", key, es.EventSpan(key))
+	}
+	if !es.EventSpan("nosuch").IsZero() {
+		t.Error("unknown event must yield a zero span")
+	}
+	var nilES *ExprSpans
+	if !nilES.EventSpan(key).IsZero() {
+		t.Error("nil receiver must yield a zero span")
+	}
+}

@@ -89,6 +89,13 @@ func (in *Instance) StartState() int { return in.start }
 // IsFinalState reports whether state i is a violation state.
 func (in *Instance) IsFinalState(i int) bool { return in.finals.Contains(i) }
 
+// StateName returns the declared name of state i in the underlying
+// template.
+func (in *Instance) StateName(i int) string { return in.a.States[i] }
+
+// Template returns the underlying parametric automaton.
+func (in *Instance) Template() *Automaton { return in.a }
+
 // Next returns the successor states of a single state on an event,
 // including the implicit self-loop when no edge matches. It exposes the
 // raw (nondeterministic) transition relation for automata constructions.

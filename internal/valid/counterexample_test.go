@@ -1,0 +1,116 @@
+package valid_test
+
+import (
+	"testing"
+
+	"susc/internal/hexpr"
+	"susc/internal/policy"
+	"susc/internal/valid"
+)
+
+func TestFindCounterexampleStructure(t *testing.T) {
+	phi := nwar()
+	table := policy.NewTable(phi)
+	bad := hexpr.Frame(phi.ID(), hexpr.Cat(read(), write()))
+	ce, err := valid.FindCounterexample(bad, table)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ce == nil {
+		t.Fatal("want a counterexample")
+	}
+	if ce.Policy != phi.ID() {
+		t.Errorf("policy = %s", ce.Policy)
+	}
+	if ce.Start != "q0" {
+		t.Errorf("start = %q, want q0", ce.Start)
+	}
+	// shortest violating history: ⌊φ · read · write
+	want := []valid.HistoryStep{
+		{Item: "[_" + string(phi.ID()), State: "q0", Active: true},
+		{Item: "read", State: "q1", Active: true},
+		{Item: "write", State: "qv", Active: true},
+	}
+	if len(ce.Trace) != len(want) {
+		t.Fatalf("trace = %+v, want %d steps", ce.Trace, len(want))
+	}
+	for i, w := range want {
+		if ce.Trace[i] != w {
+			t.Errorf("step %d = %+v, want %+v", i, ce.Trace[i], w)
+		}
+	}
+	if len(ce.Word) != len(ce.Trace) {
+		t.Errorf("word/trace length mismatch: %d vs %d", len(ce.Word), len(ce.Trace))
+	}
+	// the counterexample converts to the legacy error
+	v := ce.Violation()
+	if v.Policy != phi.ID() || len(v.Trace) != 3 {
+		t.Errorf("violation = %v", v)
+	}
+}
+
+func TestFindCounterexampleValidExpr(t *testing.T) {
+	phi := nwar()
+	table := policy.NewTable(phi)
+	good := hexpr.Cat(hexpr.Frame(phi.ID(), read()), write())
+	ce, err := valid.FindCounterexample(good, table)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ce != nil {
+		t.Fatalf("valid expression yielded counterexample %+v", ce)
+	}
+}
+
+// TestFindCounterexamplesAllPolicies checks one counterexample per violated
+// framing, in document order.
+func TestFindCounterexamplesAllPolicies(t *testing.T) {
+	phi := nwar()
+	psi := (&policy.Automaton{
+		Name:   "noboom",
+		States: []string{"p0", "pv"},
+		Start:  "p0",
+		Finals: []string{"pv"},
+		Edges:  []policy.Edge{{From: "p0", To: "pv", EventName: "boom"}},
+	}).MustInstantiate(policy.Binding{})
+	table := policy.NewTable(phi, psi)
+	e := hexpr.Cat(
+		hexpr.Frame(phi.ID(), hexpr.Cat(read(), write())),
+		hexpr.Frame(psi.ID(), hexpr.Act(hexpr.E("boom"))),
+	)
+	ces, err := valid.FindCounterexamples(e, table)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ces) != 2 {
+		t.Fatalf("got %d counterexamples, want 2", len(ces))
+	}
+	if ces[0].Policy != phi.ID() || ces[1].Policy != psi.ID() {
+		t.Errorf("policies = %s, %s", ces[0].Policy, ces[1].Policy)
+	}
+	last := ces[1].Trace[len(ces[1].Trace)-1]
+	if last.Item != "boom" || last.State != "pv" {
+		t.Errorf("ψ trace ends with %+v", last)
+	}
+}
+
+// TestCounterexampleIsMinimal replays the extraction on an expression with
+// a short and a long violating path and checks the BFS-shortest one wins.
+func TestCounterexampleIsMinimal(t *testing.T) {
+	phi := nwar()
+	table := policy.NewTable(phi)
+	long := hexpr.Cat(
+		hexpr.Act(hexpr.E("a")), hexpr.Act(hexpr.E("b")), read(), write())
+	e := hexpr.Frame(phi.ID(), hexpr.Ext(
+		hexpr.B(hexpr.In("short"), hexpr.Cat(read(), write())),
+		hexpr.B(hexpr.In("long"), long),
+	))
+	ce, err := valid.FindCounterexample(e, table)
+	if err != nil || ce == nil {
+		t.Fatalf("ce = %v, err = %v", ce, err)
+	}
+	// ⌊φ + read + write = 3 items; the long branch would be 5.
+	if len(ce.Trace) != 3 {
+		t.Errorf("trace length = %d, want 3 (BFS-minimal): %+v", len(ce.Trace), ce.Trace)
+	}
+}

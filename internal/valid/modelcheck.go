@@ -149,46 +149,31 @@ func FramedPolicyNFA(in *policy.Instance, events []hexpr.Event, frames []hexpr.P
 // report the shortest accepted word of the intersection as the violating
 // history. It always agrees with Check (the tests verify the agreement).
 func ModelCheck(e hexpr.Expr, table *policy.Table) error {
-	reg := Regularize(e)
-	hn, err := HistoryNFA(reg)
+	ce, err := FindCounterexample(e, table)
 	if err != nil {
 		return err
 	}
-	events := hexpr.Events(reg)
-	frames := hexpr.Policies(reg)
-	// combined alphabet
-	var alphabet []string
-	for _, ev := range events {
-		alphabet = append(alphabet, symEvent+ev.String())
-	}
-	for _, f := range frames {
-		alphabet = append(alphabet, symFrameOpen+string(f), symFrameClose+string(f))
-	}
-	hd := hn.Determinize(alphabet)
-	for _, f := range frames {
-		in, err := table.Get(f)
-		if err != nil {
-			return err
-		}
-		bad := FramedPolicyNFA(in, events, frames).Determinize(alphabet)
-		inter := hd.Intersect(bad)
-		if word := inter.AcceptingPath(); word != nil {
-			return &Violation{Policy: f, Trace: decodeWord(word)}
-		}
+	if ce != nil {
+		return ce.Violation()
 	}
 	return nil
 }
 
-// decodeWord turns alphabet symbols back into a history.
+// decodeWord turns alphabet symbols back into a history. Every symbol
+// yields an item: an event symbol that fails to parse falls back to the
+// raw text as an argument-less event, so the reported trace never silently
+// shortens.
 func decodeWord(word []string) history.History {
 	h := make(history.History, 0, len(word))
 	for _, sym := range word {
 		switch {
 		case strings.HasPrefix(sym, symEvent):
-			ev, err := parseEventSymbol(strings.TrimPrefix(sym, symEvent))
-			if err == nil {
-				h = append(h, history.EventItem(ev))
+			raw := strings.TrimPrefix(sym, symEvent)
+			ev, err := parseEventSymbol(raw)
+			if err != nil {
+				ev = hexpr.E(raw)
 			}
+			h = append(h, history.EventItem(ev))
 		case strings.HasPrefix(sym, symFrameOpen):
 			h = append(h, history.OpenItem(hexpr.PolicyID(strings.TrimPrefix(sym, symFrameOpen))))
 		case strings.HasPrefix(sym, symFrameClose):
