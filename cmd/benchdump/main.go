@@ -76,7 +76,21 @@ func main() {
 	fanout := flag.Int("chained-fanout", 2, "fanout of the benchgen.Chained workload")
 	lintDepth := flag.Int("lint-semantic", 8, "depth of the Chained workload for the semantic-lint series (0 skips it; keep fanout^depth within the analyzers' plan budget)")
 	out := flag.String("o", "", "write the JSON document here instead of stdout")
+	chainedSrc := flag.Bool("chained-src", false, "print the surface-syntax source of the Chained workload and exit (no benchmarks); for budget/timeout smoke tests")
 	flag.Parse()
+
+	if *chainedSrc {
+		src := benchgen.ChainedSource(*depth, *fanout)
+		if *out != "" {
+			if err := os.WriteFile(*out, []byte(src), 0o644); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			return
+		}
+		fmt.Print(src)
+		return
+	}
 
 	w := benchgen.Hotels(*hotels)
 	run := func(workers int, cache *memo.Cache) testing.BenchmarkResult {

@@ -1,0 +1,119 @@
+package main
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"susc/internal/budget"
+	"susc/internal/faultinject"
+)
+
+// TestExitCodeMapping pins the exit-code protocol: findings are 1,
+// isolated internal errors 2, budget exhaustion or interruption 3.
+func TestExitCodeMapping(t *testing.T) {
+	cases := []struct {
+		err  error
+		want int
+	}{
+		{fmt.Errorf("plan is not valid"), 1},
+		{&budget.InternalError{Unit: "plan k", Value: "boom"}, 2},
+		{fmt.Errorf("wrapped: %w", &budget.InternalError{Unit: "u", Value: 1}), 2},
+		{&budget.ExhaustedError{Reason: budget.StateLimit}, 3},
+		{&budget.ExhaustedError{Reason: budget.Cancelled}, 3},
+		{fmt.Errorf("wrapped: %w", &budget.ExhaustedError{Reason: budget.DeadlineExceeded}), 3},
+	}
+	for _, tc := range cases {
+		if got := exitCode(tc.err); got != tc.want {
+			t.Errorf("exitCode(%v) = %d, want %d", tc.err, got, tc.want)
+		}
+	}
+	// Internal error outranks exhaustion when an error is both (wrapped
+	// chains put the internal error first).
+	both := fmt.Errorf("%w after %w",
+		&budget.InternalError{Unit: "u", Value: 1},
+		&budget.ExhaustedError{Reason: budget.StateLimit})
+	if got := exitCode(both); got != 2 {
+		t.Errorf("internal+exhausted = %d, want 2", got)
+	}
+}
+
+// TestRunBudgetExhaustedExit3: a tiny -max-states run still prints the
+// partial report and returns the typed exhaustion error (exit 3).
+func TestRunBudgetExhaustedExit3(t *testing.T) {
+	out, err := capture(t, func() error {
+		return run([]string{"check", hotelFile, "-client", "c1", "-max-states", "3"})
+	})
+	var ee *budget.ExhaustedError
+	if !errors.As(err, &ee) {
+		t.Fatalf("err = %v, want *budget.ExhaustedError", err)
+	}
+	if !strings.Contains(out, "unknown") {
+		t.Fatalf("partial report must still print, got %q", out)
+	}
+}
+
+// TestRunPlansBudgetExhaustedExit3: same protocol for plan synthesis —
+// the flushed partial assessments precede the typed error.
+func TestRunPlansBudgetExhaustedExit3(t *testing.T) {
+	out, err := capture(t, func() error {
+		return run([]string{"plans", hotelFile, "-client", "c1", "-max-states", "5"})
+	})
+	var ee *budget.ExhaustedError
+	if !errors.As(err, &ee) {
+		t.Fatalf("err = %v, want *budget.ExhaustedError", err)
+	}
+	if !strings.Contains(out, "plan(s)") {
+		t.Fatalf("partial summary must still print, got %q", out)
+	}
+}
+
+// TestRunInternalErrorExit2: an injected worker panic surfaces as the
+// typed internal error (exit 2) — after the surviving plans printed.
+func TestRunInternalErrorExit2(t *testing.T) {
+	restore := faultinject.Set(faultinject.PanicOnce(faultinject.PlansWorker, "", "injected"))
+	defer restore()
+	out, err := capture(t, func() error {
+		return run([]string{"plans", hotelFile, "-client", "c1"})
+	})
+	var ie *budget.InternalError
+	if !errors.As(err, &ie) {
+		t.Fatalf("err = %v, want *budget.InternalError", err)
+	}
+	if ie.Unit == "" {
+		t.Fatal("the internal error must carry the repro unit")
+	}
+	if !strings.Contains(out, "plan(s)") {
+		t.Fatalf("surviving assessments must still print, got %q", out)
+	}
+}
+
+// TestRunCheckAllBudgetExhaustedExit3: the network checker degrades the
+// same way.
+func TestRunCheckAllBudgetExhaustedExit3(t *testing.T) {
+	out, err := capture(t, func() error {
+		return run([]string{"checkall", hotelFile, "-max-states", "3"})
+	})
+	var ee *budget.ExhaustedError
+	if !errors.As(err, &ee) {
+		t.Fatalf("err = %v, want *budget.ExhaustedError", err)
+	}
+	if !strings.Contains(out, "unknown") {
+		t.Fatalf("partial network report must still print, got %q", out)
+	}
+}
+
+// TestRunRoomyBudgetIsInvisible: generous limits change nothing — the
+// commands succeed exactly as without flags.
+func TestRunRoomyBudgetIsInvisible(t *testing.T) {
+	for _, args := range [][]string{
+		{"check", hotelFile, "-client", "c1", "-max-states", "100000", "-timeout", "1m"},
+		{"checkall", hotelFile, "-max-states", "100000"},
+		{"plans", hotelFile, "-client", "c1", "-max-states", "100000"},
+	} {
+		if _, err := capture(t, func() error { return run(args) }); err != nil {
+			t.Fatalf("run(%v) = %v, want success", args, err)
+		}
+	}
+}

@@ -33,18 +33,32 @@
 // plans also accepts -stream (print each assessment as the fused engine
 // produces it; with -json, one object per line) and -stats (memo-cache and
 // fused-engine work counters on stderr).
+//
+// The exploration commands — plans, check, checkall, lint, explain —
+// accept -timeout, -max-states and -max-edges, bounding the state-space
+// work; they also install a SIGINT/SIGTERM handler that cancels the
+// exploration and still prints the partial results. Verdicts decided
+// before the cutoff stand; the rest degrade to "unknown". Exit codes
+// distinguish the outcomes: 0 success, 1 findings (invalid plan, lint
+// errors), 2 internal error (an isolated worker panic), 3 budget
+// exhausted or interrupted.
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"math/rand"
 	"os"
+	"os/signal"
 	"runtime"
 	"sort"
 	"strings"
+	"syscall"
 
+	"susc/internal/budget"
 	"susc/internal/compliance"
 	"susc/internal/contract"
 	"susc/internal/hexpr"
@@ -62,8 +76,25 @@ import (
 func main() {
 	if err := run(os.Args[1:]); err != nil {
 		fmt.Fprintln(os.Stderr, "susc:", err)
-		os.Exit(1)
+		os.Exit(exitCode(err))
 	}
+}
+
+// exitCode maps an error to the CLI's exit-code protocol: 2 for an
+// internal error (an isolated worker panic — the message carries the
+// repro unit), 3 for a budget cutoff (state/edge limit, -timeout,
+// SIGINT/SIGTERM), 1 for ordinary findings and failures. Internal errors
+// outrank budget cutoffs, which outrank findings.
+func exitCode(err error) int {
+	var ie *budget.InternalError
+	if errors.As(err, &ie) {
+		return 2
+	}
+	var ee *budget.ExhaustedError
+	if errors.As(err, &ee) {
+		return 3
+	}
+	return 1
 }
 
 func run(args []string) error {
@@ -106,12 +137,33 @@ func run(args []string) error {
 	runAll := fs.Bool("all", false, "run: simulate all declared clients concurrently")
 	workers := fs.Int("workers", runtime.GOMAXPROCS(0),
 		"plans/effect: validate candidate plans with this many goroutines")
+	timeout := fs.Duration("timeout", 0,
+		"plans/check/checkall/lint/explain: wall-clock budget (0 = none)")
+	maxStates := fs.Int64("max-states", 0,
+		"plans/check/checkall/lint/explain: state budget for the exploration (0 = unlimited)")
+	maxEdges := fs.Int64("max-edges", 0,
+		"plans/check/checkall/lint/explain: edge budget for the exploration (0 = unlimited)")
 	if len(args) < 2 {
 		return fmt.Errorf("usage: susc %s FILE [flags]", cmd)
 	}
 	path := args[1]
 	if err := fs.Parse(args[2:]); err != nil {
 		return err
+	}
+	// Only the budget-aware exploration commands trap SIGINT/SIGTERM: a
+	// first signal cancels the budget so partial results still print; a
+	// second signal falls back to the default handler and kills the
+	// process. Interactive commands (run, parse, …) keep ^C fatal.
+	var bud *budget.Budget
+	switch cmd {
+	case "plans", "check", "checkall", "lint", "explain":
+		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+		defer stop()
+		bud = budget.New(ctx, budget.Limits{
+			MaxStates: *maxStates,
+			MaxEdges:  *maxEdges,
+			Timeout:   *timeout,
+		})
 	}
 	src, err := os.ReadFile(path)
 	if err != nil {
@@ -123,12 +175,12 @@ func run(args []string) error {
 	if cmd == "lint" {
 		// lint parses leniently itself, so one run can report several
 		// independent problems (and parse errors become diagnostics).
-		return cmdLint(path, string(src), *jsonOut, *severity, *stats)
+		return cmdLint(path, string(src), *jsonOut, *severity, *stats, bud)
 	}
 	if cmd == "explain" {
 		// explain also parses leniently: the semantic analyzers skip what
 		// does not parse and still explain the declarations that do.
-		return cmdExplain(path, string(src), *codeFilter, *jsonOut, *witnessDot)
+		return cmdExplain(path, string(src), *codeFilter, *jsonOut, *witnessDot, bud)
 	}
 	f, err := parser.ParseFile(string(src))
 	if err != nil {
@@ -149,11 +201,11 @@ func run(args []string) error {
 	case "validity":
 		return cmdValidity(f)
 	case "plans":
-		return cmdPlans(f, *clientName, *prune, *jsonOut, *stream, *stats, *workers)
+		return cmdPlans(f, *clientName, *prune, *jsonOut, *stream, *stats, *workers, bud)
 	case "check":
-		return cmdCheck(f, *clientName, *jsonOut)
+		return cmdCheck(f, *clientName, *jsonOut, bud)
 	case "checkall":
-		return cmdCheckAll(f, *capSpec, *jsonOut)
+		return cmdCheckAll(f, *capSpec, *jsonOut, bud)
 	case "run":
 		return cmdRun(f, *clientName, *seed, *steps, *monitored, *runAll, *capSpec)
 	case "substitutable":
@@ -175,13 +227,13 @@ type lintEntry struct {
 // prints positioned diagnostics: text ("file:line:col: severity: message
 // [CODE]") or, with -json, NDJSON with one diagnostic object per line.
 // The exit status is non-zero iff any error-severity finding is reported.
-func cmdLint(path, src string, jsonOut bool, severity string, stats bool) error {
+func cmdLint(path, src string, jsonOut bool, severity string, stats bool, bud *budget.Budget) error {
 	minSev, err := lint.ParseSeverity(severity)
 	if err != nil {
 		return err
 	}
 	cache := memo.New()
-	opts := lint.Options{MinSeverity: minSev, Cache: cache}
+	opts := lint.Options{MinSeverity: minSev, Cache: cache, Budget: bud}
 	if stats {
 		opts.Stats = &lint.Stats{}
 	}
@@ -212,12 +264,23 @@ func cmdLint(path, src string, jsonOut bool, severity string, stats bool) error 
 			fmt.Fprintf(os.Stderr, "stats: lint %-14s %d finding(s) in %v\n", a.Name, a.Findings, a.Duration)
 		}
 		st := cache.Stats()
-		fmt.Fprintf(os.Stderr, "stats: cache %d hits, %d misses (%.1f%% hit rate)\n",
-			st.Hits(), st.Misses(), st.HitRate()*100)
+		fmt.Fprintf(os.Stderr, "stats: cache %d hits, %d misses (%.1f%% hit rate), %d entries, ~%d bytes\n",
+			st.Hits(), st.Misses(), st.HitRate()*100, st.Entries(), st.ApproxBytes)
 	}
 	if !jsonOut && len(diags) > 0 {
 		fmt.Fprintf(os.Stderr, "lint: %d finding(s): %d error(s), %d warning(s), %d info\n",
 			len(diags), errs, counts[lint.Warning], counts[lint.Info])
+	}
+	// Exit-code protocol: an isolated analyzer panic (a SUSC016 "failed"
+	// diagnostic) outranks a budget cutoff, which outranks ordinary
+	// findings.
+	for _, d := range diags {
+		if d.Code == lint.CodeInternalError && !strings.HasPrefix(d.Message, "analysis stopped") {
+			return &budget.InternalError{Unit: "lint", Value: d.Message}
+		}
+	}
+	if e := bud.Exhausted(); e != nil {
+		return e
 	}
 	if errs > 0 {
 		return fmt.Errorf("lint: %d error(s)", errs)
@@ -232,8 +295,8 @@ func cmdLint(path, src string, jsonOut bool, severity string, stats bool) error 
 // one diagnostic code, -json emits NDJSON (witness included), -wdot
 // renders each witness as a Graphviz digraph. The exit status is non-zero
 // iff any error-severity witness is reported.
-func cmdExplain(path, src, code string, jsonOut, wdot bool) error {
-	diags := lint.Source(src, lint.Options{Analyzers: lint.AllAnalyzers(), Cache: memo.New()})
+func cmdExplain(path, src, code string, jsonOut, wdot bool, bud *budget.Budget) error {
+	diags := lint.Source(src, lint.Options{Analyzers: lint.AllAnalyzers(), Cache: memo.New(), Budget: bud})
 	var kept []lint.Diagnostic
 	for _, d := range diags {
 		if d.Witness == nil {
@@ -273,6 +336,14 @@ func cmdExplain(path, src, code string, jsonOut, wdot bool) error {
 	}
 	if !jsonOut && !wdot && len(kept) > 0 {
 		fmt.Fprintf(os.Stderr, "explain: %d finding(s) with witnesses, %d error(s)\n", len(kept), errs)
+	}
+	for _, d := range diags {
+		if d.Code == lint.CodeInternalError && !strings.HasPrefix(d.Message, "analysis stopped") {
+			return &budget.InternalError{Unit: "explain", Value: d.Message}
+		}
+	}
+	if e := bud.Exhausted(); e != nil {
+		return e
 	}
 	if errs > 0 {
 		return fmt.Errorf("explain: %d error(s)", errs)
@@ -586,7 +657,7 @@ func toPlanEntry(a plans.Assessment) planEntry {
 	return planEntry{Plan: m, Report: a.Report}
 }
 
-func cmdPlans(f *parser.File, name string, prune, jsonOut, stream, stats bool, workers int) error {
+func cmdPlans(f *parser.File, name string, prune, jsonOut, stream, stats bool, workers int, bud *budget.Budget) error {
 	c, err := client(f, name)
 	if err != nil {
 		return err
@@ -596,9 +667,25 @@ func cmdPlans(f *parser.File, name string, prune, jsonOut, stream, stats bool, w
 		PruneNonCompliant: prune,
 		Workers:           workers,
 		Cache:             cache,
+		Budget:            bud,
 	}
 	if stats {
 		opts.Stats = &plans.FusedStats{}
+	}
+	// finalize closes the run once all partial results are printed: an
+	// isolated worker panic (exit 2) outranks a budget cutoff or
+	// interruption (exit 3).
+	finalize := func(runErr error) error {
+		if err := printPlanStats(stats, cache, opts.Stats); err != nil {
+			return err
+		}
+		if runErr != nil {
+			return runErr
+		}
+		if e := bud.Exhausted(); e != nil {
+			return e
+		}
+		return nil
 	}
 	if stream {
 		// Stream assessments as the fused engine produces them — first
@@ -620,18 +707,19 @@ func cmdPlans(f *parser.File, name string, prune, jsonOut, stream, stats bool, w
 				fmt.Printf("%-30s %s\n", a.Plan, a.Report)
 				return nil
 			})
-		if err != nil {
+		if err != nil && !errors.As(err, new(*budget.InternalError)) {
 			return err
 		}
 		if !jsonOut {
 			fmt.Printf("%d plan(s), %d valid\n", total, validCount)
 		}
-		return printPlanStats(stats, cache, opts.Stats)
+		return finalize(err)
 	}
 	as, err := plans.AssessAll(f.Repo, f.Table, c.Loc, c.Expr, opts)
-	if err != nil {
+	if err != nil && !errors.As(err, new(*budget.InternalError)) {
 		return err
 	}
+	runErr := err
 	if jsonOut {
 		out := make([]planEntry, len(as))
 		for i, a := range as {
@@ -642,7 +730,7 @@ func cmdPlans(f *parser.File, name string, prune, jsonOut, stream, stats bool, w
 		if err := enc.Encode(out); err != nil {
 			return err
 		}
-		return printPlanStats(stats, cache, opts.Stats)
+		return finalize(runErr)
 	}
 	validCount := 0
 	for _, a := range as {
@@ -652,7 +740,7 @@ func cmdPlans(f *parser.File, name string, prune, jsonOut, stream, stats bool, w
 		}
 	}
 	fmt.Printf("%d plan(s), %d valid\n", len(as), validCount)
-	return printPlanStats(stats, cache, opts.Stats)
+	return finalize(runErr)
 }
 
 // printPlanStats reports the memo-cache hit rate and the fused engine's
@@ -662,8 +750,8 @@ func printPlanStats(enabled bool, cache *memo.Cache, fs *plans.FusedStats) error
 		return nil
 	}
 	st := cache.Stats()
-	fmt.Fprintf(os.Stderr, "stats: cache %d hits, %d misses (%.1f%% hit rate)\n",
-		st.Hits(), st.Misses(), st.HitRate()*100)
+	fmt.Fprintf(os.Stderr, "stats: cache %d hits, %d misses (%.1f%% hit rate), %d entries, ~%d bytes\n",
+		st.Hits(), st.Misses(), st.HitRate()*100, st.Entries(), st.ApproxBytes)
 	if fs != nil {
 		fmt.Fprintf(os.Stderr,
 			"stats: fused %d plans assessed, %d states expanded, %d edges, %d replay states, %d memo hits, %d bindings pruned\n",
@@ -673,7 +761,7 @@ func printPlanStats(enabled bool, cache *memo.Cache, fs *plans.FusedStats) error
 	return nil
 }
 
-func cmdCheck(f *parser.File, name string, jsonOut bool) error {
+func cmdCheck(f *parser.File, name string, jsonOut bool, bud *budget.Budget) error {
 	c, err := client(f, name)
 	if err != nil {
 		return err
@@ -681,7 +769,7 @@ func cmdCheck(f *parser.File, name string, jsonOut bool) error {
 	if c.Plan == nil {
 		return fmt.Errorf("client %s declares no plan", c.Name)
 	}
-	r, err := verify.CheckPlan(f.Repo, f.Table, c.Loc, c.Expr, c.Plan)
+	r, err := verify.CheckPlanOpts(f.Repo, f.Table, c.Loc, c.Expr, c.Plan, verify.Options{Budget: bud})
 	if err != nil {
 		return err
 	}
@@ -694,6 +782,12 @@ func cmdCheck(f *parser.File, name string, jsonOut bool) error {
 	} else {
 		fmt.Printf("client %s under %s: %s\n", c.Name, c.Plan, r)
 	}
+	if r.Verdict == verify.Unknown {
+		if e := bud.Exhausted(); e != nil {
+			return e
+		}
+		return fmt.Errorf("verdict unknown: %s", r.Reason)
+	}
 	if r.Verdict != verify.Valid {
 		return fmt.Errorf("plan is not valid")
 	}
@@ -702,7 +796,7 @@ func cmdCheck(f *parser.File, name string, jsonOut bool) error {
 
 // cmdCheckAll validates every declared client in one product exploration,
 // optionally under bounded availability ("loc=n,loc=n").
-func cmdCheckAll(f *parser.File, capSpec string, jsonOut bool) error {
+func cmdCheckAll(f *parser.File, capSpec string, jsonOut bool, bud *budget.Budget) error {
 	if len(f.Clients) == 0 {
 		return fmt.Errorf("the file declares no clients")
 	}
@@ -724,7 +818,7 @@ func cmdCheckAll(f *parser.File, capSpec string, jsonOut bool) error {
 		}
 		specs = append(specs, verify.ClientSpec{Loc: c.Loc, Client: c.Expr, Plan: c.Plan})
 	}
-	opts := verify.Options{}
+	opts := verify.Options{Budget: bud}
 	if capSpec != "" {
 		caps, err := parseCaps(capSpec)
 		if err != nil {
@@ -744,6 +838,12 @@ func cmdCheckAll(f *parser.File, capSpec string, jsonOut bool) error {
 		}
 	} else {
 		fmt.Printf("network of %d client(s): %s\n", len(specs), r)
+	}
+	if r.Verdict == verify.Unknown {
+		if e := bud.Exhausted(); e != nil {
+			return e
+		}
+		return fmt.Errorf("verdict unknown: %s", r.Reason)
 	}
 	if r.Verdict != verify.Valid {
 		return fmt.Errorf("network is not valid")

@@ -1,0 +1,171 @@
+package budget
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilBudgetIsUnlimited(t *testing.T) {
+	var b *Budget
+	if e := b.ConsumeStates(1 << 40); e != nil {
+		t.Fatalf("nil budget failed: %v", e)
+	}
+	if e := b.ConsumeEdges(1 << 40); e != nil {
+		t.Fatalf("nil budget failed: %v", e)
+	}
+	if e := b.Check(); e != nil {
+		t.Fatalf("nil budget failed: %v", e)
+	}
+	if err := b.Err(); err != nil {
+		t.Fatalf("nil budget Err: %v", err)
+	}
+	if b.States() != 0 || b.Edges() != 0 {
+		t.Fatalf("nil budget counts: %d states, %d edges", b.States(), b.Edges())
+	}
+}
+
+func TestStateLimitSticky(t *testing.T) {
+	b := New(context.Background(), Limits{MaxStates: 10})
+	var first *ExhaustedError
+	for i := 0; i < 20; i++ {
+		if e := b.ConsumeStates(1); e != nil {
+			first = e
+			break
+		}
+	}
+	if first == nil || first.Reason != StateLimit {
+		t.Fatalf("want StateLimit, got %v", first)
+	}
+	if first.States != 11 {
+		t.Fatalf("snapshot states = %d, want 11", first.States)
+	}
+	// sticky: every later charge fails with the same error
+	if e := b.ConsumeEdges(1); e != first {
+		t.Fatalf("not sticky: got %v", e)
+	}
+	if e := b.Check(); e != first {
+		t.Fatalf("Check not sticky: got %v", e)
+	}
+	var ee *ExhaustedError
+	if !errors.As(b.Err(), &ee) {
+		t.Fatalf("Err() is not an *ExhaustedError: %v", b.Err())
+	}
+}
+
+func TestEdgeLimit(t *testing.T) {
+	b := New(context.Background(), Limits{MaxEdges: 5})
+	if e := b.ConsumeEdges(3); e != nil {
+		t.Fatalf("unexpected: %v", e)
+	}
+	e := b.ConsumeEdges(3)
+	if e == nil || e.Reason != EdgeLimit {
+		t.Fatalf("want EdgeLimit, got %v", e)
+	}
+}
+
+func TestCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	b := New(ctx, Limits{})
+	if e := b.Exhausted(); e != nil {
+		t.Fatalf("fresh budget exhausted: %v", e)
+	}
+	cancel()
+	e := b.Exhausted()
+	if e == nil || e.Reason != Cancelled {
+		t.Fatalf("want Cancelled, got %v", e)
+	}
+	// the consume fast path observes the sticky flag immediately
+	if e := b.ConsumeStates(1); e == nil || e.Reason != Cancelled {
+		t.Fatalf("consume after cancel: %v", e)
+	}
+}
+
+func TestConsumeNoticesCancellationWithinPollWindow(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	b := New(ctx, Limits{})
+	var e *ExhaustedError
+	for i := 0; i < 2*pollEvery && e == nil; i++ {
+		e = b.ConsumeStates(1)
+	}
+	if e == nil || e.Reason != Cancelled {
+		t.Fatalf("cancellation not noticed within %d charges: %v", 2*pollEvery, e)
+	}
+}
+
+func TestDeadline(t *testing.T) {
+	b := New(context.Background(), Limits{Timeout: time.Nanosecond})
+	time.Sleep(time.Millisecond)
+	e := b.Exhausted()
+	if e == nil || e.Reason != DeadlineExceeded {
+		t.Fatalf("want DeadlineExceeded, got %v", e)
+	}
+}
+
+func TestContextDeadlineMapsToDeadlineExceeded(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), time.Nanosecond)
+	defer cancel()
+	time.Sleep(time.Millisecond)
+	b := New(ctx, Limits{})
+	e := b.Exhausted()
+	if e == nil || e.Reason != DeadlineExceeded {
+		t.Fatalf("want DeadlineExceeded, got %v", e)
+	}
+}
+
+func TestConcurrentChargesSingleWinner(t *testing.T) {
+	b := New(context.Background(), Limits{MaxStates: 1000})
+	var wg sync.WaitGroup
+	errs := make([]*ExhaustedError, 8)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				if e := b.ConsumeStates(1); e != nil {
+					errs[w] = e
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	var winner *ExhaustedError
+	for _, e := range errs {
+		if e == nil {
+			continue
+		}
+		if winner == nil {
+			winner = e
+		} else if e != winner {
+			t.Fatalf("two distinct exhaustion errors: %v vs %v", winner, e)
+		}
+	}
+	if winner == nil || winner.Reason != StateLimit {
+		t.Fatalf("want a shared StateLimit error, got %v", winner)
+	}
+}
+
+func TestGuardConvertsPanic(t *testing.T) {
+	err := Guard("plan r1=svc0", func() error { panic("boom") })
+	var ie *InternalError
+	if !errors.As(err, &ie) {
+		t.Fatalf("want *InternalError, got %v", err)
+	}
+	if ie.Unit != "plan r1=svc0" || ie.Value != "boom" || ie.Stack == "" {
+		t.Fatalf("repro bundle incomplete: %+v", ie)
+	}
+}
+
+func TestGuardPassesThrough(t *testing.T) {
+	if err := Guard("u", func() error { return nil }); err != nil {
+		t.Fatalf("unexpected error: %v", err)
+	}
+	want := errors.New("real")
+	if err := Guard("u", func() error { return want }); err != want {
+		t.Fatalf("got %v, want %v", err, want)
+	}
+}

@@ -1,0 +1,92 @@
+package lint
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"susc/internal/budget"
+	"susc/internal/faultinject"
+)
+
+// TestLintBudgetExhaustionReported: cutting the semantic suite short
+// surfaces as a SUSC016 "analysis stopped" diagnostic instead of silently
+// truncated findings — a lint run that did not finish must say so.
+func TestLintBudgetExhaustionReported(t *testing.T) {
+	src, _ := semanticSource(t, "susc011_violable.susc")
+	b := budget.New(context.Background(), budget.Limits{MaxStates: 2})
+	diags := Source(src, Options{Analyzers: AllAnalyzers(), Budget: b})
+	found := false
+	for _, d := range diags {
+		if d.Code == CodeInternalError && strings.Contains(d.Message, "analysis stopped") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no SUSC016 cutoff diagnostic in %v", diags)
+	}
+	if b.Exhausted() == nil {
+		t.Fatal("the budget must be exhausted")
+	}
+}
+
+// TestLintBudgetUnlimitedMatches: a roomy budget changes nothing — the
+// diagnostics are identical to the unbudgeted run.
+func TestLintBudgetUnlimitedMatches(t *testing.T) {
+	src, plain := semanticSource(t, "susc011_violable.susc")
+	b := budget.New(context.Background(), budget.Limits{MaxStates: 1 << 30})
+	budgeted := Source(src, Options{Analyzers: AllAnalyzers(), Budget: b})
+	if len(plain) != len(budgeted) {
+		t.Fatalf("budgeted run found %d diagnostics, plain %d", len(budgeted), len(plain))
+	}
+	for i := range plain {
+		if plain[i].Code != budgeted[i].Code || plain[i].Message != budgeted[i].Message {
+			t.Fatalf("diagnostic %d differs: %v vs %v", i, plain[i], budgeted[i])
+		}
+	}
+}
+
+// TestLintAnalyzerPanicIsolated: a panicking analyzer is absorbed — its
+// own findings are dropped, the failure is reported as SUSC016 naming the
+// analyzer, and every other analyzer still reports normally.
+func TestLintAnalyzerPanicIsolated(t *testing.T) {
+	src, plain := semanticSource(t, "susc011_violable.susc")
+	restore := faultinject.Set(faultinject.PanicOnce(faultinject.LintAnalyzer, "violable", "injected"))
+	defer restore()
+	diags := Source(src, Options{Analyzers: AllAnalyzers()})
+
+	var failure *Diagnostic
+	for i, d := range diags {
+		switch {
+		case d.Code == CodeInternalError:
+			failure = &diags[i]
+		case d.Code == "SUSC011":
+			t.Fatalf("the panicked analyzer's findings must be dropped, got %v", d)
+		}
+	}
+	if failure == nil {
+		t.Fatalf("no SUSC016 failure diagnostic in %v", diags)
+	}
+	if !strings.Contains(failure.Message, "violable") || !strings.Contains(failure.Message, "failed") {
+		t.Fatalf("failure message = %q, want the analyzer name and 'failed'", failure.Message)
+	}
+
+	// Every non-SUSC011 finding of the clean run survives.
+	want := map[string]int{}
+	for _, d := range plain {
+		if d.Code != "SUSC011" {
+			want[d.Code]++
+		}
+	}
+	got := map[string]int{}
+	for _, d := range diags {
+		if d.Code != CodeInternalError {
+			got[d.Code]++
+		}
+	}
+	for code, n := range want {
+		if got[code] != n {
+			t.Fatalf("code %s: %d findings after the panic, want %d", code, got[code], n)
+		}
+	}
+}

@@ -20,6 +20,8 @@ import (
 	"sort"
 	"time"
 
+	"susc/internal/budget"
+	"susc/internal/faultinject"
 	"susc/internal/memo"
 	"susc/internal/parser"
 )
@@ -123,6 +125,13 @@ const (
 	// CodeUnreachableState: a usage-automaton state unreachable from the
 	// start, or a transition that can never lie on a violating run.
 	CodeUnreachableState = "SUSC015"
+
+	// CodeInternalError: an analyzer panicked and was isolated — the
+	// diagnostic's message carries the analyzer name and panic value as a
+	// repro bundle, and the remaining analyzers ran to completion. Also
+	// used when an analyzer's exploration was cut short by the budget, so
+	// absent findings are never mistaken for clean code.
+	CodeInternalError = "SUSC016"
 )
 
 // Related is a secondary position attached to a diagnostic (the first of
@@ -169,6 +178,10 @@ type Pass struct {
 	File   *parser.File
 	Issues []parser.Issue
 	Cache  *memo.Cache
+	// Budget meters the semantic analyzers' explorations (nil =
+	// unbounded). An exhausted budget stops the remaining analyzers and
+	// is reported as one SUSC016 diagnostic.
+	Budget *budget.Budget
 
 	diags  []Diagnostic
 	bodies []reqBody
@@ -204,6 +217,8 @@ type Options struct {
 	Cache *memo.Cache
 	// Stats, when non-nil, receives per-analyzer wall time and counts.
 	Stats *Stats
+	// Budget meters the run (nil = unbounded); see Pass.Budget.
+	Budget *budget.Budget
 }
 
 // Analyzers returns the default suite, in running order.
@@ -246,7 +261,7 @@ func AllAnalyzers() []*Analyzer {
 // lenient parsing collected (nil for a strictly parsed file). Diagnostics
 // come back deduplicated and ordered by position, code, message.
 func Run(f *parser.File, issues []parser.Issue, opts Options) []Diagnostic {
-	pass := &Pass{File: f, Issues: issues, Cache: opts.Cache}
+	pass := &Pass{File: f, Issues: issues, Cache: opts.Cache, Budget: opts.Budget}
 	if pass.Cache == nil {
 		pass.Cache = memo.New()
 	}
@@ -254,16 +269,47 @@ func Run(f *parser.File, issues []parser.Issue, opts Options) []Diagnostic {
 	if analyzers == nil {
 		analyzers = Analyzers()
 	}
+	stopped := false
 	for _, a := range analyzers {
+		// An exhausted budget stops the suite: a truncated analyzer's
+		// silence must not read as a clean bill, so the cutoff is itself
+		// a finding.
+		if e := pass.Budget.Exhausted(); e != nil {
+			pass.Reportf(CodeInternalError, Error, parser.Span{},
+				"analysis stopped before %s: %s", a.Name, e)
+			stopped = true
+			break
+		}
 		before := len(pass.diags)
 		start := time.Now()
-		a.Run(pass)
+		// Each analyzer runs inside a panic guard: a panicking analyzer
+		// (injected or genuine) is isolated into one SUSC016 diagnostic
+		// naming it, and the rest of the suite still runs.
+		err := budget.Guard(a.Name, func() error {
+			if faultinject.Enabled() {
+				faultinject.Fire(faultinject.LintAnalyzer, a.Name)
+			}
+			a.Run(pass)
+			return nil
+		})
+		if err != nil {
+			pass.diags = pass.diags[:before] // drop the panicked analyzer's partial findings
+			pass.Reportf(CodeInternalError, Error, parser.Span{},
+				"analyzer %s failed: %s", a.Name, err)
+		}
 		if opts.Stats != nil {
 			opts.Stats.Analyzers = append(opts.Stats.Analyzers, AnalyzerStat{
 				Name:     a.Name,
 				Findings: len(pass.diags) - before,
 				Duration: time.Since(start),
 			})
+		}
+	}
+	if !stopped {
+		// Exhaustion during the last analyzer still truncated it.
+		if e := pass.Budget.Exhausted(); e != nil {
+			pass.Reportf(CodeInternalError, Error, parser.Span{},
+				"analysis stopped: %s", e)
 		}
 	}
 	return finish(pass.diags, opts.MinSeverity)

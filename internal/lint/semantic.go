@@ -25,7 +25,10 @@ var violableAnalyzer = &Analyzer{
 	Codes: []string{CodeViolableFraming},
 	Run: func(pass *Pass) {
 		for _, d := range pass.decls() {
-			ces, err := valid.FindCounterexamples(d.expr, pass.File.Table)
+			if pass.Budget.Exhausted() != nil {
+				return // the suite loop reports the cutoff as SUSC016
+			}
+			ces, err := valid.FindCounterexamplesBudget(d.expr, pass.File.Table, pass.Budget)
 			if err != nil {
 				continue // unknown policies are the reference analyzer's turf
 			}
@@ -67,6 +70,9 @@ var deadlockableAnalyzer = &Analyzer{
 	Codes: []string{CodeDeadlockableRequest},
 	Run: func(pass *Pass) {
 		for i, c := range pass.File.Clients {
+			if pass.Budget.Exhausted() != nil {
+				return // the suite loop reports the cutoff as SUSC016
+			}
 			if len(c.Plan) == 0 {
 				continue
 			}
@@ -140,6 +146,9 @@ var unrealizableAnalyzer = &Analyzer{
 	Codes: []string{CodeUnrealizableRequest},
 	Run: func(pass *Pass) {
 		for i, c := range pass.File.Clients {
+			if pass.Budget.Exhausted() != nil {
+				return // the suite loop reports the cutoff as SUSC016
+			}
 			if len(hexpr.Requests(c.Expr)) == 0 {
 				continue
 			}
@@ -171,19 +180,26 @@ var unrealizableAnalyzer = &Analyzer{
 				PruneNonCompliant: true,
 				MaxPlans:          maxSemanticPlans,
 				Cache:             pass.Cache,
+				Budget:            pass.Budget,
 			})
 			if err != nil || len(as) == 0 {
 				continue // plan space too large or empty: nothing sound to say
 			}
 			rep := as[0]
-			anyValid := false
+			anyValid, anyUnknown := false, false
 			for _, a := range as {
-				if a.Report.Verdict == verify.Valid {
+				switch a.Report.Verdict {
+				case verify.Valid:
 					anyValid = true
-					break
+				case verify.Unknown:
+					anyUnknown = true
 				}
 			}
-			if anyValid {
+			// An Unknown verdict means some plan's exploration was cut
+			// short: "none of the assessed plans is valid" is no longer
+			// evidence that no valid plan exists, so stay silent rather
+			// than report a false SUSC013.
+			if anyValid || anyUnknown {
 				continue
 			}
 			w := &Witness{Kind: WitnessNoPlan}
@@ -212,6 +228,9 @@ var subsumedAnalyzer = &Analyzer{
 	Codes: []string{CodeSubsumedFraming},
 	Run: func(pass *Pass) {
 		for _, d := range pass.decls() {
+			if pass.Budget.Exhausted() != nil {
+				return // the suite loop reports the cutoff as SUSC016
+			}
 			events := dedupEvents(hexpr.Events(d.expr))
 			if len(events) == 0 {
 				continue
@@ -361,6 +380,9 @@ var deadAutomatonAnalyzer = &Analyzer{
 	Codes: []string{CodeUnreachableState},
 	Run: func(pass *Pass) {
 		for _, name := range pass.File.PolicyOrder {
+			if pass.Budget.Exhausted() != nil {
+				return // the suite loop reports the cutoff as SUSC016
+			}
 			a := pass.File.Automata[name]
 			if len(a.Finals) == 0 || !offendingReachable(a) {
 				continue // wholly vacuous templates are the vacuity analyzer's turf

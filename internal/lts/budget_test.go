@@ -1,0 +1,75 @@
+package lts
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"susc/internal/budget"
+	"susc/internal/hexpr"
+	"susc/internal/intern"
+)
+
+// chainExpr builds a purely sequential expression with n+1 LTS states.
+func chainExpr(n int) hexpr.Expr {
+	e := hexpr.Eps()
+	for i := 0; i < n; i++ {
+		e = hexpr.Cat(hexpr.Act(hexpr.E("ev")), e)
+	}
+	return e
+}
+
+// TestBuildBudgetedExhaustion: hitting the state budget aborts with the
+// typed error and never returns a partial LTS.
+func TestBuildBudgetedExhaustion(t *testing.T) {
+	b := budget.New(context.Background(), budget.Limits{MaxStates: 3})
+	l, err := BuildBudgeted(intern.NewTable(), chainExpr(10), DefaultMaxStates, b)
+	if l != nil {
+		t.Fatalf("exhausted build must not return a partial LTS, got %d states", l.Len())
+	}
+	var ee *budget.ExhaustedError
+	if !errors.As(err, &ee) {
+		t.Fatalf("err = %v, want *budget.ExhaustedError", err)
+	}
+	if ee.Reason != budget.StateLimit {
+		t.Fatalf("reason = %v, want StateLimit", ee.Reason)
+	}
+}
+
+// TestBuildBudgetedCancelled: a pre-cancelled context aborts the build.
+// The context poll is amortised over pollEvery charges, so the expression
+// must be large enough for a poll to fire.
+func TestBuildBudgetedCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	b := budget.New(ctx, budget.Limits{})
+	_, err := BuildBudgeted(intern.NewTable(), chainExpr(1024), DefaultMaxStates, b)
+	var ee *budget.ExhaustedError
+	if !errors.As(err, &ee) {
+		t.Fatalf("err = %v, want *budget.ExhaustedError", err)
+	}
+	if ee.Reason != budget.Cancelled {
+		t.Fatalf("reason = %v, want Cancelled", ee.Reason)
+	}
+}
+
+// TestBuildBudgetedUnbounded: a nil budget and a roomy budget both build
+// the full LTS, and the budget is charged for every state.
+func TestBuildBudgetedUnbounded(t *testing.T) {
+	e := chainExpr(5)
+	plain, err := Build(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := budget.New(context.Background(), budget.Limits{MaxStates: 1 << 20})
+	l, err := BuildBudgeted(intern.NewTable(), e, DefaultMaxStates, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Len() != plain.Len() {
+		t.Fatalf("budgeted build has %d states, plain %d", l.Len(), plain.Len())
+	}
+	if b.States() != int64(l.Len()) {
+		t.Fatalf("budget charged %d states for a %d-state LTS", b.States(), l.Len())
+	}
+}

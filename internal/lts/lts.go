@@ -12,6 +12,8 @@ package lts
 import (
 	"fmt"
 
+	"susc/internal/budget"
+	"susc/internal/faultinject"
 	"susc/internal/hexpr"
 	"susc/internal/intern"
 )
@@ -116,11 +118,26 @@ func BuildBounded(e hexpr.Expr, maxStates int) (*LTS, error) {
 // interning work. The builder memoises states on interned IDs instead of
 // the recursive Key() strings.
 func BuildInterned(tab *intern.Table, e hexpr.Expr, maxStates int) (*LTS, error) {
+	return BuildBudgeted(tab, e, maxStates, nil)
+}
+
+// BuildBudgeted is BuildInterned charging every explored state (and its
+// outgoing edges) against the budget (nil = unlimited). Exhaustion or
+// cancellation aborts construction with the typed *budget.ExhaustedError
+// — never a partial LTS, so memoisation layers cannot cache a truncated
+// state space.
+func BuildBudgeted(tab *intern.Table, e hexpr.Expr, maxStates int, b *budget.Budget) (*LTS, error) {
 	l := &LTS{tab: tab, index: map[intern.ID]int{}}
 	l.add(e)
 	for i := 0; i < len(l.States); i++ {
 		if len(l.States) > maxStates {
 			return nil, fmt.Errorf("lts: state space exceeds %d states", maxStates)
+		}
+		if err := b.ConsumeStates(1); err != nil {
+			return nil, err
+		}
+		if faultinject.Enabled() {
+			faultinject.Fire(faultinject.LTSBuild, "")
 		}
 		steps := Step(l.States[i])
 		edges := make([]Edge, len(steps))
@@ -128,6 +145,9 @@ func BuildInterned(tab *intern.Table, e hexpr.Expr, maxStates int) (*LTS, error)
 			edges[j] = Edge{Label: tr.Label, To: l.add(tr.To)}
 		}
 		l.Edges = append(l.Edges, edges)
+		if err := b.ConsumeEdges(int64(len(edges))); err != nil {
+			return nil, err
+		}
 	}
 	return l, nil
 }

@@ -35,6 +35,19 @@ type Stats struct {
 	StepsHits, StepsMisses           uint64
 	LTSHits, LTSMisses               uint64
 	ProjectHits, ProjectMisses       uint64
+
+	// Entry counts per table: the number of distinct keys resident.
+	ComplianceEntries, ProductEntries, StepsEntries, LTSEntries, ProjectEntries uint64
+	// ApproxBytes estimates the resident size of all cached artifacts
+	// (states, edges, witnesses, map overhead). It is a coarse,
+	// cheaply-maintained gauge of cache pressure, not an accounting of
+	// the Go heap.
+	ApproxBytes uint64
+}
+
+// Entries returns the total number of cached entries across all tables.
+func (s Stats) Entries() uint64 {
+	return s.ComplianceEntries + s.ProductEntries + s.StepsEntries + s.LTSEntries + s.ProjectEntries
 }
 
 // Hits returns the total hit count across all tables.
@@ -63,10 +76,16 @@ type shard[V any] struct {
 }
 
 type table[V any] struct {
-	shards [shardCount]shard[V]
-	hits   atomic.Uint64
-	misses atomic.Uint64
+	shards  [shardCount]shard[V]
+	hits    atomic.Uint64
+	misses  atomic.Uint64
+	entries atomic.Uint64
+	bytes   atomic.Uint64
 }
+
+// entryOverhead approximates the per-entry bookkeeping of a map slot
+// (key, hash metadata, value header).
+const entryOverhead = 48
 
 func (t *table[V]) get(k uint64) (V, bool) {
 	s := &t.shards[k&(shardCount-1)]
@@ -81,11 +100,18 @@ func (t *table[V]) get(k uint64) (V, bool) {
 	return v, ok
 }
 
-func (t *table[V]) put(k uint64, v V) {
+// put stores v under k; approxBytes is the caller's estimate of the
+// artifact's resident size, counted once per distinct key (racing
+// builders of the same key are counted as the single entry they become).
+func (t *table[V]) put(k uint64, v V, approxBytes uint64) {
 	s := &t.shards[k&(shardCount-1)]
 	s.mu.Lock()
 	if s.m == nil {
 		s.m = map[uint64]V{}
+	}
+	if _, dup := s.m[k]; !dup {
+		t.entries.Add(1)
+		t.bytes.Add(approxBytes + entryOverhead)
 	}
 	s.m[k] = v
 	s.mu.Unlock()
@@ -139,7 +165,40 @@ func (c *Cache) Stats() Stats {
 		LTSMisses:        c.ltss.misses.Load(),
 		ProjectHits:      c.projs.hits.Load(),
 		ProjectMisses:    c.projs.misses.Load(),
+
+		ComplianceEntries: c.verdicts.entries.Load(),
+		ProductEntries:    c.products.entries.Load(),
+		StepsEntries:      c.steps.entries.Load(),
+		LTSEntries:        c.ltss.entries.Load(),
+		ProjectEntries:    c.projs.entries.Load(),
+		ApproxBytes: c.verdicts.bytes.Load() + c.products.bytes.Load() +
+			c.steps.bytes.Load() + c.ltss.bytes.Load() + c.projs.bytes.Load(),
 	}
+}
+
+// Artifact size estimators for the ApproxBytes gauge: per-state and
+// per-edge constants cover the struct plus its share of slice headers.
+
+func ltsBytes(l *lts.LTS) uint64 {
+	if l == nil {
+		return 0
+	}
+	n := uint64(len(l.States)) * 96
+	for _, es := range l.Edges {
+		n += uint64(len(es)) * 24
+	}
+	return n
+}
+
+func productBytes(p *compliance.Product) uint64 {
+	if p == nil {
+		return 0
+	}
+	n := uint64(len(p.States))*32 + uint64(len(p.Final))
+	for _, es := range p.Edges {
+		n += uint64(len(es)) * 24
+	}
+	return n
 }
 
 // Steps returns the one-step successors of e under the stand-alone
@@ -151,7 +210,7 @@ func (c *Cache) Steps(e hexpr.Expr) []lts.Transition {
 		return v
 	}
 	v := lts.Step(e)
-	c.steps.put(k, v)
+	c.steps.put(k, v, uint64(len(v))*24)
 	return v
 }
 
@@ -164,7 +223,7 @@ func (c *Cache) Project(e hexpr.Expr) hexpr.Expr {
 		return v
 	}
 	v := contract.Project(e)
-	c.projs.put(k, v)
+	c.projs.put(k, v, uint64(hexpr.Size(v))*48)
 	return v
 }
 
@@ -178,7 +237,7 @@ func (c *Cache) Product(client, server hexpr.Expr) (*compliance.Product, error) 
 		return v.p, v.err
 	}
 	p, err := compliance.NewProductProjected(c.tab, c.Steps, c.Project(client), c.Project(server))
-	c.products.put(k, productEntry{p: p, err: err})
+	c.products.put(k, productEntry{p: p, err: err}, productBytes(p))
 	return p, err
 }
 
@@ -199,7 +258,7 @@ func (c *Cache) Compliance(client, server hexpr.Expr) (ok bool, witness string, 
 	} else {
 		v.ok = true
 	}
-	c.verdicts.put(k, v)
+	c.verdicts.put(k, v, 16+uint64(len(v.witness)))
 	return v.ok, v.witness, v.err
 }
 
@@ -219,6 +278,6 @@ func (c *Cache) LTS(e hexpr.Expr) (*lts.LTS, error) {
 		return v.l, v.err
 	}
 	l, err := lts.BuildInterned(c.tab, e, lts.DefaultMaxStates)
-	c.ltss.put(k, ltsEntry{l: l, err: err})
+	c.ltss.put(k, ltsEntry{l: l, err: err}, ltsBytes(l))
 	return l, err
 }

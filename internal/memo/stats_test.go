@@ -1,0 +1,57 @@
+package memo
+
+import (
+	"testing"
+
+	"susc/internal/hexpr"
+	"susc/internal/paperex"
+)
+
+// TestStatsEntriesAndBytes: the cache-pressure counters track resident
+// entries per table (new keys only — hits and racing duplicates don't
+// inflate them) and a non-zero byte estimate once anything is cached.
+func TestStatsEntriesAndBytes(t *testing.T) {
+	c := New()
+	if st := c.Stats(); st.Entries() != 0 || st.ApproxBytes != 0 {
+		t.Fatalf("fresh cache reports %d entries, %d bytes", st.Entries(), st.ApproxBytes)
+	}
+
+	exprs := []hexpr.Expr{paperex.S1(), paperex.S2(), paperex.S3()}
+	for _, e := range exprs {
+		c.Steps(e)
+	}
+	st := c.Stats()
+	if st.StepsEntries == 0 {
+		t.Fatal("Steps population must register entries")
+	}
+	if st.Entries() < st.StepsEntries {
+		t.Fatalf("total %d < steps %d", st.Entries(), st.StepsEntries)
+	}
+	if st.ApproxBytes == 0 {
+		t.Fatal("a populated cache must estimate non-zero bytes")
+	}
+
+	// Pure hits: recomputing the same keys adds no entries.
+	for _, e := range exprs {
+		c.Steps(e)
+	}
+	st2 := c.Stats()
+	if st2.StepsEntries != st.StepsEntries || st2.ApproxBytes != st.ApproxBytes {
+		t.Fatalf("hits inflated the counters: %+v vs %+v", st2, st)
+	}
+	if st2.Hits() == st.Hits() {
+		t.Fatal("the second pass must hit")
+	}
+
+	// Other tables feed the same aggregate.
+	if _, err := c.LTS(paperex.S1()); err != nil {
+		t.Fatal(err)
+	}
+	st3 := c.Stats()
+	if st3.LTSEntries == 0 {
+		t.Fatal("LTS population must register entries")
+	}
+	if st3.ApproxBytes <= st2.ApproxBytes {
+		t.Fatal("caching an LTS must grow the byte estimate")
+	}
+}

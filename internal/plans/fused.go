@@ -1,11 +1,14 @@
 package plans
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
 	"unsafe"
 
+	"susc/internal/budget"
+	"susc/internal/faultinject"
 	"susc/internal/hexpr"
 	"susc/internal/history"
 	"susc/internal/intern"
@@ -377,10 +380,21 @@ func (n *fnode) ensureExpanded(eng *fusedEngine, ar *skelArena) error {
 	if n.ready.Load() {
 		return n.err
 	}
+	// Budget exhaustion aborts the expansion *without* publishing into
+	// n.err: the cutoff is a property of this run's budget, not of the
+	// node, and a cached exhaustion would poison replays of plans whose
+	// verdict was already decided (or later unbudgeted runs sharing the
+	// graph through a long-lived engine).
+	if e := eng.opts.Budget.Exhausted(); e != nil {
+		return e
+	}
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	if n.expanded {
 		return n.err
+	}
+	if faultinject.Enabled() {
+		faultinject.Fire(faultinject.FusedExpand, n.tree.Key())
 	}
 	groups, err := network.TreeMovesLazy(n.tree, eng.repo, eng.candidates, eng.cache.Steps)
 	if err != nil {
@@ -388,6 +402,11 @@ func (n *fnode) ensureExpanded(eng *fusedEngine, ar *skelArena) error {
 		n.ready.Store(true)
 		return err
 	}
+	// Built groups accumulate in a local slice published only on success:
+	// if a panic (injected or genuine) unwinds mid-expansion, the node
+	// stays unexpanded and a sibling plan's retry rebuilds from scratch
+	// instead of appending duplicates after a partial n.groups.
+	built := make([]fgroup, 0, len(groups))
 	for _, g := range groups {
 		fg := fgroup{label: g.Moves[0].Label, req: g.Req, violation: hexpr.NoPolicy}
 		mon := n.mon
@@ -415,6 +434,9 @@ func (n *fnode) ensureExpanded(eng *fusedEngine, ar *skelArena) error {
 				sk := eng.internDiff(ar, g.Moves[0].Tree, n.tree, n.sk)
 				fg.next = eng.node(g.Moves[0].Tree, sk, mon)
 				atomic.AddUint64(&eng.stats.EdgesBuilt, 1)
+				// The return value is deliberately dropped: the per-state
+				// charge at the next pop observes the sticky exhaustion.
+				eng.opts.Budget.ConsumeEdges(1)
 			} else {
 				fg.cands = make([]fcand, 0, len(g.Moves))
 				for _, m := range g.Moves {
@@ -422,14 +444,26 @@ func (n *fnode) ensureExpanded(eng *fusedEngine, ar *skelArena) error {
 					fg.cands = append(fg.cands, fcand{loc: m.OpenLoc, next: eng.node(m.Tree, sk, mon)})
 				}
 				atomic.AddUint64(&eng.stats.EdgesBuilt, uint64(len(g.Moves)))
+				eng.opts.Budget.ConsumeEdges(int64(len(g.Moves)))
 			}
 		}
-		n.groups = append(n.groups, fg)
+		built = append(built, fg)
 	}
+	n.groups = built
 	n.expanded = true
 	n.ready.Store(true)
 	atomic.AddUint64(&eng.stats.StatesExpanded, 1)
 	return nil
+}
+
+// unknownReport closes a replay cut off by the budget: Unknown verdict
+// (never Valid — the projection was not exhausted), the budget's reason,
+// the frontier of discovered-but-unexplored states.
+func unknownReport(report *verify.Report, e *budget.ExhaustedError, frontier int) *verify.Report {
+	report.Verdict = verify.Unknown
+	report.Reason = e.Error()
+	report.Frontier = frontier
+	return report
 }
 
 // rvis is one slot of a replayer's visited array: the epoch stamps the
@@ -531,9 +565,21 @@ func (eng *fusedEngine) replay(plan network.Plan, r *replayer) (*verify.Report, 
 		if report.States > verify.MaxStates {
 			return nil, fmt.Errorf("verify: exploration exceeds %d states", verify.MaxStates)
 		}
+		if e := eng.opts.Budget.ConsumeStates(1); e != nil {
+			report.States--
+			return unknownReport(report, e, r.queue.Len()), nil
+		}
 		n := r.queue.Pop()
 		r.states++
+		if faultinject.Enabled() {
+			faultinject.Fire(faultinject.FusedReplay, n.tree.Key())
+		}
 		if err := n.ensureExpanded(eng, &r.arena); err != nil {
+			var e *budget.ExhaustedError
+			if errors.As(err, &e) {
+				report.States--
+				return unknownReport(report, e, r.queue.Len()+1), nil
+			}
 			return nil, err
 		}
 		r.moves = r.moves[:0]
@@ -608,6 +654,12 @@ func (eng *fusedEngine) assessReplay(plan network.Plan, r *replayer) (*verify.Re
 	atomic.AddUint64(&eng.stats.ReplayStates, r.states)
 	if err != nil {
 		return nil, err
+	}
+	// An Unknown report reflects this run's cutoff, not a property of the
+	// consulted decisions — filing it would serve a stale non-verdict to
+	// every later plan sharing the prefix. Only definite verdicts memoise.
+	if report.Verdict == verify.Unknown {
+		return report, nil
 	}
 
 	eng.memoMu.Lock()
@@ -774,6 +826,35 @@ func (eng *fusedEngine) assess(plan network.Plan, r *replayer) (Assessment, erro
 	return Assessment{Plan: plan, Report: report}, nil
 }
 
+// assessGuarded is assess inside a panic guard: a panic anywhere in the
+// plan's assessment (expansion, replay, static walk — injected or
+// genuine) becomes a typed *budget.InternalError whose Unit is the plan
+// key, the plan's verdict degrades to Unknown, and the error is returned
+// alongside the assessment so the caller can report it after the rest of
+// the fleet finishes. The replayer stays reusable: replay and staticCheck
+// reset every piece of scratch state at entry.
+func (eng *fusedEngine) assessGuarded(plan network.Plan, r *replayer) (Assessment, error) {
+	key := plan.Key()
+	var a Assessment
+	err := budget.Guard("plan "+key, func() error {
+		if faultinject.Enabled() {
+			faultinject.Fire(faultinject.PlansWorker, key)
+		}
+		var err error
+		a, err = eng.assess(plan, r)
+		return err
+	})
+	if err != nil {
+		var ie *budget.InternalError
+		if errors.As(err, &ie) {
+			return Assessment{Plan: plan,
+				Report: &verify.Report{Verdict: verify.Unknown, Reason: ie.Error()}}, err
+		}
+		return Assessment{}, err
+	}
+	return a, nil
+}
+
 // enumerate mirrors the legacy enumerator exactly — same candidate order,
 // same pruning, same MaxPlans semantics — so both engines assess the same
 // plans. Pruned bindings are counted in the stats.
@@ -791,6 +872,9 @@ func (eng *fusedEngine) enumerate() ([]network.Plan, error) {
 		if len(pending) == 0 {
 			if eng.opts.MaxPlans > 0 && len(out) >= eng.opts.MaxPlans {
 				return fmt.Errorf("plans: more than %d complete plans", eng.opts.MaxPlans)
+			}
+			if eng.opts.Budget.Exhausted() != nil {
+				return errStopEnumeration
 			}
 			out = append(out, plan.Clone())
 			return nil
@@ -817,7 +901,7 @@ func (eng *fusedEngine) enumerate() ([]network.Plan, error) {
 		}
 		return nil
 	}
-	if err := expand(network.Plan{}, eng.clientPending); err != nil {
+	if err := expand(network.Plan{}, eng.clientPending); err != nil && err != errStopEnumeration {
 		return nil, err
 	}
 	return out, nil
@@ -846,14 +930,24 @@ func AssessStream(repo network.Repository, table *policy.Table,
 		return eng.runParallel(plans, yield)
 	}
 	r := newReplayer()
+	var firstInternal *budget.InternalError
 	for _, p := range plans {
-		a, err := eng.assess(p, r)
+		a, err := eng.assessGuarded(p, r)
 		if err != nil {
-			return err
+			var ie *budget.InternalError
+			if !errors.As(err, &ie) {
+				return err
+			}
+			if firstInternal == nil {
+				firstInternal = ie
+			}
 		}
 		if err := yield(a); err != nil {
 			return err
 		}
+	}
+	if firstInternal != nil {
+		return firstInternal
 	}
 	return nil
 }
@@ -879,7 +973,7 @@ func (eng *fusedEngine) runParallel(plans []network.Plan, yield func(Assessment)
 			defer wg.Done()
 			r := newReplayer()
 			for i := range jobs {
-				a, err := eng.assess(plans[i], r)
+				a, err := eng.assessGuarded(plans[i], r)
 				select {
 				case results <- res{idx: i, a: a, err: err}:
 				case <-stop:
@@ -904,6 +998,7 @@ func (eng *fusedEngine) runParallel(plans []network.Plan, yield func(Assessment)
 	}()
 	pending := map[int]res{}
 	next := 0
+	var firstInternal *budget.InternalError
 	for r := range results {
 		pending[r.idx] = r
 		for {
@@ -913,13 +1008,26 @@ func (eng *fusedEngine) runParallel(plans []network.Plan, yield func(Assessment)
 			}
 			delete(pending, next)
 			if rr.err != nil {
-				return rr.err
+				// An isolated worker panic is not fatal to the fleet: the
+				// poisoned plan's Unknown assessment is still yielded and
+				// the first internal error is reported once all plans are
+				// through.
+				var ie *budget.InternalError
+				if !errors.As(rr.err, &ie) {
+					return rr.err
+				}
+				if firstInternal == nil {
+					firstInternal = ie
+				}
 			}
 			if err := yield(rr.a); err != nil {
 				return err
 			}
 			next++
 		}
+	}
+	if firstInternal != nil {
+		return firstInternal
 	}
 	return nil
 }

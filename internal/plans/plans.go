@@ -8,10 +8,13 @@
 package plans
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
 
+	"susc/internal/budget"
+	"susc/internal/faultinject"
 	"susc/internal/hexpr"
 	"susc/internal/memo"
 	"susc/internal/network"
@@ -48,6 +51,13 @@ type Options struct {
 	// Stats, when non-nil, receives the fused engine's work counters
 	// (EngineFused only).
 	Stats *FusedStats
+	// Budget meters the whole synthesis (nil = unbounded): enumeration,
+	// graph expansion and every plan's exploration charge the same
+	// budget. Exhaustion or cancellation degrades gracefully — plans
+	// whose verdict was decided before the cutoff keep it, the rest are
+	// reported Unknown — and AssessAll/AssessStream return nil: query
+	// Budget.Exhausted() to learn the run was cut short.
+	Budget *budget.Budget
 }
 
 // Assessment is a complete plan together with its verdict.
@@ -75,7 +85,7 @@ func AssessAll(repo network.Repository, table *policy.Table,
 		out = append(out, a)
 		return nil
 	})
-	if err != nil {
+	if err != nil && !errors.As(err, new(*budget.InternalError)) {
 		return nil, err
 	}
 	keys := make([]string, len(out))
@@ -83,7 +93,9 @@ func AssessAll(repo network.Repository, table *policy.Table,
 		keys[i] = out[i].Plan.Key()
 	}
 	sort.Sort(&byKey{keys: keys, out: out})
-	return out, nil
+	// An internal error (isolated worker panic) is returned alongside the
+	// assessments: the poisoned plan is Unknown, the rest are intact.
+	return out, err
 }
 
 // assessAllLegacy is the one-exploration-per-plan strategy: enumerate
@@ -99,8 +111,34 @@ func assessAllLegacy(repo network.Repository, table *policy.Table,
 	if err != nil {
 		return nil, err
 	}
-	vopts := verify.Options{Cache: cache}
+	vopts := verify.Options{Cache: cache, Budget: opts.Budget}
+	// checkGuarded validates one plan inside a panic guard: a worker panic
+	// becomes a typed *budget.InternalError carrying the plan key as a
+	// repro bundle, the plan's verdict degrades to Unknown, and the rest
+	// of the fleet finishes undisturbed.
+	checkGuarded := func(plan network.Plan) (Assessment, error) {
+		key := plan.Key()
+		var report *verify.Report
+		err := budget.Guard("plan "+key, func() error {
+			if faultinject.Enabled() {
+				faultinject.Fire(faultinject.PlansWorker, key)
+			}
+			var err error
+			report, err = verify.CheckPlanOpts(repo, table, loc, client, plan, vopts)
+			return err
+		})
+		if err != nil {
+			var ie *budget.InternalError
+			if errors.As(err, &ie) {
+				return Assessment{Plan: plan,
+					Report: &verify.Report{Verdict: verify.Unknown, Reason: ie.Error()}}, err
+			}
+			return Assessment{}, err
+		}
+		return Assessment{Plan: plan, Report: report}, nil
+	}
 	out := make([]Assessment, len(complete))
+	var firstInternal *budget.InternalError
 	if opts.Workers > 1 && len(complete) > 1 {
 		var wg sync.WaitGroup
 		var mu sync.Mutex
@@ -111,16 +149,23 @@ func assessAllLegacy(repo network.Repository, table *policy.Table,
 			go func() {
 				defer wg.Done()
 				for i := range jobs {
-					report, err := verify.CheckPlanOpts(repo, table, loc, client, complete[i], vopts)
+					a, err := checkGuarded(complete[i])
 					if err != nil {
+						var ie *budget.InternalError
 						mu.Lock()
-						if firstErr == nil {
+						if errors.As(err, &ie) {
+							if firstInternal == nil {
+								firstInternal = ie
+							}
+						} else if firstErr == nil {
 							firstErr = err
 						}
 						mu.Unlock()
-						continue
+						if a.Report == nil {
+							continue
+						}
 					}
-					out[i] = Assessment{Plan: complete[i], Report: report}
+					out[i] = a
 				}
 			}()
 		}
@@ -134,11 +179,17 @@ func assessAllLegacy(repo network.Repository, table *policy.Table,
 		}
 	} else {
 		for i, plan := range complete {
-			report, err := verify.CheckPlanOpts(repo, table, loc, client, plan, vopts)
+			a, err := checkGuarded(plan)
 			if err != nil {
-				return nil, err
+				var ie *budget.InternalError
+				if !errors.As(err, &ie) {
+					return nil, err
+				}
+				if firstInternal == nil {
+					firstInternal = ie
+				}
 			}
-			out[i] = Assessment{Plan: plan, Report: report}
+			out[i] = a
 		}
 	}
 	// sort on precomputed keys: Plan.Key() rebuilds its string per call,
@@ -148,6 +199,9 @@ func assessAllLegacy(repo network.Repository, table *policy.Table,
 		keys[i] = out[i].Plan.Key()
 	}
 	sort.Sort(&byKey{keys: keys, out: out})
+	if firstInternal != nil {
+		return out, firstInternal
+	}
 	return out, nil
 }
 
@@ -181,6 +235,11 @@ func Synthesize(repo network.Repository, table *policy.Table,
 	return out, nil
 }
 
+// errStopEnumeration is the internal sentinel unwinding the enumeration
+// recursion when the budget runs out: the plans discovered so far are
+// returned with a nil error, and assessment degrades them to Unknown.
+var errStopEnumeration = errors.New("plans: enumeration stopped by budget")
+
 // enumerate produces every complete binding of the requests reachable
 // under the binding itself (selecting a service adds its requests). The
 // PruneNonCompliant probe decides compliance through the shared cache:
@@ -202,6 +261,9 @@ func enumerate(repo network.Repository, client hexpr.Expr, opts Options, cache *
 		if len(pending) == 0 {
 			if opts.MaxPlans > 0 && len(out) >= opts.MaxPlans {
 				return fmt.Errorf("plans: more than %d complete plans", opts.MaxPlans)
+			}
+			if opts.Budget.Exhausted() != nil {
+				return errStopEnumeration
 			}
 			out = append(out, plan.Clone())
 			return nil
@@ -227,7 +289,7 @@ func enumerate(repo network.Repository, client hexpr.Expr, opts Options, cache *
 		}
 		return nil
 	}
-	if err := expand(network.Plan{}, requestsOf(client)); err != nil {
+	if err := expand(network.Plan{}, requestsOf(client)); err != nil && err != errStopEnumeration {
 		return nil, err
 	}
 	return out, nil

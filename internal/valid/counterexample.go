@@ -2,6 +2,7 @@ package valid
 
 import (
 	"susc/internal/autom"
+	"susc/internal/budget"
 	"susc/internal/hexpr"
 	"susc/internal/policy"
 )
@@ -50,8 +51,17 @@ func (c *Counterexample) Violation() *Violation {
 // (Theorem 1), and decode the shortest accepted word plus its automaton
 // run.
 func FindCounterexamples(e hexpr.Expr, table *policy.Table) ([]*Counterexample, error) {
+	return FindCounterexamplesBudget(e, table, nil)
+}
+
+// FindCounterexamplesBudget is FindCounterexamples with the state-space
+// work — the history LTS and the per-policy intersections — charged
+// against the budget (nil = unbounded). Exhaustion or cancellation aborts
+// with the typed *budget.ExhaustedError; no partial counterexample list
+// is returned, so callers never mistake a truncated check for validity.
+func FindCounterexamplesBudget(e hexpr.Expr, table *policy.Table, b *budget.Budget) ([]*Counterexample, error) {
 	reg := Regularize(e)
-	hn, err := HistoryNFA(reg)
+	hn, err := HistoryNFABudget(reg, b)
 	if err != nil {
 		return nil, err
 	}
@@ -67,6 +77,9 @@ func FindCounterexamples(e hexpr.Expr, table *policy.Table) ([]*Counterexample, 
 	hd := hn.Determinize(alphabet)
 	var out []*Counterexample
 	for _, f := range frames {
+		if err := b.Err(); err != nil {
+			return nil, err
+		}
 		in, err := table.Get(f)
 		if err != nil {
 			return nil, err

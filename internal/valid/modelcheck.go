@@ -5,8 +5,10 @@ import (
 	"strings"
 
 	"susc/internal/autom"
+	"susc/internal/budget"
 	"susc/internal/hexpr"
 	"susc/internal/history"
+	"susc/internal/intern"
 	"susc/internal/lts"
 	"susc/internal/policy"
 )
@@ -54,7 +56,14 @@ func labelSymbol(l hexpr.Label) (string, bool) {
 // as an NFA over event/framing symbols: transitions that log nothing are
 // ε-eliminated, and every state accepts (histories are prefixes).
 func HistoryNFA(e hexpr.Expr) (*autom.NFA, error) {
-	l, err := lts.Build(e)
+	return HistoryNFABudget(e, nil)
+}
+
+// HistoryNFABudget is HistoryNFA with the underlying LTS construction
+// charged against the budget (nil = unbounded); exhaustion aborts with
+// the typed *budget.ExhaustedError before any partial automaton is built.
+func HistoryNFABudget(e hexpr.Expr, b *budget.Budget) (*autom.NFA, error) {
+	l, err := lts.BuildBudgeted(intern.NewTable(), e, lts.DefaultMaxStates, b)
 	if err != nil {
 		return nil, err
 	}

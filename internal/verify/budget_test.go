@@ -1,0 +1,130 @@
+package verify_test
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"susc/internal/budget"
+	"susc/internal/hexpr"
+	"susc/internal/network"
+	"susc/internal/paperex"
+	"susc/internal/verify"
+)
+
+// TestCheckPlanBudgetUnknown: cutting the exploration short yields the
+// Unknown verdict — never a spurious Valid — with the exhaustion reason,
+// the states explored, and the frontier size attached.
+func TestCheckPlanBudgetUnknown(t *testing.T) {
+	b := budget.New(context.Background(), budget.Limits{MaxStates: 2})
+	r, err := verify.CheckPlanOpts(paperex.Repository(), paperex.Policies(),
+		paperex.LocC1, paperex.C1(),
+		network.Plan{"r1": paperex.LocBr, "r3": paperex.LocS3},
+		verify.Options{Budget: b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Verdict != verify.Unknown {
+		t.Fatalf("verdict = %s, want unknown", r.Verdict)
+	}
+	if !strings.Contains(r.Reason, "state budget exhausted") {
+		t.Fatalf("reason = %q, want state-budget exhaustion", r.Reason)
+	}
+	if r.States > 2 {
+		t.Fatalf("report claims %d explored states under a 2-state budget", r.States)
+	}
+	if r.Frontier <= 0 {
+		t.Fatalf("frontier = %d, want > 0 (the cutoff left work queued)", r.Frontier)
+	}
+}
+
+// TestCheckPlanBudgetVerdictStands: a verdict decided within the budget is
+// identical to the unbounded one — the budget only ever degrades to
+// Unknown, never alters a decided verdict.
+func TestCheckPlanBudgetVerdictStands(t *testing.T) {
+	plans := []network.Plan{
+		{"r1": paperex.LocBr, "r3": paperex.LocS3}, // valid
+		{"r1": paperex.LocBr, "r3": paperex.LocS1}, // security violation
+		{"r1": paperex.LocBr, "r3": paperex.LocS2}, // non-compliant
+	}
+	for _, plan := range plans {
+		oracle, err := verify.CheckPlan(paperex.Repository(), paperex.Policies(),
+			paperex.LocC1, paperex.C1(), plan)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b := budget.New(context.Background(), budget.Limits{MaxStates: 1 << 20})
+		r, err := verify.CheckPlanOpts(paperex.Repository(), paperex.Policies(),
+			paperex.LocC1, paperex.C1(), plan, verify.Options{Budget: b})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Verdict != oracle.Verdict {
+			t.Fatalf("plan %s: budgeted verdict %s, oracle %s", plan, r.Verdict, oracle.Verdict)
+		}
+	}
+}
+
+// TestCheckPlanCancelled: a cancelled context degrades to Unknown with
+// the cancellation reason. The context poll is amortised over blocks of
+// charges, so the protocol must be deep enough for a poll to fire — a
+// cancelled run over a tiny state space may simply finish, which is
+// sound (the completed verdict stands).
+func TestCheckPlanCancelled(t *testing.T) {
+	depth := 2048
+	body := hexpr.Eps()
+	svc := hexpr.Eps()
+	for i := 0; i < depth; i++ {
+		body = hexpr.SendThen("a", body)
+		svc = hexpr.RecvThen("a", svc)
+	}
+	repo := network.Repository{"S": svc}
+	client := hexpr.Open("r1", hexpr.NoPolicy, body)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	b := budget.New(ctx, budget.Limits{})
+	r, err := verify.CheckPlanOpts(repo, paperex.Policies(), "cl", client,
+		network.Plan{"r1": "S"}, verify.Options{Budget: b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Verdict != verify.Unknown {
+		t.Fatalf("verdict = %s, want unknown", r.Verdict)
+	}
+	if !strings.Contains(r.Reason, "cancelled") {
+		t.Fatalf("reason = %q, want cancellation", r.Reason)
+	}
+}
+
+// TestCheckNetworkBudgetUnknown: the whole-network checker degrades the
+// same way as the single-plan checker.
+func TestCheckNetworkBudgetUnknown(t *testing.T) {
+	specs := []verify.ClientSpec{
+		{Loc: paperex.LocC1, Client: paperex.C1(),
+			Plan: network.Plan{"r1": paperex.LocBr, "r3": paperex.LocS3}},
+	}
+	b := budget.New(context.Background(), budget.Limits{MaxStates: 2})
+	r, err := verify.CheckNetwork(paperex.Repository(), paperex.Policies(), specs,
+		verify.Options{Budget: b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Verdict != verify.Unknown {
+		t.Fatalf("verdict = %s, want unknown", r.Verdict)
+	}
+	if r.Reason == "" {
+		t.Fatal("unknown network report must carry a reason")
+	}
+
+	// The same network with room to finish is valid: Unknown is a
+	// property of the budget, not of the network.
+	full, err := verify.CheckNetwork(paperex.Repository(), paperex.Policies(), specs,
+		verify.Options{Budget: budget.New(context.Background(), budget.Limits{MaxStates: 1 << 20})})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.Verdict != verify.Valid {
+		t.Fatalf("unbudgeted network verdict = %s, want valid", full.Verdict)
+	}
+}

@@ -11,6 +11,8 @@ type reportJSON struct {
 	Trace     []string `json:"trace,omitempty"`
 	StuckTree string   `json:"stuckTree,omitempty"`
 	States    int      `json:"states"`
+	Reason    string   `json:"reason,omitempty"`
+	Frontier  int      `json:"frontier,omitempty"`
 }
 
 // MarshalJSON renders the report for machine consumption (CI pipelines,
@@ -24,6 +26,8 @@ func (r *Report) MarshalJSON() ([]byte, error) {
 		Witness:   r.Witness,
 		StuckTree: r.StuckTree,
 		States:    r.States,
+		Reason:    r.Reason,
+		Frontier:  r.Frontier,
 	}
 	for _, e := range r.Trace {
 		out.Trace = append(out.Trace, e.Label.String())

@@ -6,6 +6,7 @@ import (
 	"strconv"
 	"strings"
 
+	"susc/internal/faultinject"
 	"susc/internal/hexpr"
 	"susc/internal/history"
 	"susc/internal/memo"
@@ -120,7 +121,18 @@ func CheckNetwork(repo network.Repository, table *policy.Table,
 		if report.States > MaxStates {
 			return nil, fmt.Errorf("verify: network exploration exceeds %d states", MaxStates)
 		}
+		if e := opts.Budget.ConsumeStates(1); e != nil {
+			report.States--
+			return unknownReport(report, e, queue.Len()), nil
+		}
 		s := queue.Pop()
+		if faultinject.Enabled() {
+			parts := make([]string, len(s.trees))
+			for i, tr := range s.trees {
+				parts[i] = tr.Key()
+			}
+			faultinject.Fire(faultinject.NetworkState, strings.Join(parts, " || "))
+		}
 		type compMove struct {
 			comp int
 			m    network.Move
@@ -135,6 +147,9 @@ func CheckNetwork(repo network.Repository, table *policy.Table,
 				}
 				moves = append(moves, compMove{comp: ci, m: m})
 			}
+		}
+		if e := opts.Budget.ConsumeEdges(int64(len(moves))); e != nil {
+			return unknownReport(report, e, queue.Len()), nil
 		}
 		if len(moves) == 0 && !allDone(s) {
 			report.Verdict = CommunicationDeadlock

@@ -22,6 +22,8 @@ import (
 	"sort"
 	"strings"
 
+	"susc/internal/budget"
+	"susc/internal/faultinject"
 	"susc/internal/hexpr"
 	"susc/internal/history"
 	"susc/internal/memo"
@@ -54,6 +56,14 @@ const (
 	// verification is refused. The paper's framework likewise assumes
 	// finitely nested compositions.
 	UnboundedNesting
+	// Unknown: the exploration stopped before exhausting the state space —
+	// a state/edge budget ran out, a deadline passed, or the run was
+	// cancelled. Unknown is sound by construction: Valid is only ever
+	// claimed for fully explored spaces, and any counterexample verdict
+	// reached before the cutoff is a real counterexample. Report.Reason
+	// says why the exploration stopped, Report.Frontier how many
+	// discovered states were still unexplored.
+	Unknown
 )
 
 func (v Verdict) String() string {
@@ -68,8 +78,10 @@ func (v Verdict) String() string {
 		return "communication-deadlock"
 	case UnboundedNesting:
 		return "unbounded-nesting"
+	case Unknown:
+		return "unknown"
 	}
-	return "unknown"
+	return fmt.Sprintf("verdict(%d)", int(v))
 }
 
 // Report is the result of validating one client under one plan.
@@ -88,6 +100,13 @@ type Report struct {
 	StuckTree string
 	// States is the number of distinct abstract states explored.
 	States int
+	// Reason explains why the exploration stopped early (Unknown
+	// verdicts only): budget exhausted, deadline exceeded, cancelled, or
+	// an internal error in the worker that owned this unit.
+	Reason string
+	// Frontier is the number of states discovered but not yet explored
+	// at the cutoff (Unknown verdicts only).
+	Frontier int
 }
 
 func (r *Report) String() string {
@@ -101,6 +120,9 @@ func (r *Report) String() string {
 		return fmt.Sprintf("request %s not compliant: %s", r.Request, r.Witness)
 	case UnboundedNesting:
 		return fmt.Sprintf("unbounded session nesting: %s", r.Witness)
+	case Unknown:
+		return fmt.Sprintf("unknown: %s (%d states explored, %d frontier)",
+			r.Reason, r.States, r.Frontier)
 	default:
 		return fmt.Sprintf("deadlock at %s after %s (%d states)",
 			r.StuckTree, traceString(r.Trace), r.States)
@@ -131,6 +153,21 @@ type Options struct {
 	// cache over every candidate plan. Nil builds a private per-call cache
 	// (stepping is still amortised across the states of the exploration).
 	Cache *memo.Cache
+	// Budget meters the exploration (nil = unbounded): every popped state
+	// and built edge is charged, and exhaustion or cancellation stops the
+	// search with a sound Unknown report instead of an error — verdicts
+	// decided before the cutoff stand.
+	Budget *budget.Budget
+}
+
+// unknownReport closes an exploration cut off by the budget: the verdict
+// is Unknown (never Valid — the space was not exhausted), the reason the
+// budget's, the frontier the number of discovered-but-unexplored states.
+func unknownReport(report *Report, e *budget.ExhaustedError, frontier int) *Report {
+	report.Verdict = Unknown
+	report.Reason = e.Error()
+	report.Frontier = frontier
+	return report
 }
 
 // CheckPlan validates the plan for one client against the repository,
@@ -254,7 +291,14 @@ func CheckPlanOpts(repo network.Repository, table *policy.Table,
 		if report.States > MaxStates {
 			return nil, fmt.Errorf("verify: exploration exceeds %d states", MaxStates)
 		}
+		if e := opts.Budget.ConsumeStates(1); e != nil {
+			report.States--
+			return unknownReport(report, e, queue.Len()), nil
+		}
 		s := queue.Pop()
+		if faultinject.Enabled() {
+			faultinject.Fire(faultinject.VerifyState, s.tree.Key())
+		}
 		all := network.TreeMovesStep(s.tree, plan, repo, cache.Steps)
 		moves := all[:0:0]
 		for _, m := range all {
@@ -264,6 +308,9 @@ func CheckPlanOpts(repo network.Repository, table *policy.Table,
 				}
 			}
 			moves = append(moves, m)
+		}
+		if e := opts.Budget.ConsumeEdges(int64(len(moves))); e != nil {
+			return unknownReport(report, e, queue.Len()), nil
 		}
 		if len(moves) == 0 && !network.Done(s.tree) {
 			report.Verdict = CommunicationDeadlock
