@@ -3,7 +3,7 @@
 // and developers can archive comparable baselines (BENCH_baseline.json at
 // the repository root) without scraping `go test -bench` output.
 //
-//	benchdump [-hotels N] [-o FILE]
+//	benchdump [-hotels N] [-chained-compare] [-cpuprofile FILE] [-o FILE]
 package main
 
 import (
@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"testing"
 
 	"susc/internal/benchgen"
@@ -56,13 +57,18 @@ type lintDoc struct {
 	HitRate     float64 `json:"hit_rate"`
 }
 
-// chainedDoc is the legacy-vs-fused comparison on one Chained workload:
-// the headline claim of the fused engine (BENCH_pr2.json archives it).
+// chainedDoc is the engine comparison on one Chained workload: the
+// headline claim of the shared-graph engine (BENCH_pr2.json archives the
+// legacy-vs-fused pair; BENCH_pr6.json adds the compiled engine).
 type chainedDoc struct {
 	Depth   int     `json:"depth"`
 	Fanout  int     `json:"fanout"`
 	Plans   int     `json:"plans"`
-	Speedup float64 `json:"speedup"` // legacy ns_per_op / fused ns_per_op
+	Speedup float64 `json:"speedup"` // legacy ns_per_op / current-engine ns_per_op
+	// SpeedupVsFused (compare mode only) is the PR 6 headline: the
+	// BENCH_pr2-era fused engine's ns_per_op over the compiled engine's,
+	// measured in the same process on the same machine.
+	SpeedupVsFused float64 `json:"speedup_vs_fused,omitempty"`
 	// Fused-engine work counters from the last fused iteration.
 	StatesExpanded uint64 `json:"states_expanded"`
 	EdgesBuilt     uint64 `json:"edges_built"`
@@ -77,7 +83,40 @@ func main() {
 	lintDepth := flag.Int("lint-semantic", 8, "depth of the Chained workload for the semantic-lint series (0 skips it; keep fanout^depth within the analyzers' plan budget)")
 	out := flag.String("o", "", "write the JSON document here instead of stdout")
 	chainedSrc := flag.Bool("chained-src", false, "print the surface-syntax source of the Chained workload and exit (no benchmarks); for budget/timeout smoke tests")
+	compare := flag.Bool("chained-compare", false, "emit legacy/fused/compiled series side-by-side for the Chained workload (fused = the frozen BENCH_pr2-era reference engine)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile (taken after the benchmarks) to this file")
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchdump:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "benchdump:", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	defer func() {
+		if *memprofile == "" {
+			return
+		}
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchdump:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "benchdump:", err)
+			os.Exit(1)
+		}
+	}()
 
 	if *chainedSrc {
 		src := benchgen.ChainedSource(*depth, *fanout)
@@ -121,7 +160,7 @@ func main() {
 		fmt.Sprintf("PlanSynthesisCached/workers=%d", 4), r, cache.Stats().HitRate()))
 
 	if *depth > 0 {
-		doc.Chained = runChained(*depth, *fanout, &doc)
+		doc.Chained = runChained(*depth, *fanout, *compare, &doc)
 	}
 	if *lintDepth > 0 {
 		doc.LintSemantic = runLintSemantic(*lintDepth, *fanout, &doc)
@@ -144,15 +183,29 @@ func main() {
 	}
 }
 
-// runChained benchmarks the legacy and fused engines on one Chained
-// workload, appends both results to the document, and returns the
-// comparison summary.
-func runChained(depth, fanout int, doc *document) *chainedDoc {
+// runChained benchmarks the engines on one Chained workload, appends the
+// series to the document, and returns the comparison summary. The default
+// mode emits the historical legacy/fused pair (fused = the current,
+// compiled engine). Compare mode emits three series — legacy, fused (the
+// frozen EngineReference, i.e. the engine BENCH_pr2 called "fused") and
+// compiled — so a speedup claim against the PR 2 numbers is measured in
+// one process on one machine instead of across archived JSON files.
+func runChained(depth, fanout int, compare bool, doc *document) *chainedDoc {
 	w := benchgen.Chained(depth, fanout)
 	var stats plans.FusedStats
 	run := func(engine plans.Engine, st *plans.FusedStats) testing.BenchmarkResult {
 		return testing.Benchmark(func(b *testing.B) {
 			b.ReportAllocs()
+			// Level the GC before timing: the engines run back-to-back in
+			// one process, and whichever series follows a big one would
+			// otherwise inherit an inflated pacing goal (fewer collections
+			// → flattering numbers for the later engine). A plain GC only —
+			// debug.FreeOSMemory would hand the pages back and make every
+			// series refault its working set, a cost that lands on whichever
+			// engine allocates its arenas up front rather than on whichever
+			// is slower.
+			runtime.GC()
+			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				if st != nil {
 					*st = plans.FusedStats{}
@@ -168,23 +221,66 @@ func runChained(depth, fanout int, doc *document) *chainedDoc {
 			}
 		})
 	}
+	nsPerOp := func(r testing.BenchmarkResult) float64 {
+		return float64(r.T.Nanoseconds()) / float64(r.N)
+	}
+	// merge pools two benchmark results: summing durations, iterations and
+	// allocation counters keeps every per-op figure a true mean over the
+	// combined iterations.
+	merge := func(a, b testing.BenchmarkResult) testing.BenchmarkResult {
+		return testing.BenchmarkResult{
+			N: a.N + b.N, T: a.T + b.T,
+			MemAllocs: a.MemAllocs + b.MemAllocs,
+			MemBytes:  a.MemBytes + b.MemBytes,
+		}
+	}
 	legacy := run(plans.EngineLegacy, nil)
-	fused := run(plans.EngineFused, &stats)
+	var compiled, reference testing.BenchmarkResult
+	if compare {
+		// Interleave the two engines under comparison and average over a
+		// few rounds: on a shared box the available throughput drifts on
+		// the scale of one series, so back-to-back single runs confound
+		// engine speed with machine drift. Alternating the engines puts
+		// both under (approximately) the same drift, and flipping which
+		// engine leads each round cancels the residual position effect
+		// (whichever series runs second starts on the heap state its
+		// predecessor left behind).
+		const rounds = 4
+		for r := 0; r < rounds; r++ {
+			if r%2 == 0 {
+				reference = merge(reference, run(plans.EngineReference, nil))
+				compiled = merge(compiled, run(plans.EngineFused, &stats))
+			} else {
+				compiled = merge(compiled, run(plans.EngineFused, &stats))
+				reference = merge(reference, run(plans.EngineReference, nil))
+			}
+		}
+	} else {
+		compiled = run(plans.EngineFused, &stats)
+	}
 	base := fmt.Sprintf("PlanSynthesisChained/depth=%d/fanout=%d", depth, fanout)
-	doc.Results = append(doc.Results,
-		toResult(base+"/legacy", legacy, 0),
-		toResult(base+"/fused", fused, 0))
-	return &chainedDoc{
-		Depth:  depth,
-		Fanout: fanout,
-		Plans:  w.PlanCount,
-		Speedup: float64(legacy.T.Nanoseconds()) / float64(legacy.N) /
-			(float64(fused.T.Nanoseconds()) / float64(fused.N)),
+	cd := &chainedDoc{
+		Depth:          depth,
+		Fanout:         fanout,
+		Plans:          w.PlanCount,
+		Speedup:        nsPerOp(legacy) / nsPerOp(compiled),
 		StatesExpanded: stats.StatesExpanded,
 		EdgesBuilt:     stats.EdgesBuilt,
 		ReplayStates:   stats.ReplayStates,
 		ReplayMemoHits: stats.ReplayMemoHits,
 	}
+	if compare {
+		cd.SpeedupVsFused = nsPerOp(reference) / nsPerOp(compiled)
+		doc.Results = append(doc.Results,
+			toResult(base+"/legacy", legacy, 0),
+			toResult(base+"/fused", reference, 0),
+			toResult(base+"/compiled", compiled, 0))
+		return cd
+	}
+	doc.Results = append(doc.Results,
+		toResult(base+"/legacy", legacy, 0),
+		toResult(base+"/fused", compiled, 0))
+	return cd
 }
 
 // runLintSemantic benchmarks the full lint suite — default analyzers plus

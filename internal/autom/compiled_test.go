@@ -1,0 +1,148 @@
+package autom
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestCompiledAcceptsBasics(t *testing.T) {
+	d := buildEvenAs().Determinize([]string{"a", "b"})
+	c := Compile(d)
+	cases := []struct {
+		w    []string
+		want bool
+	}{
+		{nil, true},
+		{[]string{"a"}, false},
+		{[]string{"a", "a"}, true},
+		{[]string{"b", "a", "b", "a"}, true},
+		{[]string{"c"}, false}, // unknown symbol
+	}
+	for _, cse := range cases {
+		if got := c.Accepts(cse.w); got != cse.want {
+			t.Errorf("Accepts(%v) = %v, want %v", cse.w, got, cse.want)
+		}
+	}
+	back := c.DFA()
+	if !back.Equivalent(d) {
+		t.Error("DFA() round-trip not equivalent")
+	}
+}
+
+// TestPropCompiledAcceptsMatchesDFA is the compiled-layer contract: on
+// random automata and random words, Compiled.Accepts agrees with
+// DFA.Accepts symbol for symbol.
+func TestPropCompiledAcceptsMatchesDFA(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		d := randomNFA(r).Determinize([]string{"a", "b", "c"})
+		c := Compile(d)
+		for i := 0; i < 40; i++ {
+			w := randomWord(r)
+			if c.Accepts(w) != d.Accepts(w) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropCompiledOpsMatchDFA checks that the array-based product,
+// complement, emptiness and witness extraction agree with the map-based
+// DFA constructions — including the exact BFS-shortest witness, which the
+// lint analyzers surface to users.
+func TestPropCompiledOpsMatchDFA(t *testing.T) {
+	alpha := []string{"a", "b", "c"}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		d1 := randomNFA(r).Determinize(alpha)
+		d2 := randomNFA(r).Determinize(alpha)
+		c1, c2 := Compile(d1), Compile(d2)
+
+		dw := d1.Intersect(d2).AcceptingPath()
+		cw := c1.Intersect(c2).AcceptingPath()
+		if !wordsEqual(dw, cw) {
+			return false
+		}
+		dInc, dSep := d1.Included(d2)
+		cInc, cSep := c1.Included(c2)
+		if dInc != cInc || !wordsEqual(dSep, cSep) {
+			return false
+		}
+		if d1.IsEmpty() != c1.IsEmpty() {
+			return false
+		}
+		if !c1.Complement().DFA().Equivalent(d1.Complement()) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCompiledReachableCoreachable(t *testing.T) {
+	// 0 -a-> 1(acc) ; 2 unreachable; 3 reachable dead sink.
+	d := &DFA{
+		Alphabet: []string{"a"},
+		Trans:    [][]int{{1}, {3}, {2}, {3}},
+		Accept:   []bool{false, true, false, false},
+		Start:    0,
+	}
+	c := Compile(d)
+	reach := c.Reachable()
+	co := c.Coreachable()
+	bit := func(bs []uint64, s int) bool { return bs[s>>6]&(1<<(uint(s)&63)) != 0 }
+	wantReach := []bool{true, true, false, true}
+	wantCo := []bool{true, true, false, false}
+	for s := 0; s < 4; s++ {
+		if bit(reach, s) != wantReach[s] {
+			t.Errorf("Reachable(%d) = %v, want %v", s, bit(reach, s), wantReach[s])
+		}
+		if bit(co, s) != wantCo[s] {
+			t.Errorf("Coreachable(%d) = %v, want %v", s, bit(co, s), wantCo[s])
+		}
+	}
+}
+
+// FuzzMinimizeHopcroftMoore differentially fuzzes the Hopcroft
+// minimisation against the retained Moore implementation: same minimal
+// state count, same language.
+func FuzzMinimizeHopcroftMoore(f *testing.F) {
+	f.Add([]byte{2, 2, 2, 0, 0, 1, 1, 1, 1})
+	f.Add([]byte{3, 4, 3, 0, 0, 1, 1, 1, 2, 2, 2, 0, 1, 1, 1, 0, 2, 1})
+	f.Add([]byte{5, 16, 9, 0, 0, 1, 1, 1, 2, 2, 2, 3, 3, 0, 4, 4, 1, 0})
+	f.Add([]byte{4, 0, 6, 1, 2, 3})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		n, _ := decodeNFA(data)
+		d := n.Determinize(fuzzAlphabet)
+		hop := d.Minimize()
+		moore := d.minimizeMoore()
+		if hop.NumStates() != moore.NumStates() {
+			t.Fatalf("Hopcroft has %d states, Moore %d\n%s", hop.NumStates(), moore.NumStates(), n)
+		}
+		if !hop.Equivalent(d) {
+			t.Fatalf("Hopcroft result not equivalent to input")
+		}
+		if !hop.Equivalent(moore) {
+			t.Fatalf("Hopcroft and Moore disagree on the language")
+		}
+	})
+}
+
+func wordsEqual(a, b []string) bool {
+	if (a == nil) != (b == nil) || len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -57,54 +57,100 @@ func (a *NFA) Determinize(alphabet []string) *DFA {
 		sort.Strings(alphabet)
 	}
 	d := &DFA{Alphabet: alphabet}
-	key := func(set []int) string {
-		parts := make([]string, len(set))
-		for i, s := range set {
-			parts[i] = strconv.Itoa(s)
-		}
-		return strings.Join(parts, ",")
-	}
-	index := map[string]int{}
-	var sets [][]int
-	add := func(set []int) int {
-		sort.Ints(set)
-		k := key(set)
-		if i, ok := index[k]; ok {
-			return i
-		}
-		i := len(sets)
-		index[k] = i
-		sets = append(sets, set)
-		acc := false
-		for _, s := range set {
-			if a.accept[s] {
-				acc = true
-				break
-			}
-		}
-		d.Accept = append(d.Accept, acc)
-		d.Trans = append(d.Trans, nil)
-		return i
-	}
-	d.Start = add([]int{a.start})
-	for i := 0; i < len(sets); i++ {
-		row := make([]int, len(alphabet))
-		for ai, sym := range alphabet {
-			targetSet := map[int]bool{}
-			for _, s := range sets[i] {
-				for _, t := range a.edges[s][sym] {
-					targetSet[t] = true
+	idx := subsetIndex{buckets: map[uint64][]int32{}}
+	add := func(set []int32) int {
+		i, fresh := idx.add(set)
+		if fresh {
+			acc := false
+			for _, s := range set {
+				if a.accept[int(s)] {
+					acc = true
+					break
 				}
 			}
-			target := make([]int, 0, len(targetSet))
-			for t := range targetSet {
-				target = append(target, t)
+			d.Accept = append(d.Accept, acc)
+			d.Trans = append(d.Trans, nil)
+		}
+		return i
+	}
+	d.Start = add([]int32{int32(a.start)})
+	// Target sets are collected through an epoch-stamped mark array and a
+	// reusable buffer — no per-symbol map or string key allocations.
+	mark := make([]int, a.n)
+	epoch := 0
+	var target []int32
+	for i := 0; i < len(idx.sets); i++ {
+		row := make([]int, len(alphabet))
+		for ai, sym := range alphabet {
+			epoch++
+			target = target[:0]
+			for _, s := range idx.sets[i] {
+				for _, t := range a.edges[s][sym] {
+					if mark[t] != epoch {
+						mark[t] = epoch
+						target = append(target, int32(t))
+					}
+				}
 			}
+			sortInt32s(target)
 			row[ai] = add(target) // empty set becomes the rejecting sink
 		}
 		d.Trans[i] = row
 	}
 	return d
+}
+
+// subsetIndex maps canonical (sorted) state sets to dense DFA state ids.
+// Sets are hashed with FNV-1a over their int32 elements and compared
+// structurally on collision, so interning a set allocates nothing unless
+// the set is new.
+type subsetIndex struct {
+	buckets map[uint64][]int32 // hash -> candidate set ids
+	sets    [][]int32
+}
+
+// fnvInt32s hashes a sorted int32 slice with FNV-1a.
+func fnvInt32s(set []int32) uint64 {
+	h := uint64(14695981039346656037)
+	for _, s := range set {
+		u := uint32(s)
+		h = (h ^ uint64(u&0xff)) * 1099511628211
+		h = (h ^ uint64((u>>8)&0xff)) * 1099511628211
+		h = (h ^ uint64((u>>16)&0xff)) * 1099511628211
+		h = (h ^ uint64(u>>24)) * 1099511628211
+	}
+	return h
+}
+
+// add interns the sorted set, returning its id and whether it was new.
+// The set is copied when new; callers may reuse the backing slice.
+func (x *subsetIndex) add(set []int32) (int, bool) {
+	h := fnvInt32s(set)
+	for _, id := range x.buckets[h] {
+		if int32Equal(x.sets[id], set) {
+			return int(id), false
+		}
+	}
+	id := int32(len(x.sets))
+	x.sets = append(x.sets, append([]int32(nil), set...))
+	x.buckets[h] = append(x.buckets[h], id)
+	return int(id), true
+}
+
+func int32Equal(a, b []int32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func sortInt32s(s []int32) {
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
 }
 
 // Complement returns a DFA accepting exactly the words over the same
@@ -130,16 +176,19 @@ func (d *DFA) Product(e *DFA, acceptBoth func(a, b bool) bool) *DFA {
 			panic("autom: product over different alphabets")
 		}
 	}
+	// Pairs are keyed by a packed uint64 instead of a struct key, halving
+	// the hashing work on this hot constructor.
 	type pair struct{ a, b int }
-	index := map[pair]int{}
+	index := map[uint64]int{}
 	var pairs []pair
 	out := &DFA{Alphabet: d.Alphabet}
 	add := func(p pair) int {
-		if i, ok := index[p]; ok {
+		k := uint64(uint32(p.a))<<32 | uint64(uint32(p.b))
+		if i, ok := index[k]; ok {
 			return i
 		}
 		i := len(pairs)
-		index[p] = i
+		index[k] = i
 		pairs = append(pairs, p)
 		out.Accept = append(out.Accept, acceptBoth(d.Accept[p.a], e.Accept[p.b]))
 		out.Trans = append(out.Trans, nil)
@@ -172,9 +221,11 @@ func (d *DFA) AcceptingPath() []string {
 	return word
 }
 
-// Minimize returns the minimal DFA equivalent to d (Moore's partition
-// refinement restricted to reachable states).
-func (d *DFA) Minimize() *DFA {
+// minimizeMoore returns the minimal DFA equivalent to d via Moore's
+// partition refinement (string-built signatures, quadratic rounds). It is
+// kept unexported as the differential oracle for the Hopcroft
+// implementation in hopcroft.go, which replaced it as Minimize.
+func (d *DFA) minimizeMoore() *DFA {
 	// restrict to reachable states
 	reach := make([]bool, len(d.Trans))
 	stack := []int{d.Start}

@@ -129,6 +129,22 @@ func FuzzWitnessMinimal(f *testing.F) {
 		// language-inclusion counterexamples take (with b complemented).
 		da, db := a.Determinize(fuzzAlphabet), b.Determinize(fuzzAlphabet)
 		common := da.Intersect(db).AcceptingPath()
+
+		// The compiled (dense-table) layer must agree with the map-based
+		// constructions on the same product — including the exact witness.
+		ca, cb := Compile(da), Compile(db)
+		if cw := ca.Intersect(cb).AcceptingPath(); !wordsEqual(common, cw) {
+			t.Fatalf("compiled product witness %v != DFA witness %v", cw, common)
+		}
+		if common != nil && (!ca.Accepts(common) || !cb.Accepts(common)) {
+			t.Fatalf("compiled operands reject the product witness %v", common)
+		}
+		dInc, dSep := da.Included(db)
+		cInc, cSep := ca.Included(cb)
+		if dInc != cInc || !wordsEqual(dSep, cSep) {
+			t.Fatalf("compiled Included (%v, %v) != DFA Included (%v, %v)", cInc, cSep, dInc, dSep)
+		}
+
 		if common != nil {
 			if !a.Accepts(common) || !b.Accepts(common) {
 				t.Fatalf("product witness %v not accepted by both operands", common)

@@ -1,0 +1,226 @@
+package autom
+
+// Hopcroft's DFA minimisation: O(n·k·log n) partition refinement over
+// preimage lists. This replaced the Moore-style refinement (kept unexported
+// in dfa.go as minimizeMoore, the differential-fuzz oracle): Moore rebuilds
+// a string signature per state per round, while Hopcroft only ever touches
+// the preimage of the splitter block, over dense int32 arrays.
+
+// Minimize returns the minimal DFA equivalent to d, restricted to
+// reachable states. The result is canonically numbered by a BFS from the
+// start state in alphabet order, so equal inputs give identical outputs.
+func (d *DFA) Minimize() *DFA {
+	if len(d.Trans) == 0 {
+		return &DFA{Alphabet: d.Alphabet}
+	}
+	k := len(d.Alphabet)
+
+	// Restrict to reachable states, renumbered densely 0..m-1 in BFS order
+	// (so dense state 0 is the start).
+	dense := make([]int32, len(d.Trans)) // original -> dense, -1 if unreachable
+	for i := range dense {
+		dense[i] = -1
+	}
+	orig := make([]int32, 0, len(d.Trans)) // dense -> original
+	dense[d.Start] = 0
+	orig = append(orig, int32(d.Start))
+	for i := 0; i < len(orig); i++ {
+		for _, t := range d.Trans[orig[i]] {
+			if dense[t] < 0 {
+				dense[t] = int32(len(orig))
+				orig = append(orig, int32(t))
+			}
+		}
+	}
+	m := len(orig)
+
+	// Dense transition table and per-symbol preimage lists in CSR layout:
+	// pre[a][preOff[a][t]:preOff[a][t+1]] holds the states s with s --a--> t.
+	trans := make([]int32, m*k)
+	for s := 0; s < m; s++ {
+		row := d.Trans[orig[s]]
+		for a := 0; a < k; a++ {
+			trans[s*k+a] = dense[row[a]]
+		}
+	}
+	pre := make([][]int32, k)
+	preOff := make([][]int32, k)
+	for a := 0; a < k; a++ {
+		off := make([]int32, m+1)
+		for s := 0; s < m; s++ {
+			off[trans[s*k+a]+1]++
+		}
+		for t := 0; t < m; t++ {
+			off[t+1] += off[t]
+		}
+		lst := make([]int32, m)
+		fill := append([]int32(nil), off...)
+		for s := 0; s < m; s++ {
+			t := trans[s*k+a]
+			lst[fill[t]] = int32(s)
+			fill[t]++
+		}
+		pre[a], preOff[a] = lst, off
+	}
+
+	// Partition: elems holds the states ordered by block, pos[s] the index
+	// of s in elems, blk[s] its block; block b is elems[bStart[b]:bEnd[b]].
+	elems := make([]int32, m)
+	pos := make([]int32, m)
+	blk := make([]int32, m)
+	bStart := make([]int32, 1, m)
+	bEnd := make([]int32, 1, m)
+
+	na := 0
+	for s := 0; s < m; s++ {
+		if d.Accept[orig[s]] {
+			na++
+		}
+	}
+	split := na > 0 && na < m
+	ia, ir := 0, 0
+	if split {
+		ir = na
+	}
+	for s := 0; s < m; s++ {
+		at := ir
+		if split && d.Accept[orig[s]] {
+			at = ia
+			ia++
+			blk[s] = 0
+		} else {
+			ir++
+			if split {
+				blk[s] = 1
+			}
+		}
+		elems[at] = int32(s)
+		pos[s] = int32(at)
+	}
+	if split {
+		bStart = append(bStart[:0], 0, int32(na))
+		bEnd = append(bEnd[:0], int32(na), int32(m))
+	} else {
+		bStart[0], bEnd[0] = 0, int32(m)
+	}
+
+	// Worklist of (block, symbol) splitters. inW[b*k+a] tracks membership
+	// so a pair is queued at most once until popped.
+	type splitter struct{ b, sym int32 }
+	var work []splitter
+	inW := make([]bool, m*k)
+	push := func(b, a int32) {
+		if !inW[int(b)*k+int(a)] {
+			inW[int(b)*k+int(a)] = true
+			work = append(work, splitter{b, a})
+		}
+	}
+	if split {
+		// Seed with the smaller initial block on every symbol (the
+		// smaller-half rule that gives the log n bound).
+		seed := int32(0)
+		if na > m-na {
+			seed = 1
+		}
+		for a := 0; a < k; a++ {
+			push(seed, int32(a))
+		}
+	}
+
+	marked := make([]int32, 0, m)  // preimage of the current splitter
+	touched := make([]int32, 0, m) // blocks holding marked states
+	markCnt := make([]int32, m)    // per-block count of marked states
+	front := make([]int32, m)      // per-block frontier of moved marked states
+	for len(work) > 0 {
+		sp := work[len(work)-1]
+		work = work[:len(work)-1]
+		inW[int(sp.b)*k+int(sp.sym)] = false
+		a := sp.sym
+		// Snapshot the preimage first: the swaps below reorder elems, and
+		// sp.b itself may be among the touched blocks. Each state appears
+		// at most once (the transition function is total and single-valued).
+		marked = marked[:0]
+		touched = touched[:0]
+		for i := bStart[sp.b]; i < bEnd[sp.b]; i++ {
+			t := elems[i]
+			for j := preOff[a][t]; j < preOff[a][t+1]; j++ {
+				marked = append(marked, pre[a][j])
+			}
+		}
+		// Swap each marked state into the marked prefix of its block.
+		for _, s := range marked {
+			b := blk[s]
+			if markCnt[b] == 0 {
+				touched = append(touched, b)
+				front[b] = bStart[b]
+			}
+			markCnt[b]++
+			p, f := pos[s], front[b]
+			if p != f {
+				o := elems[f]
+				elems[f], elems[p] = s, o
+				pos[s], pos[o] = f, p
+			}
+			front[b]++
+		}
+		// Split every touched block whose preimage part is proper.
+		for _, b := range touched {
+			cnt := markCnt[b]
+			markCnt[b] = 0
+			if cnt == bEnd[b]-bStart[b] {
+				continue
+			}
+			nb := int32(len(bStart))
+			bStart = append(bStart, bStart[b])
+			bEnd = append(bEnd, bStart[b]+cnt)
+			bStart[b] += cnt
+			for i := bStart[nb]; i < bEnd[nb]; i++ {
+				blk[elems[i]] = nb
+			}
+			for c := int32(0); c < int32(k); c++ {
+				if inW[int(b)*k+int(c)] {
+					push(nb, c)
+				} else if bEnd[nb]-bStart[nb] <= bEnd[b]-bStart[b] {
+					push(nb, c)
+				} else {
+					push(b, c)
+				}
+			}
+		}
+	}
+
+	// Quotient, canonically numbered by BFS from the start block.
+	qid := make([]int32, len(bStart))
+	for i := range qid {
+		qid[i] = -1
+	}
+	order := make([]int32, 0, len(bStart))
+	qid[blk[0]] = 0
+	order = append(order, blk[0])
+	for i := 0; i < len(order); i++ {
+		rep := elems[bStart[order[i]]]
+		for a := 0; a < k; a++ {
+			tb := blk[trans[int(rep)*k+a]]
+			if qid[tb] < 0 {
+				qid[tb] = int32(len(order))
+				order = append(order, tb)
+			}
+		}
+	}
+	out := &DFA{
+		Alphabet: d.Alphabet,
+		Trans:    make([][]int, len(order)),
+		Accept:   make([]bool, len(order)),
+		Start:    0,
+	}
+	for qi, b := range order {
+		rep := elems[bStart[b]]
+		row := make([]int, k)
+		for a := 0; a < k; a++ {
+			row[a] = int(qid[blk[trans[int(rep)*k+a]]])
+		}
+		out.Trans[qi] = row
+		out.Accept[qi] = d.Accept[orig[rep]]
+	}
+	return out
+}

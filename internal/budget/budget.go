@@ -261,3 +261,16 @@ func Guard(unit string, fn func() error) (err error) {
 	}()
 	return fn()
 }
+
+// GuardLazy is Guard with the unit name rendered only on the panic path.
+// Hot loops whose unit description is expensive to build (e.g. a plan key
+// formatted from a map) pass a closure instead of paying for the string on
+// every healthy call.
+func GuardLazy(unit func() string, fn func() error) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = &InternalError{Unit: unit(), Value: r, Stack: string(debug.Stack())}
+		}
+	}()
+	return fn()
+}

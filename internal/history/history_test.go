@@ -354,9 +354,26 @@ func TestInertFor(t *testing.T) {
 	if empty.InertFor([]history.Item{history.OpenItem(hexpr.NoPolicy)}) {
 		t.Error("frame-open must not be inert")
 	}
-	// With policy automata present, events can advance states: not inert.
+	// With policy automata present, events on *watched* names can advance
+	// states: not inert. Events no automaton has an edge on self-loop every
+	// state (the watched-name bitset test), so they stay inert.
 	m := history.NewMonitor(policy.NewTable(noWriteAfterRead()))
-	if m.InertFor(events) {
-		t.Error("events under a non-empty table must not be inert")
+	if m.InertFor([]history.Item{ev("read")}) {
+		t.Error("a watched event must not be inert")
+	}
+	if m.InertFor([]history.Item{ev("a"), ev("read")}) {
+		t.Error("a batch containing a watched event must not be inert")
+	}
+	if !m.InertFor(events) {
+		t.Error("unwatched events must be inert even under a non-empty table")
+	}
+	sig = m.Signature()
+	for _, it := range events {
+		if err := m.Append(it); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := m.Signature(); got != sig {
+		t.Errorf("inert items changed the signature: %q -> %q", sig, got)
 	}
 }

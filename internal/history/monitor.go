@@ -1,7 +1,6 @@
 package history
 
 import (
-	"sort"
 	"strconv"
 
 	"susc/internal/hexpr"
@@ -25,25 +24,34 @@ import (
 // closings of *different* policies may cross even though each party's own
 // framings are well-nested. Validity only depends on AP, which is
 // multiset-based, so this is exactly the paper's judgement.
+//
+// The monitor runs on the dense compiled view of the table
+// (policy.CompiledTable): state sets and activation counts are slices
+// indexed by the table's sorted policy order, and event stepping goes
+// through compiled per-event rows instead of guard closures.
 type Monitor struct {
-	table  *policy.Table
-	states map[hexpr.PolicyID]policy.StateSet
-	active map[hexpr.PolicyID]int
-	opened int // count of trivial-policy frames currently open
-	length int
-	sig    string // cached Signature ("" = stale); Append invalidates
+	table   *policy.Table
+	ct      *policy.CompiledTable
+	states  []policy.StateSet // indexed by ct position
+	active  []int32           // activation multiset, same indexing
+	scratch []policy.StateSet // Append scratch: tentative next states
+	opened  int               // count of trivial-policy frames currently open
+	length  int
+	sig     string // cached Signature ("" = stale); state changes invalidate
 }
 
 // NewMonitor builds a monitor over the given policy table.
 func NewMonitor(table *policy.Table) *Monitor {
+	ct := table.Compiled()
 	m := &Monitor{
-		table:  table,
-		states: map[hexpr.PolicyID]policy.StateSet{},
-		active: map[hexpr.PolicyID]int{},
+		table:   table,
+		ct:      ct,
+		states:  make([]policy.StateSet, ct.Len()),
+		active:  make([]int32, ct.Len()),
+		scratch: make([]policy.StateSet, ct.Len()),
 	}
-	for _, id := range table.IDs() {
-		in, _ := table.Get(id)
-		m.states[id] = in.Initial()
+	for i := 0; i < ct.Len(); i++ {
+		m.states[i] = ct.At(i).Initial()
 	}
 	return m
 }
@@ -53,9 +61,11 @@ func (m *Monitor) Len() int { return m.length }
 
 // Active returns the multiset of currently active policies.
 func (m *Monitor) Active() map[hexpr.PolicyID]int {
-	out := make(map[hexpr.PolicyID]int, len(m.active))
-	for k, v := range m.active {
-		out[k] = v
+	out := make(map[hexpr.PolicyID]int)
+	for i, n := range m.active {
+		if n > 0 {
+			out[m.ct.IDs()[i]] = int(n)
+		}
 	}
 	return out
 }
@@ -68,76 +78,74 @@ func (m *Monitor) Active() map[hexpr.PolicyID]int {
 func (m *Monitor) Append(it Item) error {
 	switch it.Kind {
 	case ItemEvent:
-		// Tentatively step every automaton, then check active policies.
-		next := make(map[hexpr.PolicyID]policy.StateSet, len(m.states))
-		for id, s := range m.states {
-			in, _ := m.table.Get(id)
-			next[id] = in.Step(s, it.Event)
+		// Events whose name no automaton watches self-loop every state:
+		// nothing changes, and active policies cannot newly violate (the
+		// invariant that active policies are never in final states is
+		// maintained by the open/event cases below).
+		if m.ct.WatchedMask(it.Event.Name) == 0 {
+			break
 		}
-		for id, n := range m.active {
+		// Tentatively step every automaton, then check active policies.
+		for i := range m.states {
+			m.scratch[i] = m.ct.At(i).Step(m.states[i], it.Event)
+		}
+		for i, n := range m.active {
 			if n <= 0 {
 				continue
 			}
-			if id == hexpr.NoPolicy {
-				continue
-			}
-			in, err := m.table.Get(id)
-			if err != nil {
-				return &ViolationError{Policy: id, At: m.length + 1}
-			}
-			if in.Final(next[id]) {
-				return &ViolationError{Policy: id, At: m.length + 1}
+			if m.ct.At(i).Final(m.scratch[i]) {
+				return &ViolationError{Policy: m.ct.IDs()[i], At: m.length + 1}
 			}
 		}
-		m.states = next
+		copy(m.states, m.scratch)
+		m.sig = ""
 	case ItemFrameOpen:
 		if it.Policy == hexpr.NoPolicy {
 			m.opened++
+			m.sig = ""
 			break
 		}
-		in, err := m.table.Get(it.Policy)
-		if err != nil {
+		i := m.ct.Index(it.Policy)
+		if i < 0 {
 			return &ViolationError{Policy: it.Policy, At: m.length + 1}
 		}
 		// History dependence: the past must already respect the newly
 		// activated policy.
-		if in.Final(m.states[it.Policy]) {
+		if m.ct.At(int(i)).Final(m.states[i]) {
 			return &ViolationError{Policy: it.Policy, At: m.length + 1}
 		}
-		m.active[it.Policy]++
+		m.active[i]++
+		m.sig = ""
 	case ItemFrameClose:
 		if it.Policy == hexpr.NoPolicy {
 			if m.opened == 0 {
 				return &NestingError{Item: it}
 			}
 			m.opened--
+			m.sig = ""
 			break
 		}
-		if m.active[it.Policy] == 0 {
+		i := m.ct.Index(it.Policy)
+		if i < 0 || m.active[i] == 0 {
 			return &NestingError{Item: it}
 		}
-		m.active[it.Policy]--
-		if m.active[it.Policy] == 0 {
-			delete(m.active, it.Policy)
-		}
+		m.active[i]--
+		m.sig = ""
 	}
 	m.length++
-	m.sig = ""
 	return nil
 }
 
 // InertFor reports whether appending the items would provably leave the
-// monitor's abstract state unchanged and violation-free: with no policy
-// automata to run (empty table — states is seeded with every table ID, so
-// an empty map means no policies, hence nothing active), plain events
-// advance nothing and cannot violate. Explorations use this to share a
-// monitor across such moves instead of snapshotting and re-appending.
+// monitor's abstract state unchanged and violation-free: every item must
+// be a plain event whose name no policy automaton has an edge on (a bitset
+// membership test against the table's watched-event index), so every
+// automaton self-loops and no active policy can newly violate.
+// Explorations use this to share a monitor across such moves instead of
+// snapshotting and re-appending.
 func (m *Monitor) InertFor(items []Item) bool {
-	if len(m.states) > 0 {
-		return false
-	}
 	for _, it := range items {
-		if it.Kind != ItemEvent {
+		if it.Kind != ItemEvent || m.ct.WatchedMask(it.Event.Name) != 0 {
 			return false
 		}
 	}
@@ -159,26 +167,21 @@ func (m *Monitor) AppendAll(h History) error {
 // history length. Two monitors with equal signatures accept exactly the
 // same future histories, which is what makes state-space exploration
 // finite (internal/verify keys configurations on it).
-// The signature is cached between calls: exploration keys every generated
-// state, but monitors are shared across item-less moves and advanced only
-// through Append (which invalidates the cache), so the string is built
-// once per distinct monitor state instead of once per lookup.
+// The signature is cached between calls and invalidated only by state
+// changes; the policy order is the compiled table's sorted order, so no
+// per-call sorting happens.
 func (m *Monitor) Signature() string {
 	if m.sig != "" {
 		return m.sig
 	}
-	ids := make([]string, 0, len(m.states))
-	for id := range m.states {
-		ids = append(ids, string(id))
-	}
-	sort.Strings(ids)
+	ids := m.ct.IDs()
 	buf := make([]byte, 0, 8+16*len(ids))
-	for _, id := range ids {
+	for i, id := range ids {
 		buf = append(buf, id...)
 		buf = append(buf, '=')
-		buf = strconv.AppendUint(buf, uint64(m.states[hexpr.PolicyID(id)]), 16)
+		buf = strconv.AppendUint(buf, uint64(m.states[i]), 16)
 		buf = append(buf, '/')
-		buf = strconv.AppendInt(buf, int64(m.active[hexpr.PolicyID(id)]), 10)
+		buf = strconv.AppendInt(buf, int64(m.active[i]), 10)
 		buf = append(buf, ';')
 	}
 	buf = append(buf, '#')
@@ -190,18 +193,14 @@ func (m *Monitor) Signature() string {
 // Snapshot returns a deep copy of the monitor, so explorations can branch.
 func (m *Monitor) Snapshot() *Monitor {
 	out := &Monitor{
-		table:  m.table,
-		states: make(map[hexpr.PolicyID]policy.StateSet, len(m.states)),
-		active: make(map[hexpr.PolicyID]int, len(m.active)),
-		opened: m.opened,
-		length: m.length,
-		sig:    m.sig,
-	}
-	for k, v := range m.states {
-		out.states[k] = v
-	}
-	for k, v := range m.active {
-		out.active[k] = v
+		table:   m.table,
+		ct:      m.ct,
+		states:  append([]policy.StateSet(nil), m.states...),
+		active:  append([]int32(nil), m.active...),
+		scratch: make([]policy.StateSet, len(m.scratch)),
+		opened:  m.opened,
+		length:  m.length,
+		sig:     m.sig,
 	}
 	return out
 }

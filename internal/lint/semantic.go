@@ -239,8 +239,15 @@ var subsumedAnalyzer = &Analyzer{
 			for _, ev := range events {
 				alphabet = append(alphabet, ev.String())
 			}
-			dfas := map[hexpr.PolicyID]*autom.DFA{}
-			nfas := map[hexpr.PolicyID]*autom.NFA{}
+			// The inclusion checks run on compiled (dense-table) automata
+			// memoised in the shared cache, keyed on the interned
+			// (instance, alphabet) signature: declarations sharing an event
+			// alphabet determinise and compile each policy exactly once.
+			alphaSig := ""
+			for _, sym := range alphabet {
+				alphaSig += "\x01" + sym
+			}
+			dfas := map[hexpr.PolicyID]*autom.Compiled{}
 			instances := map[hexpr.PolicyID]*policy.Instance{}
 			automatonFor := func(id hexpr.PolicyID) bool {
 				if _, ok := dfas[id]; ok {
@@ -250,10 +257,10 @@ var subsumedAnalyzer = &Analyzer{
 				if err != nil {
 					return false
 				}
-				n := instanceNFA(in, events)
 				instances[id] = in
-				nfas[id] = n
-				dfas[id] = n.Determinize(alphabet)
+				dfas[id] = pass.Cache.CompiledDFA("susc014:"+string(id)+alphaSig, func() *autom.DFA {
+					return instanceNFA(in, events).Determinize(alphabet)
+				})
 				return true
 			}
 			reported := map[string]bool{}
@@ -277,7 +284,9 @@ var subsumedAnalyzer = &Analyzer{
 				w := &Witness{Kind: WitnessSubsumption}
 				out := instances[outer]
 				w.Start = out.StateName(out.StartState())
-				run := nfas[outer].RunFor(word)
+				// The NFA is only needed to reconstruct the outer automaton's
+				// run for the witness, so it is built on the (rare) report path.
+				run := instanceNFA(out, events).RunFor(word)
 				for k, sym := range word {
 					st := ""
 					if run != nil && k+1 < len(run) {

@@ -18,6 +18,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"susc/internal/autom"
 	"susc/internal/compliance"
 	"susc/internal/contract"
 	"susc/internal/hexpr"
@@ -35,9 +36,10 @@ type Stats struct {
 	StepsHits, StepsMisses           uint64
 	LTSHits, LTSMisses               uint64
 	ProjectHits, ProjectMisses       uint64
+	CompiledHits, CompiledMisses     uint64
 
 	// Entry counts per table: the number of distinct keys resident.
-	ComplianceEntries, ProductEntries, StepsEntries, LTSEntries, ProjectEntries uint64
+	ComplianceEntries, ProductEntries, StepsEntries, LTSEntries, ProjectEntries, CompiledEntries uint64
 	// ApproxBytes estimates the resident size of all cached artifacts
 	// (states, edges, witnesses, map overhead). It is a coarse,
 	// cheaply-maintained gauge of cache pressure, not an accounting of
@@ -47,17 +49,17 @@ type Stats struct {
 
 // Entries returns the total number of cached entries across all tables.
 func (s Stats) Entries() uint64 {
-	return s.ComplianceEntries + s.ProductEntries + s.StepsEntries + s.LTSEntries + s.ProjectEntries
+	return s.ComplianceEntries + s.ProductEntries + s.StepsEntries + s.LTSEntries + s.ProjectEntries + s.CompiledEntries
 }
 
 // Hits returns the total hit count across all tables.
 func (s Stats) Hits() uint64 {
-	return s.ComplianceHits + s.ProductHits + s.StepsHits + s.LTSHits + s.ProjectHits
+	return s.ComplianceHits + s.ProductHits + s.StepsHits + s.LTSHits + s.ProjectHits + s.CompiledHits
 }
 
 // Misses returns the total miss count across all tables.
 func (s Stats) Misses() uint64 {
-	return s.ComplianceMisses + s.ProductMisses + s.StepsMisses + s.LTSMisses + s.ProjectMisses
+	return s.ComplianceMisses + s.ProductMisses + s.StepsMisses + s.LTSMisses + s.ProjectMisses + s.CompiledMisses
 }
 
 // HitRate returns the overall hit rate in [0,1] (0 when the cache is
@@ -143,6 +145,7 @@ type Cache struct {
 	steps    table[[]lts.Transition]
 	ltss     table[ltsEntry]
 	projs    table[hexpr.Expr]
+	compiled table[*autom.Compiled]
 }
 
 // New returns an empty cache with a fresh interning table.
@@ -166,13 +169,18 @@ func (c *Cache) Stats() Stats {
 		ProjectHits:      c.projs.hits.Load(),
 		ProjectMisses:    c.projs.misses.Load(),
 
+		CompiledHits:   c.compiled.hits.Load(),
+		CompiledMisses: c.compiled.misses.Load(),
+
 		ComplianceEntries: c.verdicts.entries.Load(),
 		ProductEntries:    c.products.entries.Load(),
 		StepsEntries:      c.steps.entries.Load(),
 		LTSEntries:        c.ltss.entries.Load(),
 		ProjectEntries:    c.projs.entries.Load(),
+		CompiledEntries:   c.compiled.entries.Load(),
 		ApproxBytes: c.verdicts.bytes.Load() + c.products.bytes.Load() +
-			c.steps.bytes.Load() + c.ltss.bytes.Load() + c.projs.bytes.Load(),
+			c.steps.bytes.Load() + c.ltss.bytes.Load() + c.projs.bytes.Load() +
+			c.compiled.bytes.Load(),
 	}
 }
 
@@ -267,6 +275,22 @@ func (c *Cache) Compliance(client, server hexpr.Expr) (ok bool, witness string, 
 func (c *Cache) Compliant(client, server hexpr.Expr) (bool, error) {
 	ok, _, err := c.Compliance(client, server)
 	return ok, err
+}
+
+// CompiledDFA returns the compiled (dense-table) automaton registered
+// under the signature, building it through the callback on a miss. The
+// signature is interned, so repeated lookups hash an int, not the string.
+// Lint's SUSC014 keys per-declaration policy automata here as
+// (instance ID, event alphabet) signatures, so inclusion checks across
+// declarations sharing an alphabet compile each automaton once.
+func (c *Cache) CompiledDFA(sig string, build func() *autom.DFA) *autom.Compiled {
+	k := uint64(uint32(c.tab.Key(sig)))
+	if v, ok := c.compiled.get(k); ok {
+		return v
+	}
+	v := autom.Compile(build())
+	c.compiled.put(k, v, uint64(len(v.Trans))*4+uint64(len(v.Accept))*8)
+	return v
 }
 
 // LTS returns the built transition system of e, memoised on its interned

@@ -3,9 +3,9 @@ package plans
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
-	"unsafe"
 
 	"susc/internal/budget"
 	"susc/internal/faultinject"
@@ -34,6 +34,12 @@ const (
 	// EngineLegacy enumerates every complete plan first and validates
 	// each with an independent verify.CheckPlanOpts exploration.
 	EngineLegacy
+	// EngineReference is the shared-graph engine as it stood before the
+	// compiled-automata rework (interpreted stepping, map-keyed interning;
+	// see reference.go). Sequential only. It exists as the measured
+	// baseline of `benchdump -chained-compare` and as a third equivalence
+	// oracle — not for production use.
+	EngineReference
 )
 
 // FusedStats counts the work of one fused synthesis. The engine updates
@@ -75,6 +81,13 @@ type FusedStats struct {
 // group, the candidate the plan selects — so one graph expansion serves
 // every plan, and replaying a plan is a BFS over prebuilt edges with no
 // stepping, no monitor copies and no interning.
+//
+// Everything on the expansion and replay hot paths is compiled to dense
+// form at engine construction (see compiled.go): requests and repository
+// locations get dense int32 indices (a plan becomes an int32 vector),
+// session trees are ctrees carrying their interned IDs, and the move
+// relation of a leaf is cached as a compiled row with successors
+// pre-interned, items pre-built and monitor inertness pre-decided.
 type fusedEngine struct {
 	repo   network.Repository
 	table  *policy.Table
@@ -84,27 +97,49 @@ type fusedEngine struct {
 	cache  *memo.Cache
 	tab    *intern.Table
 	stats  *FusedStats
+	// monCT is the compiled view of the policy table; row building uses it
+	// to pre-decide item inertness (inertItems).
+	monCT *policy.CompiledTable
 	// locIDs pre-interns every location of the world (client + repository),
 	// read-only after construction, so keying a leaf skips the string
 	// build and shard lock of Table.Key.
 	locIDs map[hexpr.Location]intern.ID
 
 	// locations is the deterministic candidate order (sorted repository
-	// locations), shared with the legacy enumerator.
+	// locations), shared with the legacy enumerator. locIdx maps a
+	// location to its dense position in it; services mirrors the service
+	// expressions by the same index.
 	locations []hexpr.Location
+	locIdx    map[hexpr.Location]int32
+	services  []hexpr.Expr
 	// bodies maps each request of the world to its body (request
-	// identifiers are unique across a composition, Definition 1).
+	// identifiers are unique across a composition, Definition 1). reqIdx
+	// assigns every request a dense index (sorted-request order); nReq is
+	// the size of that index space.
 	bodies map[hexpr.RequestID]hexpr.Expr
+	reqIdx map[hexpr.RequestID]int32
+	nReq   int
 	// clientPending/locPending hold the sessions of the client and of
 	// every service, in hexpr.Walk pre-order — computed once and shared by
 	// plan enumeration and the per-plan static compliance walk, which
-	// would otherwise re-walk the expressions for every plan.
+	// would otherwise re-walk the expressions for every plan. The pendIdx
+	// variants carry the dense request index alongside (locPendIdx is
+	// indexed by locIdx).
 	clientPending []pendingReq
 	locPending    map[hexpr.Location][]pendingReq
+	clientPendIdx []pendEntry
+	locPendIdx    [][]pendEntry
 	// clientReqs/locReqs are the deduplicated per-expression request lists
 	// feeding the call-cycle successor function.
 	clientReqs []hexpr.RequestID
 	locReqs    map[hexpr.Location][]hexpr.RequestID
+
+	// concurrent records whether plan assessment may run on multiple
+	// goroutines (opts.Workers > 1). Single-threaded engines skip the
+	// canonical-table locks entirely — the locks exist only to make the
+	// shared graph safe for parallel replay workers. Set at construction,
+	// read-only after.
+	concurrent bool
 
 	// cycleFree records that the union call graph — every request pointing
 	// at every location enumeration could bind it to — is acyclic, which
@@ -116,38 +151,39 @@ type fusedEngine struct {
 	candMu sync.Mutex
 	cands  map[hexpr.RequestID][]hexpr.Location
 
-	nodeMu sync.Mutex
-	nodes  map[nodeKey]*fnode
-	start  *fnode
+	// leaves/pairs intern the canonical ctrees — leaves keyed on (location
+	// ID, expression ID), pairs on the children's engine-local IDs. IDs are
+	// split odd (leaves, leafID) / even (pairs, pairID) so each counter is
+	// guarded by the lock already held at creation. Pair ctrees and fnodes
+	// are bump-allocated from arenas under their locks: they are
+	// engine-lifetime and dominate the object population, so block
+	// allocation removes both the per-object malloc and the garbage
+	// collector's per-object tracking, and packs the replay-hot nodes
+	// contiguously.
+	leafMu    sync.RWMutex
+	leaves    map[uint64]*ctree
+	leafID    int32
+	pairMu    sync.RWMutex
+	pairs     u64map
+	pairArena carena
+	pairID    int32
+
+	nodeMu    sync.Mutex
+	nodes     u64map
+	nodeArena narena
+	start     *fnode
 
 	memoMu sync.Mutex
 	memo   *decisionTrie
 }
 
-// nodeKey identifies an abstract configuration — the interned session tree
-// and monitor signature, matching verify's visited-set key.
-type nodeKey struct {
-	tree intern.ID
-	sig  intern.ID
-}
-
-// skel mirrors a session tree with the interned ID of every subtree. A
-// move rebuilds only the spine from the root to the leaf that moved — the
-// untouched siblings of a successor tree are the very same boxed interface
-// values as in the predecessor — so diffing against the predecessor's
-// skeleton re-keys a successor in O(spine) instead of re-hashing every
-// leaf (internDiff). IDs agree with verify.InternTree by construction.
-type skel struct {
-	id          intern.ID
-	left, right *skel
-}
-
-// sameBox reports whether two tree interface values share one boxed
-// representation. False negatives only cost a re-intern; equal boxes
-// always denote equal trees (trees are immutable).
-func sameBox(a, b network.Node) bool {
-	type iface struct{ typ, data unsafe.Pointer }
-	return *(*iface)(unsafe.Pointer(&a)) == *(*iface)(unsafe.Pointer(&b))
+// pendEntry is one pending session of the static compliance walk: the
+// request (for diagnostics), its dense index (to index the plan vector)
+// and its body.
+type pendEntry struct {
+	req    hexpr.RequestID
+	reqIdx int32
+	body   hexpr.Expr
 }
 
 func (eng *fusedEngine) locKey(l hexpr.Location) intern.ID {
@@ -157,68 +193,16 @@ func (eng *fusedEngine) locKey(l hexpr.Location) intern.ID {
 	return eng.tab.Key(string(l))
 }
 
-// internSkel interns a tree from scratch (the start node).
-func (eng *fusedEngine) internSkel(n network.Node) *skel {
-	switch t := n.(type) {
-	case network.Leaf:
-		return &skel{id: eng.tab.Node('L', eng.locKey(t.Loc), eng.tab.Expr(t.Expr))}
-	case network.Pair:
-		l, r := eng.internSkel(t.Left), eng.internSkel(t.Right)
-		return &skel{id: eng.tab.Node('P', l.id, r.id), left: l, right: r}
-	}
-	panic("plans: unknown tree node")
-}
-
-// skelArena block-allocates skeleton nodes: every skel built during
-// expansion stays reachable from the shared graph for the engine's
-// lifetime, so bump-allocating them in large blocks trades nothing for
-// ~one malloc per thousands of nodes. One arena per worker — expansion
-// happens under the expanding node's lock, but distinct nodes expand
-// concurrently.
-type skelArena struct {
-	buf []skel
-}
-
-func (a *skelArena) alloc(id intern.ID, l, r *skel) *skel {
-	if len(a.buf) == cap(a.buf) {
-		a.buf = make([]skel, 0, 4096)
-	}
-	a.buf = append(a.buf, skel{id: id, left: l, right: r})
-	return &a.buf[len(a.buf)-1]
-}
-
-// internDiff interns a successor tree against its predecessor's skeleton:
-// box-identical subtrees reuse the predecessor's skeleton nodes wholesale,
-// so only the rebuilt spine pays interning work.
-func (eng *fusedEngine) internDiff(ar *skelArena, n, prev network.Node, ps *skel) *skel {
-	if ps != nil && sameBox(n, prev) {
-		return ps
-	}
-	switch t := n.(type) {
-	case network.Leaf:
-		return ar.alloc(eng.tab.Node('L', eng.locKey(t.Loc), eng.tab.Expr(t.Expr)), nil, nil)
-	case network.Pair:
-		var pl, pr network.Node
-		var sl, sr *skel
-		if pp, ok := prev.(network.Pair); ok && ps != nil {
-			pl, pr, sl, sr = pp.Left, pp.Right, ps.left, ps.right
-		}
-		l := eng.internDiff(ar, t.Left, pl, sl)
-		r := eng.internDiff(ar, t.Right, pr, sr)
-		return ar.alloc(eng.tab.Node('P', l.id, r.id), l, r)
-	}
-	panic("plans: unknown tree node")
-}
-
 // fnode is one shared graph state. The monitor is warmed (signature
-// cached) before publication and never mutated afterwards; expansion
-// advances only fresh snapshots.
+// cached and interned into sigID) before publication and never mutated
+// afterwards; expansion advances only fresh snapshots.
 type fnode struct {
-	key  nodeKey
-	tree network.Node
-	sk   *skel
-	mon  *history.Monitor
-	done bool
+	ct  *ctree
+	mon *history.Monitor
+	// sigID is the interned monitor signature, inherited by successors
+	// that share the monitor so inert moves re-key nothing.
+	sigID intern.ID
+	done  bool
 	// idx is the node's dense creation index; replays key their visited
 	// arrays on it (an indexed slot instead of a map operation per visit).
 	idx int32
@@ -233,28 +217,38 @@ type fnode struct {
 	groups   []fgroup
 }
 
-// fgroup is one outgoing move group of an expanded node: a concrete move
-// (req == "", one successor) or a lazy open (one successor per compliant
-// candidate, in candidate order). The monitor items of a group are shared
-// by all its candidates, so violation is a per-group fact.
+// fgroup is one outgoing move group of an expanded node. The overwhelming
+// majority of groups are plain concrete moves, so the struct is three
+// words — label, successor, and a nil ext — and everything rarer (a policy
+// violation, or the candidate set of a lazy open) lives behind ext. The
+// monitor items of a group are shared by all its candidates, so a
+// violation is a per-group fact.
 type fgroup struct {
-	label     hexpr.Label
-	req       hexpr.RequestID
-	violation hexpr.PolicyID
-	next      *fnode  // concrete groups (nil when the move violates)
-	cands     []fcand // open groups
+	// label points into the shared steps cache (see cleafMove.label);
+	// traces dereference it on the failure paths.
+	label *hexpr.Label
+	next  *fnode // concrete groups (nil when the move violates or opens)
+	ext   *fgext
 }
 
-type fcand struct {
-	loc  hexpr.Location
-	next *fnode
+// fgext is the rare-group extension: a violating move (violation set,
+// whichever kind the move was) or a lazy open (reqIdx plus one successor
+// per compliant candidate, in candidate order; locIdxs is *shared* with
+// the compiled row move the group was built from — the candidate set of an
+// open is plan-independent, only the successors are per-node).
+type fgext struct {
+	reqIdx    int32
+	violation hexpr.PolicyID
+	locIdxs   []int32
+	cnexts    []*fnode
 }
 
 // decision is one binding consulted during a replay, in consultation
-// order.
+// order, in dense index space (loc < 0 records "unbound or bound outside
+// the world" — the two behave identically).
 type decision struct {
-	req hexpr.RequestID
-	loc hexpr.Location
+	req int32
+	loc int32
 }
 
 // decisionTrie memoises replay reports on the ordered binding decisions
@@ -266,8 +260,8 @@ type decision struct {
 // next-consulted request at any trie position is a function of the path —
 // the trie is well-formed by construction.
 type decisionTrie struct {
-	req      hexpr.RequestID // request this node branches on ("" = leaf/empty)
-	branches map[hexpr.Location]*decisionTrie
+	req      int32 // dense request index this node branches on (-1 = leaf/unset)
+	branches map[int32]*decisionTrie
 	leaf     bool
 	report   *verify.Report
 }
@@ -284,23 +278,29 @@ func newFusedEngine(repo network.Repository, table *policy.Table,
 		stats = &FusedStats{}
 	}
 	eng := &fusedEngine{
-		repo:      repo,
-		table:     table,
-		loc:       loc,
-		client:    client,
-		opts:      opts,
-		cache:     cache,
-		tab:       cache.Interner(),
-		stats:     stats,
-		locations: repo.Locations(),
-		bodies:    map[hexpr.RequestID]hexpr.Expr{},
-		cands:     map[hexpr.RequestID][]hexpr.Location{},
-		nodes:     map[nodeKey]*fnode{},
+		repo:       repo,
+		table:      table,
+		loc:        loc,
+		client:     client,
+		opts:       opts,
+		cache:      cache,
+		tab:        cache.Interner(),
+		stats:      stats,
+		monCT:      table.Compiled(),
+		concurrent: opts.Workers > 1,
+		locations:  repo.Locations(),
+		bodies:     map[hexpr.RequestID]hexpr.Expr{},
+		cands:      map[hexpr.RequestID][]hexpr.Location{},
+		leaves:     map[uint64]*ctree{},
 	}
 	eng.locIDs = make(map[hexpr.Location]intern.ID, len(eng.locations)+1)
 	eng.locIDs[loc] = eng.tab.Key(string(loc))
-	for _, l := range eng.locations {
+	eng.locIdx = make(map[hexpr.Location]int32, len(eng.locations))
+	eng.services = make([]hexpr.Expr, len(eng.locations))
+	for i, l := range eng.locations {
 		eng.locIDs[l] = eng.tab.Key(string(l))
+		eng.locIdx[l] = int32(i)
+		eng.services[i] = repo[l]
 	}
 	record := func(list []pendingReq) {
 		for _, p := range list {
@@ -319,8 +319,32 @@ func newFusedEngine(repo network.Repository, table *policy.Table,
 		eng.locReqs[l] = hexpr.Requests(repo[l])
 		record(eng.locPending[l])
 	}
-	startTree := network.Leaf{Loc: loc, Expr: client}
-	eng.start = eng.node(startTree, eng.internSkel(startTree), history.NewMonitor(table))
+	// Dense request index space: every request of the world, in sorted
+	// order, so plan maps compile to int32 vectors (planVec).
+	reqs := make([]string, 0, len(eng.bodies))
+	for r := range eng.bodies {
+		reqs = append(reqs, string(r))
+	}
+	sort.Strings(reqs)
+	eng.reqIdx = make(map[hexpr.RequestID]int32, len(reqs))
+	for i, r := range reqs {
+		eng.reqIdx[hexpr.RequestID(r)] = int32(i)
+	}
+	eng.nReq = len(reqs)
+	toIdx := func(list []pendingReq) []pendEntry {
+		out := make([]pendEntry, len(list))
+		for i, p := range list {
+			out[i] = pendEntry{req: p.req, reqIdx: eng.reqIdx[p.req], body: p.body}
+		}
+		return out
+	}
+	eng.clientPendIdx = toIdx(eng.clientPending)
+	eng.locPendIdx = make([][]pendEntry, len(eng.locations))
+	for i, l := range eng.locations {
+		eng.locPendIdx[i] = toIdx(eng.locPending[l])
+	}
+	mon := history.NewMonitor(table)
+	eng.start = eng.node(eng.leaf(loc, eng.locIDs[loc], client), mon, eng.tab.Key(mon.Signature()))
 	return eng
 }
 
@@ -352,31 +376,195 @@ func (eng *fusedEngine) candidates(req hexpr.RequestID) ([]hexpr.Location, error
 	return locs, nil
 }
 
-// node interns (tree, monitor) into the shared graph, creating the node on
-// first sight. The tree is keyed through its precomputed skeleton (sk.id ==
-// verify.InternTree of the tree), and the monitor's signature is computed
-// here — before the node is published through the map mutex — so readers
-// in other goroutines never race on the signature cache.
-func (eng *fusedEngine) node(tree network.Node, sk *skel, mon *history.Monitor) *fnode {
-	k := nodeKey{
-		tree: sk.id,
-		sig:  eng.tab.Key(mon.Signature()),
+// narena bump-allocates fnodes in 4096-entry blocks, addressable by dense
+// index (fnode.idx doubles as the arena index), under nodeMu. Besides
+// removing per-object malloc/GC costs, it lays the nodes out in creation
+// order, which is close to BFS order — the order replays touch them.
+type narena struct {
+	blocks [][]fnode
+	n      int32
+}
+
+func (a *narena) alloc() (*fnode, int32) {
+	if a.n>>arenaShift == int32(len(a.blocks)) {
+		a.blocks = append(a.blocks, make([]fnode, 0, 1<<arenaShift))
 	}
-	eng.nodeMu.Lock()
-	defer eng.nodeMu.Unlock()
-	if n, ok := eng.nodes[k]; ok {
+	b := &a.blocks[len(a.blocks)-1]
+	*b = append(*b, fnode{})
+	i := a.n
+	a.n++
+	return &(*b)[len(*b)-1], i
+}
+
+func (a *narena) at(i int32) *fnode {
+	return &a.blocks[i>>arenaShift][i&(1<<arenaShift-1)]
+}
+
+// node interns (tree, monitor) into the shared graph, creating the node on
+// first sight. The caller supplies the interned monitor signature —
+// computed once per move group, before the node is published through the
+// map mutex, so readers in other goroutines never race on the signature
+// cache. The tree's one-entry node cache answers repeat lookups (the vast
+// majority: worlds have few distinct signatures per tree) without the map.
+func (eng *fusedEngine) node(ct *ctree, mon *history.Monitor, sigID intern.ID) *fnode {
+	if n := ct.nd.Load(); n != nil && n.sigID == sigID {
 		return n
 	}
-	n := &fnode{key: k, tree: tree, sk: sk, mon: mon, done: network.Done(tree), idx: int32(len(eng.nodes))}
-	eng.nodes[k] = n
+	k := intern.Pack(ct.id, sigID)
+	if eng.concurrent {
+		eng.nodeMu.Lock()
+		defer eng.nodeMu.Unlock()
+	}
+	i, slot, ok := eng.nodes.getOrSlot(k)
+	if ok {
+		n := eng.nodeArena.at(i)
+		ct.nd.Store(n)
+		return n
+	}
+	n, idx := eng.nodeArena.alloc()
+	n.ct = ct
+	n.mon = mon
+	n.sigID = sigID
+	n.done = ct.left == nil && hexpr.IsNil(ct.lp.expr)
+	n.idx = idx
+	eng.nodes.putAt(slot, k, idx)
+	ct.nd.Store(n)
 	return n
 }
 
-// ensureExpanded computes the node's outgoing groups once: the lazy move
-// relation, one monitor advance per group (candidates share their items),
-// and the successor nodes. Every plan whose replay reaches this state
-// reuses the result.
-func (n *fnode) ensureExpanded(eng *fusedEngine, ar *skelArena) error {
+// advance computes the monitor of a move group: shared with the
+// predecessor when the items are provably inert (nothing to re-key, sigID
+// inherited), a fresh snapshot advanced over the items otherwise. A
+// violation is a per-group fact (the candidates of an open share their
+// items). The returned sigID is the interned signature of the returned
+// monitor.
+func (eng *fusedEngine) advance(n *fnode, items []history.Item, inert bool) (
+	mon *history.Monitor, sigID intern.ID, violation hexpr.PolicyID, err error) {
+
+	if len(items) == 0 || inert {
+		return n.mon, n.sigID, hexpr.NoPolicy, nil
+	}
+	mon = n.mon.Snapshot()
+	for _, it := range items {
+		if aerr := mon.Append(it); aerr != nil {
+			if verr, ok := aerr.(*history.ViolationError); ok {
+				return nil, 0, verr.Policy, nil
+			}
+			return nil, 0, hexpr.NoPolicy, fmt.Errorf("verify: unexpected monitor error: %w", aerr)
+		}
+	}
+	return mon, eng.tab.Key(mon.Signature()), hexpr.NoPolicy, nil
+}
+
+// buildGroups computes the outgoing move groups of the node from the
+// compiled rows, in the exact order of network.treeMovesLazyInto: for a
+// pair, the left subtree's moves (successors lifted through the shared
+// right sibling), then the right's (symmetrically), then the Synch/Close
+// moves of leaf pairs. Child rows come cached from treeRowFor — only the
+// top-level lift (one pairFor per move) is done here, because a node's
+// root tree is almost always unique to it (caching root rows was tried
+// and lost: the extra row per root inflated the live heap for no reuse).
+// Each group costs one monitor advance (candidates share their items) and
+// one successor-node interning per edge. The groups are returned, not
+// published: the caller owns the partial-expansion retry semantics.
+func (eng *fusedEngine) buildGroups(n *fnode) ([]fgroup, error) {
+	var out []fgroup
+	var edges uint64 // flushed to the shared stats in one add
+	defer func() {
+		if edges > 0 {
+			atomic.AddUint64(&eng.stats.EdgesBuilt, edges)
+		}
+	}()
+	// side 0: successor is already the whole tree (root is a leaf, or a
+	// Synch/Close collapsing the root pair). side 1/2: the move evolved
+	// the left/right child and the successor is lifted over the sibling.
+	emit := func(moves []cleafMove, side int) error {
+		for i := range moves {
+			mv := &moves[i]
+			fg := fgroup{label: mv.label}
+			mon, sigID, violation, err := eng.advance(n, mv.moveItems(), mv.inert)
+			if err != nil {
+				return err
+			}
+			if violation != hexpr.NoPolicy {
+				fg.ext = &fgext{reqIdx: mv.reqIdx, violation: violation}
+			} else {
+				lift := func(s *ctree) *ctree {
+					switch side {
+					case 1:
+						return eng.pairFor(s, n.ct.right)
+					case 2:
+						return eng.pairFor(n.ct.left, s)
+					}
+					return s
+				}
+				if mv.reqIdx < 0 {
+					fg.next = eng.node(lift(mv.next), mon, sigID)
+					edges++
+					// The return value is deliberately dropped: the per-state
+					// charge at the next pop observes the sticky exhaustion.
+					eng.opts.Budget.ConsumeEdges(1)
+				} else {
+					// locIdxs shared: candidate sets are plan-independent.
+					ext := &fgext{reqIdx: mv.reqIdx, violation: hexpr.NoPolicy,
+						locIdxs: mv.ext.locIdxs, cnexts: make([]*fnode, len(mv.ext.cnexts))}
+					for ci, c := range mv.ext.cnexts {
+						ext.cnexts[ci] = eng.node(lift(c), mon, sigID)
+					}
+					fg.ext = ext
+					edges += uint64(len(mv.ext.cnexts))
+					eng.opts.Budget.ConsumeEdges(int64(len(mv.ext.cnexts)))
+				}
+			}
+			out = append(out, fg)
+		}
+		return nil
+	}
+	t := n.ct
+	if t.left == nil {
+		row, err := eng.rowFor(t)
+		if err != nil {
+			return nil, err
+		}
+		out = make([]fgroup, 0, len(row.moves))
+		if err := emit(row.moves, 0); err != nil {
+			return nil, err
+		}
+		return out, nil
+	}
+	lrow, err := eng.treeRowFor(t.left)
+	if err != nil {
+		return nil, err
+	}
+	rrow, err := eng.treeRowFor(t.right)
+	if err != nil {
+		return nil, err
+	}
+	// Synch/Close moves of a bottomed-out session. The root pair is unique
+	// to this node, so the moves go straight into the groups (via a
+	// scratch row) instead of being cached on the ctree.
+	var scratch leafRow
+	if t.left.left == nil && t.right.left == nil {
+		eng.pairMovesInto(&scratch, t.left, t.right)
+	}
+	out = make([]fgroup, 0, len(lrow.moves)+len(rrow.moves)+len(scratch.moves))
+	if err := emit(lrow.moves, 1); err != nil {
+		return nil, err
+	}
+	if err := emit(rrow.moves, 2); err != nil {
+		return nil, err
+	}
+	if err := emit(scratch.moves, 0); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// ensureExpanded computes the node's outgoing groups once: the compiled
+// move relation, one monitor advance per group (candidates share their
+// items), and the successor nodes. Every plan whose replay reaches this
+// state reuses the result.
+func (n *fnode) ensureExpanded(eng *fusedEngine) error {
 	if n.ready.Load() {
 		return n.err
 	}
@@ -394,60 +582,17 @@ func (n *fnode) ensureExpanded(eng *fusedEngine, ar *skelArena) error {
 		return n.err
 	}
 	if faultinject.Enabled() {
-		faultinject.Fire(faultinject.FusedExpand, n.tree.Key())
-	}
-	groups, err := network.TreeMovesLazy(n.tree, eng.repo, eng.candidates, eng.cache.Steps)
-	if err != nil {
-		n.expanded, n.err = true, err
-		n.ready.Store(true)
-		return err
+		faultinject.Fire(faultinject.FusedExpand, n.ct.treeKey())
 	}
 	// Built groups accumulate in a local slice published only on success:
 	// if a panic (injected or genuine) unwinds mid-expansion, the node
 	// stays unexpanded and a sibling plan's retry rebuilds from scratch
 	// instead of appending duplicates after a partial n.groups.
-	built := make([]fgroup, 0, len(groups))
-	for _, g := range groups {
-		fg := fgroup{label: g.Moves[0].Label, req: g.Req, violation: hexpr.NoPolicy}
-		mon := n.mon
-		// Inert items (plain events under an empty policy table) cannot
-		// change the signature or violate, so the monitor is shared like
-		// an item-less move instead of snapshotted.
-		if items := g.Moves[0].Items; len(items) > 0 && !n.mon.InertFor(items) {
-			mon = n.mon.Snapshot()
-			for _, it := range items {
-				if err := mon.Append(it); err != nil {
-					if verr, ok := err.(*history.ViolationError); ok {
-						fg.violation = verr.Policy
-					} else {
-						n.expanded = true
-						n.err = fmt.Errorf("verify: unexpected monitor error: %w", err)
-						n.ready.Store(true)
-						return n.err
-					}
-					break
-				}
-			}
-		}
-		if fg.violation == hexpr.NoPolicy {
-			if g.Req == "" {
-				sk := eng.internDiff(ar, g.Moves[0].Tree, n.tree, n.sk)
-				fg.next = eng.node(g.Moves[0].Tree, sk, mon)
-				atomic.AddUint64(&eng.stats.EdgesBuilt, 1)
-				// The return value is deliberately dropped: the per-state
-				// charge at the next pop observes the sticky exhaustion.
-				eng.opts.Budget.ConsumeEdges(1)
-			} else {
-				fg.cands = make([]fcand, 0, len(g.Moves))
-				for _, m := range g.Moves {
-					sk := eng.internDiff(ar, m.Tree, n.tree, n.sk)
-					fg.cands = append(fg.cands, fcand{loc: m.OpenLoc, next: eng.node(m.Tree, sk, mon)})
-				}
-				atomic.AddUint64(&eng.stats.EdgesBuilt, uint64(len(g.Moves)))
-				eng.opts.Budget.ConsumeEdges(int64(len(g.Moves)))
-			}
-		}
-		built = append(built, fg)
+	built, err := eng.buildGroups(n)
+	if err != nil {
+		n.expanded, n.err = true, err
+		n.ready.Store(true)
+		return err
 	}
 	n.groups = built
 	n.expanded = true
@@ -487,31 +632,63 @@ type pmove struct {
 
 // replayer holds one worker's reusable replay scratch: the epoch-stamped
 // visited array (indexed by fnode.idx — a slot access instead of a map
-// operation per visit), BFS ring, projected-move buffer and decision
-// accumulators persist across plans, so assessing the n-th plan of a large
-// family allocates almost nothing.
+// operation per visit), BFS ring, projected-move buffer, the dense plan
+// vector, decision accumulators and compliance matrix persist across
+// plans, so assessing the n-th plan of a large family allocates almost
+// nothing.
 type replayer struct {
 	visited []rvis
 	epoch   uint32
 	queue   ring.Queue[*fnode]
 	moves   []pmove
-	used    []decision
-	usedSet map[hexpr.RequestID]bool
-	// seen is the dedup set of the static compliance walk.
-	seen map[hexpr.RequestID]bool
+	// vec is the dense plan vector: vec[reqIdx] = locIdx, or -1 when the
+	// request is unbound (or bound outside the world — same behaviour).
+	vec []int32
+	// used accumulates the binding decisions the replay consulted, in
+	// consultation order; usedMark dedups them per replay epoch.
+	used     []decision
+	usedMark []uint32
+	// seenMark/seenEpoch dedup the static compliance walk; compl is the
+	// per-worker compliance matrix (reqIdx*nLoc + locIdx → 0 unknown,
+	// 1 compliant, 2 non-compliant), lazily filled from the shared cache
+	// so the steady-state walk does no hashing at all.
+	seenMark  []uint32
+	seenEpoch uint32
+	compl     []int8
 	// states counts this replay's visits, flushed to the shared stats in
 	// one atomic add per plan.
 	states uint64
-	// arena block-allocates the skeleton nodes minted by expansions this
-	// worker wins.
-	arena skelArena
 }
 
-func newReplayer() *replayer {
+func (eng *fusedEngine) newReplayer() *replayer {
 	return &replayer{
-		usedSet: map[hexpr.RequestID]bool{},
-		seen:    map[hexpr.RequestID]bool{},
+		vec:      make([]int32, eng.nReq),
+		usedMark: make([]uint32, eng.nReq),
+		seenMark: make([]uint32, eng.nReq),
+		compl:    make([]int8, eng.nReq*len(eng.locations)),
 	}
+}
+
+// planVec compiles the plan map into the replayer's dense vector:
+// vec[reqIdx] = locIdx of the bound location, -1 when unbound or bound
+// outside the repository (both make opens not enabled and the compliance
+// walk skip, exactly as in the map-based walk).
+func (eng *fusedEngine) planVec(plan network.Plan, vec []int32) []int32 {
+	for i := range vec {
+		vec[i] = -1
+	}
+	for req, loc := range plan {
+		ri, ok := eng.reqIdx[req]
+		if !ok {
+			continue
+		}
+		li, ok := eng.locIdx[loc]
+		if !ok {
+			continue
+		}
+		vec[ri] = li
+	}
+	return vec
 }
 
 // slot returns the visited slot of n, growing the array when expansion has
@@ -538,7 +715,7 @@ func (r *replayer) trace(n *fnode) []network.TraceEntry {
 	out := make([]network.TraceEntry, depth)
 	for p := r.visited[n.idx]; p.prev != nil; p = r.visited[p.prev.idx] {
 		depth--
-		out[depth] = network.TraceEntry{Label: p.prev.groups[p.gi].label}
+		out[depth] = network.TraceEntry{Label: *p.prev.groups[p.gi].label}
 	}
 	return out
 }
@@ -547,12 +724,12 @@ func (r *replayer) trace(n *fnode) []network.TraceEntry {
 // BFS over the projection that keeps, in every open group, the candidate
 // the plan selects. It visits exactly the states verify.CheckPlanOpts
 // would (same keying, same move order), so verdicts, witnesses, traces and
-// even state counts coincide — but each visit is a map lookup over
-// prebuilt edges. The binding decisions consulted, in consultation order,
-// are left in r.used for the replay memo.
-func (eng *fusedEngine) replay(plan network.Plan, r *replayer) (*verify.Report, error) {
+// even state counts coincide — but each visit is an indexed-slot lookup
+// over prebuilt edges, and every binding consultation is an int32 vector
+// read. The binding decisions consulted, in consultation order, are left
+// in r.used for the replay memo.
+func (eng *fusedEngine) replay(vec []int32, r *replayer) (*verify.Report, error) {
 	r.used = r.used[:0]
-	clear(r.usedSet)
 	r.epoch++
 	r.queue.Reset()
 	r.states = 0
@@ -572,9 +749,9 @@ func (eng *fusedEngine) replay(plan network.Plan, r *replayer) (*verify.Report, 
 		n := r.queue.Pop()
 		r.states++
 		if faultinject.Enabled() {
-			faultinject.Fire(faultinject.FusedReplay, n.tree.Key())
+			faultinject.Fire(faultinject.FusedReplay, n.ct.treeKey())
 		}
-		if err := n.ensureExpanded(eng, &r.arena); err != nil {
+		if err := n.ensureExpanded(eng); err != nil {
 			var e *budget.ExhaustedError
 			if errors.As(err, &e) {
 				report.States--
@@ -585,25 +762,25 @@ func (eng *fusedEngine) replay(plan network.Plan, r *replayer) (*verify.Report, 
 		r.moves = r.moves[:0]
 		for gi := range n.groups {
 			g := &n.groups[gi]
-			if g.req == "" {
-				r.moves = append(r.moves, pmove{int32(gi), g.violation, g.next})
+			if g.ext == nil {
+				r.moves = append(r.moves, pmove{int32(gi), hexpr.NoPolicy, g.next})
 				continue
 			}
-			if g.violation != hexpr.NoPolicy {
-				// The open itself violates, whichever service it selects:
-				// no binding decision is consulted, so every plan reaching
-				// this state shares the verdict.
-				r.moves = append(r.moves, pmove{int32(gi), g.violation, nil})
+			if g.ext.violation != hexpr.NoPolicy {
+				// A violating move — if it is an open, it violates whichever
+				// service it selects: no binding decision is consulted, so
+				// every plan reaching this state shares the verdict.
+				r.moves = append(r.moves, pmove{int32(gi), g.ext.violation, nil})
 				continue
 			}
-			loc := plan[g.req]
-			if !r.usedSet[g.req] {
-				r.usedSet[g.req] = true
-				r.used = append(r.used, decision{req: g.req, loc: loc})
+			li := vec[g.ext.reqIdx]
+			if r.usedMark[g.ext.reqIdx] != r.epoch {
+				r.usedMark[g.ext.reqIdx] = r.epoch
+				r.used = append(r.used, decision{req: g.ext.reqIdx, loc: li})
 			}
-			for ci := range g.cands {
-				if g.cands[ci].loc == loc {
-					r.moves = append(r.moves, pmove{int32(gi), hexpr.NoPolicy, g.cands[ci].next})
+			for ci, cli := range g.ext.locIdxs {
+				if cli == li {
+					r.moves = append(r.moves, pmove{int32(gi), hexpr.NoPolicy, g.ext.cnexts[ci]})
 					break
 				}
 			}
@@ -614,14 +791,14 @@ func (eng *fusedEngine) replay(plan network.Plan, r *replayer) (*verify.Report, 
 		if len(r.moves) == 0 && !n.done {
 			report.Verdict = verify.CommunicationDeadlock
 			report.Trace = r.trace(n)
-			report.StuckTree = n.tree.Key()
+			report.StuckTree = n.ct.treeKey()
 			return report, nil
 		}
 		for _, m := range r.moves {
 			if m.violation != hexpr.NoPolicy {
 				report.Verdict = verify.SecurityViolation
 				report.Policy = m.violation
-				report.Trace = append(r.trace(n), network.TraceEntry{Label: n.groups[m.gi].label})
+				report.Trace = append(r.trace(n), network.TraceEntry{Label: *n.groups[m.gi].label})
 				return report, nil
 			}
 			if s := r.slot(m.next); s.epoch != r.epoch {
@@ -637,7 +814,7 @@ func (eng *fusedEngine) replay(plan network.Plan, r *replayer) (*verify.Report, 
 // assessReplay returns the plan's exploration report, through the decision
 // memo: a hit costs one trie walk; a miss replays and files the report
 // under the decisions the replay consulted.
-func (eng *fusedEngine) assessReplay(plan network.Plan, r *replayer) (*verify.Report, error) {
+func (eng *fusedEngine) assessReplay(vec []int32, r *replayer) (*verify.Report, error) {
 	eng.memoMu.Lock()
 	for t := eng.memo; t != nil; {
 		if t.leaf {
@@ -646,11 +823,14 @@ func (eng *fusedEngine) assessReplay(plan network.Plan, r *replayer) (*verify.Re
 			atomic.AddUint64(&eng.stats.ReplayMemoHits, 1)
 			return &rep, nil
 		}
-		t = t.branches[plan[t.req]]
+		if t.req < 0 {
+			break // placeholder without a filed report yet
+		}
+		t = t.branches[vec[t.req]]
 	}
 	eng.memoMu.Unlock()
 
-	report, err := eng.replay(plan, r)
+	report, err := eng.replay(vec, r)
 	atomic.AddUint64(&eng.stats.ReplayStates, r.states)
 	if err != nil {
 		return nil, err
@@ -665,25 +845,25 @@ func (eng *fusedEngine) assessReplay(plan network.Plan, r *replayer) (*verify.Re
 	eng.memoMu.Lock()
 	node := eng.memo
 	if node == nil {
-		node = &decisionTrie{}
+		node = &decisionTrie{req: -1}
 		eng.memo = node
 	}
 	for _, d := range r.used {
 		if node.leaf {
 			break // concurrent duplicate replay already filed a report
 		}
-		if node.req == "" {
+		if node.req < 0 {
 			node.req = d.req
-			node.branches = map[hexpr.Location]*decisionTrie{}
+			node.branches = map[int32]*decisionTrie{}
 		}
 		child := node.branches[d.loc]
 		if child == nil {
-			child = &decisionTrie{}
+			child = &decisionTrie{req: -1}
 			node.branches[d.loc] = child
 		}
 		node = child
 	}
-	if !node.leaf && node.req == "" {
+	if !node.leaf && node.req < 0 {
 		node.leaf = true
 		node.report = report
 	}
@@ -697,9 +877,11 @@ func (eng *fusedEngine) assessReplay(plan network.Plan, r *replayer) (*verify.Re
 // per-expression request lists, and the compliance check traverses the
 // precollected sessions in the depth-first, first-occurrence order of
 // verify.PlannedRequests — same first failure, same witness strings, no
-// per-plan expression walks. The equivalence property test pins the
-// parity.
-func (eng *fusedEngine) staticCheck(plan network.Plan, r *replayer) (*verify.Report, error) {
+// per-plan expression walks. Compliance verdicts come from the replayer's
+// dense matrix (the shared cache is consulted once per distinct cell, and
+// again only on the failure path, to fetch the witness string). The
+// equivalence property test pins the parity.
+func (eng *fusedEngine) staticCheck(plan network.Plan, vec []int32, r *replayer) (*verify.Report, error) {
 	if !eng.cycleFree {
 		succ := func(n hexpr.Location) []hexpr.Location {
 			reqs := eng.locReqs[n]
@@ -721,40 +903,51 @@ func (eng *fusedEngine) staticCheck(plan network.Plan, r *replayer) (*verify.Rep
 			}, nil
 		}
 	}
-	clear(r.seen)
-	var walk func(list []pendingReq) (*verify.Report, error)
-	walk = func(list []pendingReq) (*verify.Report, error) {
+	r.seenEpoch++
+	nLoc := len(eng.locations)
+	var walk func(list []pendEntry) (*verify.Report, error)
+	walk = func(list []pendEntry) (*verify.Report, error) {
 		for _, s := range list {
-			if r.seen[s.req] {
+			if r.seenMark[s.reqIdx] == r.seenEpoch {
 				continue
 			}
-			r.seen[s.req] = true
-			loc, bound := plan[s.req]
-			if !bound {
-				continue // the exploration reports the deadlock with a trace
+			r.seenMark[s.reqIdx] = r.seenEpoch
+			li := vec[s.reqIdx]
+			if li < 0 {
+				continue // unbound: the exploration reports the deadlock with a trace
 			}
-			svc, present := eng.repo[loc]
-			if !present {
-				continue
+			cell := int(s.reqIdx)*nLoc + int(li)
+			c := r.compl[cell]
+			if c == 0 {
+				ok, _, err := eng.cache.Compliance(s.body, eng.services[li])
+				if err != nil {
+					return nil, err
+				}
+				if ok {
+					c = 1
+				} else {
+					c = 2
+				}
+				r.compl[cell] = c
 			}
-			ok, witness, err := eng.cache.Compliance(s.body, svc)
-			if err != nil {
-				return nil, err
-			}
-			if !ok {
+			if c == 2 {
+				_, witness, err := eng.cache.Compliance(s.body, eng.services[li])
+				if err != nil {
+					return nil, err
+				}
 				return &verify.Report{
 					Verdict: verify.NotCompliant,
 					Request: s.req,
-					Witness: fmt.Sprintf("service at %s: %s", loc, witness),
+					Witness: fmt.Sprintf("service at %s: %s", eng.locations[li], witness),
 				}, nil
 			}
-			if rep, err := walk(eng.locPending[loc]); err != nil || rep != nil {
+			if rep, err := walk(eng.locPendIdx[li]); err != nil || rep != nil {
 				return rep, err
 			}
 		}
 		return nil, nil
 	}
-	return walk(eng.clientPending)
+	return walk(eng.clientPendIdx)
 }
 
 // computeCycleSkip decides whether per-plan cycle detection is needed: it
@@ -811,15 +1004,19 @@ func (eng *fusedEngine) computeCycleSkip() error {
 
 // assess produces one plan's assessment: the static prechecks (mirroring
 // verify.CheckPlanOpts, so witnesses are identical by construction), then
-// the memoised replay.
-func (eng *fusedEngine) assess(plan network.Plan, r *replayer) (Assessment, error) {
+// the memoised replay. The plan is compiled to its dense vector once and
+// both phases index it.
+func (eng *fusedEngine) assess(plan network.Plan, vec []int32, r *replayer) (Assessment, error) {
 	atomic.AddUint64(&eng.stats.PlansAssessed, 1)
-	if rep, err := eng.staticCheck(plan, r); err != nil {
+	if vec == nil {
+		vec = eng.planVec(plan, r.vec)
+	}
+	if rep, err := eng.staticCheck(plan, vec, r); err != nil {
 		return Assessment{}, err
 	} else if rep != nil {
 		return Assessment{Plan: plan, Report: rep}, nil
 	}
-	report, err := eng.assessReplay(plan, r)
+	report, err := eng.assessReplay(vec, r)
 	if err != nil {
 		return Assessment{}, err
 	}
@@ -831,17 +1028,18 @@ func (eng *fusedEngine) assess(plan network.Plan, r *replayer) (Assessment, erro
 // genuine) becomes a typed *budget.InternalError whose Unit is the plan
 // key, the plan's verdict degrades to Unknown, and the error is returned
 // alongside the assessment so the caller can report it after the rest of
-// the fleet finishes. The replayer stays reusable: replay and staticCheck
-// reset every piece of scratch state at entry.
-func (eng *fusedEngine) assessGuarded(plan network.Plan, r *replayer) (Assessment, error) {
-	key := plan.Key()
+// the fleet finishes. The plan key is rendered lazily — only fault
+// injection and the panic path pay the map-sort-format cost. The replayer
+// stays reusable: replay and staticCheck reset every piece of scratch
+// state at entry.
+func (eng *fusedEngine) assessGuarded(plan network.Plan, vec []int32, r *replayer) (Assessment, error) {
 	var a Assessment
-	err := budget.Guard("plan "+key, func() error {
+	err := budget.GuardLazy(func() string { return "plan " + plan.Key() }, func() error {
 		if faultinject.Enabled() {
-			faultinject.Fire(faultinject.PlansWorker, key)
+			faultinject.Fire(faultinject.PlansWorker, plan.Key())
 		}
 		var err error
-		a, err = eng.assess(plan, r)
+		a, err = eng.assess(plan, vec, r)
 		return err
 	})
 	if err != nil {
@@ -857,19 +1055,43 @@ func (eng *fusedEngine) assessGuarded(plan network.Plan, r *replayer) (Assessmen
 
 // enumerate mirrors the legacy enumerator exactly — same candidate order,
 // same pruning, same MaxPlans semantics — so both engines assess the same
-// plans. Pruned bindings are counted in the stats.
-func (eng *fusedEngine) enumerate() ([]network.Plan, error) {
+// plans. The pending lists of every recursion level share one growing
+// buffer: a child appends its service's sessions at the tail and the
+// parent truncates on backtrack, so the traversal order matches the
+// rest-then-locPending concatenation of the legacy enumerator while
+// enumeration allocates only the returned plans. Pruned bindings are
+// counted in the stats.
+// Alongside each plan map it emits the plan's dense vector (the planVec
+// compilation, built incrementally during the walk), so assessment never
+// iterates the plan maps.
+func (eng *fusedEngine) enumerate() ([]network.Plan, [][]int32, error) {
 	var out []network.Plan
-	var expand func(plan network.Plan, pending []pendingReq) error
-	expand = func(plan network.Plan, pending []pendingReq) error {
-		for len(pending) > 0 {
-			if _, ok := plan[pending[0].req]; ok {
-				pending = pending[1:]
+	var vecs [][]int32
+	plan := network.Plan{}
+	cur := make([]int32, eng.nReq)
+	for i := range cur {
+		cur[i] = -1
+	}
+	buf := append([]pendingReq(nil), eng.clientPending...)
+	// Local memo of the compliance probe, indexed (request, candidate):
+	// backtracking re-asks the same pair on every branch — millions of
+	// times on deep workloads — and even a memo.Cache hit pays interning
+	// plus a sharded-table read each time. One byte per pair caps that at
+	// one cache round-trip per distinct pair (0 unknown, 1 ok, 2 pruned).
+	var probe []int8
+	if eng.opts.PruneNonCompliant {
+		probe = make([]int8, eng.nReq*len(eng.locations))
+	}
+	var expand func(start int) error
+	expand = func(start int) error {
+		for start < len(buf) {
+			if _, ok := plan[buf[start].req]; ok {
+				start++ // already bound (repeated request in scope)
 				continue
 			}
 			break
 		}
-		if len(pending) == 0 {
+		if start == len(buf) {
 			if eng.opts.MaxPlans > 0 && len(out) >= eng.opts.MaxPlans {
 				return fmt.Errorf("plans: more than %d complete plans", eng.opts.MaxPlans)
 			}
@@ -877,34 +1099,48 @@ func (eng *fusedEngine) enumerate() ([]network.Plan, error) {
 				return errStopEnumeration
 			}
 			out = append(out, plan.Clone())
+			vecs = append(vecs, append([]int32(nil), cur...))
 			return nil
 		}
-		head, rest := pending[0], pending[1:]
-		for _, l := range eng.locations {
-			service := eng.repo[l]
+		head := buf[start]
+		ri := eng.reqIdx[head.req]
+		for li, l := range eng.locations {
 			if eng.opts.PruneNonCompliant {
-				ok, err := eng.cache.Compliant(head.body, service)
-				if err != nil {
-					return err
+				p := &probe[int(ri)*len(eng.locations)+li]
+				if *p == 0 {
+					ok, err := eng.cache.Compliant(head.body, eng.repo[l])
+					if err != nil {
+						return err
+					}
+					if ok {
+						*p = 1
+					} else {
+						*p = 2
+					}
 				}
-				if !ok {
+				if *p == 2 {
 					atomic.AddUint64(&eng.stats.BindingsPruned, 1)
 					continue
 				}
 			}
 			plan[head.req] = l
-			newPending := append(append([]pendingReq(nil), rest...), eng.locPending[l]...)
-			if err := expand(plan, newPending); err != nil {
+			cur[ri] = int32(li)
+			mark := len(buf)
+			buf = append(buf, eng.locPending[l]...)
+			err := expand(start + 1)
+			buf = buf[:mark]
+			delete(plan, head.req)
+			cur[ri] = -1
+			if err != nil {
 				return err
 			}
-			delete(plan, head.req)
 		}
 		return nil
 	}
-	if err := expand(network.Plan{}, eng.clientPending); err != nil && err != errStopEnumeration {
-		return nil, err
+	if err := expand(0); err != nil && err != errStopEnumeration {
+		return nil, nil, err
 	}
-	return out, nil
+	return out, vecs, nil
 }
 
 // AssessStream enumerates every complete plan for the client and streams
@@ -918,21 +1154,103 @@ func AssessStream(repo network.Repository, table *policy.Table,
 	loc hexpr.Location, client hexpr.Expr, opts Options,
 	yield func(Assessment) error) error {
 
+	return assessStream(repo, table, loc, client, opts, yield, nil)
+}
+
+// planKeys builds every enumerated plan's network.Plan.Key without
+// touching the plan maps: the "req>loc" fragments are precomputed per
+// (request, candidate) pair and concatenated in sorted-request order,
+// skipping unbound requests. Byte-identical to Plan.Key — the
+// cross-engine equivalence tests pin the resulting sort order against
+// the legacy engine, which sorts on the map-built keys.
+func (eng *fusedEngine) planKeys(vecs [][]int32) []string {
+	names := make([]string, eng.nReq)
+	for r, i := range eng.reqIdx {
+		names[i] = string(r)
+	}
+	order := make([]int32, eng.nReq)
+	for i := range order {
+		order[i] = int32(i)
+	}
+	sort.Slice(order, func(a, b int) bool { return names[order[a]] < names[order[b]] })
+	frags := make([][]string, eng.nReq)
+	for ri := range frags {
+		fs := make([]string, len(eng.locations))
+		for li, l := range eng.locations {
+			fs[li] = names[ri] + ">" + string(l)
+		}
+		frags[ri] = fs
+	}
+	keys := make([]string, len(vecs))
+	var buf []byte
+	for vi, vec := range vecs {
+		buf = append(buf[:0], '{')
+		first := true
+		for _, ri := range order {
+			li := vec[ri]
+			if li < 0 {
+				continue
+			}
+			if !first {
+				buf = append(buf, ',')
+			}
+			first = false
+			buf = append(buf, frags[ri][li]...)
+		}
+		buf = append(buf, '}')
+		keys[vi] = string(buf)
+	}
+	return keys
+}
+
+// assessStream is AssessStream with a side channel: when keys is non-nil
+// it receives the enumerated plans' Plan.Keys (planKeys), aligned with
+// the yield order — every enumerated plan is yielded exactly once, also
+// under budget exhaustion and isolated worker panics. AssessAll sorts on
+// them instead of rebuilding each key from its plan map.
+func assessStream(repo network.Repository, table *policy.Table,
+	loc hexpr.Location, client hexpr.Expr, opts Options,
+	yield func(Assessment) error, keys *[]string) error {
+
 	eng := newFusedEngine(repo, table, loc, client, opts)
-	plans, err := eng.enumerate()
+	plans, vecs, err := eng.enumerate()
 	if err != nil {
 		return err
+	}
+	if keys != nil {
+		*keys = eng.planKeys(vecs)
+	}
+	// Presize the canonical-pair and node tables now that the workload
+	// scale is known: the explored graph grows with plans × requests, and
+	// letting the tables double their way up instead was a third of the
+	// engine's allocated bytes (see u64map.reserve). The cap keeps a wide
+	// plan space with a small shared graph from over-allocating — beyond
+	// it, organic growth takes over.
+	if n := len(plans) * eng.nReq; n > 0 {
+		const maxReserve = 1 << 21
+		eng.pairs.reserve(min(2*n, 2*maxReserve))
+		eng.nodes.reserve(min(n, maxReserve/2))
 	}
 	if err := eng.computeCycleSkip(); err != nil {
 		return err
 	}
-	if opts.Workers > 1 && len(plans) > 1 {
-		return eng.runParallel(plans, yield)
+	if opts.Workers > 1 && len(plans) > serialAssessThreshold {
+		if eng.cycleFree {
+			// Warm the shared graph with the sharded parallel frontier
+			// before the replay fleet starts; an acyclic union call graph
+			// bounds it (see expandSharded).
+			eng.expandSharded()
+		}
+		return eng.runParallel(plans, vecs, yield)
 	}
-	r := newReplayer()
+	// Serial fallback: below the threshold the fleet costs more than the
+	// work (see serialAssessThreshold). No goroutine will touch the graph,
+	// so the engine also drops the canonical-table locking.
+	eng.concurrent = false
+	r := eng.newReplayer()
 	var firstInternal *budget.InternalError
-	for _, p := range plans {
-		a, err := eng.assessGuarded(p, r)
+	for i, p := range plans {
+		a, err := eng.assessGuarded(p, vecs[i], r)
 		if err != nil {
 			var ie *budget.InternalError
 			if !errors.As(err, &ie) {
@@ -956,7 +1274,7 @@ func AssessStream(repo network.Repository, table *policy.Table,
 // shared graph, delivering results to yield in enumeration order through a
 // reorder buffer. Work-stealing is implicit: workers pull the next plan
 // index as they free up, so an expensive replay never stalls the others.
-func (eng *fusedEngine) runParallel(plans []network.Plan, yield func(Assessment) error) error {
+func (eng *fusedEngine) runParallel(plans []network.Plan, vecs [][]int32, yield func(Assessment) error) error {
 	type res struct {
 		idx int
 		a   Assessment
@@ -971,9 +1289,9 @@ func (eng *fusedEngine) runParallel(plans []network.Plan, yield func(Assessment)
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			r := newReplayer()
+			r := eng.newReplayer()
 			for i := range jobs {
-				a, err := eng.assessGuarded(plans[i], r)
+				a, err := eng.assessGuarded(plans[i], vecs[i], r)
 				select {
 				case results <- res{idx: i, a: a, err: err}:
 				case <-stop:

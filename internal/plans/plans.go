@@ -80,17 +80,26 @@ func AssessAll(repo network.Repository, table *policy.Table,
 	if opts.Engine == EngineLegacy {
 		return assessAllLegacy(repo, table, loc, client, opts)
 	}
+	if opts.Engine == EngineReference {
+		return assessAllReference(repo, table, loc, client, opts)
+	}
 	var out []Assessment
-	err := AssessStream(repo, table, loc, client, opts, func(a Assessment) error {
+	var keys []string
+	err := assessStream(repo, table, loc, client, opts, func(a Assessment) error {
 		out = append(out, a)
 		return nil
-	})
+	}, &keys)
 	if err != nil && !errors.As(err, new(*budget.InternalError)) {
 		return nil, err
 	}
-	keys := make([]string, len(out))
-	for i := range out {
-		keys[i] = out[i].Plan.Key()
+	if len(keys) != len(out) {
+		// Defensive only: the stream yields one assessment per enumerated
+		// plan on every surviving path, so the precomputed keys align with
+		// out. Rebuild from the plan maps if that ever stops holding.
+		keys = make([]string, len(out))
+		for i := range out {
+			keys[i] = out[i].Plan.Key()
+		}
 	}
 	sort.Sort(&byKey{keys: keys, out: out})
 	// An internal error (isolated worker panic) is returned alongside the

@@ -1,0 +1,901 @@
+// The reference engine: the shared-state-space synthesis engine exactly
+// as it stood before the compiled-automata rework (the BENCH_pr2-era
+// "fused" engine) — interpreted move stepping through
+// network.TreeMovesLazy, map-keyed node interning, skeleton diffing for
+// successor re-keying. It is kept for two jobs:
+//
+//   - an honest, same-machine baseline for the compiled engine:
+//     `benchdump -chained-compare` emits legacy / fused (this engine) /
+//     compiled series side by side, and the CI perf-smoke job fails when
+//     the compiled engine regresses below this one;
+//   - a third equivalence oracle: it shares no stepping code with either
+//     the legacy engine or the compiled engine, so agreement of all three
+//     pins the semantics from independent directions.
+//
+// It is intentionally frozen — sequential only (no worker fleet), no
+// compiled rows, no arenas — and should not be optimised: its whole value
+// is being the engine the speedup is measured against.
+package plans
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"unsafe"
+
+	"susc/internal/budget"
+	"susc/internal/faultinject"
+	"susc/internal/hexpr"
+	"susc/internal/history"
+	"susc/internal/intern"
+	"susc/internal/memo"
+	"susc/internal/network"
+	"susc/internal/policy"
+	"susc/internal/ring"
+	"susc/internal/verify"
+)
+
+type refEngine struct {
+	repo   network.Repository
+	table  *policy.Table
+	loc    hexpr.Location
+	client hexpr.Expr
+	opts   Options
+	cache  *memo.Cache
+	tab    *intern.Table
+	stats  *FusedStats
+	// locIDs pre-interns every location of the world (client + repository),
+	// read-only after construction, so keying a leaf skips the string
+	// build and shard lock of Table.Key.
+	locIDs map[hexpr.Location]intern.ID
+
+	// locations is the deterministic candidate order (sorted repository
+	// locations), shared with the legacy enumerator.
+	locations []hexpr.Location
+	// bodies maps each request of the world to its body (request
+	// identifiers are unique across a composition, Definition 1).
+	bodies map[hexpr.RequestID]hexpr.Expr
+	// clientPending/locPending hold the sessions of the client and of
+	// every service, in hexpr.Walk pre-order — computed once and shared by
+	// plan enumeration and the per-plan static compliance walk, which
+	// would otherwise re-walk the expressions for every plan.
+	clientPending []pendingReq
+	locPending    map[hexpr.Location][]pendingReq
+	// clientReqs/locReqs are the deduplicated per-expression request lists
+	// feeding the call-cycle successor function.
+	clientReqs []hexpr.RequestID
+	locReqs    map[hexpr.Location][]hexpr.RequestID
+
+	// cycleFree records that the union call graph — every request pointing
+	// at every location enumeration could bind it to — is acyclic, which
+	// proves every assessed plan acyclic (each plan's call graph is a
+	// subgraph) and lets staticCheck skip the per-plan cycle DFS. Set
+	// before workers start, read-only after.
+	cycleFree bool
+
+	candMu sync.Mutex
+	cands  map[hexpr.RequestID][]hexpr.Location
+
+	nodeMu sync.Mutex
+	nodes  map[refNodeKey]*refNode
+	start  *refNode
+
+	memoMu sync.Mutex
+	memo   *refDecisionTrie
+}
+
+// refNodeKey identifies an abstract configuration — the interned session tree
+// and monitor signature, matching verify's visited-set key.
+type refNodeKey struct {
+	tree intern.ID
+	sig  intern.ID
+}
+
+// refSkel mirrors a session tree with the interned ID of every subtree. A
+// move rebuilds only the spine from the root to the leaf that moved — the
+// untouched siblings of a successor tree are the very same boxed interface
+// values as in the predecessor — so diffing against the predecessor's
+// skeleton re-keys a successor in O(spine) instead of re-hashing every
+// leaf (internDiff). IDs agree with verify.InternTree by construction.
+type refSkel struct {
+	id          intern.ID
+	left, right *refSkel
+}
+
+// refSameBox reports whether two tree interface values share one boxed
+// representation. False negatives only cost a re-intern; equal boxes
+// always denote equal trees (trees are immutable).
+func refSameBox(a, b network.Node) bool {
+	type iface struct{ typ, data unsafe.Pointer }
+	return *(*iface)(unsafe.Pointer(&a)) == *(*iface)(unsafe.Pointer(&b))
+}
+
+func (eng *refEngine) locKey(l hexpr.Location) intern.ID {
+	if id, ok := eng.locIDs[l]; ok {
+		return id
+	}
+	return eng.tab.Key(string(l))
+}
+
+// internSkel interns a tree from scratch (the start node).
+func (eng *refEngine) internSkel(n network.Node) *refSkel {
+	switch t := n.(type) {
+	case network.Leaf:
+		return &refSkel{id: eng.tab.Node('L', eng.locKey(t.Loc), eng.tab.Expr(t.Expr))}
+	case network.Pair:
+		l, r := eng.internSkel(t.Left), eng.internSkel(t.Right)
+		return &refSkel{id: eng.tab.Node('P', l.id, r.id), left: l, right: r}
+	}
+	panic("plans: unknown tree node")
+}
+
+// refSkelArena block-allocates skeleton nodes: every refSkel built during
+// expansion stays reachable from the shared graph for the engine's
+// lifetime, so bump-allocating them in large blocks trades nothing for
+// ~one malloc per thousands of nodes. One arena per worker — expansion
+// happens under the expanding node's lock, but distinct nodes expand
+// concurrently.
+type refSkelArena struct {
+	buf []refSkel
+}
+
+func (a *refSkelArena) alloc(id intern.ID, l, r *refSkel) *refSkel {
+	if len(a.buf) == cap(a.buf) {
+		a.buf = make([]refSkel, 0, 4096)
+	}
+	a.buf = append(a.buf, refSkel{id: id, left: l, right: r})
+	return &a.buf[len(a.buf)-1]
+}
+
+// internDiff interns a successor tree against its predecessor's skeleton:
+// box-identical subtrees reuse the predecessor's skeleton nodes wholesale,
+// so only the rebuilt spine pays interning work.
+func (eng *refEngine) internDiff(ar *refSkelArena, n, prev network.Node, ps *refSkel) *refSkel {
+	if ps != nil && refSameBox(n, prev) {
+		return ps
+	}
+	switch t := n.(type) {
+	case network.Leaf:
+		return ar.alloc(eng.tab.Node('L', eng.locKey(t.Loc), eng.tab.Expr(t.Expr)), nil, nil)
+	case network.Pair:
+		var pl, pr network.Node
+		var sl, sr *refSkel
+		if pp, ok := prev.(network.Pair); ok && ps != nil {
+			pl, pr, sl, sr = pp.Left, pp.Right, ps.left, ps.right
+		}
+		l := eng.internDiff(ar, t.Left, pl, sl)
+		r := eng.internDiff(ar, t.Right, pr, sr)
+		return ar.alloc(eng.tab.Node('P', l.id, r.id), l, r)
+	}
+	panic("plans: unknown tree node")
+}
+
+// refNode is one shared graph state. The monitor is warmed (signature
+// cached) before publication and never mutated afterwards; expansion
+// advances only fresh snapshots.
+type refNode struct {
+	key  refNodeKey
+	tree network.Node
+	sk   *refSkel
+	mon  *history.Monitor
+	done bool
+	// idx is the node's dense creation index; replays key their visited
+	// arrays on it (an indexed slot instead of a map operation per visit).
+	idx int32
+
+	// ready flips once groups/err are final; replays check it lock-free
+	// (Store is the release publishing the fields, Load the acquire), so
+	// the n-th visit of an expanded node costs no mutex.
+	ready    atomic.Bool
+	mu       sync.Mutex
+	expanded bool
+	err      error
+	groups   []refGroup
+}
+
+// refGroup is one outgoing move group of an expanded node: a concrete move
+// (req == "", one successor) or a lazy open (one successor per compliant
+// candidate, in candidate order). The monitor items of a group are shared
+// by all its candidates, so violation is a per-group fact.
+type refGroup struct {
+	label     hexpr.Label
+	req       hexpr.RequestID
+	violation hexpr.PolicyID
+	next      *refNode  // concrete groups (nil when the move violates)
+	cands     []refCand // open groups
+}
+
+type refCand struct {
+	loc  hexpr.Location
+	next *refNode
+}
+
+// refDecision is one binding consulted during a replay, in consultation
+// order.
+type refDecision struct {
+	req hexpr.RequestID
+	loc hexpr.Location
+}
+
+// refDecisionTrie memoises replay reports on the ordered binding decisions
+// the replay consulted. Plans agreeing on a replay's consulted decisions
+// explore the very same projection of the graph, so they share its report;
+// a plan that fails before its later bindings are ever consulted stands in
+// for the whole (possibly exponential) family of plans extending the
+// failing prefix. Replays consult decisions deterministically, so the
+// next-consulted request at any trie position is a function of the path —
+// the trie is well-formed by construction.
+type refDecisionTrie struct {
+	req      hexpr.RequestID // request this node branches on ("" = leaf/empty)
+	branches map[hexpr.Location]*refDecisionTrie
+	leaf     bool
+	report   *verify.Report
+}
+
+func newRefEngine(repo network.Repository, table *policy.Table,
+	loc hexpr.Location, client hexpr.Expr, opts Options) *refEngine {
+
+	cache := opts.Cache
+	if cache == nil {
+		cache = memo.New()
+	}
+	stats := opts.Stats
+	if stats == nil {
+		stats = &FusedStats{}
+	}
+	eng := &refEngine{
+		repo:      repo,
+		table:     table,
+		loc:       loc,
+		client:    client,
+		opts:      opts,
+		cache:     cache,
+		tab:       cache.Interner(),
+		stats:     stats,
+		locations: repo.Locations(),
+		bodies:    map[hexpr.RequestID]hexpr.Expr{},
+		cands:     map[hexpr.RequestID][]hexpr.Location{},
+		nodes:     map[refNodeKey]*refNode{},
+	}
+	eng.locIDs = make(map[hexpr.Location]intern.ID, len(eng.locations)+1)
+	eng.locIDs[loc] = eng.tab.Key(string(loc))
+	for _, l := range eng.locations {
+		eng.locIDs[l] = eng.tab.Key(string(l))
+	}
+	record := func(list []pendingReq) {
+		for _, p := range list {
+			if _, dup := eng.bodies[p.req]; !dup {
+				eng.bodies[p.req] = p.body
+			}
+		}
+	}
+	eng.clientPending = requestsOf(client)
+	eng.clientReqs = hexpr.Requests(client)
+	eng.locPending = make(map[hexpr.Location][]pendingReq, len(eng.locations))
+	eng.locReqs = make(map[hexpr.Location][]hexpr.RequestID, len(eng.locations))
+	record(eng.clientPending)
+	for _, l := range eng.locations {
+		eng.locPending[l] = requestsOf(repo[l])
+		eng.locReqs[l] = hexpr.Requests(repo[l])
+		record(eng.locPending[l])
+	}
+	startTree := network.Leaf{Loc: loc, Expr: client}
+	eng.start = eng.node(startTree, eng.internSkel(startTree), history.NewMonitor(table))
+	return eng
+}
+
+// candidates returns the repository locations whose service is compliant
+// with the request's body, in deterministic (sorted-location) order — the
+// branching set of a lazy session-open. Cached per request.
+func (eng *refEngine) candidates(req hexpr.RequestID) ([]hexpr.Location, error) {
+	eng.candMu.Lock()
+	defer eng.candMu.Unlock()
+	if locs, ok := eng.cands[req]; ok {
+		return locs, nil
+	}
+	body, known := eng.bodies[req]
+	if !known {
+		eng.cands[req] = nil
+		return nil, nil
+	}
+	var locs []hexpr.Location
+	for _, l := range eng.locations {
+		ok, err := eng.cache.Compliant(body, eng.repo[l])
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			locs = append(locs, l)
+		}
+	}
+	eng.cands[req] = locs
+	return locs, nil
+}
+
+// node interns (tree, monitor) into the shared graph, creating the node on
+// first sight. The tree is keyed through its precomputed skeleton (sk.id ==
+// verify.InternTree of the tree), and the monitor's signature is computed
+// here — before the node is published through the map mutex — so readers
+// in other goroutines never race on the signature cache.
+func (eng *refEngine) node(tree network.Node, sk *refSkel, mon *history.Monitor) *refNode {
+	k := refNodeKey{
+		tree: sk.id,
+		sig:  eng.tab.Key(mon.Signature()),
+	}
+	eng.nodeMu.Lock()
+	defer eng.nodeMu.Unlock()
+	if n, ok := eng.nodes[k]; ok {
+		return n
+	}
+	n := &refNode{key: k, tree: tree, sk: sk, mon: mon, done: network.Done(tree), idx: int32(len(eng.nodes))}
+	eng.nodes[k] = n
+	return n
+}
+
+// ensureExpanded computes the node's outgoing groups once: the lazy move
+// relation, one monitor advance per group (candidates share their items),
+// and the successor nodes. Every plan whose replay reaches this state
+// reuses the result.
+func (n *refNode) ensureExpanded(eng *refEngine, ar *refSkelArena) error {
+	if n.ready.Load() {
+		return n.err
+	}
+	// Budget exhaustion aborts the expansion *without* publishing into
+	// n.err: the cutoff is a property of this run's budget, not of the
+	// node, and a cached exhaustion would poison replays of plans whose
+	// verdict was already decided (or later unbudgeted runs sharing the
+	// graph through a long-lived engine).
+	if e := eng.opts.Budget.Exhausted(); e != nil {
+		return e
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.expanded {
+		return n.err
+	}
+	if faultinject.Enabled() {
+		faultinject.Fire(faultinject.FusedExpand, n.tree.Key())
+	}
+	groups, err := network.TreeMovesLazy(n.tree, eng.repo, eng.candidates, eng.cache.Steps)
+	if err != nil {
+		n.expanded, n.err = true, err
+		n.ready.Store(true)
+		return err
+	}
+	// Built groups accumulate in a local slice published only on success:
+	// if a panic (injected or genuine) unwinds mid-expansion, the node
+	// stays unexpanded and a sibling plan's retry rebuilds from scratch
+	// instead of appending duplicates after a partial n.groups.
+	built := make([]refGroup, 0, len(groups))
+	for _, g := range groups {
+		fg := refGroup{label: g.Moves[0].Label, req: g.Req, violation: hexpr.NoPolicy}
+		mon := n.mon
+		// Inert items (plain events under an empty policy table) cannot
+		// change the signature or violate, so the monitor is shared like
+		// an item-less move instead of snapshotted.
+		if items := g.Moves[0].Items; len(items) > 0 && !n.mon.InertFor(items) {
+			mon = n.mon.Snapshot()
+			for _, it := range items {
+				if err := mon.Append(it); err != nil {
+					if verr, ok := err.(*history.ViolationError); ok {
+						fg.violation = verr.Policy
+					} else {
+						n.expanded = true
+						n.err = fmt.Errorf("verify: unexpected monitor error: %w", err)
+						n.ready.Store(true)
+						return n.err
+					}
+					break
+				}
+			}
+		}
+		if fg.violation == hexpr.NoPolicy {
+			if g.Req == "" {
+				sk := eng.internDiff(ar, g.Moves[0].Tree, n.tree, n.sk)
+				fg.next = eng.node(g.Moves[0].Tree, sk, mon)
+				atomic.AddUint64(&eng.stats.EdgesBuilt, 1)
+				// The return value is deliberately dropped: the per-state
+				// charge at the next pop observes the sticky exhaustion.
+				eng.opts.Budget.ConsumeEdges(1)
+			} else {
+				fg.cands = make([]refCand, 0, len(g.Moves))
+				for _, m := range g.Moves {
+					sk := eng.internDiff(ar, m.Tree, n.tree, n.sk)
+					fg.cands = append(fg.cands, refCand{loc: m.OpenLoc, next: eng.node(m.Tree, sk, mon)})
+				}
+				atomic.AddUint64(&eng.stats.EdgesBuilt, uint64(len(g.Moves)))
+				eng.opts.Budget.ConsumeEdges(int64(len(g.Moves)))
+			}
+		}
+		built = append(built, fg)
+	}
+	n.groups = built
+	n.expanded = true
+	n.ready.Store(true)
+	atomic.AddUint64(&eng.stats.StatesExpanded, 1)
+	return nil
+}
+
+// refRvis is one slot of a refReplayer's visited array: the epoch stamps the
+// replay the slot belongs to (bumping the epoch clears the whole array in
+// O(1)), prev/gi record how the replay first reached the node (the trace
+// label lives in the predecessor's group). prev == nil marks the start.
+type refRvis struct {
+	epoch uint32
+	gi    int32
+	prev  *refNode
+}
+
+// refPmove is one projected move of the current replay state: the group index
+// (the trace label is the group's), the policy the move violates (if any)
+// and the successor node (nil for violating moves).
+type refPmove struct {
+	gi        int32
+	violation hexpr.PolicyID
+	next      *refNode
+}
+
+// refReplayer holds one worker's reusable replay scratch: the epoch-stamped
+// visited array (indexed by refNode.idx — a slot access instead of a map
+// operation per visit), BFS ring, projected-move buffer and refDecision
+// accumulators persist across plans, so assessing the n-th plan of a large
+// family allocates almost nothing.
+type refReplayer struct {
+	visited []refRvis
+	epoch   uint32
+	queue   ring.Queue[*refNode]
+	moves   []refPmove
+	used    []refDecision
+	usedSet map[hexpr.RequestID]bool
+	// seen is the dedup set of the static compliance walk.
+	seen map[hexpr.RequestID]bool
+	// states counts this replay's visits, flushed to the shared stats in
+	// one atomic add per plan.
+	states uint64
+	// arena block-allocates the skeleton nodes minted by expansions this
+	// worker wins.
+	arena refSkelArena
+}
+
+func newRefReplayer() *refReplayer {
+	return &refReplayer{
+		usedSet: map[hexpr.RequestID]bool{},
+		seen:    map[hexpr.RequestID]bool{},
+	}
+}
+
+// slot returns the visited slot of n, growing the array when expansion has
+// minted nodes past its end mid-replay.
+func (r *refReplayer) slot(n *refNode) *refRvis {
+	if int(n.idx) >= len(r.visited) {
+		size := len(r.visited) * 2
+		if size <= int(n.idx) {
+			size = int(n.idx) + 64
+		}
+		grown := make([]refRvis, size)
+		copy(grown, r.visited)
+		r.visited = grown
+	}
+	return &r.visited[n.idx]
+}
+
+func (r *refReplayer) trace(n *refNode) []network.TraceEntry {
+	depth := 0
+	for p := r.visited[n.idx]; p.prev != nil; p = r.visited[p.prev.idx] {
+		depth++
+	}
+	// Non-nil even when empty, like verify's trace materialisation.
+	out := make([]network.TraceEntry, depth)
+	for p := r.visited[n.idx]; p.prev != nil; p = r.visited[p.prev.idx] {
+		depth--
+		out[depth] = network.TraceEntry{Label: p.prev.groups[p.gi].label}
+	}
+	return out
+}
+
+// replay recovers one plan's verification report from the shared graph: a
+// BFS over the projection that keeps, in every open group, the candidate
+// the plan selects. It visits exactly the states verify.CheckPlanOpts
+// would (same keying, same move order), so verdicts, witnesses, traces and
+// even state counts coincide — but each visit is a map lookup over
+// prebuilt edges. The binding decisions consulted, in consultation order,
+// are left in r.used for the replay memo.
+func (eng *refEngine) replay(plan network.Plan, r *refReplayer) (*verify.Report, error) {
+	r.used = r.used[:0]
+	clear(r.usedSet)
+	r.epoch++
+	r.queue.Reset()
+	r.states = 0
+	s := r.slot(eng.start)
+	*s = refRvis{epoch: r.epoch}
+	r.queue.Push(eng.start)
+	report := &verify.Report{}
+	for r.queue.Len() > 0 {
+		report.States++
+		if report.States > verify.MaxStates {
+			return nil, fmt.Errorf("verify: exploration exceeds %d states", verify.MaxStates)
+		}
+		if e := eng.opts.Budget.ConsumeStates(1); e != nil {
+			report.States--
+			return unknownReport(report, e, r.queue.Len()), nil
+		}
+		n := r.queue.Pop()
+		r.states++
+		if faultinject.Enabled() {
+			faultinject.Fire(faultinject.FusedReplay, n.tree.Key())
+		}
+		if err := n.ensureExpanded(eng, &r.arena); err != nil {
+			var e *budget.ExhaustedError
+			if errors.As(err, &e) {
+				report.States--
+				return unknownReport(report, e, r.queue.Len()+1), nil
+			}
+			return nil, err
+		}
+		r.moves = r.moves[:0]
+		for gi := range n.groups {
+			g := &n.groups[gi]
+			if g.req == "" {
+				r.moves = append(r.moves, refPmove{int32(gi), g.violation, g.next})
+				continue
+			}
+			if g.violation != hexpr.NoPolicy {
+				// The open itself violates, whichever service it selects:
+				// no binding refDecision is consulted, so every plan reaching
+				// this state shares the verdict.
+				r.moves = append(r.moves, refPmove{int32(gi), g.violation, nil})
+				continue
+			}
+			loc := plan[g.req]
+			if !r.usedSet[g.req] {
+				r.usedSet[g.req] = true
+				r.used = append(r.used, refDecision{req: g.req, loc: loc})
+			}
+			for ci := range g.cands {
+				if g.cands[ci].loc == loc {
+					r.moves = append(r.moves, refPmove{int32(gi), hexpr.NoPolicy, g.cands[ci].next})
+					break
+				}
+			}
+			// No matching candidate (request unbound, or bound outside the
+			// candidate set): the open is not enabled, exactly as in the
+			// direct exploration.
+		}
+		if len(r.moves) == 0 && !n.done {
+			report.Verdict = verify.CommunicationDeadlock
+			report.Trace = r.trace(n)
+			report.StuckTree = n.tree.Key()
+			return report, nil
+		}
+		for _, m := range r.moves {
+			if m.violation != hexpr.NoPolicy {
+				report.Verdict = verify.SecurityViolation
+				report.Policy = m.violation
+				report.Trace = append(r.trace(n), network.TraceEntry{Label: n.groups[m.gi].label})
+				return report, nil
+			}
+			if s := r.slot(m.next); s.epoch != r.epoch {
+				*s = refRvis{epoch: r.epoch, gi: m.gi, prev: n}
+				r.queue.Push(m.next)
+			}
+		}
+	}
+	report.Verdict = verify.Valid
+	return report, nil
+}
+
+// assessReplay returns the plan's exploration report, through the refDecision
+// memo: a hit costs one trie walk; a miss replays and files the report
+// under the decisions the replay consulted.
+func (eng *refEngine) assessReplay(plan network.Plan, r *refReplayer) (*verify.Report, error) {
+	eng.memoMu.Lock()
+	for t := eng.memo; t != nil; {
+		if t.leaf {
+			rep := *t.report
+			eng.memoMu.Unlock()
+			atomic.AddUint64(&eng.stats.ReplayMemoHits, 1)
+			return &rep, nil
+		}
+		t = t.branches[plan[t.req]]
+	}
+	eng.memoMu.Unlock()
+
+	report, err := eng.replay(plan, r)
+	atomic.AddUint64(&eng.stats.ReplayStates, r.states)
+	if err != nil {
+		return nil, err
+	}
+	// An Unknown report reflects this run's cutoff, not a property of the
+	// consulted decisions — filing it would serve a stale non-verdict to
+	// every later plan sharing the prefix. Only definite verdicts memoise.
+	if report.Verdict == verify.Unknown {
+		return report, nil
+	}
+
+	eng.memoMu.Lock()
+	node := eng.memo
+	if node == nil {
+		node = &refDecisionTrie{}
+		eng.memo = node
+	}
+	for _, d := range r.used {
+		if node.leaf {
+			break // concurrent duplicate replay already filed a report
+		}
+		if node.req == "" {
+			node.req = d.req
+			node.branches = map[hexpr.Location]*refDecisionTrie{}
+		}
+		child := node.branches[d.loc]
+		if child == nil {
+			child = &refDecisionTrie{}
+			node.branches[d.loc] = child
+		}
+		node = child
+	}
+	if !node.leaf && node.req == "" {
+		node.leaf = true
+		node.report = report
+	}
+	eng.memoMu.Unlock()
+	rep := *report
+	return &rep, nil
+}
+
+// staticCheck mirrors verify.StaticCheck over the engine's precomputed
+// session lists: the call-cycle DFS draws its successors from the
+// per-expression request lists, and the compliance check traverses the
+// precollected sessions in the depth-first, first-occurrence order of
+// verify.PlannedRequests — same first failure, same witness strings, no
+// per-plan expression walks. The equivalence property test pins the
+// parity.
+func (eng *refEngine) staticCheck(plan network.Plan, r *refReplayer) (*verify.Report, error) {
+	if !eng.cycleFree {
+		succ := func(n hexpr.Location) []hexpr.Location {
+			reqs := eng.locReqs[n]
+			if n == verify.ClientNode {
+				reqs = eng.clientReqs
+			}
+			var out []hexpr.Location
+			for _, rq := range reqs {
+				if l, ok := plan[rq]; ok {
+					out = append(out, l)
+				}
+			}
+			return out
+		}
+		if cyc := verify.CallCycleFunc(succ); cyc != nil {
+			return &verify.Report{
+				Verdict: verify.UnboundedNesting,
+				Witness: fmt.Sprintf("cyclic service calls: %s", verify.LocPath(cyc)),
+			}, nil
+		}
+	}
+	clear(r.seen)
+	var walk func(list []pendingReq) (*verify.Report, error)
+	walk = func(list []pendingReq) (*verify.Report, error) {
+		for _, s := range list {
+			if r.seen[s.req] {
+				continue
+			}
+			r.seen[s.req] = true
+			loc, bound := plan[s.req]
+			if !bound {
+				continue // the exploration reports the deadlock with a trace
+			}
+			svc, present := eng.repo[loc]
+			if !present {
+				continue
+			}
+			ok, witness, err := eng.cache.Compliance(s.body, svc)
+			if err != nil {
+				return nil, err
+			}
+			if !ok {
+				return &verify.Report{
+					Verdict: verify.NotCompliant,
+					Request: s.req,
+					Witness: fmt.Sprintf("service at %s: %s", loc, witness),
+				}, nil
+			}
+			if rep, err := walk(eng.locPending[loc]); err != nil || rep != nil {
+				return rep, err
+			}
+		}
+		return nil, nil
+	}
+	return walk(eng.clientPending)
+}
+
+// computeCycleSkip decides whether per-plan cycle detection is needed: it
+// runs one DFS over the union call graph in which every request points at
+// every location enumeration could bind it to — the compliant candidates
+// under pruning, the whole repository otherwise. Every assessed plan's
+// call graph is a subgraph of the union, so an acyclic union (from the
+// client) proves every plan acyclic and staticCheck skips its per-plan
+// DFS; a cyclic union just keeps the per-plan check.
+func (eng *refEngine) computeCycleSkip() error {
+	const (
+		white = 0
+		grey  = 1
+		black = 2
+	)
+	color := map[hexpr.Location]int{}
+	var dfs func(n hexpr.Location) (bool, error)
+	dfs = func(n hexpr.Location) (bool, error) {
+		color[n] = grey
+		reqs := eng.locReqs[n]
+		if n == verify.ClientNode {
+			reqs = eng.clientReqs
+		}
+		for _, rq := range reqs {
+			targets := eng.locations
+			if eng.opts.PruneNonCompliant {
+				var err error
+				targets, err = eng.candidates(rq)
+				if err != nil {
+					return false, err
+				}
+			}
+			for _, m := range targets {
+				switch color[m] {
+				case grey:
+					return true, nil
+				case white:
+					if cyc, err := dfs(m); err != nil || cyc {
+						return cyc, err
+					}
+				}
+			}
+		}
+		color[n] = black
+		return false, nil
+	}
+	cyc, err := dfs(verify.ClientNode)
+	if err != nil {
+		return err
+	}
+	eng.cycleFree = !cyc
+	return nil
+}
+
+// assess produces one plan's assessment: the static prechecks (mirroring
+// verify.CheckPlanOpts, so witnesses are identical by construction), then
+// the memoised replay.
+func (eng *refEngine) assess(plan network.Plan, r *refReplayer) (Assessment, error) {
+	atomic.AddUint64(&eng.stats.PlansAssessed, 1)
+	if rep, err := eng.staticCheck(plan, r); err != nil {
+		return Assessment{}, err
+	} else if rep != nil {
+		return Assessment{Plan: plan, Report: rep}, nil
+	}
+	report, err := eng.assessReplay(plan, r)
+	if err != nil {
+		return Assessment{}, err
+	}
+	return Assessment{Plan: plan, Report: report}, nil
+}
+
+// assessGuarded is assess inside a panic guard: a panic anywhere in the
+// plan's assessment (expansion, replay, static walk — injected or
+// genuine) becomes a typed *budget.InternalError whose Unit is the plan
+// key, the plan's verdict degrades to Unknown, and the error is returned
+// alongside the assessment so the caller can report it after the rest of
+// the fleet finishes. The refReplayer stays reusable: replay and staticCheck
+// reset every piece of scratch state at entry.
+func (eng *refEngine) assessGuarded(plan network.Plan, r *refReplayer) (Assessment, error) {
+	key := plan.Key()
+	var a Assessment
+	err := budget.Guard("plan "+key, func() error {
+		if faultinject.Enabled() {
+			faultinject.Fire(faultinject.PlansWorker, key)
+		}
+		var err error
+		a, err = eng.assess(plan, r)
+		return err
+	})
+	if err != nil {
+		var ie *budget.InternalError
+		if errors.As(err, &ie) {
+			return Assessment{Plan: plan,
+				Report: &verify.Report{Verdict: verify.Unknown, Reason: ie.Error()}}, err
+		}
+		return Assessment{}, err
+	}
+	return a, nil
+}
+
+// enumerate mirrors the legacy enumerator exactly — same candidate order,
+// same pruning, same MaxPlans semantics — so both engines assess the same
+// plans. Pruned bindings are counted in the stats.
+func (eng *refEngine) enumerate() ([]network.Plan, error) {
+	var out []network.Plan
+	var expand func(plan network.Plan, pending []pendingReq) error
+	expand = func(plan network.Plan, pending []pendingReq) error {
+		for len(pending) > 0 {
+			if _, ok := plan[pending[0].req]; ok {
+				pending = pending[1:]
+				continue
+			}
+			break
+		}
+		if len(pending) == 0 {
+			if eng.opts.MaxPlans > 0 && len(out) >= eng.opts.MaxPlans {
+				return fmt.Errorf("plans: more than %d complete plans", eng.opts.MaxPlans)
+			}
+			if eng.opts.Budget.Exhausted() != nil {
+				return errStopEnumeration
+			}
+			out = append(out, plan.Clone())
+			return nil
+		}
+		head, rest := pending[0], pending[1:]
+		for _, l := range eng.locations {
+			service := eng.repo[l]
+			if eng.opts.PruneNonCompliant {
+				ok, err := eng.cache.Compliant(head.body, service)
+				if err != nil {
+					return err
+				}
+				if !ok {
+					atomic.AddUint64(&eng.stats.BindingsPruned, 1)
+					continue
+				}
+			}
+			plan[head.req] = l
+			newPending := append(append([]pendingReq(nil), rest...), eng.locPending[l]...)
+			if err := expand(plan, newPending); err != nil {
+				return err
+			}
+			delete(plan, head.req)
+		}
+		return nil
+	}
+	if err := expand(network.Plan{}, eng.clientPending); err != nil && err != errStopEnumeration {
+		return nil, err
+	}
+	return out, nil
+}
+
+// assessAllReference enumerates and assesses every plan with the
+// reference engine, sequentially, and returns the assessments sorted like
+// AssessAll. It backs EngineReference (see Engine).
+func assessAllReference(repo network.Repository, table *policy.Table,
+	loc hexpr.Location, client hexpr.Expr, opts Options) ([]Assessment, error) {
+
+	eng := newRefEngine(repo, table, loc, client, opts)
+	plans, err := eng.enumerate()
+	if err != nil {
+		return nil, err
+	}
+	if err := eng.computeCycleSkip(); err != nil {
+		return nil, err
+	}
+	r := newRefReplayer()
+	out := make([]Assessment, 0, len(plans))
+	var firstInternal *budget.InternalError
+	for _, p := range plans {
+		a, err := eng.assessGuarded(p, r)
+		if err != nil {
+			var ie *budget.InternalError
+			if !errors.As(err, &ie) {
+				return nil, err
+			}
+			if firstInternal == nil {
+				firstInternal = ie
+			}
+		}
+		out = append(out, a)
+	}
+	keys := make([]string, len(out))
+	for i := range out {
+		keys[i] = out[i].Plan.Key()
+	}
+	sort.Sort(&byKey{keys: keys, out: out})
+	if firstInternal != nil {
+		return out, firstInternal
+	}
+	return out, nil
+}

@@ -1,0 +1,60 @@
+package plans_test
+
+import (
+	"reflect"
+	"testing"
+
+	"susc/internal/benchgen"
+	"susc/internal/paperex"
+	"susc/internal/plans"
+)
+
+// TestReferenceEngineEquivalence: the frozen pre-compiled-rework engine
+// (EngineReference) agrees byte-for-byte with the legacy engine and the
+// compiled engine. The three share no stepping code — legacy re-explores
+// per plan, the reference engine interprets moves over a shared graph,
+// the compiled engine replays compiled rows — so three-way agreement pins
+// the semantics from independent directions, and keeps the benchmark
+// baseline honest: -chained-compare measures three implementations of
+// provably the same function.
+func TestReferenceEngineEquivalence(t *testing.T) {
+	c := benchgen.Chained(3, 2)
+	cases := []struct {
+		name string
+		run  func(e plans.Engine) ([]plans.Assessment, error)
+	}{
+		{"paperex/C1", func(e plans.Engine) ([]plans.Assessment, error) {
+			return plans.AssessAll(paperex.Repository(), paperex.Policies(),
+				paperex.LocC1, paperex.C1(), plans.Options{Engine: e})
+		}},
+		{"paperex/C2", func(e plans.Engine) ([]plans.Assessment, error) {
+			return plans.AssessAll(paperex.Repository(), paperex.Policies(),
+				paperex.LocC2, paperex.C2(), plans.Options{Engine: e})
+		}},
+		{"chained(3,2)", func(e plans.Engine) ([]plans.Assessment, error) {
+			return plans.AssessAll(c.Repo, c.Table, c.Loc, c.Client,
+				plans.Options{Engine: e, PruneNonCompliant: true})
+		}},
+	}
+	for _, tc := range cases {
+		legacy, err := tc.run(plans.EngineLegacy)
+		if err != nil {
+			t.Fatalf("%s: legacy: %v", tc.name, err)
+		}
+		reference, err := tc.run(plans.EngineReference)
+		if err != nil {
+			t.Fatalf("%s: reference: %v", tc.name, err)
+		}
+		compiled, err := tc.run(plans.EngineFused)
+		if err != nil {
+			t.Fatalf("%s: compiled: %v", tc.name, err)
+		}
+		if !reflect.DeepEqual(legacy, reference) {
+			t.Fatalf("%s: reference diverges from legacy:\n%+v\nvs\n%+v",
+				tc.name, legacy, reference)
+		}
+		if !reflect.DeepEqual(legacy, compiled) {
+			t.Fatalf("%s: compiled diverges from legacy", tc.name)
+		}
+	}
+}

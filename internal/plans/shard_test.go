@@ -1,0 +1,131 @@
+package plans_test
+
+import (
+	"context"
+	"reflect"
+	"runtime"
+	"testing"
+	"time"
+
+	"susc/internal/benchgen"
+	"susc/internal/budget"
+	"susc/internal/plans"
+	"susc/internal/verify"
+)
+
+// TestFusedEquivalenceSharded extends the equivalence contract to the
+// sharded expansion path: worlds large enough to clear the serial-fallback
+// threshold (so Workers>1 really runs the sharded frontier prefetch plus
+// the replay fleet) must produce assessments byte-identical to the legacy
+// engine and to the sequential fused engine. CI runs this under -race,
+// which exercises the cross-shard hand-off and the shared canonical
+// tables concurrently.
+func TestFusedEquivalenceSharded(t *testing.T) {
+	worlds := []struct {
+		name string
+		w    *benchgen.ChainedWorld
+	}{
+		{"chained(8,2)", benchgen.Chained(8, 2)},
+		{"chained(4,3)", benchgen.Chained(4, 3)},
+	}
+	for _, tc := range worlds {
+		w := tc.w
+		legacy, err := plans.AssessAll(w.Repo, w.Table, w.Loc, w.Client,
+			plans.Options{Engine: plans.EngineLegacy, PruneNonCompliant: true})
+		if err != nil {
+			t.Fatalf("%s: legacy: %v", tc.name, err)
+		}
+		if len(legacy) != w.PlanCount {
+			t.Fatalf("%s: legacy assessed %d plans, want %d", tc.name, len(legacy), w.PlanCount)
+		}
+		sequential, err := plans.AssessAll(w.Repo, w.Table, w.Loc, w.Client,
+			plans.Options{PruneNonCompliant: true, Workers: 1})
+		if err != nil {
+			t.Fatalf("%s: sequential fused: %v", tc.name, err)
+		}
+		var stats plans.FusedStats
+		sharded, err := plans.AssessAll(w.Repo, w.Table, w.Loc, w.Client,
+			plans.Options{PruneNonCompliant: true, Workers: 4, Stats: &stats})
+		if err != nil {
+			t.Fatalf("%s: sharded fused: %v", tc.name, err)
+		}
+		if stats.StatesExpanded == 0 {
+			t.Fatalf("%s: sharded run expanded no states", tc.name)
+		}
+		for i := range legacy {
+			if !reflect.DeepEqual(legacy[i], sharded[i]) {
+				t.Fatalf("%s: assessment %d: sharded diverges from legacy:\nlegacy:  %+v %+v\nsharded: %+v %+v",
+					tc.name, i, legacy[i], *legacy[i].Report, sharded[i], *sharded[i].Report)
+			}
+			if !reflect.DeepEqual(sequential[i], sharded[i]) {
+				t.Fatalf("%s: assessment %d: sharded diverges from sequential fused",
+					tc.name, i)
+			}
+		}
+	}
+}
+
+// TestShardedBudgetExhaustion: an edge budget that dies during the sharded
+// prefetch must degrade gracefully — no error, every verdict Valid or
+// Unknown (the workload is all-valid), at least one Unknown, the budget
+// reporting the edge limit, and no goroutine left behind.
+func TestShardedBudgetExhaustion(t *testing.T) {
+	before := runtime.NumGoroutine()
+	w := benchgen.Chained(8, 2)
+	b := budget.New(context.Background(), budget.Limits{MaxEdges: 200})
+	as, err := plans.AssessAll(w.Repo, w.Table, w.Loc, w.Client,
+		plans.Options{PruneNonCompliant: true, Workers: 4, Budget: b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := b.Exhausted()
+	if e == nil || e.Reason != budget.EdgeLimit {
+		t.Fatalf("budget must report the edge limit, got %v", e)
+	}
+	unknown := 0
+	for _, a := range as {
+		switch a.Report.Verdict {
+		case verify.Valid:
+		case verify.Unknown:
+			unknown++
+		default:
+			t.Fatalf("plan %s: verdict %s on an all-valid workload", a.Plan, a.Report.Verdict)
+		}
+	}
+	if unknown == 0 {
+		t.Fatal("an exhausted edge budget must leave some verdicts Unknown")
+	}
+	for i := 0; ; i++ {
+		if runtime.NumGoroutine() <= before+2 {
+			break
+		}
+		if i > 50 {
+			t.Fatalf("goroutine leak: %d before, %d after", before, runtime.NumGoroutine())
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// TestShardedCancellation: a context cancelled mid-run stops the sharded
+// prefetch and the fleet promptly, with sound partial output.
+func TestShardedCancellation(t *testing.T) {
+	w := benchgen.Chained(10, 2)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	b := budget.New(ctx, budget.Limits{})
+	time.AfterFunc(5*time.Millisecond, cancel)
+	start := time.Now()
+	as, err := plans.AssessAll(w.Repo, w.Table, w.Loc, w.Client,
+		plans.Options{PruneNonCompliant: true, Workers: 4, Budget: b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("cancelled run took %v to drain", elapsed)
+	}
+	for _, a := range as {
+		if v := a.Report.Verdict; v != verify.Valid && v != verify.Unknown {
+			t.Fatalf("plan %s: verdict %s on an all-valid workload", a.Plan, v)
+		}
+	}
+}

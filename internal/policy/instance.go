@@ -2,6 +2,7 @@ package policy
 
 import (
 	"fmt"
+	"sync"
 
 	"susc/internal/hexpr"
 )
@@ -33,6 +34,10 @@ type Instance struct {
 	start   int
 	finals  StateSet
 	edges   []instEdge
+
+	// compiled per-event step rows (see compiled.go), built on first use
+	rowMu sync.RWMutex
+	rows  map[string][]rowEntry
 }
 
 // ID returns the canonical identifier of the instance, e.g.
@@ -50,34 +55,11 @@ func (in *Instance) Initial() StateSet { return 1 << uint(in.start) }
 func (in *Instance) Final(s StateSet) bool { return s&in.finals != 0 }
 
 // Step advances every state of the set on the event: states with matching
-// edges move to all their targets, states without stay put.
+// edges move to all their targets, states without stay put. It runs on the
+// compiled per-event row (see compiled.go), so repeated events cost a
+// bit-scan instead of guard evaluations.
 func (in *Instance) Step(s StateSet, ev hexpr.Event) StateSet {
-	var next StateSet
-	for i := 0; i < len(in.a.States); i++ {
-		if !s.Contains(i) {
-			continue
-		}
-		moved := false
-		for _, e := range in.edges {
-			if e.from != i || e.event != ev.Name || e.arity != len(ev.Args) {
-				continue
-			}
-			ok, err := e.match(ev.Args)
-			if err != nil {
-				// Unbound parameters are rejected at instantiation; this is
-				// unreachable, but stay put rather than panic.
-				continue
-			}
-			if ok {
-				next |= 1 << uint(e.to)
-				moved = true
-			}
-		}
-		if !moved {
-			next |= 1 << uint(i)
-		}
-	}
-	return next
+	return stepCompiled(in.row(ev), s)
 }
 
 // NumStates returns the number of states of the underlying automaton.
@@ -158,6 +140,9 @@ func (in *Instance) ViolatingPrefix(trace []hexpr.Event) int {
 // (internal/history) and by the model checkers.
 type Table struct {
 	m map[hexpr.PolicyID]*Instance
+
+	mu       sync.Mutex
+	compiled *CompiledTable // dense view, built lazily; Add invalidates
 }
 
 // NewTable builds a table from the given instances.
@@ -170,7 +155,12 @@ func NewTable(instances ...*Instance) *Table {
 }
 
 // Add registers an instance (overwriting any instance with the same ID).
-func (t *Table) Add(in *Instance) { t.m[in.ID()] = in }
+func (t *Table) Add(in *Instance) {
+	t.mu.Lock()
+	t.m[in.ID()] = in
+	t.compiled = nil
+	t.mu.Unlock()
+}
 
 // Get returns the instance registered under id.
 func (t *Table) Get(id hexpr.PolicyID) (*Instance, error) {

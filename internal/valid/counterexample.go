@@ -74,7 +74,12 @@ func FindCounterexamplesBudget(e hexpr.Expr, table *policy.Table, b *budget.Budg
 	for _, f := range frames {
 		alphabet = append(alphabet, symFrameOpen+string(f), symFrameClose+string(f))
 	}
-	hd := hn.Determinize(alphabet)
+	// The per-policy intersections run on the compiled (dense-table) layer:
+	// the history DFA is compiled once, each framed-policy DFA is compiled
+	// after determinisation, and the product+shortest-word extraction index
+	// int32 arrays. Witnesses are identical to the map-based constructions
+	// (same BFS discovery order, same alphabet-order tie-breaking).
+	hd := autom.Compile(hn.Determinize(alphabet))
 	var out []*Counterexample
 	for _, f := range frames {
 		if err := b.Err(); err != nil {
@@ -85,7 +90,7 @@ func FindCounterexamplesBudget(e hexpr.Expr, table *policy.Table, b *budget.Budg
 			return nil, err
 		}
 		bad := FramedPolicyNFA(in, events, frames)
-		inter := hd.Intersect(bad.Determinize(alphabet))
+		inter := hd.Intersect(autom.Compile(bad.Determinize(alphabet)))
 		word := inter.AcceptingPath()
 		if word == nil {
 			continue
