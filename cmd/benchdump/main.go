@@ -11,14 +11,21 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"runtime"
 	"runtime/pprof"
 	"testing"
+	"time"
 
 	"susc/internal/benchgen"
+	"susc/internal/hash"
+	"susc/internal/hexpr"
 	"susc/internal/lint"
 	"susc/internal/memo"
+	"susc/internal/network"
 	"susc/internal/plans"
+	"susc/internal/store"
+	"susc/internal/verify"
 )
 
 type result struct {
@@ -43,7 +50,48 @@ type document struct {
 	// witness extraction included) over the surface rendering of a
 	// Chained workload.
 	LintSemantic *lintDoc `json:"lint_semantic,omitempty"`
-	Results      []result `json:"results"`
+	// Incremental measures verification through the persistent verdict
+	// store: a cold run populating it, a warm run replaying every verdict,
+	// and a run after a one-declaration edit recomputing only the edited
+	// cone.
+	Incremental *incrementalDoc `json:"incremental,omitempty"`
+	Results     []result        `json:"results"`
+}
+
+// incrementalDoc is the persistent-store series: the many-client
+// ChainedClients surface (the CI incremental-smoke workload) and the
+// single-client Hotels plan family.
+type incrementalDoc struct {
+	Depth   int `json:"depth"`
+	Fanout  int `json:"fanout"`
+	Clients int `json:"clients"`
+	// Nanoseconds per full verification pass (store open + every client),
+	// one-shot measurements of the user-visible `checkall -cache` path.
+	ColdNs float64 `json:"cold_ns"`
+	WarmNs float64 `json:"warm_ns"`
+	EditNs float64 `json:"edit_ns"`
+	// WarmSpeedup is ColdNs/WarmNs — the headline of the store.
+	WarmSpeedup float64 `json:"warm_speedup"`
+	WarmHitRate float64 `json:"warm_hit_rate"`
+	// EditRecomputed counts the plan verdicts recomputed after editing one
+	// divergent service; EditFraction is its share of the client count.
+	EditRecomputed uint64  `json:"edit_recomputed"`
+	EditFraction   float64 `json:"edit_fraction"`
+	StoreBytes     uint64  `json:"store_bytes"`
+	// Hotels is the same cold/warm/edit triple over the Hotels plan
+	// family assessed with plans.AssessAll.
+	Hotels *hotelsIncDoc `json:"hotels,omitempty"`
+}
+
+type hotelsIncDoc struct {
+	Hotels         int     `json:"hotels"`
+	Plans          int     `json:"plans"`
+	ColdNs         float64 `json:"cold_ns"`
+	WarmNs         float64 `json:"warm_ns"`
+	EditNs         float64 `json:"edit_ns"`
+	WarmSpeedup    float64 `json:"warm_speedup"`
+	EditRecomputed uint64  `json:"edit_recomputed"`
+	EditFraction   float64 `json:"edit_fraction"`
 }
 
 // lintDoc summarizes the semantic-lint series: the dominant cost is
@@ -83,6 +131,8 @@ func main() {
 	lintDepth := flag.Int("lint-semantic", 8, "depth of the Chained workload for the semantic-lint series (0 skips it; keep fanout^depth within the analyzers' plan budget)")
 	out := flag.String("o", "", "write the JSON document here instead of stdout")
 	chainedSrc := flag.Bool("chained-src", false, "print the surface-syntax source of the Chained workload and exit (no benchmarks); for budget/timeout smoke tests")
+	chainedClients := flag.Int("chained-clients", 0, "with -chained-src: emit the ChainedClients workload with this many planned clients instead (the incremental-smoke surface)")
+	incremental := flag.Int("incremental", 0, "run the incremental-verification series (cold/warm/single-edit through a persistent store) with this many planned clients (0 skips it)")
 	compare := flag.Bool("chained-compare", false, "emit legacy/fused/compiled series side-by-side for the Chained workload (fused = the frozen BENCH_pr2-era reference engine)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile (taken after the benchmarks) to this file")
@@ -120,6 +170,9 @@ func main() {
 
 	if *chainedSrc {
 		src := benchgen.ChainedSource(*depth, *fanout)
+		if *chainedClients > 0 {
+			src = benchgen.ChainedClientsSource(*depth, *fanout, *chainedClients)
+		}
 		if *out != "" {
 			if err := os.WriteFile(*out, []byte(src), 0o644); err != nil {
 				fmt.Fprintln(os.Stderr, err)
@@ -164,6 +217,9 @@ func main() {
 	}
 	if *lintDepth > 0 {
 		doc.LintSemantic = runLintSemantic(*lintDepth, *fanout, &doc)
+	}
+	if *incremental > 0 {
+		doc.Incremental = runIncremental(*depth, *fanout, *incremental, *hotels, &doc)
 	}
 
 	enc := json.NewEncoder(os.Stdout)
@@ -315,6 +371,145 @@ func runLintSemantic(depth, fanout int, doc *document) *lintDoc {
 		SourceBytes: len(src),
 		HitRate:     cache.Stats().HitRate(),
 	}
+}
+
+// runIncremental measures the persistent-store loop end to end, the way
+// `susc checkall -cache` exercises it: every pass opens the store file,
+// verifies every client's declared plan through a fresh in-memory cache
+// backed by the store, and closes it. Cold populates, warm replays, and
+// the edit pass — one divergent service of client 0 changed — recomputes
+// exactly the clients whose dependency cone contains the edit. A second
+// triple covers the single-client Hotels plan family through
+// plans.AssessAll's incremental assessor.
+func runIncremental(depth, fanout, n, hotels int, doc *document) *incrementalDoc {
+	dir, err := os.MkdirTemp("", "susc-benchdump-")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdump:", err)
+		os.Exit(1)
+	}
+	defer os.RemoveAll(dir)
+
+	w := benchgen.ChainedClients(depth, fanout, n)
+	path := filepath.Join(dir, "clients.store")
+	pass := func(repo network.Repository) (time.Duration, store.Stats) {
+		s, err := store.Open(path, hash.Fingerprint())
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchdump:", err)
+			os.Exit(1)
+		}
+		cache := memo.New()
+		cache.AttachDisk(s)
+		start := time.Now()
+		for _, c := range w.Clients {
+			r, err := verify.CheckPlanOpts(repo, w.Table, c.Loc, c.Expr, c.Plan,
+				verify.Options{Cache: cache})
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "benchdump:", err)
+				os.Exit(1)
+			}
+			if r.Verdict != verify.Valid {
+				fmt.Fprintf(os.Stderr, "benchdump: client %s unexpectedly %s\n", c.Name, r.Verdict)
+				os.Exit(1)
+			}
+		}
+		d := time.Since(start)
+		st := s.Stats()
+		s.Close()
+		return d, st
+	}
+
+	coldD, _ := pass(w.Repo)
+	warmD, warmStats := pass(w.Repo)
+	// Take the best of a few warm passes: the warm path is microseconds of
+	// replay, where scheduler noise dominates a single measurement.
+	for i := 0; i < 2; i++ {
+		if d, st := pass(w.Repo); d < warmD {
+			warmD, warmStats = d, st
+		}
+	}
+
+	edited := network.Repository{}
+	for l, e := range w.Repo {
+		edited[l] = e
+	}
+	target := w.Divergent(0)
+	edited[target] = hexpr.Cat(w.Repo[target], hexpr.Act(hexpr.E("tweak")))
+	editD, editStats := pass(edited)
+
+	inc := &incrementalDoc{
+		Depth:          depth,
+		Fanout:         fanout,
+		Clients:        n,
+		ColdNs:         float64(coldD.Nanoseconds()),
+		WarmNs:         float64(warmD.Nanoseconds()),
+		EditNs:         float64(editD.Nanoseconds()),
+		WarmSpeedup:    float64(coldD.Nanoseconds()) / float64(warmD.Nanoseconds()),
+		WarmHitRate:    warmStats.HitRate(),
+		EditRecomputed: editStats.PerKind[store.KindPlanReport].Misses,
+		EditFraction:   float64(editStats.PerKind[store.KindPlanReport].Misses) / float64(n),
+		StoreBytes:     warmStats.Bytes(),
+	}
+	base := fmt.Sprintf("Incremental/chained-clients/depth=%d/fanout=%d/n=%d", depth, fanout, n)
+	doc.Results = append(doc.Results,
+		result{Name: base + "/cold", Iterations: 1, NsPerOp: inc.ColdNs},
+		result{Name: base + "/warm", Iterations: 1, NsPerOp: inc.WarmNs, HitRate: inc.WarmHitRate},
+		result{Name: base + "/edit", Iterations: 1, NsPerOp: inc.EditNs})
+
+	hw := benchgen.Hotels(hotels)
+	hpath := filepath.Join(dir, "hotels.store")
+	var planCount int
+	hpass := func(repo network.Repository) (time.Duration, store.Stats) {
+		s, err := store.Open(hpath, hash.Fingerprint())
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchdump:", err)
+			os.Exit(1)
+		}
+		cache := memo.New()
+		cache.AttachDisk(s)
+		start := time.Now()
+		as, err := plans.AssessAll(repo, hw.Table, hw.Loc, hw.Client,
+			plans.Options{PruneNonCompliant: true, Cache: cache})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchdump:", err)
+			os.Exit(1)
+		}
+		planCount = len(as)
+		d := time.Since(start)
+		st := s.Stats()
+		s.Close()
+		return d, st
+	}
+	hColdD, _ := hpass(hw.Repo)
+	hWarmD, _ := hpass(hw.Repo)
+	for i := 0; i < 2; i++ {
+		if d, _ := hpass(hw.Repo); d < hWarmD {
+			hWarmD = d
+		}
+	}
+	hEdited := network.Repository{}
+	for l, e := range hw.Repo {
+		hEdited[l] = e
+	}
+	// h2 is the first valid-profile hotel: a mid-repository cone.
+	hEdited["h2"] = hexpr.Cat(hw.Repo["h2"], hexpr.Act(hexpr.E("tweak")))
+	hEditD, hEditStats := hpass(hEdited)
+
+	inc.Hotels = &hotelsIncDoc{
+		Hotels:         hotels,
+		Plans:          planCount,
+		ColdNs:         float64(hColdD.Nanoseconds()),
+		WarmNs:         float64(hWarmD.Nanoseconds()),
+		EditNs:         float64(hEditD.Nanoseconds()),
+		WarmSpeedup:    float64(hColdD.Nanoseconds()) / float64(hWarmD.Nanoseconds()),
+		EditRecomputed: hEditStats.PerKind[store.KindPlanReport].Misses,
+		EditFraction:   float64(hEditStats.PerKind[store.KindPlanReport].Misses) / float64(planCount),
+	}
+	hbase := fmt.Sprintf("Incremental/hotels/n=%d", hotels)
+	doc.Results = append(doc.Results,
+		result{Name: hbase + "/cold", Iterations: 1, NsPerOp: inc.Hotels.ColdNs},
+		result{Name: hbase + "/warm", Iterations: 1, NsPerOp: inc.Hotels.WarmNs},
+		result{Name: hbase + "/edit", Iterations: 1, NsPerOp: inc.Hotels.EditNs})
+	return inc
 }
 
 func toResult(name string, r testing.BenchmarkResult, hitRate float64) result {

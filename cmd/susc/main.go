@@ -53,6 +53,7 @@ import (
 	"math/rand"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"runtime"
 	"sort"
 	"strings"
@@ -61,6 +62,7 @@ import (
 	"susc/internal/budget"
 	"susc/internal/compliance"
 	"susc/internal/contract"
+	"susc/internal/hash"
 	"susc/internal/hexpr"
 	"susc/internal/lambda"
 	"susc/internal/lint"
@@ -69,6 +71,7 @@ import (
 	"susc/internal/network"
 	"susc/internal/parser"
 	"susc/internal/plans"
+	"susc/internal/store"
 	"susc/internal/valid"
 	"susc/internal/verify"
 )
@@ -127,7 +130,9 @@ func run(args []string) error {
 	stream := fs.Bool("stream", false,
 		"plans: print each assessment as it is produced (with -json, one object per line)")
 	stats := fs.Bool("stats", false,
-		"plans/lint: print per-engine work counters on stderr")
+		"plans/check/checkall/lint: print per-engine work counters on stderr")
+	cacheDir := fs.String("cache", "",
+		"plans/check/checkall/lint: persist verdicts in DIR/susc.store and reuse them across runs (incremental re-verification)")
 	severity := fs.String("severity", "info",
 		"lint: report findings at or above this severity (info, warning, error)")
 	codeFilter := fs.String("code", "",
@@ -175,7 +180,7 @@ func run(args []string) error {
 	if cmd == "lint" {
 		// lint parses leniently itself, so one run can report several
 		// independent problems (and parse errors become diagnostics).
-		return cmdLint(path, string(src), *jsonOut, *severity, *stats, bud)
+		return cmdLint(path, string(src), *jsonOut, *severity, *stats, *cacheDir, bud)
 	}
 	if cmd == "explain" {
 		// explain also parses leniently: the semantic analyzers skip what
@@ -201,11 +206,11 @@ func run(args []string) error {
 	case "validity":
 		return cmdValidity(f)
 	case "plans":
-		return cmdPlans(f, *clientName, *prune, *jsonOut, *stream, *stats, *workers, bud)
+		return cmdPlans(f, *clientName, *prune, *jsonOut, *stream, *stats, *workers, *cacheDir, bud)
 	case "check":
-		return cmdCheck(f, *clientName, *jsonOut, bud)
+		return cmdCheck(f, *clientName, *jsonOut, *stats, *cacheDir, bud)
 	case "checkall":
-		return cmdCheckAll(f, *capSpec, *jsonOut, bud)
+		return cmdCheckAll(f, string(src), *capSpec, *jsonOut, *stats, *cacheDir, bud)
 	case "run":
 		return cmdRun(f, *clientName, *seed, *steps, *monitored, *runAll, *capSpec)
 	case "substitutable":
@@ -214,6 +219,47 @@ func run(args []string) error {
 		return cmdDual(f, *dualOf)
 	}
 	return nil
+}
+
+// openStore opens (or creates) the persistent verdict store under -cache
+// DIR, keyed to the current engine fingerprint. An empty dir means no
+// persistence; the returned nil store is accepted everywhere.
+func openStore(dir string) (*store.Store, error) {
+	if dir == "" {
+		return nil, nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	return store.Open(filepath.Join(dir, "susc.store"), hash.Fingerprint())
+}
+
+// printStoreStats reports the disk-tier counters on stderr: the overall
+// line plus one line per record kind that saw traffic (CI keys on the
+// per-kind lines to gate incremental recompute fractions).
+func printStoreStats(enabled bool, disk *store.Store) {
+	if !enabled || disk == nil {
+		return
+	}
+	st := disk.Stats()
+	fmt.Fprintf(os.Stderr,
+		"stats: store %d hits, %d misses (%.1f%% hit rate), %d write-backs, %d entries, ~%d bytes, opened in %v (%d records replayed)\n",
+		st.Hits(), st.Misses(), st.HitRate()*100, st.Writebacks(),
+		st.Entries(), st.Bytes(), st.OpenTime, st.Replayed)
+	if st.HealedBytes > 0 {
+		fmt.Fprintf(os.Stderr, "stats: store healed a torn tail of %d byte(s) on open\n", st.HealedBytes)
+	}
+	if st.Reset {
+		fmt.Fprintln(os.Stderr, "stats: store reset on open (engine fingerprint or format version changed)")
+	}
+	for _, k := range store.Kinds() {
+		t := st.PerKind[k]
+		if t.Hits+t.Misses+t.Writebacks == 0 {
+			continue
+		}
+		fmt.Fprintf(os.Stderr, "stats: store/%s %d hits, %d misses, %d write-backs, %d entries, ~%d bytes\n",
+			store.KindName(k), t.Hits, t.Misses, t.Writebacks, t.Entries, t.Bytes)
+	}
 }
 
 // lintEntry is the JSON shape of one diagnostic in -json NDJSON output:
@@ -227,17 +273,24 @@ type lintEntry struct {
 // prints positioned diagnostics: text ("file:line:col: severity: message
 // [CODE]") or, with -json, NDJSON with one diagnostic object per line.
 // The exit status is non-zero iff any error-severity finding is reported.
-func cmdLint(path, src string, jsonOut bool, severity string, stats bool, bud *budget.Budget) error {
+func cmdLint(path, src string, jsonOut bool, severity string, stats bool, cacheDir string, bud *budget.Budget) error {
 	minSev, err := lint.ParseSeverity(severity)
 	if err != nil {
 		return err
+	}
+	disk, err := openStore(cacheDir)
+	if err != nil {
+		return err
+	}
+	if disk != nil {
+		defer disk.Close()
 	}
 	cache := memo.New()
 	opts := lint.Options{MinSeverity: minSev, Cache: cache, Budget: bud}
 	if stats {
 		opts.Stats = &lint.Stats{}
 	}
-	diags := lint.Source(src, opts)
+	diags := lint.SourceCached(src, disk, opts)
 	errs := 0
 	if jsonOut {
 		enc := json.NewEncoder(os.Stdout)
@@ -266,6 +319,7 @@ func cmdLint(path, src string, jsonOut bool, severity string, stats bool, bud *b
 		st := cache.Stats()
 		fmt.Fprintf(os.Stderr, "stats: cache %d hits, %d misses (%.1f%% hit rate), %d entries, ~%d bytes\n",
 			st.Hits(), st.Misses(), st.HitRate()*100, st.Entries(), st.ApproxBytes)
+		printStoreStats(true, disk)
 	}
 	if !jsonOut && len(diags) > 0 {
 		fmt.Fprintf(os.Stderr, "lint: %d finding(s): %d error(s), %d warning(s), %d info\n",
@@ -657,12 +711,20 @@ func toPlanEntry(a plans.Assessment) planEntry {
 	return planEntry{Plan: m, Report: a.Report}
 }
 
-func cmdPlans(f *parser.File, name string, prune, jsonOut, stream, stats bool, workers int, bud *budget.Budget) error {
+func cmdPlans(f *parser.File, name string, prune, jsonOut, stream, stats bool, workers int, cacheDir string, bud *budget.Budget) error {
 	c, err := client(f, name)
 	if err != nil {
 		return err
 	}
+	disk, err := openStore(cacheDir)
+	if err != nil {
+		return err
+	}
+	if disk != nil {
+		defer disk.Close()
+	}
 	cache := memo.New()
+	cache.AttachDisk(disk)
 	opts := plans.Options{
 		PruneNonCompliant: prune,
 		Workers:           workers,
@@ -679,6 +741,7 @@ func cmdPlans(f *parser.File, name string, prune, jsonOut, stream, stats bool, w
 		if err := printPlanStats(stats, cache, opts.Stats); err != nil {
 			return err
 		}
+		printStoreStats(stats, disk)
 		if runErr != nil {
 			return runErr
 		}
@@ -761,7 +824,7 @@ func printPlanStats(enabled bool, cache *memo.Cache, fs *plans.FusedStats) error
 	return nil
 }
 
-func cmdCheck(f *parser.File, name string, jsonOut bool, bud *budget.Budget) error {
+func cmdCheck(f *parser.File, name string, jsonOut, stats bool, cacheDir string, bud *budget.Budget) error {
 	c, err := client(f, name)
 	if err != nil {
 		return err
@@ -769,9 +832,24 @@ func cmdCheck(f *parser.File, name string, jsonOut bool, bud *budget.Budget) err
 	if c.Plan == nil {
 		return fmt.Errorf("client %s declares no plan", c.Name)
 	}
-	r, err := verify.CheckPlanOpts(f.Repo, f.Table, c.Loc, c.Expr, c.Plan, verify.Options{Budget: bud})
+	disk, err := openStore(cacheDir)
 	if err != nil {
 		return err
+	}
+	if disk != nil {
+		defer disk.Close()
+	}
+	cache := memo.New()
+	cache.AttachDisk(disk)
+	r, err := verify.CheckPlanOpts(f.Repo, f.Table, c.Loc, c.Expr, c.Plan, verify.Options{Cache: cache, Budget: bud})
+	if err != nil {
+		return err
+	}
+	if stats {
+		st := cache.Stats()
+		fmt.Fprintf(os.Stderr, "stats: cache %d hits, %d misses (%.1f%% hit rate), %d entries, ~%d bytes\n",
+			st.Hits(), st.Misses(), st.HitRate()*100, st.Entries(), st.ApproxBytes)
+		printStoreStats(true, disk)
 	}
 	if jsonOut {
 		enc := json.NewEncoder(os.Stdout)
@@ -794,17 +872,34 @@ func cmdCheck(f *parser.File, name string, jsonOut bool, bud *budget.Budget) err
 	return nil
 }
 
-// cmdCheckAll validates every declared client in one product exploration,
-// optionally under bounded availability ("loc=n,loc=n").
-func cmdCheckAll(f *parser.File, capSpec string, jsonOut bool, bud *budget.Budget) error {
+// cmdCheckAll validates every declared client, optionally under bounded
+// availability ("loc=n,loc=n"). Without capacity bounds the components of
+// a network never interact, so each client is checked by its own
+// exploration — the per-client verdicts persist independently in the
+// -cache store, which is what makes re-checking an edited repository
+// proportional to the edit's dependency cone. With bounded availability
+// the clients compete for replicas and only the whole-network product
+// exploration is sound, so the verdict is checked (and persisted) whole.
+func cmdCheckAll(f *parser.File, src, capSpec string, jsonOut, stats bool, cacheDir string, bud *budget.Budget) error {
 	if len(f.Clients) == 0 {
 		return fmt.Errorf("the file declares no clients")
 	}
+	disk, err := openStore(cacheDir)
+	if err != nil {
+		return err
+	}
+	if disk != nil {
+		defer disk.Close()
+	}
+	cache := memo.New()
+	cache.AttachDisk(disk)
 	// Surface lint findings alongside the verdict (on stderr, so -json
 	// stdout stays machine-readable), semantic analyzers included; witness
 	// details stay behind `susc explain`. The file parsed strictly, so
-	// there are no parse-level issues to forward.
-	for _, d := range lint.Run(f, nil, lint.Options{MinSeverity: lint.Warning, Analyzers: lint.AllAnalyzers()}) {
+	// there are no parse-level issues to forward. With -cache, the whole
+	// run's findings persist under the file's content hash.
+	for _, d := range lint.RunCached(f, nil, src, disk,
+		lint.Options{MinSeverity: lint.Warning, Analyzers: lint.AllAnalyzers(), Cache: cache}) {
 		fmt.Fprintf(os.Stderr, "lint: %s\n", d)
 		if d.Witness != nil {
 			fmt.Fprintf(os.Stderr, "lint: \trun `susc explain FILE -code %s` for the %d-step witness\n",
@@ -818,17 +913,41 @@ func cmdCheckAll(f *parser.File, capSpec string, jsonOut bool, bud *budget.Budge
 		}
 		specs = append(specs, verify.ClientSpec{Loc: c.Loc, Client: c.Expr, Plan: c.Plan})
 	}
-	opts := verify.Options{Budget: bud}
+	opts := verify.Options{Cache: cache, Budget: bud}
+	var r *verify.Report
 	if capSpec != "" {
 		caps, err := parseCaps(capSpec)
 		if err != nil {
 			return err
 		}
 		opts.Capacities = caps
+		r, err = verify.CheckNetwork(f.Repo, f.Table, specs, opts)
+		if err != nil {
+			return err
+		}
+	} else {
+		// Component-wise validation: the network is valid iff every client
+		// is, and the first failing client's report is the network's. Valid
+		// components sum their explored states.
+		agg := &verify.Report{Verdict: verify.Valid}
+		for _, sp := range specs {
+			cr, err := verify.CheckPlanOpts(f.Repo, f.Table, sp.Loc, sp.Client, sp.Plan, opts)
+			if err != nil {
+				return err
+			}
+			if cr.Verdict != verify.Valid {
+				agg = cr
+				break
+			}
+			agg.States += cr.States
+		}
+		r = agg
 	}
-	r, err := verify.CheckNetwork(f.Repo, f.Table, specs, opts)
-	if err != nil {
-		return err
+	if stats {
+		st := cache.Stats()
+		fmt.Fprintf(os.Stderr, "stats: cache %d hits, %d misses (%.1f%% hit rate), %d entries, ~%d bytes\n",
+			st.Hits(), st.Misses(), st.HitRate()*100, st.Entries(), st.ApproxBytes)
+		printStoreStats(true, disk)
 	}
 	if jsonOut {
 		enc := json.NewEncoder(os.Stdout)

@@ -175,6 +175,105 @@ func ChainedSource(depth, fanout int) string {
 	return b.String()
 }
 
+// ChainedClient is one planned client of the ChainedClients world.
+type ChainedClient struct {
+	Name string
+	Loc  hexpr.Location
+	// Req is the client's own opening request (unique per client, so the
+	// declarations lint clean).
+	Req  hexpr.RequestID
+	Expr hexpr.Expr
+	Plan network.Plan
+}
+
+// ChainedClientsWorld extends the Chained repository with n fully planned
+// clients, the workload of the incremental-verification benchmarks: many
+// declarations over one shared repository, each with a small, mostly
+// disjoint dependency cone.
+type ChainedClientsWorld struct {
+	*ChainedWorld
+	Clients []ChainedClient
+	Depth   int
+	Fanout  int
+}
+
+// ChainedClients builds n planned clients over the Chained(depth, fanout)
+// repository. Every client follows the column-0 spine — r_i bound to
+// s<i>_0 — except at one level, its *divergence*: client k diverges at
+// level d = 1+(k mod depth) to column c = 1+(k div depth mod (fanout-1)).
+// While n ≤ depth·(fanout-1), the divergences are pairwise distinct, so
+// each divergent service s<d>_<c> sits in exactly ONE client's dependency
+// cone: editing it must invalidate exactly one of the n persisted
+// verdicts. (The spine services s<i>_0 sit in almost every cone — editing
+// one is the worst case.) All plans are level-respecting, hence valid.
+// fanout must be at least 2.
+func ChainedClients(depth, fanout, n int) *ChainedClientsWorld {
+	w := Chained(depth, fanout)
+	out := &ChainedClientsWorld{ChainedWorld: w, Depth: depth, Fanout: fanout}
+	for k := 0; k < n; k++ {
+		req := hexpr.RequestID(fmt.Sprintf("q%d", k))
+		c := ChainedClient{
+			Name: fmt.Sprintf("c%d", k),
+			Loc:  hexpr.Location(fmt.Sprintf("cl%d", k)),
+			Req:  req,
+			Expr: hexpr.Open(req, hexpr.NoPolicy,
+				hexpr.SendThen("m1", hexpr.RecvThen("k1", hexpr.Eps()))),
+			Plan: network.Plan{},
+		}
+		d := 1 + k%depth
+		col := 1 + (k/depth)%(fanout-1)
+		for i := 1; i <= depth; i++ {
+			j := 0
+			if i == d {
+				j = col
+			}
+			r := req
+			if i > 1 {
+				r = hexpr.RequestID(fmt.Sprintf("r%d", i))
+			}
+			c.Plan[r] = hexpr.Location(fmt.Sprintf("s%d_%d", i, j))
+		}
+		out.Clients = append(out.Clients, c)
+	}
+	return out
+}
+
+// Divergent returns the service only client k's plan selects off the
+// column-0 spine — the canonical single-cone edit target.
+func (w *ChainedClientsWorld) Divergent(k int) hexpr.Location {
+	d := 1 + k%w.Depth
+	col := 1 + (k/w.Depth)%(w.Fanout-1)
+	return hexpr.Location(fmt.Sprintf("s%d_%d", d, col))
+}
+
+// ChainedClientsSource renders the ChainedClients world as a
+// surface-syntax specification with fully planned clients, ready for
+// `susc checkall`: the workload of the incremental-smoke CI job. The
+// output parses back to the same world.
+func ChainedClientsSource(depth, fanout, n int) string {
+	w := ChainedClients(depth, fanout, n)
+	locs := make([]string, 0, len(w.Repo))
+	for loc := range w.Repo {
+		locs = append(locs, string(loc))
+	}
+	sort.Strings(locs)
+	var b strings.Builder
+	for _, loc := range locs {
+		fmt.Fprintf(&b, "service %s = %s;\n", loc, hexpr.Pretty(w.Repo[hexpr.Location(loc)]))
+	}
+	for _, c := range w.Clients {
+		var binds []string
+		binds = append(binds, fmt.Sprintf("%s -> %s", c.Req, c.Plan[c.Req]))
+		for i := 2; i <= depth; i++ {
+			r := hexpr.RequestID(fmt.Sprintf("r%d", i))
+			binds = append(binds, fmt.Sprintf("%s -> %s", r, c.Plan[r]))
+		}
+		fmt.Fprintf(&b, "client %s at %s plan { %s } = %s;\n",
+			c.Name, c.Loc, strings.Join(binds, ", "), hexpr.Pretty(c.Expr))
+	}
+	return b.String()
+}
+
 // PingPong builds a compliant recursive contract pair exchanging `width`
 // distinct messages per round for `depth` alternation layers: the product
 // automaton grows with both parameters.

@@ -55,6 +55,21 @@ func (s Severity) String() string {
 // JSON stream stable against renumbering.
 func (s Severity) MarshalJSON() ([]byte, error) { return json.Marshal(s.String()) }
 
+// UnmarshalJSON is the inverse of MarshalJSON; diagnostics round-trip
+// through the persistent store as JSON.
+func (s *Severity) UnmarshalJSON(b []byte) error {
+	var name string
+	if err := json.Unmarshal(b, &name); err != nil {
+		return err
+	}
+	v, err := ParseSeverity(name)
+	if err != nil {
+		return err
+	}
+	*s = v
+	return nil
+}
+
 // ParseSeverity parses "info", "warning" or "error".
 func ParseSeverity(text string) (Severity, error) {
 	switch text {

@@ -181,6 +181,10 @@ var unrealizableAnalyzer = &Analyzer{
 				MaxPlans:          maxSemanticPlans,
 				Cache:             pass.Cache,
 				Budget:            pass.Budget,
+				// The sweep is an existence probe over the whole plan
+				// family; its per-plan verdicts stay in the memory tier
+				// (the lint result itself is persisted whole-file).
+				MemoryTierOnly: true,
 			})
 			if err != nil || len(as) == 0 {
 				continue // plan space too large or empty: nothing sound to say

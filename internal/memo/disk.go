@@ -1,0 +1,134 @@
+package memo
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"susc/internal/hash"
+	"susc/internal/hexpr"
+	"susc/internal/lts"
+	"susc/internal/store"
+)
+
+// AttachDisk adds a persistent second tier under the cache: a memory miss
+// probes the store before computing, and freshly computed verdicts are
+// written back. Compliance errors are never persisted (they are
+// environmental, not content-determined), matching the rule that
+// budget-aborted Unknown verdicts never reach disk either.
+//
+// Attach before sharing the cache across goroutines; the store itself is
+// concurrency-safe.
+func (c *Cache) AttachDisk(s *store.Store) { c.disk = s }
+
+// Disk returns the attached persistent tier, or nil.
+func (c *Cache) Disk() *store.Store { return c.disk }
+
+// encodeVerdict serialises a compliance verdict: ok byte + witness text.
+func encodeVerdict(v verdict) []byte {
+	out := make([]byte, 1+len(v.witness))
+	if v.ok {
+		out[0] = 1
+	}
+	copy(out[1:], v.witness)
+	return out
+}
+
+func decodeVerdict(b []byte) (verdict, error) {
+	if len(b) < 1 || b[0] > 1 {
+		return verdict{}, fmt.Errorf("memo: malformed compliance record")
+	}
+	return verdict{ok: b[0] == 1, witness: string(b[1:])}, nil
+}
+
+// complianceDisk is the disk tier of Compliance: probe, compute under
+// singleflight on a miss, write back. The content key is the digest of
+// both canonical expression forms — the entire dependency cone of a
+// compliance verdict.
+func (c *Cache) complianceDisk(k uint64, client, server hexpr.Expr) (verdict, error) {
+	sum := hash.Pair(client, server)
+	if raw, ok := c.disk.Get(store.KindCompliance, sum); ok {
+		v, err := decodeVerdict(raw)
+		if err == nil {
+			c.verdicts.put(k, v, 16+uint64(len(v.witness)))
+			return v, nil
+		}
+		// Malformed resident record (should be unreachable past the CRC):
+		// fall through and recompute.
+	}
+	got, err := c.disk.Once(store.KindCompliance, sum, func() (any, error) {
+		// A concurrent winner may have written the record while we waited.
+		if raw, ok := c.disk.Peek(store.KindCompliance, sum); ok {
+			if v, err := decodeVerdict(raw); err == nil {
+				return v, nil
+			}
+		}
+		v := c.computeCompliance(client, server)
+		if v.err == nil {
+			if perr := c.disk.Put(store.KindCompliance, sum, encodeVerdict(v)); perr != nil {
+				return v, perr
+			}
+		}
+		return v, nil
+	})
+	if err != nil {
+		return verdict{}, err
+	}
+	v := got.(verdict)
+	c.verdicts.put(k, v, 16+uint64(len(v.witness)))
+	return v, nil
+}
+
+// LTSSummary is the persisted size summary of a built transition system.
+type LTSSummary struct {
+	States, Edges int
+}
+
+func encodeLTSSummary(s LTSSummary) []byte {
+	var buf [2 * binary.MaxVarintLen64]byte
+	n := binary.PutVarint(buf[:], int64(s.States))
+	n += binary.PutVarint(buf[n:], int64(s.Edges))
+	return buf[:n]
+}
+
+func decodeLTSSummary(b []byte) (LTSSummary, bool) {
+	states, n := binary.Varint(b)
+	if n <= 0 {
+		return LTSSummary{}, false
+	}
+	edges, m := binary.Varint(b[n:])
+	if m <= 0 || n+m != len(b) {
+		return LTSSummary{}, false
+	}
+	return LTSSummary{States: int(states), Edges: int(edges)}, true
+}
+
+func summarize(l *lts.LTS) LTSSummary {
+	s := LTSSummary{States: len(l.States)}
+	for _, es := range l.Edges {
+		s.Edges += len(es)
+	}
+	return s
+}
+
+// persistLTSSummary writes the size summary of a successfully built LTS;
+// failed builds (size-bound overruns) are never persisted.
+func (c *Cache) persistLTSSummary(e hexpr.Expr, l *lts.LTS) {
+	if c.disk == nil || l == nil {
+		return
+	}
+	c.disk.Put(store.KindLTSSummary, hash.Expr(e), encodeLTSSummary(summarize(l)))
+}
+
+// DiskLTSSummary returns the persisted size summary for e, if the store
+// holds one — the cheap "how big was this last time" probe that avoids
+// rebuilding a transition system just to report its size.
+func (c *Cache) DiskLTSSummary(e hexpr.Expr) (LTSSummary, bool) {
+	if c.disk == nil {
+		return LTSSummary{}, false
+	}
+	raw, ok := c.disk.Get(store.KindLTSSummary, hash.Expr(e))
+	if !ok {
+		return LTSSummary{}, false
+	}
+	return decodeLTSSummary(raw)
+}

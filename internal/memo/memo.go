@@ -24,6 +24,7 @@ import (
 	"susc/internal/hexpr"
 	"susc/internal/intern"
 	"susc/internal/lts"
+	"susc/internal/store"
 )
 
 const shardCount = 16 // power of two
@@ -146,6 +147,10 @@ type Cache struct {
 	ltss     table[ltsEntry]
 	projs    table[hexpr.Expr]
 	compiled table[*autom.Compiled]
+
+	// disk is the optional persistent second tier (see AttachDisk):
+	// memory miss → disk probe → compute → write-back.
+	disk *store.Store
 }
 
 // New returns an empty cache with a fresh interning table.
@@ -251,12 +256,29 @@ func (c *Cache) Product(client, server hexpr.Expr) (*compliance.Product, error) 
 
 // Compliance decides H_client ⊢ H_server, memoised per distinct pair. It
 // returns the verdict together with the (deterministic) witness string of
-// a shortest stuck run when non-compliant.
+// a shortest stuck run when non-compliant. With a disk tier attached, a
+// memory miss probes the store (content-keyed on both canonical forms)
+// before computing, and computed verdicts are written back.
 func (c *Cache) Compliance(client, server hexpr.Expr) (ok bool, witness string, err error) {
 	k := intern.Pack(c.tab.Expr(client), c.tab.Expr(server))
 	if v, ok := c.verdicts.get(k); ok {
 		return v.ok, v.witness, v.err
 	}
+	if c.disk != nil {
+		v, derr := c.complianceDisk(k, client, server)
+		if derr != nil {
+			return false, "", derr
+		}
+		return v.ok, v.witness, v.err
+	}
+	v := c.computeCompliance(client, server)
+	c.verdicts.put(k, v, 16+uint64(len(v.witness)))
+	return v.ok, v.witness, v.err
+}
+
+// computeCompliance builds the product and extracts the verdict; the
+// single compute path shared by the memory-only and disk-tier routes.
+func (c *Cache) computeCompliance(client, server hexpr.Expr) verdict {
 	v := verdict{}
 	p, err := c.Product(client, server)
 	if err != nil {
@@ -266,8 +288,7 @@ func (c *Cache) Compliance(client, server hexpr.Expr) (ok bool, witness string, 
 	} else {
 		v.ok = true
 	}
-	c.verdicts.put(k, v, 16+uint64(len(v.witness)))
-	return v.ok, v.witness, v.err
+	return v
 }
 
 // Compliant is Compliance without the witness, mirroring
@@ -303,5 +324,8 @@ func (c *Cache) LTS(e hexpr.Expr) (*lts.LTS, error) {
 	}
 	l, err := lts.BuildInterned(c.tab, e, lts.DefaultMaxStates)
 	c.ltss.put(k, ltsEntry{l: l, err: err}, ltsBytes(l))
+	if err == nil {
+		c.persistLTSSummary(e, l)
+	}
 	return l, err
 }

@@ -1150,6 +1150,11 @@ func (eng *fusedEngine) enumerate() ([]network.Plan, [][]int32, error) {
 // the fused engine: plans are validated against one shared state graph,
 // and with opts.Workers > 1 they are assessed concurrently (yield still
 // observes enumeration order, and is never called concurrently).
+//
+// With a persistent store attached to opts.Cache, the stream uses only
+// the compliance and LTS disk tiers (through the cache); per-plan report
+// persistence is the batch assessor's job — AssessAll probes and writes
+// the plan-report tier.
 func AssessStream(repo network.Repository, table *policy.Table,
 	loc hexpr.Location, client hexpr.Expr, opts Options,
 	yield func(Assessment) error) error {

@@ -1,0 +1,346 @@
+package plans_test
+
+import (
+	"context"
+	"encoding/json"
+	"path/filepath"
+	"testing"
+
+	"susc/internal/benchgen"
+	"susc/internal/budget"
+	"susc/internal/hash"
+	"susc/internal/hexpr"
+	"susc/internal/memo"
+	"susc/internal/network"
+	"susc/internal/paperex"
+	"susc/internal/plans"
+	"susc/internal/store"
+	"susc/internal/verify"
+)
+
+// render flattens assessments into comparable strings: the plan key plus
+// the report's full JSON wire form. Fresh and store-decoded reports differ
+// internally (live trace entries vs labels), so equality is defined — as
+// everywhere in the CLI — over the rendered output.
+func render(t *testing.T, as []plans.Assessment) []string {
+	t.Helper()
+	out := make([]string, len(as))
+	for i, a := range as {
+		j, err := json.Marshal(a.Report)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[i] = a.Plan.Key() + " " + a.Report.String() + " " + string(j)
+	}
+	return out
+}
+
+func assertSameAssessments(t *testing.T, label string, got, want []plans.Assessment) {
+	t.Helper()
+	g, w := render(t, got), render(t, want)
+	if len(g) != len(w) {
+		t.Fatalf("%s: %d assessments, want %d", label, len(g), len(w))
+	}
+	for i := range g {
+		if g[i] != w[i] {
+			t.Errorf("%s: assessment %d:\ngot  %s\nwant %s", label, i, g[i], w[i])
+		}
+	}
+}
+
+// TestIncrementalWarmStoreMatches: with a store attached, AssessAll's
+// verdicts are identical to the storeless run — cold (computing and
+// persisting) and warm (replaying every plan from disk with zero
+// exploration).
+func TestIncrementalWarmStoreMatches(t *testing.T) {
+	w := benchgen.Chained(3, 2)
+	opts := plans.Options{PruneNonCompliant: true}
+	baseline, err := plans.AssessAll(w.Repo, w.Table, w.Loc, w.Client, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	path := filepath.Join(t.TempDir(), "susc.store")
+	s1, err := store.Open(path, hash.Fingerprint())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold := memo.New()
+	cold.AttachDisk(s1)
+	coldAs, err := plans.AssessAll(w.Repo, w.Table, w.Loc, w.Client,
+		plans.Options{PruneNonCompliant: true, Cache: cold})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameAssessments(t, "cold", coldAs, baseline)
+	if wb := s1.Stats().PerKind[store.KindPlanReport].Writebacks; wb != uint64(len(baseline)) {
+		t.Fatalf("cold run wrote back %d plan reports, want %d", wb, len(baseline))
+	}
+	if err := s1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := store.Open(path, hash.Fingerprint())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	warm := memo.New()
+	warm.AttachDisk(s2)
+	warmAs, err := plans.AssessAll(w.Repo, w.Table, w.Loc, w.Client,
+		plans.Options{PruneNonCompliant: true, Cache: warm})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameAssessments(t, "warm", warmAs, baseline)
+	st := s2.Stats().PerKind[store.KindPlanReport]
+	if st.Misses != 0 || st.Hits != uint64(len(baseline)) {
+		t.Fatalf("warm run: %d hits, %d misses; want %d hits, 0 misses",
+			st.Hits, st.Misses, len(baseline))
+	}
+	if s2.Stats().Writebacks() != 0 {
+		t.Fatal("warm run wrote back; the store was already complete")
+	}
+}
+
+// TestIncrementalConeEditRecomputesOnlyCone is the incremental headline:
+// after a one-declaration edit, the assessor recomputes exactly the plans
+// whose dependency cone contains the edited service — counted by store
+// misses AND by write-backs (each recomputed cone writes back once) — and
+// replays everything else.
+func TestIncrementalConeEditRecomputesOnlyCone(t *testing.T) {
+	const depth, fanout = 2, 4 // 16 plans; editing one leaf invalidates 4 = 1/4 → per-plan recompute path
+	w := benchgen.Chained(depth, fanout)
+	opts := plans.Options{PruneNonCompliant: true, Workers: 4}
+
+	path := filepath.Join(t.TempDir(), "susc.store")
+	s1, err := store.Open(path, hash.Fingerprint())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold := memo.New()
+	cold.AttachDisk(s1)
+	coldAs, err := plans.AssessAll(w.Repo, w.Table, w.Loc, w.Client,
+		plans.Options{PruneNonCompliant: true, Workers: 4, Cache: cold})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(coldAs) != w.PlanCount {
+		t.Fatalf("cold: %d plans, want %d", len(coldAs), w.PlanCount)
+	}
+	if err := s1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The edit: an extra internal event at the head of leaf service s2_3.
+	// Communication behaviour is unchanged, so every verdict stays Valid —
+	// only the cones move.
+	edited := network.Repository{}
+	for l, e := range w.Repo {
+		edited[l] = e
+	}
+	target := hexpr.Location("s2_3")
+	edited[target] = hexpr.Cat(hexpr.Act(hexpr.E("tweak")), w.Repo[target])
+
+	baseline, err := plans.AssessAll(edited, w.Table, w.Loc, w.Client, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := store.Open(path, hash.Fingerprint())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	warm := memo.New()
+	warm.AttachDisk(s2)
+	got, err := plans.AssessAll(edited, w.Table, w.Loc, w.Client,
+		plans.Options{PruneNonCompliant: true, Workers: 4, Cache: warm})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameAssessments(t, "after edit", got, baseline)
+
+	st := s2.Stats().PerKind[store.KindPlanReport]
+	wantMisses := uint64(w.PlanCount / fanout) // plans binding r2 → s2_3
+	if st.Misses != wantMisses {
+		t.Fatalf("edit invalidated %d plans, want exactly %d (the cone of %s)",
+			st.Misses, wantMisses, target)
+	}
+	if st.Hits != uint64(w.PlanCount)-wantMisses {
+		t.Fatalf("replayed %d plans, want %d", st.Hits, uint64(w.PlanCount)-wantMisses)
+	}
+	if st.Writebacks != wantMisses {
+		t.Fatalf("recomputed (wrote back) %d plans, want exactly %d", st.Writebacks, wantMisses)
+	}
+}
+
+// TestIncrementalLargeEditFallsBackToFused: when an edit invalidates more
+// than a quarter of the plan space, the assessor switches to the shared-
+// graph engine — results stay identical, and exactly the misses are
+// written back.
+func TestIncrementalLargeEditFallsBackToFused(t *testing.T) {
+	const depth, fanout = 2, 2 // 4 plans; editing s2_1 invalidates 2 > 1/4
+	w := benchgen.Chained(depth, fanout)
+
+	path := filepath.Join(t.TempDir(), "susc.store")
+	s1, err := store.Open(path, hash.Fingerprint())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold := memo.New()
+	cold.AttachDisk(s1)
+	if _, err := plans.AssessAll(w.Repo, w.Table, w.Loc, w.Client,
+		plans.Options{PruneNonCompliant: true, Cache: cold}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	edited := network.Repository{}
+	for l, e := range w.Repo {
+		edited[l] = e
+	}
+	edited["s2_1"] = hexpr.Cat(hexpr.Act(hexpr.E("tweak")), w.Repo["s2_1"])
+	baseline, err := plans.AssessAll(edited, w.Table, w.Loc, w.Client,
+		plans.Options{PruneNonCompliant: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := store.Open(path, hash.Fingerprint())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	warm := memo.New()
+	warm.AttachDisk(s2)
+	got, err := plans.AssessAll(edited, w.Table, w.Loc, w.Client,
+		plans.Options{PruneNonCompliant: true, Cache: warm})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameAssessments(t, "large edit", got, baseline)
+	st := s2.Stats().PerKind[store.KindPlanReport]
+	if st.Misses != 2 || st.Writebacks != 2 {
+		t.Fatalf("misses=%d writebacks=%d, want 2 and 2", st.Misses, st.Writebacks)
+	}
+}
+
+// TestEngineParityWithStore is the acceptance gate: all three engines
+// produce byte-identical rendered verdicts with the store disabled,
+// enabled-cold and enabled-warm. The paper world exercises every verdict
+// class (valid, non-compliant, security violation).
+func TestEngineParityWithStore(t *testing.T) {
+	repo := paperex.Repository()
+	table := paperex.Policies()
+	client, loc := paperex.C1(), paperex.LocC1
+
+	baseline, err := plans.AssessAll(repo, table, loc, client,
+		plans.Options{PruneNonCompliant: false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := render(t, baseline)
+
+	engines := []struct {
+		name string
+		e    plans.Engine
+	}{
+		{"legacy", plans.EngineLegacy},
+		{"reference", plans.EngineReference},
+		{"fused", plans.EngineFused},
+	}
+	for _, eng := range engines {
+		// Disabled: no store at all.
+		as, err := plans.AssessAll(repo, table, loc, client,
+			plans.Options{Engine: eng.e})
+		if err != nil {
+			t.Fatal(err)
+		}
+		compareRendered(t, eng.name+"/disabled", render(t, as), want)
+
+		// Enabled-cold and enabled-warm share one store.
+		s, err := store.Open(filepath.Join(t.TempDir(), "susc.store"), hash.Fingerprint())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, phase := range []string{"cold", "warm"} {
+			cache := memo.New()
+			cache.AttachDisk(s)
+			as, err := plans.AssessAll(repo, table, loc, client,
+				plans.Options{Engine: eng.e, Cache: cache})
+			if err != nil {
+				t.Fatal(err)
+			}
+			compareRendered(t, eng.name+"/"+phase, render(t, as), want)
+		}
+		if err := s.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func compareRendered(t *testing.T, label string, got, want []string) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d assessments, want %d", label, len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Errorf("%s: assessment %d:\ngot  %s\nwant %s", label, i, got[i], want[i])
+		}
+	}
+}
+
+// TestIncrementalNeverPersistsUnknown: a budget cutoff mid-assessment
+// leaves only decided verdicts on disk; entries equal write-backs, and a
+// later unconstrained warm run completes the store.
+func TestIncrementalNeverPersistsUnknown(t *testing.T) {
+	w := benchgen.Chained(3, 2)
+	s, err := store.Open(filepath.Join(t.TempDir(), "susc.store"), hash.Fingerprint())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	cache := memo.New()
+	cache.AttachDisk(s)
+	b := budget.New(context.Background(), budget.Limits{MaxStates: 40})
+	as, err := plans.AssessAll(w.Repo, w.Table, w.Loc, w.Client,
+		plans.Options{PruneNonCompliant: true, Cache: cache, Budget: b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	unknown := 0
+	for _, a := range as {
+		if a.Report.Verdict == verify.Unknown {
+			unknown++
+		}
+	}
+	if unknown == 0 {
+		t.Skip("budget did not bite; nothing to assert")
+	}
+	st := s.Stats().PerKind[store.KindPlanReport]
+	if st.Entries != uint64(len(as)-unknown) {
+		t.Fatalf("store holds %d plan entries, want %d (the decided verdicts only)",
+			st.Entries, len(as)-unknown)
+	}
+
+	free := memo.New()
+	free.AttachDisk(s)
+	full, err := plans.AssessAll(w.Repo, w.Table, w.Loc, w.Client,
+		plans.Options{PruneNonCompliant: true, Cache: free})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range full {
+		if a.Report.Verdict == verify.Unknown {
+			t.Fatalf("unconstrained run still unknown for %s", a.Plan)
+		}
+	}
+	if got := s.Stats().PerKind[store.KindPlanReport].Entries; got != uint64(len(full)) {
+		t.Fatalf("store holds %d entries after completion, want %d", got, len(full))
+	}
+}

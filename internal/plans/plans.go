@@ -51,6 +51,14 @@ type Options struct {
 	// Stats, when non-nil, receives the fused engine's work counters
 	// (EngineFused only).
 	Stats *FusedStats
+	// MemoryTierOnly keeps per-plan verdicts out of the persistent store
+	// even when the cache has one attached. Analyzer sweeps (the lint
+	// plan-space emptiness check) assess whole plan families as an
+	// existence probe; persisting fanout^depth sweep verdicts would bloat
+	// the store and muddy the per-plan hit/miss counters the CLI stats and
+	// CI gates key on. The compliance and LTS tiers underneath still use
+	// the disk — those are shared with real verification runs.
+	MemoryTierOnly bool
 	// Budget meters the whole synthesis (nil = unbounded): enumeration,
 	// graph expansion and every plan's exploration charge the same
 	// budget. Exhaustion or cancellation degrades gracefully — plans
@@ -78,11 +86,28 @@ func AssessAll(repo network.Repository, table *policy.Table,
 	loc hexpr.Location, client hexpr.Expr, opts Options) ([]Assessment, error) {
 
 	if opts.Engine == EngineLegacy {
+		// The legacy engine validates plans through CheckPlanOpts, which
+		// carries its own persistent tier when the cache has a store
+		// attached — no separate incremental dispatch needed.
 		return assessAllLegacy(repo, table, loc, client, opts)
 	}
 	if opts.Engine == EngineReference {
+		// The reference engine is a frozen baseline: it never touches the
+		// persistent tier, by design, so it stays byte-for-byte the PR 2
+		// engine.
 		return assessAllReference(repo, table, loc, client, opts)
 	}
+	if opts.Cache != nil && opts.Cache.Disk() != nil && !opts.MemoryTierOnly {
+		return assessAllIncremental(repo, table, loc, client, opts)
+	}
+	return assessAllFused(repo, table, loc, client, opts)
+}
+
+// assessAllFused runs the default shared-graph engine and collects the
+// stream into deterministically ordered assessments.
+func assessAllFused(repo network.Repository, table *policy.Table,
+	loc hexpr.Location, client hexpr.Expr, opts Options) ([]Assessment, error) {
+
 	var out []Assessment
 	var keys []string
 	err := assessStream(repo, table, loc, client, opts, func(a Assessment) error {
@@ -120,7 +145,8 @@ func assessAllLegacy(repo network.Repository, table *policy.Table,
 	if err != nil {
 		return nil, err
 	}
-	vopts := verify.Options{Cache: cache, Budget: opts.Budget}
+	vopts := verify.Options{Cache: cache, Budget: opts.Budget,
+		SkipDiskProbe: opts.MemoryTierOnly}
 	// checkGuarded validates one plan inside a panic guard: a worker panic
 	// becomes a typed *budget.InternalError carrying the plan key as a
 	// repro bundle, the plan's verdict degrades to Unknown, and the rest

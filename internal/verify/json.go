@@ -29,8 +29,6 @@ func (r *Report) MarshalJSON() ([]byte, error) {
 		Reason:    r.Reason,
 		Frontier:  r.Frontier,
 	}
-	for _, e := range r.Trace {
-		out.Trace = append(out.Trace, e.Label.String())
-	}
+	out.Trace = r.traceLabels()
 	return json.Marshal(out)
 }

@@ -13,6 +13,7 @@ import (
 	"susc/internal/network"
 	"susc/internal/policy"
 	"susc/internal/ring"
+	"susc/internal/store"
 )
 
 // CheckNetwork validates a whole vector of clients in one exploration of
@@ -29,6 +30,50 @@ func CheckNetwork(repo network.Repository, table *policy.Table,
 	cache := opts.Cache
 	if cache == nil {
 		cache = memo.New()
+	}
+
+	// Persistent tier, mirroring CheckPlanOpts: the key is the whole
+	// network's cone (components compete for shared replicas, so there is
+	// no per-component granularity to exploit). Unknown reports are never
+	// persisted.
+	if disk := cache.Disk(); disk != nil && !opts.SkipDiskProbe {
+		sum, err := NetworkKey(repo, table, clients, opts.Capacities)
+		if err != nil {
+			return nil, err
+		}
+		if raw, ok := disk.Get(store.KindNetworkReport, sum); ok {
+			if r, err := DecodeReport(raw); err == nil {
+				return r, nil
+			}
+		}
+		got, err := disk.Once(store.KindNetworkReport, sum, func() (any, error) {
+			if raw, ok := disk.Peek(store.KindNetworkReport, sum); ok {
+				if r, err := DecodeReport(raw); err == nil {
+					return r, nil
+				}
+			}
+			inner := opts
+			inner.Cache = cache
+			inner.SkipDiskProbe = true
+			r, err := CheckNetwork(repo, table, clients, inner)
+			if err != nil {
+				return nil, err
+			}
+			if r.Verdict != Unknown {
+				enc, eerr := EncodeReport(r)
+				if eerr != nil {
+					return nil, eerr
+				}
+				if perr := disk.Put(store.KindNetworkReport, sum, enc); perr != nil {
+					return nil, perr
+				}
+			}
+			return r, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		return got.(*Report), nil
 	}
 
 	// per-client static prechecks (cycles, compliance)

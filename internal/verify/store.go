@@ -1,0 +1,201 @@
+package verify
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+
+	"susc/internal/hash"
+	"susc/internal/hexpr"
+	"susc/internal/network"
+	"susc/internal/policy"
+)
+
+// This file is the persistence boundary of plan validation: content keys
+// for plan and network reports (the digest of the verdict's full
+// dependency cone) and a faithful Report round-trip through the existing
+// JSON wire form, so a report decoded from the store renders — as text
+// and as JSON — byte-identically to one computed fresh.
+
+// PlanKey is the content hash of the dependency cone of one (client, plan)
+// verdict: the client's canonical form, every planned request with the
+// service the plan binds it to, every policy instance any of those
+// expressions activate, and the capacity bounds of the cone's locations.
+// A declaration edit outside this cone leaves the key unchanged, which is
+// exactly what makes re-verification incremental.
+func PlanKey(repo network.Repository, table *policy.Table,
+	loc hexpr.Location, client hexpr.Expr, plan network.Plan,
+	caps map[hexpr.Location]int) (hash.Sum, error) {
+
+	h := hash.New()
+	h.Str("plan-report")
+	h.Str(string(loc))
+	h.Str(client.Key())
+
+	reqs, err := PlannedRequests(repo, client, plan)
+	if err != nil {
+		return hash.Sum{}, err
+	}
+	sort.Slice(reqs, func(i, j int) bool { return reqs[i].Req < reqs[j].Req })
+	h.Int(len(reqs))
+	coneLocs := map[hexpr.Location]bool{loc: true}
+	policyIDs := map[hexpr.PolicyID]bool{}
+	for _, id := range hexpr.Policies(client) {
+		policyIDs[id] = true
+	}
+	for _, pr := range reqs {
+		h.Str(string(pr.Req))
+		h.Str(string(pr.Policy))
+		h.Str(pr.Body.Key())
+		h.Str(string(pr.Loc))
+		if pr.Loc != "" {
+			coneLocs[pr.Loc] = true
+		}
+		for _, id := range hexpr.Policies(pr.Body) {
+			policyIDs[id] = true
+		}
+		if pr.Bound {
+			h.Int(1)
+			h.Str(pr.Service.Key())
+			for _, id := range hexpr.Policies(pr.Service) {
+				policyIDs[id] = true
+			}
+		} else {
+			h.Int(0)
+		}
+	}
+
+	writePolicies(h, table, policyIDs)
+	writeCaps(h, caps, coneLocs)
+	return h.Sum(), nil
+}
+
+// NetworkKey is the content hash of a whole-network verdict under bounded
+// availability: the ordered client vector (each with its planned cone),
+// the activated policies, and the full capacity map — components share
+// limited replicas, so every capacity is in every component's cone.
+func NetworkKey(repo network.Repository, table *policy.Table,
+	specs []ClientSpec, caps map[hexpr.Location]int) (hash.Sum, error) {
+
+	h := hash.New()
+	h.Str("network-report")
+	h.Int(len(specs))
+	policyIDs := map[hexpr.PolicyID]bool{}
+	for _, sp := range specs {
+		h.Str(string(sp.Loc))
+		h.Str(sp.Client.Key())
+		for _, id := range hexpr.Policies(sp.Client) {
+			policyIDs[id] = true
+		}
+		reqs, err := PlannedRequests(repo, sp.Client, sp.Plan)
+		if err != nil {
+			return hash.Sum{}, err
+		}
+		sort.Slice(reqs, func(i, j int) bool { return reqs[i].Req < reqs[j].Req })
+		h.Int(len(reqs))
+		for _, pr := range reqs {
+			h.Str(string(pr.Req))
+			h.Str(string(pr.Policy))
+			h.Str(pr.Body.Key())
+			h.Str(string(pr.Loc))
+			for _, id := range hexpr.Policies(pr.Body) {
+				policyIDs[id] = true
+			}
+			if pr.Bound {
+				h.Int(1)
+				h.Str(pr.Service.Key())
+				for _, id := range hexpr.Policies(pr.Service) {
+					policyIDs[id] = true
+				}
+			} else {
+				h.Int(0)
+			}
+		}
+	}
+	writePolicies(h, table, policyIDs)
+	writeCaps(h, caps, nil)
+	return h.Sum(), nil
+}
+
+// writePolicies digests the referenced policy instances in sorted ID
+// order: the full automaton structure, so editing a policy invalidates
+// exactly the verdicts whose cone activates it. An ID missing from the
+// table still contributes its name (the dangling reference is part of the
+// content).
+func writePolicies(h *hash.Hasher, table *policy.Table, ids map[hexpr.PolicyID]bool) {
+	sorted := make([]hexpr.PolicyID, 0, len(ids))
+	for id := range ids {
+		sorted = append(sorted, id)
+	}
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	h.Int(len(sorted))
+	for _, id := range sorted {
+		if table != nil {
+			if in, err := table.Get(id); err == nil {
+				hash.WritePolicy(h, in)
+				continue
+			}
+		}
+		h.Str(string(id))
+	}
+}
+
+// writeCaps digests the capacity bounds, restricted to cone when non-nil
+// — capacities of locations the verdict's exploration can never open are
+// not part of its cone.
+func writeCaps(h *hash.Hasher, caps map[hexpr.Location]int, cone map[hexpr.Location]bool) {
+	var locs []hexpr.Location
+	for l := range caps {
+		if cone == nil || cone[l] {
+			locs = append(locs, l)
+		}
+	}
+	sort.Slice(locs, func(i, j int) bool { return locs[i] < locs[j] })
+	h.Int(len(locs))
+	for _, l := range locs {
+		h.Str(string(l))
+		h.Int(caps[l])
+	}
+}
+
+// ParseVerdict is the inverse of Verdict.String.
+func ParseVerdict(s string) (Verdict, error) {
+	for v := Valid; v <= Unknown; v++ {
+		if v.String() == s {
+			return v, nil
+		}
+	}
+	return 0, fmt.Errorf("verify: unknown verdict %q", s)
+}
+
+// EncodeReport serialises a report for the persistent store using the
+// same wire form as the CLI's -json output.
+func EncodeReport(r *Report) ([]byte, error) {
+	return json.Marshal(r)
+}
+
+// DecodeReport is the inverse of EncodeReport. The decoded report carries
+// its trace as label strings (TraceLabels) rather than live TraceEntry
+// values; String and MarshalJSON render both identically, so a persisted
+// verdict is indistinguishable from a recomputed one in every output.
+func DecodeReport(b []byte) (*Report, error) {
+	var w reportJSON
+	if err := json.Unmarshal(b, &w); err != nil {
+		return nil, err
+	}
+	v, err := ParseVerdict(w.Verdict)
+	if err != nil {
+		return nil, err
+	}
+	return &Report{
+		Verdict:     v,
+		Policy:      hexpr.PolicyID(w.Policy),
+		Request:     hexpr.RequestID(w.Request),
+		Witness:     w.Witness,
+		TraceLabels: w.Trace,
+		StuckTree:   w.StuckTree,
+		States:      w.States,
+		Reason:      w.Reason,
+		Frontier:    w.Frontier,
+	}, nil
+}

@@ -30,6 +30,7 @@ import (
 	"susc/internal/network"
 	"susc/internal/policy"
 	"susc/internal/ring"
+	"susc/internal/store"
 )
 
 // Verdict classifies a plan.
@@ -95,6 +96,11 @@ type Report struct {
 	Witness string
 	// Trace drives the configuration to the offending state.
 	Trace []network.TraceEntry
+	// TraceLabels is the trace as rendered label strings. Freshly computed
+	// reports leave it nil (labels derive from Trace on demand); reports
+	// decoded from the persistent store carry only labels — every rendering
+	// path goes through labels, so the two are indistinguishable in output.
+	TraceLabels []string
 	// StuckTree is the session tree of the deadlocked configuration
 	// (deadlock verdicts only).
 	StuckTree string
@@ -115,7 +121,7 @@ func (r *Report) String() string {
 		return fmt.Sprintf("valid (%d states)", r.States)
 	case SecurityViolation:
 		return fmt.Sprintf("security violation of %s after %s (%d states)",
-			r.Policy, traceString(r.Trace), r.States)
+			r.Policy, strings.Join(r.traceLabels(), "·"), r.States)
 	case NotCompliant:
 		return fmt.Sprintf("request %s not compliant: %s", r.Request, r.Witness)
 	case UnboundedNesting:
@@ -125,16 +131,21 @@ func (r *Report) String() string {
 			r.Reason, r.States, r.Frontier)
 	default:
 		return fmt.Sprintf("deadlock at %s after %s (%d states)",
-			r.StuckTree, traceString(r.Trace), r.States)
+			r.StuckTree, strings.Join(r.traceLabels(), "·"), r.States)
 	}
 }
 
-func traceString(tr []network.TraceEntry) string {
-	parts := make([]string, len(tr))
-	for i, e := range tr {
+// traceLabels returns the rendered trace: the stored labels when present
+// (store-decoded reports), otherwise derived from the live entries.
+func (r *Report) traceLabels() []string {
+	if r.TraceLabels != nil || len(r.Trace) == 0 {
+		return r.TraceLabels
+	}
+	parts := make([]string, len(r.Trace))
+	for i, e := range r.Trace {
 		parts[i] = e.Label.String()
 	}
-	return strings.Join(parts, "·")
+	return parts
 }
 
 // MaxStates bounds the exploration.
@@ -158,6 +169,12 @@ type Options struct {
 	// search with a sound Unknown report instead of an error — verdicts
 	// decided before the cutoff stand.
 	Budget *budget.Budget
+	// SkipDiskProbe disables the persistent-report tier for this call even
+	// when the cache has a store attached. Callers that already probed the
+	// store themselves (the incremental plan assessor pre-probes every
+	// candidate) set it so a recompute is not double-counted as a second
+	// miss — the compliance and LTS tiers underneath stay active.
+	SkipDiskProbe bool
 }
 
 // unknownReport closes an exploration cut off by the budget: the verdict
@@ -233,6 +250,51 @@ func CheckPlanOpts(repo network.Repository, table *policy.Table,
 	cache := opts.Cache
 	if cache == nil {
 		cache = memo.New()
+	}
+
+	// Persistent tier: probe the store under the content hash of the
+	// verdict's dependency cone; on a miss compute under singleflight (so
+	// concurrent workers explore a cone once) and write the report back.
+	// Unknown reports — budget cutoffs, cancellations — are never
+	// persisted: they describe this run's limits, not the cone's content.
+	if disk := cache.Disk(); disk != nil && !opts.SkipDiskProbe {
+		sum, err := PlanKey(repo, table, loc, client, plan, opts.Capacities)
+		if err != nil {
+			return nil, err
+		}
+		if raw, ok := disk.Get(store.KindPlanReport, sum); ok {
+			if r, err := DecodeReport(raw); err == nil {
+				return r, nil
+			}
+		}
+		got, err := disk.Once(store.KindPlanReport, sum, func() (any, error) {
+			if raw, ok := disk.Peek(store.KindPlanReport, sum); ok {
+				if r, err := DecodeReport(raw); err == nil {
+					return r, nil
+				}
+			}
+			inner := opts
+			inner.Cache = cache
+			inner.SkipDiskProbe = true
+			r, err := CheckPlanOpts(repo, table, loc, client, plan, inner)
+			if err != nil {
+				return nil, err
+			}
+			if r.Verdict != Unknown {
+				enc, eerr := EncodeReport(r)
+				if eerr != nil {
+					return nil, eerr
+				}
+				if perr := disk.Put(store.KindPlanReport, sum, enc); perr != nil {
+					return nil, perr
+				}
+			}
+			return r, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		return got.(*Report), nil
 	}
 
 	// (a) the static prechecks: cyclic composition, per-request compliance.
