@@ -264,7 +264,7 @@ func runChained(depth, fanout int, compare bool, doc *document) *chainedDoc {
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				if st != nil {
-					*st = plans.FusedStats{}
+					st.Reset()
 				}
 				as, err := plans.AssessAll(w.Repo, w.Table, w.Loc, w.Client,
 					plans.Options{PruneNonCompliant: true, Engine: engine, Stats: st})
@@ -320,10 +320,10 @@ func runChained(depth, fanout int, compare bool, doc *document) *chainedDoc {
 		Fanout:         fanout,
 		Plans:          w.PlanCount,
 		Speedup:        nsPerOp(legacy) / nsPerOp(compiled),
-		StatesExpanded: stats.StatesExpanded,
-		EdgesBuilt:     stats.EdgesBuilt,
-		ReplayStates:   stats.ReplayStates,
-		ReplayMemoHits: stats.ReplayMemoHits,
+		StatesExpanded: stats.StatesExpanded.Load(),
+		EdgesBuilt:     stats.EdgesBuilt.Load(),
+		ReplayStates:   stats.ReplayStates.Load(),
+		ReplayMemoHits: stats.ReplayMemoHits.Load(),
 	}
 	if compare {
 		cd.SpeedupVsFused = nsPerOp(reference) / nsPerOp(compiled)

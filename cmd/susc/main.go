@@ -34,6 +34,11 @@
 // produces it; with -json, one object per line) and -stats (memo-cache and
 // fused-engine work counters on stderr).
 //
+// plans, check, checkall and lint accept -cache DIR: verdicts persist in
+// DIR/susc.store, keyed by the content hash of their dependency cone, and
+// replay from disk on the next run (incremental re-verification; -stats
+// adds the per-kind disk-tier counters).
+//
 // The exploration commands — plans, check, checkall, lint, explain —
 // accept -timeout, -max-states and -max-edges, bounding the state-space
 // work; they also install a SIGINT/SIGTERM handler that cancels the
@@ -818,8 +823,8 @@ func printPlanStats(enabled bool, cache *memo.Cache, fs *plans.FusedStats) error
 	if fs != nil {
 		fmt.Fprintf(os.Stderr,
 			"stats: fused %d plans assessed, %d states expanded, %d edges, %d replay states, %d memo hits, %d bindings pruned\n",
-			fs.PlansAssessed, fs.StatesExpanded, fs.EdgesBuilt,
-			fs.ReplayStates, fs.ReplayMemoHits, fs.BindingsPruned)
+			fs.PlansAssessed.Load(), fs.StatesExpanded.Load(), fs.EdgesBuilt.Load(),
+			fs.ReplayStates.Load(), fs.ReplayMemoHits.Load(), fs.BindingsPruned.Load())
 	}
 	return nil
 }

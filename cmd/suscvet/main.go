@@ -1,0 +1,97 @@
+// Command suscvet is the engine's meta-linter: it statically enforces
+// this repository's own safety invariants over its Go source — the same
+// static-first programme susc applies to service specifications, turned
+// on the checker itself.
+//
+// Usage:
+//
+//	suscvet [flags] [DIR]
+//
+// DIR is any directory inside the module (default "."); the whole
+// module is always analysed. Flags:
+//
+//	-json    emit findings as NDJSON (one object per line) on stdout
+//	-stats   per-analyzer finding/suppression counts and unused
+//	         //suscvet:ignore pragmas, on stderr
+//	-list    print the registered analyzers and codes, then exit
+//
+// Exit status: 0 clean, 1 findings, 2 the analysis itself failed
+// (parse/type error, unreadable module) — mirroring the susc exit
+// protocol's findings/internal split.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"susc/internal/govet"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		jsonOut = flag.Bool("json", false, "emit findings as NDJSON")
+		stats   = flag.Bool("stats", false, "print per-analyzer stats on stderr")
+		list    = flag.Bool("list", false, "list registered analyzers and exit")
+	)
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: suscvet [-json] [-stats] [-list] [DIR]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *list {
+		for _, a := range govet.Analyzers() {
+			fmt.Printf("%s  %-18s %s\n", a.Code, a.Name, a.Doc)
+		}
+		fmt.Printf("%s  %-18s %s\n", govet.CodeBadPragma, "driver", "malformed //suscvet:ignore pragma")
+		return 0
+	}
+
+	dir := "."
+	if flag.NArg() > 0 {
+		dir = flag.Arg(0)
+	}
+
+	loader, err := govet.NewLoader(dir)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "suscvet: %v\n", err)
+		return 2
+	}
+	pkgs, err := loader.LoadAll()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "suscvet: %v\n", err)
+		return 2
+	}
+	checker := govet.New(loader, govet.DefaultConfig())
+	diags := checker.Run(pkgs)
+
+	for _, d := range diags {
+		if *jsonOut {
+			line, err := d.MarshalNDJSON()
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "suscvet: %v\n", err)
+				return 2
+			}
+			fmt.Println(string(line))
+		} else {
+			fmt.Println(d.String())
+		}
+	}
+	if *stats {
+		for _, s := range checker.Stats() {
+			fmt.Fprintf(os.Stderr, "stats: %-18s %d finding(s), %d suppressed\n", s.Name, s.Findings, s.Suppressed)
+		}
+		for _, u := range checker.UnusedPragmas() {
+			fmt.Fprintf(os.Stderr, "stats: %s\n", u)
+		}
+	}
+	if len(diags) > 0 {
+		return 1
+	}
+	return 0
+}

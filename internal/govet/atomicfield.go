@@ -1,0 +1,155 @@
+package govet
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// atomicfield: a struct field accessed through sync/atomic anywhere must
+// be accessed atomically everywhere. Mixed access — atomic.AddUint64 on
+// one side, a plain read on the other — is a data race the race detector
+// only catches on the interleaving that loses, and the plain read can
+// tear or stale-read on weaker memory models. The analyzer is
+// module-global: atomic and plain access sites are collected per
+// package, then joined after every package has been seen, so a field
+// incremented atomically in internal/plans and printed plainly from
+// cmd/susc is still caught. Fields migrated to the typed atomics
+// (atomic.Uint64 and friends) can't trip this by construction — the
+// value is private to the type.
+var atomicFieldAnalyzer = &Analyzer{
+	Name:   "atomicfield",
+	Code:   CodeAtomicField,
+	Doc:    "a field accessed via sync/atomic anywhere must be accessed atomically everywhere",
+	Run:    runAtomicField,
+	Finish: finishAtomicField,
+}
+
+type atomicFieldState struct {
+	atomic map[*types.Var][]token.Pos // field -> sync/atomic access sites
+	plain  map[*types.Var][]token.Pos // field -> plain access sites
+}
+
+func atomicState(c *Checker) *atomicFieldState {
+	return c.State("atomicfield", func() interface{} {
+		return &atomicFieldState{
+			atomic: map[*types.Var][]token.Pos{},
+			plain:  map[*types.Var][]token.Pos{},
+		}
+	}).(*atomicFieldState)
+}
+
+func runAtomicField(p *Pass) {
+	st := atomicState(p.Checker)
+	info := p.Pkg.Info
+	for _, f := range p.Pkg.Files {
+		// First pass: selector nodes that appear as &x.f arguments to
+		// sync/atomic functions are atomic sites, and must not also be
+		// counted as plain accesses below.
+		atomicArgs := map[*ast.SelectorExpr]bool{}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isSyncAtomicCall(info, call) {
+				return true
+			}
+			for _, arg := range call.Args {
+				un, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+				if !ok || un.Op != token.AND {
+					continue
+				}
+				sel, ok := ast.Unparen(un.X).(*ast.SelectorExpr)
+				if !ok {
+					continue
+				}
+				if fv := fieldVar(info, sel); fv != nil {
+					atomicArgs[sel] = true
+					st.atomic[fv] = append(st.atomic[fv], sel.Pos())
+				}
+			}
+			return true
+		})
+		// Second pass: every other selection of a plain-integer field.
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok || atomicArgs[sel] {
+				return true
+			}
+			fv := fieldVar(info, sel)
+			if fv == nil || !isPlainWord(fv.Type()) {
+				return true
+			}
+			st.plain[fv] = append(st.plain[fv], sel.Pos())
+			return true
+		})
+	}
+}
+
+func finishAtomicField(c *Checker) {
+	st := atomicState(c)
+	var mixed []*types.Var
+	for fv := range st.atomic {
+		if len(st.plain[fv]) > 0 {
+			mixed = append(mixed, fv)
+		}
+	}
+	sort.Slice(mixed, func(i, j int) bool { return mixed[i].Pos() < mixed[j].Pos() })
+	for _, fv := range mixed {
+		plain := st.plain[fv]
+		sort.Slice(plain, func(i, j int) bool { return plain[i] < plain[j] })
+		at := st.atomic[fv]
+		sort.Slice(at, func(i, j int) bool { return at[i] < at[j] })
+		atPos := c.Position(at[0])
+		for _, pos := range plain {
+			c.reportf(pos, CodeAtomicField,
+				"field %s.%s is accessed via sync/atomic at %s:%d but plainly here; use the typed atomics (atomic.Uint64 et al.) or atomic.Load/Store everywhere",
+				ownerName(fv), fv.Name(), atPos.Filename, atPos.Line)
+		}
+	}
+}
+
+// fieldVar resolves a selector to the struct field it selects, or nil
+// for methods, package members and qualified identifiers.
+func fieldVar(info *types.Info, sel *ast.SelectorExpr) *types.Var {
+	s, ok := info.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return nil
+	}
+	v, _ := s.Obj().(*types.Var)
+	return v
+}
+
+// isSyncAtomicCall matches calls to package sync/atomic functions (the
+// free functions that take &addr — the typed atomics call methods and
+// never expose an address).
+func isSyncAtomicCall(info *types.Info, call *ast.CallExpr) bool {
+	f := calleeFunc(info, call)
+	if f == nil || f.Pkg() == nil {
+		return false
+	}
+	return f.Pkg().Path() == "sync/atomic"
+}
+
+// isPlainWord reports whether the type is a bare machine word the old
+// atomic API operates on — the only types a mixed access can involve.
+func isPlainWord(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	if !ok {
+		return false
+	}
+	switch b.Kind() {
+	case types.Int32, types.Int64, types.Uint32, types.Uint64,
+		types.Uintptr, types.UnsafePointer, types.Int, types.Uint:
+		return true
+	}
+	return false
+}
+
+func ownerName(fv *types.Var) string {
+	if fv.Pkg() != nil {
+		// The field's owner isn't recoverable from the Var alone; the
+		// package-qualified field name is unambiguous enough for a human.
+		return fv.Pkg().Name()
+	}
+	return "?"
+}

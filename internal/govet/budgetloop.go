@@ -1,0 +1,188 @@
+package govet
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// budgetloop: every worklist loop in an exploration package must charge
+// the budget. A "worklist loop" is a for statement whose condition
+// measures a container (builtin len, or a .Len() method) that the loop
+// body also GROWS — append or a Push-like method, directly or through a
+// shallow callee. That is the expand-the-frontier shape whose trip
+// count is data-dependent and unbounded without metering. Loops that
+// only shrink what they measure (skip-a-prefix drains, hand-off Pop
+// loops) do at most their initial length of work, which whoever built
+// the container already paid for; plain fixed-slice iteration and
+// intentionally infinite `for {}` server loops are likewise out of
+// scope — the latter are the worker loops whose cutoff is leakygo's
+// concern.
+//
+// A loop is considered charged when any path through its body (including
+// callees up to a small depth) invokes any *budget.Budget method —
+// every method observes the sticky exhaustion and polls cancellation, so
+// each one gives the loop a cutoff.
+var budgetLoopAnalyzer = &Analyzer{
+	Name: "budgetloop",
+	Code: CodeBudgetLoop,
+	Doc:  "frontier-draining loops in exploration packages must charge the budget.Budget",
+	Run:  runBudgetLoop,
+}
+
+func runBudgetLoop(p *Pass) {
+	if !pkgMatch(p.Pkg.Path, p.Config.BudgetPackages) {
+		return
+	}
+	info := p.Pkg.Info
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			loop, ok := n.(*ast.ForStmt)
+			if !ok || loop.Cond == nil || loop.Body == nil {
+				return true
+			}
+			containers := worklistContainers(info, loop.Cond)
+			if len(containers) == 0 {
+				return true
+			}
+			if !growsContainer(p.Checker, p.Pkg, loop.Body, containers, 1) {
+				return true
+			}
+			if chargesBudget(p.Checker, p.Pkg, loop.Body, 3) {
+				return true
+			}
+			name := "worklist"
+			for _, obj := range containers {
+				if obj != nil {
+					name = obj.Name()
+					break
+				}
+			}
+			p.Reportf(loop.Pos(), CodeBudgetLoop,
+				"worklist loop grows %q without charging the budget; call a *budget.Budget method (ConsumeStates/Check/Exhausted) on every iteration path", name)
+			return true
+		})
+	}
+}
+
+// worklistContainers extracts the objects whose size the loop condition
+// measures: len(x) for the builtin, or x.Len() for queue types.
+func worklistContainers(info *types.Info, cond ast.Expr) []types.Object {
+	var out []types.Object
+	ast.Inspect(cond, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		switch fun := ast.Unparen(call.Fun).(type) {
+		case *ast.Ident:
+			if b, ok := info.Uses[fun].(*types.Builtin); ok && b.Name() == "len" && len(call.Args) == 1 {
+				if obj := exprObj(info, call.Args[0]); obj != nil {
+					out = append(out, obj)
+				}
+			}
+		case *ast.SelectorExpr:
+			if fun.Sel.Name == "Len" && len(call.Args) == 0 {
+				if obj := exprObj(info, fun.X); obj != nil {
+					out = append(out, obj)
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// growsContainer reports whether the body (or a module-local callee, up
+// to depth) adds elements to one of the containers: an append(c, …)
+// call, or a Push-like method call on it. Depth-limited callee descent
+// catches the lts shape where the loop grows l.States through a helper.
+// Shrinking assignments (q = q[1:], stack = stack[:n-1]) deliberately
+// do not count — a drain-only loop is bounded by its initial contents.
+func growsContainer(c *Checker, pkg *Package, body ast.Node, containers []types.Object, depth int) bool {
+	has := func(obj types.Object) bool {
+		if obj == nil {
+			return false
+		}
+		for _, o := range containers {
+			if o == obj {
+				return true
+			}
+		}
+		return false
+	}
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		x, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		switch fun := ast.Unparen(x.Fun).(type) {
+		case *ast.Ident:
+			if b, ok := pkg.Info.Uses[fun].(*types.Builtin); ok && b.Name() == "append" &&
+				len(x.Args) > 0 && has(exprObj(pkg.Info, x.Args[0])) {
+				found = true
+				return false
+			}
+		case *ast.SelectorExpr:
+			if growingMethodName(fun.Sel.Name) && has(exprObj(pkg.Info, fun.X)) {
+				found = true
+				return false
+			}
+		}
+		if depth > 0 {
+			if cpkg, decl := c.funcBody(calleeFunc(pkg.Info, x)); decl != nil && decl.Body != nil {
+				if growsContainer(c, cpkg, decl.Body, containers, depth-1) {
+					found = true
+					return false
+				}
+			}
+		}
+		return true
+	})
+	return found
+}
+
+func growingMethodName(name string) bool {
+	switch name {
+	case "Push", "PushBack", "Add", "Append", "Insert", "Enqueue":
+		return true
+	}
+	return false
+}
+
+// chargesBudget reports whether the node (or a module-local callee up to
+// depth) invokes any *budget.Budget method.
+func chargesBudget(c *Checker, pkg *Package, node ast.Node, depth int) bool {
+	found := false
+	seen := map[*types.Func]bool{}
+	var scan func(p *Package, n ast.Node, d int)
+	scan = func(p *Package, n ast.Node, d int) {
+		ast.Inspect(n, func(m ast.Node) bool {
+			if found {
+				return false
+			}
+			call, ok := m.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if isBudgetCall(p.Info, call) {
+				found = true
+				return false
+			}
+			if d > 0 {
+				if fn := calleeFunc(p.Info, call); fn != nil && !seen[fn] {
+					seen[fn] = true
+					if cpkg, decl := c.funcBody(fn); decl != nil && decl.Body != nil {
+						scan(cpkg, decl.Body, d-1)
+					}
+				}
+			}
+			return true
+		})
+	}
+	scan(pkg, node, depth)
+	return found
+}

@@ -1,0 +1,42 @@
+package govet_test
+
+import (
+	"os"
+	"regexp"
+	"testing"
+
+	"susc/internal/govet"
+)
+
+var svetCodeRe = regexp.MustCompile(`SVET\d{3}`)
+
+// TestSvetCodesDocumented mirrors the lint registry's drift guard for
+// the meta-linter: every registered SVET code appears in DESIGN.md and
+// the README, and neither document mentions a code the driver does not
+// register.
+func TestSvetCodesDocumented(t *testing.T) {
+	registered := map[string]bool{}
+	for _, c := range govet.Codes() {
+		registered[c] = true
+	}
+	for _, path := range []string{"../../DESIGN.md", "../../README.md"} {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mentioned := map[string]bool{}
+		for _, m := range svetCodeRe.FindAllString(string(data), -1) {
+			mentioned[m] = true
+		}
+		for code := range registered {
+			if !mentioned[code] {
+				t.Errorf("%s: registered suscvet code %s is not documented", path, code)
+			}
+		}
+		for code := range mentioned {
+			if !registered[code] {
+				t.Errorf("%s: documents %s, which suscvet does not register", path, code)
+			}
+		}
+	}
+}

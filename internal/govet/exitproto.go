@@ -1,0 +1,72 @@
+package govet
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// exitproto: the CLI's exit codes are a protocol — 0 success, 1
+// findings, 2 internal error, 3 budget exhausted — that CI smoke tests
+// and calling scripts key on. The only place allowed to call os.Exit is
+// main, and only with the value produced by the exitCode translator;
+// any other os.Exit (or a log.Fatal, which is os.Exit(1) in a trench
+// coat) punches an untyped hole in the protocol and, worse, skips the
+// deferred drains the signal handler relies on.
+var exitProtoAnalyzer = &Analyzer{
+	Name: "exitproto",
+	Code: CodeExitProto,
+	Doc:  "CLI error paths must flow through the exitCode protocol; no bare os.Exit or log.Fatal",
+	Run:  runExitProto,
+}
+
+func runExitProto(p *Pass) {
+	if !pkgMatch(p.Pkg.Path, p.Config.ExitPackages) {
+		return
+	}
+	info := p.Pkg.Info
+	for _, f := range p.Pkg.Files {
+		walkStack(f, func(n ast.Node, stack []ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(info, call)
+			if fn == nil || fn.Pkg() == nil {
+				return true
+			}
+			switch {
+			case fn.Pkg().Path() == "os" && fn.Name() == "Exit":
+				if exitProtoOK(info, call, stack) {
+					return true
+				}
+				p.Reportf(call.Pos(), CodeExitProto,
+					"bare os.Exit bypasses the 0/1/2/3 exit protocol; return the error and let main call os.Exit(exitCode(err))")
+			case fn.Pkg().Path() == "log" && strings.HasPrefix(fn.Name(), "Fatal"):
+				p.Reportf(call.Pos(), CodeExitProto,
+					"log.%s exits with an untyped status 1 and skips deferred drains; return the error through the exit protocol instead", fn.Name())
+			}
+			return true
+		})
+	}
+}
+
+// exitProtoOK allows exactly the sanctioned shape: os.Exit inside func
+// main, with the argument produced by the exitCode translator.
+func exitProtoOK(info *types.Info, call *ast.CallExpr, stack []ast.Node) bool {
+	inMain := false
+	for _, anc := range stack {
+		if fd, ok := anc.(*ast.FuncDecl); ok && fd.Name.Name == "main" && fd.Recv == nil {
+			inMain = true
+		}
+	}
+	if !inMain || len(call.Args) != 1 {
+		return false
+	}
+	arg, ok := ast.Unparen(call.Args[0]).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	fn := calleeFunc(info, arg)
+	return fn != nil && fn.Name() == "exitCode"
+}

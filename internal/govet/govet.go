@@ -1,0 +1,521 @@
+// Package govet is the engine's meta-linter: a self-contained static
+// analyzer over the *Go source of this repository* that proves, at CI
+// time, the safety invariants the exploration engines rely on — the same
+// static-first programme the paper applies to services, turned on the
+// checker itself. Where internal/lint analyses specification files,
+// govet analyses the packages that analyse them: every worklist loop
+// must charge its budget.Budget, no Unknown verdict may reach the
+// persistent store, a field touched through sync/atomic must be atomic
+// everywhere, every engine goroutine needs a cancellation path, and the
+// CLI's error paths must flow through the 0/1/2/3 exit protocol.
+//
+// The driver is standard library only (go/parser, go/ast, go/types with
+// the source importer — no golang.org/x/tools), matching the module's
+// zero-dependency rule. Analyzers emit lint.Diagnostic-shaped findings
+// under stable SVET codes; deliberate exceptions carry an explicit
+//
+//	//suscvet:ignore SVETnnn reason
+//
+// pragma which the driver honours and counts (and polices: an unknown
+// code or a missing reason in a pragma is itself a finding).
+package govet
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// Diagnostic codes, one per invariant. Codes are stable public API: CI,
+// pragmas and tests key on them.
+const (
+	// CodeBadPragma: a //suscvet:ignore pragma naming an unregistered
+	// code, or carrying no reason — suppressions must stay auditable.
+	CodeBadPragma = "SVET000"
+	// CodeBudgetLoop: a worklist loop in an exploration package drains a
+	// frontier without charging the budget.Budget — under a -timeout or a
+	// cancelled context the loop would churn on, unbounded.
+	CodeBudgetLoop = "SVET001"
+	// CodeUnknownPersist: a persistent-store write site is reachable
+	// without an Unknown/error guard — a budget-degraded verdict could be
+	// cached and poison every later run.
+	CodeUnknownPersist = "SVET002"
+	// CodeAtomicField: a struct field is accessed through sync/atomic in
+	// one place and plainly in another — a latent data race the race
+	// detector only sees on the schedule that loses.
+	CodeAtomicField = "SVET003"
+	// CodeLeakyGo: an engine goroutine loops without a cancellation path
+	// (context, done-channel receive, channel-range inbox or budget
+	// poll) — it would outlive a cancelled run.
+	CodeLeakyGo = "SVET004"
+	// CodeExitProto: a bare os.Exit (or log.Fatal) in the CLI bypasses
+	// the 0/1/2/3 exit-code protocol that CI and the timeout smoke tests
+	// key on.
+	CodeExitProto = "SVET005"
+)
+
+// Diagnostic is one positioned finding — the same shape as
+// internal/lint's Diagnostic, flattened to file:line:col since Go
+// positions come from a token.FileSet rather than a parser span table.
+type Diagnostic struct {
+	Code     string `json:"code"`
+	Severity string `json:"severity"`
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Message  string `json:"message"`
+}
+
+// String renders the conventional single-line form
+// "file:line:col: message [CODE]".
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s [%s]", d.File, d.Line, d.Col, d.Message, d.Code)
+}
+
+// MarshalNDJSON renders the diagnostic as one NDJSON line.
+func (d Diagnostic) MarshalNDJSON() ([]byte, error) { return json.Marshal(d) }
+
+// An Analyzer is one named invariant checker. Run inspects a single
+// package; Finish, when non-nil, runs once after every package has been
+// visited (for whole-module invariants like atomicfield's
+// anywhere/everywhere rule).
+type Analyzer struct {
+	Name string
+	Code string
+	Doc  string
+	Run  func(*Pass)
+	// Finish reports findings that need the whole module's facts.
+	Finish func(*Checker)
+}
+
+// Analyzers returns the default suite, in running order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{
+		budgetLoopAnalyzer,
+		unknownPersistAnalyzer,
+		atomicFieldAnalyzer,
+		leakyGoAnalyzer,
+		exitProtoAnalyzer,
+	}
+}
+
+// Codes returns every registered diagnostic code, driver codes included,
+// sorted.
+func Codes() []string {
+	out := []string{CodeBadPragma}
+	for _, a := range Analyzers() {
+		out = append(out, a.Code)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Config scopes the analyzers to the packages whose invariants they
+// encode. Each entry is matched against a package's import path on
+// whole-segment boundaries ("cmd/susc" matches "susc/cmd/susc" but not
+// "susc/cmd/suscvet").
+type Config struct {
+	// BudgetPackages hold the exploration engines: every worklist loop in
+	// them must charge a budget.
+	BudgetPackages []string
+	// GoroutinePackages hold the engine code whose goroutines must be
+	// cancellable.
+	GoroutinePackages []string
+	// ExitPackages hold the CLI whose error paths must flow through the
+	// exit protocol.
+	ExitPackages []string
+}
+
+// DefaultConfig scopes the suite to this repository's engine layout.
+func DefaultConfig() Config {
+	return Config{
+		BudgetPackages: []string{
+			"internal/lts", "internal/verify", "internal/plans", "internal/valid",
+		},
+		GoroutinePackages: []string{
+			"internal/plans", "internal/verify", "internal/lts", "internal/valid",
+			"internal/memo", "internal/store", "internal/network", "internal/lint",
+			"internal/compliance", "internal/autom",
+		},
+		ExitPackages: []string{"cmd/susc"},
+	}
+}
+
+// pkgMatch reports whether the import path matches one of the patterns on
+// whole-segment boundaries.
+func pkgMatch(path string, pats []string) bool {
+	for _, p := range pats {
+		if path == p || strings.HasSuffix(path, "/"+p) ||
+			strings.HasPrefix(path, p+"/") || strings.Contains(path, "/"+p+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+// Pass carries one analyzer's visit of one package.
+type Pass struct {
+	*Checker
+	Pkg *Package
+}
+
+// Reportf adds a finding anchored at pos.
+func (p *Pass) Reportf(pos token.Pos, code, format string, args ...interface{}) {
+	p.Checker.reportf(pos, code, format, args...)
+}
+
+// AnalyzerStat is the per-analyzer yield of one run.
+type AnalyzerStat struct {
+	Name       string
+	Findings   int
+	Suppressed int
+}
+
+// Checker runs the analyzer suite over a set of loaded packages.
+type Checker struct {
+	Config    Config
+	Loader    *Loader
+	Analyzers []*Analyzer
+
+	diags   []Diagnostic
+	state   map[string]interface{}
+	pragmas []pragma
+	stats   map[string]*AnalyzerStat
+	byCode  map[string]string // code -> analyzer name
+}
+
+// New returns a checker with the default analyzer suite.
+func New(l *Loader, cfg Config) *Checker {
+	c := &Checker{
+		Config:    cfg,
+		Loader:    l,
+		Analyzers: Analyzers(),
+		state:     map[string]interface{}{},
+		stats:     map[string]*AnalyzerStat{},
+		byCode:    map[string]string{},
+	}
+	for _, a := range c.Analyzers {
+		c.byCode[a.Code] = a.Name
+	}
+	c.byCode[CodeBadPragma] = "driver"
+	return c
+}
+
+// State returns (lazily creating) the analyzer's cross-package state.
+func (c *Checker) State(name string, mk func() interface{}) interface{} {
+	if v, ok := c.state[name]; ok {
+		return v
+	}
+	v := mk()
+	c.state[name] = v
+	return v
+}
+
+// Position resolves a token.Pos to a module-relative position.
+func (c *Checker) Position(pos token.Pos) token.Position {
+	p := c.Loader.Fset.Position(pos)
+	if rel, err := filepath.Rel(c.Loader.Root, p.Filename); err == nil && !strings.HasPrefix(rel, "..") {
+		p.Filename = rel
+	}
+	return p
+}
+
+func (c *Checker) reportf(pos token.Pos, code, format string, args ...interface{}) {
+	p := c.Position(pos)
+	c.diags = append(c.diags, Diagnostic{
+		Code:     code,
+		Severity: "error",
+		File:     p.Filename,
+		Line:     p.Line,
+		Col:      p.Column,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Run analyses the packages and returns the findings that survive the
+// pragma filter, deduplicated and ordered by position then code.
+func (c *Checker) Run(pkgs []*Package) []Diagnostic {
+	for _, a := range c.Analyzers {
+		c.stats[a.Name] = &AnalyzerStat{Name: a.Name}
+	}
+	c.stats["driver"] = &AnalyzerStat{Name: "driver"}
+	for _, pkg := range pkgs {
+		c.collectPragmas(pkg)
+		for _, a := range c.Analyzers {
+			before := len(c.diags)
+			a.Run(&Pass{Checker: c, Pkg: pkg})
+			c.stats[a.Name].Findings += len(c.diags) - before
+		}
+	}
+	for _, a := range c.Analyzers {
+		if a.Finish != nil {
+			before := len(c.diags)
+			a.Finish(c)
+			c.stats[a.Name].Findings += len(c.diags) - before
+		}
+	}
+	return c.finish()
+}
+
+// Stats returns per-analyzer finding and suppression counts, sorted by
+// analyzer name, after Run.
+func (c *Checker) Stats() []AnalyzerStat {
+	var out []AnalyzerStat
+	for _, s := range c.stats {
+		out = append(out, *s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// pragma is one parsed //suscvet:ignore comment.
+type pragma struct {
+	file   string // module-relative
+	line   int
+	code   string
+	reason string
+	pos    token.Pos
+	used   bool
+}
+
+var pragmaRe = regexp.MustCompile(`^//suscvet:ignore\s+(\S+)\s*(.*)$`)
+
+// collectPragmas scans the package's comments for //suscvet:ignore
+// directives. A malformed pragma (unknown code, missing reason) is itself
+// a finding: suppressions must stay auditable.
+func (c *Checker) collectPragmas(pkg *Package) {
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, cm := range cg.List {
+				m := pragmaRe.FindStringSubmatch(cm.Text)
+				if m == nil {
+					continue
+				}
+				code, reason := m[1], strings.TrimSpace(m[2])
+				p := c.Position(cm.Pos())
+				if _, known := c.byCode[code]; !known {
+					c.reportf(cm.Pos(), CodeBadPragma,
+						"pragma ignores unknown code %s (registered: %s)", code, strings.Join(Codes(), ", "))
+					continue
+				}
+				if reason == "" {
+					c.reportf(cm.Pos(), CodeBadPragma,
+						"pragma ignoring %s gives no reason; write //suscvet:ignore %s why-this-is-safe", code, code)
+					continue
+				}
+				c.pragmas = append(c.pragmas, pragma{
+					file: p.Filename, line: p.Line, code: code, reason: reason, pos: cm.Pos(),
+				})
+			}
+		}
+	}
+}
+
+// finish applies pragmas, dedups and orders the findings. A pragma
+// suppresses findings of its code on its own line or the line directly
+// below (the pragma-above-the-statement style).
+func (c *Checker) finish() []Diagnostic {
+	var kept []Diagnostic
+	for _, d := range c.diags {
+		suppressed := false
+		for i := range c.pragmas {
+			pr := &c.pragmas[i]
+			if pr.code != d.Code || pr.file != d.File {
+				continue
+			}
+			if pr.line == d.Line || pr.line == d.Line-1 {
+				pr.used = true
+				suppressed = true
+				break
+			}
+		}
+		if suppressed {
+			if name, ok := c.byCode[d.Code]; ok {
+				c.stats[name].Suppressed++
+				c.stats[name].Findings--
+			}
+			continue
+		}
+		kept = append(kept, d)
+	}
+	sort.SliceStable(kept, func(i, j int) bool {
+		a, b := kept[i], kept[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		if a.Code != b.Code {
+			return a.Code < b.Code
+		}
+		return a.Message < b.Message
+	})
+	out := kept[:0]
+	for i, d := range kept {
+		if i > 0 && d == kept[i-1] {
+			continue
+		}
+		out = append(out, d)
+	}
+	return out
+}
+
+// Suppressed returns the total number of findings pragmas swallowed.
+func (c *Checker) Suppressed() int {
+	n := 0
+	for _, s := range c.stats {
+		n += s.Suppressed
+	}
+	return n
+}
+
+// UnusedPragmas returns the pragmas that suppressed nothing in this run —
+// stale exceptions worth deleting. They are reported through -stats, not
+// as findings, so a fixed invariant does not fail CI twice.
+func (c *Checker) UnusedPragmas() []string {
+	var out []string
+	for _, p := range c.pragmas {
+		if !p.used {
+			out = append(out, fmt.Sprintf("%s:%d: unused //suscvet:ignore %s (%s)", p.file, p.line, p.code, p.reason))
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ---- shared AST / type helpers used by the analyzers ----
+
+// walkStack walks the AST keeping the ancestor stack; fn returning false
+// prunes the subtree. The stack passed to fn excludes n itself.
+// ast.Inspect calls fn(nil) after a subtree it descended into, which is
+// exactly the pop; a pruned node is never pushed and gets no pop.
+func walkStack(root ast.Node, fn func(n ast.Node, stack []ast.Node) bool) {
+	var stack []ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if !fn(n, stack) {
+			return false
+		}
+		stack = append(stack, n)
+		return true
+	})
+}
+
+// pkgPathIs reports whether the object's package import path ends in the
+// given suffix on a segment boundary ("internal/budget" matches
+// "susc/internal/budget").
+func pkgPathIs(p *types.Package, suffix string) bool {
+	if p == nil {
+		return false
+	}
+	return p.Path() == suffix || strings.HasSuffix(p.Path(), "/"+suffix)
+}
+
+// namedType unwraps pointers and aliases down to a *types.Named, or nil.
+func namedType(t types.Type) *types.Named {
+	for {
+		switch x := t.(type) {
+		case *types.Pointer:
+			t = x.Elem()
+		case *types.Named:
+			return x
+		default:
+			return nil
+		}
+	}
+}
+
+// isTypeFrom reports whether t (possibly behind pointers) is the named
+// type pkgSuffix.name.
+func isTypeFrom(t types.Type, pkgSuffix, name string) bool {
+	n := namedType(t)
+	if n == nil || n.Obj() == nil {
+		return false
+	}
+	return n.Obj().Name() == name && pkgPathIs(n.Obj().Pkg(), pkgSuffix)
+}
+
+// calleeFunc resolves a call expression to the *types.Func it invokes
+// (function or method), or nil for indirect/builtin calls.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if f, ok := info.Uses[fun].(*types.Func); ok {
+			return f
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fun]; ok {
+			if f, ok := sel.Obj().(*types.Func); ok {
+				return f
+			}
+			return nil
+		}
+		// Package-qualified call (pkg.F).
+		if f, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return f
+		}
+	}
+	return nil
+}
+
+// isBudgetCall reports whether the call invokes any method of
+// *budget.Budget (ConsumeStates, ConsumeEdges, Check, Exhausted, Err…) —
+// every one of them observes the sticky failure and polls cancellation,
+// so any of them gives a loop its cutoff path.
+func isBudgetCall(info *types.Info, call *ast.CallExpr) bool {
+	f := calleeFunc(info, call)
+	if f == nil {
+		return false
+	}
+	sig, ok := f.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	return isTypeFrom(sig.Recv().Type(), "internal/budget", "Budget")
+}
+
+// exprObj resolves an identifier or field selection to its object — the
+// "container identity" the budgetloop analyzer tracks across a loop and
+// its callees. Locals resolve to their *types.Var; field selections
+// resolve to the field's *types.Var (shared across receivers).
+func exprObj(info *types.Info, e ast.Expr) types.Object {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		if o := info.Uses[x]; o != nil {
+			return o
+		}
+		return info.Defs[x]
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[x]; ok {
+			return sel.Obj()
+		}
+		return info.Uses[x.Sel]
+	}
+	return nil
+}
+
+// funcBody returns the declaration and owning package of a resolved
+// function, when its source is part of the loaded module.
+func (c *Checker) funcBody(f *types.Func) (*Package, *ast.FuncDecl) {
+	if f == nil || f.Pkg() == nil {
+		return nil, nil
+	}
+	pkg := c.Loader.Loaded(f.Pkg().Path())
+	if pkg == nil {
+		return nil, nil
+	}
+	return pkg, pkg.FuncDecl(f)
+}

@@ -1,0 +1,183 @@
+package govet_test
+
+import (
+	"path/filepath"
+	"regexp"
+	"testing"
+
+	"susc/internal/govet"
+)
+
+// want is one expectation parsed from a fixture comment of the form
+//
+//	// want `regex`
+//
+// anchored to the comment's own line: the harness demands a finding
+// there whose message the regex matches, and rejects any finding no
+// want covers — so every clean function in the fixtures is a
+// non-triggering assertion.
+type want struct {
+	file string
+	line int
+	re   *regexp.Regexp
+}
+
+var wantRe = regexp.MustCompile("^// want `(.+)`$")
+
+func fixtureRun(t *testing.T, rel, module string) (*govet.Checker, []govet.Diagnostic, []want) {
+	t.Helper()
+	root, err := filepath.Abs(filepath.Join("testdata", rel))
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := govet.NewFixtureLoader(root, module)
+	pkgs, err := l.LoadAll()
+	if err != nil {
+		t.Fatalf("loading fixture module %s: %v", module, err)
+	}
+	c := govet.New(l, govet.DefaultConfig())
+	diags := c.Run(pkgs)
+
+	var wants []want
+	for _, p := range pkgs {
+		for _, f := range p.Files {
+			for _, cg := range f.Comments {
+				for _, cm := range cg.List {
+					m := wantRe.FindStringSubmatch(cm.Text)
+					if m == nil {
+						continue
+					}
+					re, err := regexp.Compile(m[1])
+					if err != nil {
+						t.Fatalf("bad want regex %q: %v", m[1], err)
+					}
+					pos := l.Fset.Position(cm.Pos())
+					file, err := filepath.Rel(root, pos.Filename)
+					if err != nil {
+						t.Fatal(err)
+					}
+					wants = append(wants, want{file: file, line: pos.Line, re: re})
+				}
+			}
+		}
+	}
+	return c, diags, wants
+}
+
+// TestFixtures runs the full suite over the fixture module and matches
+// every finding against the want comments, both directions.
+func TestFixtures(t *testing.T) {
+	c, diags, wants := fixtureRun(t, "src", "fixture")
+	matched := make([]bool, len(wants))
+	for _, d := range diags {
+		ok := false
+		for i, w := range wants {
+			if !matched[i] && w.file == d.File && w.line == d.Line && w.re.MatchString(d.Message) {
+				matched[i] = true
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			t.Errorf("unexpected finding: %s", d)
+		}
+	}
+	for i, w := range wants {
+		if !matched[i] {
+			t.Errorf("missing finding at %s:%d matching %q", w.file, w.line, w.re)
+		}
+	}
+	// Each analyzer must have fired at least once — a code with zero
+	// fixture findings means its triggering case rotted.
+	byCode := map[string]int{}
+	for _, d := range diags {
+		byCode[d.Code]++
+	}
+	for _, a := range govet.Analyzers() {
+		if byCode[a.Code] == 0 {
+			t.Errorf("analyzer %s (%s) found nothing in the fixtures", a.Name, a.Code)
+		}
+	}
+	if n := c.Suppressed(); n != 0 {
+		t.Errorf("fixture module suppressed %d finding(s); pragmas belong in testdata/pragma", n)
+	}
+}
+
+// TestPragmas exercises the //suscvet:ignore machinery on its own
+// fixture module: suppression is honoured and counted, malformed
+// pragmas are findings that suppress nothing, and stale pragmas are
+// surfaced as unused.
+func TestPragmas(t *testing.T) {
+	c, diags, _ := fixtureRun(t, "pragma", "pragmafix")
+
+	byCode := map[string][]govet.Diagnostic{}
+	for _, d := range diags {
+		byCode[d.Code] = append(byCode[d.Code], d)
+	}
+	// UnknownCode and MissingReason each yield one SVET000 (the pragma)
+	// and one SVET002 (the write the bad pragma failed to suppress);
+	// Suppressed yields nothing.
+	if got := len(byCode[govet.CodeBadPragma]); got != 2 {
+		t.Errorf("SVET000 findings = %d, want 2 (unknown code + missing reason): %v", got, byCode[govet.CodeBadPragma])
+	}
+	if got := len(byCode[govet.CodeUnknownPersist]); got != 2 {
+		t.Errorf("SVET002 findings = %d, want 2 (bad pragmas suppress nothing): %v", got, byCode[govet.CodeUnknownPersist])
+	}
+	if len(diags) != 4 {
+		t.Errorf("total findings = %d, want 4: %v", len(diags), diags)
+	}
+	var sawUnknown, sawNoReason bool
+	for _, d := range byCode[govet.CodeBadPragma] {
+		if regexp.MustCompile(`unknown code SVET999`).MatchString(d.Message) {
+			sawUnknown = true
+		}
+		if regexp.MustCompile(`gives no reason`).MatchString(d.Message) {
+			sawNoReason = true
+		}
+	}
+	if !sawUnknown || !sawNoReason {
+		t.Errorf("SVET000 messages missing unknown-code/no-reason variants: %v", byCode[govet.CodeBadPragma])
+	}
+
+	// The well-formed pragma suppressed exactly one SVET002 finding, and
+	// the suppression is attributed to the right analyzer in -stats.
+	if n := c.Suppressed(); n != 1 {
+		t.Errorf("Suppressed() = %d, want 1", n)
+	}
+	for _, s := range c.Stats() {
+		want := 0
+		if s.Name == "nounknownpersist" {
+			want = 1
+		}
+		if s.Suppressed != want {
+			t.Errorf("stats: %s suppressed = %d, want %d", s.Name, s.Suppressed, want)
+		}
+	}
+
+	// The stale SVET001 pragma suppressed nothing and is surfaced.
+	unused := c.UnusedPragmas()
+	if len(unused) != 1 || !regexp.MustCompile(`SVET001`).MatchString(unused[0]) {
+		t.Errorf("UnusedPragmas() = %v, want one stale SVET001 entry", unused)
+	}
+}
+
+// TestRepoClean runs the suite over this repository itself: the tree
+// must stay finding-free (deliberate exceptions carry pragmas). This is
+// the same gate CI's suscvet job enforces.
+func TestRepoClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module plus the source-importer stdlib")
+	}
+	l, err := govet.NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := l.LoadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := govet.New(l, govet.DefaultConfig())
+	for _, d := range c.Run(pkgs) {
+		t.Errorf("repo finding: %s", d)
+	}
+}

@@ -1,0 +1,135 @@
+package govet
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// leakygo: a goroutine launched in an engine package that contains a
+// loop must have a cancellation path, or a cancelled run leaks it — the
+// goroutine keeps expanding a frontier nobody will read. A cancellation
+// path is any of: a channel receive (<-done, or any select with a
+// receive arm), ranging over a channel (the inbox-close idiom — the
+// range ends when the sender closes), holding a context.Context, or
+// polling a *budget.Budget (whose Check observes context cancellation).
+// Goroutines whose only loop ranges over a channel are fine by
+// construction. Goroutines with no loops at all (fire-one-result
+// helpers, wg.Wait+close janitors) terminate on their own and are out
+// of scope.
+var leakyGoAnalyzer = &Analyzer{
+	Name: "leakygo",
+	Code: CodeLeakyGo,
+	Doc:  "engine goroutines with loops must have a ctx/done/inbox-close cancellation path",
+	Run:  runLeakyGo,
+}
+
+func runLeakyGo(p *Pass) {
+	if !pkgMatch(p.Pkg.Path, p.Config.GoroutinePackages) {
+		return
+	}
+	info := p.Pkg.Info
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			body := goBody(p.Checker, p.Pkg, g)
+			if body == nil {
+				return true
+			}
+			if !hasUncancellableLoop(info, body) {
+				return true
+			}
+			if hasCancelSignal(info, body) {
+				return true
+			}
+			p.Reportf(g.Pos(), CodeLeakyGo,
+				"goroutine loops without a cancellation path; give it a context, a done-channel receive, a channel-range inbox, or a budget poll")
+			return true
+		})
+	}
+}
+
+// goBody resolves the goroutine's body: a func literal's block, or the
+// declaration of a directly-invoked module function.
+func goBody(c *Checker, pkg *Package, g *ast.GoStmt) ast.Node {
+	if lit, ok := ast.Unparen(g.Call.Fun).(*ast.FuncLit); ok {
+		return lit.Body
+	}
+	if f := calleeFunc(pkg.Info, g.Call); f != nil {
+		if _, decl := c.funcBody(f); decl != nil && decl.Body != nil {
+			return decl.Body
+		}
+	}
+	return nil
+}
+
+// hasUncancellableLoop reports whether the body contains a loop that is
+// not a range over a channel.
+func hasUncancellableLoop(info *types.Info, body ast.Node) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch x := n.(type) {
+		case *ast.ForStmt:
+			found = true
+		case *ast.RangeStmt:
+			if !isChannelExpr(info, x.X) {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// hasCancelSignal reports whether the body can observe cancellation:
+// any receive expression, a channel range, a context.Context value, or
+// a budget method call.
+func hasCancelSignal(info *types.Info, body ast.Node) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch x := n.(type) {
+		case *ast.UnaryExpr:
+			if x.Op == token.ARROW {
+				found = true
+			}
+		case *ast.RangeStmt:
+			if isChannelExpr(info, x.X) {
+				found = true
+			}
+		case *ast.CallExpr:
+			if isBudgetCall(info, x) {
+				found = true
+			}
+		case *ast.Ident:
+			// Bare identifiers denoting objects live in Uses/Defs, not in
+			// the Types map — resolve through the object.
+			if obj := info.Uses[x]; obj != nil && isTypeFrom(obj.Type(), "context", "Context") {
+				found = true
+			}
+		case ast.Expr:
+			if tv, ok := info.Types[x]; ok && isTypeFrom(tv.Type, "context", "Context") {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+func isChannelExpr(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	_, isChan := tv.Type.Underlying().(*types.Chan)
+	return isChan
+}

@@ -1,0 +1,255 @@
+package govet
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, type-checked package of the module under
+// analysis.
+type Package struct {
+	Path  string // import path ("susc/internal/plans")
+	Dir   string // absolute directory
+	Files []*ast.File
+	Pkg   *types.Package
+	Info  *types.Info
+
+	funcDecls map[*types.Func]*ast.FuncDecl
+}
+
+// FuncDecl returns the syntax of a function or method declared in this
+// package, or nil.
+func (p *Package) FuncDecl(f *types.Func) *ast.FuncDecl {
+	return p.funcDecls[f]
+}
+
+// Loader parses and type-checks module packages with nothing but the
+// standard library: module-internal imports are resolved by recursively
+// loading the corresponding directory; everything else (the standard
+// library) goes through the source importer. All packages share one
+// token.FileSet so positions compare across packages.
+type Loader struct {
+	Fset   *token.FileSet
+	Root   string // absolute module root (directory holding go.mod)
+	Module string // module path from go.mod
+
+	std      types.Importer
+	pkgs     map[string]*Package // by import path
+	loading  map[string]bool     // cycle guard
+	TestMode bool                // fixtures: paths are rooted at Root, not Module
+}
+
+// NewLoader locates the module root at or above dir and prepares a
+// loader for it.
+func NewLoader(dir string) (*Loader, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	root := abs
+	for {
+		if _, err := os.Stat(filepath.Join(root, "go.mod")); err == nil {
+			break
+		}
+		parent := filepath.Dir(root)
+		if parent == root {
+			return nil, fmt.Errorf("govet: no go.mod at or above %s", abs)
+		}
+		root = parent
+	}
+	data, err := os.ReadFile(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	mod := ""
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			mod = strings.TrimSpace(rest)
+			break
+		}
+	}
+	if mod == "" {
+		return nil, fmt.Errorf("govet: no module directive in %s/go.mod", root)
+	}
+	return NewFixtureLoader(root, mod), nil
+}
+
+// NewFixtureLoader builds a loader rooted at an explicit directory with
+// an explicit module path — the shape fixture tests use, where a
+// testdata tree stands in for a module.
+func NewFixtureLoader(root, module string) *Loader {
+	l := &Loader{
+		Fset:    token.NewFileSet(),
+		Root:    root,
+		Module:  module,
+		pkgs:    map[string]*Package{},
+		loading: map[string]bool{},
+	}
+	l.std = importer.ForCompiler(l.Fset, "source", nil)
+	return l
+}
+
+// Loaded returns an already-loaded package by import path, or nil.
+func (l *Loader) Loaded(path string) *Package { return l.pkgs[path] }
+
+// Import implements types.Importer: module paths recurse into the
+// loader, everything else delegates to the stdlib source importer.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	if path == l.Module || strings.HasPrefix(path, l.Module+"/") {
+		p, err := l.load(path)
+		if err != nil {
+			return nil, err
+		}
+		return p.Pkg, nil
+	}
+	return l.std.Import(path)
+}
+
+// dirFor maps a module import path to its directory.
+func (l *Loader) dirFor(path string) string {
+	rel := strings.TrimPrefix(strings.TrimPrefix(path, l.Module), "/")
+	return filepath.Join(l.Root, filepath.FromSlash(rel))
+}
+
+// load parses and type-checks one module package (non-test files only),
+// memoized.
+func (l *Loader) load(path string) (*Package, error) {
+	if p, ok := l.pkgs[path]; ok {
+		return p, nil
+	}
+	if l.loading[path] {
+		return nil, fmt.Errorf("govet: import cycle through %s", path)
+	}
+	l.loading[path] = true
+	defer delete(l.loading, path)
+
+	dir := l.dirFor(path)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("govet: load %s: %w", path, err)
+	}
+	var files []*ast.File
+	var names []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") ||
+			strings.HasSuffix(name, "_test.go") || strings.HasPrefix(name, ".") {
+			continue
+		}
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("govet: parse %s: %w", name, err)
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("govet: no Go files in %s", dir)
+	}
+
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+	conf := types.Config{Importer: l}
+	tpkg, err := conf.Check(path, l.Fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("govet: typecheck %s: %w", path, err)
+	}
+
+	p := &Package{
+		Path:      path,
+		Dir:       dir,
+		Files:     files,
+		Pkg:       tpkg,
+		Info:      info,
+		funcDecls: map[*types.Func]*ast.FuncDecl{},
+	}
+	for _, f := range files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			if obj, ok := info.Defs[fd.Name].(*types.Func); ok {
+				p.funcDecls[obj] = fd
+			}
+		}
+	}
+	l.pkgs[path] = p
+	return p, nil
+}
+
+// LoadDir loads the package in one directory (given module-relative or
+// absolute), returning it.
+func (l *Loader) LoadDir(dir string) (*Package, error) {
+	abs := dir
+	if !filepath.IsAbs(abs) {
+		abs = filepath.Join(l.Root, dir)
+	}
+	rel, err := filepath.Rel(l.Root, abs)
+	if err != nil || strings.HasPrefix(rel, "..") {
+		return nil, fmt.Errorf("govet: %s is outside module root %s", dir, l.Root)
+	}
+	path := l.Module
+	if rel != "." {
+		path = l.Module + "/" + filepath.ToSlash(rel)
+	}
+	return l.load(path)
+}
+
+// LoadAll walks the module root and loads every package, skipping
+// hidden, underscore, vendor and testdata directories. Packages come
+// back sorted by import path.
+func (l *Loader) LoadAll() ([]*Package, error) {
+	var dirs []string
+	err := filepath.WalkDir(l.Root, func(p string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if p != l.Root && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") ||
+				name == "testdata" || name == "vendor") {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if strings.HasSuffix(p, ".go") && !strings.HasSuffix(p, "_test.go") {
+			dirs = append(dirs, filepath.Dir(p))
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	seen := map[string]bool{}
+	var pkgs []*Package
+	for _, d := range dirs {
+		if seen[d] {
+			continue
+		}
+		seen[d] = true
+		p, err := l.LoadDir(d)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, p)
+	}
+	sort.Slice(pkgs, func(i, j int) bool { return pkgs[i].Path < pkgs[j].Path })
+	return pkgs, nil
+}

@@ -1,0 +1,24 @@
+// Package store is the pragma fixture's stub of the persistent store
+// (matched by import-path suffix, like the main fixture's).
+package store
+
+// Kind tags a record family.
+type Kind uint8
+
+// KindCompliance is the only kind the fixture needs.
+const KindCompliance Kind = 1
+
+// Sum is a content hash.
+type Sum [32]byte
+
+// Store is the stub persistent log.
+type Store struct{ n int }
+
+// Put appends one record.
+func (s *Store) Put(k Kind, sum Sum, value []byte) error {
+	s.n++
+	_ = k
+	_ = sum
+	_ = value
+	return nil
+}

@@ -1,0 +1,37 @@
+// Package pragma exercises the //suscvet:ignore machinery: a
+// well-formed pragma suppresses its finding (and is counted), a pragma
+// naming an unknown code or giving no reason is itself a finding and
+// suppresses nothing, and a pragma that never fires is surfaced as
+// unused. The assertions live in TestPragmas, not in want comments —
+// pragma findings anchor on the pragma's own line, which already holds
+// the directive.
+package pragma
+
+import "pragmafix/internal/store"
+
+// Suppressed: the pragma above the write swallows the SVET002 finding.
+func Suppressed(s *store.Store, sum store.Sum, raw []byte) {
+	//suscvet:ignore SVET002 fixture: deliberately unguarded write
+	s.Put(store.KindCompliance, sum, raw)
+}
+
+// UnknownCode: SVET999 is not a registered code — the pragma is a
+// SVET000 finding and the write below is still reported.
+func UnknownCode(s *store.Store, sum store.Sum, raw []byte) {
+	//suscvet:ignore SVET999 no such code
+	s.Put(store.KindCompliance, sum, raw)
+}
+
+// MissingReason: a reason-less pragma is a SVET000 finding and the
+// write below is still reported.
+func MissingReason(s *store.Store, sum store.Sum, raw []byte) {
+	//suscvet:ignore SVET002
+	s.Put(store.KindCompliance, sum, raw)
+}
+
+// Unused: a well-formed pragma with nothing to suppress is surfaced
+// through the unused-pragma report, not as a finding.
+func Unused(s *store.Store) int {
+	//suscvet:ignore SVET001 fixture: stale exception
+	return 0
+}

@@ -1,0 +1,47 @@
+// Package atomicmix holds the atomicfield (SVET003) fixtures. The
+// analyzer is module-global and unscoped, so the package path does not
+// matter; package atomicread carries the plain side of Counters.Ops so
+// the cross-package join is exercised too.
+package atomicmix
+
+import "sync/atomic"
+
+type stats struct {
+	// hits is written atomically in Bump but read plainly in Read: the
+	// canonical mixed access.
+	hits uint64
+	// misses is only ever touched through sync/atomic: clean.
+	misses uint64
+	// plain is never touched through sync/atomic: clean.
+	plain uint64
+	// typed uses the typed atomics, which cannot be mixed: clean.
+	typed atomic.Uint64
+}
+
+// Bump is the atomic side.
+func (s *stats) Bump() {
+	atomic.AddUint64(&s.hits, 1)
+	atomic.AddUint64(&s.misses, 1)
+	s.plain++
+	s.typed.Add(1)
+}
+
+// Read mixes a plain load of hits in with correctly-atomic reads.
+func (s *stats) Read() uint64 {
+	total := s.hits // want `field atomicmix.hits is accessed via sync/atomic`
+	total += atomic.LoadUint64(&s.misses)
+	total += s.plain
+	total += s.typed.Load()
+	return total
+}
+
+// Counters is the exported cross-package face: the atomic side lives
+// here, the plain read in package atomicread — the shape of an engine
+// counter bumped in one package and printed from another.
+type Counters struct {
+	// Ops is incremented atomically by Inc.
+	Ops uint64
+}
+
+// Inc is the atomic side of Counters.Ops.
+func (c *Counters) Inc() { atomic.AddUint64(&c.Ops, 1) }

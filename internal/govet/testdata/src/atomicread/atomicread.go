@@ -1,0 +1,13 @@
+// Package atomicread is the plain side of the cross-package atomicfield
+// fixture: atomicmix increments Counters.Ops through sync/atomic; the
+// read below never does. The analyzer joins the two facts only after
+// every package has been visited.
+package atomicread
+
+import "fixture/atomicmix"
+
+// Dump reads the counter plainly: flagged against the atomic site in
+// the other package.
+func Dump(c *atomicmix.Counters) uint64 {
+	return c.Ops // want `field atomicmix.Ops is accessed via sync/atomic`
+}

@@ -1,0 +1,40 @@
+// Command susc is the exitproto (SVET005) fixture: the analyzer scopes
+// to cmd/susc, so this miniature carries both the sanctioned exit shape
+// and the violations.
+package main
+
+import (
+	"errors"
+	"fmt"
+	"log"
+	"os"
+)
+
+// exitCode is the sanctioned translator from errors to the 0/1/2/3
+// protocol.
+func exitCode(err error) int {
+	if err == nil {
+		return 0
+	}
+	return 1
+}
+
+func run() error { return errors.New("findings") }
+
+func main() {
+	err := run()
+	if err != nil && err.Error() == "fatal" {
+		log.Fatalf("boom: %v", err) // want `log.Fatalf exits with an untyped status 1`
+	}
+	if err != nil && err.Error() == "impatient" {
+		os.Exit(9) // want `bare os.Exit bypasses the 0/1/2/3 exit protocol`
+	}
+	os.Exit(exitCode(err))
+}
+
+// helper exits through the translator but outside main — still a
+// finding: only main may terminate the process.
+func helper(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(exitCode(err)) // want `bare os.Exit bypasses the 0/1/2/3 exit protocol`
+}

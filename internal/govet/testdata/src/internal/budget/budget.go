@@ -1,0 +1,42 @@
+// Package budget is a stub of the engine's budget package. The analyzers
+// match the meter type by import-path suffix (internal/budget.Budget),
+// so fixture code exercises the real detection paths against this
+// miniature without importing the module under test.
+package budget
+
+// ExhaustedError mirrors the sticky exhaustion error.
+type ExhaustedError struct{ Reason string }
+
+func (e *ExhaustedError) Error() string { return "budget exhausted: " + e.Reason }
+
+// Budget is the stub work meter; nil-safe like the real one.
+type Budget struct {
+	states int64
+	max    int64
+}
+
+// ConsumeStates charges n states.
+func (b *Budget) ConsumeStates(n int64) *ExhaustedError {
+	if b == nil {
+		return nil
+	}
+	b.states += n
+	if b.max > 0 && b.states > b.max {
+		return &ExhaustedError{Reason: "states"}
+	}
+	return nil
+}
+
+// Check polls for exhaustion without charging.
+func (b *Budget) Check() *ExhaustedError {
+	if b == nil {
+		return nil
+	}
+	if b.max > 0 && b.states > b.max {
+		return &ExhaustedError{Reason: "states"}
+	}
+	return nil
+}
+
+// Exhausted reports the sticky failure, if any.
+func (b *Budget) Exhausted() *ExhaustedError { return b.Check() }

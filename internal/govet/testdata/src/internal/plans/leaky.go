@@ -1,0 +1,96 @@
+// Package plans holds the leakygo (SVET004) fixtures: the import path
+// ends in internal/plans, one of the engine packages the analyzer
+// scopes to.
+package plans
+
+import (
+	"context"
+
+	"fixture/internal/budget"
+)
+
+// LeakyWorker loops forever with no way to hear a cancellation: the
+// canonical finding. The send on out is not a receive — a blocked send
+// is how the leak manifests, not how it is avoided.
+func LeakyWorker(jobs []int, out chan<- int) {
+	go func() { // want `goroutine loops without a cancellation path`
+		total := 0
+		for {
+			for _, j := range jobs {
+				total += j
+			}
+			out <- total
+		}
+	}()
+}
+
+// InboxWorker ranges over a channel: the inbox-close idiom, clean by
+// construction.
+func InboxWorker(jobs <-chan int, out chan<- int) {
+	go func() {
+		for j := range jobs {
+			out <- j * 2
+		}
+	}()
+}
+
+// DoneWorker selects on a done channel: clean.
+func DoneWorker(done <-chan struct{}, out chan<- int) {
+	go func() {
+		i := 0
+		for {
+			select {
+			case out <- i:
+				i++
+			case <-done:
+				return
+			}
+		}
+	}()
+}
+
+// CtxWorker holds a context it can poll: clean.
+func CtxWorker(ctx context.Context, out chan<- int) {
+	go func() {
+		for i := 0; ; i++ {
+			if ctx.Err() != nil {
+				return
+			}
+			out <- i
+		}
+	}()
+}
+
+// BudgetWorker polls the budget, whose Check observes cancellation:
+// clean.
+func BudgetWorker(b *budget.Budget, out chan<- int) {
+	go func() {
+		for i := 0; i < 1000; i++ {
+			if b.Check() != nil {
+				return
+			}
+			out <- i
+		}
+	}()
+}
+
+// FireOnce has no loop at all — it terminates on its own: out of scope.
+func FireOnce(out chan<- int) {
+	go func() { out <- 1 }()
+}
+
+// spin is a declared worker body: detection must resolve the go'd
+// function to its declaration.
+func spin(vals []int, out chan<- int) {
+	for {
+		for _, v := range vals {
+			out <- v
+		}
+	}
+}
+
+// NamedLoop launches the declared uncancellable worker: flagged at the
+// go statement.
+func NamedLoop(vals []int, out chan<- int) {
+	go spin(vals, out) // want `goroutine loops without a cancellation path`
+}

@@ -1,0 +1,37 @@
+// Package store is a stub of the engine's persistent verdict store. The
+// nounknownpersist analyzer matches the write sites by import-path
+// suffix (internal/store.Store), so fixture code triggers the same
+// detection against this miniature.
+package store
+
+// Kind tags a record family.
+type Kind uint8
+
+// KindCompliance is the only kind the fixtures need.
+const KindCompliance Kind = 1
+
+// Sum is a content hash.
+type Sum [32]byte
+
+// Store is the stub persistent log.
+type Store struct {
+	records map[Kind]map[Sum][]byte
+}
+
+// Put appends one record.
+func (s *Store) Put(k Kind, sum Sum, value []byte) error {
+	if s.records == nil {
+		s.records = map[Kind]map[Sum][]byte{}
+	}
+	if s.records[k] == nil {
+		s.records[k] = map[Sum][]byte{}
+	}
+	s.records[k][sum] = value
+	return nil
+}
+
+// Get probes for a record.
+func (s *Store) Get(k Kind, sum Sum) ([]byte, bool) {
+	v, ok := s.records[k][sum]
+	return v, ok
+}

@@ -1,0 +1,162 @@
+// Package valid holds the budgetloop (SVET001) fixtures: the import
+// path ends in internal/valid, one of the exploration packages the
+// analyzer scopes to.
+package valid
+
+import "fixture/internal/budget"
+
+// BadBFS grows its frontier without ever consulting the budget: the
+// canonical finding.
+func BadBFS(edges [][]int) int {
+	visited := 0
+	queue := []int{0}
+	seen := map[int]bool{0: true}
+	for len(queue) > 0 { // want `worklist loop grows "queue" without charging the budget`
+		n := queue[0]
+		queue = queue[1:]
+		visited++
+		for _, m := range edges[n] {
+			if !seen[m] {
+				seen[m] = true
+				queue = append(queue, m)
+			}
+		}
+	}
+	return visited
+}
+
+// GoodBFS charges one state per pop: clean.
+func GoodBFS(edges [][]int, b *budget.Budget) (int, error) {
+	visited := 0
+	queue := []int{0}
+	seen := map[int]bool{0: true}
+	for len(queue) > 0 {
+		if err := b.ConsumeStates(1); err != nil {
+			return visited, err
+		}
+		n := queue[0]
+		queue = queue[1:]
+		visited++
+		for _, m := range edges[n] {
+			if !seen[m] {
+				seen[m] = true
+				queue = append(queue, m)
+			}
+		}
+	}
+	return visited, nil
+}
+
+// DrainOnly pops a prefix and never grows what it measures — bounded by
+// its initial contents, out of scope.
+func DrainOnly(pending []int) int {
+	total := 0
+	for len(pending) > 0 {
+		total += pending[0]
+		pending = pending[1:]
+	}
+	return total
+}
+
+// FixedIteration never mutates what it measures: out of scope.
+func FixedIteration(xs []int) int {
+	total := 0
+	for i := 0; i < len(xs); i++ {
+		total += xs[i]
+	}
+	return total
+}
+
+// builder mirrors the lts shape: the loop grows the measured slice
+// through a helper, so detection must descend one call deep.
+type builder struct{ states []int }
+
+func (b *builder) add(s int) { b.states = append(b.states, s) }
+
+// GrowViaHelper is flagged even though the append hides in the callee.
+func (b *builder) GrowViaHelper() {
+	for i := 0; i < len(b.states); i++ { // want `worklist loop grows "states" without charging the budget`
+		if b.states[i] < 10 {
+			b.add(b.states[i] + 1)
+		}
+	}
+}
+
+// chargedPop pushes the budget poll into a helper; charge detection must
+// descend into callees too.
+func chargedPop(b *budget.Budget) error {
+	if err := b.Check(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// ChargeViaHelper is clean: the budget poll lives one call down.
+func ChargeViaHelper(edges [][]int, bud *budget.Budget) error {
+	queue := []int{0}
+	seen := map[int]bool{0: true}
+	for len(queue) > 0 {
+		if err := chargedPop(bud); err != nil {
+			return err
+		}
+		n := queue[0]
+		queue = queue[1:]
+		for _, m := range edges[n] {
+			if !seen[m] {
+				seen[m] = true
+				queue = append(queue, m)
+			}
+		}
+	}
+	return nil
+}
+
+// ring is a Len/Push/Pop queue: the method-call worklist shape.
+type ring struct{ buf []int }
+
+func (r *ring) Len() int   { return len(r.buf) }
+func (r *ring) Push(v int) { r.buf = append(r.buf, v) }
+func (r *ring) Pop() int {
+	v := r.buf[0]
+	r.buf = r.buf[1:]
+	return v
+}
+
+// MethodQueueBad grows a Len()-measured queue without the budget.
+func MethodQueueBad(edges [][]int, seen []bool) int {
+	var q ring
+	q.Push(0)
+	visited := 0
+	for q.Len() > 0 { // want `worklist loop grows "q" without charging the budget`
+		n := q.Pop()
+		visited++
+		for _, m := range edges[n] {
+			if !seen[m] {
+				seen[m] = true
+				q.Push(m)
+			}
+		}
+	}
+	return visited
+}
+
+// MethodQueueGood is the same shape with a budget poll: clean.
+func MethodQueueGood(edges [][]int, seen []bool, b *budget.Budget) (int, error) {
+	var q ring
+	q.Push(0)
+	visited := 0
+	for q.Len() > 0 {
+		if err := b.ConsumeStates(1); err != nil {
+			return visited, err
+		}
+		n := q.Pop()
+		visited++
+		for _, m := range edges[n] {
+			if !seen[m] {
+				seen[m] = true
+				q.Push(m)
+			}
+		}
+	}
+	return visited, nil
+}

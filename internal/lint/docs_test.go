@@ -1,0 +1,51 @@
+package lint_test
+
+import (
+	"os"
+	"regexp"
+	"testing"
+
+	"susc/internal/lint"
+)
+
+var suscCodeRe = regexp.MustCompile(`SUSC\d{3}`)
+
+// registeredCodes collects every code the lint registry can emit: the
+// per-analyzer code lists plus the driver's own internal-error code.
+func registeredCodes() map[string]bool {
+	out := map[string]bool{lint.CodeInternalError: true}
+	for _, a := range lint.AllAnalyzers() {
+		for _, c := range a.Codes {
+			out[c] = true
+		}
+	}
+	return out
+}
+
+// TestLintCodesDocumented: every registered SUSC code appears in both
+// DESIGN.md and the README, and every SUSC code either document
+// mentions is actually registered — the registry and the docs must not
+// drift apart in either direction.
+func TestLintCodesDocumented(t *testing.T) {
+	registered := registeredCodes()
+	for _, path := range []string{"../../DESIGN.md", "../../README.md"} {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mentioned := map[string]bool{}
+		for _, m := range suscCodeRe.FindAllString(string(data), -1) {
+			mentioned[m] = true
+		}
+		for code := range registered {
+			if !mentioned[code] {
+				t.Errorf("%s: registered lint code %s is not documented", path, code)
+			}
+		}
+		for code := range mentioned {
+			if !registered[code] {
+				t.Errorf("%s: documents %s, which no analyzer registers", path, code)
+			}
+		}
+	}
+}

@@ -42,29 +42,42 @@ const (
 	EngineReference
 )
 
-// FusedStats counts the work of one fused synthesis. The engine updates
-// the fields atomically; read them after the call returns (or via
-// atomic.LoadUint64 while it runs).
+// FusedStats counts the work of one fused synthesis. The fields are
+// typed atomics: the engine's workers Add to them concurrently and any
+// reader may Load at any time, including mid-run — there is no plain
+// access to mix with. The struct must not be copied; Reset zeroes it
+// in place between runs.
 type FusedStats struct {
 	// StatesExpanded is the number of distinct graph states whose moves
 	// and monitor advances were computed (once, shared by every plan
 	// reaching the state).
-	StatesExpanded uint64
+	StatesExpanded atomic.Uint64
 	// EdgesBuilt is the number of graph edges built: one per concrete
 	// move, one per compliant candidate of a lazy session-open.
-	EdgesBuilt uint64
+	EdgesBuilt atomic.Uint64
 	// ReplayStates is the total number of state visits across all plan
 	// replays — the fused analogue of summing Report.States over the
 	// plans that were actually explored.
-	ReplayStates uint64
+	ReplayStates atomic.Uint64
 	// ReplayMemoHits is the number of plans whose verdict was recovered
 	// from an earlier replay consulting the same binding decisions.
-	ReplayMemoHits uint64
+	ReplayMemoHits atomic.Uint64
 	// PlansAssessed is the number of complete plans assessed.
-	PlansAssessed uint64
+	PlansAssessed atomic.Uint64
 	// BindingsPruned is the number of candidate bindings rejected by the
 	// PruneNonCompliant probe during enumeration.
-	BindingsPruned uint64
+	BindingsPruned atomic.Uint64
+}
+
+// Reset zeroes every counter in place (the struct is not copyable, so
+// `*st = FusedStats{}` is not an option for reuse across runs).
+func (s *FusedStats) Reset() {
+	s.StatesExpanded.Store(0)
+	s.EdgesBuilt.Store(0)
+	s.ReplayStates.Store(0)
+	s.ReplayMemoHits.Store(0)
+	s.PlansAssessed.Store(0)
+	s.BindingsPruned.Store(0)
 }
 
 // fusedEngine is the shared-state-space synthesis engine. One engine
@@ -472,7 +485,7 @@ func (eng *fusedEngine) buildGroups(n *fnode) ([]fgroup, error) {
 	var edges uint64 // flushed to the shared stats in one add
 	defer func() {
 		if edges > 0 {
-			atomic.AddUint64(&eng.stats.EdgesBuilt, edges)
+			eng.stats.EdgesBuilt.Add(edges)
 		}
 	}()
 	// side 0: successor is already the whole tree (root is a leaf, or a
@@ -597,7 +610,7 @@ func (n *fnode) ensureExpanded(eng *fusedEngine) error {
 	n.groups = built
 	n.expanded = true
 	n.ready.Store(true)
-	atomic.AddUint64(&eng.stats.StatesExpanded, 1)
+	eng.stats.StatesExpanded.Add(1)
 	return nil
 }
 
@@ -820,7 +833,7 @@ func (eng *fusedEngine) assessReplay(vec []int32, r *replayer) (*verify.Report, 
 		if t.leaf {
 			rep := *t.report
 			eng.memoMu.Unlock()
-			atomic.AddUint64(&eng.stats.ReplayMemoHits, 1)
+			eng.stats.ReplayMemoHits.Add(1)
 			return &rep, nil
 		}
 		if t.req < 0 {
@@ -831,7 +844,7 @@ func (eng *fusedEngine) assessReplay(vec []int32, r *replayer) (*verify.Report, 
 	eng.memoMu.Unlock()
 
 	report, err := eng.replay(vec, r)
-	atomic.AddUint64(&eng.stats.ReplayStates, r.states)
+	eng.stats.ReplayStates.Add(r.states)
 	if err != nil {
 		return nil, err
 	}
@@ -1007,7 +1020,7 @@ func (eng *fusedEngine) computeCycleSkip() error {
 // the memoised replay. The plan is compiled to its dense vector once and
 // both phases index it.
 func (eng *fusedEngine) assess(plan network.Plan, vec []int32, r *replayer) (Assessment, error) {
-	atomic.AddUint64(&eng.stats.PlansAssessed, 1)
+	eng.stats.PlansAssessed.Add(1)
 	if vec == nil {
 		vec = eng.planVec(plan, r.vec)
 	}
@@ -1119,7 +1132,7 @@ func (eng *fusedEngine) enumerate() ([]network.Plan, [][]int32, error) {
 					}
 				}
 				if *p == 2 {
-					atomic.AddUint64(&eng.stats.BindingsPruned, 1)
+					eng.stats.BindingsPruned.Add(1)
 					continue
 				}
 			}

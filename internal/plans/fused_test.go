@@ -238,23 +238,24 @@ func TestFusedStats(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got := int(stats.PlansAssessed); got != len(as) {
+	if got := int(stats.PlansAssessed.Load()); got != len(as) {
 		t.Errorf("PlansAssessed = %d, want %d", got, len(as))
 	}
-	if stats.StatesExpanded == 0 || stats.EdgesBuilt == 0 || stats.ReplayStates == 0 {
-		t.Errorf("empty work counters: %+v", stats)
+	if stats.StatesExpanded.Load() == 0 || stats.EdgesBuilt.Load() == 0 || stats.ReplayStates.Load() == 0 {
+		t.Errorf("empty work counters: states=%d edges=%d replay=%d",
+			stats.StatesExpanded.Load(), stats.EdgesBuilt.Load(), stats.ReplayStates.Load())
 	}
 	var sumStates uint64
 	for _, a := range as {
 		sumStates += uint64(a.Report.States)
 	}
-	if stats.ReplayStates != sumStates {
+	if stats.ReplayStates.Load() != sumStates {
 		t.Errorf("ReplayStates = %d, want the summed per-plan state counts %d",
-			stats.ReplayStates, sumStates)
+			stats.ReplayStates.Load(), sumStates)
 	}
-	if stats.StatesExpanded >= stats.ReplayStates {
+	if stats.StatesExpanded.Load() >= stats.ReplayStates.Load() {
 		t.Errorf("no sharing: expanded %d states for %d replayed visits",
-			stats.StatesExpanded, stats.ReplayStates)
+			stats.StatesExpanded.Load(), stats.ReplayStates.Load())
 	}
 }
 
@@ -302,9 +303,9 @@ func TestFusedReplayMemoCollapsesFailures(t *testing.T) {
 			t.Fatalf("plan %s: verdict %s, want security-violation", a.Plan, a.Report)
 		}
 	}
-	if want := uint64(len(as) - 1); stats.ReplayMemoHits != want {
+	if want := uint64(len(as) - 1); stats.ReplayMemoHits.Load() != want {
 		t.Errorf("ReplayMemoHits = %d, want %d (one replay serves the family)",
-			stats.ReplayMemoHits, want)
+			stats.ReplayMemoHits.Load(), want)
 	}
 	// And the memoised reports still agree with the legacy engine.
 	assertEquivalent(t, "violating prefix", w.Repo, table, w.Loc, client)

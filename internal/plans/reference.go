@@ -395,7 +395,7 @@ func (n *refNode) ensureExpanded(eng *refEngine, ar *refSkelArena) error {
 			if g.Req == "" {
 				sk := eng.internDiff(ar, g.Moves[0].Tree, n.tree, n.sk)
 				fg.next = eng.node(g.Moves[0].Tree, sk, mon)
-				atomic.AddUint64(&eng.stats.EdgesBuilt, 1)
+				eng.stats.EdgesBuilt.Add(1)
 				// The return value is deliberately dropped: the per-state
 				// charge at the next pop observes the sticky exhaustion.
 				eng.opts.Budget.ConsumeEdges(1)
@@ -405,7 +405,7 @@ func (n *refNode) ensureExpanded(eng *refEngine, ar *refSkelArena) error {
 					sk := eng.internDiff(ar, m.Tree, n.tree, n.sk)
 					fg.cands = append(fg.cands, refCand{loc: m.OpenLoc, next: eng.node(m.Tree, sk, mon)})
 				}
-				atomic.AddUint64(&eng.stats.EdgesBuilt, uint64(len(g.Moves)))
+				eng.stats.EdgesBuilt.Add(uint64(len(g.Moves)))
 				eng.opts.Budget.ConsumeEdges(int64(len(g.Moves)))
 			}
 		}
@@ -414,7 +414,7 @@ func (n *refNode) ensureExpanded(eng *refEngine, ar *refSkelArena) error {
 	n.groups = built
 	n.expanded = true
 	n.ready.Store(true)
-	atomic.AddUint64(&eng.stats.StatesExpanded, 1)
+	eng.stats.StatesExpanded.Add(1)
 	return nil
 }
 
@@ -595,7 +595,7 @@ func (eng *refEngine) assessReplay(plan network.Plan, r *refReplayer) (*verify.R
 		if t.leaf {
 			rep := *t.report
 			eng.memoMu.Unlock()
-			atomic.AddUint64(&eng.stats.ReplayMemoHits, 1)
+			eng.stats.ReplayMemoHits.Add(1)
 			return &rep, nil
 		}
 		t = t.branches[plan[t.req]]
@@ -603,7 +603,7 @@ func (eng *refEngine) assessReplay(plan network.Plan, r *refReplayer) (*verify.R
 	eng.memoMu.Unlock()
 
 	report, err := eng.replay(plan, r)
-	atomic.AddUint64(&eng.stats.ReplayStates, r.states)
+	eng.stats.ReplayStates.Add(r.states)
 	if err != nil {
 		return nil, err
 	}
@@ -765,7 +765,7 @@ func (eng *refEngine) computeCycleSkip() error {
 // verify.CheckPlanOpts, so witnesses are identical by construction), then
 // the memoised replay.
 func (eng *refEngine) assess(plan network.Plan, r *refReplayer) (Assessment, error) {
-	atomic.AddUint64(&eng.stats.PlansAssessed, 1)
+	eng.stats.PlansAssessed.Add(1)
 	if rep, err := eng.staticCheck(plan, r); err != nil {
 		return Assessment{}, err
 	} else if rep != nil {
@@ -840,7 +840,7 @@ func (eng *refEngine) enumerate() ([]network.Plan, error) {
 					return err
 				}
 				if !ok {
-					atomic.AddUint64(&eng.stats.BindingsPruned, 1)
+					eng.stats.BindingsPruned.Add(1)
 					continue
 				}
 			}

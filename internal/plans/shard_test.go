@@ -49,7 +49,7 @@ func TestFusedEquivalenceSharded(t *testing.T) {
 		if err != nil {
 			t.Fatalf("%s: sharded fused: %v", tc.name, err)
 		}
-		if stats.StatesExpanded == 0 {
+		if stats.StatesExpanded.Load() == 0 {
 			t.Fatalf("%s: sharded run expanded no states", tc.name)
 		}
 		for i := range legacy {

@@ -6,8 +6,10 @@ import (
 	"strconv"
 	"strings"
 
+	"susc/internal/budget"
 	"susc/internal/hexpr"
 	"susc/internal/history"
+	"susc/internal/intern"
 	"susc/internal/lts"
 	"susc/internal/policy"
 )
@@ -34,7 +36,18 @@ func (v *Violation) Error() string {
 // shortest offending history otherwise, and a different error when a
 // mentioned policy is not in the table.
 func Check(e hexpr.Expr, table *policy.Table) error {
-	l, err := lts.Build(e)
+	return CheckBudget(e, table, nil)
+}
+
+// CheckBudget is Check with the exploration charged against the budget
+// (nil = unbounded): the LTS construction meters its own states and
+// edges, and the product BFS — whose state space is the LTS times the
+// policy-vector space, so potentially far larger than what the build
+// charged — additionally charges one state per dequeued product node and
+// one edge per product transition. Exhaustion aborts with the typed
+// *budget.ExhaustedError; a violation found before the cutoff stands.
+func CheckBudget(e hexpr.Expr, table *policy.Table, b *budget.Budget) error {
+	l, err := lts.BuildBudgeted(intern.NewTable(), e, lts.DefaultMaxStates, b)
 	if err != nil {
 		return err
 	}
@@ -99,9 +112,15 @@ func Check(e hexpr.Expr, table *policy.Table) error {
 	queue := []*node{start}
 
 	for len(queue) > 0 {
+		if err := b.ConsumeStates(1); err != nil {
+			return err
+		}
 		n := queue[0]
 		queue = queue[1:]
 		for _, edge := range l.Edges[n.expr] {
+			if err := b.ConsumeEdges(1); err != nil {
+				return err
+			}
 			next, item, bad := step(n.states, n.active, instances, idIndex, edge.Label)
 			if bad != hexpr.NoPolicy {
 				return &Violation{Policy: bad, Trace: rebuild(n, *item)}

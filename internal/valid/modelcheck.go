@@ -67,12 +67,19 @@ func HistoryNFABudget(e hexpr.Expr, b *budget.Budget) (*autom.NFA, error) {
 	if err != nil {
 		return nil, err
 	}
-	// ε-closure over silent edges
+	// ε-closure over silent edges. The closure revisits the charged LTS up
+	// to states×edges times — quadratically more work than BuildBudgeted
+	// metered — so the pop loop polls the budget: Check observes the sticky
+	// exhaustion and the context deadline without re-charging work that the
+	// construction already paid for.
 	closure := make([][]int, l.Len())
 	for s := 0; s < l.Len(); s++ {
 		seen := map[int]bool{s: true}
 		stack := []int{s}
 		for len(stack) > 0 {
+			if err := b.Check(); err != nil {
+				return nil, err
+			}
 			x := stack[len(stack)-1]
 			stack = stack[:len(stack)-1]
 			for _, edge := range l.Edges[x] {
