@@ -55,7 +55,28 @@ type document struct {
 	// and a run after a one-declaration edit recomputing only the edited
 	// cone.
 	Incremental *incrementalDoc `json:"incremental,omitempty"`
-	Results     []result        `json:"results"`
+	// Audit measures the whole-network flow audit (`susc audit`) over the
+	// Chained workload: one cold pass through a fresh memo cache and the
+	// best warm pass reusing it.
+	Audit   *auditDoc `json:"audit,omitempty"`
+	Results []result  `json:"results"`
+}
+
+// auditDoc is the flow-audit series. HitRate is the memo-cache hit rate
+// of the cold pass alone — the PR 9 gate (≥90% on Chained(12,2))
+// measures intra-run sharing across the audited plan family, not
+// warm-cache replay.
+type auditDoc struct {
+	Depth       int     `json:"depth"`
+	Fanout      int     `json:"fanout"`
+	ValidPlans  int     `json:"valid_plans"`
+	Audited     int     `json:"audited"`
+	SourceBytes int     `json:"source_bytes"`
+	ColdNs      float64 `json:"cold_ns"`
+	WarmNs      float64 `json:"warm_ns"`
+	WarmSpeedup float64 `json:"warm_speedup"`
+	HitRate     float64 `json:"hit_rate"`
+	Findings    int     `json:"findings"`
 }
 
 // incrementalDoc is the persistent-store series: the many-client
@@ -133,6 +154,7 @@ func main() {
 	chainedSrc := flag.Bool("chained-src", false, "print the surface-syntax source of the Chained workload and exit (no benchmarks); for budget/timeout smoke tests")
 	chainedClients := flag.Int("chained-clients", 0, "with -chained-src: emit the ChainedClients workload with this many planned clients instead (the incremental-smoke surface)")
 	incremental := flag.Int("incremental", 0, "run the incremental-verification series (cold/warm/single-edit through a persistent store) with this many planned clients (0 skips it)")
+	audit := flag.Bool("audit", false, "run the flow-audit series (cold/warm `susc audit` over the Chained workload, memo hit rate included)")
 	compare := flag.Bool("chained-compare", false, "emit legacy/fused/compiled series side-by-side for the Chained workload (fused = the frozen BENCH_pr2-era reference engine)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile (taken after the benchmarks) to this file")
@@ -220,6 +242,9 @@ func main() {
 	}
 	if *incremental > 0 {
 		doc.Incremental = runIncremental(*depth, *fanout, *incremental, *hotels, &doc)
+	}
+	if *audit && *depth > 0 {
+		doc.Audit = runAudit(*depth, *fanout, &doc)
 	}
 
 	enc := json.NewEncoder(os.Stdout)
@@ -510,6 +535,55 @@ func runIncremental(depth, fanout, n, hotels int, doc *document) *incrementalDoc
 		result{Name: hbase + "/warm", Iterations: 1, NsPerOp: inc.Hotels.WarmNs},
 		result{Name: hbase + "/edit", Iterations: 1, NsPerOp: inc.Hotels.EditNs})
 	return inc
+}
+
+// runAudit measures the whole-network flow audit the way `susc audit`
+// runs it: one cold pass — fresh memo cache, the whole (capped) valid-
+// plan family flow-analyzed — and the best of a few warm passes reusing
+// the cache. The cold pass's own hit rate is the headline: the audited
+// plans of a Chained workload share almost all of their compliance and
+// LTS sub-results, so the memo tier carries the family.
+func runAudit(depth, fanout int, doc *document) *auditDoc {
+	src := benchgen.ChainedSource(depth, fanout)
+	cache := memo.New()
+	run := func() (time.Duration, *lint.AuditResult) {
+		start := time.Now()
+		res := lint.AuditSource(src, lint.Options{Cache: cache})
+		return time.Since(start), res
+	}
+	coldD, res := run()
+	for _, d := range res.Diagnostics {
+		if d.Code == lint.CodeInternalError {
+			fmt.Fprintf(os.Stderr, "benchdump: audit internal error: %s\n", d.Message)
+			os.Exit(1)
+		}
+	}
+	coldHitRate := cache.Stats().HitRate()
+	warmD, _ := run()
+	for i := 0; i < 2; i++ {
+		if d, _ := run(); d < warmD {
+			warmD = d
+		}
+	}
+	ad := &auditDoc{
+		Depth:       depth,
+		Fanout:      fanout,
+		SourceBytes: len(src),
+		ColdNs:      float64(coldD.Nanoseconds()),
+		WarmNs:      float64(warmD.Nanoseconds()),
+		WarmSpeedup: float64(coldD.Nanoseconds()) / float64(warmD.Nanoseconds()),
+		HitRate:     coldHitRate,
+		Findings:    len(res.Diagnostics),
+	}
+	for _, c := range res.Coverage {
+		ad.ValidPlans += c.ValidPlans
+		ad.Audited += c.Audited
+	}
+	base := fmt.Sprintf("Audit/chained/depth=%d/fanout=%d", depth, fanout)
+	doc.Results = append(doc.Results,
+		result{Name: base + "/cold", Iterations: 1, NsPerOp: ad.ColdNs, HitRate: coldHitRate},
+		result{Name: base + "/warm", Iterations: 1, NsPerOp: ad.WarmNs, HitRate: cache.Stats().HitRate()})
+	return ad
 }
 
 func toResult(name string, r testing.BenchmarkResult, hitRate float64) result {

@@ -104,6 +104,82 @@ func TestRunCheckAllBudgetExhaustedExit3(t *testing.T) {
 	}
 }
 
+const auditFixtures = "../../internal/lint/testdata/audit"
+
+// TestRunAuditFindingsExit1: warning-level audit findings make `susc
+// audit` return a plain error (exit 1), with the finding and its
+// coverage table on stdout.
+func TestRunAuditFindingsExit1(t *testing.T) {
+	out, err := capture(t, func() error {
+		return run([]string{"audit", auditFixtures + "/susc017_unguarded.susc"})
+	})
+	if err == nil || exitCode(err) != 1 {
+		t.Fatalf("err = %v (exit %d), want findings error (exit 1)", err, exitCode(err))
+	}
+	if !strings.Contains(out, "SUSC017") || !strings.Contains(out, "guarded by") {
+		t.Fatalf("finding and coverage table must print, got %q", out)
+	}
+}
+
+// TestRunAuditInfoFindingsExit0: info-level findings (SUSC020) report
+// but do not fail the run.
+func TestRunAuditInfoFindingsExit0(t *testing.T) {
+	out, err := capture(t, func() error {
+		return run([]string{"audit", auditFixtures + "/susc020_deadpolicy.susc"})
+	})
+	if err != nil {
+		t.Fatalf("err = %v, want success (info findings only)", err)
+	}
+	if !strings.Contains(out, "SUSC020") {
+		t.Fatalf("info finding must still print, got %q", out)
+	}
+}
+
+// TestRunAuditBudgetExhaustedExit3: a starved audit reports itself
+// incomplete and returns the typed exhaustion error (exit 3).
+func TestRunAuditBudgetExhaustedExit3(t *testing.T) {
+	out, err := capture(t, func() error {
+		return run([]string{"audit", hotelFile, "-max-states", "3"})
+	})
+	var ee *budget.ExhaustedError
+	if !errors.As(err, &ee) {
+		t.Fatalf("err = %v, want *budget.ExhaustedError", err)
+	}
+	if !strings.Contains(out, "audit incomplete") {
+		t.Fatalf("the partial audit must announce incompleteness, got %q", out)
+	}
+}
+
+// TestRunCheckAllAuditFindingsExit1: checkall folds the declared-plan
+// audit into its gate — a network that verifies fine but carries an
+// unguarded critical event exits 1.
+func TestRunCheckAllAuditFindingsExit1(t *testing.T) {
+	out, err := capture(t, func() error {
+		return run([]string{"checkall", auditFixtures + "/susc017_unguarded.susc"})
+	})
+	if err == nil || exitCode(err) != 1 {
+		t.Fatalf("err = %v (exit %d), want audit-findings error (exit 1)", err, exitCode(err))
+	}
+	if !strings.Contains(err.Error(), "audit") {
+		t.Fatalf("the error must name the audit, got %v", err)
+	}
+	if !strings.Contains(out, "valid") {
+		t.Fatalf("the verification verdicts must still print, got %q", out)
+	}
+}
+
+// TestRunCheckAllAuditCleanExit0: the audit gate is invisible on a
+// network whose critical events are guarded under the declared plans.
+func TestRunCheckAllAuditCleanExit0(t *testing.T) {
+	for _, file := range []string{auditFixtures + "/clean.susc", hotelFile} {
+		if _, err := capture(t, func() error {
+			return run([]string{"checkall", file})
+		}); err != nil {
+			t.Fatalf("checkall %s = %v, want success", file, err)
+		}
+	}
+}
+
 // TestRunRoomyBudgetIsInvisible: generous limits change nothing — the
 // commands succeed exactly as without flags.
 func TestRunRoomyBudgetIsInvisible(t *testing.T) {

@@ -27,20 +27,28 @@
 //	                                     can -new replace -old without breaking clients?
 //	susc dual       FILE -of NAME[.REQ]  print the canonical dual contract
 //	susc checkall   FILE [-cap loc=n,..] validate all declared clients at once,
-//	                                     optionally under bounded availability
+//	                                     optionally under bounded availability;
+//	                                     also runs the declared-plan flow audit
+//	susc audit      FILE                 whole-network security-flow audit: annotate
+//	                                     every reachable event with its active
+//	                                     framing set across all valid plans and
+//	                                     report coverage findings (SUSC017–021)
+//	                                     plus a per-plan coverage table;
+//	                                     -plan (declared plans only), -json,
+//	                                     -severity LEVEL, -stats, -wdot
 //
 // check, checkall and plans accept -json for machine-readable reports.
 // plans also accepts -stream (print each assessment as the fused engine
 // produces it; with -json, one object per line) and -stats (memo-cache and
 // fused-engine work counters on stderr).
 //
-// plans, check, checkall and lint accept -cache DIR: verdicts persist in
-// DIR/susc.store, keyed by the content hash of their dependency cone, and
-// replay from disk on the next run (incremental re-verification; -stats
-// adds the per-kind disk-tier counters).
+// plans, check, checkall, lint and audit accept -cache DIR: verdicts
+// persist in DIR/susc.store, keyed by the content hash of their dependency
+// cone, and replay from disk on the next run (incremental re-verification;
+// -stats adds the per-kind disk-tier counters).
 //
-// The exploration commands — plans, check, checkall, lint, explain —
-// accept -timeout, -max-states and -max-edges, bounding the state-space
+// The exploration commands — plans, check, checkall, lint, explain,
+// audit — accept -timeout, -max-states and -max-edges, bounding the state-space
 // work; they also install a SIGINT/SIGTERM handler that cancels the
 // exploration and still prints the partial results. Verdicts decided
 // before the cutoff stand; the rest degrade to "unknown". Exit codes
@@ -107,11 +115,11 @@ func exitCode(err error) int {
 
 func run(args []string) error {
 	if len(args) < 1 {
-		return fmt.Errorf("usage: susc <parse|fmt|lint|explain|project|compliance|validity|plans|check|checkall|run|dot|effect|substitutable|dual> FILE [flags]")
+		return fmt.Errorf("usage: susc <parse|fmt|lint|explain|audit|project|compliance|validity|plans|check|checkall|run|dot|effect|substitutable|dual> FILE [flags]")
 	}
 	cmd := args[0]
 	switch cmd {
-	case "parse", "fmt", "lint", "explain", "project", "compliance", "validity", "plans", "check", "run",
+	case "parse", "fmt", "lint", "explain", "audit", "project", "compliance", "validity", "plans", "check", "run",
 		"dot", "effect", "substitutable", "dual", "checkall":
 	default:
 		return fmt.Errorf("unknown command %q", cmd)
@@ -131,6 +139,8 @@ func run(args []string) error {
 	newLoc := fs.String("new", "", "substitutable: the candidate replacement")
 	dualOf := fs.String("of", "", "dual: service, client, or OWNER.REQUEST to dualise")
 	capSpec := fs.String("cap", "", "checkall: bounded availability, e.g. \"br=2,s3=1\"")
+	planOnly := fs.Bool("plan", false,
+		"audit: audit only each client's declared plan instead of the whole valid-plan family")
 	jsonOut := fs.Bool("json", false, "check/checkall/plans/lint: JSON output (lint: NDJSON, one diagnostic per line)")
 	stream := fs.Bool("stream", false,
 		"plans: print each assessment as it is produced (with -json, one object per line)")
@@ -166,7 +176,7 @@ func run(args []string) error {
 	// process. Interactive commands (run, parse, …) keep ^C fatal.
 	var bud *budget.Budget
 	switch cmd {
-	case "plans", "check", "checkall", "lint", "explain":
+	case "plans", "check", "checkall", "lint", "explain", "audit":
 		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 		defer stop()
 		bud = budget.New(ctx, budget.Limits{
@@ -191,6 +201,11 @@ func run(args []string) error {
 		// explain also parses leniently: the semantic analyzers skip what
 		// does not parse and still explain the declarations that do.
 		return cmdExplain(path, string(src), *codeFilter, *jsonOut, *witnessDot, bud)
+	}
+	if cmd == "audit" {
+		// audit parses leniently too: a parse error comes back as one
+		// positioned SUSC000 finding instead of a crash.
+		return cmdAudit(path, string(src), *jsonOut, *severity, *stats, *witnessDot, *planOnly, *cacheDir, bud)
 	}
 	f, err := parser.ParseFile(string(src))
 	if err != nil {
@@ -406,6 +421,116 @@ func cmdExplain(path, src, code string, jsonOut, wdot bool, bud *budget.Budget) 
 	}
 	if errs > 0 {
 		return fmt.Errorf("explain: %d error(s)", errs)
+	}
+	return nil
+}
+
+// auditCoverageEntry is the JSON shape of one client's coverage tables in
+// `susc audit -json` NDJSON output, emitted after the diagnostic lines.
+type auditCoverageEntry struct {
+	File     string              `json:"file"`
+	Coverage lint.ClientCoverage `json:"coverage"`
+}
+
+// cmdAudit runs the whole-network security-flow audit (SUSC017–021): an
+// abstract interpretation of every valid plan of every client annotating
+// each reachable event occurrence with its active-framing set, then the
+// coverage analyzers over the result. Text output prints the findings
+// (with their witness traces) followed by the per-client, per-plan
+// "event × guarding policies" coverage tables; -json emits NDJSON — one
+// diagnostic object per line, then one coverage object per client. -plan
+// restricts the audit to each client's declared plan (the checkall mode);
+// -wdot renders the witnesses as Graphviz digraphs instead. The exit
+// status is 1 when any warning-or-worse finding is reported, 2 on an
+// isolated analyzer panic, 3 on budget exhaustion.
+func cmdAudit(path, src string, jsonOut bool, severity string, stats, wdot, planOnly bool, cacheDir string, bud *budget.Budget) error {
+	minSev, err := lint.ParseSeverity(severity)
+	if err != nil {
+		return err
+	}
+	disk, err := openStore(cacheDir)
+	if err != nil {
+		return err
+	}
+	if disk != nil {
+		defer disk.Close()
+	}
+	cache := memo.New()
+	cache.AttachDisk(disk)
+	opts := lint.Options{
+		MinSeverity:       minSev,
+		Cache:             cache,
+		Budget:            bud,
+		AuditDeclaredOnly: planOnly,
+	}
+	if stats {
+		opts.Stats = &lint.Stats{}
+	}
+	res := lint.AuditSource(src, opts)
+	diags := res.Diagnostics
+	switch {
+	case jsonOut:
+		enc := json.NewEncoder(os.Stdout)
+		for _, d := range diags {
+			if err := enc.Encode(lintEntry{File: path, Diagnostic: d}); err != nil {
+				return err
+			}
+		}
+		for _, cc := range res.Coverage {
+			if err := enc.Encode(auditCoverageEntry{File: path, Coverage: cc}); err != nil {
+				return err
+			}
+		}
+	case wdot:
+		for i, d := range diags {
+			if d.Witness == nil {
+				continue
+			}
+			fmt.Print(d.Witness.DOT(fmt.Sprintf("%s_%d", d.Code, i)))
+		}
+	default:
+		for _, d := range diags {
+			fmt.Printf("%s:%s\n", path, d)
+			for _, r := range d.Related {
+				fmt.Printf("\t%s:%s: %s\n", path, r.Span, r.Message)
+			}
+			if d.Witness != nil {
+				fmt.Print(d.Witness.Render(path))
+			}
+		}
+		fmt.Print(res.RenderCoverage())
+		if !res.Complete {
+			fmt.Println("audit incomplete: some plan families were skipped, capped or cut off; the universally quantified codes (SUSC017/018/020) stayed silent")
+		}
+	}
+	if stats {
+		for _, a := range opts.Stats.Analyzers {
+			fmt.Fprintf(os.Stderr, "stats: audit %-14s %d finding(s) in %v\n", a.Name, a.Findings, a.Duration)
+		}
+		st := cache.Stats()
+		fmt.Fprintf(os.Stderr, "stats: cache %d hits, %d misses (%.1f%% hit rate), %d entries, ~%d bytes\n",
+			st.Hits(), st.Misses(), st.HitRate()*100, st.Entries(), st.ApproxBytes)
+		printStoreStats(true, disk)
+	}
+	findings := 0
+	for _, d := range diags {
+		if d.Severity >= lint.Warning && d.Code != lint.CodeInternalError {
+			findings++
+		}
+	}
+	if !jsonOut && len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "audit: %d finding(s), %d at warning or above\n", len(diags), findings)
+	}
+	for _, d := range diags {
+		if d.Code == lint.CodeInternalError && !strings.HasPrefix(d.Message, "analysis stopped") {
+			return &budget.InternalError{Unit: "audit", Value: d.Message}
+		}
+	}
+	if e := bud.Exhausted(); e != nil {
+		return e
+	}
+	if findings > 0 {
+		return fmt.Errorf("audit: %d finding(s)", findings)
 	}
 	return nil
 }
@@ -911,6 +1036,28 @@ func cmdCheckAll(f *parser.File, src, capSpec string, jsonOut, stats bool, cache
 				d.Code, len(d.Witness.Steps))
 		}
 	}
+	// Declared-plan flow audit (SUSC017–021): each client's declared plan
+	// is flow-analyzed and the coverage findings surface next to the lint
+	// ones; warning-or-worse findings fail the run. Full plan families
+	// stay behind `susc audit`.
+	auditRes := lint.Audit(f, nil, lint.Options{
+		MinSeverity: lint.Warning, Cache: cache, Budget: bud, AuditDeclaredOnly: true})
+	auditFindings := 0
+	auditInternal := ""
+	for _, d := range auditRes.Diagnostics {
+		fmt.Fprintf(os.Stderr, "audit: %s\n", d)
+		if d.Code == lint.CodeInternalError {
+			if !strings.HasPrefix(d.Message, "analysis stopped") {
+				auditInternal = d.Message
+			}
+			continue
+		}
+		if d.Witness != nil {
+			fmt.Fprintf(os.Stderr, "audit: \trun `susc audit FILE -plan` for the %d-step witness\n",
+				len(d.Witness.Steps))
+		}
+		auditFindings++
+	}
 	var specs []verify.ClientSpec
 	for _, c := range f.Clients {
 		if c.Plan == nil {
@@ -963,6 +1110,9 @@ func cmdCheckAll(f *parser.File, src, capSpec string, jsonOut, stats bool, cache
 	} else {
 		fmt.Printf("network of %d client(s): %s\n", len(specs), r)
 	}
+	if auditInternal != "" {
+		return &budget.InternalError{Unit: "audit", Value: auditInternal}
+	}
 	if r.Verdict == verify.Unknown {
 		if e := bud.Exhausted(); e != nil {
 			return e
@@ -971,6 +1121,12 @@ func cmdCheckAll(f *parser.File, src, capSpec string, jsonOut, stats bool, cache
 	}
 	if r.Verdict != verify.Valid {
 		return fmt.Errorf("network is not valid")
+	}
+	if e := bud.Exhausted(); e != nil {
+		return e
+	}
+	if auditFindings > 0 {
+		return fmt.Errorf("audit: %d finding(s)", auditFindings)
 	}
 	return nil
 }

@@ -10,84 +10,115 @@
 // DIR is any directory inside the module (default "."); the whole
 // module is always analysed. Flags:
 //
-//	-json    emit findings as NDJSON (one object per line) on stdout
-//	-stats   per-analyzer finding/suppression counts and unused
-//	         //suscvet:ignore pragmas, on stderr
-//	-list    print the registered analyzers and codes, then exit
+//	-json      emit findings as NDJSON (one object per line) on stdout
+//	-stats     per-analyzer finding/suppression counts and unused
+//	           //suscvet:ignore pragmas, on stderr
+//	-list      print the registered analyzers and codes, then exit
+//	-severity  report findings at or above this severity
+//	           (info, warning, error; default info = everything)
 //
 // Exit status: 0 clean, 1 findings, 2 the analysis itself failed
-// (parse/type error, unreadable module) — mirroring the susc exit
-// protocol's findings/internal split.
+// (parse/type error, unreadable module, bad flag value) — mirroring the
+// susc exit protocol's findings/internal split. Findings below the
+// -severity floor neither print nor fail the run.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"susc/internal/govet"
 )
 
 func main() {
-	os.Exit(run())
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
-func run() int {
-	var (
-		jsonOut = flag.Bool("json", false, "emit findings as NDJSON")
-		stats   = flag.Bool("stats", false, "print per-analyzer stats on stderr")
-		list    = flag.Bool("list", false, "list registered analyzers and exit")
-	)
-	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: suscvet [-json] [-stats] [-list] [DIR]\n")
-		flag.PrintDefaults()
+// severityRank orders the severity vocabulary; filtering keeps findings
+// whose rank is at least the floor's.
+var severityRank = map[string]int{"info": 0, "warning": 1, "error": 2}
+
+// filterSeverity keeps the diagnostics at or above the floor.
+func filterSeverity(diags []govet.Diagnostic, floor string) []govet.Diagnostic {
+	min := severityRank[floor]
+	var kept []govet.Diagnostic
+	for _, d := range diags {
+		if severityRank[d.Severity] >= min {
+			kept = append(kept, d)
+		}
 	}
-	flag.Parse()
+	return kept
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("suscvet", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		jsonOut  = fs.Bool("json", false, "emit findings as NDJSON")
+		stats    = fs.Bool("stats", false, "print per-analyzer stats on stderr")
+		list     = fs.Bool("list", false, "list registered analyzers and exit")
+		severity = fs.String("severity", "info",
+			"report findings at or above this severity (info, warning, error)")
+	)
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: suscvet [-json] [-stats] [-list] [-severity LEVEL] [DIR]\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	// Validate the severity floor before the (expensive) module load.
+	if _, ok := severityRank[*severity]; !ok {
+		fmt.Fprintf(stderr, "suscvet: -severity %q: want info, warning or error\n", *severity)
+		return 2
+	}
 
 	if *list {
 		for _, a := range govet.Analyzers() {
-			fmt.Printf("%s  %-18s %s\n", a.Code, a.Name, a.Doc)
+			fmt.Fprintf(stdout, "%s  %-18s %s\n", a.Code, a.Name, a.Doc)
 		}
-		fmt.Printf("%s  %-18s %s\n", govet.CodeBadPragma, "driver", "malformed //suscvet:ignore pragma")
+		fmt.Fprintf(stdout, "%s  %-18s %s\n", govet.CodeBadPragma, "driver", "malformed //suscvet:ignore pragma")
 		return 0
 	}
 
 	dir := "."
-	if flag.NArg() > 0 {
-		dir = flag.Arg(0)
+	if fs.NArg() > 0 {
+		dir = fs.Arg(0)
 	}
 
 	loader, err := govet.NewLoader(dir)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "suscvet: %v\n", err)
+		fmt.Fprintf(stderr, "suscvet: %v\n", err)
 		return 2
 	}
 	pkgs, err := loader.LoadAll()
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "suscvet: %v\n", err)
+		fmt.Fprintf(stderr, "suscvet: %v\n", err)
 		return 2
 	}
 	checker := govet.New(loader, govet.DefaultConfig())
-	diags := checker.Run(pkgs)
+	diags := filterSeverity(checker.Run(pkgs), *severity)
 
 	for _, d := range diags {
 		if *jsonOut {
 			line, err := d.MarshalNDJSON()
 			if err != nil {
-				fmt.Fprintf(os.Stderr, "suscvet: %v\n", err)
+				fmt.Fprintf(stderr, "suscvet: %v\n", err)
 				return 2
 			}
-			fmt.Println(string(line))
+			fmt.Fprintln(stdout, string(line))
 		} else {
-			fmt.Println(d.String())
+			fmt.Fprintln(stdout, d.String())
 		}
 	}
 	if *stats {
 		for _, s := range checker.Stats() {
-			fmt.Fprintf(os.Stderr, "stats: %-18s %d finding(s), %d suppressed\n", s.Name, s.Findings, s.Suppressed)
+			fmt.Fprintf(stderr, "stats: %-18s %d finding(s), %d suppressed\n", s.Name, s.Findings, s.Suppressed)
 		}
 		for _, u := range checker.UnusedPragmas() {
-			fmt.Fprintf(os.Stderr, "stats: %s\n", u)
+			fmt.Fprintf(stderr, "stats: %s\n", u)
 		}
 	}
 	if len(diags) > 0 {

@@ -1,0 +1,66 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"susc/internal/govet"
+)
+
+// TestSeverityFlagValidation: a bad -severity value fails fast (exit 2,
+// the analysis-failed half of the protocol) before the module loads.
+func TestSeverityFlagValidation(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-severity", "bogus", "."}, &out, &errb); code != 2 {
+		t.Fatalf("exit = %d, want 2", code)
+	}
+	if !strings.Contains(errb.String(), "-severity") {
+		t.Fatalf("stderr %q must name the bad flag", errb.String())
+	}
+}
+
+// TestFilterSeverity pins the floor semantics over the severity
+// vocabulary the checker emits.
+func TestFilterSeverity(t *testing.T) {
+	diags := []govet.Diagnostic{
+		{Code: govet.CodeBadPragma, Severity: "warning", Message: "w"},
+		{Code: govet.CodeBudgetLoop, Severity: "error", Message: "e"},
+	}
+	if got := filterSeverity(diags, "info"); len(got) != 2 {
+		t.Errorf("floor info kept %d, want 2", len(got))
+	}
+	if got := filterSeverity(diags, "warning"); len(got) != 2 {
+		t.Errorf("floor warning kept %d, want 2", len(got))
+	}
+	got := filterSeverity(diags, "error")
+	if len(got) != 1 || got[0].Code != govet.CodeBudgetLoop {
+		t.Errorf("floor error kept %v, want the SVET001 finding only", got)
+	}
+}
+
+// TestSeverityOf pins the code-to-severity mapping -severity keys on:
+// pragma hygiene is a warning, every engine invariant an error.
+func TestSeverityOf(t *testing.T) {
+	if got := govet.SeverityOf(govet.CodeBadPragma); got != "warning" {
+		t.Errorf("SeverityOf(SVET000) = %q, want warning", got)
+	}
+	for _, a := range govet.Analyzers() {
+		if got := govet.SeverityOf(a.Code); got != "error" {
+			t.Errorf("SeverityOf(%s) = %q, want error", a.Code, got)
+		}
+	}
+}
+
+// TestListExitsZero: -list prints the registry without loading the module.
+func TestListExitsZero(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-list"}, &out, &errb); code != 0 {
+		t.Fatalf("exit = %d, want 0 (stderr %q)", code, errb.String())
+	}
+	for _, c := range govet.Codes() {
+		if !strings.Contains(out.String(), c) {
+			t.Errorf("-list output missing %s", c)
+		}
+	}
+}

@@ -230,12 +230,24 @@ func (c *Checker) reportf(pos token.Pos, code, format string, args ...interface{
 	p := c.Position(pos)
 	c.diags = append(c.diags, Diagnostic{
 		Code:     code,
-		Severity: "error",
+		Severity: SeverityOf(code),
 		File:     p.Filename,
 		Line:     p.Line,
 		Col:      p.Column,
 		Message:  fmt.Sprintf(format, args...),
 	})
+}
+
+// SeverityOf maps a diagnostic code to its severity. The engine
+// invariants (SVET001…) are errors — each one is a latent runaway loop,
+// cache poisoning or race; the driver's pragma hygiene (SVET000) is a
+// warning — the suppression is merely unauditable, the code it hides is
+// still checked.
+func SeverityOf(code string) string {
+	if code == CodeBadPragma {
+		return "warning"
+	}
+	return "error"
 }
 
 // Run analyses the packages and returns the findings that survive the

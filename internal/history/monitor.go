@@ -70,6 +70,20 @@ func (m *Monitor) Active() map[hexpr.PolicyID]int {
 	return out
 }
 
+// ActiveMask returns the activation multiset collapsed to a bitmask over
+// the compiled table's sorted policy order: bit i is set iff policy i is
+// active at least once. Tables with more than 64 policies cannot be
+// represented; callers needing the mask must check the table size first.
+func (m *Monitor) ActiveMask() uint64 {
+	var mask uint64
+	for i, n := range m.active {
+		if n > 0 && i < 64 {
+			mask |= 1 << uint(i)
+		}
+	}
+	return mask
+}
+
 // Append consumes one history item. It returns a *ViolationError when the
 // extended history is invalid, a *NestingError when a framing action is
 // ill-nested, and nil otherwise. After an error the monitor state is

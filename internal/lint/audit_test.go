@@ -1,0 +1,405 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"susc/internal/hash"
+	"susc/internal/hexpr"
+	"susc/internal/history"
+	"susc/internal/memo"
+	"susc/internal/network"
+	"susc/internal/parser"
+	"susc/internal/policy"
+	"susc/internal/store"
+)
+
+// renderAudit prints an audit result the way `susc audit` does, minus the
+// file name prefix: the findings (with witnesses) followed by the
+// coverage tables, plus the incompleteness marker.
+func renderAudit(res *AuditResult) string {
+	var b strings.Builder
+	b.WriteString(render(res.Diagnostics))
+	b.WriteString(res.RenderCoverage())
+	if !res.Complete {
+		b.WriteString("audit incomplete\n")
+	}
+	return b.String()
+}
+
+// TestAuditGolden audits every specification shipped in the repository
+// and compares the rendered findings and coverage tables against sibling
+// .audit.golden files. Run with -update to regenerate (the flag is shared
+// with TestGolden).
+func TestAuditGolden(t *testing.T) {
+	cache := memo.New()
+	for _, path := range specFiles(t, "testdata", "../../testdata", "../../examples") {
+		t.Run(path, func(t *testing.T) {
+			src, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := renderAudit(AuditSource(string(src), Options{Cache: cache}))
+			golden := path + ".audit.golden"
+			if *update {
+				if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(golden)
+			if err != nil {
+				t.Fatalf("missing golden file (run `go test ./internal/lint -run TestAuditGolden -update`): %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("audit output mismatch\n--- got ---\n%s--- want ---\n%s", got, want)
+			}
+		})
+	}
+}
+
+// TestAuditFixtureCodes pins each audit fixture to the exact codes it
+// must trigger, and checks the fixtures jointly cover SUSC017–021.
+func TestAuditFixtureCodes(t *testing.T) {
+	expected := map[string][]string{
+		"susc017_unguarded.susc":     {CodeUnguardedEvent},
+		"susc018_redundant.susc":     {CodeRedundantFraming},
+		"susc019_plandependent.susc": {CodePlanDependentCoverage},
+		"susc020_deadpolicy.susc":    {CodeDeadPolicy},
+		"susc021_scopeleak.susc":     {CodeFramingLeak},
+		"clean.susc":                 {},
+	}
+	covered := map[string]bool{}
+	cache := memo.New()
+	for name, want := range expected {
+		src, err := os.ReadFile(filepath.Join("testdata", "audit", name))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		res := AuditSource(string(src), Options{Cache: cache})
+		if !res.Complete {
+			t.Errorf("%s: audit incomplete — the fixtures must be fully analysable", name)
+		}
+		var got []string
+		for _, d := range res.Diagnostics {
+			got = append(got, d.Code)
+			covered[d.Code] = true
+			if d.Span.IsZero() {
+				t.Errorf("%s: diagnostic %s has no source span: %s", name, d.Code, d)
+			}
+			if d.Witness == nil {
+				t.Errorf("%s: audit diagnostic %s carries no witness", name, d.Code)
+			}
+		}
+		if !equalStrings(got, want) {
+			t.Errorf("%s: got codes %v, want %v", name, got, want)
+		}
+	}
+	for _, code := range []string{CodeUnguardedEvent, CodeRedundantFraming,
+		CodePlanDependentCoverage, CodeDeadPolicy, CodeFramingLeak} {
+		if !covered[code] {
+			t.Errorf("no audit fixture triggers %s", code)
+		}
+	}
+}
+
+// replayWitness re-runs a witness trace on the actual network semantics:
+// from the client's initial configuration under the witness's plan, it
+// follows the recorded labels (DFS over the matching moves, since a label
+// may resolve to several successors) and returns the monitor state the
+// trace ends in. The replay proves the trace is executable — every
+// audit finding must survive it.
+func replayWitness(t *testing.T, f *parser.File, c parser.ClientDecl, w *Witness) *history.Monitor {
+	t.Helper()
+	plan := network.Plan{}
+	for r, l := range w.Plan {
+		plan[hexpr.RequestID(r)] = hexpr.Location(l)
+	}
+	cache := memo.New()
+	var dfs func(tree network.Node, mon *history.Monitor, step int) *history.Monitor
+	dfs = func(tree network.Node, mon *history.Monitor, step int) *history.Monitor {
+		if step == len(w.Steps) {
+			return mon
+		}
+		want := w.Steps[step].Label
+		for _, m := range network.TreeMovesStep(tree, plan, f.Repo, cache.Steps) {
+			if m.Label.String() != want {
+				continue
+			}
+			next := mon
+			if len(m.Items) > 0 {
+				next = mon.Snapshot()
+				ok := true
+				for _, it := range m.Items {
+					if err := next.Append(it); err != nil {
+						ok = false
+						break
+					}
+				}
+				if !ok {
+					continue
+				}
+			}
+			if got := dfs(m.Tree, next, step+1); got != nil {
+				return got
+			}
+		}
+		return nil
+	}
+	got := dfs(network.Leaf{Loc: c.Loc, Expr: c.Expr}, history.NewMonitor(f.Table), 0)
+	if got == nil {
+		t.Fatalf("witness trace %v is not executable on the network semantics", labelsOf(w))
+	}
+	return got
+}
+
+func labelsOf(w *Witness) []string {
+	var out []string
+	for _, s := range w.Steps {
+		out = append(out, s.Label)
+	}
+	return out
+}
+
+// auditFixture audits one fixture and returns the parsed file plus the
+// single expected diagnostic.
+func auditFixture(t *testing.T, name, code string) (*parser.File, Diagnostic) {
+	t.Helper()
+	src, err := os.ReadFile(filepath.Join("testdata", "audit", name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, issues, err := parser.ParseFileLenient(string(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := Audit(f, issues, Options{Cache: memo.New()})
+	for _, d := range res.Diagnostics {
+		if d.Code == code {
+			return f, d
+		}
+	}
+	t.Fatalf("%s: no %s finding", name, code)
+	return nil, Diagnostic{}
+}
+
+// clientOf resolves the client a witness belongs to: the one whose
+// replayed trace is executable. Fixtures name the offending client in the
+// message, so match on that.
+func clientOf(t *testing.T, f *parser.File, d Diagnostic) parser.ClientDecl {
+	t.Helper()
+	for _, c := range f.Clients {
+		if strings.Contains(d.Message, " client "+c.Name+" ") ||
+			strings.Contains(d.Message, " in client "+c.Name) ||
+			strings.HasSuffix(d.Message, " "+c.Name) {
+			return c
+		}
+	}
+	// Findings not tied to one client (SUSC018) replay on the client the
+	// witness plan belongs to: the first client whose declared plan
+	// matches, else the only client.
+	if len(f.Clients) == 1 {
+		return f.Clients[0]
+	}
+	t.Fatalf("cannot resolve the witness's client for %s: %s", d.Code, d.Message)
+	return parser.ClientDecl{}
+}
+
+// TestReplaySUSC017: the uncovered witness executes, and at its end the
+// reported event has just fired with no watching policy active.
+func TestReplaySUSC017(t *testing.T) {
+	f, d := auditFixture(t, "susc017_unguarded.susc", CodeUnguardedEvent)
+	c := clientOf(t, f, d)
+	mon := replayWitness(t, f, c, d.Witness)
+	// The last step performs the event; the watching policies active at
+	// the end must not include any watcher of `read` (opening framings in
+	// the last step would have changed the mask, and there are none).
+	ct := f.Table.Compiled()
+	if got := relevantPolicies(ct, "read", activeIDs(mon, ct)); len(got) != 0 {
+		t.Errorf("read replayed with watching policies %v active, want none", got)
+	}
+	if ct.WatchedMask("read") == 0 {
+		t.Error("fixture broken: read must be critical")
+	}
+}
+
+// TestReplaySUSC018: the redundant-framing witness executes, and at its
+// end both the implied framing and its ambient cover are active.
+func TestReplaySUSC018(t *testing.T) {
+	f, d := auditFixture(t, "susc018_redundant.susc", CodeRedundantFraming)
+	c := clientOf(t, f, d)
+	mon := replayWitness(t, f, c, d.Witness)
+	active := mon.Active()
+	if active[hexpr.PolicyID("two_inner[]")] == 0 {
+		t.Errorf("replay must end with the redundant framing open, active = %v", active)
+	}
+	if active[hexpr.PolicyID("two_outer[]")] == 0 {
+		t.Errorf("replay must end with the ambient policy active, active = %v", active)
+	}
+}
+
+// TestReplaySUSC019: the plan-coverage witness executes under the
+// unguarded plan and ends with the critical event bare.
+func TestReplaySUSC019(t *testing.T) {
+	f, d := auditFixture(t, "susc019_plandependent.susc", CodePlanDependentCoverage)
+	c := clientOf(t, f, d)
+	if d.Witness.Plan["r1"] != "sb" {
+		t.Fatalf("witness must replay under the unguarded plan, got %v", d.Witness.Plan)
+	}
+	mon := replayWitness(t, f, c, d.Witness)
+	ct := f.Table.Compiled()
+	if got := relevantPolicies(ct, "act", activeIDs(mon, ct)); len(got) != 0 {
+		t.Errorf("act replayed with watching policies %v active, want none", got)
+	}
+}
+
+// TestReplaySUSC020: the dead-policy witness has no steps — there is no
+// activation to replay; the claim is the absence of one.
+func TestReplaySUSC020(t *testing.T) {
+	_, d := auditFixture(t, "susc020_deadpolicy.susc", CodeDeadPolicy)
+	if len(d.Witness.Steps) != 0 {
+		t.Errorf("dead-policy witness must be stepless, got %v", labelsOf(d.Witness))
+	}
+	if d.Witness.Note == "" {
+		t.Error("dead-policy witness must explain the audited plan count")
+	}
+}
+
+// TestReplaySUSC021: the scope-leak witness executes and ends inside the
+// leaking scope — the policy is active when the trace stops.
+func TestReplaySUSC021(t *testing.T) {
+	f, d := auditFixture(t, "susc021_scopeleak.susc", CodeFramingLeak)
+	c := clientOf(t, f, d)
+	mon := replayWitness(t, f, c, d.Witness)
+	if mon.Active()[hexpr.PolicyID("leakp[]")] == 0 {
+		t.Errorf("replay must end with the leaking scope open, active = %v", mon.Active())
+	}
+}
+
+// activeIDs renders the monitor's active set as policy-id strings.
+func activeIDs(mon *history.Monitor, ct *policy.CompiledTable) []string {
+	var out []string
+	for id, n := range mon.Active() {
+		if n > 0 {
+			out = append(out, string(id))
+		}
+	}
+	return out
+}
+
+// TestAuditCoverageShape pins the exported coverage model on the
+// plan-dependent fixture: both plans appear, the guarded one lists the
+// policy, the unguarded one flags the row.
+func TestAuditCoverageShape(t *testing.T) {
+	src, err := os.ReadFile(filepath.Join("testdata", "audit", "susc019_plandependent.susc"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := AuditSource(string(src), Options{Cache: memo.New()})
+	if len(res.Coverage) != 1 {
+		t.Fatalf("coverage clients = %d, want 1", len(res.Coverage))
+	}
+	cc := res.Coverage[0]
+	if cc.Client != "c" || cc.ValidPlans != 2 || cc.Audited != 2 {
+		t.Fatalf("client coverage = %+v, want c with 2/2 plans", cc)
+	}
+	var guarded, unguarded *PlanCoverage
+	for i := range cc.Plans {
+		switch cc.Plans[i].Plan["r1"] {
+		case "sg":
+			guarded = &cc.Plans[i]
+		case "sb":
+			unguarded = &cc.Plans[i]
+		}
+	}
+	if guarded == nil || unguarded == nil {
+		t.Fatalf("both plans must be audited, got %+v", cc.Plans)
+	}
+	g := guarded.Rows[0]
+	if g.Event != "act" || len(g.Guards) != 1 || g.Guards[0] != "two[]" || g.Unguarded {
+		t.Errorf("guarded row = %+v, want act guarded by two[]", g)
+	}
+	u := unguarded.Rows[0]
+	if u.Event != "act" || len(u.Guards) != 0 || !u.Unguarded {
+		t.Errorf("unguarded row = %+v, want act flagged UNGUARDED", u)
+	}
+}
+
+// TestAuditDeclaredOnly pins the checkall mode: only declared plans are
+// flow-analyzed, so the plan-dependent fixture (whose client declares no
+// plan) is skipped and reported incomplete.
+func TestAuditDeclaredOnly(t *testing.T) {
+	src, err := os.ReadFile(filepath.Join("testdata", "audit", "susc019_plandependent.susc"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := AuditSource(string(src), Options{Cache: memo.New(), AuditDeclaredOnly: true})
+	if res.Complete {
+		t.Error("declared-only audit of a plan-less client must be incomplete")
+	}
+	if len(res.Diagnostics) != 0 {
+		t.Errorf("no findings expected from the skipped client, got %v", res.Diagnostics)
+	}
+	if len(res.Coverage) != 1 || res.Coverage[0].Skipped == "" {
+		t.Errorf("coverage must record the skip reason, got %+v", res.Coverage)
+	}
+	// The unguarded fixture declares plans for both clients: the declared
+	// mode reproduces SUSC017 without enumerating the family.
+	src2, err := os.ReadFile(filepath.Join("testdata", "audit", "susc017_unguarded.susc"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res2 := AuditSource(string(src2), Options{Cache: memo.New(), AuditDeclaredOnly: true})
+	found := false
+	for _, d := range res2.Diagnostics {
+		if d.Code == CodeUnguardedEvent {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("declared-only audit must still report SUSC017, got %v", res2.Diagnostics)
+	}
+}
+
+// TestAuditDiskTier: flows persist under KindAudit and replay on the next
+// run; the second audit is all disk hits.
+func TestAuditDiskTier(t *testing.T) {
+	src, err := os.ReadFile(filepath.Join("testdata", "audit", "clean.susc"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	open := func() *store.Store {
+		st, err := store.Open(filepath.Join(dir, "susc.store"), hash.Fingerprint())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st
+	}
+	disk := open()
+	cache := memo.New()
+	cache.AttachDisk(disk)
+	res := AuditSource(string(src), Options{Cache: cache})
+	if len(res.Diagnostics) != 0 {
+		t.Fatalf("clean fixture reported %v", res.Diagnostics)
+	}
+	if st := disk.Stats(); st.PerKind[store.KindAudit].Writebacks == 0 {
+		t.Error("first audit must write flow records back to the store")
+	}
+	disk.Close()
+
+	disk = open()
+	cache = memo.New()
+	cache.AttachDisk(disk)
+	res = AuditSource(string(src), Options{Cache: cache})
+	st := disk.Stats()
+	if st.PerKind[store.KindAudit].Hits == 0 || st.PerKind[store.KindAudit].Misses != 0 {
+		t.Errorf("second audit must replay from disk: audit tier %+v", st.PerKind[store.KindAudit])
+	}
+	if len(res.Coverage) != 1 || len(res.Coverage[0].Plans) != 1 || !res.Coverage[0].Plans[0].Cached {
+		t.Errorf("replayed coverage must be marked cached, got %+v", res.Coverage)
+	}
+	disk.Close()
+}

@@ -11,10 +11,16 @@ import (
 var suscCodeRe = regexp.MustCompile(`SUSC\d{3}`)
 
 // registeredCodes collects every code the lint registry can emit: the
-// per-analyzer code lists plus the driver's own internal-error code.
+// per-analyzer code lists of both the full suite and the flow-audit
+// suite, plus the driver's own internal-error code.
 func registeredCodes() map[string]bool {
 	out := map[string]bool{lint.CodeInternalError: true}
 	for _, a := range lint.AllAnalyzers() {
+		for _, c := range a.Codes {
+			out[c] = true
+		}
+	}
+	for _, a := range lint.AuditAnalyzers() {
 		for _, c := range a.Codes {
 			out[c] = true
 		}

@@ -141,6 +141,30 @@ const (
 	// start, or a transition that can never lie on a violating run.
 	CodeUnreachableState = "SUSC015"
 
+	// Audit codes (SUSC017…SUSC021) are emitted by the whole-network
+	// security-flow audit (AuditAnalyzers, `susc audit`): an abstract
+	// interpretation annotating every reachable event occurrence with its
+	// active-framing set, per valid plan.
+
+	// CodeUnguardedEvent: a critical event (one some declared policy
+	// watches) reachable with no watching policy active, under every
+	// audited plan in which it occurs.
+	CodeUnguardedEvent = "SUSC017"
+	// CodeRedundantFraming: a framing implied at every reachable opening
+	// by the ambient active set — the whole-network generalisation of
+	// SUSC014's pairwise, single-declaration check.
+	CodeRedundantFraming = "SUSC018"
+	// CodePlanDependentCoverage: an event guarded under some valid plans
+	// but reachable unguarded under others.
+	CodePlanDependentCoverage = "SUSC019"
+	// CodeDeadPolicy: a policy referenced by some framing yet never
+	// active on any reachable path of any valid plan.
+	CodeDeadPolicy = "SUSC020"
+	// CodeFramingLeak: a framing scope opened but never closed on some
+	// path — a reachable configuration from which the scope can no longer
+	// close.
+	CodeFramingLeak = "SUSC021"
+
 	// CodeInternalError: an analyzer panicked and was isolated — the
 	// diagnostic's message carries the analyzer name and panic value as a
 	// repro bundle, and the remaining analyzers ran to completion. Also
@@ -197,9 +221,14 @@ type Pass struct {
 	// unbounded). An exhausted budget stops the remaining analyzers and
 	// is reported as one SUSC016 diagnostic.
 	Budget *budget.Budget
+	// AuditDeclaredOnly restricts the flow audit to each client's
+	// declared plan instead of the whole valid-plan family (see
+	// Options.AuditDeclaredOnly).
+	AuditDeclaredOnly bool
 
 	diags  []Diagnostic
 	bodies []reqBody
+	audit  *auditState
 }
 
 // Report adds a finding.
@@ -234,6 +263,10 @@ type Options struct {
 	Stats *Stats
 	// Budget meters the run (nil = unbounded); see Pass.Budget.
 	Budget *budget.Budget
+	// AuditDeclaredOnly restricts the flow audit (AuditAnalyzers) to each
+	// client's declared plan instead of the whole valid-plan family —
+	// `susc checkall` uses it to audit exactly the network as deployed.
+	AuditDeclaredOnly bool
 }
 
 // Analyzers returns the default suite, in running order.
@@ -276,14 +309,27 @@ func AllAnalyzers() []*Analyzer {
 // lenient parsing collected (nil for a strictly parsed file). Diagnostics
 // come back deduplicated and ordered by position, code, message.
 func Run(f *parser.File, issues []parser.Issue, opts Options) []Diagnostic {
-	pass := &Pass{File: f, Issues: issues, Cache: opts.Cache, Budget: opts.Budget}
-	if pass.Cache == nil {
-		pass.Cache = memo.New()
-	}
+	pass := newPass(f, issues, opts)
 	analyzers := opts.Analyzers
 	if analyzers == nil {
 		analyzers = Analyzers()
 	}
+	return runSuite(pass, analyzers, opts)
+}
+
+func newPass(f *parser.File, issues []parser.Issue, opts Options) *Pass {
+	pass := &Pass{File: f, Issues: issues, Cache: opts.Cache, Budget: opts.Budget,
+		AuditDeclaredOnly: opts.AuditDeclaredOnly}
+	if pass.Cache == nil {
+		pass.Cache = memo.New()
+	}
+	return pass
+}
+
+// runSuite drives a suite of analyzers over one pass: budget cutoffs and
+// panics become SUSC016 diagnostics, and the result is deduplicated,
+// ordered and severity-filtered.
+func runSuite(pass *Pass, analyzers []*Analyzer, opts Options) []Diagnostic {
 	stopped := false
 	for _, a := range analyzers {
 		// An exhausted budget stops the suite: a truncated analyzer's
@@ -336,16 +382,22 @@ func Run(f *parser.File, issues []parser.Issue, opts Options) []Diagnostic {
 func Source(src string, opts Options) []Diagnostic {
 	f, issues, err := parser.ParseFileLenient(src)
 	if err != nil {
-		d := Diagnostic{Code: CodeIllFormed, Severity: Error, Message: err.Error()}
-		var pe *parser.Error
-		if errors.As(err, &pe) {
-			pos := parser.Pos{Line: pe.Line, Col: pe.Col}
-			d.Span = parser.Span{Start: pos, End: pos}
-			d.Message = pe.Msg
-		}
-		return finish([]Diagnostic{d}, opts.MinSeverity)
+		return sourceErrorDiags(err, opts)
 	}
 	return Run(f, issues, opts)
+}
+
+// sourceErrorDiags turns a hard parse error into the single positioned
+// SUSC000 diagnostic Source and AuditSource report.
+func sourceErrorDiags(err error, opts Options) []Diagnostic {
+	d := Diagnostic{Code: CodeIllFormed, Severity: Error, Message: err.Error()}
+	var pe *parser.Error
+	if errors.As(err, &pe) {
+		pos := parser.Pos{Line: pe.Line, Col: pe.Col}
+		d.Span = parser.Span{Start: pos, End: pos}
+		d.Message = pe.Msg
+	}
+	return finish([]Diagnostic{d}, opts.MinSeverity)
 }
 
 // finish deduplicates, orders and filters a diagnostic list.

@@ -2,6 +2,7 @@ package lint
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 
 	"susc/internal/compliance"
@@ -20,6 +21,15 @@ const (
 	WitnessNoPlan      = "no-plan"
 	WitnessSubsumption = "subsumption"
 	WitnessDeadCode    = "dead-code"
+
+	// Audit witness kinds (SUSC017–021): network traces from the initial
+	// configuration of one client under one plan, ending at the
+	// occurrence the finding is about.
+	WitnessUncovered        = "uncovered"
+	WitnessRedundantFraming = "redundant-framing"
+	WitnessPlanCoverage     = "plan-coverage"
+	WitnessDeadPolicy       = "dead-policy"
+	WitnessScopeLeak        = "scope-leak"
 )
 
 // WitnessStep is one step of a counterexample trace: the label fired (an
@@ -46,6 +56,9 @@ type Witness struct {
 	// Note closes the witness: the stuck pair, the violated state, the
 	// dead construct — whatever the trace runs into.
 	Note string `json:"note,omitempty"`
+	// Plan is the plan binding the trace assumes (audit witnesses only):
+	// request identifier to service location.
+	Plan map[string]string `json:"plan,omitempty"`
 }
 
 // Render returns the step-by-step human rendering of the witness, one
@@ -57,6 +70,18 @@ func (w *Witness) Render(file string) string {
 		fmt.Fprintf(&b, ", start state %s", w.Start)
 	}
 	b.WriteString(":\n")
+	if len(w.Plan) > 0 {
+		reqs := make([]string, 0, len(w.Plan))
+		for r := range w.Plan {
+			reqs = append(reqs, r)
+		}
+		sort.Strings(reqs)
+		parts := make([]string, len(reqs))
+		for i, r := range reqs {
+			parts[i] = r + ">" + w.Plan[r]
+		}
+		fmt.Fprintf(&b, "  plan {%s}\n", strings.Join(parts, ","))
+	}
 	width := 0
 	for _, s := range w.Steps {
 		if len(s.Label) > width {

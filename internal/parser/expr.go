@@ -301,6 +301,7 @@ func (p *parser) openExpr() (hexpr.Expr, error) {
 		}
 	}
 	pol := hexpr.NoPolicy
+	var polSpan Span
 	if t := p.peek(); t.kind == tokIdent && t.text == "with" {
 		p.next()
 		name, err := p.expect(tokIdent)
@@ -308,9 +309,10 @@ func (p *parser) openExpr() (hexpr.Expr, error) {
 			return nil, err
 		}
 		pol = p.resolvePolicy(name.text)
+		polSpan = name.span()
 		if p.cur != nil {
 			p.cur.Policies = append(p.cur.Policies,
-				NameSpan{Name: name.text, ID: string(pol), Span: name.span()})
+				NameSpan{Name: name.text, ID: string(pol), Span: polSpan})
 		}
 	}
 	if _, err := p.expect(tokLBrace); err != nil {
@@ -320,8 +322,13 @@ func (p *parser) openExpr() (hexpr.Expr, error) {
 	if err != nil {
 		return nil, err
 	}
-	if _, err := p.expect(tokRBrace); err != nil {
+	rb, err := p.expect(tokRBrace)
+	if err != nil {
 		return nil, err
+	}
+	if p.cur != nil && pol != hexpr.NoPolicy {
+		p.cur.Framings = append(p.cur.Framings,
+			FramingSpan{ID: string(pol), Open: polSpan, Close: rb.span()})
 	}
 	return hexpr.Open(hexpr.RequestID(req.text), pol, body), nil
 }
@@ -345,10 +352,16 @@ func (p *parser) enforceExpr() (hexpr.Expr, error) {
 	if err != nil {
 		return nil, err
 	}
-	if _, err := p.expect(tokRBrace); err != nil {
+	rb, err := p.expect(tokRBrace)
+	if err != nil {
 		return nil, err
 	}
-	return hexpr.Frame(p.resolvePolicy(name.text), body), nil
+	pol := p.resolvePolicy(name.text)
+	if p.cur != nil && pol != hexpr.NoPolicy {
+		p.cur.Framings = append(p.cur.Framings,
+			FramingSpan{ID: string(pol), Open: name.span(), Close: rb.span()})
+	}
+	return hexpr.Frame(pol, body), nil
 }
 
 // valueArgs := '(' [value (',' value)*] ')'

@@ -57,6 +57,17 @@ type NameSpan struct {
 	Span Span
 }
 
+// FramingSpan records one framing scope in source: the resolved policy
+// identifier, the span of the token that opens the scope (the policy name
+// of an `enforce` or `with` clause) and the span of the `}` that closes
+// it. Witnesses use it to anchor framing labels ([_φ / _]φ, open/close) at
+// the framing itself rather than at the declaration head.
+type FramingSpan struct {
+	ID    string
+	Open  Span
+	Close Span
+}
+
 // ExprSpans is the per-declaration side table of positions inside one
 // expression. Expressions themselves are canonicalised (internal/hexpr
 // rebuilds and re-sorts terms), so positions cannot live on the nodes;
@@ -73,6 +84,9 @@ type ExprSpans struct {
 	Enforces []NameSpan
 	// Mus are the `mu` binders, in source order.
 	Mus []NameSpan
+	// Framings are the framing scopes (`enforce φ { … }` and
+	// `open r with φ { … }`), in source order of their opening token.
+	Framings []FramingSpan
 	// Events maps each event occurrence to its name-token spans, in source
 	// order, keyed by the event's canonical rendering (hexpr.Event.String).
 	// Bare identifiers and channel actions (a?/a!) are recorded too (under
@@ -97,6 +111,20 @@ func (es *ExprSpans) EventSpan(key string) Span {
 		return spans[0]
 	}
 	return Span{}
+}
+
+// FramingSpan returns the recorded scope of the first framing of the given
+// resolved policy identifier, or a zero-valued record when unknown.
+func (es *ExprSpans) FramingSpan(id string) FramingSpan {
+	if es == nil {
+		return FramingSpan{}
+	}
+	for _, fs := range es.Framings {
+		if fs.ID == id {
+			return fs
+		}
+	}
+	return FramingSpan{}
 }
 
 // SpanTable is the whole-file side table of source positions, populated by

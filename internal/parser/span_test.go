@@ -161,3 +161,49 @@ func TestEventSpansRecorded(t *testing.T) {
 		t.Error("nil receiver must yield a zero span")
 	}
 }
+
+// TestFramingSpans: enforce and open-with scopes record the opening policy
+// token and the closing brace, so witnesses can anchor framing labels at
+// the framing itself. The recorded ID is the resolved policy identifier
+// (the instantiated template), the same identifier framing labels carry.
+func TestFramingSpans(t *testing.T) {
+	src := "policy p() { states q0 qb; start q0; final qb; edge q0 -> qb on bad(); }\n" +
+		"instance phi = p();\n" +
+		"service s = Req? . enforce phi { tick() } . Ack!;\n" +
+		"client c at l = open r1 with phi { Req! . Ack? };\n"
+	f, err := ParseFile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc := f.Spans.ServiceExprs["s"]
+	if svc == nil || len(svc.Framings) != 1 {
+		t.Fatalf("want 1 service framing, got %+v", svc)
+	}
+	id := svc.Framings[0].ID
+	if id == "" || id == "phi" {
+		t.Errorf("framing ID should be the resolved policy identifier, got %q", id)
+	}
+	fs := svc.FramingSpan(id)
+	if fs.Open.Start.Line != 3 || fs.Open.Start.Col != 28 {
+		t.Errorf("enforce open span = %v, want 3:28", fs.Open)
+	}
+	if fs.Close.Start.Line != 3 || fs.Close.Start.Col != 41 {
+		t.Errorf("enforce close span = %v, want 3:41", fs.Close)
+	}
+	if len(f.Spans.ClientExprs) != 1 {
+		t.Fatalf("want 1 client expr table, got %d", len(f.Spans.ClientExprs))
+	}
+	cs := f.Spans.ClientExprs[0].FramingSpan(id)
+	if cs.ID != id {
+		t.Fatalf("client with-framing not recorded: %+v", f.Spans.ClientExprs[0].Framings)
+	}
+	if cs.Open.Start.Line != 4 || cs.Open.Start.Col != 30 {
+		t.Errorf("with open span = %v, want 4:30", cs.Open)
+	}
+	if cs.Close.Start.Line != 4 || cs.Close.Start.Col != 48 {
+		t.Errorf("with close span = %v, want 4:48", cs.Close)
+	}
+	if (&ExprSpans{}).FramingSpan("nope") != (FramingSpan{}) {
+		t.Error("missing framing should return zero FramingSpan")
+	}
+}

@@ -58,6 +58,9 @@ const (
 	KindLint Kind = 4
 	// KindLTSSummary: the size summary of a built transition system.
 	KindLTSSummary Kind = 5
+	// KindAudit: the flow-audit record of one (client, plan) cone — the
+	// per-plan active-framing coverage computed by internal/valid.
+	KindAudit Kind = 6
 )
 
 // kinds lists every Kind for stats iteration, with stable display names.
@@ -70,6 +73,7 @@ var kinds = []struct {
 	{KindNetworkReport, "network"},
 	{KindLint, "lint"},
 	{KindLTSSummary, "lts"},
+	{KindAudit, "audit"},
 }
 
 // KindName returns the display name of a kind ("plan", "compliance", …).

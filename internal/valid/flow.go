@@ -1,0 +1,377 @@
+package valid
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"susc/internal/budget"
+	"susc/internal/hexpr"
+	"susc/internal/history"
+	"susc/internal/intern"
+	"susc/internal/memo"
+	"susc/internal/network"
+	"susc/internal/policy"
+	"susc/internal/ring"
+	"susc/internal/verify"
+)
+
+// This file is the whole-network security-flow core behind `susc audit`:
+// an abstract interpretation of one client under one plan that annotates
+// every reachable event occurrence and framing opening with the *active
+// policy set* AP (§3.1) at that instant — the framings whose scope,
+// including the open_{r,φ}…close_{r,φ} session framings crossed via the
+// plan binding, encloses the occurrence. The exploration is the same
+// (session tree, monitor signature) BFS internal/verify runs, so the flow
+// facts hold exactly for the histories the network semantics can produce.
+
+// FlowOptions tunes one flow exploration.
+type FlowOptions struct {
+	// Cache memoises one-step transition sets and compliance verdicts
+	// across explorations; nil builds a private cache.
+	Cache *memo.Cache
+	// Budget meters the exploration (nil = unbounded); exhaustion yields
+	// a flow with Verdict "unknown" instead of an error.
+	Budget *budget.Budget
+	// MaxStates bounds the exploration (0 = verify.MaxStates).
+	MaxStates int
+}
+
+// EventFlow is one distinct event occurrence: an event reachable with a
+// particular active policy set. Trace is a BFS-minimal label sequence from
+// the initial configuration whose last label performs the event.
+type EventFlow struct {
+	Event  string   `json:"event"`
+	Active []string `json:"active,omitempty"`
+	Trace  []string `json:"trace,omitempty"`
+}
+
+// OpenFlow is one distinct framing opening: a ⌊φ (or session open_{r,φ})
+// reachable with a particular ambient active set, sampled just before the
+// opening takes effect.
+type OpenFlow struct {
+	Policy  string   `json:"policy"`
+	Ambient []string `json:"ambient,omitempty"`
+	Trace   []string `json:"trace,omitempty"`
+}
+
+// LeakFlow is a definite framing-scope leak: a reachable configuration
+// with φ active from which no configuration with φ inactive is reachable —
+// on every continuation the scope stays open forever.
+type LeakFlow struct {
+	Policy string   `json:"policy"`
+	Trace  []string `json:"trace,omitempty"`
+}
+
+// PlanFlow is the flow-audit record of one (client, plan) pair. The
+// occurrence lists are only meaningful when Verdict is "valid" (the plan's
+// full, finite state space was explored); other verdicts carry just the
+// classification, mirroring verify.Verdict strings.
+type PlanFlow struct {
+	Verdict string      `json:"verdict"`
+	Reason  string      `json:"reason,omitempty"`
+	States  int         `json:"states"`
+	Events  []EventFlow `json:"events,omitempty"`
+	Opens   []OpenFlow  `json:"opens,omitempty"`
+	Leaks   []LeakFlow  `json:"leaks,omitempty"`
+	// LeaksSkipped: the table has more than 64 policies, beyond the dense
+	// activation bitmask the leak analysis runs on.
+	LeaksSkipped bool `json:"leaks_skipped,omitempty"`
+}
+
+// Valid reports whether the flow describes a fully explored valid plan.
+func (f *PlanFlow) Valid() bool { return f.Verdict == verify.Valid.String() }
+
+// EncodeFlow serialises a flow record for the persistent store.
+func EncodeFlow(f *PlanFlow) ([]byte, error) { return json.Marshal(f) }
+
+// DecodeFlow is the inverse of EncodeFlow.
+func DecodeFlow(raw []byte) (*PlanFlow, error) {
+	var f PlanFlow
+	if err := json.Unmarshal(raw, &f); err != nil {
+		return nil, err
+	}
+	return &f, nil
+}
+
+// flowRec is the per-state record kept after a state is dequeued: the
+// activation bitmask plus the BFS-tree parent edge, enough to materialise
+// minimal traces and run the leak analysis without keeping monitors alive.
+type flowRec struct {
+	mask   uint64
+	parent int32
+	label  string
+}
+
+// activeInfo renders the monitor's active set as a dedup key plus the
+// sorted policy identifiers. Tables within the 64-policy bitmask use the
+// mask directly; wider tables fall back to the activation map.
+func activeInfo(mon *history.Monitor, ct *policy.CompiledTable, wide bool) (string, []string) {
+	if !wide {
+		mask := mon.ActiveMask()
+		if mask == 0 {
+			return "0", nil
+		}
+		var ids []string
+		for i := 0; i < ct.Len(); i++ {
+			if mask&(1<<uint(i)) != 0 {
+				ids = append(ids, string(ct.IDs()[i]))
+			}
+		}
+		return strconv.FormatUint(mask, 16), ids
+	}
+	m := mon.Active()
+	ids := make([]string, 0, len(m))
+	for id := range m {
+		ids = append(ids, string(id))
+	}
+	sort.Strings(ids)
+	return strings.Join(ids, "\x01"), ids
+}
+
+// traceOf materialises the BFS-minimal label trace to state i, optionally
+// extended by one more label (the edge an occurrence sits on).
+func traceOf(states []flowRec, i int32, extra string) []string {
+	var rev []string
+	if extra != "" {
+		rev = append(rev, extra)
+	}
+	for j := i; j != 0; j = states[j].parent {
+		rev = append(rev, states[j].label)
+	}
+	out := make([]string, 0, len(rev))
+	for k := len(rev) - 1; k >= 0; k-- {
+		out = append(out, rev[k])
+	}
+	return out
+}
+
+// ExploreFlow runs the flow analysis of one client under one plan: the
+// static prechecks of plan validation followed by the exhaustive
+// exploration, recording every distinct (event, active set) and
+// (framing, ambient set) occurrence with a BFS-minimal witness trace, and
+// the definite scope leaks. Non-valid plans return early with just the
+// verdict; budget exhaustion returns Verdict "unknown".
+func ExploreFlow(repo network.Repository, table *policy.Table, loc hexpr.Location,
+	client hexpr.Expr, plan network.Plan, opts FlowOptions) (*PlanFlow, error) {
+
+	cache := opts.Cache
+	if cache == nil {
+		cache = memo.New()
+	}
+	if r, err := verify.StaticCheck(repo, client, plan, cache); err != nil {
+		return nil, err
+	} else if r != nil {
+		return &PlanFlow{Verdict: r.Verdict.String(), Reason: r.Witness}, nil
+	}
+
+	ct := table.Compiled()
+	wide := ct.Len() > 64
+	maxStates := opts.MaxStates
+	if maxStates <= 0 {
+		maxStates = verify.MaxStates
+	}
+
+	type evOcc struct {
+		event string
+		ids   []string
+		state int32
+		label string
+	}
+	type opOcc struct {
+		policy string
+		ids    []string
+		state  int32
+		label  string
+	}
+	evs := map[string]*evOcc{}
+	ops := map[string]*opOcc{}
+
+	type qstate struct {
+		tree network.Node
+		mon  *history.Monitor
+		idx  int32
+	}
+	type fkey struct {
+		tree, sig intern.ID
+	}
+	tab := cache.Interner()
+	startMon := history.NewMonitor(table)
+	start := qstate{tree: network.Leaf{Loc: loc, Expr: client}, mon: startMon}
+	states := []flowRec{{mask: startMon.ActiveMask(), parent: -1}}
+	edges := [][]int32{nil}
+	seen := map[fkey]int32{
+		{verify.InternTree(tab, start.tree), tab.Key(startMon.Signature())}: 0,
+	}
+	var queue ring.Queue[qstate]
+	queue.Push(start)
+
+	flow := &PlanFlow{Verdict: verify.Valid.String()}
+	for queue.Len() > 0 {
+		flow.States++
+		if flow.States > maxStates {
+			flow.States--
+			flow.Verdict = verify.Unknown.String()
+			flow.Reason = fmt.Sprintf("exploration exceeds %d states", maxStates)
+			return flow, nil
+		}
+		if e := opts.Budget.ConsumeStates(1); e != nil {
+			flow.States--
+			flow.Verdict = verify.Unknown.String()
+			flow.Reason = e.Error()
+			return flow, nil
+		}
+		s := queue.Pop()
+		moves := network.TreeMovesStep(s.tree, plan, repo, cache.Steps)
+		if e := opts.Budget.ConsumeEdges(int64(len(moves))); e != nil {
+			flow.Verdict = verify.Unknown.String()
+			flow.Reason = e.Error()
+			return flow, nil
+		}
+		if len(moves) == 0 && !network.Done(s.tree) {
+			flow.Verdict = verify.CommunicationDeadlock.String()
+			flow.Reason = s.tree.Key()
+			return flow, nil
+		}
+		for _, m := range moves {
+			mon := s.mon
+			violated := false
+			if len(m.Items) > 0 {
+				mon = s.mon.Snapshot()
+				for _, it := range m.Items {
+					switch it.Kind {
+					case history.ItemEvent:
+						key, ids := activeInfo(mon, ct, wide)
+						k := it.Event.String() + "\x00" + key
+						if _, ok := evs[k]; !ok {
+							evs[k] = &evOcc{event: it.Event.String(), ids: ids,
+								state: s.idx, label: m.Label.String()}
+						}
+					case history.ItemFrameOpen:
+						if it.Policy != hexpr.NoPolicy {
+							key, ids := activeInfo(mon, ct, wide)
+							k := string(it.Policy) + "\x00" + key
+							if _, ok := ops[k]; !ok {
+								ops[k] = &opOcc{policy: string(it.Policy), ids: ids,
+									state: s.idx, label: m.Label.String()}
+							}
+						}
+					}
+					if err := mon.Append(it); err != nil {
+						verr, ok := err.(*history.ViolationError)
+						if !ok {
+							return nil, fmt.Errorf("valid: unexpected monitor error: %w", err)
+						}
+						flow.Verdict = verify.SecurityViolation.String()
+						flow.Reason = fmt.Sprintf("policy %s violated", verr.Policy)
+						violated = true
+						break
+					}
+				}
+				if violated {
+					return flow, nil
+				}
+			}
+			nk := fkey{verify.InternTree(tab, m.Tree), tab.Key(mon.Signature())}
+			ni, ok := seen[nk]
+			if !ok {
+				ni = int32(len(states))
+				seen[nk] = ni
+				states = append(states, flowRec{mask: mon.ActiveMask(), parent: s.idx, label: m.Label.String()})
+				edges = append(edges, nil)
+				queue.Push(qstate{tree: m.Tree, mon: mon, idx: ni})
+			}
+			edges[s.idx] = append(edges[s.idx], ni)
+		}
+	}
+
+	// Materialise occurrences in a deterministic order: events by
+	// (event, active set), openings by (policy, ambient set).
+	for _, o := range evs {
+		flow.Events = append(flow.Events, EventFlow{
+			Event:  o.event,
+			Active: o.ids,
+			Trace:  traceOf(states, o.state, o.label),
+		})
+	}
+	sort.Slice(flow.Events, func(i, j int) bool {
+		a, b := flow.Events[i], flow.Events[j]
+		if a.Event != b.Event {
+			return a.Event < b.Event
+		}
+		return strings.Join(a.Active, "\x01") < strings.Join(b.Active, "\x01")
+	})
+	for _, o := range ops {
+		flow.Opens = append(flow.Opens, OpenFlow{
+			Policy:  o.policy,
+			Ambient: o.ids,
+			Trace:   traceOf(states, o.state, o.label),
+		})
+	}
+	sort.Slice(flow.Opens, func(i, j int) bool {
+		a, b := flow.Opens[i], flow.Opens[j]
+		if a.Policy != b.Policy {
+			return a.Policy < b.Policy
+		}
+		return strings.Join(a.Ambient, "\x01") < strings.Join(b.Ambient, "\x01")
+	})
+
+	if wide {
+		flow.LeaksSkipped = true
+		return flow, nil
+	}
+	// Leak analysis: for each policy ever active, a reachable state with
+	// the policy active that cannot reach any state with it inactive is a
+	// definite scope leak (the η♭ flattening never balances the opening).
+	n := len(states)
+	preds := make([][]int32, n)
+	for i, succ := range edges {
+		for _, j := range succ {
+			preds[j] = append(preds[j], int32(i))
+		}
+	}
+	var anyMask uint64
+	for _, st := range states {
+		anyMask |= st.mask
+	}
+	for p := 0; p < ct.Len(); p++ {
+		bit := uint64(1) << uint(p)
+		if anyMask&bit == 0 {
+			continue
+		}
+		can := make([]bool, n)
+		var bq []int32
+		for i := range states {
+			if states[i].mask&bit == 0 {
+				can[i] = true
+				bq = append(bq, int32(i))
+			}
+		}
+		for len(bq) > 0 {
+			if opts.Budget.Check() != nil {
+				flow.LeaksSkipped = true
+				return flow, nil
+			}
+			i := bq[0]
+			bq = bq[1:]
+			for _, j := range preds[i] {
+				if !can[j] {
+					can[j] = true
+					bq = append(bq, j)
+				}
+			}
+		}
+		for i := 0; i < n; i++ {
+			if states[i].mask&bit != 0 && !can[i] {
+				flow.Leaks = append(flow.Leaks, LeakFlow{
+					Policy: string(ct.IDs()[p]),
+					Trace:  traceOf(states, int32(i), ""),
+				})
+				break
+			}
+		}
+	}
+	return flow, nil
+}
