@@ -1,0 +1,48 @@
+package main
+
+import (
+	"flag"
+	"os"
+	"strings"
+	"testing"
+
+	"susc/internal/server"
+)
+
+// TestServeFlagsDocumented holds the documentation to the code: every
+// flag the serve mode registers appears in the README's serve section
+// and in the package doc comment's serve entry, and every served
+// endpoint appears in the README's endpoint table. Flags or modes added
+// without docs (or documented ones that were removed) fail here.
+func TestServeFlagsDocumented(t *testing.T) {
+	readme, err := os.ReadFile("../../README.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	source, err := os.ReadFile("main.go")
+	if err != nil {
+		t.Fatal(err)
+	}
+	docComment := string(source[:strings.Index(string(source), "package main")])
+
+	fs, _ := serveFlagSet()
+	fs.VisitAll(func(f *flag.Flag) {
+		if !strings.Contains(string(readme), "`-"+f.Name) {
+			t.Errorf("README.md does not document serve flag -%s", f.Name)
+		}
+		if !strings.Contains(docComment, "-"+f.Name) {
+			t.Errorf("main.go doc comment does not mention serve flag -%s", f.Name)
+		}
+	})
+
+	for _, mode := range server.Modes {
+		if !strings.Contains(string(readme), "/v1/"+mode+"`") {
+			t.Errorf("README.md endpoint table misses /v1/%s", mode)
+		}
+	}
+	for _, endpoint := range []string{"/healthz", "/stats"} {
+		if !strings.Contains(string(readme), endpoint) {
+			t.Errorf("README.md does not document %s", endpoint)
+		}
+	}
+}

@@ -36,6 +36,12 @@
 //	                                     plus a per-plan coverage table;
 //	                                     -plan (declared plans only), -json,
 //	                                     -severity LEVEL, -stats, -wdot
+//	susc serve                           long-running verification service: POST a
+//	                                     spec to /v1/{lint,audit,check,checkall,plans}
+//	                                     and stream NDJSON results; -addr, -cache,
+//	                                     -max-inflight, -max-timeout, -max-states,
+//	                                     -max-edges, -grace, -ready-file,
+//	                                     -webhook-secret
 //
 // check, checkall and plans accept -json for machine-readable reports.
 // plans also accepts -stream (print each assessment as the fused engine
@@ -64,18 +70,19 @@ import (
 	"flag"
 	"fmt"
 	"math/rand"
+	"net"
 	"os"
 	"os/signal"
-	"path/filepath"
 	"runtime"
 	"sort"
 	"strings"
 	"syscall"
+	"time"
 
 	"susc/internal/budget"
 	"susc/internal/compliance"
 	"susc/internal/contract"
-	"susc/internal/hash"
+	"susc/internal/engine"
 	"susc/internal/hexpr"
 	"susc/internal/lambda"
 	"susc/internal/lint"
@@ -84,6 +91,7 @@ import (
 	"susc/internal/network"
 	"susc/internal/parser"
 	"susc/internal/plans"
+	"susc/internal/server"
 	"susc/internal/store"
 	"susc/internal/valid"
 	"susc/internal/verify"
@@ -100,24 +108,21 @@ func main() {
 // internal error (an isolated worker panic — the message carries the
 // repro unit), 3 for a budget cutoff (state/edge limit, -timeout,
 // SIGINT/SIGTERM), 1 for ordinary findings and failures. Internal errors
-// outrank budget cutoffs, which outrank findings.
+// outrank budget cutoffs, which outrank findings. The translation lives
+// in engine.ExitCode so the server reports the same codes.
 func exitCode(err error) int {
-	var ie *budget.InternalError
-	if errors.As(err, &ie) {
-		return 2
-	}
-	var ee *budget.ExhaustedError
-	if errors.As(err, &ee) {
-		return 3
-	}
-	return 1
+	return engine.ExitCode(err)
 }
 
 func run(args []string) error {
 	if len(args) < 1 {
-		return fmt.Errorf("usage: susc <parse|fmt|lint|explain|audit|project|compliance|validity|plans|check|checkall|run|dot|effect|substitutable|dual> FILE [flags]")
+		return fmt.Errorf("usage: susc <parse|fmt|lint|explain|audit|project|compliance|validity|plans|check|checkall|run|dot|effect|substitutable|dual> FILE [flags], or susc serve [flags]")
 	}
 	cmd := args[0]
+	if cmd == "serve" {
+		// serve takes no FILE; its flags parse separately.
+		return cmdServe(args[1:])
+	}
 	switch cmd {
 	case "parse", "fmt", "lint", "explain", "audit", "project", "compliance", "validity", "plans", "check", "run",
 		"dot", "effect", "substitutable", "dual", "checkall":
@@ -241,17 +246,102 @@ func run(args []string) error {
 	return nil
 }
 
-// openStore opens (or creates) the persistent verdict store under -cache
-// DIR, keyed to the current engine fingerprint. An empty dir means no
-// persistence; the returned nil store is accepted everywhere.
-func openStore(dir string) (*store.Store, error) {
-	if dir == "" {
-		return nil, nil
+// cmdServe boots the long-running verification service: one warm
+// engine session behind an HTTP front end that answers POSTed specs
+// with streamed NDJSON results (see internal/server for the protocol).
+// Startup failures — an unparseable or occupied address, a store
+// already locked by another process — return an error (exit 1).
+// SIGINT/SIGTERM starts a graceful drain: no new requests are admitted,
+// in-flight ones get -grace to finish (then their budgets are cancelled
+// so they flush partial Unknown results), and a clean drain exits 0.
+// serveOpts holds the parsed serve flags; serveFlagSet registers them
+// so the docs drift test can enumerate every flag the mode accepts.
+type serveOpts struct {
+	addr, cacheDir, readyFile, webhookSecret *string
+	maxInflight                              *int
+	maxStates, maxEdges                      *int64
+	maxTimeout, grace                        *time.Duration
+}
+
+func serveFlagSet() (*flag.FlagSet, *serveOpts) {
+	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
+	o := &serveOpts{
+		addr: fs.String("addr", "127.0.0.1:8080", "listen address (host:port; port 0 picks a free port)"),
+		cacheDir: fs.String("cache", "",
+			"persist verdicts in DIR/susc.store shared by every request (advisory-locked against other processes)"),
+		maxInflight: fs.Int("max-inflight", 4,
+			"admission control: maximum concurrently verifying requests; excess is shed with 429"),
+		maxTimeout: fs.Duration("max-timeout", 0,
+			"clamp for per-request wall-clock budgets (0 = unlimited)"),
+		maxStates: fs.Int64("max-states", 0, "clamp for per-request state budgets (0 = unlimited)"),
+		maxEdges:  fs.Int64("max-edges", 0, "clamp for per-request edge budgets (0 = unlimited)"),
+		grace: fs.Duration("grace", 5*time.Second,
+			"drain grace: how long in-flight requests may finish after SIGINT/SIGTERM"),
+		readyFile: fs.String("ready-file", "",
+			"write the bound address to this file once listening (for scripts using -addr :0)"),
+		webhookSecret: fs.String("webhook-secret", "",
+			"HMAC key for signed result callbacks (default $SUSC_WEBHOOK_SECRET; empty disables webhooks)"),
 	}
-	if err := os.MkdirAll(dir, 0o755); err != nil {
-		return nil, err
+	return fs, o
+}
+
+func cmdServe(args []string) error {
+	fs, o := serveFlagSet()
+	if err := fs.Parse(args); err != nil {
+		return err
 	}
-	return store.Open(filepath.Join(dir, "susc.store"), hash.Fingerprint())
+	if fs.NArg() > 0 {
+		return fmt.Errorf("serve takes no FILE; POST specs to the running server instead")
+	}
+	secret := *o.webhookSecret
+	if secret == "" {
+		secret = os.Getenv("SUSC_WEBHOOK_SECRET")
+	}
+	srv, err := server.New(server.Config{
+		CacheDir:      *o.cacheDir,
+		MaxInFlight:   *o.maxInflight,
+		MaxTimeout:    *o.maxTimeout,
+		MaxStates:     *o.maxStates,
+		MaxEdges:      *o.maxEdges,
+		WebhookSecret: []byte(secret),
+	})
+	if err != nil {
+		return err
+	}
+	// Signals are caught before the ready-file appears, so a supervisor
+	// that waits for it can immediately send SIGTERM and still get a
+	// clean drain.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	ln, err := net.Listen("tcp", *o.addr)
+	if err != nil {
+		srv.Shutdown(time.Second)
+		return err
+	}
+	if *o.readyFile != "" {
+		if werr := os.WriteFile(*o.readyFile, []byte(ln.Addr().String()+"\n"), 0o644); werr != nil {
+			ln.Close()
+			srv.Shutdown(time.Second)
+			return werr
+		}
+	}
+	fmt.Fprintf(os.Stderr, "serve: listening on %s\n", ln.Addr())
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	select {
+	case err := <-errc:
+		// The listener died on its own; the drain below only cleans up.
+		srv.Shutdown(time.Second)
+		return err
+	case <-ctx.Done():
+	}
+	stop() // a second signal kills the process the default way
+	fmt.Fprintf(os.Stderr, "serve: draining (grace %v)\n", *o.grace)
+	if err := srv.Shutdown(*o.grace); err != nil {
+		return err
+	}
+	fmt.Fprintln(os.Stderr, "serve: drained")
+	return nil
 }
 
 // printStoreStats reports the disk-tier counters on stderr: the overall
@@ -282,13 +372,6 @@ func printStoreStats(enabled bool, disk *store.Store) {
 	}
 }
 
-// lintEntry is the JSON shape of one diagnostic in -json NDJSON output:
-// the lint.Diagnostic fields plus the file the finding is in.
-type lintEntry struct {
-	File string `json:"file"`
-	lint.Diagnostic
-}
-
 // cmdLint runs the static-analysis suite over a specification file and
 // prints positioned diagnostics: text ("file:line:col: severity: message
 // [CODE]") or, with -json, NDJSON with one diagnostic object per line.
@@ -298,24 +381,20 @@ func cmdLint(path, src string, jsonOut bool, severity string, stats bool, cacheD
 	if err != nil {
 		return err
 	}
-	disk, err := openStore(cacheDir)
+	sess, err := engine.Open(cacheDir)
 	if err != nil {
 		return err
 	}
-	if disk != nil {
-		defer disk.Close()
-	}
-	cache := memo.New()
-	opts := lint.Options{MinSeverity: minSev, Cache: cache, Budget: bud}
+	defer sess.Close()
+	opts := lint.Options{MinSeverity: minSev, Budget: bud}
 	if stats {
 		opts.Stats = &lint.Stats{}
 	}
-	diags := lint.SourceCached(src, disk, opts)
-	errs := 0
+	diags := sess.Lint(src, opts)
 	if jsonOut {
 		enc := json.NewEncoder(os.Stdout)
 		for _, d := range diags {
-			if err := enc.Encode(lintEntry{File: path, Diagnostic: d}); err != nil {
+			if err := enc.Encode(engine.LintEntry{File: path, Diagnostic: d}); err != nil {
 				return err
 			}
 		}
@@ -331,35 +410,23 @@ func cmdLint(path, src string, jsonOut bool, severity string, stats bool, cacheD
 	for _, d := range diags {
 		counts[d.Severity]++
 	}
-	errs = counts[lint.Error]
 	if stats {
 		for _, a := range opts.Stats.Analyzers {
 			fmt.Fprintf(os.Stderr, "stats: lint %-14s %d finding(s) in %v\n", a.Name, a.Findings, a.Duration)
 		}
-		st := cache.Stats()
+		st := sess.Cache.Stats()
 		fmt.Fprintf(os.Stderr, "stats: cache %d hits, %d misses (%.1f%% hit rate), %d entries, ~%d bytes\n",
 			st.Hits(), st.Misses(), st.HitRate()*100, st.Entries(), st.ApproxBytes)
-		printStoreStats(true, disk)
+		printStoreStats(true, sess.Disk)
 	}
 	if !jsonOut && len(diags) > 0 {
 		fmt.Fprintf(os.Stderr, "lint: %d finding(s): %d error(s), %d warning(s), %d info\n",
-			len(diags), errs, counts[lint.Warning], counts[lint.Info])
+			len(diags), counts[lint.Error], counts[lint.Warning], counts[lint.Info])
 	}
 	// Exit-code protocol: an isolated analyzer panic (a SUSC016 "failed"
 	// diagnostic) outranks a budget cutoff, which outranks ordinary
 	// findings.
-	for _, d := range diags {
-		if d.Code == lint.CodeInternalError && !strings.HasPrefix(d.Message, "analysis stopped") {
-			return &budget.InternalError{Unit: "lint", Value: d.Message}
-		}
-	}
-	if e := bud.Exhausted(); e != nil {
-		return e
-	}
-	if errs > 0 {
-		return fmt.Errorf("lint: %d error(s)", errs)
-	}
-	return nil
+	return engine.LintErr(diags, bud)
 }
 
 // cmdExplain runs the full analyzer suite — the default syntactic
@@ -386,7 +453,7 @@ func cmdExplain(path, src, code string, jsonOut, wdot bool, bud *budget.Budget) 
 	case jsonOut:
 		enc := json.NewEncoder(os.Stdout)
 		for _, d := range kept {
-			if err := enc.Encode(lintEntry{File: path, Diagnostic: d}); err != nil {
+			if err := enc.Encode(engine.LintEntry{File: path, Diagnostic: d}); err != nil {
 				return err
 			}
 		}
@@ -425,13 +492,6 @@ func cmdExplain(path, src, code string, jsonOut, wdot bool, bud *budget.Budget) 
 	return nil
 }
 
-// auditCoverageEntry is the JSON shape of one client's coverage tables in
-// `susc audit -json` NDJSON output, emitted after the diagnostic lines.
-type auditCoverageEntry struct {
-	File     string              `json:"file"`
-	Coverage lint.ClientCoverage `json:"coverage"`
-}
-
 // cmdAudit runs the whole-network security-flow audit (SUSC017–021): an
 // abstract interpretation of every valid plan of every client annotating
 // each reachable event occurrence with its active-framing set, then the
@@ -448,36 +508,31 @@ func cmdAudit(path, src string, jsonOut bool, severity string, stats, wdot, plan
 	if err != nil {
 		return err
 	}
-	disk, err := openStore(cacheDir)
+	sess, err := engine.Open(cacheDir)
 	if err != nil {
 		return err
 	}
-	if disk != nil {
-		defer disk.Close()
-	}
-	cache := memo.New()
-	cache.AttachDisk(disk)
+	defer sess.Close()
 	opts := lint.Options{
 		MinSeverity:       minSev,
-		Cache:             cache,
 		Budget:            bud,
 		AuditDeclaredOnly: planOnly,
 	}
 	if stats {
 		opts.Stats = &lint.Stats{}
 	}
-	res := lint.AuditSource(src, opts)
+	res := sess.Audit(src, opts)
 	diags := res.Diagnostics
 	switch {
 	case jsonOut:
 		enc := json.NewEncoder(os.Stdout)
 		for _, d := range diags {
-			if err := enc.Encode(lintEntry{File: path, Diagnostic: d}); err != nil {
+			if err := enc.Encode(engine.LintEntry{File: path, Diagnostic: d}); err != nil {
 				return err
 			}
 		}
 		for _, cc := range res.Coverage {
-			if err := enc.Encode(auditCoverageEntry{File: path, Coverage: cc}); err != nil {
+			if err := enc.Encode(engine.CoverageEntry{File: path, Coverage: cc}); err != nil {
 				return err
 			}
 		}
@@ -507,10 +562,10 @@ func cmdAudit(path, src string, jsonOut bool, severity string, stats, wdot, plan
 		for _, a := range opts.Stats.Analyzers {
 			fmt.Fprintf(os.Stderr, "stats: audit %-14s %d finding(s) in %v\n", a.Name, a.Findings, a.Duration)
 		}
-		st := cache.Stats()
+		st := sess.Cache.Stats()
 		fmt.Fprintf(os.Stderr, "stats: cache %d hits, %d misses (%.1f%% hit rate), %d entries, ~%d bytes\n",
 			st.Hits(), st.Misses(), st.HitRate()*100, st.Entries(), st.ApproxBytes)
-		printStoreStats(true, disk)
+		printStoreStats(true, sess.Disk)
 	}
 	findings := 0
 	for _, d := range diags {
@@ -521,18 +576,7 @@ func cmdAudit(path, src string, jsonOut bool, severity string, stats, wdot, plan
 	if !jsonOut && len(diags) > 0 {
 		fmt.Fprintf(os.Stderr, "audit: %d finding(s), %d at warning or above\n", len(diags), findings)
 	}
-	for _, d := range diags {
-		if d.Code == lint.CodeInternalError && !strings.HasPrefix(d.Message, "analysis stopped") {
-			return &budget.InternalError{Unit: "audit", Value: d.Message}
-		}
-	}
-	if e := bud.Exhausted(); e != nil {
-		return e
-	}
-	if findings > 0 {
-		return fmt.Errorf("audit: %d finding(s)", findings)
-	}
-	return nil
+	return engine.AuditErr(res, bud)
 }
 
 // cmdSubstitutable decides whether -new can replace -old in the repository
@@ -709,13 +753,7 @@ func exprByName(f *parser.File, name string) (hexpr.Expr, error) {
 }
 
 func client(f *parser.File, name string) (parser.ClientDecl, error) {
-	if name == "" {
-		if len(f.Clients) == 1 {
-			return f.Clients[0], nil
-		}
-		return parser.ClientDecl{}, fmt.Errorf("the file declares %d clients; pick one with -client", len(f.Clients))
-	}
-	return f.Client(name)
+	return engine.SelectClient(f, name)
 }
 
 func sortedLocs(repo network.Repository) []hexpr.Location { return repo.Locations() }
@@ -826,39 +864,19 @@ func cmdValidity(f *parser.File) error {
 	return nil
 }
 
-// planEntry is the JSON shape of one assessed plan (both the batch array
-// of -json and the per-line objects of -json -stream).
-type planEntry struct {
-	Plan   map[string]string `json:"plan"`
-	Report *verify.Report    `json:"report"`
-}
-
-func toPlanEntry(a plans.Assessment) planEntry {
-	m := map[string]string{}
-	for r, l := range a.Plan {
-		m[string(r)] = string(l)
-	}
-	return planEntry{Plan: m, Report: a.Report}
-}
-
 func cmdPlans(f *parser.File, name string, prune, jsonOut, stream, stats bool, workers int, cacheDir string, bud *budget.Budget) error {
 	c, err := client(f, name)
 	if err != nil {
 		return err
 	}
-	disk, err := openStore(cacheDir)
+	sess, err := engine.Open(cacheDir)
 	if err != nil {
 		return err
 	}
-	if disk != nil {
-		defer disk.Close()
-	}
-	cache := memo.New()
-	cache.AttachDisk(disk)
+	defer sess.Close()
 	opts := plans.Options{
 		PruneNonCompliant: prune,
 		Workers:           workers,
-		Cache:             cache,
 		Budget:            bud,
 	}
 	if stats {
@@ -868,10 +886,10 @@ func cmdPlans(f *parser.File, name string, prune, jsonOut, stream, stats bool, w
 	// isolated worker panic (exit 2) outranks a budget cutoff or
 	// interruption (exit 3).
 	finalize := func(runErr error) error {
-		if err := printPlanStats(stats, cache, opts.Stats); err != nil {
+		if err := printPlanStats(stats, sess.Cache, opts.Stats); err != nil {
 			return err
 		}
-		printStoreStats(stats, disk)
+		printStoreStats(stats, sess.Disk)
 		if runErr != nil {
 			return runErr
 		}
@@ -888,14 +906,14 @@ func cmdPlans(f *parser.File, name string, prune, jsonOut, stream, stats bool, w
 			enc = json.NewEncoder(os.Stdout)
 		}
 		total, validCount := 0, 0
-		err := plans.AssessStream(f.Repo, f.Table, c.Loc, c.Expr, opts,
+		err := sess.AssessStream(f, c, opts,
 			func(a plans.Assessment) error {
 				total++
 				if a.Report.Verdict == verify.Valid {
 					validCount++
 				}
 				if jsonOut {
-					return enc.Encode(toPlanEntry(a))
+					return enc.Encode(engine.ToPlanEntry(a))
 				}
 				fmt.Printf("%-30s %s\n", a.Plan, a.Report)
 				return nil
@@ -908,15 +926,15 @@ func cmdPlans(f *parser.File, name string, prune, jsonOut, stream, stats bool, w
 		}
 		return finalize(err)
 	}
-	as, err := plans.AssessAll(f.Repo, f.Table, c.Loc, c.Expr, opts)
+	as, err := sess.Assess(f, c, opts)
 	if err != nil && !errors.As(err, new(*budget.InternalError)) {
 		return err
 	}
 	runErr := err
 	if jsonOut {
-		out := make([]planEntry, len(as))
+		out := make([]engine.PlanEntry, len(as))
 		for i, a := range as {
-			out[i] = toPlanEntry(a)
+			out[i] = engine.ToPlanEntry(a)
 		}
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
@@ -959,27 +977,20 @@ func cmdCheck(f *parser.File, name string, jsonOut, stats bool, cacheDir string,
 	if err != nil {
 		return err
 	}
-	if c.Plan == nil {
-		return fmt.Errorf("client %s declares no plan", c.Name)
-	}
-	disk, err := openStore(cacheDir)
+	sess, err := engine.Open(cacheDir)
 	if err != nil {
 		return err
 	}
-	if disk != nil {
-		defer disk.Close()
-	}
-	cache := memo.New()
-	cache.AttachDisk(disk)
-	r, err := verify.CheckPlanOpts(f.Repo, f.Table, c.Loc, c.Expr, c.Plan, verify.Options{Cache: cache, Budget: bud})
+	defer sess.Close()
+	r, err := sess.CheckPlan(f, c, bud)
 	if err != nil {
 		return err
 	}
 	if stats {
-		st := cache.Stats()
+		st := sess.Cache.Stats()
 		fmt.Fprintf(os.Stderr, "stats: cache %d hits, %d misses (%.1f%% hit rate), %d entries, ~%d bytes\n",
 			st.Hits(), st.Misses(), st.HitRate()*100, st.Entries(), st.ApproxBytes)
-		printStoreStats(true, disk)
+		printStoreStats(true, sess.Disk)
 	}
 	if jsonOut {
 		enc := json.NewEncoder(os.Stdout)
@@ -990,16 +1001,7 @@ func cmdCheck(f *parser.File, name string, jsonOut, stats bool, cacheDir string,
 	} else {
 		fmt.Printf("client %s under %s: %s\n", c.Name, c.Plan, r)
 	}
-	if r.Verdict == verify.Unknown {
-		if e := bud.Exhausted(); e != nil {
-			return e
-		}
-		return fmt.Errorf("verdict unknown: %s", r.Reason)
-	}
-	if r.Verdict != verify.Valid {
-		return fmt.Errorf("plan is not valid")
-	}
-	return nil
+	return engine.CheckErr(r, bud)
 }
 
 // cmdCheckAll validates every declared client, optionally under bounded
@@ -1011,124 +1013,61 @@ func cmdCheck(f *parser.File, name string, jsonOut, stats bool, cacheDir string,
 // the clients compete for replicas and only the whole-network product
 // exploration is sound, so the verdict is checked (and persisted) whole.
 func cmdCheckAll(f *parser.File, src, capSpec string, jsonOut, stats bool, cacheDir string, bud *budget.Budget) error {
-	if len(f.Clients) == 0 {
-		return fmt.Errorf("the file declares no clients")
+	var caps map[hexpr.Location]int
+	if capSpec != "" {
+		var err error
+		caps, err = parseCaps(capSpec)
+		if err != nil {
+			return err
+		}
 	}
-	disk, err := openStore(cacheDir)
+	sess, err := engine.Open(cacheDir)
 	if err != nil {
 		return err
 	}
-	if disk != nil {
-		defer disk.Close()
-	}
-	cache := memo.New()
-	cache.AttachDisk(disk)
-	// Surface lint findings alongside the verdict (on stderr, so -json
-	// stdout stays machine-readable), semantic analyzers included; witness
-	// details stay behind `susc explain`. The file parsed strictly, so
-	// there are no parse-level issues to forward. With -cache, the whole
-	// run's findings persist under the file's content hash.
-	for _, d := range lint.RunCached(f, nil, src, disk,
-		lint.Options{MinSeverity: lint.Warning, Analyzers: lint.AllAnalyzers(), Cache: cache}) {
+	defer sess.Close()
+	res, runErr := sess.CheckAll(f, src, caps, bud)
+	// Lint and audit findings surface alongside the verdict (on stderr, so
+	// -json stdout stays machine-readable); witness details stay behind
+	// `susc explain` and `susc audit -plan`.
+	for _, d := range res.Lint {
 		fmt.Fprintf(os.Stderr, "lint: %s\n", d)
 		if d.Witness != nil {
 			fmt.Fprintf(os.Stderr, "lint: \trun `susc explain FILE -code %s` for the %d-step witness\n",
 				d.Code, len(d.Witness.Steps))
 		}
 	}
-	// Declared-plan flow audit (SUSC017–021): each client's declared plan
-	// is flow-analyzed and the coverage findings surface next to the lint
-	// ones; warning-or-worse findings fail the run. Full plan families
-	// stay behind `susc audit`.
-	auditRes := lint.Audit(f, nil, lint.Options{
-		MinSeverity: lint.Warning, Cache: cache, Budget: bud, AuditDeclaredOnly: true})
-	auditFindings := 0
-	auditInternal := ""
-	for _, d := range auditRes.Diagnostics {
-		fmt.Fprintf(os.Stderr, "audit: %s\n", d)
-		if d.Code == lint.CodeInternalError {
-			if !strings.HasPrefix(d.Message, "analysis stopped") {
-				auditInternal = d.Message
+	if res.Audit != nil {
+		for _, d := range res.Audit.Diagnostics {
+			fmt.Fprintf(os.Stderr, "audit: %s\n", d)
+			if d.Code == lint.CodeInternalError {
+				continue
 			}
-			continue
+			if d.Witness != nil {
+				fmt.Fprintf(os.Stderr, "audit: \trun `susc audit FILE -plan` for the %d-step witness\n",
+					len(d.Witness.Steps))
+			}
 		}
-		if d.Witness != nil {
-			fmt.Fprintf(os.Stderr, "audit: \trun `susc audit FILE -plan` for the %d-step witness\n",
-				len(d.Witness.Steps))
-		}
-		auditFindings++
 	}
-	var specs []verify.ClientSpec
-	for _, c := range f.Clients {
-		if c.Plan == nil {
-			return fmt.Errorf("client %s declares no plan", c.Name)
-		}
-		specs = append(specs, verify.ClientSpec{Loc: c.Loc, Client: c.Expr, Plan: c.Plan})
-	}
-	opts := verify.Options{Cache: cache, Budget: bud}
-	var r *verify.Report
-	if capSpec != "" {
-		caps, err := parseCaps(capSpec)
-		if err != nil {
-			return err
-		}
-		opts.Capacities = caps
-		r, err = verify.CheckNetwork(f.Repo, f.Table, specs, opts)
-		if err != nil {
-			return err
-		}
-	} else {
-		// Component-wise validation: the network is valid iff every client
-		// is, and the first failing client's report is the network's. Valid
-		// components sum their explored states.
-		agg := &verify.Report{Verdict: verify.Valid}
-		for _, sp := range specs {
-			cr, err := verify.CheckPlanOpts(f.Repo, f.Table, sp.Loc, sp.Client, sp.Plan, opts)
-			if err != nil {
-				return err
-			}
-			if cr.Verdict != verify.Valid {
-				agg = cr
-				break
-			}
-			agg.States += cr.States
-		}
-		r = agg
+	if runErr != nil {
+		return runErr
 	}
 	if stats {
-		st := cache.Stats()
+		st := sess.Cache.Stats()
 		fmt.Fprintf(os.Stderr, "stats: cache %d hits, %d misses (%.1f%% hit rate), %d entries, ~%d bytes\n",
 			st.Hits(), st.Misses(), st.HitRate()*100, st.Entries(), st.ApproxBytes)
-		printStoreStats(true, disk)
+		printStoreStats(true, sess.Disk)
 	}
 	if jsonOut {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
-		if err := enc.Encode(r); err != nil {
+		if err := enc.Encode(res.Report); err != nil {
 			return err
 		}
 	} else {
-		fmt.Printf("network of %d client(s): %s\n", len(specs), r)
+		fmt.Printf("network of %d client(s): %s\n", len(f.Clients), res.Report)
 	}
-	if auditInternal != "" {
-		return &budget.InternalError{Unit: "audit", Value: auditInternal}
-	}
-	if r.Verdict == verify.Unknown {
-		if e := bud.Exhausted(); e != nil {
-			return e
-		}
-		return fmt.Errorf("verdict unknown: %s", r.Reason)
-	}
-	if r.Verdict != verify.Valid {
-		return fmt.Errorf("network is not valid")
-	}
-	if e := bud.Exhausted(); e != nil {
-		return e
-	}
-	if auditFindings > 0 {
-		return fmt.Errorf("audit: %d finding(s)", auditFindings)
-	}
-	return nil
+	return res.Err(bud)
 }
 
 func cmdRun(f *parser.File, name string, seed int64, steps int, monitored, all bool, capSpec string) error {
@@ -1174,17 +1113,5 @@ func cmdRun(f *parser.File, name string, seed int64, steps int, monitored, all b
 
 // parseCaps parses "loc=n,loc=n" availability specs.
 func parseCaps(spec string) (map[hexpr.Location]int, error) {
-	out := map[hexpr.Location]int{}
-	for _, part := range strings.Split(spec, ",") {
-		name, val, ok := strings.Cut(strings.TrimSpace(part), "=")
-		if !ok {
-			return nil, fmt.Errorf("-cap wants loc=n pairs, got %q", part)
-		}
-		n := 0
-		if _, err := fmt.Sscanf(val, "%d", &n); err != nil {
-			return nil, fmt.Errorf("-cap %q: %v", part, err)
-		}
-		out[hexpr.Location(name)] = n
-	}
-	return out, nil
+	return engine.ParseCaps(spec)
 }

@@ -1,0 +1,199 @@
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"sync/atomic"
+	"syscall"
+	"testing"
+	"time"
+
+	"susc/internal/engine"
+	"susc/internal/faultinject"
+	"susc/internal/store"
+)
+
+// TestServeBadAddr: an unbindable listen address is a startup failure
+// reported as a generic error — exit 1, not a panic or a hang.
+func TestServeBadAddr(t *testing.T) {
+	err := run([]string{"serve", "-addr", "256.256.256.256:notaport"})
+	if err == nil {
+		t.Fatal("bad -addr accepted")
+	}
+	if got := exitCode(err); got != 1 {
+		t.Fatalf("exitCode = %d, want 1", got)
+	}
+}
+
+// TestServeRejectsPositionalArgs: serve takes no FILE operand.
+func TestServeRejectsPositionalArgs(t *testing.T) {
+	err := run([]string{"serve", hotelFile})
+	if err == nil || !strings.Contains(err.Error(), "no FILE") {
+		t.Fatalf("err = %v, want no-FILE refusal", err)
+	}
+	if got := exitCode(err); got != 1 {
+		t.Fatalf("exitCode = %d, want 1", got)
+	}
+}
+
+// TestServeLockedStore: starting a server over a cache directory
+// another process holds fails up front with the typed lock error,
+// naming the holder — exit 1.
+func TestServeLockedStore(t *testing.T) {
+	dir := t.TempDir()
+	sess, err := engine.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+	err = run([]string{"serve", "-addr", "127.0.0.1:0", "-cache", dir})
+	var le *store.LockedError
+	if !errors.As(err, &le) {
+		t.Fatalf("err = %v, want *store.LockedError", err)
+	}
+	if got := exitCode(err); got != 1 {
+		t.Fatalf("exitCode = %d, want 1", got)
+	}
+}
+
+// TestServeSIGTERMDrain runs the real serve subcommand in-process:
+// wait for the ready file, verify the served plan records are
+// byte-identical to the CLI's own -stream -json output, then SIGTERM
+// the process while a request is in flight. The drain must let that
+// request finish (exit 0 in its done line), run() must return nil, and
+// no goroutines may leak.
+func TestServeSIGTERMDrain(t *testing.T) {
+	before := runtime.NumGoroutine()
+	dir := t.TempDir()
+	ready := filepath.Join(dir, "ready")
+	srcBytes, err := os.ReadFile(hotelFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := string(srcBytes)
+
+	runErr := make(chan error, 1)
+	go func() {
+		runErr <- run([]string{"serve", "-addr", "127.0.0.1:0", "-ready-file", ready})
+	}()
+	var base string
+	for i := 0; ; i++ {
+		if b, err := os.ReadFile(ready); err == nil && strings.HasSuffix(string(b), "\n") {
+			base = "http://" + strings.TrimSpace(string(b))
+			break
+		}
+		if i > 400 {
+			t.Fatal("ready file never appeared")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// CLI/server parity: the served record lines are exactly what
+	// `susc plans -client c2 -stream -json` writes to stdout.
+	cliOut, err := capture(t, func() error {
+		return run([]string{"plans", hotelFile, "-client", "c2", "-stream", "-json"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(base+"/v1/plans?client=c2", "text/plain", strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	served := readNDJSON(t, resp)
+	var records []string
+	for _, line := range served {
+		if !strings.HasPrefix(line, `{"susc"`) {
+			records = append(records, line)
+		}
+	}
+	cliLines := strings.Split(strings.TrimSpace(cliOut), "\n")
+	if strings.Join(records, "\n") != strings.Join(cliLines, "\n") {
+		t.Fatalf("served records differ from CLI stream:\nserver:\n%s\ncli:\n%s",
+			strings.Join(records, "\n"), cliOut)
+	}
+
+	// Park a request inside the handler, then deliver SIGTERM.
+	hold := make(chan struct{})
+	var held atomic.Bool
+	restore := faultinject.Set(func(p faultinject.Point, unit string) {
+		if p == faultinject.ServeHandler && held.CompareAndSwap(false, true) {
+			<-hold
+		}
+	})
+	defer restore()
+	inflight := make(chan []string, 1)
+	go func() {
+		resp, err := http.Post(base+"/v1/checkall", "text/plain", strings.NewReader(src))
+		if err != nil {
+			inflight <- nil
+			return
+		}
+		inflight <- readNDJSON(t, resp)
+	}()
+	for i := 0; ; i++ {
+		st := struct {
+			InFlight int `json:"inFlight"`
+		}{}
+		r, err := http.Get(base + "/stats")
+		if err == nil {
+			json.NewDecoder(r.Body).Decode(&st)
+			r.Body.Close()
+		}
+		if st.InFlight == 1 {
+			break
+		}
+		if i > 400 {
+			t.Fatal("request never became in-flight")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(50 * time.Millisecond) // let the drain begin
+	close(hold)
+
+	if err := <-runErr; err != nil {
+		t.Fatalf("serve after SIGTERM = %v, want nil (exit 0)", err)
+	}
+	lines := <-inflight
+	if lines == nil {
+		t.Fatal("in-flight request was dropped during drain")
+	}
+	last := lines[len(lines)-1]
+	if !strings.Contains(last, `"susc":"done"`) || !strings.Contains(last, `"exit":0`) {
+		t.Fatalf("in-flight request did not complete cleanly: %q", last)
+	}
+
+	for i := 0; ; i++ {
+		if runtime.NumGoroutine() <= before+2 {
+			break
+		}
+		if i >= 50 {
+			t.Fatalf("goroutines leaked: %d before, %d after", before, runtime.NumGoroutine())
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// readNDJSON drains an HTTP response into trimmed NDJSON lines.
+func readNDJSON(t *testing.T, resp *http.Response) []string {
+	t.Helper()
+	defer resp.Body.Close()
+	var sb strings.Builder
+	buf := make([]byte, 4096)
+	for {
+		n, err := resp.Body.Read(buf)
+		sb.Write(buf[:n])
+		if err != nil {
+			break
+		}
+	}
+	return strings.Split(strings.TrimSpace(sb.String()), "\n")
+}

@@ -1,0 +1,63 @@
+package engine
+
+import (
+	"errors"
+
+	"susc/internal/budget"
+	"susc/internal/lint"
+	"susc/internal/plans"
+	"susc/internal/verify"
+)
+
+// PlanEntry is the JSON shape of one assessed plan: the batch array of
+// `susc plans -json`, the per-line objects of `-json -stream`, and the
+// server's plans NDJSON records.
+type PlanEntry struct {
+	Plan   map[string]string `json:"plan"`
+	Report *verify.Report    `json:"report"`
+}
+
+// ToPlanEntry converts an assessment to its wire shape.
+func ToPlanEntry(a plans.Assessment) PlanEntry {
+	m := map[string]string{}
+	for r, l := range a.Plan {
+		m[string(r)] = string(l)
+	}
+	return PlanEntry{Plan: m, Report: a.Report}
+}
+
+// LintEntry is the JSON shape of one diagnostic in NDJSON output — the
+// lint.Diagnostic fields plus the file the finding is in. lint, explain,
+// audit and the served lint/audit endpoints all emit it.
+type LintEntry struct {
+	File string `json:"file"`
+	lint.Diagnostic
+}
+
+// CoverageEntry is the JSON shape of one client's coverage tables in
+// audit NDJSON output, emitted after the diagnostic lines.
+type CoverageEntry struct {
+	File     string              `json:"file"`
+	Coverage lint.ClientCoverage `json:"coverage"`
+}
+
+// ExitCode maps a run's final error onto the exit-code protocol every
+// front end shares: 0 success, 2 for an internal error (an isolated
+// worker panic — the message carries the repro unit), 3 for a budget
+// cutoff (state/edge limit, timeout, interruption), 1 for ordinary
+// findings and failures. Internal errors outrank budget cutoffs, which
+// outrank findings.
+func ExitCode(err error) int {
+	if err == nil {
+		return 0
+	}
+	var ie *budget.InternalError
+	if errors.As(err, &ie) {
+		return 2
+	}
+	var ee *budget.ExhaustedError
+	if errors.As(err, &ee) {
+		return 3
+	}
+	return 1
+}

@@ -53,6 +53,20 @@ const (
 	// LTSBuild fires on every state lts.BuildBudgeted adds; the unit is
 	// empty (the builder is too hot to render expression keys).
 	LTSBuild Point = "lts.build"
+	// ServeAccept fires in the server's admission path, before the
+	// in-flight semaphore is tried; the unit is the request mode
+	// ("checkall", "plans", …).
+	ServeAccept Point = "serve.accept"
+	// ServeHandler fires inside a server request's panic guard, after
+	// admission and before the engine runs; the unit is "mode#id"
+	// (e.g. "plans#7"), so one specific request can be poisoned.
+	ServeHandler Point = "serve.handler"
+	// StoreWrite fires in store.Put before a record is appended; the
+	// unit is the record-kind name ("plan", "compliance", …).
+	StoreWrite Point = "store.write"
+	// WebhookDeliver fires before each webhook delivery attempt
+	// (retries included); the unit is the destination URL.
+	WebhookDeliver Point = "webhook.deliver"
 )
 
 // Hook observes (and may sabotage) one fired point.

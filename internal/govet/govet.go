@@ -141,7 +141,7 @@ func DefaultConfig() Config {
 		GoroutinePackages: []string{
 			"internal/plans", "internal/verify", "internal/lts", "internal/valid",
 			"internal/memo", "internal/store", "internal/network", "internal/lint",
-			"internal/compliance", "internal/autom",
+			"internal/compliance", "internal/autom", "internal/server", "internal/engine",
 		},
 		ExitPackages: []string{"cmd/susc"},
 	}

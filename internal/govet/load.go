@@ -3,6 +3,7 @@ package govet
 import (
 	"fmt"
 	"go/ast"
+	"go/build"
 	"go/importer"
 	"go/parser"
 	"go/token"
@@ -143,6 +144,13 @@ func (l *Loader) load(path string) (*Package, error) {
 		name := e.Name()
 		if e.IsDir() || !strings.HasSuffix(name, ".go") ||
 			strings.HasSuffix(name, "_test.go") || strings.HasPrefix(name, ".") {
+			continue
+		}
+		// Respect build constraints (//go:build lines and _GOOS/_GOARCH
+		// filename suffixes) so platform-gated siblings — e.g. a unix
+		// flock implementation and its fallback — are not typechecked
+		// into the same package.
+		if ok, err := build.Default.MatchFile(dir, name); err != nil || !ok {
 			continue
 		}
 		names = append(names, name)

@@ -1,0 +1,161 @@
+package server_test
+
+import (
+	"net"
+	"net/http"
+	"runtime"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"susc/internal/faultinject"
+	"susc/internal/server"
+)
+
+// leakCheck asserts the goroutine count settles back near the baseline
+// recorded before the test spun anything up (PR 5 harness idiom).
+func leakCheck(t *testing.T, before int) {
+	t.Helper()
+	for i := 0; i < 50; i++ {
+		if runtime.NumGoroutine() <= before+2 {
+			return
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	buf := make([]byte, 1<<20)
+	n := runtime.Stack(buf, true)
+	t.Fatalf("goroutines leaked: %d before, %d after\n%s",
+		before, runtime.NumGoroutine(), buf[:n])
+}
+
+// startNoCleanup boots a server the test shuts down itself.
+func startNoCleanup(t *testing.T, cfg server.Config) (*server.Server, string) {
+	t.Helper()
+	srv, err := server.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(ln)
+	return srv, "http://" + ln.Addr().String()
+}
+
+// TestDrainWaitsForInFlight: a shutdown with a generous grace lets the
+// in-flight request finish normally (exit 0) and leaks nothing.
+func TestDrainWaitsForInFlight(t *testing.T) {
+	before := runtime.NumGoroutine()
+	hold := make(chan struct{})
+	var held atomic.Bool
+	restore := faultinject.Set(func(p faultinject.Point, unit string) {
+		if p == faultinject.ServeHandler && held.CompareAndSwap(false, true) {
+			<-hold
+		}
+	})
+	defer restore()
+	srv, base := startNoCleanup(t, server.Config{})
+	src := hotelSrc(t)
+	done := make(chan *response, 1)
+	go func() { done <- post(t, base+"/v1/checkall", src) }()
+	waitInFlight(t, base, 1)
+
+	shut := make(chan error, 1)
+	go func() { shut <- srv.Shutdown(10 * time.Second) }()
+	// Drain starts: health stops answering ok (503 on a live keep-alive
+	// connection, or connection refused once the listener closes).
+	waitDrainStarted(t, base)
+	close(hold)
+	if err := <-shut; err != nil {
+		t.Fatalf("Shutdown = %v", err)
+	}
+	if r := <-done; exitOf(t, r) != 0 {
+		t.Fatalf("in-flight request did not complete: %v", r.done)
+	}
+	leakCheck(t, before)
+}
+
+// TestDrainGraceExpiryFlushesUnknown: when the grace window expires
+// with a request still running, the server cancels its budget; the
+// request flushes a partial Unknown record and a done line with exit 3
+// instead of a torn stream.
+func TestDrainGraceExpiryFlushesUnknown(t *testing.T) {
+	before := runtime.NumGoroutine()
+	hold := make(chan struct{})
+	var held atomic.Bool
+	restore := faultinject.Set(func(p faultinject.Point, unit string) {
+		if p == faultinject.ServeHandler && held.CompareAndSwap(false, true) {
+			<-hold
+		}
+	})
+	defer restore()
+	srv, base := startNoCleanup(t, server.Config{})
+	src := hotelSrc(t)
+	done := make(chan *response, 1)
+	go func() { done <- post(t, base+"/v1/checkall", src) }()
+	waitInFlight(t, base, 1)
+
+	shut := make(chan error, 1)
+	go func() { shut <- srv.Shutdown(50 * time.Millisecond) }()
+	// Let the grace window lapse so the server cancels request budgets,
+	// then release the stalled exploration to observe the flush.
+	time.Sleep(150 * time.Millisecond)
+	close(hold)
+	if err := <-shut; err != nil {
+		t.Fatalf("Shutdown = %v", err)
+	}
+	r := <-done
+	if exitOf(t, r) != 3 {
+		t.Fatalf("cancelled request exit %v, want 3", r.done)
+	}
+	if len(r.records) != 1 || !strings.Contains(r.records[0], `"verdict":"unknown"`) {
+		t.Fatalf("no partial Unknown record flushed: %v", r.records)
+	}
+	leakCheck(t, before)
+}
+
+// TestDrainIdle: shutting down an idle server is immediate and clean.
+func TestDrainIdle(t *testing.T) {
+	before := runtime.NumGoroutine()
+	srv, base := startNoCleanup(t, server.Config{CacheDir: t.TempDir()})
+	if r := post(t, base+"/v1/lint", "protocol P { role a }"); r.done == nil {
+		t.Fatal("lint request failed")
+	}
+	if err := srv.Shutdown(time.Second); err != nil {
+		t.Fatalf("Shutdown = %v", err)
+	}
+	if _, err := http.Get(base + "/healthz"); err == nil {
+		t.Fatal("listener still accepting after shutdown")
+	}
+	leakCheck(t, before)
+}
+
+func waitInFlight(t *testing.T, base string, n int) {
+	t.Helper()
+	for i := 0; i < 400; i++ {
+		if getStats(t, base).InFlight >= n {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("in-flight never reached %d", n)
+}
+
+func waitDrainStarted(t *testing.T, base string) {
+	t.Helper()
+	for i := 0; i < 400; i++ {
+		resp, err := http.Get(base + "/healthz")
+		if err != nil {
+			return // listener closed — drain under way
+		}
+		code := resp.StatusCode
+		resp.Body.Close()
+		if code == http.StatusServiceUnavailable {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatal("healthz never reported draining")
+}

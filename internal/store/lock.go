@@ -1,0 +1,60 @@
+package store
+
+import (
+	"fmt"
+	"os"
+	"strings"
+	"time"
+)
+
+// LockedError reports that the advisory lock on a store file is held
+// elsewhere — by another process, or by another open Store in this one.
+// A long-running `susc serve` holds its store for the life of the
+// process; a second server (or a CLI run pointed at the same -cache)
+// must refuse to append to the same log rather than interleave records,
+// so Open fails with this typed error naming the holder.
+type LockedError struct {
+	// Path is the store file whose lock is held.
+	Path string
+	// Holder describes who holds the lock, as recorded in the sidecar
+	// lock file ("pid 1234 on hostname since …"); empty when the sidecar
+	// is unreadable.
+	Holder string
+}
+
+func (e *LockedError) Error() string {
+	if e.Holder == "" {
+		return fmt.Sprintf("store: %s is locked by another process", e.Path)
+	}
+	return fmt.Sprintf("store: %s is locked by %s", e.Path, e.Holder)
+}
+
+// holderPath is the sidecar file recording who holds the lock. On unix
+// the flock on the store file itself is the lock — the sidecar only
+// feeds the holder name into LockedError messages and may be stale
+// after a crash without ever wedging the store.
+func holderPath(path string) string { return path + ".lock" }
+
+// holderLine renders this process as a lock holder.
+func holderLine() string {
+	host, err := os.Hostname()
+	if err != nil {
+		host = "unknown-host"
+	}
+	return fmt.Sprintf("pid %d on %s since %s", os.Getpid(), host, time.Now().Format(time.RFC3339))
+}
+
+// readHolder returns the sidecar's holder line, or "" when unreadable.
+func readHolder(path string) string {
+	b, err := os.ReadFile(holderPath(path))
+	if err != nil {
+		return ""
+	}
+	return strings.TrimSpace(string(b))
+}
+
+// writeHolder records this process in the sidecar (best effort: the
+// sidecar is diagnostic, the lock itself is what Open acquired).
+func writeHolder(path string) {
+	os.WriteFile(holderPath(path), []byte(holderLine()+"\n"), 0o644)
+}

@@ -1,0 +1,24 @@
+//go:build !unix
+
+package store
+
+import (
+	"os"
+)
+
+// lockFile on platforms without flock falls back to the sidecar itself
+// as the lock: O_EXCL creation either wins or names the holder. Unlike
+// the flock path, a crashed process leaves the sidecar behind and the
+// lock must be removed by hand — the trade for portability.
+func lockFile(f *os.File, path string) (release func(), err error) {
+	lf, cerr := os.OpenFile(holderPath(path), os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+	if cerr != nil {
+		if os.IsExist(cerr) {
+			return nil, &LockedError{Path: path, Holder: readHolder(path)}
+		}
+		return nil, cerr
+	}
+	lf.WriteString(holderLine() + "\n")
+	lf.Close()
+	return func() { os.Remove(holderPath(path)) }, nil
+}

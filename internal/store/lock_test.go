@@ -1,0 +1,79 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"susc/internal/hash"
+)
+
+// TestOpenRefusesLockedStore: a second Open of a path a live Store holds
+// fails with the typed LockedError naming the holder, and succeeds again
+// once the holder closes.
+func TestOpenRefusesLockedStore(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "susc.store")
+	s1, err := Open(path, hash.Fingerprint())
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = Open(path, hash.Fingerprint())
+	var le *LockedError
+	if !errors.As(err, &le) {
+		t.Fatalf("second Open = %v, want *LockedError", err)
+	}
+	if le.Path != path {
+		t.Errorf("LockedError.Path = %q, want %q", le.Path, path)
+	}
+	if want := fmt.Sprintf("pid %d", os.Getpid()); !strings.Contains(le.Holder, want) {
+		t.Errorf("LockedError.Holder = %q, want it to name %q", le.Holder, want)
+	}
+	if !strings.Contains(le.Error(), path) {
+		t.Errorf("error %q must name the store file", le.Error())
+	}
+	if err := s1.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Open(path, hash.Fingerprint())
+	if err != nil {
+		t.Fatalf("Open after Close = %v, want success", err)
+	}
+	s2.Close()
+}
+
+// TestCloseRemovesLockSidecar: the holder sidecar exists while the store
+// is open and is gone after Close.
+func TestCloseRemovesLockSidecar(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "susc.store")
+	s, err := Open(path, hash.Fingerprint())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(holderPath(path)); err != nil {
+		t.Fatalf("sidecar missing while store open: %v", err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(holderPath(path)); !os.IsNotExist(err) {
+		t.Fatalf("sidecar still present after Close (err=%v)", err)
+	}
+}
+
+// TestLockSurvivesFailedReplay: an Open refused for bad magic releases
+// the lock, so the foreign file can immediately be probed again.
+func TestLockSurvivesFailedReplay(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "susc.store")
+	if err := os.WriteFile(path, []byte("not a store at all"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		_, err := Open(path, hash.Fingerprint())
+		if err == nil || errors.As(err, new(*LockedError)) {
+			t.Fatalf("attempt %d: Open = %v, want bad-magic refusal, not a lock error", i, err)
+		}
+	}
+}

@@ -1,0 +1,24 @@
+//go:build unix
+
+package store
+
+import (
+	"os"
+	"syscall"
+)
+
+// lockFile takes the advisory exclusive lock on the open store file via
+// flock(2). The lock belongs to the open file description, so the kernel
+// releases it when the process exits or crashes — a dead server never
+// wedges its store. The sidecar written on success only names the holder
+// for LockedError messages; a stale sidecar is harmless.
+func lockFile(f *os.File, path string) (release func(), err error) {
+	if err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB); err != nil {
+		return nil, &LockedError{Path: path, Holder: readHolder(path)}
+	}
+	writeHolder(path)
+	return func() {
+		os.Remove(holderPath(path))
+		syscall.Flock(int(f.Fd()), syscall.LOCK_UN)
+	}, nil
+}

@@ -40,6 +40,7 @@ import (
 	"sync"
 	"time"
 
+	"susc/internal/faultinject"
 	"susc/internal/hash"
 )
 
@@ -166,10 +167,13 @@ type ikey struct {
 // Store is one open store file. Construct with Open; the zero value is
 // not usable.
 type Store struct {
-	mu    sync.RWMutex
-	f     *os.File
-	index map[ikey][]byte
-	stats map[Kind]*TableStats
+	mu sync.RWMutex
+	f  *os.File
+	// unlock releases the advisory file lock Open acquired (nil once
+	// Close has run).
+	unlock func()
+	index  map[ikey][]byte
+	stats  map[Kind]*TableStats
 
 	openTime    time.Duration
 	replayed    int
@@ -184,21 +188,34 @@ type Store struct {
 // fingerprint — or an older format version — is reset to empty, never
 // served stale. A corrupt or truncated tail (a crash mid-append) is healed
 // by truncating back to the last intact record.
+//
+// Open takes an advisory exclusive lock on the file for the life of the
+// Store: a second Open of the same path — from another process, or from
+// this one — fails with a typed *LockedError naming the holder instead
+// of letting two writers interleave appends the in-process mutex cannot
+// see.
 func Open(path string, fingerprint hash.Sum) (*Store, error) {
 	start := time.Now()
 	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
 	if err != nil {
 		return nil, err
 	}
+	unlock, err := lockFile(f, path)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
 	s := &Store{
-		f:     f,
-		index: map[ikey][]byte{},
-		stats: map[Kind]*TableStats{},
+		f:      f,
+		unlock: unlock,
+		index:  map[ikey][]byte{},
+		stats:  map[Kind]*TableStats{},
 	}
 	for _, e := range kinds {
 		s.stats[e.k] = &TableStats{}
 	}
 	if err := s.replay(fingerprint); err != nil {
+		unlock()
 		f.Close()
 		return nil, err
 	}
@@ -336,6 +353,12 @@ func (s *Store) Put(kind Kind, sum hash.Sum, value []byte) error {
 		s.stat(kind).Writebacks++
 		return nil
 	}
+	if faultinject.Enabled() {
+		// Fires before the append lands, so an injected panic models a
+		// writer dying between deciding to persist and writing — the
+		// record must be all-or-nothing on disk either way.
+		faultinject.Fire(faultinject.StoreWrite, KindName(kind))
+	}
 	rec := appendRecord(nil, kind, sum, value)
 	if _, err := s.f.Write(rec); err != nil {
 		return err
@@ -384,10 +407,18 @@ func (s *Store) Sync() error {
 	return s.f.Sync()
 }
 
-// Close syncs and closes the file. The Store must not be used afterwards.
+// Close syncs and closes the file, releasing the advisory lock. The
+// Store must not be used afterwards.
 func (s *Store) Close() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.unlock != nil {
+		// Release while the descriptor is still open (flock unlocks on a
+		// live fd; closing would release it anyway, but the sidecar must
+		// go first so a racing Open never reads a stale holder as live).
+		defer func() { s.unlock = nil }()
+		defer s.unlock()
+	}
 	if err := s.f.Sync(); err != nil {
 		s.f.Close()
 		return err
@@ -524,11 +555,21 @@ func (g *flightGroup) do(k ikey, fn func() (any, error)) (any, error) {
 	g.m[k] = c
 	g.mu.Unlock()
 
+	// A panic in fn must not strand the waiters queued on this flight:
+	// release them with an error and drop the entry before the panic
+	// continues into the leader's own recovery (a budget.Guard, which
+	// turns it into a typed internal error).
+	completed := false
+	defer func() {
+		if !completed {
+			c.err = fmt.Errorf("store: in-flight %s compute panicked", KindName(k.kind))
+		}
+		c.wg.Done()
+		g.mu.Lock()
+		delete(g.m, k)
+		g.mu.Unlock()
+	}()
 	c.val, c.err = fn()
-	c.wg.Done()
-
-	g.mu.Lock()
-	delete(g.m, k)
-	g.mu.Unlock()
+	completed = true
 	return c.val, c.err
 }
